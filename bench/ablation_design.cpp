@@ -1,0 +1,130 @@
+// Ablation study for the design choices DESIGN.md calls out. Each section
+// toggles one mechanism and reruns a fixed scenario, quantifying how much
+// that mechanism contributes to the reproduced behaviour.
+//
+//   A1  guest page cache        (off -> every warm read pays the NFS path)
+//   A2  wordcount combiner      (on  -> shuffle collapses; the paper's
+//                                text describes the combiner-less form)
+//   A3  out-of-band heartbeats  (off -> slots refill only on the 3s period)
+//   A4  speculative execution   (the mechanism that saves a job when a
+//                                node silently hangs)
+//   A5  migration concurrency   (1/2/4 parallel pre-copy streams)
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "sim/rng.hpp"
+
+using namespace vhadoop;
+using namespace vhadoop::bench;
+
+namespace {
+
+double wordcount_elapsed(const WordcountScenario& scenario, core::TestbedConfig tb,
+                         mapreduce::HadoopConfig hc) {
+  core::Platform platform(tb);
+  auto spec = paper_cluster(core::Placement::Normal);
+  spec.hadoop = hc;
+  platform.boot_cluster(spec);
+  scenario.stage(platform);
+  double total = 0.0;
+  for (int r = 0; r < 3; ++r) total += scenario.run(platform, "abl" + std::to_string(r));
+  return total / 3.0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablations over the 16-node cluster ==\n\n");
+  auto scenario = WordcountScenario::prepare(128.0);
+
+  // --- A1: page cache ---------------------------------------------------------
+  {
+    core::TestbedConfig with_cache;
+    core::TestbedConfig no_cache;
+    no_cache.virt.page_cache_mb = 0.0;
+    const double on = wordcount_elapsed(scenario, with_cache, {});
+    const double off = wordcount_elapsed(scenario, no_cache, {});
+    std::printf("A1 guest page cache      : on %6.1f s   off %6.1f s   (x%.2f)\n", on, off,
+                off / on);
+  }
+
+  // --- A2: combiner -------------------------------------------------------------
+  {
+    auto with_combiner = WordcountScenario::prepare(128.0);
+    {
+      // Re-measure the logical job with the combiner enabled.
+      workloads::TextCorpus corpus(20000);
+      auto lines = corpus.generate(128.0 * sim::kMiB);
+      mapreduce::LocalJobRunner local;
+      with_combiner.measured =
+          local.run(workloads::wordcount_job(4, /*use_combiner=*/true), lines,
+                    static_cast<int>(with_combiner.paths.size()));
+    }
+    const double without = wordcount_elapsed(scenario, {}, {});
+    const double with = wordcount_elapsed(with_combiner, {}, {});
+    double shuffle_without = scenario.measured.total_shuffle_bytes / sim::kMiB;
+    double shuffle_with = with_combiner.measured.total_shuffle_bytes / sim::kMiB;
+    std::printf("A2 wordcount combiner    : off %5.1f s (%5.0f MB shuffle)   on %5.1f s "
+                "(%4.0f MB shuffle)\n",
+                without, shuffle_without, with, shuffle_with);
+  }
+
+  // --- A3: out-of-band heartbeats ------------------------------------------------
+  {
+    mapreduce::HadoopConfig oob_on, oob_off;
+    oob_off.out_of_band_heartbeats = false;
+    const double on = wordcount_elapsed(scenario, {}, oob_on);
+    const double off = wordcount_elapsed(scenario, {}, oob_off);
+    std::printf("A3 out-of-band heartbeat : on %6.1f s   off %6.1f s   (x%.2f)\n", on, off,
+                off / on);
+  }
+
+  // --- A4: speculative execution vs a silently hung node --------------------------
+  {
+    auto run_hang = [&](bool speculation) {
+      core::Platform platform;
+      auto spec = paper_cluster(core::Placement::Normal);
+      spec.hadoop.speculative_execution = speculation;
+      platform.boot_cluster(spec);
+      mapreduce::SimJobSpec job;
+      job.name = "hang";
+      job.output_path = "/out/hang";
+      for (int m = 0; m < 30; ++m) {
+        job.maps.push_back({.input_bytes = 8 * sim::kMiB, .cpu_seconds = 3.0,
+                            .output_bytes = 2 * sim::kMiB});
+      }
+      job.reduces.push_back({.cpu_seconds = 1.0, .output_bytes = sim::kMiB});
+      bool done = false;
+      double elapsed = -1.0;
+      platform.runner().submit(job, [&](const mapreduce::JobTimeline& t) {
+        done = true;
+        elapsed = t.elapsed();
+      });
+      platform.engine().run_until(platform.engine().now() + 6.0);
+      platform.cloud().hang_vm(platform.workers()[3]);  // silent wedge
+      platform.engine().run_until(platform.engine().now() + 600.0);
+      return done ? elapsed : -1.0;
+    };
+    const double with = run_hang(true);
+    const double without = run_hang(false);
+    std::printf("A4 speculation vs hang   : on -> %s   off -> %s\n",
+                with >= 0 ? (std::to_string(with).substr(0, 5) + " s").c_str() : "STUCK",
+                without >= 0 ? (std::to_string(without).substr(0, 5) + " s").c_str() : "STUCK");
+  }
+
+  // --- A5: migration concurrency ----------------------------------------------------
+  {
+    std::printf("A5 migration concurrency :");
+    for (int conc : {1, 2, 4}) {
+      core::Platform platform;
+      platform.boot_cluster(paper_cluster(core::Placement::Normal));
+      auto result = platform.migrate_cluster(
+          platform.hosts()[1], [](virt::VmId) { return virt::DirtyModel::idle(); }, conc);
+      std::printf("  c=%d %.0fs/%.0fms", conc, result.overall_migration_time,
+                  result.overall_downtime * 1000);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

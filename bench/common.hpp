@@ -1,0 +1,72 @@
+#pragma once
+
+// Shared helpers for the figure/table reproduction harnesses.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "mapreduce/bridge.hpp"
+#include "mapreduce/local_runner.hpp"
+#include "workloads/text_corpus.hpp"
+#include "workloads/wordcount.hpp"
+
+namespace vhadoop::bench {
+
+inline const char* placement_name(core::Placement p) {
+  return p == core::Placement::Normal ? "normal" : "cross-domain";
+}
+
+/// A staged Wordcount scenario: the corpus is split into ~file_mb files
+/// (TOEFL reading materials are many small texts — one map per file), the
+/// job is really executed once through the logical engine, and the measured
+/// profiles replay against any cluster placement.
+struct WordcountScenario {
+  std::vector<std::string> paths;
+  std::vector<double> file_bytes;
+  mapreduce::JobResult measured;
+  int num_reduces = 4;
+
+  static WordcountScenario prepare(double total_mb, double file_mb = 16.0,
+                                   int num_reduces = 4) {
+    WordcountScenario s;
+    s.num_reduces = num_reduces;
+    workloads::TextCorpus corpus(20000);
+    auto lines = corpus.generate(total_mb * sim::kMiB);
+
+    const int files =
+        std::max(1, static_cast<int>(total_mb / file_mb + 0.5));
+    // One logical split per file so measured map profiles line up 1:1.
+    mapreduce::LocalJobRunner local;
+    s.measured = local.run(workloads::wordcount_job(num_reduces), lines, files);
+    for (int f = 0; f < files; ++f) {
+      s.paths.push_back("/in/toefl-" + std::to_string(f));
+      s.file_bytes.push_back(s.measured.map_profiles[static_cast<std::size_t>(f)].input_bytes);
+    }
+    return s;
+  }
+
+  /// Upload every input file (from the namenode, as the paper's flow does).
+  void stage(core::Platform& platform) const {
+    for (std::size_t f = 0; f < paths.size(); ++f) {
+      platform.upload(paths[f], file_bytes[f]);
+    }
+  }
+
+  /// Run once on the platform; returns elapsed simulated seconds.
+  double run(core::Platform& platform, const std::string& run_tag) const {
+    auto spec = mapreduce::to_sim_job_files("wordcount", measured, paths, "/out/wc-" + run_tag);
+    return platform.run_job(std::move(spec)).elapsed();
+  }
+};
+
+/// Build the paper's 16-node cluster (1 namenode + 15 workers).
+inline core::ClusterSpec paper_cluster(core::Placement placement) {
+  core::ClusterSpec spec;
+  spec.num_workers = 15;
+  spec.placement = placement;
+  return spec;
+}
+
+}  // namespace vhadoop::bench

@@ -1,0 +1,44 @@
+// Figure 2 reproduction: Wordcount on a 16-node hadoop virtual cluster,
+// normal vs cross-domain placement, input size sweep.
+//
+// Paper claims to reproduce (shape, not absolute values):
+//   * running time increases with input size;
+//   * cross-domain is slower than normal, and the gap widens with size
+//     (network I/O delay becomes the bottleneck).
+
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace vhadoop;
+using namespace vhadoop::bench;
+
+namespace {
+
+double run_case(core::Placement placement, const WordcountScenario& scenario) {
+  core::Platform platform;
+  platform.boot_cluster(paper_cluster(placement));
+  scenario.stage(platform);
+  // The paper's methodology: three runs with the same configuration,
+  // averaged (the first reads cold from NFS, later runs are cache-warm).
+  double total = 0.0;
+  for (int r = 0; r < 3; ++r) {
+    total += scenario.run(platform, placement_name(placement) + std::to_string(r));
+  }
+  return total / 3.0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 2: Wordcount, normal vs cross-domain (16-node cluster) ==\n");
+  std::printf("%-12s %14s %18s %10s\n", "input (MB)", "normal (s)", "cross-domain (s)", "gap");
+  for (double mb : {32.0, 64.0, 128.0, 256.0, 384.0}) {
+    auto scenario = WordcountScenario::prepare(mb);
+    const double normal = run_case(core::Placement::Normal, scenario);
+    const double cross = run_case(core::Placement::CrossDomain, scenario);
+    std::printf("%-12.0f %14.1f %18.1f %9.1f%%\n", mb, normal, cross,
+                (cross / normal - 1.0) * 100.0);
+  }
+  return 0;
+}

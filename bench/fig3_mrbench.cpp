@@ -1,0 +1,53 @@
+// Figure 3 reproduction: MRBench small-job latency, normal vs cross-domain.
+//
+//   (a) reduce = 1, maps swept 1..6
+//   (b) map = 15,  reduces swept 1..6
+//
+// Paper claims to reproduce: runtime grows with the number of maps and
+// reduces (per-task overheads and coordination dominate small jobs), and
+// the cross-domain placement is consistently worse.
+
+#include <cstdio>
+#include <string>
+
+#include "common.hpp"
+#include "workloads/mrbench.hpp"
+
+using namespace vhadoop;
+using namespace vhadoop::bench;
+
+namespace {
+
+double run_case(core::Placement placement, int maps, int reduces) {
+  core::Platform platform;
+  platform.boot_cluster(paper_cluster(placement));
+  workloads::MrBench mrbench{.num_maps = maps, .num_reduces = reduces};
+  // Paper methodology: three runs averaged.
+  double total = 0.0;
+  for (int r = 0; r < 3; ++r) {
+    const std::string out = std::string("/out/mrb-") + placement_name(placement) + "-" +
+                            std::to_string(maps) + "x" + std::to_string(reduces) + "-" +
+                            std::to_string(r);
+    total += platform.run_job(mrbench.sim_job(out)).elapsed();
+  }
+  return total / 3.0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 3(a): MRBench, reduce=1, map scale 1..6 ==\n");
+  std::printf("%-8s %14s %18s\n", "maps", "normal (s)", "cross-domain (s)");
+  for (int maps = 1; maps <= 6; ++maps) {
+    std::printf("%-8d %14.2f %18.2f\n", maps, run_case(core::Placement::Normal, maps, 1),
+                run_case(core::Placement::CrossDomain, maps, 1));
+  }
+
+  std::printf("\n== Figure 3(b): MRBench, map=15, reduce scale 1..6 ==\n");
+  std::printf("%-8s %14s %18s\n", "reduces", "normal (s)", "cross-domain (s)");
+  for (int reduces = 1; reduces <= 6; ++reduces) {
+    std::printf("%-8d %14.2f %18.2f\n", reduces, run_case(core::Placement::Normal, 15, reduces),
+                run_case(core::Placement::CrossDomain, 15, reduces));
+  }
+  return 0;
+}

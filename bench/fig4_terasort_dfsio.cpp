@@ -1,0 +1,79 @@
+// Figure 4 reproduction.
+//
+//   (a) TeraSort: data-generation time and sort time over an input-size
+//       sweep, normal vs cross-domain. Paper shape: both grow with size;
+//       the sort time bends sharply upward past ~400 MB (merge spills fall
+//       out of memory onto the NFS-backed disks); cross-domain is worse.
+//   (b) TestDFSIO: read and write throughput, normal vs cross-domain.
+//       Paper shape: read throughput beats write throughput; the
+//       cross-domain cluster does not exceed the normal one.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "workloads/dfsio.hpp"
+#include "workloads/terasort.hpp"
+
+using namespace vhadoop;
+using namespace vhadoop::bench;
+
+namespace {
+
+struct TeraTimes {
+  double gen = 0.0;
+  double sort = 0.0;
+};
+
+TeraTimes run_terasort(core::Placement placement, double mb) {
+  core::Platform platform;
+  platform.boot_cluster(paper_cluster(placement));
+  // Hadoop-0.20 default: mapred.reduce.tasks = 1 unless overridden.
+  workloads::TeraSort ts{.total_bytes = mb * sim::kMiB, .num_reduces = 1};
+  TeraTimes t;
+  t.gen = platform.run_job(ts.sim_teragen("/tera/in")).elapsed();
+  t.sort = platform.run_job(ts.sim_terasort("/tera/in", "/tera/out")).elapsed();
+  return t;
+}
+
+struct DfsioResult {
+  double write_mb_s = 0.0;
+  double read_mb_s = 0.0;
+};
+
+DfsioResult run_dfsio(core::Placement placement) {
+  core::Platform platform;
+  platform.boot_cluster(paper_cluster(placement));
+  workloads::TestDfsIo io(platform.runner(), platform.hdfs(), /*nr_files=*/10,
+                          /*file_bytes=*/64 * sim::kMiB);
+  DfsioResult res;
+  io.run_write("/dfsio", [&](const workloads::TestDfsIo::Result& r) {
+    res.write_mb_s = r.throughput_mb_s();
+  });
+  io.run_read("/dfsio", [&](const workloads::TestDfsIo::Result& r) {
+    res.read_mb_s = r.throughput_mb_s();
+  });
+  platform.engine().run();
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 4(a): TeraSort — generation and sort time ==\n");
+  std::printf("%-12s | %12s %12s | %12s %12s\n", "", "normal", "", "cross-domain", "");
+  std::printf("%-12s | %12s %12s | %12s %12s\n", "input (MB)", "gen (s)", "sort (s)",
+              "gen (s)", "sort (s)");
+  for (double mb : {100.0, 200.0, 400.0, 800.0, 1600.0}) {
+    const auto n = run_terasort(core::Placement::Normal, mb);
+    const auto c = run_terasort(core::Placement::CrossDomain, mb);
+    std::printf("%-12.0f | %12.1f %12.1f | %12.1f %12.1f\n", mb, n.gen, n.sort, c.gen, c.sort);
+  }
+
+  std::printf("\n== Figure 4(b): TestDFSIO — aggregate throughput (10 x 64 MB files) ==\n");
+  std::printf("%-14s %14s %14s\n", "placement", "write (MB/s)", "read (MB/s)");
+  const auto n = run_dfsio(core::Placement::Normal);
+  const auto c = run_dfsio(core::Placement::CrossDomain);
+  std::printf("%-14s %14.1f %14.1f\n", "normal", n.write_mb_s, n.read_mb_s);
+  std::printf("%-14s %14.1f %14.1f\n", "cross-domain", c.write_mb_s, c.read_mb_s);
+  return 0;
+}

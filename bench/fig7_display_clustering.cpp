@@ -1,0 +1,63 @@
+// Figure 7 reproduction: visualizing-sample clustering — all six algorithms
+// on the DisplayClustering dataset (1000 samples from three symmetric
+// bivariate normals), hadoop virtual cluster scaled 2 -> 16 nodes.
+//
+// Paper claim to reproduce: unlike Fig. 6, these runs are light (tiny 2-D
+// sample file, few map tasks) so the running time stays relatively smooth
+// as the cluster grows — the job never pressures the network.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "ml/canopy.hpp"
+#include "ml/dirichlet.hpp"
+#include "ml/fuzzy_kmeans.hpp"
+#include "ml/kmeans.hpp"
+#include "ml/meanshift.hpp"
+#include "ml/minhash.hpp"
+
+using namespace vhadoop;
+using namespace vhadoop::bench;
+
+namespace {
+
+double replay(int workers, const ml::ClusteringRun& run, double bytes) {
+  core::Platform platform;
+  core::ClusterSpec spec;
+  spec.num_workers = workers;
+  platform.boot_cluster(spec);
+  return platform.run_clustering(run, bytes, "/in/display");
+}
+
+}  // namespace
+
+int main() {
+  const auto data = ml::display_clustering_samples(1000);
+  const double bytes = mapreduce::serialized_bytes(ml::to_records(data));
+
+  // The display sample file is tiny: Mahout leaves it at two map tasks
+  // regardless of cluster size.
+  ml::ClusteringConfig base{.num_splits = 2, .num_reduces = 1, .max_iterations = 5};
+  const auto canopy = ml::canopy_cluster(data, {.t1 = 3.0, .t2 = 1.5, .base = base});
+  const auto kmeans = ml::kmeans_cluster(data, {.k = 3, .base = base});
+  const auto fuzzy = ml::fuzzy_kmeans_cluster(data, {.k = 3, .m = 2.0, .base = base});
+  const auto meanshift = ml::meanshift_cluster(data, {.t1 = 2.0, .t2 = 0.8, .base = base});
+  const auto dirichlet = ml::dirichlet_cluster(data, {.k = 10, .alpha = 1.0, .base = base});
+  const auto minhash = ml::minhash_cluster(
+      data, {.num_hash_functions = 8, .keygroups = 2, .min_cluster_size = 5,
+             .bucket_width = 2.0, .base = base});
+
+  std::printf("== Figure 7: visualizing sample clustering (1000 samples, 3 Gaussians) ==\n");
+  std::printf("%-12s %8s %8s %8s %10s %10s %8s\n", "cluster size", "canopy", "kmeans",
+              "fuzzyk", "meanshift", "dirichlet", "minhash");
+  for (int nodes : {2, 4, 8, 16}) {
+    const int workers = nodes - 1;
+    std::printf("%-12d %8.1f %8.1f %8.1f %10.1f %10.1f %8.1f\n", nodes,
+                replay(workers, canopy, bytes), replay(workers, kmeans, bytes),
+                replay(workers, fuzzy, bytes), replay(workers, meanshift, bytes),
+                replay(workers, static_cast<const ml::ClusteringRun&>(dirichlet), bytes),
+                replay(workers, static_cast<const ml::ClusteringRun&>(minhash), bytes));
+  }
+  std::printf("\n(times are per full driver run: all iterations of each algorithm)\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Microbenchmarks (google-benchmark) for the platform's hot kernels: the
+// discrete-event queue, the fluid max-min solver, the logical MapReduce
+// runtime, and the clustering arithmetic.
+
+#include <benchmark/benchmark.h>
+
+#include "mapreduce/local_runner.hpp"
+#include "ml/kmeans.hpp"
+#include "sim/engine.hpp"
+#include "sim/fluid.hpp"
+#include "workloads/text_corpus.hpp"
+#include "workloads/wordcount.hpp"
+
+using namespace vhadoop;
+
+namespace {
+
+void BM_EngineScheduleFire(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int i = 0; i < 1000; ++i) {
+      engine.schedule_at(static_cast<double>(i % 97), [] {});
+    }
+    engine.run();
+    benchmark::DoNotOptimize(engine.processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineScheduleFire);
+
+void BM_FluidRecompute(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    sim::FluidModel model(engine);
+    std::vector<sim::FluidModel::ResourceId> res;
+    for (int r = 0; r < 8; ++r) res.push_back(model.add_resource("r", 100.0));
+    for (int a = 0; a < n; ++a) {
+      model.start({.work = 1000.0,
+                   .weight = 1.0 + (a % 3),
+                   .resources = {res[static_cast<std::size_t>(a % 8)],
+                                 res[static_cast<std::size_t>((a + 3) % 8)]}});
+    }
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FluidRecompute)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_WordcountLogical(benchmark::State& state) {
+  workloads::TextCorpus corpus(5000);
+  const auto lines = corpus.generate(1024.0 * state.range(0));
+  mapreduce::LocalJobRunner runner(4);
+  for (auto _ : state) {
+    auto result = runner.run(workloads::wordcount_job(2, true), lines, 4);
+    benchmark::DoNotOptimize(result.output.size());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 1024);
+}
+BENCHMARK(BM_WordcountLogical)->Arg(64)->Arg(512);
+
+void BM_KMeansIteration(benchmark::State& state) {
+  auto data = ml::display_clustering_samples(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto run = ml::kmeans_cluster(data, {.k = 3, .base = {.num_splits = 4,
+                                                          .max_iterations = 1,
+                                                          .threads = 4}});
+    benchmark::DoNotOptimize(run.centers.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KMeansIteration)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Table II reproduction: overall migration time and downtime of the whole
+// 16-node hadoop virtual cluster for the four configurations
+// idle/wordcount x 512/1024 MB.
+//
+// Paper claims to reproduce: time(1024) > time(512); the Wordcount cluster
+// migrates a few times slower than idle, and its overall downtime is an
+// order of magnitude (the paper reports ~13x) larger.
+
+#include <cstdio>
+#include <string>
+
+#include "common.hpp"
+#include "sim/rng.hpp"
+
+using namespace vhadoop;
+using namespace vhadoop::bench;
+
+namespace {
+
+mapreduce::SimJobSpec background_wordcount() {
+  mapreduce::SimJobSpec job;
+  job.name = "wordcount-bg";
+  job.output_path = "/out/wc-bg";
+  for (int m = 0; m < 150; ++m) {
+    job.maps.push_back({.input_bytes = 48 * sim::kMiB, .cpu_seconds = 3.0,
+                        .output_bytes = 64 * sim::kMiB});
+  }
+  for (int r = 0; r < 4; ++r) {
+    job.reduces.push_back({.cpu_seconds = 2.0, .output_bytes = 16 * sim::kMiB});
+  }
+  return job;
+}
+
+virt::ClusterMigrationResult run_case(double memory_mb, bool wordcount) {
+  core::Platform platform;
+  core::ClusterSpec spec = paper_cluster(core::Placement::Normal);
+  spec.vm.memory_mb = memory_mb;
+  platform.boot_cluster(spec);
+  if (wordcount) {
+    platform.runner().submit(background_wordcount(), nullptr);
+    platform.engine().run_until(platform.engine().now() + 40.0);
+  }
+  sim::Rng rng(2012);
+  auto dirty_of = [&](virt::VmId vm) {
+    if (!wordcount || platform.runner().running_tasks(vm) == 0) {
+      return virt::DirtyModel::idle();
+    }
+    auto d = virt::DirtyModel::wordcount();
+    const double jitter = rng.uniform(0.4, 2.2);
+    d.rate *= jitter;
+    d.wws_bytes *= jitter;
+    return d;
+  };
+  return platform.migrate_cluster(platform.hosts()[1], dirty_of);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Table II: overall migration time and downtime, 16-node cluster ==\n");
+  std::printf("%-22s %24s %22s\n", "", "Overall Migration Time(s)", "Overall Downtime (ms)");
+  struct Row {
+    const char* name;
+    double mem;
+    bool wc;
+  };
+  const Row rows[] = {{"idle.1024MB", 1024, false},
+                      {"idle.512MB", 512, false},
+                      {"wordcount.1024MB", 1024, true},
+                      {"wordcount.512MB", 512, true}};
+  double idle_1024_time = 0.0, idle_1024_down = 0.0;
+  for (const Row& row : rows) {
+    const auto r = run_case(row.mem, row.wc);
+    std::printf("%-22s %24.1f %22.0f\n", row.name, r.overall_migration_time,
+                r.overall_downtime * 1000);
+    if (std::string(row.name) == "idle.1024MB") {
+      idle_1024_time = r.overall_migration_time;
+      idle_1024_down = r.overall_downtime;
+    }
+    if (std::string(row.name) == "wordcount.1024MB") {
+      std::printf("  -> vs idle.1024MB: migration %.1fx, downtime %.1fx\n",
+                  r.overall_migration_time / idle_1024_time,
+                  r.overall_downtime / idle_1024_down);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+// vhadoop_cli — command-line scenario driver, the `hadoop jar`-style entry
+// point for quick experiments against the simulated testbed.
+//
+//   vhadoop_cli <workload> [--cross] [--workers N] [--mb SIZE]
+//
+// workloads: wordcount | terasort | dfsio | mrbench | pi
+//
+// Examples:
+//   vhadoop_cli terasort --mb 800 --cross
+//   vhadoop_cli wordcount --workers 7 --mb 64
+//   vhadoop_cli pi
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/platform.hpp"
+#include "mapreduce/local_runner.hpp"
+#include "workloads/dfsio.hpp"
+#include "workloads/mrbench.hpp"
+#include "workloads/pi_estimator.hpp"
+#include "workloads/terasort.hpp"
+#include "workloads/text_corpus.hpp"
+#include "workloads/wordcount.hpp"
+
+using namespace vhadoop;
+
+namespace {
+
+struct Options {
+  std::string workload;
+  bool cross = false;
+  int workers = 15;
+  double mb = 128.0;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: vhadoop_cli <wordcount|terasort|dfsio|mrbench|pi> "
+               "[--cross] [--workers N] [--mb SIZE]\n");
+  return 2;
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  if (argc < 2) return opt;
+  opt.workload = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cross") == 0) {
+      opt.cross = true;
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      opt.workers = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--mb") == 0 && i + 1 < argc) {
+      opt.mb = std::atof(argv[++i]);
+    }
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  if (opt.workload.empty()) return usage();
+
+  core::Platform platform;
+  core::ClusterSpec spec;
+  spec.num_workers = opt.workers;
+  spec.placement = opt.cross ? core::Placement::CrossDomain : core::Placement::Normal;
+  platform.boot_cluster(spec);
+  std::printf("cluster: %d workers, %s placement (boot %.0f s simulated)\n", opt.workers,
+              opt.cross ? "cross-domain" : "normal", platform.engine().now());
+
+  if (opt.workload == "wordcount") {
+    workloads::TextCorpus corpus(20000);
+    auto lines = corpus.generate(opt.mb * sim::kMiB);
+    mapreduce::LocalJobRunner local;
+    const int splits = std::max(1, static_cast<int>(opt.mb / 16.0));
+    auto measured = local.run(workloads::wordcount_job(4), lines, splits);
+    platform.upload("/in/corpus", mapreduce::serialized_bytes(lines));
+    auto t = platform.run_measured("wordcount", measured, "/in/corpus", "/out/wc");
+    std::printf("wordcount %.0f MB: %.1f s (%d/%zu data-local maps, %zu distinct words)\n",
+                opt.mb, t.elapsed(), t.data_local_maps(), t.maps.size(),
+                measured.output.size());
+  } else if (opt.workload == "terasort") {
+    workloads::TeraSort ts{.total_bytes = opt.mb * sim::kMiB, .num_reduces = 1};
+    const double gen = platform.run_job(ts.sim_teragen("/t/in")).elapsed();
+    const double sort = platform.run_job(ts.sim_terasort("/t/in", "/t/out")).elapsed();
+    const double val = platform.run_job(ts.sim_teravalidate("/t/out")).elapsed();
+    std::printf("terasort %.0f MB: gen %.1f s, sort %.1f s, validate %.1f s\n", opt.mb, gen,
+                sort, val);
+  } else if (opt.workload == "dfsio") {
+    workloads::TestDfsIo io(platform.runner(), platform.hdfs(), 10,
+                            opt.mb / 10.0 * sim::kMiB);
+    workloads::TestDfsIo::Result wr, rd;
+    io.run_write("/dfsio", [&](const workloads::TestDfsIo::Result& r) { wr = r; });
+    io.run_read("/dfsio", [&](const workloads::TestDfsIo::Result& r) { rd = r; });
+    platform.engine().run();
+    std::printf("dfsio 10 x %.0f MB: write %.1f MB/s, read %.1f MB/s\n", opt.mb / 10.0,
+                wr.throughput_mb_s(), rd.throughput_mb_s());
+  } else if (opt.workload == "mrbench") {
+    for (int maps = 1; maps <= 6; ++maps) {
+      workloads::MrBench bench{.num_maps = maps, .num_reduces = 1};
+      auto t = platform.run_job(bench.sim_job("/out/mrb-" + std::to_string(maps)));
+      std::printf("mrbench maps=%d: %.2f s\n", maps, t.elapsed());
+    }
+  } else if (opt.workload == "pi") {
+    workloads::PiEstimator pi{.num_maps = opt.workers, .samples_per_map = 500000};
+    auto real = pi.run();
+    auto t = platform.run_job(pi.sim_job("/out/pi"));
+    std::printf("pi: estimate %.5f (%lld samples), cluster time %.1f s\n", real.pi,
+                static_cast<long long>(real.total), t.elapsed());
+  } else {
+    return usage();
+  }
+  return 0;
+}

@@ -1,0 +1,180 @@
+#include "core/platform.hpp"
+
+#include <stdexcept>
+
+namespace vhadoop::core {
+
+Platform::Platform(TestbedConfig config) : config_(config) {
+  model_ = std::make_unique<sim::FluidModel>(engine_);
+  fabric_ = std::make_unique<net::Fabric>(engine_, *model_, config_.net);
+  cloud_ = std::make_unique<virt::Cloud>(engine_, *model_, *fabric_, config_.virt);
+  for (int h = 0; h < config_.num_hosts; ++h) {
+    hosts_.push_back(cloud_->add_host("host" + std::string(1, static_cast<char>('A' + h))));
+  }
+}
+
+void Platform::boot_cluster(const ClusterSpec& spec) {
+  if (runner_) throw std::runtime_error("Platform: cluster already booted");
+  if (spec.num_workers < 1) throw std::invalid_argument("Platform: need >= 1 worker");
+  spec_ = spec;
+
+  const int total = spec.num_workers + 1;
+  auto place = [&](int idx) -> virt::HostId {
+    if (spec.placement == Placement::Normal || hosts_.size() < 2) return hosts_[0];
+    return idx < (total + 1) / 2 ? hosts_[0] : hosts_[1];
+  };
+
+  int pending = total;
+  auto on_ready = [&pending] { --pending; };
+  namenode_ = cloud_->create_vm("namenode", place(0), spec.vm);
+  cloud_->boot_vm(namenode_, on_ready);
+  for (int i = 0; i < spec.num_workers; ++i) {
+    virt::VmId vm = cloud_->create_vm("worker" + std::to_string(i), place(i + 1), spec.vm);
+    cloud_->boot_vm(vm, on_ready);
+    workers_.push_back(vm);
+  }
+  engine_.run();
+  if (pending != 0) throw std::runtime_error("Platform: cluster failed to boot");
+
+  hdfs_ = std::make_unique<hdfs::HdfsCluster>(*cloud_, spec.hdfs, namenode_, workers_,
+                                              sim::Rng(spec.seed));
+  runner_ = std::make_unique<mapreduce::SimulatedJobRunner>(*cloud_, *hdfs_, spec.hadoop,
+                                                            workers_);
+}
+
+std::vector<virt::VmId> Platform::all_vms() const {
+  std::vector<virt::VmId> vms;
+  vms.push_back(namenode_);
+  vms.insert(vms.end(), workers_.begin(), workers_.end());
+  return vms;
+}
+
+std::vector<virt::VmId> Platform::add_workers(int n, virt::HostId host) {
+  if (!runner_) throw std::runtime_error("Platform: boot a cluster first");
+  std::vector<virt::VmId> fresh;
+  int pending = n;
+  for (int i = 0; i < n; ++i) {
+    virt::VmId vm = cloud_->create_vm("worker" + std::to_string(workers_.size() + fresh.size()),
+                                      host, spec_.vm);
+    cloud_->boot_vm(vm, [&pending] { --pending; });
+    fresh.push_back(vm);
+  }
+  // Booting shares the NFS path with any running workload; jobs keep
+  // making progress while the new guests come up.
+  while (pending > 0 && engine_.run_until(engine_.now() + 1.0)) {
+  }
+  if (pending > 0) engine_.run();
+  for (virt::VmId vm : fresh) {
+    workers_.push_back(vm);
+    hdfs_->add_datanode(vm);
+    runner_->add_tracker(vm);
+  }
+  return fresh;
+}
+
+void Platform::upload(const std::string& path, double bytes) {
+  if (!hdfs_) throw std::runtime_error("Platform: boot a cluster first");
+  bool done = false;
+  hdfs_->write_file(path, bytes, namenode_, [&done] { done = true; });
+  engine_.run();
+  if (!done) throw std::runtime_error("Platform: upload did not complete");
+}
+
+mapreduce::JobTimeline Platform::run_job(mapreduce::SimJobSpec spec) {
+  if (!runner_) throw std::runtime_error("Platform: boot a cluster first");
+  mapreduce::JobTimeline timeline;
+  bool done = false;
+  runner_->submit(std::move(spec), [&](const mapreduce::JobTimeline& t) {
+    timeline = t;
+    done = true;
+  });
+  engine_.run();
+  if (!done) throw std::runtime_error("Platform: job did not complete");
+  return timeline;
+}
+
+mapreduce::JobTimeline Platform::run_measured(const std::string& name,
+                                              const mapreduce::JobResult& measured,
+                                              const std::string& input_path,
+                                              const std::string& output_path) {
+  if (!hdfs_->exists(input_path)) {
+    throw std::runtime_error("Platform: missing HDFS input " + input_path);
+  }
+  auto spec = mapreduce::to_sim_job(name, measured, input_path, output_path);
+  // Logical split counts need not match the file's physical block count;
+  // fold the indices so scheduling/locality still resolves.
+  const int blocks = static_cast<int>(hdfs_->blocks(input_path).size());
+  for (auto& mt : spec.maps) mt.block_index %= blocks;
+  return run_job(std::move(spec));
+}
+
+double Platform::run_clustering(const ml::ClusteringRun& run, double dataset_bytes,
+                                const std::string& input_path) {
+  if (!hdfs_) throw std::runtime_error("Platform: boot a cluster first");
+  if (!hdfs_->exists(input_path)) upload(input_path, dataset_bytes);
+  const double start = engine_.now();
+  for (std::size_t iter = 0; iter < run.jobs.size(); ++iter) {
+    const std::string out =
+        "/out/" + run.algorithm + "-" + std::to_string(job_counter_++) + "-it" +
+        std::to_string(iter);
+    run_measured(run.algorithm + "-it" + std::to_string(iter), run.jobs[iter], input_path, out);
+  }
+  return engine_.now() - start;
+}
+
+monitor::NmonMonitor& Platform::attach_monitor(double interval_seconds) {
+  if (!runner_) throw std::runtime_error("Platform: boot a cluster first");
+  monitor_ = std::make_unique<monitor::NmonMonitor>(*cloud_, *fabric_, all_vms(),
+                                                    interval_seconds);
+  monitor_->start();
+  return *monitor_;
+}
+
+std::vector<tuner::Recommendation> Platform::tune(const tuner::TunerPolicy& policy) const {
+  if (!monitor_) throw std::runtime_error("Platform: attach a monitor first");
+  const auto report = monitor::TraceAnalyser::analyse(*monitor_);
+  return tuner::MapReduceTuner(policy).analyse(report);
+}
+
+bool Platform::apply_recommendation(const tuner::Recommendation& rec) {
+  if (!monitor_) throw std::runtime_error("Platform: attach a monitor first");
+  switch (rec.kind) {
+    case tuner::Recommendation::Kind::MigrateVm: {
+      const auto& vms = monitor_->vms();
+      if (rec.vm_index >= vms.size() || rec.target_host >= hosts_.size()) return false;
+      const virt::VmId vm = vms[rec.vm_index];
+      if (cloud_->host_of(vm) == hosts_[rec.target_host]) return false;
+      bool done = false;
+      cloud_->migrate(vm, hosts_[rec.target_host], virt::DirtyModel::wordcount(),
+                      [&done](const virt::MigrationResult&) { done = true; });
+      engine_.run();
+      return done;
+    }
+    case tuner::Recommendation::Kind::RebalanceNetwork: {
+      const auto report = monitor::TraceAnalyser::analyse(*monitor_);
+      const virt::VmId vm = monitor_->vms()[report.busiest_vm];
+      if (!cloud_->alive(vm)) return false;
+      cloud_->set_vcpu_cap(vm, 0.5);
+      return true;
+    }
+    default:
+      return false;  // parameter recommendations apply to the next cluster
+  }
+}
+
+virt::ClusterMigrationResult Platform::migrate_cluster(
+    virt::HostId dst, std::function<virt::DirtyModel(virt::VmId)> dirty, int concurrency) {
+  if (!runner_) throw std::runtime_error("Platform: boot a cluster first");
+  virt::ClusterMigration bench(*cloud_, concurrency);
+  virt::ClusterMigrationResult result;
+  bool done = false;
+  bench.run(all_vms(), dst, std::move(dirty), [&](const virt::ClusterMigrationResult& r) {
+    result = r;
+    done = true;
+  });
+  engine_.run();
+  if (!done) throw std::runtime_error("Platform: migration did not complete");
+  return result;
+}
+
+}  // namespace vhadoop::core

@@ -1,0 +1,289 @@
+#include "hdfs/hdfs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/latch.hpp"
+
+namespace vhadoop::hdfs {
+
+HdfsCluster::HdfsCluster(virt::Cloud& cloud, HdfsConfig config, virt::VmId namenode,
+                         std::vector<virt::VmId> datanodes, sim::Rng rng)
+    : cloud_(cloud),
+      config_(config),
+      namenode_(namenode),
+      datanodes_(std::move(datanodes)),
+      rng_(rng) {
+  if (datanodes_.empty()) throw std::invalid_argument("HdfsCluster: no datanodes");
+  if (config_.replication < 1) throw std::invalid_argument("HdfsCluster: replication < 1");
+  if (config_.block_size <= 0) throw std::invalid_argument("HdfsCluster: block size <= 0");
+  cloud_.on_crash([this](virt::VmId vm) { handle_datanode_failure(vm); });
+}
+
+int HdfsCluster::effective_replication() const {
+  return static_cast<int>(std::min<std::size_t>(config_.replication, datanodes_.size()));
+}
+
+int HdfsCluster::effective_replication_live() const {
+  std::size_t live = 0;
+  for (virt::VmId dn : datanodes_) live += cloud_.alive(dn);
+  return static_cast<int>(std::min<std::size_t>(config_.replication, live));
+}
+
+double HdfsCluster::file_size(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) throw std::runtime_error("HDFS: no such file " + path);
+  return it->second.size;
+}
+
+const std::vector<HdfsCluster::BlockInfo>& HdfsCluster::blocks(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) throw std::runtime_error("HDFS: no such file " + path);
+  return it->second.blocks;
+}
+
+void HdfsCluster::remove(const std::string& path) { files_.erase(path); }
+
+std::vector<virt::VmId> HdfsCluster::choose_pipeline(virt::VmId writer, int replication) {
+  // Hadoop default placement, rack-unaware: first replica on the writer if
+  // it is a (live) datanode, the rest on distinct random live datanodes.
+  std::vector<virt::VmId> pipeline;
+  const int r = static_cast<int>(std::min<std::size_t>(
+      replication > 0 ? replication : config_.replication, datanodes_.size()));
+  const bool writer_is_dn =
+      cloud_.alive(writer) &&
+      std::find(datanodes_.begin(), datanodes_.end(), writer) != datanodes_.end();
+  if (writer_is_dn) pipeline.push_back(writer);
+  std::vector<virt::VmId> pool;
+  for (virt::VmId dn : datanodes_) {
+    if (!cloud_.alive(dn)) continue;
+    if (!(writer_is_dn && dn == writer)) pool.push_back(dn);
+  }
+  rng_.shuffle(pool);
+  for (virt::VmId dn : pool) {
+    if (static_cast<int>(pipeline.size()) >= r) break;
+    pipeline.push_back(dn);
+  }
+  return pipeline;
+}
+
+void HdfsCluster::write_file(const std::string& path, double bytes, virt::VmId client,
+                             std::function<void()> on_complete, int replication_override) {
+  if (bytes < 0) throw std::invalid_argument("HDFS write: negative size");
+  if (files_.contains(path)) throw std::runtime_error("HDFS: file exists: " + path);
+  FileMeta meta;
+  meta.size = bytes;
+  const int n_blocks = std::max(1, static_cast<int>(std::ceil(bytes / config_.block_size)));
+  double left = bytes;
+  for (int i = 0; i < n_blocks; ++i) {
+    BlockInfo b;
+    b.index = i;
+    b.bytes = std::min(left, config_.block_size);
+    b.replicas = choose_pipeline(client, replication_override);
+    left -= b.bytes;
+    meta.blocks.push_back(std::move(b));
+  }
+  files_.emplace(path, std::move(meta));
+  bytes_written_ += bytes;
+  write_block(path, 0, client, std::move(on_complete));
+}
+
+void HdfsCluster::write_block(const std::string& path, std::size_t index, virt::VmId client,
+                              std::function<void()> on_complete) {
+  const FileMeta& meta = files_.at(path);
+  if (index >= meta.blocks.size()) {
+    if (on_complete) on_complete();
+    return;
+  }
+  const BlockInfo& block = meta.blocks[index];
+  auto next = [this, path, index, client, on_complete = std::move(on_complete)]() mutable {
+    write_block(path, index + 1, client, std::move(on_complete));
+  };
+  // The pipeline streams: client -> r0 -> r1 -> r2 while each replica spools
+  // to its (NFS-backed) disk. Stages overlap, so we model them as concurrent
+  // activities joined by a latch — bandwidth-exact, latency-approximate.
+  const std::size_t hops = block.replicas.size();  // client->r0 plus forwards
+  auto latch = sim::Latch::create(2 * hops, std::move(next));
+  const std::string key = path + "#" + std::to_string(block.index);
+  virt::VmId prev = client;
+  for (virt::VmId replica : block.replicas) {
+    cloud_.vm_transfer(prev, replica, block.bytes, [latch] { latch->arrive(); });
+    cloud_.disk_write(replica, block.bytes, [latch] { latch->arrive(); }, 1.0, key);
+    prev = replica;
+  }
+}
+
+virt::VmId HdfsCluster::preferred_replica(const BlockInfo& block, virt::VmId reader) const {
+  // Same VM beats same host beats anything else; dead replicas are never
+  // chosen. First match wins so the choice is deterministic.
+  for (virt::VmId r : block.replicas) {
+    if (r == reader && cloud_.alive(r)) return r;
+  }
+  for (virt::VmId r : block.replicas) {
+    if (cloud_.alive(r) && cloud_.host_of(r) == cloud_.host_of(reader)) return r;
+  }
+  for (virt::VmId r : block.replicas) {
+    if (cloud_.alive(r)) return r;
+  }
+  throw std::runtime_error("HDFS: all replicas of a block are dead (data loss)");
+}
+
+bool HdfsCluster::is_local(const BlockInfo& block, virt::VmId reader) const {
+  return std::find(block.replicas.begin(), block.replicas.end(), reader) != block.replicas.end();
+}
+
+void HdfsCluster::read_block(const std::string& path, int block_index, virt::VmId client,
+                             std::function<void()> on_complete) {
+  const FileMeta& meta = files_.at(path);
+  const BlockInfo& block = meta.blocks.at(static_cast<std::size_t>(block_index));
+  bytes_read_ += block.bytes;
+  const virt::VmId replica = preferred_replica(block, client);
+  // Data path: replica's disk read (page cache or NFS), streamed to the
+  // client over the fabric (loopback when the replica *is* the client).
+  // Concurrent stages joined by a latch, as with writes.
+  const std::string key = path + "#" + std::to_string(block.index);
+  auto latch = sim::Latch::create(2, std::move(on_complete));
+  cloud_.disk_read(replica, block.bytes, [latch] { latch->arrive(); }, 1.0, key);
+  cloud_.vm_transfer(replica, client, block.bytes, [latch] { latch->arrive(); });
+}
+
+void HdfsCluster::handle_datanode_failure(virt::VmId dead) {
+  if (std::find(datanodes_.begin(), datanodes_.end(), dead) == datanodes_.end()) return;
+  const int target = effective_replication_live();
+  for (auto& [path, meta] : files_) {
+    for (BlockInfo& block : meta.blocks) {
+      auto it = std::find(block.replicas.begin(), block.replicas.end(), dead);
+      if (it == block.replicas.end()) continue;
+      block.replicas.erase(it);
+      if (block.replicas.empty()) continue;  // lost — reads will throw
+      if (static_cast<int>(block.replicas.size()) >= target) continue;
+
+      // Re-replicate from the first live copy to a fresh live datanode.
+      const virt::VmId source = block.replicas.front();
+      std::vector<virt::VmId> pool;
+      for (virt::VmId dn : datanodes_) {
+        if (cloud_.alive(dn) &&
+            std::find(block.replicas.begin(), block.replicas.end(), dn) ==
+                block.replicas.end()) {
+          pool.push_back(dn);
+        }
+      }
+      if (pool.empty()) continue;
+      const virt::VmId fresh = pool[rng_.uniform_int(pool.size())];
+      const std::string key = path + "#" + std::to_string(block.index);
+      const double bytes = block.bytes;
+      // Copy traffic: read at the source (likely cold), stream, land on
+      // the new node's NFS-backed disk. The replica becomes visible once
+      // the copy completes.
+      auto done = [this, path, index = block.index, fresh] {
+        auto fit = files_.find(path);
+        if (fit == files_.end()) return;  // file removed meanwhile
+        BlockInfo& b = fit->second.blocks[static_cast<std::size_t>(index)];
+        b.replicas.push_back(fresh);
+      };
+      auto latch = sim::Latch::create(3, std::move(done));
+      cloud_.disk_read(source, bytes, [latch] { latch->arrive(); }, 1.0, key);
+      cloud_.vm_transfer(source, fresh, bytes, [latch] { latch->arrive(); });
+      cloud_.disk_write(fresh, bytes, [latch] { latch->arrive(); }, 1.0, key);
+    }
+  }
+}
+
+void HdfsCluster::decommission_datanode(virt::VmId vm, std::function<void()> on_complete) {
+  auto pos = std::find(datanodes_.begin(), datanodes_.end(), vm);
+  if (pos == datanodes_.end()) throw std::invalid_argument("decommission: not a datanode");
+
+  // Copy every replica the leaver holds to a node that lacks one.
+  struct Copy {
+    std::string path;
+    int index;
+    virt::VmId target;
+    double bytes;
+  };
+  std::vector<Copy> copies;
+  for (auto& [path, meta] : files_) {
+    for (BlockInfo& block : meta.blocks) {
+      if (std::find(block.replicas.begin(), block.replicas.end(), vm) == block.replicas.end()) {
+        continue;
+      }
+      std::vector<virt::VmId> pool;
+      for (virt::VmId dn : datanodes_) {
+        if (dn != vm && cloud_.alive(dn) &&
+            std::find(block.replicas.begin(), block.replicas.end(), dn) ==
+                block.replicas.end()) {
+          pool.push_back(dn);
+        }
+      }
+      if (!pool.empty()) {
+        copies.push_back({path, block.index, pool[rng_.uniform_int(pool.size())], block.bytes});
+      }
+    }
+  }
+
+  auto finalize = [this, vm, on_complete = std::move(on_complete)]() mutable {
+    // Drop the leaver from every replica list and the datanode set.
+    for (auto& [path, meta] : files_) {
+      for (BlockInfo& block : meta.blocks) {
+        block.replicas.erase(std::remove(block.replicas.begin(), block.replicas.end(), vm),
+                             block.replicas.end());
+      }
+    }
+    datanodes_.erase(std::remove(datanodes_.begin(), datanodes_.end(), vm), datanodes_.end());
+    if (on_complete) on_complete();
+  };
+
+  auto latch = sim::Latch::create_or_fire(copies.size(), std::move(finalize));
+  for (const Copy& c : copies) {
+    const std::string key = c.path + "#" + std::to_string(c.index);
+    auto done = [this, c, key, latch] {
+      auto it = files_.find(c.path);
+      if (it != files_.end()) {
+        it->second.blocks[static_cast<std::size_t>(c.index)].replicas.push_back(c.target);
+      }
+      latch->arrive();
+    };
+    auto pair = sim::Latch::create(3, std::move(done));
+    cloud_.disk_read(vm, c.bytes, [pair] { pair->arrive(); }, 1.0, key);
+    cloud_.vm_transfer(vm, c.target, c.bytes, [pair] { pair->arrive(); });
+    cloud_.disk_write(c.target, c.bytes, [pair] { pair->arrive(); }, 1.0, key);
+  }
+}
+
+void HdfsCluster::add_datanode(virt::VmId vm) {
+  if (std::find(datanodes_.begin(), datanodes_.end(), vm) != datanodes_.end()) return;
+  datanodes_.push_back(vm);
+}
+
+int HdfsCluster::under_replicated_blocks() const {
+  const int target = effective_replication_live();
+  int n = 0;
+  for (const auto& [path, meta] : files_) {
+    for (const BlockInfo& block : meta.blocks) {
+      int live = 0;
+      for (virt::VmId r : block.replicas) live += cloud_.alive(r);
+      if (live < target) ++n;
+    }
+  }
+  return n;
+}
+
+void HdfsCluster::read_file(const std::string& path, virt::VmId client,
+                            std::function<void()> on_complete) {
+  read_block_seq(path, 0, client, std::move(on_complete));
+}
+
+void HdfsCluster::read_block_seq(const std::string& path, std::size_t index, virt::VmId client,
+                                 std::function<void()> on_complete) {
+  const FileMeta& meta = files_.at(path);
+  if (index >= meta.blocks.size()) {
+    if (on_complete) on_complete();
+    return;
+  }
+  read_block(path, static_cast<int>(index), client,
+             [this, path, index, client, on_complete = std::move(on_complete)]() mutable {
+               read_block_seq(path, index + 1, client, std::move(on_complete));
+             });
+}
+
+}  // namespace vhadoop::hdfs

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "virt/cloud.hpp"
+
+namespace vhadoop::hdfs {
+
+/// The Hadoop-Module parameters the paper lists (Sec. II-B).
+struct HdfsConfig {
+  /// dfs.replication — effective replication is capped by #datanodes.
+  int replication = 3;
+  /// dfs.block.size in bytes.
+  double block_size = 64 * sim::kMiB;
+};
+
+/// Simulated HDFS deployed over a hadoop virtual cluster: one namenode VM
+/// and N datanode VMs. Files carry sizes, not content — the real bytes of
+/// a job live in the logical MapReduce executor; HDFS models the *traffic*:
+/// pipeline replication on write, locality-preferring replica choice on
+/// read, and the NFS-backed virtual disks underneath every datanode.
+class HdfsCluster {
+ public:
+  struct BlockInfo {
+    int index = 0;
+    double bytes = 0.0;
+    std::vector<virt::VmId> replicas;  // replicas[0] is the primary
+  };
+
+  /// Registers a crash listener with the cloud: when a datanode dies, its
+  /// replicas are dropped and re-replication traffic restores the target
+  /// factor from the surviving copies (Hadoop's namenode behaviour).
+  HdfsCluster(virt::Cloud& cloud, HdfsConfig config, virt::VmId namenode,
+              std::vector<virt::VmId> datanodes, sim::Rng rng);
+
+  // --- namespace ----------------------------------------------------------
+  bool exists(const std::string& path) const { return files_.contains(path); }
+  double file_size(const std::string& path) const;
+  const std::vector<BlockInfo>& blocks(const std::string& path) const;
+  void remove(const std::string& path);
+
+  // --- data path ----------------------------------------------------------
+  /// Stream `bytes` from `client` into `path`: block by block, each block
+  /// through a replication pipeline (local-first placement, Hadoop's
+  /// default policy), every replica landing on its NFS-backed disk.
+  /// `replication_override` > 0 replaces dfs.replication for this file
+  /// (TeraSort commits its output at replication 1).
+  void write_file(const std::string& path, double bytes, virt::VmId client,
+                  std::function<void()> on_complete, int replication_override = 0);
+
+  /// Stream the whole file to `client`, choosing for each block the closest
+  /// replica (same VM > same host > remote).
+  void read_file(const std::string& path, virt::VmId client, std::function<void()> on_complete);
+
+  /// Read a single block (MapReduce input splits are block-aligned).
+  void read_block(const std::string& path, int block_index, virt::VmId client,
+                  std::function<void()> on_complete);
+
+  /// Replica the scheduler would prefer for this block from `reader` —
+  /// used for data-locality-aware task placement.
+  virt::VmId preferred_replica(const BlockInfo& block, virt::VmId reader) const;
+  bool is_local(const BlockInfo& block, virt::VmId reader) const;
+
+  /// Drop a dead datanode's replicas and start re-replication for every
+  /// under-replicated block that still has a live copy. Called from the
+  /// cloud's crash notification; exposed for tests.
+  void handle_datanode_failure(virt::VmId dead);
+
+  /// Register a freshly booted VM as an additional datanode (cluster
+  /// scale-out). New blocks may be placed on it immediately.
+  void add_datanode(virt::VmId vm);
+
+  /// Gracefully decommission a datanode: every replica it holds is copied
+  /// to another live node first (real traffic), then the node leaves the
+  /// datanode set. `on_complete` fires when the last copy lands — unlike a
+  /// crash, no block is ever under-replicated afterwards.
+  void decommission_datanode(virt::VmId vm, std::function<void()> on_complete);
+
+  /// Blocks currently below the effective replication target.
+  int under_replicated_blocks() const;
+
+  // --- introspection ------------------------------------------------------
+  const std::vector<virt::VmId>& datanodes() const { return datanodes_; }
+  virt::VmId namenode() const { return namenode_; }
+  int effective_replication() const;
+  /// Replication target achievable with the currently live datanodes.
+  int effective_replication_live() const;
+  double bytes_written() const { return bytes_written_; }
+  double bytes_read() const { return bytes_read_; }
+
+ private:
+  struct FileMeta {
+    double size = 0.0;
+    std::vector<BlockInfo> blocks;
+  };
+
+  std::vector<virt::VmId> choose_pipeline(virt::VmId writer, int replication);
+  void write_block(const std::string& path, std::size_t index, virt::VmId client,
+                   std::function<void()> on_complete);
+  void read_block_seq(const std::string& path, std::size_t index, virt::VmId client,
+                      std::function<void()> on_complete);
+
+  virt::Cloud& cloud_;
+  HdfsConfig config_;
+  virt::VmId namenode_;
+  std::vector<virt::VmId> datanodes_;
+  sim::Rng rng_;
+  std::unordered_map<std::string, FileMeta> files_;
+  double bytes_written_ = 0.0;
+  double bytes_read_ = 0.0;
+};
+
+}  // namespace vhadoop::hdfs

@@ -1,0 +1,55 @@
+#include "mapreduce/bridge.hpp"
+
+#include <stdexcept>
+
+namespace vhadoop::mapreduce {
+
+double serialized_bytes(std::span<const KV> records) {
+  double total = 0.0;
+  for (const KV& rec : records) {
+    // Hadoop SequenceFile framing: key/value lengths + sync overhead,
+    // amortized ~8 bytes per record.
+    total += static_cast<double>(rec.bytes()) + 8.0;
+  }
+  return total;
+}
+
+SimJobSpec to_sim_job(const std::string& name, const JobResult& measured,
+                      const std::string& input_path, const std::string& output_path) {
+  SimJobSpec spec;
+  spec.name = name;
+  spec.output_path = output_path;
+  spec.maps.reserve(measured.map_profiles.size());
+  for (std::size_t m = 0; m < measured.map_profiles.size(); ++m) {
+    const TaskProfile& p = measured.map_profiles[m];
+    SimJobSpec::MapTask mt;
+    mt.input_path = input_path;
+    mt.block_index = static_cast<int>(m);
+    mt.input_bytes = p.input_bytes;
+    mt.cpu_seconds = p.cpu_seconds;
+    mt.output_bytes = p.output_bytes;
+    spec.maps.push_back(std::move(mt));
+  }
+  spec.reduces.reserve(measured.reduce_profiles.size());
+  for (const TaskProfile& p : measured.reduce_profiles) {
+    spec.reduces.push_back({p.cpu_seconds, p.output_bytes});
+  }
+  spec.shuffle_matrix = measured.shuffle_matrix;
+  return spec;
+}
+
+SimJobSpec to_sim_job_files(const std::string& name, const JobResult& measured,
+                            const std::vector<std::string>& input_paths,
+                            const std::string& output_path) {
+  if (input_paths.size() != measured.map_profiles.size()) {
+    throw std::invalid_argument("to_sim_job_files: one input path per map task required");
+  }
+  SimJobSpec spec = to_sim_job(name, measured, "", output_path);
+  for (std::size_t m = 0; m < spec.maps.size(); ++m) {
+    spec.maps[m].input_path = input_paths[m];
+    spec.maps[m].block_index = -1;  // stream the whole (small) file
+  }
+  return spec;
+}
+
+}  // namespace vhadoop::mapreduce

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "mapreduce/job.hpp"
+#include "mapreduce/sim_job.hpp"
+
+namespace vhadoop::mapreduce {
+
+/// Convert a *measured* logical run into a simulated job: real per-task
+/// record/byte counts and the real (possibly skewed) shuffle matrix become
+/// the sizes the virtual cluster moves, and the cost-model CPU estimates
+/// become the compute activities. `input_path` must already exist in HDFS
+/// with at least as many blocks as the logical run had map tasks.
+SimJobSpec to_sim_job(const std::string& name, const JobResult& measured,
+                      const std::string& input_path, const std::string& output_path);
+
+/// Variant for many-small-files inputs (one map per file, the classic
+/// TextInputFormat shape): map m reads `input_paths[m]` in full.
+SimJobSpec to_sim_job_files(const std::string& name, const JobResult& measured,
+                            const std::vector<std::string>& input_paths,
+                            const std::string& output_path);
+
+/// Total serialized size of a record set — used to size HDFS input files
+/// so block counts line up with logical splits.
+double serialized_bytes(std::span<const KV> records);
+
+}  // namespace vhadoop::mapreduce

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mapreduce/kv.hpp"
+
+namespace vhadoop::mapreduce {
+
+/// Output collector handed to user map/reduce functions.
+class Context {
+ public:
+  void emit(std::string key, std::string value) {
+    bytes_ += key.size() + value.size();
+    out_.emplace_back(KV{std::move(key), std::move(value)});
+  }
+
+  const std::vector<KV>& output() const { return out_; }
+  std::vector<KV> take_output() { return std::move(out_); }
+  std::size_t emitted_records() const { return out_.size(); }
+  std::size_t emitted_bytes() const { return bytes_; }
+
+ private:
+  std::vector<KV> out_;
+  std::size_t bytes_ = 0;
+};
+
+/// User map function, one instance per map task (Hadoop semantics: state
+/// may accumulate across records of one split; `cleanup` may emit).
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  virtual void setup(Context&) {}
+  virtual void map(std::string_view key, std::string_view value, Context& ctx) = 0;
+  virtual void cleanup(Context&) {}
+};
+
+/// User reduce function; also used as a combiner when configured.
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+  virtual void setup(Context&) {}
+  virtual void reduce(std::string_view key, const std::vector<std::string_view>& values,
+                      Context& ctx) = 0;
+  virtual void cleanup(Context&) {}
+};
+
+using MapperFactory = std::function<std::unique_ptr<Mapper>()>;
+using ReducerFactory = std::function<std::unique_ptr<Reducer>()>;
+
+/// Compute-cost coefficients used to translate a task's real record/byte
+/// counts into simulated core-seconds. Per-job because a Dirichlet
+/// posterior sample costs far more per record than a Wordcount tokenize.
+struct CostModel {
+  double map_cpu_per_record = 2e-6;
+  double map_cpu_per_byte = 8e-9;
+  double reduce_cpu_per_record = 2e-6;
+  double reduce_cpu_per_byte = 8e-9;
+  /// Fixed per-task compute (input format init, output commit).
+  double task_cpu_fixed = 0.05;
+};
+
+struct JobConfig {
+  std::string name = "job";
+  int num_reduces = 1;
+  bool use_combiner = false;
+  CostModel cost;
+};
+
+/// Key -> reduce-partition function (Hadoop Partitioner). Defaults to the
+/// stable hash partitioner; TeraSort swaps in a total-order partitioner.
+using Partitioner = std::function<int(std::string_view key, int num_reduces)>;
+
+/// A runnable MapReduce job: factories (tasks run in parallel threads, each
+/// task gets a fresh instance) plus configuration.
+struct JobSpec {
+  JobConfig config;
+  MapperFactory mapper;
+  ReducerFactory reducer;
+  ReducerFactory combiner;   // optional; required if config.use_combiner
+  Partitioner partitioner;   // optional; default HashPartitioner
+};
+
+/// Measured facts about one executed task, fed to the simulated cluster.
+struct TaskProfile {
+  double input_bytes = 0.0;
+  std::int64_t input_records = 0;
+  double output_bytes = 0.0;
+  std::int64_t output_records = 0;
+  double cpu_seconds = 0.0;
+};
+
+/// Everything a logical (in-process) job run produces.
+struct JobResult {
+  /// Reduce outputs concatenated in partition order (keys sorted within
+  /// each partition, as Hadoop part-r-* files are).
+  std::vector<KV> output;
+  std::vector<TaskProfile> map_profiles;
+  std::vector<TaskProfile> reduce_profiles;
+  /// shuffle_matrix[m][r]: bytes map m sent to reduce r (real skew).
+  std::vector<std::vector<double>> shuffle_matrix;
+  double total_shuffle_bytes = 0.0;
+};
+
+}  // namespace vhadoop::mapreduce

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vhadoop::mapreduce {
+
+/// A key/value record. Keys and values are serialized byte strings, exactly
+/// as Hadoop Writables cross task boundaries — the serialization cost the
+/// platform models is therefore the real cost of these bytes.
+struct KV {
+  std::string key;
+  std::string value;
+
+  bool operator==(const KV&) const = default;
+  std::size_t bytes() const { return key.size() + value.size(); }
+};
+
+/// Stable 32-bit FNV-1a. Partitioning must be identical across runs and
+/// platforms (std::hash is neither), as in Hadoop's HashPartitioner.
+inline std::uint32_t stable_hash(std::string_view s) {
+  std::uint32_t h = 2166136261u;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 16777619u;
+  }
+  return h;
+}
+
+/// Hadoop's default partitioner: hash(key) mod R.
+inline int default_partition(std::string_view key, int num_reduces) {
+  return static_cast<int>(stable_hash(key) % static_cast<std::uint32_t>(num_reduces));
+}
+
+// --- codecs -----------------------------------------------------------------
+// Fixed-format binary codecs for numeric payloads. Text formats would
+// inflate shuffle sizes unrealistically for the ML jobs.
+
+inline std::string encode_f64(double v) {
+  std::string out(sizeof(double), '\0');
+  std::memcpy(out.data(), &v, sizeof(double));
+  return out;
+}
+
+inline double decode_f64(std::string_view s) {
+  double v = 0.0;
+  std::memcpy(&v, s.data(), sizeof(double));
+  return v;
+}
+
+inline std::string encode_i64(std::int64_t v) {
+  std::string out(sizeof(v), '\0');
+  std::memcpy(out.data(), &v, sizeof(v));
+  return out;
+}
+
+inline std::int64_t decode_i64(std::string_view s) {
+  std::int64_t v = 0;
+  std::memcpy(&v, s.data(), sizeof(v));
+  return v;
+}
+
+inline std::string encode_vec(const std::vector<double>& v) {
+  std::string out(v.size() * sizeof(double), '\0');
+  if (!v.empty()) std::memcpy(out.data(), v.data(), out.size());
+  return out;
+}
+
+inline std::vector<double> decode_vec(std::string_view s) {
+  std::vector<double> v(s.size() / sizeof(double));
+  if (!v.empty()) std::memcpy(v.data(), s.data(), v.size() * sizeof(double));
+  return v;
+}
+
+}  // namespace vhadoop::mapreduce

@@ -1,0 +1,172 @@
+#include "mapreduce/local_runner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mapreduce/thread_pool.hpp"
+
+namespace vhadoop::mapreduce {
+
+LocalJobRunner::LocalJobRunner(unsigned threads)
+    : threads_(threads == 0 ? default_threads() : threads) {}
+
+void sort_by_key(std::vector<KV>& records) {
+  std::stable_sort(records.begin(), records.end(),
+                   [](const KV& a, const KV& b) { return a.key < b.key; });
+}
+
+std::vector<KV> reduce_sorted(Reducer& reducer, std::span<const KV> sorted) {
+  Context ctx;
+  reducer.setup(ctx);
+  std::size_t i = 0;
+  std::vector<std::string_view> values;
+  while (i < sorted.size()) {
+    std::size_t j = i;
+    values.clear();
+    while (j < sorted.size() && sorted[j].key == sorted[i].key) {
+      values.push_back(sorted[j].value);
+      ++j;
+    }
+    reducer.reduce(sorted[i].key, values, ctx);
+    i = j;
+  }
+  reducer.cleanup(ctx);
+  return ctx.take_output();
+}
+
+namespace {
+
+struct MapTaskOutput {
+  std::vector<std::vector<KV>> partitions;  // [reduce] -> records (sorted)
+  TaskProfile profile;
+};
+
+double modeled_cpu(const CostModel& c, std::int64_t in_records, double in_bytes,
+                   std::int64_t out_records, double out_bytes, bool is_map) {
+  const double per_record = is_map ? c.map_cpu_per_record : c.reduce_cpu_per_record;
+  const double per_byte = is_map ? c.map_cpu_per_byte : c.reduce_cpu_per_byte;
+  // Input drives the dominant term; emitted data costs the same rates again
+  // (serialization + sort feeding).
+  return c.task_cpu_fixed + per_record * static_cast<double>(in_records) +
+         per_byte * in_bytes + 0.5 * (per_record * static_cast<double>(out_records) +
+                                      per_byte * out_bytes);
+}
+
+}  // namespace
+
+JobResult LocalJobRunner::run(const JobSpec& spec, std::span<const KV> input,
+                              int num_splits) const {
+  if (!spec.mapper) throw std::invalid_argument("JobSpec: missing mapper factory");
+  if (!spec.reducer) throw std::invalid_argument("JobSpec: missing reducer factory");
+  if (spec.config.use_combiner && !spec.combiner) {
+    throw std::invalid_argument("JobSpec: use_combiner set but no combiner factory");
+  }
+  const int R = spec.config.num_reduces;
+  if (R < 1) throw std::invalid_argument("JobSpec: num_reduces < 1");
+
+  int S = num_splits > 0 ? num_splits : static_cast<int>(threads_);
+  S = std::max(1, std::min<int>(S, input.empty() ? 1 : static_cast<int>(input.size())));
+
+  const Partitioner partition =
+      spec.partitioner ? spec.partitioner
+                       : Partitioner([](std::string_view k, int r) { return default_partition(k, r); });
+
+  // --- map phase -----------------------------------------------------------
+  std::vector<MapTaskOutput> map_out(static_cast<std::size_t>(S));
+  const std::size_t n = input.size();
+  parallel_for(static_cast<std::size_t>(S), threads_, [&](std::size_t m) {
+    const std::size_t lo = n * m / static_cast<std::size_t>(S);
+    const std::size_t hi = n * (m + 1) / static_cast<std::size_t>(S);
+    auto split = input.subspan(lo, hi - lo);
+
+    auto mapper = spec.mapper();
+    Context ctx;
+    mapper->setup(ctx);
+    double in_bytes = 0.0;
+    for (const KV& rec : split) {
+      in_bytes += static_cast<double>(rec.bytes());
+      mapper->map(rec.key, rec.value, ctx);
+    }
+    mapper->cleanup(ctx);
+    std::vector<KV> emitted = ctx.take_output();
+
+    MapTaskOutput& out = map_out[m];
+    out.profile.input_records = static_cast<std::int64_t>(split.size());
+    out.profile.input_bytes = in_bytes;
+
+    // Partition, sort, optionally combine — the in-memory spill path.
+    out.partitions.assign(static_cast<std::size_t>(R), {});
+    for (KV& rec : emitted) {
+      const int p = partition(rec.key, R);
+      if (p < 0 || p >= R) throw std::out_of_range("partitioner returned out-of-range index");
+      out.partitions[static_cast<std::size_t>(p)].push_back(std::move(rec));
+    }
+    for (auto& part : out.partitions) {
+      sort_by_key(part);
+      if (spec.config.use_combiner && !part.empty()) {
+        auto combiner = spec.combiner();
+        part = reduce_sorted(*combiner, part);
+        sort_by_key(part);  // combiner may emit in any order
+      }
+      for (const KV& rec : part) {
+        ++out.profile.output_records;
+        out.profile.output_bytes += static_cast<double>(rec.bytes());
+      }
+    }
+    out.profile.cpu_seconds =
+        modeled_cpu(spec.config.cost, out.profile.input_records, out.profile.input_bytes,
+                    out.profile.output_records, out.profile.output_bytes, /*is_map=*/true);
+  });
+
+  // --- shuffle accounting ----------------------------------------------------
+  JobResult result;
+  result.shuffle_matrix.assign(static_cast<std::size_t>(S),
+                               std::vector<double>(static_cast<std::size_t>(R), 0.0));
+  for (int m = 0; m < S; ++m) {
+    for (int r = 0; r < R; ++r) {
+      double bytes = 0.0;
+      for (const KV& rec : map_out[static_cast<std::size_t>(m)].partitions[static_cast<std::size_t>(r)]) {
+        bytes += static_cast<double>(rec.bytes());
+      }
+      result.shuffle_matrix[static_cast<std::size_t>(m)][static_cast<std::size_t>(r)] = bytes;
+      result.total_shuffle_bytes += bytes;
+    }
+  }
+
+  // --- reduce phase ----------------------------------------------------------
+  std::vector<std::vector<KV>> reduce_out(static_cast<std::size_t>(R));
+  std::vector<TaskProfile> reduce_profiles(static_cast<std::size_t>(R));
+  parallel_for(static_cast<std::size_t>(R), threads_, [&](std::size_t r) {
+    // Merge the sorted segments from every map (Hadoop's merge phase);
+    // segments are already sorted so a stable sort of the concatenation is
+    // equivalent to the k-way merge.
+    std::vector<KV> merged;
+    TaskProfile& prof = reduce_profiles[r];
+    for (int m = 0; m < S; ++m) {
+      const auto& part = map_out[static_cast<std::size_t>(m)].partitions[r];
+      prof.input_records += static_cast<std::int64_t>(part.size());
+      for (const KV& rec : part) prof.input_bytes += static_cast<double>(rec.bytes());
+      merged.insert(merged.end(), part.begin(), part.end());
+    }
+    sort_by_key(merged);
+
+    auto reducer = spec.reducer();
+    reduce_out[r] = reduce_sorted(*reducer, merged);
+    for (const KV& rec : reduce_out[r]) {
+      ++prof.output_records;
+      prof.output_bytes += static_cast<double>(rec.bytes());
+    }
+    prof.cpu_seconds = modeled_cpu(spec.config.cost, prof.input_records, prof.input_bytes,
+                                   prof.output_records, prof.output_bytes, /*is_map=*/false);
+  });
+
+  for (auto& m : map_out) result.map_profiles.push_back(m.profile);
+  result.reduce_profiles = std::move(reduce_profiles);
+  for (auto& part : reduce_out) {
+    result.output.insert(result.output.end(), std::make_move_iterator(part.begin()),
+                         std::make_move_iterator(part.end()));
+  }
+  return result;
+}
+
+}  // namespace vhadoop::mapreduce

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mapreduce/job.hpp"
+
+namespace vhadoop::mapreduce {
+
+/// The *logical* MapReduce engine: really executes user Mapper/Combiner/
+/// Reducer code, multi-threaded, with Hadoop's dataflow — split, map,
+/// hash-partition, sort, combine, shuffle, merge, group, reduce. It
+/// produces (a) the job's real output and (b) per-task profiles (records,
+/// bytes, modeled CPU cost) that the simulated virtual cluster replays for
+/// timing. Correctness is real; only wall-clock is modeled.
+class LocalJobRunner {
+ public:
+  explicit LocalJobRunner(unsigned threads = 0);
+
+  /// Run `spec` over `input`, cut into `num_splits` contiguous splits
+  /// (one map task per split — Hadoop's FileInputFormat over block-aligned
+  /// splits). num_splits <= 0 derives one split per thread.
+  JobResult run(const JobSpec& spec, std::span<const KV> input, int num_splits) const;
+
+  unsigned threads() const { return threads_; }
+
+ private:
+  unsigned threads_;
+};
+
+/// Group a key-sorted run of records and feed them to `reducer`. Exposed
+/// for reuse by the combiner stage and by tests.
+std::vector<KV> reduce_sorted(Reducer& reducer, std::span<const KV> sorted);
+
+/// Stable sort by key (ties keep input order, like Hadoop's stable merge).
+void sort_by_key(std::vector<KV>& records);
+
+}  // namespace vhadoop::mapreduce

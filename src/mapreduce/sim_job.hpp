@@ -1,0 +1,78 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "virt/cloud.hpp"
+
+namespace vhadoop::mapreduce {
+
+/// A job as the simulated cluster sees it: sizes and compute costs, either
+/// synthesized by a workload model (TeraSort at 1 TB) or measured from a
+/// real logical run (the ML algorithms).
+struct SimJobSpec {
+  std::string name = "job";
+
+  struct MapTask {
+    /// HDFS input: path+block (locality-schedulable). Empty path = the task
+    /// reads `input_bytes` from its local (NFS-backed) disk instead.
+    /// block_index = -1 streams the whole file (DFSIO/TeraValidate style).
+    std::string input_path;
+    int block_index = 0;
+    double input_bytes = 0.0;  ///< used when input_path is empty
+    double cpu_seconds = 0.1;
+    double output_bytes = 0.0;  ///< materialized map output (post-combiner)
+  };
+
+  struct ReduceTask {
+    double cpu_seconds = 0.1;
+    double output_bytes = 0.0;  ///< written to HDFS with output replication
+  };
+
+  std::vector<MapTask> maps;
+  std::vector<ReduceTask> reduces;
+
+  /// shuffle[m][r]: bytes map m feeds reduce r. Empty = split each map's
+  /// output uniformly over the reduces.
+  std::vector<std::vector<double>> shuffle_matrix;
+
+  /// Map-only jobs (TeraGen, DFSIO-write) write map output straight to
+  /// HDFS rather than to local disk.
+  bool map_output_to_hdfs = false;
+  std::string output_path = "";  ///< HDFS path prefix for outputs
+
+  double shuffle_bytes(std::size_t m, std::size_t r) const {
+    if (!shuffle_matrix.empty()) return shuffle_matrix[m][r];
+    if (reduces.empty()) return 0.0;
+    return maps[m].output_bytes / static_cast<double>(reduces.size());
+  }
+};
+
+/// Per-task timing as recorded by the simulated JobTracker.
+struct TaskTiming {
+  virt::VmId vm = 0;
+  sim::SimTime assigned = 0.0;
+  sim::SimTime started = 0.0;   ///< JVM up, work begins
+  sim::SimTime finished = 0.0;
+  bool data_local = false;      ///< map read its block from its own VM
+};
+
+/// What a simulated job run returns.
+struct JobTimeline {
+  std::string name;
+  sim::SimTime submitted = 0.0;
+  sim::SimTime finished = 0.0;
+  /// True when the job was aborted (e.g. every TaskTracker died).
+  bool failed = false;
+  std::vector<TaskTiming> maps;
+  std::vector<TaskTiming> reduces;
+  double elapsed() const { return finished - submitted; }
+  int data_local_maps() const {
+    int n = 0;
+    for (const auto& t : maps) n += t.data_local;
+    return n;
+  }
+};
+
+}  // namespace vhadoop::mapreduce

@@ -1,0 +1,695 @@
+#include "mapreduce/sim_runner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/latch.hpp"
+
+namespace vhadoop::mapreduce {
+
+SimulatedJobRunner::SimulatedJobRunner(virt::Cloud& cloud, hdfs::HdfsCluster& hdfs,
+                                       HadoopConfig config, std::vector<virt::VmId> workers)
+    : cloud_(cloud), hdfs_(hdfs), config_(config), workers_(std::move(workers)) {
+  if (workers_.empty()) throw std::invalid_argument("SimulatedJobRunner: no workers");
+  trackers_.reserve(workers_.size());
+  for (virt::VmId vm : workers_) {
+    trackers_.push_back(
+        {vm, config_.map_slots_per_worker, config_.reduce_slots_per_worker, 0, true});
+  }
+  heartbeat_events_.resize(trackers_.size());
+  cloud_.on_crash([this](virt::VmId vm) { on_vm_crash(vm); });
+}
+
+SimulatedJobRunner::~SimulatedJobRunner() {
+  for (auto& ev : heartbeat_events_) {
+    if (ev.valid()) cloud_.engine().cancel(ev);
+  }
+}
+
+void SimulatedJobRunner::start_heartbeats() {
+  // Staggered heartbeats: tracker i first beats at i/N of a period. Only
+  // lapsed timers are re-armed, so duplicates cannot accumulate.
+  for (std::size_t i = 0; i < trackers_.size(); ++i) {
+    if (heartbeat_events_[i].valid() || !trackers_[i].alive) continue;
+    const double phase = config_.heartbeat_seconds * static_cast<double>(i) /
+                         static_cast<double>(trackers_.size());
+    heartbeat_events_[i] = cloud_.engine().schedule_in(phase, [this, i] { heartbeat(i); });
+  }
+}
+
+void SimulatedJobRunner::add_tracker(virt::VmId vm) {
+  for (const Tracker& t : trackers_) {
+    if (t.vm == vm) return;
+  }
+  workers_.push_back(vm);
+  trackers_.push_back(
+      {vm, config_.map_slots_per_worker, config_.reduce_slots_per_worker, 0, true});
+  heartbeat_events_.push_back({});
+  if (active_ || !queue_.empty()) start_heartbeats();
+}
+
+int SimulatedJobRunner::running_tasks(virt::VmId vm) const {
+  for (const Tracker& t : trackers_) {
+    if (t.vm == vm) return t.running;
+  }
+  return 0;
+}
+
+void SimulatedJobRunner::submit(SimJobSpec spec, std::function<void(const JobTimeline&)> on_done) {
+  if (spec.maps.empty()) throw std::invalid_argument("SimJobSpec: no map tasks");
+  if (!spec.shuffle_matrix.empty()) {
+    if (spec.shuffle_matrix.size() != spec.maps.size() ||
+        (!spec.reduces.empty() && spec.shuffle_matrix[0].size() != spec.reduces.size())) {
+      throw std::invalid_argument("SimJobSpec: shuffle matrix shape mismatch");
+    }
+  }
+  queue_.push_back({std::move(spec), std::move(on_done)});
+  if (!active_) start_next_job();
+  start_heartbeats();
+}
+
+void SimulatedJobRunner::start_next_job() {
+  if (queue_.empty()) return;
+  PendingJob pending = std::move(queue_.front());
+  queue_.pop_front();
+
+  active_ = std::make_unique<ActiveJob>();
+  active_->spec = std::move(pending.spec);
+  active_->on_done = std::move(pending.on_done);
+  active_->epoch = ++epoch_counter_;
+  active_->timeline.name = active_->spec.name;
+  active_->timeline.submitted = cloud_.engine().now();
+  active_->timeline.maps.resize(active_->spec.maps.size());
+  active_->timeline.reduces.resize(active_->spec.reduces.size());
+  active_->maps.assign(active_->spec.maps.size(), {});
+  active_->reduces.assign(active_->spec.reduces.size(), {});
+  for (auto& rs : active_->reduces) rs.fetched.assign(active_->spec.maps.size(), false);
+  for (std::size_t m = 0; m < active_->spec.maps.size(); ++m) active_->pending_maps.push_back(m);
+}
+
+std::function<void()> SimulatedJobRunner::map_guard(std::uint64_t epoch, std::size_t m,
+                                                    int attempt, std::function<void()> fn) {
+  return [this, epoch, m, attempt, fn = std::move(fn)] {
+    if (active_ && active_->epoch == epoch && active_->maps[m].attempt == attempt) fn();
+  };
+}
+
+std::function<void()> SimulatedJobRunner::reduce_guard(std::uint64_t epoch, std::size_t r,
+                                                       int attempt, std::function<void()> fn) {
+  return [this, epoch, r, attempt, fn = std::move(fn)] {
+    if (active_ && active_->epoch == epoch && active_->reduces[r].attempt == attempt) fn();
+  };
+}
+
+void SimulatedJobRunner::heartbeat(std::size_t i) {
+  if (!trackers_[i].alive) {
+    heartbeat_events_[i] = {};
+    return;
+  }
+  if (!active_ && queue_.empty()) {
+    // Idle: let this timer lapse so a finished simulation can drain its
+    // event queue. submit() re-arms lapsed timers.
+    heartbeat_events_[i] = {};
+    return;
+  }
+  heartbeat_events_[i] =
+      cloud_.engine().schedule_in(config_.heartbeat_seconds, [this, i] { heartbeat(i); });
+  if (!active_) return;
+  // One map and one reduce may be handed out per heartbeat (0.20 protocol).
+  maybe_assign_map(i);
+  maybe_assign_reduce(i);
+}
+
+void SimulatedJobRunner::out_of_band_heartbeat(std::size_t i) {
+  if (!config_.out_of_band_heartbeats) return;
+  // Hadoop 0.20 TaskTrackers heartbeat immediately after a task completes
+  // so freed slots refill without waiting out the period.
+  cloud_.engine().schedule_in(0.1, [this, i] {
+    if (!active_ || !trackers_[i].alive) return;
+    maybe_assign_map(i);
+    maybe_assign_reduce(i);
+  });
+}
+
+void SimulatedJobRunner::maybe_assign_map(std::size_t i) {
+  Tracker& tr = trackers_[i];
+  // A silently hung guest cannot answer the heartbeat RPC, so the
+  // JobTracker never hands it work (its in-flight tasks die by timeout).
+  if (!tr.alive || !cloud_.responsive(tr.vm) || tr.free_map_slots <= 0) return;
+  if (active_->pending_maps.empty()) {
+    maybe_speculate(i);
+    return;
+  }
+
+  // Locality-aware pick: first pending map whose block has a replica on
+  // this tracker's VM; otherwise the head of the queue.
+  std::size_t chosen_pos = 0;
+  for (std::size_t pos = 0; pos < active_->pending_maps.size(); ++pos) {
+    const auto& mt = active_->spec.maps[active_->pending_maps[pos]];
+    if (!mt.input_path.empty() &&
+        hdfs_.is_local(
+            hdfs_.blocks(mt.input_path)[static_cast<std::size_t>(std::max(0, mt.block_index))],
+            tr.vm)) {
+      chosen_pos = pos;
+      break;
+    }
+  }
+  const std::size_t m = active_->pending_maps[chosen_pos];
+  active_->pending_maps.erase(active_->pending_maps.begin() +
+                              static_cast<std::ptrdiff_t>(chosen_pos));
+  --tr.free_map_slots;
+  ++tr.running;
+  active_->maps[m].tracker = i;
+  active_->timeline.maps[m].vm = tr.vm;
+  active_->timeline.maps[m].assigned = cloud_.engine().now();
+  arm_map_watchdog(m, i, active_->maps[m].attempt, 0);
+  run_map(m, i, active_->maps[m].attempt);
+}
+
+void SimulatedJobRunner::maybe_speculate(std::size_t i) {
+  if (!config_.speculative_execution) return;
+  if (active_->maps_done == 0) return;
+
+  // Mean wall-clock of completed maps.
+  double mean = 0.0;
+  std::size_t n = 0;
+  for (std::size_t m = 0; m < active_->maps.size(); ++m) {
+    if (active_->maps[m].done) {
+      mean += active_->timeline.maps[m].finished - active_->timeline.maps[m].assigned;
+      ++n;
+    }
+  }
+  if (n == 0) return;
+  mean /= static_cast<double>(n);
+
+  for (std::size_t m = 0; m < active_->maps.size(); ++m) {
+    MapState& ms = active_->maps[m];
+    if (ms.done || ms.tracker == kNone || ms.spec_tracker != kNone || ms.tracker == i) continue;
+    const double running_for = cloud_.engine().now() - active_->timeline.maps[m].assigned;
+    if (running_for < config_.speculative_slowdown * mean) continue;
+    Tracker& tr = trackers_[i];
+    --tr.free_map_slots;
+    ++tr.running;
+    ms.spec_tracker = i;
+    ++reexecuted_maps_;
+    // The duplicate races the original under the same attempt number; the
+    // first finisher wins and the loser's chain is invalidated.
+    arm_map_watchdog(m, i, ms.attempt, 1);
+    run_map(m, i, ms.attempt);
+    return;  // at most one speculative launch per heartbeat
+  }
+}
+
+void SimulatedJobRunner::maybe_assign_reduce(std::size_t i) {
+  Tracker& tr = trackers_[i];
+  if (!tr.alive || !cloud_.responsive(tr.vm) || tr.free_reduce_slots <= 0) return;
+  std::size_t r = kNone;
+  if (!active_->retry_reduces.empty()) {
+    r = active_->retry_reduces.front();
+  } else {
+    if (active_->next_reduce >= active_->spec.reduces.size()) return;
+    const double done_frac = active_->spec.maps.empty()
+                                 ? 1.0
+                                 : static_cast<double>(active_->maps_done) /
+                                       static_cast<double>(active_->spec.maps.size());
+    // Reducers slow-start once enough maps have finished; a tiny threshold
+    // (the default) launches them immediately so shuffle overlaps the map
+    // waves, as Hadoop does.
+    if (config_.reduce_slowstart > 0.05 && done_frac < config_.reduce_slowstart) return;
+    r = active_->next_reduce;
+  }
+
+  if (!active_->retry_reduces.empty()) {
+    active_->retry_reduces.pop_front();
+  } else {
+    ++active_->next_reduce;
+  }
+  --tr.free_reduce_slots;
+  ++tr.running;
+  ReduceState& rs = active_->reduces[r];
+  rs.assigned = true;
+  rs.tracker = i;
+  rs.last_progress = cloud_.engine().now();
+  active_->timeline.reduces[r].vm = tr.vm;
+  active_->timeline.reduces[r].assigned = cloud_.engine().now();
+  arm_reduce_watchdog(r, rs.attempt);
+  run_reduce(r, i, rs.attempt);
+}
+
+void SimulatedJobRunner::run_map(std::size_t m, std::size_t i, int attempt) {
+  const auto epoch = active_->epoch;
+  const virt::VmId vm = trackers_[i].vm;
+  auto G = [this, epoch, m, attempt](std::function<void()> fn) {
+    return map_guard(epoch, m, attempt, std::move(fn));
+  };
+
+  // 1. child JVM spawn: fixed exec latency plus guest CPU work (the CPU
+  // part is what host oversubscription stretches).
+  cloud_.engine().schedule_in(config_.task_start_latency, G([this, m, i, vm, G] {
+  cloud_.run_compute(vm, config_.task_start_cpu_seconds, G([this, m, i, vm, G] {
+    // 2. job localization: stream jar + conf from a datanode
+    // (DistributedCache — cold once per VM per job, cached afterwards).
+    localize(vm, G([this, m, i, vm, G] {
+      auto& timing = active_->timeline.maps[m];
+      timing.started = cloud_.engine().now();
+      const auto& mt = active_->spec.maps[m];
+      auto after_read = G([this, m, i, vm, G] {
+        // 4. user map function.
+        cloud_.run_compute(vm, active_->spec.maps[m].cpu_seconds, G([this, m, i, vm, G] {
+          // 5. materialize map output.
+          const auto& mt3 = active_->spec.maps[m];
+          auto done = G([this, m, i] { finish_map(m, i); });
+          if (mt3.output_bytes <= 0.0) {
+            done();
+          } else if (active_->spec.map_output_to_hdfs) {
+            const int attempt_now = active_->maps[m].attempt;
+            const std::string path =
+                active_->spec.output_path + "/map-" + std::to_string(m) +
+                (attempt_now > 0 ? "-a" + std::to_string(attempt_now) : "");
+            hdfs_.write_file(path, mt3.output_bytes, vm, std::move(done),
+                             config_.output_replication);
+          } else {
+            // Spill to local disk; one extra merge pass if the output
+            // exceeds io.sort.mb. The final spill stays hot in the page
+            // cache for the imminent shuffle fetches; the intermediate
+            // pass is forced writeback.
+            const bool extra = mt3.output_bytes > config_.io_sort_bytes;
+            const std::string key = map_output_key(m);
+            auto write_final = [this, vm, mt3, key, done = std::move(done)]() mutable {
+              cloud_.scratch_write(vm, mt3.output_bytes, std::move(done), key);
+            };
+            if (extra) {
+              cloud_.disk_write(vm, mt3.output_bytes, [this, vm, mt3, write_final]() mutable {
+                cloud_.disk_read(vm, mt3.output_bytes, std::move(write_final));
+              });
+            } else {
+              write_final();
+            }
+          }
+        }));
+      });
+      // 3. input: HDFS block or whole file (locality recorded) or raw
+      // local-disk bytes.
+      if (!mt.input_path.empty()) {
+        const auto& block =
+            hdfs_.blocks(mt.input_path)[static_cast<std::size_t>(std::max(0, mt.block_index))];
+        timing.data_local = hdfs_.is_local(block, vm);
+        if (mt.block_index < 0) {
+          hdfs_.read_file(mt.input_path, vm, std::move(after_read));
+        } else {
+          hdfs_.read_block(mt.input_path, mt.block_index, vm, std::move(after_read));
+        }
+      } else if (mt.input_bytes > 0.0) {
+        cloud_.disk_read(vm, mt.input_bytes, std::move(after_read));
+      } else {
+        after_read();
+      }
+    }));
+  }));
+  }));
+}
+
+void SimulatedJobRunner::localize(virt::VmId vm, std::function<void()> next) {
+  // job.jar/job.xml live in HDFS: localization streams them from a live
+  // datanode (page-cache-hot there after the first fetch), so in a
+  // cross-domain layout roughly half the fetches cross the GbE wire. The
+  // local copy is cached, making later tasks on the same VM free.
+  const std::string key = "job" + std::to_string(active_->epoch) + "-jar";
+  if (cloud_.cached(vm, key)) {
+    next();
+    return;
+  }
+  virt::VmId source = vm;
+  const std::size_t start = (active_->epoch * 31 + vm * 17) % workers_.size();
+  for (std::size_t k = 0; k < workers_.size(); ++k) {
+    virt::VmId candidate = workers_[(start + k) % workers_.size()];
+    if (cloud_.alive(candidate)) {
+      source = candidate;
+      break;
+    }
+  }
+  if (source == vm) {
+    cloud_.disk_read(vm, config_.task_localization_bytes, std::move(next), 1.0, key);
+    return;
+  }
+  auto latch = sim::Latch::create(2, std::move(next));
+  cloud_.disk_read(source, config_.task_localization_bytes, [latch] { latch->arrive(); }, 1.0,
+                   key + "-src");
+  cloud_.vm_transfer(source, vm, config_.task_localization_bytes, [this, vm, key, latch] {
+    cloud_.cache_insert(vm, key, config_.task_localization_bytes);
+    latch->arrive();
+  });
+}
+
+void SimulatedJobRunner::finish_map(std::size_t m, std::size_t i) {
+  MapState& ms = active_->maps[m];
+  if (ms.done) return;  // a speculative loser crossing the line
+  if (ms.tracker != i && ms.spec_tracker != i) {
+    // This attempt was already written off (timeout freed its slot); a
+    // late completion must not double-release.
+    return;
+  }
+  ms.done = true;
+  ms.output_vm = trackers_[i].vm;
+  cancel_map_watchdogs(m);
+
+  // Free the winner's slot, and kill the losing attempt if one is racing.
+  auto release = [this](std::size_t t) {
+    ++trackers_[t].free_map_slots;
+    --trackers_[t].running;
+    out_of_band_heartbeat(t);
+  };
+  release(i);
+  const std::size_t other = (ms.tracker == i) ? ms.spec_tracker : ms.tracker;
+  if (other != kNone && other != i) {
+    ++ms.attempt;  // invalidates the loser's continuation chain
+    if (trackers_[other].alive) release(other);
+  }
+  ms.tracker = i;
+  ms.spec_tracker = kNone;
+
+  active_->timeline.maps[m].vm = trackers_[i].vm;
+  active_->timeline.maps[m].finished = cloud_.engine().now();
+  ++active_->maps_done;
+  // Feed every ready reducer that does not have this partition yet.
+  for (std::size_t r = 0; r < active_->reduces.size(); ++r) {
+    if (active_->reduces[r].assigned && active_->reduces[r].ready) start_fetch(m, r);
+  }
+  maybe_finish_job();
+}
+
+void SimulatedJobRunner::run_reduce(std::size_t r, std::size_t i, int attempt) {
+  const auto epoch = active_->epoch;
+  const virt::VmId vm = trackers_[i].vm;
+  auto G = [this, epoch, r, attempt](std::function<void()> fn) {
+    return reduce_guard(epoch, r, attempt, std::move(fn));
+  };
+  cloud_.engine().schedule_in(config_.task_start_latency, G([this, r, vm, G] {
+  cloud_.run_compute(vm, config_.task_start_cpu_seconds, G([this, r, vm, G] {
+    localize(vm, G([this, r] {
+      active_->timeline.reduces[r].started = cloud_.engine().now();
+      active_->reduces[r].ready = true;
+      active_->reduces[r].last_progress = cloud_.engine().now();
+      // Fetch everything already finished; the rest arrives via finish_map.
+      for (std::size_t m = 0; m < active_->maps.size(); ++m) {
+        if (active_->maps[m].done) start_fetch(m, r);
+      }
+      maybe_merge(r);  // degenerate: zero maps already fetched
+    }));
+  }));
+  }));
+}
+
+void SimulatedJobRunner::mark_map_lost(std::size_t m) {
+  MapState& ms = active_->maps[m];
+  if (!ms.done) return;  // already re-executing
+  ms.done = false;
+  --active_->maps_done;
+  ++ms.attempt;
+  ms.tracker = kNone;
+  ms.spec_tracker = kNone;
+  cancel_map_watchdogs(m);
+  ++reexecuted_maps_;
+  active_->pending_maps.push_back(m);
+}
+
+void SimulatedJobRunner::start_fetch(std::size_t m, std::size_t r) {
+  ReduceState& rs = active_->reduces[r];
+  if (rs.fetched[m]) return;  // already have this partition
+  const auto epoch = active_->epoch;
+  const double bytes = active_->spec.shuffle_bytes(m, r);
+  const virt::VmId map_vm = active_->maps[m].output_vm;
+  const virt::VmId red_vm = active_->timeline.reduces[r].vm;
+  if (bytes > 0.0 && !cloud_.alive(map_vm)) {
+    // Fetch failure against a dead node: the map output is gone for good;
+    // re-execute the map (the re-run's finish re-feeds this reducer).
+    mark_map_lost(m);
+    return;
+  }
+  auto arrived = reduce_guard(epoch, r, rs.attempt, [this, m, r, bytes] {
+    ReduceState& rs2 = active_->reduces[r];
+    if (rs2.fetched[m]) return;  // duplicate delivery after a re-fetch
+    rs2.fetched[m] = true;
+    ++rs2.fetch_count;
+    rs2.fetched_bytes += bytes;
+    rs2.last_progress = cloud_.engine().now();
+    maybe_merge(r);
+  });
+  if (bytes <= 0.0) {
+    arrived();
+    return;
+  }
+  // Segment fetch: read the mapper's spill (usually still in its page
+  // cache) while streaming it to the reducer (concurrent stages,
+  // latch-joined) — so shuffle cost is network-topology-bound, exactly the
+  // term the cross-domain placement inflates.
+  auto latch = sim::Latch::create(2, std::move(arrived));
+  cloud_.disk_read(map_vm, bytes, [latch] { latch->arrive(); }, 1.0, map_output_key(m));
+  cloud_.vm_transfer(map_vm, red_vm, bytes, [latch] { latch->arrive(); });
+}
+
+void SimulatedJobRunner::maybe_merge(std::size_t r) {
+  ReduceState& rs = active_->reduces[r];
+  if (!rs.ready || rs.fetch_count < active_->maps.size()) return;
+  const auto epoch = active_->epoch;
+  const int attempt = rs.attempt;
+  const virt::VmId vm = active_->timeline.reduces[r].vm;
+  const double fetched = rs.fetched_bytes;
+
+  auto compute = reduce_guard(epoch, r, attempt, [this, r, vm, epoch, attempt] {
+    cloud_.run_compute(
+        vm, active_->spec.reduces[r].cpu_seconds,
+        reduce_guard(epoch, r, attempt, [this, r, vm, attempt] {
+          const double out = active_->spec.reduces[r].output_bytes;
+          auto done =
+              reduce_guard(active_->epoch, r, attempt, [this, r] { finish_reduce(r); });
+          if (out <= 0.0) {
+            done();
+          } else {
+            const std::string path =
+                active_->spec.output_path + "/part-" + std::to_string(r) +
+                (attempt > 0 ? "-a" + std::to_string(attempt) : "");
+            hdfs_.write_file(path, out, vm, std::move(done), config_.output_replication);
+          }
+        }));
+  });
+  if (fetched > config_.io_sort_bytes) {
+    // On-disk merge pass before the reduce can run. The merge file is a
+    // short-lived temp: it stays in the guest page cache while it fits and
+    // spills to the NFS-backed disk beyond that — the superlinear knee the
+    // paper's TeraSort curve shows past ~400 MB.
+    const std::string key = "job" + std::to_string(epoch) + "/merge-r" + std::to_string(r);
+    cloud_.scratch_write(vm, fetched,
+                         reduce_guard(epoch, r, attempt,
+                                      [this, vm, fetched, key, compute] {
+                                        cloud_.disk_read(vm, fetched, compute, 1.0, key);
+                                      }),
+                         key);
+  } else {
+    compute();
+  }
+}
+
+void SimulatedJobRunner::finish_reduce(std::size_t r) {
+  ReduceState& rs = active_->reduces[r];
+  if (rs.done) return;
+  rs.done = true;
+  if (rs.watchdog.valid()) {
+    cloud_.engine().cancel(rs.watchdog);
+    rs.watchdog = {};
+  }
+  Tracker& tr = trackers_[rs.tracker];
+  ++tr.free_reduce_slots;
+  --tr.running;
+  out_of_band_heartbeat(rs.tracker);
+  active_->timeline.reduces[r].finished = cloud_.engine().now();
+  ++active_->reduces_done;
+  maybe_finish_job();
+}
+
+void SimulatedJobRunner::maybe_finish_job() {
+  if (active_->maps_done < active_->spec.maps.size()) return;
+  if (active_->reduces_done < active_->spec.reduces.size()) return;
+  active_->timeline.finished = cloud_.engine().now();
+  auto timeline = std::move(active_->timeline);
+  auto on_done = std::move(active_->on_done);
+  active_.reset();
+  if (on_done) on_done(timeline);
+  start_next_job();
+}
+
+void SimulatedJobRunner::cancel_map_watchdogs(std::size_t m) {
+  for (auto& wd : active_->maps[m].watchdog) {
+    if (wd.valid()) {
+      cloud_.engine().cancel(wd);
+      wd = {};
+    }
+  }
+}
+
+void SimulatedJobRunner::arm_map_watchdog(std::size_t m, std::size_t i, int attempt, int slot) {
+  const auto epoch = active_->epoch;
+  active_->maps[m].watchdog[slot] =
+      cloud_.engine().schedule_in(config_.task_timeout_seconds, [this, epoch, m, i, attempt,
+                                                                 slot] {
+        if (!active_ || active_->epoch != epoch) return;
+        map_timeout(m, i, attempt, slot);
+      });
+}
+
+void SimulatedJobRunner::map_timeout(std::size_t m, std::size_t i, int attempt, int slot) {
+  MapState& ms = active_->maps[m];
+  ms.watchdog[slot] = {};
+  if (ms.done || ms.attempt != attempt) return;
+  // Kill this attempt: free its slot, drop its chain, and requeue unless a
+  // racing attempt is still healthy.
+  if (trackers_[i].alive) {
+    ++trackers_[i].free_map_slots;
+    --trackers_[i].running;
+  }
+  if (slot == 0) ms.tracker = kNone;
+  else ms.spec_tracker = kNone;
+  const std::size_t survivor = (slot == 0) ? ms.spec_tracker : ms.tracker;
+  if (survivor != kNone && trackers_[survivor].alive) return;
+  ++ms.attempt;  // invalidates any wedged continuation
+  ms.tracker = kNone;
+  ms.spec_tracker = kNone;
+  ++reexecuted_maps_;
+  active_->pending_maps.push_back(m);
+}
+
+void SimulatedJobRunner::arm_reduce_watchdog(std::size_t r, int attempt) {
+  const auto epoch = active_->epoch;
+  active_->reduces[r].watchdog =
+      cloud_.engine().schedule_in(config_.task_timeout_seconds, [this, epoch, r, attempt] {
+        if (!active_ || active_->epoch != epoch) return;
+        reduce_timeout(r, attempt);
+      });
+}
+
+void SimulatedJobRunner::reduce_timeout(std::size_t r, int attempt) {
+  ReduceState& rs = active_->reduces[r];
+  rs.watchdog = {};
+  if (rs.done || rs.attempt != attempt) return;
+  const double idle_for = cloud_.engine().now() - rs.last_progress;
+  if (idle_for < config_.task_timeout_seconds) {
+    // Progress was reported (shuffle arrivals); re-arm from the last one.
+    const auto epoch = active_->epoch;
+    rs.watchdog = cloud_.engine().schedule_in(
+        config_.task_timeout_seconds - idle_for, [this, epoch, r, attempt] {
+          if (!active_ || active_->epoch != epoch) return;
+          reduce_timeout(r, attempt);
+        });
+    return;
+  }
+  // Wedged: restart the reduce elsewhere.
+  if (trackers_[rs.tracker].alive) {
+    ++trackers_[rs.tracker].free_reduce_slots;
+    --trackers_[rs.tracker].running;
+  }
+  ++rs.attempt;
+  rs.assigned = false;
+  rs.ready = false;
+  rs.tracker = kNone;
+  rs.fetched.assign(active_->maps.size(), false);
+  rs.fetch_count = 0;
+  rs.fetched_bytes = 0.0;
+  active_->retry_reduces.push_back(r);
+}
+
+void SimulatedJobRunner::on_vm_crash(virt::VmId vm) {
+  std::size_t dead = kNone;
+  for (std::size_t i = 0; i < trackers_.size(); ++i) {
+    if (trackers_[i].vm == vm) {
+      dead = i;
+      break;
+    }
+  }
+  if (dead == kNone) return;
+  Tracker& tr = trackers_[dead];
+  tr.alive = false;
+  tr.free_map_slots = 0;
+  tr.free_reduce_slots = 0;
+  tr.running = 0;
+  if (heartbeat_events_[dead].valid()) {
+    cloud_.engine().cancel(heartbeat_events_[dead]);
+    heartbeat_events_[dead] = {};
+  }
+  if (!active_) return;
+  ActiveJob& job = *active_;
+
+  // Maps touched by the dead tracker.
+  for (std::size_t m = 0; m < job.maps.size(); ++m) {
+    MapState& ms = job.maps[m];
+    const bool was_primary = ms.tracker == dead;
+    const bool was_spec = ms.spec_tracker == dead;
+    if (!was_primary && !was_spec && !(ms.done && ms.output_vm == vm)) continue;
+
+    if (ms.done) {
+      // Output lost? Completed maps must re-run unless every reducer has
+      // already fetched them (or the output was committed to HDFS).
+      const bool output_safe =
+          active_->spec.map_output_to_hdfs || active_->spec.reduces.empty() ||
+          std::all_of(job.reduces.begin(), job.reduces.end(),
+                      [m](const ReduceState& rs) { return rs.fetched[m]; });
+      if (ms.output_vm != vm || output_safe) continue;
+      --job.maps_done;
+      ++reexecuted_maps_;
+      ms.done = false;
+    } else {
+      // A racing attempt on a live tracker may still win; only reschedule
+      // when no live attempt remains.
+      if (was_primary) ms.tracker = kNone;
+      if (was_spec) ms.spec_tracker = kNone;
+      const std::size_t survivor = was_primary ? ms.spec_tracker : ms.tracker;
+      if (survivor != kNone && trackers_[survivor].alive) continue;
+      ++reexecuted_maps_;
+    }
+    ++ms.attempt;  // invalidate any continuation still in flight
+    ms.tracker = kNone;
+    ms.spec_tracker = kNone;
+    cancel_map_watchdogs(m);
+    job.pending_maps.push_back(m);
+  }
+
+  // With no live tracker left, the job (and everything queued) fails —
+  // Hadoop reports the job as failed once every TaskTracker is lost.
+  const bool any_alive =
+      std::any_of(trackers_.begin(), trackers_.end(), [](const Tracker& t) { return t.alive; });
+  if (!any_alive) {
+    while (active_) {
+      active_->timeline.finished = cloud_.engine().now();
+      active_->timeline.failed = true;
+      auto timeline = std::move(active_->timeline);
+      auto on_done = std::move(active_->on_done);
+      active_.reset();
+      if (on_done) on_done(timeline);
+      start_next_job();
+      if (active_) {
+        // Newly started job fails immediately too.
+        continue;
+      }
+    }
+    return;
+  }
+
+  // Reduces running on the dead tracker start over elsewhere.
+  for (std::size_t r = 0; r < job.reduces.size(); ++r) {
+    ReduceState& rs = job.reduces[r];
+    if (!rs.assigned || rs.done || rs.tracker != dead) continue;
+    if (rs.watchdog.valid()) {
+      cloud_.engine().cancel(rs.watchdog);
+      rs.watchdog = {};
+    }
+    ++rs.attempt;
+    rs.assigned = false;
+    rs.ready = false;
+    rs.tracker = kNone;
+    rs.fetched.assign(job.maps.size(), false);
+    rs.fetch_count = 0;
+    rs.fetched_bytes = 0.0;
+    job.retry_reduces.push_back(r);
+  }
+}
+
+}  // namespace vhadoop::mapreduce

@@ -1,0 +1,161 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hdfs/hdfs.hpp"
+#include "mapreduce/hadoop_config.hpp"
+#include "mapreduce/sim_job.hpp"
+#include "virt/cloud.hpp"
+
+namespace vhadoop::mapreduce {
+
+/// The simulated JobTracker + TaskTrackers of a hadoop virtual cluster.
+///
+/// Workers heartbeat on a staggered period (plus an out-of-band heartbeat
+/// on task completion, as Hadoop 0.20 did); each heartbeat may be assigned
+/// one map and one reduce. A map task's life: child-JVM spawn (exec latency
+/// + guest CPU), job localization (jar streamed from a datanode, cached per
+/// VM), HDFS input read (data-local when the scheduler could honor
+/// locality), compute, and map-output materialization — spills are
+/// short-lived scratch that normally lives in the guest page cache.
+/// Reducers fetch every map's partition as it completes, merge (spilling
+/// past io.sort.mb), compute, and commit output through the HDFS pipeline.
+///
+/// Fault tolerance mirrors Hadoop's: when a worker VM crashes, its running
+/// tasks — and completed maps whose outputs died with it — are re-executed
+/// elsewhere; reducers re-fetch only what they are missing. Stragglers
+/// (e.g. tasks stuck on a silently hung node) are additionally covered by
+/// speculative execution: a second attempt races the slow one and the
+/// first finisher wins.
+///
+/// Jobs are FIFO, one at a time, as the era's default scheduler ran them.
+class SimulatedJobRunner {
+ public:
+  SimulatedJobRunner(virt::Cloud& cloud, hdfs::HdfsCluster& hdfs, HadoopConfig config,
+                     std::vector<virt::VmId> workers);
+  ~SimulatedJobRunner();
+
+  SimulatedJobRunner(const SimulatedJobRunner&) = delete;
+  SimulatedJobRunner& operator=(const SimulatedJobRunner&) = delete;
+
+  /// Queue a job; `on_done` fires with the completed timeline.
+  void submit(SimJobSpec spec, std::function<void(const JobTimeline&)> on_done);
+
+  bool idle() const { return !active_ && queue_.empty(); }
+  /// Tasks currently executing on `vm` (drives the migration dirty model).
+  int running_tasks(virt::VmId vm) const;
+  const HadoopConfig& config() const { return config_; }
+  const std::vector<virt::VmId>& workers() const { return workers_; }
+  /// Map tasks that ran more than once (re-execution or speculation).
+  int reexecuted_maps() const { return reexecuted_maps_; }
+
+  /// Register a new TaskTracker (cluster scale-out): the VM starts
+  /// heartbeating and receives tasks from the next beat on.
+  void add_tracker(virt::VmId vm);
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  struct Tracker {
+    virt::VmId vm;
+    int free_map_slots = 0;
+    int free_reduce_slots = 0;
+    int running = 0;
+    bool alive = true;
+  };
+
+  struct PendingJob {
+    SimJobSpec spec;
+    std::function<void(const JobTimeline&)> on_done;
+  };
+
+  struct MapState {
+    int attempt = 0;
+    bool done = false;
+    std::size_t tracker = kNone;       ///< primary attempt's tracker
+    std::size_t spec_tracker = kNone;  ///< speculative attempt's tracker
+    virt::VmId output_vm = 0;          ///< where the winning spill lives
+    sim::Engine::EventId watchdog[2];  ///< per-slot task timeout (0=primary)
+  };
+
+  struct ReduceState {
+    int attempt = 0;
+    bool assigned = false;
+    bool ready = false;  ///< JVM + localization finished, may fetch
+    bool done = false;
+    std::size_t tracker = kNone;
+    std::vector<bool> fetched;
+    std::size_t fetch_count = 0;
+    double fetched_bytes = 0.0;
+    double last_progress = 0.0;        ///< refreshed by shuffle arrivals
+    sim::Engine::EventId watchdog;
+  };
+
+  struct ActiveJob {
+    SimJobSpec spec;
+    std::function<void(const JobTimeline&)> on_done;
+    JobTimeline timeline;
+    std::deque<std::size_t> pending_maps;
+    std::deque<std::size_t> retry_reduces;
+    std::vector<MapState> maps;
+    std::vector<ReduceState> reduces;
+    std::size_t maps_done = 0;
+    std::size_t reduces_done = 0;
+    std::size_t next_reduce = 0;
+    std::uint64_t epoch = 0;  ///< guards stale callbacks across jobs
+  };
+
+  void start_next_job();
+  void start_heartbeats();
+  void heartbeat(std::size_t tracker_idx);
+  void out_of_band_heartbeat(std::size_t tracker_idx);
+  void localize(virt::VmId vm, std::function<void()> next);
+  void maybe_assign_map(std::size_t tracker_idx);
+  void maybe_speculate(std::size_t tracker_idx);
+  void maybe_assign_reduce(std::size_t tracker_idx);
+  void run_map(std::size_t m, std::size_t tracker_idx, int attempt);
+  void finish_map(std::size_t m, std::size_t tracker_idx);
+  void run_reduce(std::size_t r, std::size_t tracker_idx, int attempt);
+  void start_fetch(std::size_t m, std::size_t r);
+  void maybe_merge(std::size_t r);
+  void finish_reduce(std::size_t r);
+  void maybe_finish_job();
+  void on_vm_crash(virt::VmId vm);
+  void arm_map_watchdog(std::size_t m, std::size_t tracker_idx, int attempt, int slot);
+  void map_timeout(std::size_t m, std::size_t tracker_idx, int attempt, int slot);
+  void arm_reduce_watchdog(std::size_t r, int attempt);
+  void reduce_timeout(std::size_t r, int attempt);
+  void cancel_map_watchdogs(std::size_t m);
+  /// A completed map whose output became unreachable (fetch failure
+  /// against a dead node) is demoted back to pending — Hadoop's
+  /// "too many fetch failures" re-execution.
+  void mark_map_lost(std::size_t m);
+
+  /// Continuation valid only while job `epoch` is active and map m is
+  /// still on attempt `attempt` (re-execution invalidates older chains).
+  std::function<void()> map_guard(std::uint64_t epoch, std::size_t m, int attempt,
+                                  std::function<void()> fn);
+  std::function<void()> reduce_guard(std::uint64_t epoch, std::size_t r, int attempt,
+                                     std::function<void()> fn);
+
+  /// Page-cache key for map task m's final spill (unique per job).
+  std::string map_output_key(std::size_t m) const {
+    return "job" + std::to_string(active_->epoch) + "/spill-m" + std::to_string(m);
+  }
+
+  virt::Cloud& cloud_;
+  hdfs::HdfsCluster& hdfs_;
+  HadoopConfig config_;
+  std::vector<virt::VmId> workers_;
+  std::vector<Tracker> trackers_;
+  std::deque<PendingJob> queue_;
+  std::unique_ptr<ActiveJob> active_;
+  std::uint64_t epoch_counter_ = 0;
+  int reexecuted_maps_ = 0;
+  std::vector<sim::Engine::EventId> heartbeat_events_;
+};
+
+}  // namespace vhadoop::mapreduce

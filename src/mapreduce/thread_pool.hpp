@@ -1,0 +1,51 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vhadoop::mapreduce {
+
+/// Run `fn(i)` for i in [0, n) on up to `threads` workers. Blocks until all
+/// iterations finish. Iterations are claimed from an atomic counter, so the
+/// schedule is dynamic but each index executes exactly once; callers write
+/// only to per-index slots, which keeps the execution data-race-free
+/// (C++ Core Guidelines CP.2) without locks.
+inline void parallel_for(std::size_t n, unsigned threads, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(threads, n));
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      try {
+        for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
+      } catch (...) {
+        const std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        next.store(n);  // drain remaining iterations
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Default worker count for logical job execution.
+inline unsigned default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
+
+}  // namespace vhadoop::mapreduce

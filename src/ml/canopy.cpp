@@ -1,0 +1,94 @@
+#include "ml/canopy.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace vhadoop::ml {
+
+std::vector<Vec> canopy_centers(std::span<const Vec> points, double t1, double t2) {
+  if (t1 < t2) throw std::invalid_argument("canopy: T1 must be >= T2");
+  std::vector<Vec> centers;
+  const double t2_sq = t2 * t2;
+  for (const Vec& p : points) {
+    bool strongly_bound = false;
+    for (const Vec& c : centers) {
+      if (squared_euclidean(p, c) <= t2_sq) {
+        strongly_bound = true;
+        break;
+      }
+    }
+    if (!strongly_bound) centers.push_back(p);
+  }
+  return centers;
+}
+
+namespace {
+
+class CanopyMapper : public mapreduce::Mapper {
+ public:
+  CanopyMapper(double t1, double t2) : t1_(t1), t2_(t2) {}
+
+  void map(std::string_view, std::string_view value, mapreduce::Context&) override {
+    points_.push_back(mapreduce::decode_vec(value));
+  }
+
+  void cleanup(mapreduce::Context& ctx) override {
+    for (const Vec& c : canopy_centers(points_, t1_, t2_)) {
+      ctx.emit("centroid", mapreduce::encode_vec(c));
+    }
+  }
+
+ private:
+  double t1_, t2_;
+  std::vector<Vec> points_;
+};
+
+class CanopyReducer : public mapreduce::Reducer {
+ public:
+  CanopyReducer(double t1, double t2) : t1_(t1), t2_(t2) {}
+
+  void reduce(std::string_view, const std::vector<std::string_view>& values,
+              mapreduce::Context& ctx) override {
+    std::vector<Vec> local;
+    local.reserve(values.size());
+    for (auto v : values) local.push_back(mapreduce::decode_vec(v));
+    int i = 0;
+    for (const Vec& c : canopy_centers(local, t1_, t2_)) {
+      ctx.emit("canopy-" + std::to_string(i++), mapreduce::encode_vec(c));
+    }
+  }
+
+ private:
+  double t1_, t2_;
+};
+
+}  // namespace
+
+ClusteringRun canopy_cluster(const Dataset& data, const CanopyConfig& config) {
+  mapreduce::JobSpec spec;
+  spec.config.name = "canopy";
+  spec.config.num_reduces = 1;  // all local centers meet in one reducer
+  spec.config.cost.map_cpu_per_record = 1.2e-5;  // distance scans
+  spec.config.cost.map_cpu_per_byte = 2e-8;
+  spec.mapper = [&config] { return std::make_unique<CanopyMapper>(config.t1, config.t2); };
+  spec.reducer = [&config] { return std::make_unique<CanopyReducer>(config.t1, config.t2); };
+
+  mapreduce::LocalJobRunner runner(config.base.threads);
+  const auto records = to_records(data);
+  ClusteringRun run;
+  run.algorithm = "canopy";
+  run.jobs.push_back(runner.run(spec, records, config.base.num_splits));
+  run.iterations = 1;
+
+  for (const mapreduce::KV& kv : run.jobs[0].output) {
+    run.centers.push_back(mapreduce::decode_vec(kv.value));
+  }
+  run.iteration_centers.push_back(run.centers);
+  run.assignments.reserve(data.size());
+  for (const Vec& p : data.points) {
+    run.assignments.push_back(nearest_center(p, run.centers));
+  }
+  return run;
+}
+
+}  // namespace vhadoop::ml

@@ -1,0 +1,30 @@
+#include "ml/clustering.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace vhadoop::ml {
+
+int nearest_center(const Vec& point, const std::vector<Vec>& centers) {
+  if (centers.empty()) throw std::invalid_argument("nearest_center: no centers");
+  int best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < centers.size(); ++c) {
+    const double d = squared_euclidean(point, centers[c]);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+double total_cost(const Dataset& data, const std::vector<Vec>& centers) {
+  double cost = 0.0;
+  for (const Vec& p : data.points) {
+    cost += squared_euclidean(p, centers[static_cast<std::size_t>(nearest_center(p, centers))]);
+  }
+  return cost;
+}
+
+}  // namespace vhadoop::ml

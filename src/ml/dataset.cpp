@@ -1,0 +1,80 @@
+#include "ml/dataset.hpp"
+
+#include "sim/rng.hpp"
+
+namespace vhadoop::ml {
+
+Dataset synthetic_control(int per_class, int length, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  Dataset data;
+  data.points.reserve(static_cast<std::size_t>(per_class) * 6);
+  data.labels.reserve(data.points.capacity());
+
+  // Alcock & Manolopoulos generator constants: m = 30, r(t) ~ U(-2, 2),
+  // class-specific terms with parameters drawn per-series.
+  const double m = 30.0;
+  for (int cls = 0; cls < 6; ++cls) {
+    for (int s = 0; s < per_class; ++s) {
+      Vec y(static_cast<std::size_t>(length));
+      const double a = rng.uniform(10.0, 15.0);       // cyclic amplitude
+      const double T = rng.uniform(10.0, 15.0);       // cyclic period
+      const double g = rng.uniform(0.2, 0.5);         // trend gradient
+      const double x = rng.uniform(7.5, 20.0);        // shift magnitude
+      const double t3 = rng.uniform(length / 3.0, 2.0 * length / 3.0);  // shift onset
+      for (int t = 0; t < length; ++t) {
+        const double r = rng.uniform(-2.0, 2.0);
+        double v = m + r;
+        switch (cls) {
+          case 0: break;  // normal
+          case 1: v += a * std::sin(2.0 * 3.141592653589793 * t / T); break;
+          case 2: v += g * t; break;
+          case 3: v -= g * t; break;
+          case 4: v += (t >= t3 ? x : 0.0); break;
+          case 5: v -= (t >= t3 ? x : 0.0); break;
+          default: break;
+        }
+        y[static_cast<std::size_t>(t)] = v;
+      }
+      data.points.push_back(std::move(y));
+      data.labels.push_back(cls);
+    }
+  }
+  return data;
+}
+
+Dataset display_clustering_samples(int total, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  Dataset data;
+  struct Blob {
+    double cx, cy, sd;
+    double share;
+  };
+  const Blob blobs[] = {{1.0, 1.0, 3.0, 0.4}, {1.0, 0.0, 0.5, 0.3}, {0.0, 2.0, 0.1, 0.3}};
+  int label = 0;
+  int produced = 0;
+  for (const Blob& b : blobs) {
+    const int n = (label == 2) ? total - produced
+                               : static_cast<int>(b.share * total);
+    for (int i = 0; i < n; ++i) {
+      data.points.push_back({rng.normal(b.cx, b.sd), rng.normal(b.cy, b.sd)});
+      data.labels.push_back(label);
+    }
+    produced += n;
+    ++label;
+  }
+  return data;
+}
+
+std::vector<mapreduce::KV> to_records(const Dataset& data) {
+  std::vector<mapreduce::KV> records;
+  records.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    records.push_back({mapreduce::encode_i64(static_cast<std::int64_t>(i)),
+                       mapreduce::encode_vec(data.points[i])});
+  }
+  return records;
+}
+
+Vec point_of(const mapreduce::KV& record) { return mapreduce::decode_vec(record.value); }
+
+}  // namespace vhadoop::ml

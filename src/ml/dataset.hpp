@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mapreduce/kv.hpp"
+#include "ml/vector.hpp"
+
+namespace vhadoop::ml {
+
+/// A labeled point set (labels only used by tests/visualization).
+struct Dataset {
+  std::vector<Vec> points;
+  std::vector<int> labels;
+
+  std::size_t size() const { return points.size(); }
+  std::size_t dim() const { return points.empty() ? 0 : points[0].size(); }
+};
+
+/// Synthetic Control Chart Time Series (Alcock & Manolopoulos, 1999) — the
+/// exact generator behind the UCI dataset the paper clusters: 6 classes x
+/// `per_class` series of length 60. Classes: 0 normal, 1 cyclic,
+/// 2 increasing trend, 3 decreasing trend, 4 upward shift, 5 downward shift.
+Dataset synthetic_control(int per_class = 100, int length = 60, std::uint64_t seed = 1999);
+
+/// The Mahout DisplayClustering sample set the paper visualizes: `total`
+/// points from three symmetric bivariate normals —
+/// N([1,1], sd 3), N([1,0], sd 0.5), N([0,2], sd 0.1).
+Dataset display_clustering_samples(int total = 1000, std::uint64_t seed = 2012);
+
+/// Serialize points as (row-id, packed doubles) records — the form every
+/// clustering job consumes.
+std::vector<mapreduce::KV> to_records(const Dataset& data);
+
+/// Decode one record back to a point.
+Vec point_of(const mapreduce::KV& record);
+
+}  // namespace vhadoop::ml

@@ -1,0 +1,217 @@
+#include "ml/dirichlet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "sim/rng.hpp"
+
+namespace vhadoop::ml {
+
+namespace {
+
+/// Log density of a spherical Gaussian (up to the shared 2*pi constant).
+double log_pdf(const Vec& x, const DirichletModel& m) {
+  const double d2 = squared_euclidean(x, m.mean);
+  const double var = std::max(1e-6, m.stddev * m.stddev);
+  return -0.5 * d2 / var - 0.5 * static_cast<double>(x.size()) * std::log(var);
+}
+
+/// Posterior over models for x; returns normalized probabilities.
+Vec posterior(const Vec& x, const std::vector<DirichletModel>& models) {
+  Vec logp(models.size());
+  double best = -std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < models.size(); ++j) {
+    logp[j] = std::log(std::max(1e-12, models[j].mixture)) + log_pdf(x, models[j]);
+    best = std::max(best, logp[j]);
+  }
+  double z = 0.0;
+  for (double& lp : logp) {
+    lp = std::exp(lp - best);
+    z += lp;
+  }
+  for (double& lp : logp) lp /= z;
+  return logp;
+}
+
+/// Partial statistics emitted per (model, split): [count, sum|x|^2, sum...].
+std::string encode_stats(double count, double sumsq, const Vec& sum) {
+  Vec payload;
+  payload.reserve(sum.size() + 2);
+  payload.push_back(count);
+  payload.push_back(sumsq);
+  payload.insert(payload.end(), sum.begin(), sum.end());
+  return mapreduce::encode_vec(payload);
+}
+
+struct Stats {
+  double count = 0.0;
+  double sumsq = 0.0;
+  Vec sum;
+};
+
+Stats decode_stats(std::string_view s) {
+  Vec payload = mapreduce::decode_vec(s);
+  Stats st;
+  if (payload.size() >= 2) {
+    st.count = payload[0];
+    st.sumsq = payload[1];
+    st.sum.assign(payload.begin() + 2, payload.end());
+  }
+  return st;
+}
+
+double norm_sq(const Vec& v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return s;
+}
+
+class DirichletMapper : public mapreduce::Mapper {
+ public:
+  DirichletMapper(std::shared_ptr<const std::vector<DirichletModel>> models, int iteration)
+      : models_(std::move(models)), iteration_(iteration),
+        counts_(models_->size(), 0.0), sumsqs_(models_->size(), 0.0),
+        sums_(models_->size()) {}
+
+  void map(std::string_view key, std::string_view value, mapreduce::Context&) override {
+    const Vec x = mapreduce::decode_vec(value);
+    const Vec p = posterior(x, *models_);
+    // Gibbs assignment, deterministically seeded by (record, iteration) so
+    // the sampling is independent of split layout and thread schedule.
+    sim::Rng rng(mapreduce::stable_hash(key) * 0x9e3779b97f4a7c15ULL +
+                 static_cast<std::uint64_t>(iteration_));
+    const double u = rng.uniform();
+    double acc = 0.0;
+    std::size_t j = p.size() - 1;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      acc += p[i];
+      if (u <= acc) {
+        j = i;
+        break;
+      }
+    }
+    counts_[j] += 1.0;
+    sumsqs_[j] += norm_sq(x);
+    add_in_place(sums_[j], x);
+  }
+
+  void cleanup(mapreduce::Context& ctx) override {
+    for (std::size_t j = 0; j < counts_.size(); ++j) {
+      if (counts_[j] > 0.0) {
+        ctx.emit(std::to_string(j), encode_stats(counts_[j], sumsqs_[j], sums_[j]));
+      }
+    }
+  }
+
+ private:
+  std::shared_ptr<const std::vector<DirichletModel>> models_;
+  int iteration_;
+  std::vector<double> counts_;
+  std::vector<double> sumsqs_;
+  std::vector<Vec> sums_;
+};
+
+class DirichletReducer : public mapreduce::Reducer {
+ public:
+  void reduce(std::string_view key, const std::vector<std::string_view>& values,
+              mapreduce::Context& ctx) override {
+    Stats total;
+    for (auto v : values) {
+      Stats s = decode_stats(v);
+      total.count += s.count;
+      total.sumsq += s.sumsq;
+      add_in_place(total.sum, s.sum);
+    }
+    ctx.emit(std::string(key), encode_stats(total.count, total.sumsq, total.sum));
+  }
+};
+
+}  // namespace
+
+DirichletRun dirichlet_cluster(const Dataset& data, const DirichletConfig& config) {
+  sim::Rng rng(4242);
+  const std::size_t dim = data.dim();
+
+  // Initialize: means from random data points, stddev from a coarse data
+  // scale estimate, uniform mixture.
+  auto models = std::make_shared<std::vector<DirichletModel>>();
+  double scale = 0.0;
+  for (int s = 0; s < 32; ++s) {
+    const Vec& a = data.points[rng.uniform_int(data.size())];
+    const Vec& b = data.points[rng.uniform_int(data.size())];
+    scale += euclidean(a, b);
+  }
+  scale = std::max(1e-3, scale / 32.0);
+  for (int j = 0; j < config.k; ++j) {
+    DirichletModel m;
+    m.mixture = 1.0 / config.k;
+    m.mean = data.points[rng.uniform_int(data.size())];
+    m.stddev = scale;
+    models->push_back(std::move(m));
+  }
+
+  mapreduce::LocalJobRunner runner(config.base.threads);
+  const auto records = to_records(data);
+
+  DirichletRun run;
+  run.algorithm = "dirichlet";
+
+  const double n = static_cast<double>(data.size());
+  for (int iter = 0; iter < config.base.max_iterations; ++iter) {
+    mapreduce::JobSpec spec;
+    spec.config.name = "dirichlet-iter" + std::to_string(iter);
+    spec.config.num_reduces = config.base.num_reduces;
+    spec.config.cost.map_cpu_per_record = 1.4e-5 * static_cast<double>(config.k);
+    spec.config.cost.map_cpu_per_byte = 2e-8;
+    auto snapshot = models;
+    spec.mapper = [snapshot, iter] { return std::make_unique<DirichletMapper>(snapshot, iter); };
+    spec.reducer = [] { return std::make_unique<DirichletReducer>(); };
+
+    auto result = runner.run(spec, records, config.base.num_splits);
+    ++run.iterations;
+
+    auto next = std::make_shared<std::vector<DirichletModel>>(*models);
+    for (auto& m : *next) m.count = 0.0;
+    for (const mapreduce::KV& kv : result.output) {
+      const auto j = static_cast<std::size_t>(std::stoul(kv.key));
+      const Stats st = decode_stats(kv.value);
+      DirichletModel& m = (*next)[j];
+      m.count = st.count;
+      if (st.count > 0.0) {
+        m.mean = mean_of(st.sum, st.count);
+        const double var =
+            std::max(1e-6, (st.sumsq / st.count - norm_sq(m.mean)) / static_cast<double>(dim));
+        m.stddev = std::sqrt(var);
+      }
+    }
+    // Dirichlet-posterior mixture (expectation form): occupied models grow,
+    // empty models retain alpha/k mass to catch new structure.
+    for (auto& m : *next) {
+      m.mixture = (m.count + config.alpha / config.k) / (n + config.alpha);
+    }
+
+    run.jobs.push_back(std::move(result));
+    models = std::move(next);
+    std::vector<Vec> iter_centers;
+    for (const auto& m : *models) {
+      if (m.count > 0.0) iter_centers.push_back(m.mean);
+    }
+    run.iteration_centers.push_back(std::move(iter_centers));
+  }
+
+  run.models = *models;
+  for (const auto& m : *models) {
+    if (m.count > 0.0) run.centers.push_back(m.mean);
+  }
+  // MAP assignment against the final mixture.
+  run.assignments.reserve(data.size());
+  for (const Vec& p : data.points) {
+    const Vec post = posterior(p, *models);
+    run.assignments.push_back(static_cast<int>(
+        std::distance(post.begin(), std::max_element(post.begin(), post.end()))));
+  }
+  return run;
+}
+
+}  // namespace vhadoop::ml

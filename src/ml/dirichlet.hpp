@@ -1,0 +1,35 @@
+#pragma once
+
+#include "ml/clustering.hpp"
+
+namespace vhadoop::ml {
+
+/// Dirichlet Process Clustering (paper Sec. IV-A, Mahout DirichletDriver):
+/// Bayesian mixture modeling with `k` candidate spherical-Gaussian models.
+/// Each iteration's mapper computes the posterior over models for every
+/// point and *samples* an assignment (Gibbs style, deterministically seeded
+/// per record/iteration so runs are reproducible); the reducer re-estimates
+/// model means/variances and the mixture is re-weighted with the Dirichlet
+/// prior `alpha`. Empty models stay available for data to occupy — the DP's
+/// "new table" behaviour within a truncated stick.
+struct DirichletConfig {
+  int k = 10;         ///< truncation level (candidate models)
+  double alpha = 1.0;  ///< concentration parameter
+  ClusteringConfig base;
+};
+
+/// One candidate model.
+struct DirichletModel {
+  double mixture = 0.0;  ///< mixing weight
+  double count = 0.0;    ///< points assigned last iteration
+  Vec mean;
+  double stddev = 1.0;
+};
+
+struct DirichletRun : ClusteringRun {
+  std::vector<DirichletModel> models;  ///< all k models, including empty
+};
+
+DirichletRun dirichlet_cluster(const Dataset& data, const DirichletConfig& config);
+
+}  // namespace vhadoop::ml

@@ -1,0 +1,151 @@
+#include "ml/fuzzy_kmeans.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "ml/kmeans.hpp"
+
+namespace vhadoop::ml {
+
+Vec memberships(const Vec& point, const std::vector<Vec>& centers, double m) {
+  if (m <= 1.0) throw std::invalid_argument("fuzzy k-means: m must be > 1");
+  const double exponent = 2.0 / (m - 1.0);
+  Vec dist(centers.size());
+  for (std::size_t j = 0; j < centers.size(); ++j) {
+    dist[j] = euclidean(point, centers[j]);
+  }
+  Vec u(centers.size(), 0.0);
+  for (std::size_t j = 0; j < centers.size(); ++j) {
+    if (dist[j] == 0.0) {
+      // Point coincides with a center: full membership there.
+      u.assign(centers.size(), 0.0);
+      u[j] = 1.0;
+      return u;
+    }
+    double denom = 0.0;
+    for (std::size_t k = 0; k < centers.size(); ++k) {
+      denom += std::pow(dist[j] / dist[k], exponent);
+    }
+    u[j] = 1.0 / denom;
+  }
+  return u;
+}
+
+namespace {
+
+std::string encode_partial(double weight, const Vec& sum) {
+  Vec payload;
+  payload.reserve(sum.size() + 1);
+  payload.push_back(weight);
+  payload.insert(payload.end(), sum.begin(), sum.end());
+  return mapreduce::encode_vec(payload);
+}
+
+std::pair<double, Vec> decode_partial(std::string_view s) {
+  Vec payload = mapreduce::decode_vec(s);
+  const double w = payload.empty() ? 0.0 : payload[0];
+  Vec sum(payload.begin() + (payload.empty() ? 0 : 1), payload.end());
+  return {w, std::move(sum)};
+}
+
+class FuzzyMapper : public mapreduce::Mapper {
+ public:
+  FuzzyMapper(std::shared_ptr<const std::vector<Vec>> centers, double m)
+      : centers_(std::move(centers)),
+        m_(m),
+        sums_(centers_->size()),
+        weights_(centers_->size(), 0.0) {}
+
+  void map(std::string_view, std::string_view value, mapreduce::Context&) override {
+    const Vec p = mapreduce::decode_vec(value);
+    const Vec u = memberships(p, *centers_, m_);
+    for (std::size_t j = 0; j < u.size(); ++j) {
+      const double w = std::pow(u[j], m_);
+      if (w <= 0.0) continue;
+      weights_[j] += w;
+      Vec wp = scaled(p, w);
+      add_in_place(sums_[j], wp);
+    }
+  }
+
+  void cleanup(mapreduce::Context& ctx) override {
+    for (std::size_t j = 0; j < weights_.size(); ++j) {
+      if (weights_[j] > 0.0) {
+        ctx.emit(std::to_string(j), encode_partial(weights_[j], sums_[j]));
+      }
+    }
+  }
+
+ private:
+  std::shared_ptr<const std::vector<Vec>> centers_;
+  double m_;
+  std::vector<Vec> sums_;
+  std::vector<double> weights_;
+};
+
+class FuzzyReducer : public mapreduce::Reducer {
+ public:
+  void reduce(std::string_view key, const std::vector<std::string_view>& values,
+              mapreduce::Context& ctx) override {
+    double weight = 0.0;
+    Vec sum;
+    for (auto v : values) {
+      auto [w, s] = decode_partial(v);
+      weight += w;
+      add_in_place(sum, s);
+    }
+    ctx.emit(std::string(key), encode_partial(weight, mean_of(std::move(sum), weight)));
+  }
+};
+
+}  // namespace
+
+ClusteringRun fuzzy_kmeans_cluster(const Dataset& data, const FuzzyKMeansConfig& config,
+                                   std::vector<Vec> initial_centers) {
+  auto centers = std::make_shared<std::vector<Vec>>(
+      initial_centers.empty() ? seed_centers(data, config.k) : std::move(initial_centers));
+
+  mapreduce::LocalJobRunner runner(config.base.threads);
+  const auto records = to_records(data);
+
+  ClusteringRun run;
+  run.algorithm = "fuzzykmeans";
+  run.iteration_centers.push_back(*centers);
+
+  for (int iter = 0; iter < config.base.max_iterations; ++iter) {
+    mapreduce::JobSpec spec;
+    spec.config.name = "fuzzykmeans-iter" + std::to_string(iter);
+    spec.config.num_reduces = config.base.num_reduces;
+    spec.config.cost.map_cpu_per_record = 9e-6 * static_cast<double>(centers->size());
+    spec.config.cost.map_cpu_per_byte = 2e-8;
+    auto snapshot = centers;
+    const double m = config.m;
+    spec.mapper = [snapshot, m] { return std::make_unique<FuzzyMapper>(snapshot, m); };
+    spec.reducer = [] { return std::make_unique<FuzzyReducer>(); };
+
+    auto result = runner.run(spec, records, config.base.num_splits);
+    ++run.iterations;
+
+    std::vector<Vec> next = *centers;
+    double max_move = 0.0;
+    for (const mapreduce::KV& kv : result.output) {
+      const auto c = static_cast<std::size_t>(std::stoul(kv.key));
+      auto [w, mean] = decode_partial(kv.value);
+      if (w > 0.0) {
+        max_move = std::max(max_move, euclidean(mean, (*centers)[c]));
+        next[c] = std::move(mean);
+      }
+    }
+    run.jobs.push_back(std::move(result));
+    centers = std::make_shared<std::vector<Vec>>(std::move(next));
+    run.iteration_centers.push_back(*centers);
+    if (max_move < config.base.convergence_delta) break;
+  }
+
+  run.centers = *centers;
+  run.assignments.reserve(data.size());
+  for (const Vec& p : data.points) run.assignments.push_back(nearest_center(p, run.centers));
+  return run;
+}
+
+}  // namespace vhadoop::ml

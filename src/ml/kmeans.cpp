@@ -1,0 +1,137 @@
+#include "ml/kmeans.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace vhadoop::ml {
+
+std::vector<Vec> seed_centers(const Dataset& data, int k, std::uint64_t seed) {
+  if (k <= 0) throw std::invalid_argument("k <= 0");
+  if (data.size() < static_cast<std::size_t>(k)) {
+    throw std::invalid_argument("k exceeds dataset size");
+  }
+  sim::Rng rng(seed);
+  std::vector<std::size_t> idx(data.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  rng.shuffle(idx);
+  std::vector<Vec> centers;
+  centers.reserve(static_cast<std::size_t>(k));
+  for (int c = 0; c < k; ++c) centers.push_back(data.points[idx[static_cast<std::size_t>(c)]]);
+  return centers;
+}
+
+namespace {
+
+/// Value payload of a partial cluster observation: [count, sum...].
+std::string encode_partial(double count, const Vec& sum) {
+  Vec payload;
+  payload.reserve(sum.size() + 1);
+  payload.push_back(count);
+  payload.insert(payload.end(), sum.begin(), sum.end());
+  return mapreduce::encode_vec(payload);
+}
+
+std::pair<double, Vec> decode_partial(std::string_view s) {
+  Vec payload = mapreduce::decode_vec(s);
+  const double count = payload.empty() ? 0.0 : payload[0];
+  Vec sum(payload.begin() + (payload.empty() ? 0 : 1), payload.end());
+  return {count, std::move(sum)};
+}
+
+class KMeansMapper : public mapreduce::Mapper {
+ public:
+  explicit KMeansMapper(std::shared_ptr<const std::vector<Vec>> centers)
+      : centers_(std::move(centers)),
+        sums_(centers_->size()),
+        counts_(centers_->size(), 0.0) {}
+
+  void map(std::string_view, std::string_view value, mapreduce::Context&) override {
+    const Vec p = mapreduce::decode_vec(value);
+    const auto c = static_cast<std::size_t>(nearest_center(p, *centers_));
+    add_in_place(sums_[c], p);
+    counts_[c] += 1.0;
+  }
+
+  void cleanup(mapreduce::Context& ctx) override {
+    // In-mapper combining (one partial per cluster per task — what the
+    // combiner would produce anyway, with identical shuffle volume).
+    for (std::size_t c = 0; c < counts_.size(); ++c) {
+      if (counts_[c] > 0.0) {
+        ctx.emit(std::to_string(c), encode_partial(counts_[c], sums_[c]));
+      }
+    }
+  }
+
+ private:
+  std::shared_ptr<const std::vector<Vec>> centers_;
+  std::vector<Vec> sums_;
+  std::vector<double> counts_;
+};
+
+class KMeansReducer : public mapreduce::Reducer {
+ public:
+  void reduce(std::string_view key, const std::vector<std::string_view>& values,
+              mapreduce::Context& ctx) override {
+    double count = 0.0;
+    Vec sum;
+    for (auto v : values) {
+      auto [c, s] = decode_partial(v);
+      count += c;
+      add_in_place(sum, s);
+    }
+    ctx.emit(std::string(key), encode_partial(count, mean_of(std::move(sum), count)));
+  }
+};
+
+}  // namespace
+
+ClusteringRun kmeans_cluster(const Dataset& data, const KMeansConfig& config,
+                             std::vector<Vec> initial_centers) {
+  auto centers = std::make_shared<std::vector<Vec>>(
+      initial_centers.empty() ? seed_centers(data, config.k) : std::move(initial_centers));
+
+  mapreduce::LocalJobRunner runner(config.base.threads);
+  const auto records = to_records(data);
+
+  ClusteringRun run;
+  run.algorithm = "kmeans";
+  run.iteration_centers.push_back(*centers);
+
+  for (int iter = 0; iter < config.base.max_iterations; ++iter) {
+    mapreduce::JobSpec spec;
+    spec.config.name = "kmeans-iter" + std::to_string(iter);
+    spec.config.num_reduces = config.base.num_reduces;
+    spec.config.cost.map_cpu_per_record = 4e-6 * static_cast<double>(centers->size());
+    spec.config.cost.map_cpu_per_byte = 1.5e-8;
+    auto snapshot = centers;  // mappers see this iteration's centers
+    spec.mapper = [snapshot] { return std::make_unique<KMeansMapper>(snapshot); };
+    spec.reducer = [] { return std::make_unique<KMeansReducer>(); };
+
+    auto result = runner.run(spec, records, config.base.num_splits);
+    ++run.iterations;
+
+    std::vector<Vec> next = *centers;  // empty clusters keep their center
+    double max_move = 0.0;
+    for (const mapreduce::KV& kv : result.output) {
+      const auto c = static_cast<std::size_t>(std::stoul(kv.key));
+      auto [count, mean] = decode_partial(kv.value);
+      if (count > 0.0) {
+        max_move = std::max(max_move, euclidean(mean, (*centers)[c]));
+        next[c] = std::move(mean);
+      }
+    }
+    run.jobs.push_back(std::move(result));
+    centers = std::make_shared<std::vector<Vec>>(std::move(next));
+    run.iteration_centers.push_back(*centers);
+    if (max_move < config.base.convergence_delta) break;
+  }
+
+  run.centers = *centers;
+  run.assignments.reserve(data.size());
+  for (const Vec& p : data.points) run.assignments.push_back(nearest_center(p, run.centers));
+  return run;
+}
+
+}  // namespace vhadoop::ml

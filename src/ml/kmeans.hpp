@@ -1,0 +1,24 @@
+#pragma once
+
+#include "ml/clustering.hpp"
+
+namespace vhadoop::ml {
+
+/// MapReduce k-means (paper Sec. IV-A, Mahout KMeansDriver): per iteration
+/// one job — mappers assign points to the nearest centroid and emit partial
+/// (sum, count) per cluster, a combiner folds partials, the reducer forms
+/// new centroids; the driver loops until centroids move less than the
+/// convergence delta or max iterations is hit.
+struct KMeansConfig {
+  int k = 6;
+  ClusteringConfig base;
+};
+
+/// Seed centers: the first k distinct points (Mahout's RandomSeedGenerator
+/// with a fixed seed is equivalent for our deterministic datasets).
+std::vector<Vec> seed_centers(const Dataset& data, int k, std::uint64_t seed = 31);
+
+ClusteringRun kmeans_cluster(const Dataset& data, const KMeansConfig& config,
+                             std::vector<Vec> initial_centers = {});
+
+}  // namespace vhadoop::ml

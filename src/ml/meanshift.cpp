@@ -1,0 +1,169 @@
+#include "ml/meanshift.hpp"
+
+#include <memory>
+
+namespace vhadoop::ml {
+
+namespace {
+
+struct Canopy {
+  double weight = 1.0;
+  Vec center;
+};
+
+std::string encode_canopy(const Canopy& c) {
+  Vec payload;
+  payload.reserve(c.center.size() + 1);
+  payload.push_back(c.weight);
+  payload.insert(payload.end(), c.center.begin(), c.center.end());
+  return mapreduce::encode_vec(payload);
+}
+
+Canopy decode_canopy(std::string_view s) {
+  Vec payload = mapreduce::decode_vec(s);
+  Canopy c;
+  c.weight = payload.empty() ? 0.0 : payload[0];
+  c.center.assign(payload.begin() + (payload.empty() ? 0 : 1), payload.end());
+  return c;
+}
+
+/// Shift every canopy toward the weighted mean of its T1-neighbourhood,
+/// then greedily merge canopies within T2. The kernel both the mapper
+/// (over its split) and the reducer (over everything) apply.
+std::vector<Canopy> shift_and_merge(const std::vector<Canopy>& in, double t1, double t2) {
+  const double t1_sq = t1 * t1, t2_sq = t2 * t2;
+  std::vector<Canopy> shifted;
+  shifted.reserve(in.size());
+  for (const Canopy& c : in) {
+    Vec sum;
+    double weight = 0.0;
+    for (const Canopy& o : in) {
+      if (squared_euclidean(c.center, o.center) <= t1_sq) {
+        Vec contrib = scaled(o.center, o.weight);
+        add_in_place(sum, contrib);
+        weight += o.weight;
+      }
+    }
+    shifted.push_back({c.weight, mean_of(std::move(sum), weight)});
+  }
+  std::vector<Canopy> merged;
+  for (const Canopy& c : shifted) {
+    bool absorbed = false;
+    for (Canopy& m : merged) {
+      if (squared_euclidean(c.center, m.center) <= t2_sq) {
+        // Weighted average of the two centers.
+        const double w = m.weight + c.weight;
+        for (std::size_t i = 0; i < m.center.size(); ++i) {
+          m.center[i] = (m.center[i] * m.weight + c.center[i] * c.weight) / w;
+        }
+        m.weight = w;
+        absorbed = true;
+        break;
+      }
+    }
+    if (!absorbed) merged.push_back(c);
+  }
+  return merged;
+}
+
+class MeanShiftMapper : public mapreduce::Mapper {
+ public:
+  MeanShiftMapper(double t1, double t2) : t1_(t1), t2_(t2) {}
+
+  void map(std::string_view, std::string_view value, mapreduce::Context&) override {
+    canopies_.push_back(decode_canopy(value));
+  }
+
+  void cleanup(mapreduce::Context& ctx) override {
+    for (const Canopy& c : shift_and_merge(canopies_, t1_, t2_)) {
+      ctx.emit("canopy", encode_canopy(c));
+    }
+  }
+
+ private:
+  double t1_, t2_;
+  std::vector<Canopy> canopies_;
+};
+
+class MeanShiftReducer : public mapreduce::Reducer {
+ public:
+  MeanShiftReducer(double t1, double t2) : t1_(t1), t2_(t2) {}
+
+  void reduce(std::string_view, const std::vector<std::string_view>& values,
+              mapreduce::Context& ctx) override {
+    std::vector<Canopy> all;
+    all.reserve(values.size());
+    for (auto v : values) all.push_back(decode_canopy(v));
+    int i = 0;
+    for (const Canopy& c : shift_and_merge(all, t1_, t2_)) {
+      ctx.emit("c" + std::to_string(i++), encode_canopy(c));
+    }
+  }
+
+ private:
+  double t1_, t2_;
+};
+
+}  // namespace
+
+ClusteringRun meanshift_cluster(const Dataset& data, const MeanShiftConfig& config) {
+  // Every point starts as a unit-weight canopy.
+  std::vector<mapreduce::KV> state;
+  state.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    state.push_back({mapreduce::encode_i64(static_cast<std::int64_t>(i)),
+                     encode_canopy({1.0, data.points[i]})});
+  }
+
+  mapreduce::LocalJobRunner runner(config.base.threads);
+  ClusteringRun run;
+  run.algorithm = "meanshift";
+  std::vector<Vec> prev_centers;
+
+  for (int iter = 0; iter < config.base.max_iterations; ++iter) {
+    mapreduce::JobSpec spec;
+    spec.config.name = "meanshift-iter" + std::to_string(iter);
+    spec.config.num_reduces = 1;
+    spec.config.cost.map_cpu_per_record = 2e-5;  // O(n^2/splits) neighbourhood scans
+    spec.config.cost.map_cpu_per_byte = 2e-8;
+    const double t1 = config.t1, t2 = config.t2;
+    spec.mapper = [t1, t2] { return std::make_unique<MeanShiftMapper>(t1, t2); };
+    spec.reducer = [t1, t2] { return std::make_unique<MeanShiftReducer>(t1, t2); };
+
+    auto result = runner.run(spec, state, config.base.num_splits);
+    ++run.iterations;
+
+    std::vector<Vec> centers;
+    state.clear();
+    for (const mapreduce::KV& kv : result.output) {
+      Canopy c = decode_canopy(kv.value);
+      centers.push_back(c.center);
+      state.push_back({kv.key, kv.value});
+    }
+    run.jobs.push_back(std::move(result));
+    run.iteration_centers.push_back(centers);
+
+    // Converged when the canopy population is stable and nothing moved
+    // farther than the delta.
+    bool converged = !prev_centers.empty() && centers.size() == prev_centers.size();
+    if (converged) {
+      for (const Vec& c : centers) {
+        double best = std::numeric_limits<double>::infinity();
+        for (const Vec& p : prev_centers) best = std::min(best, euclidean(c, p));
+        if (best > config.base.convergence_delta) {
+          converged = false;
+          break;
+        }
+      }
+    }
+    prev_centers = std::move(centers);
+    if (converged) break;
+  }
+
+  run.centers = prev_centers;
+  run.assignments.reserve(data.size());
+  for (const Vec& p : data.points) run.assignments.push_back(nearest_center(p, run.centers));
+  return run;
+}
+
+}  // namespace vhadoop::ml

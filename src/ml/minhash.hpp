@@ -1,0 +1,33 @@
+#pragma once
+
+#include <map>
+
+#include "ml/clustering.hpp"
+
+namespace vhadoop::ml {
+
+/// MinHash clustering (paper Sec. IV-A, Mahout MinHashDriver): probabilistic
+/// dimension reduction / LSH. Each point's features are discretized into a
+/// set; `num_hash_functions` independent hashes are grouped into bands of
+/// `keygroups` minima whose concatenation is the cluster key — similar
+/// points collide with high probability. The reducer keeps clusters with at
+/// least `min_cluster_size` members.
+struct MinHashConfig {
+  int num_hash_functions = 10;
+  int keygroups = 2;            ///< hash minima concatenated per cluster key
+  int min_cluster_size = 2;
+  double bucket_width = 1.0;    ///< feature discretization step
+  ClusteringConfig base;
+};
+
+struct MinHashRun : ClusteringRun {
+  /// cluster key -> member point ids (ordered: deterministic iteration).
+  std::map<std::string, std::vector<std::int64_t>> clusters;
+};
+
+/// Discretize a point into its feature-bucket set (exposed for tests).
+std::vector<std::int64_t> feature_set(const Vec& point, double bucket_width);
+
+MinHashRun minhash_cluster(const Dataset& data, const MinHashConfig& config);
+
+}  // namespace vhadoop::ml

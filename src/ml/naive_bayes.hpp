@@ -1,0 +1,62 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mapreduce/job.hpp"
+#include "ml/clustering.hpp"
+
+namespace vhadoop::ml {
+
+/// Multinomial Naive Bayes text classifier (the *classification* category
+/// of the paper's Machine Learning Algorithm Library; Mahout's
+/// TrainClassifier/TestClassifier pair). Training is one MapReduce job:
+/// mappers emit per-(label, token) counts with in-mapper combining, the
+/// reducer aggregates; the driver assembles the smoothed model.
+/// Classification is a map-only job scoring documents against the model.
+struct LabeledDoc {
+  std::string label;
+  std::vector<std::string> tokens;
+};
+
+struct NaiveBayesModel {
+  /// log P(label).
+  std::map<std::string, double> log_prior;
+  /// log P(token | label), Laplace-smoothed.
+  std::map<std::string, std::map<std::string, double>> log_likelihood;
+  /// Smoothing fallback per label: log( alpha / (total + alpha * |V|) ).
+  std::map<std::string, double> log_unseen;
+  std::size_t vocabulary_size = 0;
+
+  std::string classify(const std::vector<std::string>& tokens) const;
+};
+
+struct NaiveBayesRun {
+  NaiveBayesModel model;
+  std::vector<mapreduce::JobResult> jobs;  ///< [0] = train (for sim replay)
+};
+
+struct NaiveBayesConfig {
+  double alpha = 1.0;  ///< Laplace smoothing
+  int num_splits = 4;
+  int num_reduces = 1;
+  unsigned threads = 0;
+};
+
+/// Train via MapReduce over the labeled corpus.
+NaiveBayesRun train_naive_bayes(const std::vector<LabeledDoc>& docs,
+                                const NaiveBayesConfig& config = {});
+
+/// Classify a corpus with a trained model through a map-only MapReduce job;
+/// returns (doc index -> predicted label) plus the measured job.
+std::pair<std::vector<std::string>, mapreduce::JobResult> classify_naive_bayes(
+    const NaiveBayesModel& model, const std::vector<LabeledDoc>& docs,
+    const NaiveBayesConfig& config = {});
+
+/// Synthetic, separable text-classification corpus: each class draws its
+/// tokens from a shifted Zipf window of a shared vocabulary.
+std::vector<LabeledDoc> synthetic_labeled_corpus(int classes, int docs_per_class,
+                                                 int tokens_per_doc, std::uint64_t seed = 7);
+
+}  // namespace vhadoop::ml

@@ -1,0 +1,117 @@
+#include "ml/quality.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace vhadoop::ml {
+
+namespace {
+
+std::map<int, std::vector<std::size_t>> members_of(const std::vector<int>& assignments) {
+  std::map<int, std::vector<std::size_t>> members;
+  for (std::size_t i = 0; i < assignments.size(); ++i) {
+    members[assignments[i]].push_back(i);
+  }
+  return members;
+}
+
+std::map<int, Vec> centroids_of(const Dataset& data, const std::vector<int>& assignments) {
+  std::map<int, Vec> centroids;
+  std::map<int, double> counts;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    add_in_place(centroids[assignments[i]], data.points[i]);
+    counts[assignments[i]] += 1.0;
+  }
+  for (auto& [c, sum] : centroids) scale_in_place(sum, 1.0 / counts[c]);
+  return centroids;
+}
+
+void check(const Dataset& data, const std::vector<int>& assignments) {
+  if (data.size() != assignments.size()) {
+    throw std::invalid_argument("quality: assignments size mismatch");
+  }
+  if (data.size() == 0) throw std::invalid_argument("quality: empty dataset");
+}
+
+}  // namespace
+
+double silhouette(const Dataset& data, const std::vector<int>& assignments) {
+  check(data, assignments);
+  const auto members = members_of(assignments);
+  if (members.size() < 2) return 0.0;
+
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto& own = members.at(assignments[i]);
+    if (own.size() < 2) continue;  // silhouette undefined for singletons
+    double a = 0.0;
+    for (std::size_t j : own) {
+      if (j != i) a += euclidean(data.points[i], data.points[j]);
+    }
+    a /= static_cast<double>(own.size() - 1);
+
+    double b = std::numeric_limits<double>::infinity();
+    for (const auto& [cluster, other] : members) {
+      if (cluster == assignments[i]) continue;
+      double mean = 0.0;
+      for (std::size_t j : other) mean += euclidean(data.points[i], data.points[j]);
+      b = std::min(b, mean / static_cast<double>(other.size()));
+    }
+    total += (b - a) / std::max(a, b);
+    ++counted;
+  }
+  return counted ? total / static_cast<double>(counted) : 0.0;
+}
+
+double davies_bouldin(const Dataset& data, const std::vector<int>& assignments) {
+  check(data, assignments);
+  const auto members = members_of(assignments);
+  const auto centroids = centroids_of(data, assignments);
+  if (members.size() < 2) return 0.0;
+
+  // Per-cluster scatter.
+  std::map<int, double> scatter;
+  for (const auto& [cluster, idx] : members) {
+    double s = 0.0;
+    for (std::size_t i : idx) s += euclidean(data.points[i], centroids.at(cluster));
+    scatter[cluster] = s / static_cast<double>(idx.size());
+  }
+  double db = 0.0;
+  for (const auto& [ci, si] : scatter) {
+    double worst = 0.0;
+    for (const auto& [cj, sj] : scatter) {
+      if (ci == cj) continue;
+      const double d = euclidean(centroids.at(ci), centroids.at(cj));
+      if (d > 0) worst = std::max(worst, (si + sj) / d);
+    }
+    db += worst;
+  }
+  return db / static_cast<double>(scatter.size());
+}
+
+double wcss(const Dataset& data, const std::vector<int>& assignments) {
+  check(data, assignments);
+  const auto centroids = centroids_of(data, assignments);
+  double total = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    total += squared_euclidean(data.points[i], centroids.at(assignments[i]));
+  }
+  return total;
+}
+
+double rand_index(const std::vector<int>& a, const std::vector<int>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("rand_index: size mismatch");
+  if (a.size() < 2) return 1.0;
+  std::size_t agree = 0, total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = i + 1; j < a.size(); ++j) {
+      agree += ((a[i] == a[j]) == (b[i] == b[j]));
+      ++total;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(total);
+}
+
+}  // namespace vhadoop::ml

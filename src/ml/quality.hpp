@@ -1,0 +1,24 @@
+#pragma once
+
+#include "ml/clustering.hpp"
+
+namespace vhadoop::ml {
+
+/// Clustering quality metrics used to validate the algorithm library
+/// (Mahout ships the same evaluators in its `clustering` utilities).
+
+/// Mean silhouette coefficient in [-1, 1]; higher = better separated.
+/// O(n^2) — intended for test-scale data.
+double silhouette(const Dataset& data, const std::vector<int>& assignments);
+
+/// Davies-Bouldin index; lower = better (0 is perfect separation).
+double davies_bouldin(const Dataset& data, const std::vector<int>& assignments);
+
+/// Within-cluster sum of squared distances to centroids.
+double wcss(const Dataset& data, const std::vector<int>& assignments);
+
+/// Adjusted-for-chance agreement between two labelings (Rand index,
+/// unadjusted): fraction of point pairs on which they agree.
+double rand_index(const std::vector<int>& a, const std::vector<int>& b);
+
+}  // namespace vhadoop::ml

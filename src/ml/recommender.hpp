@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "mapreduce/job.hpp"
+
+namespace vhadoop::ml {
+
+/// Item-based collaborative filtering (the *recommendations* category of
+/// the paper's ML library; Mahout's item-similarity RecommenderJob,
+/// simplified to the classic two-job pipeline):
+///   job 1 — co-occurrence: each user's preference list yields item pairs;
+///           reducers aggregate the co-occurrence matrix rows;
+///   job 2 — recommendation: each user's vector is multiplied against the
+///           matrix; top-N unseen items are emitted.
+struct Rating {
+  std::int64_t user = 0;
+  std::int64_t item = 0;
+  double value = 1.0;
+};
+
+struct RecommenderConfig {
+  int top_n = 3;
+  int num_splits = 4;
+  int num_reduces = 2;
+  unsigned threads = 0;
+};
+
+struct RecommenderRun {
+  /// user -> recommended items, best first.
+  std::map<std::int64_t, std::vector<std::int64_t>> recommendations;
+  /// Sparse co-occurrence matrix: item -> (item -> count).
+  std::map<std::int64_t, std::map<std::int64_t, double>> cooccurrence;
+  std::vector<mapreduce::JobResult> jobs;  ///< [0] co-occurrence, [1] recommend
+};
+
+RecommenderRun recommend_items(const std::vector<Rating>& ratings,
+                               const RecommenderConfig& config = {});
+
+/// Synthetic ratings with planted block structure: users of group g rate
+/// items of group g highly, so in-group unseen items are the right answer.
+std::vector<Rating> synthetic_ratings(int groups, int users_per_group, int items_per_group,
+                                      double rated_fraction, std::uint64_t seed = 17);
+
+}  // namespace vhadoop::ml

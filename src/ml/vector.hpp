@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace vhadoop::ml {
+
+/// Dense feature vector. The clustering algorithms are dimension-agnostic;
+/// the paper's datasets are 60-d (control charts) and 2-d (display).
+using Vec = std::vector<double>;
+
+inline void check_same_dim(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dimension mismatch");
+}
+
+inline double squared_euclidean(std::span<const double> a, std::span<const double> b) {
+  check_same_dim(a, b);
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+inline double euclidean(std::span<const double> a, std::span<const double> b) {
+  return std::sqrt(squared_euclidean(a, b));
+}
+
+inline double manhattan(std::span<const double> a, std::span<const double> b) {
+  check_same_dim(a, b);
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += std::abs(a[i] - b[i]);
+  return s;
+}
+
+inline double cosine_distance(std::span<const double> a, std::span<const double> b) {
+  check_same_dim(a, b);
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 1.0;
+  return 1.0 - dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+inline void add_in_place(Vec& acc, std::span<const double> x) {
+  if (acc.empty()) acc.assign(x.begin(), x.end());
+  else {
+    check_same_dim(acc, x);
+    for (std::size_t i = 0; i < x.size(); ++i) acc[i] += x[i];
+  }
+}
+
+inline void scale_in_place(Vec& v, double s) {
+  for (double& x : v) x *= s;
+}
+
+inline Vec scaled(std::span<const double> v, double s) {
+  Vec out(v.begin(), v.end());
+  scale_in_place(out, s);
+  return out;
+}
+
+/// Mean of per-cluster accumulated sum and count.
+inline Vec mean_of(Vec sum, double count) {
+  if (count > 0.0) scale_in_place(sum, 1.0 / count);
+  return sum;
+}
+
+}  // namespace vhadoop::ml

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/fluid.hpp"
+#include "sim/time.hpp"
+
+namespace vhadoop::net {
+
+/// Network model parameters for the simulated testbed. Defaults match the
+/// paper's environment: GbE NICs between Dell T710 hosts, VM-to-VM traffic
+/// on the same host crossing the Xen software bridge, and a measurable
+/// virtualization penalty on the VM I/O path (netfront/netback copies
+/// through dom0 — Cherkasova & Gardner, USENIX ATC'05).
+struct NetConfig {
+  /// Physical NIC bandwidth, per direction (full duplex).
+  double nic_bw = sim::gbit_per_s(1.0);
+  /// Intra-host software-bridge bandwidth (memory-speed copies via dom0).
+  double bridge_bw = sim::gbit_per_s(8.0);
+  /// Same-VM (loopback) bandwidth.
+  double loopback_bw = sim::gbit_per_s(16.0);
+  /// One-way latency per network hop (switch traversal).
+  double hop_latency = 25e-6;
+  /// Extra latency contributed by the virtual I/O path of each virtualized
+  /// endpoint (event-channel + grant-copy costs).
+  double vm_latency = 60e-6;
+  /// Throughput efficiency of a virtualized endpoint relative to bare
+  /// metal. Applied as a per-flow rate cap, not a capacity reduction: many
+  /// concurrent VM flows can still fill the physical NIC.
+  double vm_io_efficiency = 0.75;
+};
+
+/// Flow-level network fabric: per-node full-duplex NIC resources joined by a
+/// non-blocking switch, plus a per-node software bridge for intra-host
+/// VM-to-VM traffic. Nodes are physical machines (and the NFS server).
+class Fabric {
+ public:
+  using NodeId = std::size_t;
+
+  struct Endpoint {
+    NodeId node = 0;
+    /// True when the traffic terminates inside a guest VM (virtio/netfront
+    /// path); false for bare-metal endpoints such as the NFS server.
+    bool virtualized = true;
+    /// Optional VM identity; flows with equal node+vm are loopback.
+    int vm = -1;
+  };
+
+  struct TransferSpec {
+    Endpoint src;
+    Endpoint dst;
+    double bytes = 0.0;
+    double weight = 1.0;
+    /// Additional resources the flow must traverse (e.g. the NFS disk for
+    /// virtual-block-device traffic).
+    std::vector<sim::FluidModel::ResourceId> extra_resources;
+    std::function<void()> on_complete;
+  };
+
+  Fabric(sim::Engine& engine, sim::FluidModel& model, NetConfig config);
+
+  NodeId add_node(const std::string& name);
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Start a flow. Latency (propagation + virtual I/O path) is charged
+  /// before the fluid transfer begins. Returns immediately; `on_complete`
+  /// fires when the last byte lands.
+  void transfer(TransferSpec spec);
+
+  /// End-to-end latency of a minimal message between the endpoints (used
+  /// for RPC/heartbeat modeling).
+  double message_latency(const Endpoint& src, const Endpoint& dst) const;
+
+  // Utilization accessors for the monitor.
+  double tx_utilization(NodeId n) const { return model_.utilization(nodes_[n].tx); }
+  double rx_utilization(NodeId n) const { return model_.utilization(nodes_[n].rx); }
+  double bridge_utilization(NodeId n) const { return model_.utilization(nodes_[n].bridge); }
+  double tx_busy_integral(NodeId n) const { return model_.busy_integral(nodes_[n].tx); }
+  double rx_busy_integral(NodeId n) const { return model_.busy_integral(nodes_[n].rx); }
+
+  sim::FluidModel::ResourceId tx_resource(NodeId n) const { return nodes_[n].tx; }
+  sim::FluidModel::ResourceId rx_resource(NodeId n) const { return nodes_[n].rx; }
+
+  const NetConfig& config() const { return config_; }
+
+ private:
+  struct Node {
+    std::string name;
+    sim::FluidModel::ResourceId tx;
+    sim::FluidModel::ResourceId rx;
+    sim::FluidModel::ResourceId bridge;
+  };
+
+  sim::Engine& engine_;
+  sim::FluidModel& model_;
+  NetConfig config_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace vhadoop::net

@@ -1,0 +1,70 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace vhadoop::sim {
+
+Engine::EventId Engine::schedule_at(SimTime t, Callback cb, bool daemon) {
+  if (t < now_ - kEps) {
+    throw std::invalid_argument("Engine::schedule_at: time in the past");
+  }
+  if (t < now_) t = now_;  // absorb fp slop
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(QueueEntry{t, seq});
+  callbacks_.emplace(seq, Pending{std::move(cb), daemon});
+  if (!daemon) ++regular_pending_;
+  return EventId{seq};
+}
+
+bool Engine::cancel(EventId id) {
+  // The heap entry becomes a tombstone; it is skipped on pop.
+  auto it = callbacks_.find(id.seq);
+  if (it == callbacks_.end()) return false;
+  if (!it->second.daemon) --regular_pending_;
+  callbacks_.erase(it);
+  return true;
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    const QueueEntry top = queue_.top();
+    queue_.pop();
+    auto it = callbacks_.find(top.seq);
+    if (it == callbacks_.end()) continue;  // cancelled
+    Callback cb = std::move(it->second.cb);
+    if (!it->second.daemon) --regular_pending_;
+    callbacks_.erase(it);
+    assert(top.time >= now_ - kEps);
+    now_ = std::max(now_, top.time);
+    ++processed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run() {
+  while (regular_pending_ > 0 && step()) {
+  }
+}
+
+bool Engine::run_until(SimTime t) {
+  while (!queue_.empty()) {
+    // Skip tombstones without advancing time.
+    if (!callbacks_.contains(queue_.top().seq)) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().time > t) {
+      now_ = t;
+      return true;
+    }
+    step();
+  }
+  now_ = std::max(now_, t);
+  return false;
+}
+
+}  // namespace vhadoop::sim

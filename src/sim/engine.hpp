@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace vhadoop::sim {
+
+/// Deterministic discrete-event engine.
+///
+/// Events scheduled at the same instant fire in scheduling order (FIFO by
+/// sequence number), which makes every simulation run reproducible. The
+/// engine is single-threaded by design: all parallelism in vHadoop is
+/// *modeled* through the fluid resource model, while real computation
+/// (the logical MapReduce executor) happens outside the engine.
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Opaque handle for cancellation. Default-constructed ids are invalid.
+  struct EventId {
+    std::uint64_t seq = 0;
+    bool valid() const { return seq != 0; }
+  };
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Schedule `cb` at absolute time `t` (must be >= now()). Daemon events
+  /// (periodic samplers, watchdogs) fire normally while the simulation is
+  /// driven by regular events, but never keep `run()` alive on their own —
+  /// like daemon threads.
+  EventId schedule_at(SimTime t, Callback cb, bool daemon = false);
+
+  /// Schedule `cb` after `dt` seconds of simulated time.
+  EventId schedule_in(SimTime dt, Callback cb, bool daemon = false) {
+    return schedule_at(now_ + dt, std::move(cb), daemon);
+  }
+
+  /// Cancel a pending event. Returns false if it already fired or was
+  /// cancelled before.
+  bool cancel(EventId id);
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Run until no regular (non-daemon) events remain.
+  void run();
+
+  /// Run until simulated time `t` (inclusive of events at exactly `t`).
+  /// Afterwards now() == t if the horizon was reached, otherwise now() is
+  /// the time of the last event. Returns true if pending events remain.
+  bool run_until(SimTime t);
+
+  /// Fire at most one event. Returns false if the queue was empty.
+  bool step();
+
+  std::size_t pending() const { return callbacks_.size(); }
+  std::uint64_t processed() const { return processed_; }
+
+ private:
+  struct QueueEntry {
+    SimTime time;
+    std::uint64_t seq;
+    bool operator>(const QueueEntry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  struct Pending {
+    Callback cb;
+    bool daemon = false;
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t processed_ = 0;
+  std::size_t regular_pending_ = 0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
+  std::unordered_map<std::uint64_t, Pending> callbacks_;
+};
+
+}  // namespace vhadoop::sim

@@ -1,0 +1,273 @@
+#include "sim/fluid.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace vhadoop::sim {
+
+namespace {
+// An activity is finished when less than this much work remains. Work units
+// are bytes or core-seconds; a micro-unit is far below observability.
+constexpr double kWorkEps = 1e-6;
+}  // namespace
+
+FluidModel::ResourceId FluidModel::add_resource(std::string name, double capacity) {
+  if (capacity < 0.0) throw std::invalid_argument("resource capacity < 0");
+  const std::uint64_t id = next_id_++;
+  resources_.emplace(id, Resource{std::move(name), capacity, 0.0, {}});
+  return ResourceId{id};
+}
+
+void FluidModel::set_capacity(ResourceId id, double capacity) {
+  if (capacity < 0.0) throw std::invalid_argument("resource capacity < 0");
+  settle();
+  resources_.at(id.v).capacity = capacity;
+  recompute_and_reschedule();
+}
+
+double FluidModel::capacity(ResourceId id) const { return resources_.at(id.v).capacity; }
+
+double FluidModel::allocated(ResourceId id) const {
+  const Resource& r = resources_.at(id.v);
+  double sum = 0.0;
+  for (std::uint64_t a : r.users) sum += activities_.at(a).rate;
+  return sum;
+}
+
+double FluidModel::utilization(ResourceId id) const {
+  const Resource& r = resources_.at(id.v);
+  if (r.capacity <= 0.0) return 0.0;
+  return std::min(1.0, allocated(id) / r.capacity);
+}
+
+double FluidModel::busy_integral(ResourceId id) const {
+  const Resource& r = resources_.at(id.v);
+  // Include the partially elapsed interval since the last settle.
+  return r.busy_integral + allocated(id) * (engine_.now() - last_update_);
+}
+
+const std::string& FluidModel::name(ResourceId id) const { return resources_.at(id.v).name; }
+
+FluidModel::ActivityId FluidModel::start(ActivitySpec spec) {
+  if (spec.work < 0.0) throw std::invalid_argument("activity work < 0");
+  if (spec.weight <= 0.0) throw std::invalid_argument("activity weight <= 0");
+  if (spec.resources.empty() && !std::isfinite(spec.cap)) {
+    throw std::invalid_argument("activity with no resource must have a finite cap");
+  }
+  settle();
+  const std::uint64_t id = next_id_++;
+  Activity act;
+  act.remaining = spec.work;
+  act.total = spec.work;
+  act.weight = spec.weight;
+  act.cap = spec.cap;
+  act.on_complete = std::move(spec.on_complete);
+  act.resources.reserve(spec.resources.size());
+  for (ResourceId r : spec.resources) {
+    resources_.at(r.v).users.push_back(id);
+    act.resources.push_back(r.v);
+  }
+  activities_.emplace(id, std::move(act));
+  recompute_and_reschedule();
+  return ActivityId{id};
+}
+
+void FluidModel::detach(std::uint64_t activity_id, const Activity& act) {
+  for (std::uint64_t rid : act.resources) {
+    auto& users = resources_.at(rid).users;
+    users.erase(std::remove(users.begin(), users.end(), activity_id), users.end());
+  }
+}
+
+bool FluidModel::cancel(ActivityId id) {
+  auto it = activities_.find(id.v);
+  if (it == activities_.end()) return false;
+  settle();
+  detach(id.v, it->second);
+  activities_.erase(it);
+  recompute_and_reschedule();
+  return true;
+}
+
+void FluidModel::add_work(ActivityId id, double extra) {
+  if (extra < 0.0) throw std::invalid_argument("add_work: extra < 0");
+  settle();
+  Activity& act = activities_.at(id.v);
+  act.remaining += extra;
+  act.total += extra;
+  recompute_and_reschedule();
+}
+
+void FluidModel::set_cap(ActivityId id, double cap) {
+  if (cap < 0.0) throw std::invalid_argument("set_cap: cap < 0");
+  settle();
+  activities_.at(id.v).cap = cap;
+  recompute_and_reschedule();
+}
+
+double FluidModel::rate(ActivityId id) const { return activities_.at(id.v).rate; }
+
+double FluidModel::remaining(ActivityId id) const {
+  const Activity& act = activities_.at(id.v);
+  return std::max(0.0, act.remaining - act.rate * (engine_.now() - last_update_));
+}
+
+void FluidModel::settle() {
+  const SimTime now = engine_.now();
+  const double elapsed = now - last_update_;
+  if (elapsed <= 0.0) {
+    last_update_ = now;
+    return;
+  }
+  for (auto& [id, r] : resources_) {
+    double alloc = 0.0;
+    for (std::uint64_t a : r.users) alloc += activities_.at(a).rate;
+    r.busy_integral += alloc * elapsed;
+  }
+  for (auto& [id, act] : activities_) {
+    act.remaining = std::max(0.0, act.remaining - act.rate * elapsed);
+  }
+  last_update_ = now;
+}
+
+void FluidModel::recompute_rates() {
+  // Progressive filling: raise a common water level theta; each unfrozen
+  // activity's rate grows as weight*theta until either one of its resources
+  // saturates (freezing every unfrozen user of that resource) or its own
+  // cap is reached.
+  std::unordered_map<std::uint64_t, double> slack;
+  slack.reserve(resources_.size());
+  for (auto& [rid, r] : resources_) slack[rid] = r.capacity;
+
+  std::vector<std::uint64_t> unfrozen;
+  unfrozen.reserve(activities_.size());
+  for (auto& [aid, act] : activities_) {
+    act.rate = 0.0;
+    if (act.cap <= 0.0) continue;  // paused
+    unfrozen.push_back(aid);
+  }
+  // Deterministic iteration order regardless of hash-map layout.
+  std::sort(unfrozen.begin(), unfrozen.end());
+
+  while (!unfrozen.empty()) {
+    // Weight sum of unfrozen users per resource.
+    std::unordered_map<std::uint64_t, double> sumw;
+    for (std::uint64_t aid : unfrozen) {
+      const Activity& act = activities_.at(aid);
+      for (std::uint64_t rid : act.resources) sumw[rid] += act.weight;
+    }
+
+    double theta = std::numeric_limits<double>::infinity();
+    for (const auto& [rid, w] : sumw) {
+      if (w > 0.0) theta = std::min(theta, std::max(0.0, slack.at(rid)) / w);
+    }
+    for (std::uint64_t aid : unfrozen) {
+      const Activity& act = activities_.at(aid);
+      theta = std::min(theta, (act.cap - act.rate) / act.weight);
+    }
+    assert(std::isfinite(theta));
+    theta = std::max(theta, 0.0);
+
+    for (std::uint64_t aid : unfrozen) {
+      Activity& act = activities_.at(aid);
+      act.rate += act.weight * theta;
+    }
+    for (auto& [rid, w] : sumw) slack.at(rid) -= theta * w;
+
+    // Freeze activities at saturated resources or at their cap.
+    std::vector<std::uint64_t> next;
+    next.reserve(unfrozen.size());
+    bool froze_any = false;
+    for (std::uint64_t aid : unfrozen) {
+      Activity& act = activities_.at(aid);
+      bool frozen = act.rate >= act.cap * (1.0 - 1e-12) - kEps;
+      if (!frozen) {
+        for (std::uint64_t rid : act.resources) {
+          const double cap = resources_.at(rid).capacity;
+          if (slack.at(rid) <= kEps * std::max(1.0, cap)) {
+            frozen = true;
+            break;
+          }
+        }
+      }
+      if (frozen) {
+        froze_any = true;
+      } else {
+        next.push_back(aid);
+      }
+    }
+    if (!froze_any) {
+      // Numerical guard: theta was the exact minimum, so something must
+      // freeze; if rounding prevented it, freeze everything to terminate.
+      break;
+    }
+    unfrozen = std::move(next);
+  }
+}
+
+void FluidModel::recompute_and_reschedule() {
+  recompute_rates();
+  if (pending_event_.valid()) {
+    engine_.cancel(pending_event_);
+    pending_event_ = {};
+  }
+  double eta = std::numeric_limits<double>::infinity();
+  for (const auto& [aid, act] : activities_) {
+    if (act.rate > 0.0) eta = std::min(eta, std::max(0.0, act.remaining) / act.rate);
+  }
+  if (std::isfinite(eta)) {
+    pending_event_ = engine_.schedule_in(eta, [this] { on_completion_event(); });
+  }
+}
+
+void FluidModel::on_completion_event() {
+  pending_event_ = {};
+  settle();
+
+  // Collect everything that is done. Tolerance is absolute: kWorkEps work
+  // units remaining cannot be observed by any consumer of the model.
+  std::vector<std::uint64_t> done;
+  for (const auto& [aid, act] : activities_) {
+    if (act.remaining <= kWorkEps && (act.rate > 0.0 || act.total <= kWorkEps)) {
+      done.push_back(aid);
+    }
+  }
+  if (done.empty()) {
+    // Scheduled slightly early by fp rounding; force the closest finisher
+    // if it is within a microsecond of simulated time (far below anything
+    // the platform measures) — otherwise rescheduling could ping-pong at a
+    // frozen timestamp forever.
+    std::uint64_t best = 0;
+    double best_eta = std::numeric_limits<double>::infinity();
+    for (const auto& [aid, act] : activities_) {
+      if (act.rate > 0.0 && act.remaining / act.rate < best_eta) {
+        best_eta = act.remaining / act.rate;
+        best = aid;
+      }
+    }
+    if (best != 0 && best_eta < 1e-6) {
+      done.push_back(best);
+    } else {
+      recompute_and_reschedule();
+      return;
+    }
+  }
+  std::sort(done.begin(), done.end());  // deterministic callback order
+
+  std::vector<Callback> callbacks;
+  callbacks.reserve(done.size());
+  for (std::uint64_t aid : done) {
+    auto it = activities_.find(aid);
+    detach(aid, it->second);
+    if (it->second.on_complete) callbacks.push_back(std::move(it->second.on_complete));
+    activities_.erase(it);
+  }
+  recompute_and_reschedule();
+  // Callbacks run last: the model is consistent and reentrant calls
+  // (start/cancel) each re-settle and re-schedule on their own.
+  for (Callback& cb : callbacks) cb();
+}
+
+}  // namespace vhadoop::sim

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace vhadoop::sim {
+
+/// Fluid (flow-level) resource-sharing model.
+///
+/// Every ongoing transfer or computation in the simulated testbed is an
+/// *activity*: a fixed amount of work (bytes, core-seconds) draining at a
+/// rate decided by weighted max-min fair sharing over the *resources* it
+/// consumes. An activity may consume several resources at once at the same
+/// rate — e.g. a cross-host flow uses the sender NIC, the receiver NIC and
+/// the NFS disk; a virtual CPU burn uses the VM's VCPU allotment and the
+/// host's physical CPU. This is the standard methodology for simulating
+/// contention phenomena at datacenter scale (flow-level network models):
+/// exact packet/instruction interleaving is abstracted away, while
+/// bottleneck formation — the subject of the vHadoop paper — is preserved.
+///
+/// Rates are recomputed with progressive filling whenever the activity set
+/// or a capacity changes; completion times are exact under the piecewise-
+/// constant rate assumption. The model owns a single pending engine event
+/// for the earliest completion.
+class FluidModel {
+ public:
+  struct ResourceId {
+    std::uint64_t v = 0;
+    bool valid() const { return v != 0; }
+    bool operator==(const ResourceId&) const = default;
+  };
+  struct ActivityId {
+    std::uint64_t v = 0;
+    bool valid() const { return v != 0; }
+    bool operator==(const ActivityId&) const = default;
+  };
+
+  /// Completion callback. Runs after the model is consistent, so it may
+  /// freely start or cancel other activities.
+  using Callback = std::function<void()>;
+
+  struct ActivitySpec {
+    /// Total work: bytes for transfers, core-seconds for computation.
+    double work = 0.0;
+    /// Max-min weight (share of each contended resource).
+    double weight = 1.0;
+    /// Hard rate ceiling (e.g. a VCPU can use at most one core; a paced
+    /// migration stream). Infinity = unlimited.
+    double cap = std::numeric_limits<double>::infinity();
+    /// Resources consumed, all at the activity's single rate. May be empty
+    /// only if `cap` is finite (pure rate-limited work, e.g. latency pacing).
+    std::vector<ResourceId> resources;
+    Callback on_complete;
+  };
+
+  explicit FluidModel(Engine& engine) : engine_(engine) {}
+  FluidModel(const FluidModel&) = delete;
+  FluidModel& operator=(const FluidModel&) = delete;
+
+  // --- resources ---------------------------------------------------------
+  ResourceId add_resource(std::string name, double capacity);
+  void set_capacity(ResourceId id, double capacity);
+  double capacity(ResourceId id) const;
+  /// Sum of the current rates of all activities using the resource.
+  double allocated(ResourceId id) const;
+  /// allocated / capacity in [0,1]; 0 for a zero-capacity resource.
+  double utilization(ResourceId id) const;
+  /// ∫ allocated(t) dt since simulation start (for average utilization).
+  double busy_integral(ResourceId id) const;
+  const std::string& name(ResourceId id) const;
+
+  // --- activities --------------------------------------------------------
+  ActivityId start(ActivitySpec spec);
+  /// Cancel an in-flight activity (its callback never runs). Returns false
+  /// if it already completed or was cancelled.
+  bool cancel(ActivityId id);
+  /// Extend an in-flight activity by `extra` work units.
+  void add_work(ActivityId id, double extra);
+  /// Change the rate cap of an in-flight activity (0 pauses it).
+  void set_cap(ActivityId id, double cap);
+  bool active(ActivityId id) const { return activities_.contains(id.v); }
+  double rate(ActivityId id) const;
+  double remaining(ActivityId id) const;
+
+  std::size_t active_count() const { return activities_.size(); }
+
+ private:
+  struct Resource {
+    std::string name;
+    double capacity = 0.0;
+    double busy_integral = 0.0;
+    std::vector<std::uint64_t> users;  // activity ids (unordered)
+  };
+
+  struct Activity {
+    double remaining = 0.0;
+    double total = 0.0;
+    double weight = 1.0;
+    double cap = 0.0;
+    double rate = 0.0;
+    std::vector<std::uint64_t> resources;
+    Callback on_complete;
+  };
+
+  void settle();
+  void recompute_and_reschedule();
+  void recompute_rates();
+  void on_completion_event();
+  void detach(std::uint64_t activity_id, const Activity& act);
+
+  Engine& engine_;
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, Resource> resources_;
+  std::unordered_map<std::uint64_t, Activity> activities_;
+  SimTime last_update_ = 0.0;
+  Engine::EventId pending_event_{};
+};
+
+}  // namespace vhadoop::sim

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <utility>
+
+namespace vhadoop::sim {
+
+/// Countdown latch for event-driven fan-in: fires `done` when `count`
+/// arrivals have been recorded. Shared-ptr based so concurrent branches can
+/// each hold a reference while the initiator goes out of scope.
+///
+///   auto latch = Latch::create(n_fetches, [this]{ start_merge(); });
+///   for (...) start_fetch(..., [latch]{ latch->arrive(); });
+class Latch {
+ public:
+  static std::shared_ptr<Latch> create(std::size_t count, std::function<void()> done) {
+    assert(count > 0);
+    return std::shared_ptr<Latch>(new Latch(count, std::move(done)));
+  }
+
+  /// Create-and-fire helper: a latch over zero branches fires immediately.
+  static std::shared_ptr<Latch> create_or_fire(std::size_t count, std::function<void()> done) {
+    if (count == 0) {
+      done();
+      return nullptr;
+    }
+    return create(count, std::move(done));
+  }
+
+  void arrive() {
+    assert(remaining_ > 0);
+    if (--remaining_ == 0) {
+      auto done = std::move(done_);
+      done_ = nullptr;
+      done();
+    }
+  }
+
+  std::size_t remaining() const { return remaining_; }
+
+ private:
+  Latch(std::size_t count, std::function<void()> done)
+      : remaining_(count), done_(std::move(done)) {}
+
+  std::size_t remaining_;
+  std::function<void()> done_;
+};
+
+}  // namespace vhadoop::sim

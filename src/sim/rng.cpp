@@ -1,0 +1,23 @@
+#include "sim/rng.hpp"
+
+#include <algorithm>
+
+namespace vhadoop::sim {
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  cdf_.reserve(n);
+  double acc = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k), exponent);
+    cdf_.push_back(acc);
+  }
+  for (double& c : cdf_) c /= acc;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+}
+
+}  // namespace vhadoop::sim

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+namespace vhadoop::sim {
+
+/// Deterministic, platform-independent pseudo-random generator.
+///
+/// All stochastic behaviour in the platform (dataset synthesis, placement
+/// tie-breaking, workload jitter) flows through this class so that every
+/// experiment is reproducible bit-for-bit from its seed. The core generator
+/// is SplitMix64, which passes BigCrush and needs no warm-up.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n) {
+    // Lemire's multiply-shift rejection method (unbiased).
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t t = (0 - n) % n;
+      while (lo < t) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Box-Muller (no state caching: deterministic and
+  /// branch-free at the cost of one extra uniform per sample).
+  double normal() {
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate) {
+    double u = uniform();
+    while (u <= 1e-300) u = uniform();
+    return -std::log(u) / rate;
+  }
+
+  /// Derive an independent child stream; children of distinct tags never
+  /// collide with the parent sequence.
+  Rng fork(std::uint64_t tag) {
+    return Rng(next_u64() ^ (tag * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL));
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[uniform_int(i)]);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Zipf(s, n) sampler over {0, .., n-1} using precomputed CDF. Used by the
+/// text-corpus generator (word frequencies in natural language are Zipfian).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+
+  /// Sample a rank (0 = most frequent).
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace vhadoop::sim

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <limits>
+
+namespace vhadoop::sim {
+
+/// Simulated time in seconds since simulation start.
+using SimTime = double;
+
+/// Sentinel for "never".
+inline constexpr SimTime kNever = std::numeric_limits<SimTime>::infinity();
+
+/// Comparison slack used throughout the fluid model. Work amounts are bytes
+/// or core-seconds, so 1e-9 is far below anything observable.
+inline constexpr double kEps = 1e-9;
+
+/// Convenience unit helpers (work amounts are expressed in bytes).
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * kKiB;
+inline constexpr double kGiB = 1024.0 * kMiB;
+
+/// Bandwidths are bytes/second.
+inline constexpr double gbit_per_s(double gbit) { return gbit * 1e9 / 8.0; }
+inline constexpr double mbyte_per_s(double mb) { return mb * 1e6; }
+
+}  // namespace vhadoop::sim

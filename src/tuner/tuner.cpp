@@ -1,0 +1,87 @@
+#include "tuner/tuner.hpp"
+
+#include <algorithm>
+
+namespace vhadoop::tuner {
+
+std::vector<Recommendation> MapReduceTuner::analyse(
+    const monitor::TraceAnalyser::Report& report) const {
+  std::vector<Recommendation> recs;
+  if (report.avg_host_cpu.empty()) return recs;
+
+  double cpu_max = 0.0, cpu_min = 1.0, net_max = 0.0;
+  std::size_t busiest_host = 0, idlest_host = 0;
+  for (std::size_t h = 0; h < report.avg_host_cpu.size(); ++h) {
+    if (report.avg_host_cpu[h] > cpu_max) {
+      cpu_max = report.avg_host_cpu[h];
+      busiest_host = h;
+    }
+    if (report.avg_host_cpu[h] < cpu_min) {
+      cpu_min = report.avg_host_cpu[h];
+      idlest_host = h;
+    }
+    net_max = std::max({net_max, report.avg_host_tx[h], report.avg_host_rx[h]});
+  }
+  (void)busiest_host;
+
+  if (report.avg_nfs_disk >= policy_.disk_saturated) {
+    recs.push_back({Recommendation::Kind::IncreaseSortBuffer,
+                    "NFS disk saturated (" + std::to_string(report.avg_nfs_disk) +
+                        "): raise io.sort.mb to cut spill passes"});
+    recs.push_back({Recommendation::Kind::LowerReplication,
+                    "NFS disk saturated: consider dfs.replication=2 to shrink the "
+                    "pipeline write amplification"});
+  }
+  if (net_max >= policy_.net_saturated) {
+    recs.push_back({Recommendation::Kind::RebalanceNetwork,
+                    "host NIC saturated (" + std::to_string(net_max) +
+                        "): co-locate shuffle-heavy VMs on one physical machine"});
+  }
+  if (cpu_max >= policy_.cpu_saturated) {
+    if (cpu_max - cpu_min >= policy_.imbalance_gap) {
+      Recommendation r{Recommendation::Kind::MigrateVm,
+                       "host CPU imbalance: live-migrate the busiest VM to the idle host"};
+      r.vm_index = report.busiest_vm;
+      r.target_host = idlest_host;
+      recs.push_back(std::move(r));
+    } else {
+      recs.push_back({Recommendation::Kind::ReduceMapSlots,
+                      "host CPU saturated everywhere: lower "
+                      "mapred.tasktracker.map.tasks.maximum"});
+    }
+  } else if (cpu_max <= policy_.cpu_idle && net_max < policy_.net_saturated &&
+             report.avg_nfs_disk < policy_.disk_saturated) {
+    recs.push_back({Recommendation::Kind::IncreaseMapSlots,
+                    "cluster underutilized: raise map slots per tasktracker"});
+  }
+  return recs;
+}
+
+mapreduce::HadoopConfig MapReduceTuner::apply(const mapreduce::HadoopConfig& config,
+                                              const std::vector<Recommendation>& recs) {
+  mapreduce::HadoopConfig out = config;
+  for (const Recommendation& r : recs) {
+    switch (r.kind) {
+      case Recommendation::Kind::ReduceMapSlots:
+        out.map_slots_per_worker = std::max(1, out.map_slots_per_worker - 1);
+        break;
+      case Recommendation::Kind::IncreaseMapSlots:
+        out.map_slots_per_worker += 1;
+        break;
+      case Recommendation::Kind::IncreaseSortBuffer:
+        out.io_sort_bytes *= 2.0;
+        break;
+      case Recommendation::Kind::LowerReplication:
+        if (out.output_replication == 0 || out.output_replication > 2) {
+          out.output_replication = 2;
+        }
+        break;
+      case Recommendation::Kind::MigrateVm:
+      case Recommendation::Kind::RebalanceNetwork:
+        break;  // actuation needs the Cloud; advisory here
+    }
+  }
+  return out;
+}
+
+}  // namespace vhadoop::tuner

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mapreduce/hadoop_config.hpp"
+#include "monitor/nmon.hpp"
+
+namespace vhadoop::tuner {
+
+/// What the MapReduce Tuner proposes after reading the nmon traces.
+struct Recommendation {
+  enum class Kind {
+    ReduceMapSlots,    ///< host CPU saturated: fewer concurrent child JVMs
+    IncreaseMapSlots,  ///< everything idle: raise parallelism
+    IncreaseSortBuffer,///< NFS disk saturated by spill traffic
+    LowerReplication,  ///< NFS disk saturated by pipeline writes
+    MigrateVm,         ///< host imbalance: move the busiest VM
+    RebalanceNetwork,  ///< NIC saturated: co-locate chatty VMs
+  };
+
+  Kind kind;
+  std::string message;
+  /// For MigrateVm: which VM (index into the monitor's VM list) and where.
+  std::size_t vm_index = 0;
+  std::size_t target_host = 0;
+};
+
+/// Thresholds for the rule engine.
+struct TunerPolicy {
+  double cpu_saturated = 0.90;
+  double cpu_idle = 0.35;
+  double net_saturated = 0.85;
+  double disk_saturated = 0.85;
+  double imbalance_gap = 0.40;  ///< host CPU spread that triggers migration
+};
+
+/// The MapReduce Tuner module (paper Sec. II-B): turns monitoring data into
+/// configuration adjustments — either re-configured Hadoop parameters or a
+/// live-migration suggestion. `analyse` is pure (testable); `apply` folds
+/// the parameter-level recommendations into a HadoopConfig.
+class MapReduceTuner {
+ public:
+  explicit MapReduceTuner(TunerPolicy policy = {}) : policy_(policy) {}
+
+  std::vector<Recommendation> analyse(const monitor::TraceAnalyser::Report& report) const;
+
+  /// Apply parameter recommendations; migration/advice entries are left to
+  /// the caller (they need the Cloud). Returns the adjusted config.
+  static mapreduce::HadoopConfig apply(const mapreduce::HadoopConfig& config,
+                                       const std::vector<Recommendation>& recs);
+
+ private:
+  TunerPolicy policy_;
+};
+
+}  // namespace vhadoop::tuner

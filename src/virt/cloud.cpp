@@ -1,0 +1,329 @@
+#include "virt/cloud.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace vhadoop::virt {
+
+Cloud::Cloud(sim::Engine& engine, sim::FluidModel& model, net::Fabric& fabric, VirtConfig config)
+    : engine_(engine), model_(model), fabric_(fabric), config_(config) {
+  nfs_node_ = fabric_.add_node("nfs");
+  nfs_disk_ = model_.add_resource("nfs.disk", config_.nfs_disk_bw);
+}
+
+HostId Cloud::add_host(const std::string& name) {
+  Host h;
+  h.name = name;
+  h.node = fabric_.add_node(name);
+  h.cpu = model_.add_resource(name + ".cpu", config_.cores_per_host * config_.core_capacity);
+  hosts_.push_back(h);
+  return hosts_.size() - 1;
+}
+
+VmId Cloud::create_vm(const std::string& name, HostId host, VmSpec spec) {
+  Host& h = hosts_.at(host);
+  if (h.memory_used_mb + spec.memory_mb > config_.host_memory_mb) {
+    throw std::runtime_error("create_vm: host memory oversubscribed on " + h.name);
+  }
+  h.memory_used_mb += spec.memory_mb;
+  Vm vm;
+  vm.name = name;
+  vm.host = host;
+  vm.spec = spec;
+  vm.vcpu = model_.add_resource(name + ".vcpu", spec.vcpus * config_.core_capacity);
+  // The vnic ceiling is the netfront/netback processing capacity — well
+  // above wire speed, so intra-host VM pairs can exploit the bridge; wire
+  // speed itself is enforced per-path by the fabric.
+  vm.vnic = model_.add_resource(name + ".vnic",
+                                fabric_.config().bridge_bw * fabric_.config().vm_io_efficiency);
+  vm.vdisk = model_.add_resource(name + ".vdisk", config_.vdisk_bw);
+  vm.cache = std::make_shared<PageCache>(config_.page_cache_mb * sim::kMiB);
+  vms_.push_back(std::move(vm));
+  return vms_.size() - 1;
+}
+
+void Cloud::boot_vm(VmId id, std::function<void()> on_ready) {
+  Vm& vm = vms_.at(id);
+  if (vm.state != VmState::Stopped) throw std::runtime_error("boot_vm: not stopped");
+  vm.state = VmState::Booting;
+  // Fetch the touched image blocks from NFS, then run the guest boot.
+  fabric_.transfer({.src = {nfs_node_, false, -1},
+                    .dst = {hosts_[vm.host].node, false, -1},
+                    .bytes = config_.vm_boot_io_bytes,
+                    .extra_resources = {nfs_disk_},
+                    .on_complete = [this, id, on_ready = std::move(on_ready)]() mutable {
+                      engine_.schedule_in(config_.vm_boot_seconds,
+                                          [this, id, on_ready = std::move(on_ready)] {
+                                            vms_[id].state = VmState::Running;
+                                            if (on_ready) on_ready();
+                                          });
+                    }});
+}
+
+void Cloud::set_vcpu_cap(VmId id, double fraction) {
+  if (fraction <= 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("set_vcpu_cap: fraction must be in (0, 1]");
+  }
+  Vm& vm = vms_.at(id);
+  if (!alive(id)) throw std::runtime_error("set_vcpu_cap: VM not running");
+  vm.vcpu_cap = fraction;
+  model_.set_capacity(vm.vcpu, vm.spec.vcpus * config_.core_capacity * fraction);
+}
+
+bool Cloud::responsive(VmId id) const {
+  return alive(id) && model_.capacity(vms_[id].vcpu) > 0.0;
+}
+
+void Cloud::hang_vm(VmId id) {
+  Vm& vm = vms_.at(id);
+  if (vm.state == VmState::Crashed || vm.state == VmState::Stopped) return;
+  // Everything the guest was doing freezes: any activity that consumes one
+  // of its virtual resources stalls at rate zero.
+  model_.set_capacity(vm.vcpu, 0.0);
+  model_.set_capacity(vm.vnic, 0.0);
+  model_.set_capacity(vm.vdisk, 0.0);
+}
+
+void Cloud::crash_vm(VmId id) {
+  Vm& vm = vms_.at(id);
+  if (vm.state == VmState::Crashed || vm.state == VmState::Stopped) return;
+  hang_vm(id);
+  vm.state = VmState::Crashed;
+  hosts_[vm.host].memory_used_mb -= vm.spec.memory_mb;
+  // Notify after the model is consistent (listeners may start traffic).
+  for (const auto& listener : crash_listeners_) listener(id);
+}
+
+void Cloud::destroy_vm(VmId id) {
+  Vm& vm = vms_.at(id);
+  if (!vm.alive) return;
+  hosts_[vm.host].memory_used_mb -= vm.spec.memory_mb;
+  vm.alive = false;
+  vm.state = VmState::Stopped;
+}
+
+void Cloud::run_compute(VmId id, double core_seconds, std::function<void()> on_complete,
+                        double weight) {
+  const Vm& vm = vms_.at(id);
+  model_.start({.work = core_seconds,
+                .weight = weight,
+                .resources = {vm.vcpu, hosts_[vm.host].cpu},
+                .on_complete = std::move(on_complete)});
+}
+
+void Cloud::PageCache::touch(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  lru_.splice(lru_.begin(), lru_, it->second);
+}
+
+void Cloud::PageCache::insert(const std::string& key, double bytes) {
+  if (bytes > capacity_) return;  // would immediately self-evict
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    touch(key);
+    return;
+  }
+  while (used_ + bytes > capacity_ && !lru_.empty()) {
+    used_ -= lru_.back().second;
+    entries_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  lru_.emplace_front(key, bytes);
+  entries_[key] = lru_.begin();
+  used_ += bytes;
+}
+
+bool Cloud::cached(VmId id, const std::string& cache_key) const {
+  return !cache_key.empty() && vms_.at(id).cache->contains(cache_key);
+}
+
+void Cloud::cache_insert(VmId id, const std::string& cache_key, double bytes) {
+  if (!cache_key.empty()) vms_.at(id).cache->insert(cache_key, bytes);
+}
+
+void Cloud::disk_read(VmId id, double bytes, std::function<void()> on_complete, double weight,
+                      const std::string& cache_key) {
+  const Vm& vm = vms_.at(id);
+  if (cached(id, cache_key)) {
+    // Page-cache hit: an in-RAM copy, no NFS involvement at all.
+    vm.cache->touch(cache_key);
+    model_.start({.work = bytes,
+                  .weight = weight,
+                  .cap = config_.cache_read_bw,
+                  .on_complete = std::move(on_complete)});
+    return;
+  }
+  if (!cache_key.empty()) vm.cache->insert(cache_key, bytes);
+  // Data path: NFS spindle -> NFS NIC -> host NIC -> blkfront. The guest's
+  // virtual-disk ceiling rides along as an extra resource.
+  fabric_.transfer({.src = {nfs_node_, false, -1},
+                    .dst = {hosts_[vm.host].node, true, static_cast<int>(id)},
+                    .bytes = bytes,
+                    .weight = weight,
+                    .extra_resources = {nfs_disk_, vm.vdisk},
+                    .on_complete = std::move(on_complete)});
+}
+
+void Cloud::scratch_write(VmId id, double bytes, std::function<void()> on_complete,
+                          const std::string& cache_key, double weight) {
+  const Vm& vm = vms_.at(id);
+  if (bytes <= config_.page_cache_mb * sim::kMiB) {
+    vm.cache->insert(cache_key, bytes);
+    model_.start({.work = bytes,
+                  .weight = weight,
+                  .cap = config_.cache_read_bw,
+                  .on_complete = std::move(on_complete)});
+    return;
+  }
+  // Too large for the cache: memory pressure forces real writeback.
+  disk_write(id, bytes, std::move(on_complete), weight, cache_key);
+}
+
+void Cloud::disk_write(VmId id, double bytes, std::function<void()> on_complete, double weight,
+                       const std::string& cache_key) {
+  const Vm& vm = vms_.at(id);
+  if (!cache_key.empty()) vm.cache->insert(cache_key, bytes);
+  // Write-through to NFS: dirty pages must reach the image file; charging
+  // it synchronously is the conservative end of writeback behaviour.
+  fabric_.transfer({.src = {hosts_[vm.host].node, true, static_cast<int>(id)},
+                    .dst = {nfs_node_, false, -1},
+                    .bytes = bytes,
+                    .weight = weight,
+                    .extra_resources = {nfs_disk_, vm.vdisk},
+                    .on_complete = std::move(on_complete)});
+}
+
+void Cloud::vm_transfer(VmId src, VmId dst, double bytes, std::function<void()> on_complete,
+                        double weight) {
+  const Vm& s = vms_.at(src);
+  const Vm& d = vms_.at(dst);
+  net::Fabric::TransferSpec spec;
+  spec.src = {hosts_[s.host].node, true, static_cast<int>(src)};
+  spec.dst = {hosts_[d.host].node, true, static_cast<int>(dst)};
+  spec.bytes = bytes;
+  spec.weight = weight;
+  if (src != dst) spec.extra_resources = {s.vnic, d.vnic};
+  spec.on_complete = std::move(on_complete);
+  fabric_.transfer(std::move(spec));
+}
+
+double Cloud::message_latency(VmId src, VmId dst) const {
+  const Vm& s = vms_.at(src);
+  const Vm& d = vms_.at(dst);
+  return fabric_.message_latency({hosts_[s.host].node, true, static_cast<int>(src)},
+                                 {hosts_[d.host].node, true, static_cast<int>(dst)});
+}
+
+double Cloud::host_memory_free_mb(HostId h) const {
+  return config_.host_memory_mb - hosts_.at(h).memory_used_mb;
+}
+
+// --- live migration ---------------------------------------------------------
+
+struct Cloud::Migration {
+  VmId vm;
+  HostId src;
+  HostId dst;
+  DirtyModel dirty;
+  std::function<void(const MigrationResult&)> on_done;
+  double started_at = 0.0;
+  double round_started_at = 0.0;
+  double remaining = 0.0;  // bytes to send this round
+  int round = 0;
+  double transferred = 0.0;
+};
+
+void Cloud::migrate(VmId id, HostId dst, DirtyModel dirty,
+                    std::function<void(const MigrationResult&)> on_done) {
+  Vm& vm = vms_.at(id);
+  if (vm.state != VmState::Running) throw std::runtime_error("migrate: VM not running");
+  Host& target = hosts_.at(dst);
+  if (target.memory_used_mb + vm.spec.memory_mb > config_.host_memory_mb) {
+    throw std::runtime_error("migrate: destination memory oversubscribed");
+  }
+  vm.state = VmState::Migrating;
+  target.memory_used_mb += vm.spec.memory_mb;  // reserved at destination
+
+  auto mig = std::make_shared<Migration>();
+  mig->vm = id;
+  mig->src = vm.host;
+  mig->dst = dst;
+  mig->dirty = dirty;
+  mig->on_done = std::move(on_done);
+  mig->started_at = engine_.now();
+  mig->remaining = vm.spec.memory_mb * sim::kMiB;  // round 0: full RAM
+  precopy_round(std::move(mig));
+}
+
+void Cloud::precopy_round(std::shared_ptr<Migration> mig) {
+  mig->round_started_at = engine_.now();
+  const double bytes = mig->remaining;
+  mig->transferred += bytes;
+  // Migration is a dom0-to-dom0 stream: bare-metal endpoints sharing the
+  // host NICs with all guest traffic — that contention is precisely what
+  // inflates migration of a loaded Hadoop cluster (paper Sec. III-C).
+  fabric_.transfer(
+      {.src = {hosts_[mig->src].node, false, -1},
+       .dst = {hosts_[mig->dst].node, false, -1},
+       .bytes = bytes,
+       .weight = config_.migration_stream_weight,
+       .on_complete = [this, mig] {
+         const double duration = engine_.now() - mig->round_started_at;
+         // Pages dirtied while this round streamed: the hot writable
+         // working set is always dirty again, plus background-rate pages,
+         // rounded up to page granularity.
+         double dirtied = mig->dirty.wws_bytes + mig->dirty.rate * duration;
+         dirtied = std::ceil(dirtied / config_.page_bytes) * config_.page_bytes;
+         // The dirty set cannot exceed guest RAM.
+         dirtied = std::min(dirtied, vms_[mig->vm].spec.memory_mb * sim::kMiB);
+         ++mig->round;
+
+         const bool converged = dirtied <= config_.stop_copy_threshold_bytes;
+         const bool gave_up = mig->round >= config_.max_precopy_rounds;
+         // Xen also stops iterating when rounds stop shrinking (dirty rate
+         // outpaces the link).
+         const bool futile = mig->round > 2 && dirtied >= mig->remaining * 0.985;
+
+         if (!converged && !gave_up && !futile) {
+           mig->remaining = dirtied;
+           precopy_round(mig);
+           return;
+         }
+
+         // Stop-and-copy: the guest pauses while the final dirty set moves.
+         const double final_bytes = dirtied;
+         mig->transferred += final_bytes;
+         const double stop_started = engine_.now();
+         fabric_.transfer(
+             {.src = {hosts_[mig->src].node, false, -1},
+              .dst = {hosts_[mig->dst].node, false, -1},
+              .bytes = final_bytes,
+              .on_complete = [this, mig, stop_started, final_bytes] {
+                Vm& vm = vms_[mig->vm];
+                hosts_[mig->src].memory_used_mb -= vm.spec.memory_mb;
+                vm.host = mig->dst;
+                vm.state = VmState::Running;
+
+                MigrationResult res;
+                res.vm = mig->vm;
+                res.rounds = mig->round;
+                res.transferred_bytes = mig->transferred;
+                const double copy_time = engine_.now() - stop_started;
+                // Downtime: pause + final copy + resume cost that grows
+                // with the writable working set (shadow page-table rebuild
+                // and post-resume faulting on a hot guest).
+                const double resume_cost =
+                    config_.resume_cost_per_dirty_byte * final_bytes;
+                res.downtime =
+                    config_.downtime_fixed_seconds + copy_time + resume_cost;
+                res.migration_time = (engine_.now() - mig->started_at) +
+                                     config_.downtime_fixed_seconds + resume_cost;
+                if (mig->on_done) mig->on_done(res);
+              }});
+       }});
+}
+
+}  // namespace vhadoop::virt

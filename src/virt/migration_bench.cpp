@@ -1,0 +1,38 @@
+#include "virt/migration_bench.hpp"
+
+#include <stdexcept>
+
+namespace vhadoop::virt {
+
+void ClusterMigration::run(const std::vector<VmId>& vms, HostId dst,
+                           std::function<DirtyModel(VmId)> dirty_of,
+                           std::function<void(const ClusterMigrationResult&)> on_done) {
+  if (vms.empty()) throw std::invalid_argument("ClusterMigration: empty VM set");
+  queue_ = vms;
+  next_ = 0;
+  in_flight_ = 0;
+  dst_ = dst;
+  dirty_of_ = std::move(dirty_of);
+  on_done_ = std::move(on_done);
+  result_ = {};
+  started_at_ = cloud_.engine().now();
+  for (int i = 0; i < concurrency_ && next_ < queue_.size(); ++i) launch_next();
+}
+
+void ClusterMigration::launch_next() {
+  const VmId vm = queue_[next_++];
+  ++in_flight_;
+  cloud_.migrate(vm, dst_, dirty_of_(vm), [this](const MigrationResult& r) {
+    result_.per_vm.push_back(r);
+    result_.overall_downtime += r.downtime;
+    --in_flight_;
+    if (next_ < queue_.size()) {
+      launch_next();
+    } else if (in_flight_ == 0) {
+      result_.overall_migration_time = cloud_.engine().now() - started_at_;
+      if (on_done_) on_done_(result_);
+    }
+  });
+}
+
+}  // namespace vhadoop::virt

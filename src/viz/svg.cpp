@@ -1,0 +1,136 @@
+#include "viz/svg.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace vhadoop::viz {
+
+namespace {
+
+struct Frame {
+  double min_x, max_x, min_y, max_y;
+  int width, height;
+
+  double sx(double x) const {
+    return 20.0 + (x - min_x) / (max_x - min_x) * (width - 40.0);
+  }
+  double sy(double y) const {
+    // SVG y grows downward.
+    return height - 20.0 - (y - min_y) / (max_y - min_y) * (height - 40.0);
+  }
+  double sr(double r) const { return r / (max_x - min_x) * (width - 40.0); }
+};
+
+/// The paper's color sequence: the last iteration bold red, the previous
+/// five orange/yellow/green/blue/magenta, everything earlier light grey.
+std::string iteration_color(std::size_t iter, std::size_t total) {
+  static const char* recent[] = {"magenta", "blue", "green", "gold", "orange"};
+  if (iter + 1 == total) return "red";
+  const std::size_t from_end = total - 1 - iter;  // 1 = immediately before final
+  if (from_end <= 5) return recent[from_end - 1];
+  return "#cccccc";
+}
+
+}  // namespace
+
+std::string render_clustering_svg(const ml::Dataset& data, const ml::ClusteringRun& run,
+                                  const RenderOptions& options) {
+  if (data.dim() != 2) throw std::invalid_argument("SVG rendering requires 2-D data");
+
+  Frame f{std::numeric_limits<double>::infinity(), -std::numeric_limits<double>::infinity(),
+          std::numeric_limits<double>::infinity(), -std::numeric_limits<double>::infinity(),
+          options.width, options.height};
+  for (const ml::Vec& p : data.points) {
+    f.min_x = std::min(f.min_x, p[0]);
+    f.max_x = std::max(f.max_x, p[0]);
+    f.min_y = std::min(f.min_y, p[1]);
+    f.max_y = std::max(f.max_y, p[1]);
+  }
+  if (!(f.max_x > f.min_x) || !(f.max_y > f.min_y)) {
+    f.max_x = f.min_x + 1.0;
+    f.max_y = f.min_y + 1.0;
+  }
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options.width
+      << "\" height=\"" << options.height << "\">\n";
+  svg << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  svg << "<!-- algorithm: " << run.algorithm << ", iterations: " << run.iterations << " -->\n";
+
+  // Sample points.
+  svg << "<g fill=\"#888888\" fill-opacity=\"0.6\">\n";
+  for (const ml::Vec& p : data.points) {
+    svg << "  <circle cx=\"" << f.sx(p[0]) << "\" cy=\"" << f.sy(p[1]) << "\" r=\""
+        << options.point_radius << "\"/>\n";
+  }
+  svg << "</g>\n";
+
+  // Per-iteration cluster overlays, oldest first so the final red rings
+  // paint on top.
+  const std::size_t total = run.iteration_centers.size();
+  for (std::size_t iter = 0; iter < total; ++iter) {
+    const std::string color = iteration_color(iter, total);
+    const bool final_iter = iter + 1 == total;
+    svg << "<g stroke=\"" << color << "\" fill=\"none\" stroke-width=\""
+        << (final_iter ? 2.5 : 1.0) << "\">\n";
+    for (const ml::Vec& c : run.iteration_centers[iter]) {
+      if (c.size() != 2) continue;
+      svg << "  <circle cx=\"" << f.sx(c[0]) << "\" cy=\"" << f.sy(c[1]) << "\" r=\""
+          << std::max(3.0, f.sr(options.cluster_radius)) << "\"/>\n";
+    }
+    svg << "</g>\n";
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+std::string render_trace_svg(const std::vector<TraceSeries>& series, int width, int height) {
+  double t_max = 1.0;
+  for (const TraceSeries& s : series) {
+    if (s.times.size() != s.values.size()) {
+      throw std::invalid_argument("TraceSeries: times/values length mismatch");
+    }
+    for (double t : s.times) t_max = std::max(t_max, t);
+  }
+  const double left = 45.0, bottom = 25.0, top = 15.0, right = 15.0;
+  const double plot_w = width - left - right;
+  const double plot_h = height - top - bottom;
+  auto sx = [&](double t) { return left + t / t_max * plot_w; };
+  auto sy = [&](double v) { return top + (1.0 - std::clamp(v, 0.0, 1.0)) * plot_h; };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width << "\" height=\""
+      << height << "\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  // Axes and gridlines at 0/50/100%.
+  for (double v : {0.0, 0.5, 1.0}) {
+    svg << "<line x1=\"" << left << "\" y1=\"" << sy(v) << "\" x2=\"" << (width - right)
+        << "\" y2=\"" << sy(v) << "\" stroke=\"#dddddd\"/>\n";
+    svg << "<text x=\"4\" y=\"" << sy(v) + 4 << "\" font-size=\"11\">" << (v * 100)
+        << "%</text>\n";
+  }
+  double legend_y = top + 4;
+  for (const TraceSeries& s : series) {
+    svg << "<polyline fill=\"none\" stroke=\"" << s.color << "\" stroke-width=\"1.5\" points=\"";
+    for (std::size_t i = 0; i < s.times.size(); ++i) {
+      svg << sx(s.times[i]) << ',' << sy(s.values[i]) << ' ';
+    }
+    svg << "\"/>\n";
+    svg << "<text x=\"" << (width - right - 150) << "\" y=\"" << legend_y
+        << "\" font-size=\"11\" fill=\"" << s.color << "\">" << s.name << "</text>\n";
+    legend_y += 13;
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+void write_clustering_svg(const std::string& path, const ml::Dataset& data,
+                          const ml::ClusteringRun& run, const RenderOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << render_clustering_svg(data, run, options);
+}
+
+}  // namespace vhadoop::viz

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+
+#include "ml/clustering.hpp"
+
+namespace vhadoop::viz {
+
+/// Rendering options for the Fig. 8-style cluster convergence plots.
+struct RenderOptions {
+  int width = 640;
+  int height = 640;
+  double point_radius = 2.0;
+  /// Radius drawn around cluster centers, in data units (e.g. T2 for
+  /// canopy-family algorithms; 1 sd for Gaussian models).
+  double cluster_radius = 1.0;
+};
+
+/// Render a 2-D dataset with the per-iteration cluster overlays, replicating
+/// Mahout's DisplayClustering output the paper screenshots (Fig. 8): sample
+/// points in grey, early iterations light grey, the last few in
+/// orange/yellow/green/blue/magenta, the final iteration bold red.
+std::string render_clustering_svg(const ml::Dataset& data, const ml::ClusteringRun& run,
+                                  const RenderOptions& options = {});
+
+/// Convenience: render and write to `path`.
+void write_clustering_svg(const std::string& path, const ml::Dataset& data,
+                          const ml::ClusteringRun& run, const RenderOptions& options = {});
+
+/// A named utilization series in [0,1] over time (for nmon-analyser-style
+/// charts).
+struct TraceSeries {
+  std::string name;
+  std::string color = "steelblue";
+  std::vector<double> times;
+  std::vector<double> values;
+};
+
+/// Render utilization time-series as an SVG line chart — the platform's
+/// stand-in for the "nmon analyser" graphics the paper uses to locate
+/// bottlenecks.
+std::string render_trace_svg(const std::vector<TraceSeries>& series, int width = 720,
+                             int height = 320);
+
+}  // namespace vhadoop::viz

@@ -1,0 +1,46 @@
+#include "workloads/dfsio.hpp"
+
+#include <stdexcept>
+
+namespace vhadoop::workloads {
+
+void TestDfsIo::run_write(const std::string& dir, std::function<void(const Result&)> on_done) {
+  mapreduce::SimJobSpec spec;
+  spec.name = "dfsio-write";
+  spec.map_output_to_hdfs = true;
+  spec.output_path = dir;
+  for (int f = 0; f < nr_files_; ++f) {
+    spec.maps.push_back({.input_bytes = 0.0,
+                         .cpu_seconds = file_bytes_ * 1.2e-8,  // buffer fill
+                         .output_bytes = file_bytes_});
+  }
+  const double total = file_bytes_ * nr_files_;
+  runner_.submit(std::move(spec),
+                 [total, on_done = std::move(on_done)](const mapreduce::JobTimeline& t) {
+                   if (on_done) on_done({t.elapsed(), total});
+                 });
+}
+
+void TestDfsIo::run_read(const std::string& dir, std::function<void(const Result&)> on_done) {
+  mapreduce::SimJobSpec spec;
+  spec.name = "dfsio-read";
+  spec.output_path = dir + "/.read";
+  for (int f = 0; f < nr_files_; ++f) {
+    // The files must exist by the time the job is scheduled (a prior write
+    // test may still be queued ahead of this job); HDFS rejects unknown
+    // paths at task-assignment time.
+    const std::string path = dir + "/map-" + std::to_string(f);
+    spec.maps.push_back({.input_path = path,
+                         .block_index = -1,  // stream the whole file
+                         .input_bytes = file_bytes_,
+                         .cpu_seconds = file_bytes_ * 0.8e-8,
+                         .output_bytes = 64.0});
+  }
+  const double total = file_bytes_ * nr_files_;
+  runner_.submit(std::move(spec),
+                 [total, on_done = std::move(on_done)](const mapreduce::JobTimeline& t) {
+                   if (on_done) on_done({t.elapsed(), total});
+                 });
+}
+
+}  // namespace vhadoop::workloads

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "hdfs/hdfs.hpp"
+#include "mapreduce/sim_runner.hpp"
+
+namespace vhadoop::workloads {
+
+/// TestDFSIO (paper Table I): a read/write stress test for HDFS. `nrFiles`
+/// map tasks each write (or read back) one file of `file_bytes`; the tool
+/// reports aggregate throughput. Useful for locating network / NFS-disk
+/// bottlenecks, exactly as the paper uses it.
+class TestDfsIo {
+ public:
+  struct Result {
+    double elapsed_seconds = 0.0;
+    double total_bytes = 0.0;
+    /// Aggregate MB/s (decimal MB, as the Hadoop tool reports).
+    double throughput_mb_s() const {
+      return elapsed_seconds > 0 ? total_bytes / 1e6 / elapsed_seconds : 0.0;
+    }
+  };
+
+  TestDfsIo(mapreduce::SimulatedJobRunner& runner, hdfs::HdfsCluster& hdfs, int nr_files,
+            double file_bytes)
+      : runner_(runner), hdfs_(hdfs), nr_files_(nr_files), file_bytes_(file_bytes) {}
+
+  /// Write test: map-only job, one output file per map.
+  void run_write(const std::string& dir, std::function<void(const Result&)> on_done);
+
+  /// Read test: each map re-reads one file written by a prior write test.
+  void run_read(const std::string& dir, std::function<void(const Result&)> on_done);
+
+ private:
+  mapreduce::SimulatedJobRunner& runner_;
+  hdfs::HdfsCluster& hdfs_;
+  int nr_files_;
+  double file_bytes_;
+};
+
+}  // namespace vhadoop::workloads

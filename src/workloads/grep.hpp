@@ -1,0 +1,26 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "mapreduce/job.hpp"
+
+namespace vhadoop::workloads {
+
+/// `hadoop grep` (hadoop-examples): two chained jobs — a search job whose
+/// mappers emit (match, 1) for every occurrence of `pattern` (substring
+/// match, as the example's regex degenerates to for literal patterns) with
+/// a summing combiner, and a sort job ordering matches by descending count.
+/// We expose the search job (the heavy one) plus a driver that runs both.
+struct GrepResult {
+  /// matches sorted by descending count.
+  std::vector<std::pair<std::string, std::int64_t>> matches;
+  std::vector<mapreduce::JobResult> jobs;  ///< [0] search, [1] sort
+};
+
+mapreduce::JobSpec grep_search_job(const std::string& pattern, int num_reduces = 1);
+
+GrepResult grep(const std::string& pattern, std::span<const mapreduce::KV> input,
+                int num_splits, unsigned threads = 0);
+
+}  // namespace vhadoop::workloads

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "mapreduce/job.hpp"
+#include "mapreduce/sim_job.hpp"
+
+namespace vhadoop::workloads {
+
+/// MRBench (Kim et al., ICPADS'08; `hadoop mrbench`): measures whether
+/// *small* jobs are responsive — the job processes a handful of tiny text
+/// lines through an identity-ish pipeline, so per-task overheads (JVM
+/// spawn, localization, scheduling, tiny shuffles, output commit) dominate.
+struct MrBench {
+  int num_maps = 2;
+  int num_reduces = 1;
+  /// Input lines per map (MRBench default generates one small line each).
+  int lines_per_map = 1;
+
+  /// The logical job: parses each generated line and re-emits it (MRBench's
+  /// mapper extracts the digits; the reducer is identity).
+  mapreduce::JobSpec job() const;
+
+  /// Input records sized like MRBench's generated file.
+  std::vector<mapreduce::KV> input() const;
+
+  /// Fully-formed simulated job (tiny sizes, M maps / R reduces).
+  mapreduce::SimJobSpec sim_job(const std::string& output_path) const;
+};
+
+}  // namespace vhadoop::workloads

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+#include "mapreduce/job.hpp"
+#include "mapreduce/sim_job.hpp"
+
+namespace vhadoop::workloads {
+
+/// `hadoop pi` (hadoop-examples PiEstimator): a quasi-Monte-Carlo estimate
+/// of pi. Each map task throws `samples_per_map` darts (Halton sequence in
+/// the original; a deterministic PRNG stream here) and emits inside/outside
+/// counts; a single reducer folds them and the driver derives pi. This is
+/// the canonical CPU-bound, zero-I/O job, the opposite corner of the
+/// workload space from TestDFSIO.
+struct PiEstimator {
+  int num_maps = 10;
+  std::int64_t samples_per_map = 100000;
+
+  struct Result {
+    double pi = 0.0;
+    std::int64_t inside = 0;
+    std::int64_t total = 0;
+    mapreduce::JobResult job;
+  };
+
+  /// Really estimate pi through the logical engine.
+  Result run(unsigned threads = 0) const;
+
+  /// The equivalent simulated job (pure compute, negligible bytes).
+  mapreduce::SimJobSpec sim_job(const std::string& output_path) const;
+};
+
+}  // namespace vhadoop::workloads

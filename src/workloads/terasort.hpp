@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mapreduce/job.hpp"
+#include "mapreduce/sim_job.hpp"
+#include "sim/rng.hpp"
+
+namespace vhadoop::workloads {
+
+/// TeraSort suite (paper Table I): TeraGen writes `total_bytes` of 100-byte
+/// records to HDFS; TeraSort sorts them (identity map, total-order
+/// partitioner, merge-heavy reduce); TeraValidate re-reads the output.
+///
+/// Two forms are provided, mirroring the platform's two engines:
+///  * `sim_*` builders produce SimJobSpecs at any scale from the workload's
+///    analytic shape (record counts, spill behaviour);
+///  * `logical_*` pieces really generate/sort/validate records through the
+///    LocalJobRunner at test scale, proving the dataflow is a correct sort.
+struct TeraSort {
+  double total_bytes = 400 * sim::kMiB;
+  int num_reduces = 4;
+  double block_size = 64 * sim::kMiB;
+
+  static constexpr double kRecordBytes = 100.0;
+
+  int num_input_blocks() const;
+
+  /// Map-only job writing the input file to HDFS (replication applies).
+  mapreduce::SimJobSpec sim_teragen(const std::string& input_path) const;
+  /// The sort itself: reads every input block, shuffles everything,
+  /// commits output at replication 1 (the TeraSort default).
+  mapreduce::SimJobSpec sim_terasort(const std::string& input_path,
+                                     const std::string& output_path) const;
+  /// Map-only re-read of the sorted output.
+  mapreduce::SimJobSpec sim_teravalidate(const std::string& output_path) const;
+
+  // --- real record-level pieces (test scale) ------------------------------
+  /// Generate n records with 10-byte pseudo-random keys (TeraGen format).
+  static std::vector<mapreduce::KV> generate_records(std::int64_t n, std::uint64_t seed);
+  /// Identity-map + identity-reduce sort job with a total-order partitioner
+  /// sampled from `sample` (TeraSort's TotalOrderPartitioner).
+  static mapreduce::JobSpec sort_job(int num_reduces,
+                                     const std::vector<mapreduce::KV>& sample);
+  /// True iff records are globally sorted by key.
+  static bool validate_sorted(const std::vector<mapreduce::KV>& records);
+};
+
+}  // namespace vhadoop::workloads

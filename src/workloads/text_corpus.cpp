@@ -1,0 +1,57 @@
+#include "workloads/text_corpus.hpp"
+
+namespace vhadoop::workloads {
+
+namespace {
+/// Pronounceable pseudo-word of the given length (CV syllables).
+std::string make_word(sim::Rng& rng, std::size_t len) {
+  static constexpr char consonants[] = "bcdfghjklmnprstvwz";
+  static constexpr char vowels[] = "aeiou";
+  std::string w;
+  w.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    if (i % 2 == 0) {
+      w += consonants[rng.uniform_int(sizeof(consonants) - 1)];
+    } else {
+      w += vowels[rng.uniform_int(sizeof(vowels) - 1)];
+    }
+  }
+  return w;
+}
+}  // namespace
+
+TextCorpus::TextCorpus(std::size_t vocabulary, double zipf_exponent, std::uint64_t seed)
+    : zipf_(vocabulary, zipf_exponent), seed_(seed) {
+  sim::Rng rng(seed);
+  vocab_.reserve(vocabulary);
+  // Frequent words are short, rare words longer — roughly Zipf's law of
+  // abbreviation, which keeps mean word length realistic (~5-6 chars).
+  for (std::size_t i = 0; i < vocabulary; ++i) {
+    const std::size_t len = 2 + std::min<std::size_t>(10, 1 + i / 900);
+    std::string w = make_word(rng, len);
+    // Disambiguate collisions deterministically.
+    w += std::to_string(i % 10);
+    vocab_.push_back(std::move(w));
+  }
+}
+
+std::vector<mapreduce::KV> TextCorpus::generate(double bytes) const {
+  sim::Rng rng(seed_ ^ 0x5151515151515151ULL);
+  std::vector<mapreduce::KV> lines;
+  double produced = 0.0;
+  std::int64_t offset = 0;
+  while (produced < bytes) {
+    std::string line;
+    const std::size_t words = 8 + rng.uniform_int(5);
+    for (std::size_t w = 0; w < words; ++w) {
+      if (w > 0) line += ' ';
+      line += vocab_[zipf_.sample(rng)];
+    }
+    produced += static_cast<double>(line.size()) + 1.0;  // newline
+    lines.push_back({std::to_string(offset), std::move(line)});
+    offset += static_cast<std::int64_t>(lines.back().value.size()) + 1;
+  }
+  return lines;
+}
+
+}  // namespace vhadoop::workloads

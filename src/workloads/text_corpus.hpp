@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mapreduce/kv.hpp"
+#include "sim/rng.hpp"
+
+namespace vhadoop::workloads {
+
+/// Synthetic English-like corpus generator standing in for the paper's
+/// TOEFL reading materials: Zipf-distributed word frequencies (exponent
+/// ~1.0, as in natural text) over a generated vocabulary, emitted as lines
+/// of ~10 words. Wordcount cost depends only on these token statistics.
+class TextCorpus {
+ public:
+  explicit TextCorpus(std::size_t vocabulary = 20000, double zipf_exponent = 1.0,
+                      std::uint64_t seed = 42);
+
+  /// Generate lines totalling approximately `bytes` of text. Keys are line
+  /// offsets (as in TextInputFormat), values are the lines.
+  std::vector<mapreduce::KV> generate(double bytes) const;
+
+  /// The i-th vocabulary word (rank order).
+  const std::string& word(std::size_t rank) const { return vocab_[rank]; }
+  std::size_t vocabulary_size() const { return vocab_.size(); }
+
+ private:
+  std::vector<std::string> vocab_;
+  sim::ZipfSampler zipf_;
+  std::uint64_t seed_;
+};
+
+}  // namespace vhadoop::workloads

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "core/platform.hpp"
+
+namespace vhadoop::core {
+namespace {
+
+mapreduce::SimJobSpec cpu_job(int maps) {
+  mapreduce::SimJobSpec job;
+  job.name = "elastic";
+  job.output_path = "/out/elastic";
+  for (int m = 0; m < maps; ++m) {
+    job.maps.push_back({.input_bytes = sim::kMiB, .cpu_seconds = 12.0,
+                        .output_bytes = 0.5 * sim::kMiB});
+  }
+  job.reduces.push_back({.cpu_seconds = 0.5, .output_bytes = sim::kMiB});
+  return job;
+}
+
+TEST(Elasticity, AddedWorkersJoinHdfsAndJobTracker) {
+  Platform p;
+  p.boot_cluster({.num_workers = 3});
+  auto fresh = p.add_workers(2, p.hosts()[1]);
+  ASSERT_EQ(fresh.size(), 2u);
+  EXPECT_EQ(p.workers().size(), 5u);
+  EXPECT_EQ(p.hdfs().datanodes().size(), 5u);
+  for (virt::VmId vm : fresh) {
+    EXPECT_EQ(p.cloud().state(vm), virt::VmState::Running);
+    EXPECT_EQ(p.cloud().host_of(vm), p.hosts()[1]);
+  }
+  // New datanodes are placement candidates.
+  bool done = false;
+  p.upload("/after-scaleout", 640 * sim::kMiB);
+  done = p.hdfs().exists("/after-scaleout");
+  EXPECT_TRUE(done);
+}
+
+TEST(Elasticity, ScaleOutDuringJobAcceleratesIt) {
+  // Baseline: 2 workers the whole way.
+  double base = 0.0;
+  {
+    Platform p;
+    p.boot_cluster({.num_workers = 2});
+    base = p.run_job(cpu_job(16)).elapsed();
+  }
+  // Same job, but 4 more workers arrive shortly after submission.
+  double scaled = 0.0;
+  {
+    Platform p;
+    p.boot_cluster({.num_workers = 2});
+    bool done = false;
+    p.runner().submit(cpu_job(16), [&](const mapreduce::JobTimeline& t) {
+      done = true;
+      scaled = t.elapsed();
+    });
+    p.engine().run_until(p.engine().now() + 10.0);
+    p.add_workers(4, p.hosts()[0]);
+    p.engine().run();
+    ASSERT_TRUE(done);
+  }
+  EXPECT_LT(scaled, base * 0.75);
+}
+
+TEST(Elasticity, NewWorkersActuallyReceiveTasks) {
+  Platform p;
+  p.boot_cluster({.num_workers = 2});
+  mapreduce::JobTimeline timeline;
+  bool done = false;
+  p.runner().submit(cpu_job(20), [&](const mapreduce::JobTimeline& t) {
+    timeline = t;
+    done = true;
+  });
+  p.engine().run_until(p.engine().now() + 10.0);
+  auto fresh = p.add_workers(3, p.hosts()[1]);
+  p.engine().run();
+  ASSERT_TRUE(done);
+  int on_fresh = 0;
+  for (const auto& t : timeline.maps) {
+    for (virt::VmId vm : fresh) on_fresh += (t.vm == vm);
+  }
+  EXPECT_GT(on_fresh, 0);
+}
+
+TEST(Elasticity, RequiresBootedCluster) {
+  Platform p;
+  EXPECT_THROW(p.add_workers(1, 0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vhadoop::core

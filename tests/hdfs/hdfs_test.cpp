@@ -1,0 +1,271 @@
+#include "hdfs/hdfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+#include "sim/fluid.hpp"
+
+namespace vhadoop::hdfs {
+namespace {
+
+class HdfsTest : public ::testing::Test {
+ protected:
+  HdfsTest()
+      : model(engine),
+        fabric(engine, model, net::NetConfig{}),
+        cloud(engine, model, fabric, virt::VirtConfig{}) {
+    h0 = cloud.add_host("host0");
+    h1 = cloud.add_host("host1");
+  }
+
+  /// 1 namenode + n datanodes, split across the two hosts when cross=true.
+  std::unique_ptr<HdfsCluster> make_cluster(int n_datanodes, bool cross = false,
+                                            HdfsConfig cfg = {}) {
+    namenode = boot("namenode", h0);
+    datanodes.clear();
+    for (int i = 0; i < n_datanodes; ++i) {
+      const virt::HostId h = (cross && i >= n_datanodes / 2) ? h1 : h0;
+      datanodes.push_back(boot("dn" + std::to_string(i), h));
+    }
+    engine.run();
+    return std::make_unique<HdfsCluster>(cloud, cfg, namenode, datanodes, sim::Rng(7));
+  }
+
+  virt::VmId boot(const std::string& name, virt::HostId h) {
+    virt::VmId vm = cloud.create_vm(name, h, {.vcpus = 1, .memory_mb = 1024});
+    cloud.boot_vm(vm, nullptr);
+    return vm;
+  }
+
+  sim::Engine engine;
+  sim::FluidModel model{engine};
+  net::Fabric fabric;
+  virt::Cloud cloud;
+  virt::HostId h0{}, h1{};
+  virt::VmId namenode{};
+  std::vector<virt::VmId> datanodes;
+};
+
+TEST_F(HdfsTest, WriteCreatesBlocksOfConfiguredSize) {
+  auto fs = make_cluster(4);
+  bool done = false;
+  fs->write_file("/data/input", 200 * sim::kMiB, datanodes[0], [&] { done = true; });
+  engine.run();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(fs->exists("/data/input"));
+  EXPECT_DOUBLE_EQ(fs->file_size("/data/input"), 200 * sim::kMiB);
+  const auto& blocks = fs->blocks("/data/input");
+  ASSERT_EQ(blocks.size(), 4u);  // ceil(200/64)
+  EXPECT_DOUBLE_EQ(blocks[0].bytes, 64 * sim::kMiB);
+  EXPECT_DOUBLE_EQ(blocks[3].bytes, 8 * sim::kMiB);
+}
+
+TEST_F(HdfsTest, ReplicationPlacesDistinctDatanodes) {
+  auto fs = make_cluster(6);
+  fs->write_file("/f", 64 * sim::kMiB, datanodes[2], nullptr);
+  engine.run();
+  const auto& blocks = fs->blocks("/f");
+  ASSERT_EQ(blocks.size(), 1u);
+  ASSERT_EQ(blocks[0].replicas.size(), 3u);
+  // Primary replica is the writer (local-first policy).
+  EXPECT_EQ(blocks[0].replicas[0], datanodes[2]);
+  std::set<virt::VmId> unique(blocks[0].replicas.begin(), blocks[0].replicas.end());
+  EXPECT_EQ(unique.size(), 3u);
+}
+
+TEST_F(HdfsTest, ReplicationCappedByDatanodeCount) {
+  auto fs = make_cluster(2, false, {.replication = 3});
+  EXPECT_EQ(fs->effective_replication(), 2);
+  fs->write_file("/f", sim::kMiB, datanodes[0], nullptr);
+  engine.run();
+  EXPECT_EQ(fs->blocks("/f")[0].replicas.size(), 2u);
+}
+
+TEST_F(HdfsTest, NonDatanodeClientGetsRemotePipeline) {
+  auto fs = make_cluster(4);
+  fs->write_file("/f", sim::kMiB, namenode, nullptr);
+  engine.run();
+  const auto& reps = fs->blocks("/f")[0].replicas;
+  ASSERT_EQ(reps.size(), 3u);
+  for (virt::VmId r : reps) EXPECT_NE(r, namenode);
+}
+
+TEST_F(HdfsTest, DuplicateWriteThrows) {
+  auto fs = make_cluster(3);
+  fs->write_file("/f", sim::kMiB, datanodes[0], nullptr);
+  engine.run();
+  EXPECT_THROW(fs->write_file("/f", sim::kMiB, datanodes[0], nullptr), std::runtime_error);
+}
+
+TEST_F(HdfsTest, RemoveForgetsFile) {
+  auto fs = make_cluster(3);
+  fs->write_file("/f", sim::kMiB, datanodes[0], nullptr);
+  engine.run();
+  fs->remove("/f");
+  EXPECT_FALSE(fs->exists("/f"));
+  EXPECT_THROW(fs->file_size("/f"), std::runtime_error);
+}
+
+TEST_F(HdfsTest, WriteCostScalesWithReplication) {
+  // Same data, replication 1 vs 3: pipeline amplification must show up in
+  // elapsed time (3x the NFS-disk traffic).
+  auto fs1 = make_cluster(6, false, {.replication = 1});
+  double t0 = engine.now(), t_r1 = 0.0;
+  fs1->write_file("/r1", 128 * sim::kMiB, datanodes[0], [&] { t_r1 = engine.now() - t0; });
+  engine.run();
+
+  auto fs3 = std::make_unique<HdfsCluster>(cloud, HdfsConfig{.replication = 3}, namenode,
+                                           datanodes, sim::Rng(7));
+  t0 = engine.now();
+  double t_r3 = 0.0;
+  fs3->write_file("/r3", 128 * sim::kMiB, datanodes[0], [&] { t_r3 = engine.now() - t0; });
+  engine.run();
+  EXPECT_GT(t_r3, t_r1 * 1.8);
+}
+
+TEST_F(HdfsTest, LocalReadBeatsRemoteRead) {
+  auto fs = make_cluster(4, false, {.replication = 1});
+  fs->write_file("/f", 64 * sim::kMiB, datanodes[0], nullptr);
+  engine.run();
+  ASSERT_TRUE(fs->is_local(fs->blocks("/f")[0], datanodes[0]));
+
+  double t0 = engine.now(), local = 0.0;
+  fs->read_file("/f", datanodes[0], [&] { local = engine.now() - t0; });
+  engine.run();
+
+  // A reader that holds no replica of /f: it pulls the (page-cache-hot)
+  // block over the software bridge, which the local reader never touches.
+  virt::VmId remote_reader = datanodes[3];
+  ASSERT_FALSE(fs->is_local(fs->blocks("/f")[0], remote_reader));
+  t0 = engine.now();
+  double remote = 0.0;
+  fs->read_file("/f", remote_reader, [&] { remote = engine.now() - t0; });
+  engine.run();
+  EXPECT_GT(remote, local);
+}
+
+TEST_F(HdfsTest, CachedReadSkipsNfs) {
+  auto fs = make_cluster(3, false, {.replication = 1});
+  fs->write_file("/hot", 128 * sim::kMiB, datanodes[0], nullptr);
+  engine.run();
+  const double nfs_before = cloud.nfs_disk_busy_integral();
+  double t0 = engine.now(), warm = 0.0;
+  fs->read_file("/hot", datanodes[0], [&] { warm = engine.now() - t0; });
+  engine.run();
+  // The replica just wrote these blocks: they are in its page cache, so
+  // the re-read adds no NFS-disk traffic and finishes at memory speed.
+  EXPECT_NEAR(cloud.nfs_disk_busy_integral(), nfs_before, 1.0);
+  EXPECT_LT(warm, 0.5);
+}
+
+TEST_F(HdfsTest, PreferredReplicaOrdering) {
+  auto fs = make_cluster(8, /*cross=*/true);
+  fs->write_file("/f", 64 * sim::kMiB, datanodes[0], nullptr);
+  engine.run();
+  const auto& block = fs->blocks("/f")[0];
+  // Reader == replica holder: itself.
+  EXPECT_EQ(fs->preferred_replica(block, datanodes[0]), datanodes[0]);
+  // Reader co-hosted with some replica: must not pick a cross-host one
+  // if a same-host replica exists.
+  for (virt::VmId reader : datanodes) {
+    virt::VmId pick = fs->preferred_replica(block, reader);
+    const bool same_host_available = [&] {
+      for (virt::VmId r : block.replicas) {
+        if (cloud.host_of(r) == cloud.host_of(reader)) return true;
+      }
+      return false;
+    }();
+    if (same_host_available) {
+      EXPECT_EQ(cloud.host_of(pick), cloud.host_of(reader));
+    }
+  }
+}
+
+TEST_F(HdfsTest, ReadTracksBytes) {
+  auto fs = make_cluster(3);
+  fs->write_file("/f", 100 * sim::kMiB, datanodes[0], nullptr);
+  engine.run();
+  fs->read_file("/f", datanodes[1], nullptr);
+  engine.run();
+  EXPECT_DOUBLE_EQ(fs->bytes_written(), 100 * sim::kMiB);
+  EXPECT_DOUBLE_EQ(fs->bytes_read(), 100 * sim::kMiB);
+}
+
+TEST_F(HdfsTest, CrossDomainCachedReadsSlowerThanNormal) {
+  // Writes are serialized by the NFS server either way (the paper's NFS
+  // bottleneck), so the placement penalty shows on the *data exchange*
+  // path: hot blocks pulled by non-local readers cross the GbE NIC in the
+  // cross-domain layout instead of the software bridge.
+  auto run_case = [](bool cross) {
+    sim::Engine e;
+    sim::FluidModel m(e);
+    net::Fabric f(e, m, net::NetConfig{});
+    virt::Cloud c(e, m, f, virt::VirtConfig{});
+    auto h0 = c.add_host("h0");
+    auto h1 = c.add_host("h1");
+    std::vector<virt::VmId> dns;
+    for (int i = 0; i < 8; ++i) {
+      virt::VmId vm = c.create_vm("dn" + std::to_string(i), (cross && i >= 4) ? h1 : h0,
+                                  {.vcpus = 1, .memory_mb = 1024});
+      c.boot_vm(vm, nullptr);
+      dns.push_back(vm);
+    }
+    e.run();
+    HdfsCluster fs(c, HdfsConfig{.replication = 1}, dns[0], dns, sim::Rng(7));
+    bool staged = false;  // 256 MiB fits the writer's page cache entirely
+    fs.write_file("/data", 256 * sim::kMiB, dns[0], [&] { staged = true; });
+    e.run();
+    EXPECT_TRUE(staged);
+    // Every node streams the whole (cache-hot) file concurrently — an
+    // all-to-all exchange like a shuffle.
+    const double t0 = e.now();
+    int done = 0;
+    for (virt::VmId dn : dns) {
+      fs.read_file("/data", dn, [&] { ++done; });
+    }
+    e.run();
+    EXPECT_EQ(done, 8);
+    return e.now() - t0;
+  };
+  const double t_normal = run_case(false);
+  const double t_cross = run_case(true);
+  EXPECT_GT(t_cross, t_normal * 1.3);
+}
+
+TEST_F(HdfsTest, ZeroByteFileStillHasOneBlockEntry) {
+  auto fs = make_cluster(3);
+  bool done = false;
+  fs->write_file("/empty", 0.0, datanodes[0], [&] { done = true; });
+  engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(fs->blocks("/empty").size(), 1u);
+}
+
+// Parameterized sweep: replication invariants hold across configurations.
+class HdfsReplicationSweep : public HdfsTest,
+                             public ::testing::WithParamInterface<std::tuple<int, int>> {};
+
+TEST_P(HdfsReplicationSweep, ReplicasAlwaysDistinctAndBounded) {
+  const auto [n_dn, repl] = GetParam();
+  auto fs = make_cluster(n_dn, n_dn > 4, {.replication = repl});
+  fs->write_file("/f", 300 * sim::kMiB, datanodes[0], nullptr);
+  engine.run();
+  for (const auto& b : fs->blocks("/f")) {
+    std::set<virt::VmId> unique(b.replicas.begin(), b.replicas.end());
+    EXPECT_EQ(unique.size(), b.replicas.size()) << "duplicate replica";
+    EXPECT_EQ(static_cast<int>(b.replicas.size()), std::min(repl, n_dn));
+    for (virt::VmId r : b.replicas) {
+      EXPECT_TRUE(std::find(datanodes.begin(), datanodes.end(), r) != datanodes.end());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, HdfsReplicationSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 15),
+                                            ::testing::Values(1, 2, 3, 4)));
+
+}  // namespace
+}  // namespace vhadoop::hdfs

@@ -1,0 +1,73 @@
+#include "mapreduce/bridge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mapreduce/local_runner.hpp"
+#include "workloads/wordcount.hpp"
+
+namespace vhadoop::mapreduce {
+namespace {
+
+JobResult sample_run() {
+  std::vector<KV> input;
+  for (int i = 0; i < 40; ++i) {
+    input.push_back({std::to_string(i), "alpha beta gamma delta " + std::to_string(i % 5)});
+  }
+  LocalJobRunner runner(2);
+  return runner.run(workloads::wordcount_job(3), input, 4);
+}
+
+TEST(Bridge, OneSimMapPerLogicalSplit) {
+  auto measured = sample_run();
+  auto spec = to_sim_job("wc", measured, "/in/file", "/out");
+  ASSERT_EQ(spec.maps.size(), measured.map_profiles.size());
+  ASSERT_EQ(spec.reduces.size(), measured.reduce_profiles.size());
+  for (std::size_t m = 0; m < spec.maps.size(); ++m) {
+    EXPECT_EQ(spec.maps[m].input_path, "/in/file");
+    EXPECT_EQ(spec.maps[m].block_index, static_cast<int>(m));
+    EXPECT_DOUBLE_EQ(spec.maps[m].input_bytes, measured.map_profiles[m].input_bytes);
+    EXPECT_DOUBLE_EQ(spec.maps[m].cpu_seconds, measured.map_profiles[m].cpu_seconds);
+    EXPECT_DOUBLE_EQ(spec.maps[m].output_bytes, measured.map_profiles[m].output_bytes);
+  }
+}
+
+TEST(Bridge, ShuffleMatrixCarriedVerbatim) {
+  auto measured = sample_run();
+  auto spec = to_sim_job("wc", measured, "/in", "/out");
+  ASSERT_EQ(spec.shuffle_matrix, measured.shuffle_matrix);
+  // Consistency: the matrix row sums equal map outputs.
+  for (std::size_t m = 0; m < spec.maps.size(); ++m) {
+    double row = 0.0;
+    for (double b : spec.shuffle_matrix[m]) row += b;
+    EXPECT_NEAR(row, spec.maps[m].output_bytes, 1e-9);
+  }
+}
+
+TEST(Bridge, FilesVariantAssignsOnePathPerMap) {
+  auto measured = sample_run();
+  std::vector<std::string> paths;
+  for (std::size_t m = 0; m < measured.map_profiles.size(); ++m) {
+    paths.push_back("/in/part-" + std::to_string(m));
+  }
+  auto spec = to_sim_job_files("wc", measured, paths, "/out");
+  for (std::size_t m = 0; m < spec.maps.size(); ++m) {
+    EXPECT_EQ(spec.maps[m].input_path, paths[m]);
+    EXPECT_EQ(spec.maps[m].block_index, -1);
+  }
+}
+
+TEST(Bridge, FilesVariantRejectsWrongCount) {
+  auto measured = sample_run();
+  EXPECT_THROW(to_sim_job_files("wc", measured, {"/only/one"}, "/out"),
+               std::invalid_argument);
+}
+
+TEST(Bridge, SerializedBytesIncludesFraming) {
+  std::vector<KV> records{{"k", "v"}, {"key2", "value2"}};
+  // 2 + 10 payload bytes + 8 bytes framing each.
+  EXPECT_DOUBLE_EQ(serialized_bytes(records), 2 + 10 + 16);
+  EXPECT_DOUBLE_EQ(serialized_bytes(std::vector<KV>{}), 0.0);
+}
+
+}  // namespace
+}  // namespace vhadoop::mapreduce

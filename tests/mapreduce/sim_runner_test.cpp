@@ -1,0 +1,253 @@
+#include "mapreduce/sim_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testutil/sim_cluster.hpp"
+
+namespace vhadoop::mapreduce {
+namespace {
+
+using testutil::SimCluster;
+
+SimJobSpec simple_job(int maps, int reduces, double map_mb = 8.0, double out_mb = 4.0) {
+  SimJobSpec spec;
+  spec.name = "test";
+  spec.output_path = "/out/test";
+  for (int m = 0; m < maps; ++m) {
+    spec.maps.push_back({.input_bytes = map_mb * sim::kMiB,
+                         .cpu_seconds = 0.5,
+                         .output_bytes = out_mb * sim::kMiB});
+  }
+  for (int r = 0; r < reduces; ++r) {
+    spec.reduces.push_back({.cpu_seconds = 0.3, .output_bytes = out_mb * sim::kMiB});
+  }
+  return spec;
+}
+
+TEST(SimRunner, RunsJobToCompletion) {
+  auto c = SimCluster::make(4, false);
+  JobTimeline timeline;
+  bool done = false;
+  c->runner->submit(simple_job(4, 2), [&](const JobTimeline& t) {
+    timeline = t;
+    done = true;
+  });
+  c->engine.run();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(c->runner->idle());
+  EXPECT_EQ(timeline.maps.size(), 4u);
+  EXPECT_EQ(timeline.reduces.size(), 2u);
+  EXPECT_GT(timeline.elapsed(), 0.0);
+  for (const auto& t : timeline.maps) {
+    EXPECT_GE(t.started, t.assigned);
+    EXPECT_GT(t.finished, t.started);
+  }
+  for (const auto& t : timeline.reduces) {
+    EXPECT_GT(t.finished, t.started);
+    // Reduces cannot finish before the last map finished (they must fetch
+    // every map's partition).
+    for (const auto& m : timeline.maps) EXPECT_GE(t.finished, m.finished);
+  }
+}
+
+TEST(SimRunner, MapOnlyJobCompletes) {
+  auto c = SimCluster::make(3, false);
+  bool done = false;
+  auto spec = simple_job(5, 0);
+  spec.map_output_to_hdfs = true;
+  spec.output_path = "/out/maponly";
+  c->runner->submit(spec, [&](const JobTimeline&) { done = true; });
+  c->engine.run();
+  EXPECT_TRUE(done);
+  // Map outputs committed to HDFS.
+  EXPECT_TRUE(c->hdfs->exists("/out/maponly/map-0"));
+  EXPECT_TRUE(c->hdfs->exists("/out/maponly/map-4"));
+}
+
+TEST(SimRunner, JobsRunFifo) {
+  auto c = SimCluster::make(2, false);
+  std::vector<int> order;
+  double first_end = 0.0, second_start_bound = 0.0;
+  auto job1 = simple_job(2, 1);
+  job1.output_path = "/out/job1";
+  c->runner->submit(job1, [&](const JobTimeline& t) {
+    order.push_back(1);
+    first_end = t.finished;
+  });
+  auto job2 = simple_job(2, 1);
+  job2.output_path = "/out/job2";
+  c->runner->submit(job2, [&](const JobTimeline& t) {
+    order.push_back(2);
+    // The second job's first map must be assigned after job 1 finished.
+    second_start_bound = t.maps[0].assigned;
+    for (const auto& m : t.maps) second_start_bound = std::min(second_start_bound, m.assigned);
+  });
+  c->engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_GE(second_start_bound, first_end);
+}
+
+TEST(SimRunner, SlotsLimitConcurrency) {
+  // 1 worker with 2 map slots, 6 maps -> at least 3 sequential waves.
+  HadoopConfig hc;
+  hc.map_slots_per_worker = 2;
+  auto c = SimCluster::make(1, false, hc);
+  JobTimeline timeline;
+  c->runner->submit(simple_job(6, 0), [&](const JobTimeline& t) { timeline = t; });
+  c->engine.run();
+  // True max concurrency via an event sweep over (assigned, finished).
+  std::vector<std::pair<double, int>> events;
+  for (const auto& t : timeline.maps) {
+    events.emplace_back(t.assigned, +1);
+    events.emplace_back(t.finished, -1);
+  }
+  std::sort(events.begin(), events.end());
+  int level = 0, max_overlap = 0;
+  for (const auto& [time, delta] : events) {
+    level += delta;
+    max_overlap = std::max(max_overlap, level);
+  }
+  EXPECT_LE(max_overlap, 2);
+}
+
+TEST(SimRunner, MoreWorkersFinishFasterOnCpuBoundJob) {
+  SimJobSpec spec;
+  spec.output_path = "/out/cpu";
+  for (int m = 0; m < 12; ++m) {
+    spec.maps.push_back({.input_bytes = sim::kMiB, .cpu_seconds = 10.0, .output_bytes = 1024});
+  }
+  spec.reduces.push_back({.cpu_seconds = 0.1, .output_bytes = 1024});
+
+  auto small = SimCluster::make(2, false);
+  double t_small = 0.0;
+  small->runner->submit(spec, [&](const JobTimeline& t) { t_small = t.elapsed(); });
+  small->engine.run();
+
+  auto big = SimCluster::make(7, false);
+  double t_big = 0.0;
+  big->runner->submit(spec, [&](const JobTimeline& t) { t_big = t.elapsed(); });
+  big->engine.run();
+
+  EXPECT_LT(t_big, t_small * 0.7);
+}
+
+TEST(SimRunner, DataLocalMapsPreferred) {
+  auto c = SimCluster::make(8, false);
+  // Stage an input file, then check locality accounting.
+  bool staged = false;
+  c->hdfs->write_file("/in/data", 8 * 64 * sim::kMiB, c->workers[0], [&] { staged = true; });
+  c->engine.run();
+  ASSERT_TRUE(staged);
+
+  SimJobSpec spec;
+  spec.output_path = "/out/local";
+  const auto& blocks = c->hdfs->blocks("/in/data");
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    spec.maps.push_back({.input_path = "/in/data",
+                         .block_index = static_cast<int>(b),
+                         .cpu_seconds = 0.5,
+                         .output_bytes = sim::kMiB});
+  }
+  spec.reduces.push_back({.cpu_seconds = 0.1, .output_bytes = sim::kMiB});
+  JobTimeline timeline;
+  c->runner->submit(spec, [&](const JobTimeline& t) { timeline = t; });
+  c->engine.run();
+  // With replication 3 over 8 workers and locality-aware assignment, most
+  // maps should be data-local.
+  EXPECT_GE(timeline.data_local_maps(), static_cast<int>(blocks.size()) / 2);
+}
+
+TEST(SimRunner, CrossDomainSlowerForShuffleHeavyJob) {
+  // Shuffle-dominated: little compute, big map outputs. In the normal
+  // placement all 32 fetch flows ride the software bridge; cross-domain,
+  // half of them squeeze through the GbE NICs.
+  auto spec = simple_job(8, 4, 8.0, 64.0);
+  for (auto& m : spec.maps) m.cpu_seconds = 0.2;
+  auto normal = SimCluster::make(8, false);
+  double t_normal = 0.0;
+  normal->runner->submit(spec, [&](const JobTimeline& t) { t_normal = t.elapsed(); });
+  normal->engine.run();
+
+  auto cross = SimCluster::make(8, true);
+  double t_cross = 0.0;
+  cross->runner->submit(spec, [&](const JobTimeline& t) { t_cross = t.elapsed(); });
+  cross->engine.run();
+
+  EXPECT_GT(t_cross, t_normal * 1.05);
+}
+
+TEST(SimRunner, SkewedShuffleMatrixDelaysLoadedReducer) {
+  auto c = SimCluster::make(4, false);
+  SimJobSpec spec;
+  spec.output_path = "/out/skew";
+  for (int m = 0; m < 4; ++m) {
+    spec.maps.push_back({.input_bytes = sim::kMiB, .cpu_seconds = 0.1,
+                         .output_bytes = 40 * sim::kMiB});
+  }
+  spec.reduces.push_back({.cpu_seconds = 0.1, .output_bytes = 1024});
+  spec.reduces.push_back({.cpu_seconds = 0.1, .output_bytes = 1024});
+  // All bytes go to reduce 0.
+  spec.shuffle_matrix.assign(4, {40 * sim::kMiB, 0.0});
+  JobTimeline timeline;
+  c->runner->submit(spec, [&](const JobTimeline& t) { timeline = t; });
+  c->engine.run();
+  EXPECT_GT(timeline.reduces[0].finished, timeline.reduces[1].finished);
+}
+
+TEST(SimRunner, PerTaskOverheadGrowsSmallJobRuntime) {
+  // The MRBench phenomenon: tiny data, more tasks -> longer runtime.
+  auto c1 = SimCluster::make(15, false);
+  double t1 = 0.0;
+  c1->runner->submit(simple_job(1, 1, 0.01, 0.01), [&](const JobTimeline& t) { t1 = t.elapsed(); });
+  c1->engine.run();
+
+  auto c6 = SimCluster::make(15, false);
+  double t6 = 0.0;
+  c6->runner->submit(simple_job(6, 1, 0.01, 0.01), [&](const JobTimeline& t) { t6 = t.elapsed(); });
+  c6->engine.run();
+  EXPECT_GT(t6, t1);
+}
+
+TEST(SimRunner, RejectsMalformedSpecs) {
+  auto c = SimCluster::make(2, false);
+  SimJobSpec empty;
+  EXPECT_THROW(c->runner->submit(empty, nullptr), std::invalid_argument);
+
+  auto bad = simple_job(2, 2);
+  bad.shuffle_matrix.assign(3, {1.0, 1.0});  // wrong row count
+  EXPECT_THROW(c->runner->submit(bad, nullptr), std::invalid_argument);
+}
+
+TEST(SimRunner, RunningTasksVisibleDuringExecution) {
+  auto c = SimCluster::make(2, false);
+  c->runner->submit(simple_job(4, 1, 64.0, 16.0), nullptr);
+  c->engine.run_until(c->engine.now() + 6.0);  // mid-JVM-spawn/read phase
+  int total_running = 0;
+  for (virt::VmId vm : c->workers) total_running += c->runner->running_tasks(vm);
+  EXPECT_GT(total_running, 0);
+  c->engine.run();
+  for (virt::VmId vm : c->workers) EXPECT_EQ(c->runner->running_tasks(vm), 0);
+}
+
+TEST(SimRunner, SpillPastSortBufferCostsExtra) {
+  HadoopConfig hc;
+  hc.io_sort_bytes = 10 * sim::kMiB;
+  auto c_small = SimCluster::make(4, false, hc);
+  // Output below the buffer: no extra pass.
+  auto below = simple_job(4, 1, 8.0, 8.0);
+  double t_below = 0.0;
+  c_small->runner->submit(below, [&](const JobTimeline& t) { t_below = t.elapsed(); });
+  c_small->engine.run();
+
+  auto c_big = SimCluster::make(4, false, hc);
+  auto above = simple_job(4, 1, 8.0, 12.0);  // +50% output but >buffer
+  double t_above = 0.0;
+  c_big->runner->submit(above, [&](const JobTimeline& t) { t_above = t.elapsed(); });
+  c_big->engine.run();
+  // Extra spill pass: a jump beyond what +50% of output bytes alone costs
+  // (output is a small share of the job, so linear scaling would add ~2%).
+  EXPECT_GT(t_above, t_below * 1.1);
+}
+
+}  // namespace
+}  // namespace vhadoop::mapreduce

@@ -1,0 +1,79 @@
+#include "ml/quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/kmeans.hpp"
+#include "sim/rng.hpp"
+
+namespace vhadoop::ml {
+namespace {
+
+Dataset two_blobs(double separation) {
+  Dataset data;
+  sim::Rng rng(2);
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < 30; ++i) {
+      data.points.push_back({c * separation + rng.normal(0, 0.4), rng.normal(0, 0.4)});
+      data.labels.push_back(c);
+    }
+  }
+  return data;
+}
+
+TEST(Quality, SilhouetteHighForSeparatedClusters) {
+  auto data = two_blobs(20.0);
+  EXPECT_GT(silhouette(data, data.labels), 0.9);
+}
+
+TEST(Quality, SilhouetteDropsWhenBlobsOverlap) {
+  const double separated = silhouette(two_blobs(20.0), two_blobs(20.0).labels);
+  const double overlapping = silhouette(two_blobs(0.8), two_blobs(0.8).labels);
+  EXPECT_GT(separated, overlapping + 0.3);
+}
+
+TEST(Quality, SilhouetteNegativeForWrongAssignment) {
+  auto data = two_blobs(20.0);
+  // Swap half of each cluster's labels: points sit far from "their" group.
+  std::vector<int> wrong = data.labels;
+  for (std::size_t i = 0; i < wrong.size(); i += 2) wrong[i] = 1 - wrong[i];
+  EXPECT_LT(silhouette(data, wrong), 0.0);
+}
+
+TEST(Quality, DaviesBouldinLowerIsBetter) {
+  EXPECT_LT(davies_bouldin(two_blobs(20.0), two_blobs(20.0).labels),
+            davies_bouldin(two_blobs(1.0), two_blobs(1.0).labels));
+}
+
+TEST(Quality, WcssDecreasesWithBetterCentroids) {
+  auto data = two_blobs(10.0);
+  std::vector<int> one_cluster(data.size(), 0);
+  EXPECT_LT(wcss(data, data.labels), wcss(data, one_cluster));
+}
+
+TEST(Quality, RandIndexBounds) {
+  std::vector<int> a{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(rand_index(a, a), 1.0);
+  std::vector<int> renamed{5, 5, 9, 9};  // same partition, different ids
+  EXPECT_DOUBLE_EQ(rand_index(a, renamed), 1.0);
+  std::vector<int> anti{0, 1, 0, 1};
+  EXPECT_LT(rand_index(a, anti), 0.5);
+  EXPECT_THROW(rand_index(a, {0, 1}), std::invalid_argument);
+}
+
+TEST(Quality, KMeansOnBlobsScoresWell) {
+  auto data = two_blobs(15.0);
+  auto run = kmeans_cluster(data, {.k = 2, .base = {.num_splits = 2}});
+  EXPECT_GT(silhouette(data, run.assignments), 0.85);
+  EXPECT_GT(rand_index(data.labels, run.assignments), 0.99);
+  EXPECT_LT(davies_bouldin(data, run.assignments), 0.3);
+}
+
+TEST(Quality, GuardsAgainstMalformedInput) {
+  Dataset empty;
+  EXPECT_THROW(silhouette(empty, {}), std::invalid_argument);
+  auto data = two_blobs(5.0);
+  EXPECT_THROW(wcss(data, std::vector<int>(3, 0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vhadoop::ml

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/naive_bayes.hpp"
+#include "ml/recommender.hpp"
+
+namespace vhadoop::ml {
+namespace {
+
+// --- Naive Bayes (classification) ---------------------------------------------
+
+TEST(NaiveBayes, LearnsSeparableClasses) {
+  auto docs = synthetic_labeled_corpus(3, 120, 30, 5);
+  // Holdout split: train on 80%, test on the rest.
+  const std::size_t split = docs.size() * 8 / 10;
+  std::vector<LabeledDoc> train(docs.begin(), docs.begin() + static_cast<std::ptrdiff_t>(split));
+  std::vector<LabeledDoc> test(docs.begin() + static_cast<std::ptrdiff_t>(split), docs.end());
+
+  auto run = train_naive_bayes(train);
+  auto [predicted, job] = classify_naive_bayes(run.model, test);
+  int correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) correct += (predicted[i] == test[i].label);
+  EXPECT_GT(static_cast<double>(correct) / test.size(), 0.9);
+}
+
+TEST(NaiveBayes, PriorsAreLogProbabilities) {
+  auto docs = synthetic_labeled_corpus(4, 50, 10, 9);
+  auto run = train_naive_bayes(docs);
+  double total = 0.0;
+  for (const auto& [label, lp] : run.model.log_prior) {
+    EXPECT_LE(lp, 0.0);
+    total += std::exp(lp);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(run.model.log_prior.size(), 4u);
+}
+
+TEST(NaiveBayes, SmoothingHandlesUnseenTokens) {
+  auto docs = synthetic_labeled_corpus(2, 40, 10, 11);
+  auto run = train_naive_bayes(docs);
+  // Classifying a document of entirely novel tokens must not crash and
+  // must fall back to the prior ordering.
+  const std::string label = run.model.classify({"zzz_never_seen", "qqq_nor_this"});
+  EXPECT_FALSE(label.empty());
+}
+
+TEST(NaiveBayes, SplitCountInvariant) {
+  auto docs = synthetic_labeled_corpus(2, 60, 15, 13);
+  auto a = train_naive_bayes(docs, {.num_splits = 1});
+  auto b = train_naive_bayes(docs, {.num_splits = 8});
+  ASSERT_EQ(a.model.log_prior.size(), b.model.log_prior.size());
+  for (const auto& [label, lp] : a.model.log_prior) {
+    EXPECT_NEAR(lp, b.model.log_prior.at(label), 1e-12);
+  }
+}
+
+TEST(NaiveBayes, TrainJobCarriesProfiles) {
+  auto docs = synthetic_labeled_corpus(2, 40, 10, 15);
+  auto run = train_naive_bayes(docs, {.num_splits = 4});
+  ASSERT_EQ(run.jobs.size(), 1u);
+  EXPECT_EQ(run.jobs[0].map_profiles.size(), 4u);
+  std::int64_t records = 0;
+  for (const auto& p : run.jobs[0].map_profiles) records += p.input_records;
+  EXPECT_EQ(records, static_cast<std::int64_t>(docs.size()));
+}
+
+// --- item-based recommender (recommendations) ----------------------------------
+
+TEST(Recommender, RecommendsInGroupUnseenItems) {
+  auto ratings = synthetic_ratings(3, 20, 10, 0.6, 21);
+  auto run = recommend_items(ratings, {.top_n = 3});
+  // For most users, recommended items should be from their own group.
+  int in_group = 0, total = 0;
+  for (const auto& [user, items] : run.recommendations) {
+    const std::int64_t group = user / 20;
+    for (std::int64_t item : items) {
+      ++total;
+      in_group += (item / 10 == group);
+    }
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GT(static_cast<double>(in_group) / total, 0.85);
+}
+
+TEST(Recommender, NeverRecommendsAlreadyRatedItems) {
+  auto ratings = synthetic_ratings(2, 15, 8, 0.5, 23);
+  auto run = recommend_items(ratings, {.top_n = 5});
+  std::map<std::int64_t, std::set<std::int64_t>> seen;
+  for (const Rating& r : ratings) seen[r.user].insert(r.item);
+  for (const auto& [user, items] : run.recommendations) {
+    for (std::int64_t item : items) {
+      EXPECT_FALSE(seen[user].contains(item)) << "user " << user << " item " << item;
+    }
+  }
+}
+
+TEST(Recommender, CooccurrenceMatrixIsSymmetric) {
+  auto ratings = synthetic_ratings(2, 10, 6, 0.7, 29);
+  auto run = recommend_items(ratings);
+  for (const auto& [a, row] : run.cooccurrence) {
+    for (const auto& [b, n] : row) {
+      ASSERT_TRUE(run.cooccurrence.contains(b));
+      EXPECT_DOUBLE_EQ(run.cooccurrence.at(b).at(a), n);
+    }
+  }
+}
+
+TEST(Recommender, TopNBounded) {
+  auto ratings = synthetic_ratings(2, 10, 10, 0.4, 31);
+  auto run = recommend_items(ratings, {.top_n = 2});
+  for (const auto& [user, items] : run.recommendations) {
+    EXPECT_LE(items.size(), 2u);
+  }
+}
+
+TEST(Recommender, DeterministicAcrossRuns) {
+  auto ratings = synthetic_ratings(2, 12, 8, 0.5, 37);
+  auto a = recommend_items(ratings, {.num_splits = 2});
+  auto b = recommend_items(ratings, {.num_splits = 6});
+  EXPECT_EQ(a.recommendations, b.recommendations);
+}
+
+TEST(Recommender, ProducesTwoMeasuredJobs) {
+  auto ratings = synthetic_ratings(2, 10, 6, 0.5, 41);
+  auto run = recommend_items(ratings);
+  ASSERT_EQ(run.jobs.size(), 2u);
+  EXPECT_GT(run.jobs[0].total_shuffle_bytes, 0.0);
+}
+
+}  // namespace
+}  // namespace vhadoop::ml

@@ -1,0 +1,168 @@
+#include "net/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/fluid.hpp"
+
+namespace vhadoop::net {
+namespace {
+
+class FabricTest : public ::testing::Test {
+ protected:
+  FabricTest() : model(engine), fabric(engine, model, NetConfig{}) {
+    a = fabric.add_node("hostA");
+    b = fabric.add_node("hostB");
+  }
+
+  sim::Engine engine;
+  sim::FluidModel model{engine};
+  Fabric fabric;
+  Fabric::NodeId a{}, b{};
+};
+
+TEST_F(FabricTest, CrossHostFlowCappedByVirtualizedNic) {
+  const double bytes = 100 * sim::kMiB;
+  double done_at = -1.0;
+  fabric.transfer({.src = {a, true, 0},
+                   .dst = {b, true, 1},
+                   .bytes = bytes,
+                   .on_complete = [&] { done_at = engine.now(); }});
+  engine.run();
+  const NetConfig cfg;
+  const double expect = bytes / (cfg.nic_bw * cfg.vm_io_efficiency);
+  EXPECT_NEAR(done_at, expect, expect * 0.01);
+}
+
+TEST_F(FabricTest, BareMetalEndpointsGetFullNicRate) {
+  const double bytes = 100 * sim::kMiB;
+  double done_at = -1.0;
+  fabric.transfer({.src = {a, false, -1},
+                   .dst = {b, false, -1},
+                   .bytes = bytes,
+                   .on_complete = [&] { done_at = engine.now(); }});
+  engine.run();
+  const NetConfig cfg;
+  EXPECT_NEAR(done_at, bytes / cfg.nic_bw, 0.01);
+}
+
+TEST_F(FabricTest, IntraHostFlowIsFasterThanCrossHost) {
+  const double bytes = 64 * sim::kMiB;
+  double intra = -1.0, cross = -1.0;
+  fabric.transfer({.src = {a, true, 0},
+                   .dst = {a, true, 1},
+                   .bytes = bytes,
+                   .on_complete = [&] { intra = engine.now(); }});
+  engine.run();
+  const double intra_elapsed = intra;
+
+  sim::Engine e2;
+  sim::FluidModel m2(e2);
+  Fabric f2(e2, m2, NetConfig{});
+  auto n0 = f2.add_node("h0");
+  auto n1 = f2.add_node("h1");
+  f2.transfer({.src = {n0, true, 0},
+               .dst = {n1, true, 1},
+               .bytes = bytes,
+               .on_complete = [&] { cross = e2.now(); }});
+  e2.run();
+  EXPECT_LT(intra_elapsed, cross * 0.25);  // bridge is 8x the NIC
+}
+
+TEST_F(FabricTest, LoopbackIsFastest) {
+  const double bytes = 64 * sim::kMiB;
+  double loop = -1.0;
+  fabric.transfer({.src = {a, true, 3},
+                   .dst = {a, true, 3},
+                   .bytes = bytes,
+                   .on_complete = [&] { loop = engine.now(); }});
+  engine.run();
+  const NetConfig cfg;
+  EXPECT_NEAR(loop, bytes / (cfg.loopback_bw * cfg.vm_io_efficiency), 0.05);
+}
+
+TEST_F(FabricTest, TwoFlowsShareTxNic) {
+  const double bytes = 50 * sim::kMiB;
+  int done = 0;
+  double last = -1.0;
+  for (int i = 0; i < 2; ++i) {
+    fabric.transfer({.src = {a, false, -1},
+                     .dst = {b, false, -1},
+                     .bytes = bytes,
+                     .on_complete = [&] {
+                       ++done;
+                       last = engine.now();
+                     }});
+  }
+  engine.run();
+  EXPECT_EQ(done, 2);
+  const NetConfig cfg;
+  EXPECT_NEAR(last, 2 * bytes / cfg.nic_bw, 0.05);
+}
+
+TEST_F(FabricTest, OppositeDirectionsDoNotContend) {
+  // Full duplex: A->B and B->A each get the whole NIC.
+  const double bytes = 50 * sim::kMiB;
+  double ab = -1.0, ba = -1.0;
+  fabric.transfer({.src = {a, false, -1}, .dst = {b, false, -1}, .bytes = bytes,
+                   .on_complete = [&] { ab = engine.now(); }});
+  fabric.transfer({.src = {b, false, -1}, .dst = {a, false, -1}, .bytes = bytes,
+                   .on_complete = [&] { ba = engine.now(); }});
+  engine.run();
+  const NetConfig cfg;
+  EXPECT_NEAR(ab, bytes / cfg.nic_bw, 0.01);
+  EXPECT_NEAR(ba, bytes / cfg.nic_bw, 0.01);
+}
+
+TEST_F(FabricTest, ExtraResourceThrottlesFlow) {
+  auto disk = model.add_resource("nfs.disk", sim::mbyte_per_s(20));
+  const double bytes = 100 * sim::kMiB;
+  double done = -1.0;
+  fabric.transfer({.src = {a, false, -1},
+                   .dst = {b, false, -1},
+                   .bytes = bytes,
+                   .extra_resources = {disk},
+                   .on_complete = [&] { done = engine.now(); }});
+  engine.run();
+  EXPECT_NEAR(done, bytes / sim::mbyte_per_s(20), 0.05);
+}
+
+TEST_F(FabricTest, MessageLatencyComposition) {
+  const NetConfig cfg;
+  // VM to VM across hosts: 2 virtual endpoints + 1 hop.
+  EXPECT_DOUBLE_EQ(fabric.message_latency({a, true, 0}, {b, true, 1}),
+                   2 * cfg.vm_latency + cfg.hop_latency);
+  // Bare metal across hosts: just the hop.
+  EXPECT_DOUBLE_EQ(fabric.message_latency({a, false, -1}, {b, false, -1}), cfg.hop_latency);
+  // Same host, two VMs: no switch hop.
+  EXPECT_DOUBLE_EQ(fabric.message_latency({a, true, 0}, {a, true, 1}), 2 * cfg.vm_latency);
+}
+
+TEST_F(FabricTest, SmallMessagesAreLatencyDominated) {
+  double t_small = -1.0;
+  fabric.transfer({.src = {a, true, 0},
+                   .dst = {b, true, 1},
+                   .bytes = 100.0,
+                   .on_complete = [&] { t_small = engine.now(); }});
+  engine.run();
+  const NetConfig cfg;
+  const double lat = 2 * cfg.vm_latency + cfg.hop_latency;
+  EXPECT_GE(t_small, lat);
+  EXPECT_LT(t_small, lat * 1.5);
+}
+
+TEST_F(FabricTest, UnknownNodeThrows) {
+  EXPECT_THROW(fabric.transfer({.src = {a, true, 0}, .dst = {99, true, 1}, .bytes = 1.0}),
+               std::out_of_range);
+}
+
+TEST_F(FabricTest, UtilizationVisibleWhileFlowing) {
+  fabric.transfer({.src = {a, false, -1}, .dst = {b, false, -1}, .bytes = 1e9});
+  engine.run_until(1.0);
+  EXPECT_NEAR(fabric.tx_utilization(a), 1.0, 1e-6);
+  EXPECT_NEAR(fabric.rx_utilization(b), 1.0, 1e-6);
+  EXPECT_DOUBLE_EQ(fabric.tx_utilization(b), 0.0);
+}
+
+}  // namespace
+}  // namespace vhadoop::net

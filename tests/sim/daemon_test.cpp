@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace vhadoop::sim {
+namespace {
+
+TEST(DaemonEvents, DoNotKeepRunAlive) {
+  Engine e;
+  int ticks = 0;
+  // A self-rescheduling daemon (periodic sampler pattern).
+  std::function<void()> tick = [&] {
+    ++ticks;
+    e.schedule_in(1.0, tick, /*daemon=*/true);
+  };
+  e.schedule_in(1.0, tick, /*daemon=*/true);
+  e.schedule_at(3.5, [] {});  // one regular event
+  e.run();
+  // Daemons at t=1,2,3 fired while regular work was pending; the chain did
+  // not keep the engine running past t=3.5.
+  EXPECT_EQ(ticks, 3);
+  EXPECT_DOUBLE_EQ(e.now(), 3.5);
+}
+
+TEST(DaemonEvents, RunWithOnlyDaemonsReturnsImmediately) {
+  Engine e;
+  bool fired = false;
+  e.schedule_in(1.0, [&] { fired = true; }, /*daemon=*/true);
+  e.run();
+  EXPECT_FALSE(fired);
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);
+}
+
+TEST(DaemonEvents, RunUntilStillFiresDaemons) {
+  Engine e;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    e.schedule_in(1.0, tick, /*daemon=*/true);
+  };
+  e.schedule_in(1.0, tick, /*daemon=*/true);
+  e.run_until(5.5);
+  EXPECT_EQ(ticks, 5);
+}
+
+TEST(DaemonEvents, CancelDaemonWorks) {
+  Engine e;
+  bool fired = false;
+  auto id = e.schedule_in(1.0, [&] { fired = true; }, /*daemon=*/true);
+  EXPECT_TRUE(e.cancel(id));
+  e.schedule_at(2.0, [] {});
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(DaemonEvents, RegularEventScheduledByDaemonExtendsRun) {
+  Engine e;
+  bool late_fired = false;
+  e.schedule_in(1.0, [&] {
+    // A daemon that discovers real work.
+    e.schedule_in(10.0, [&] { late_fired = true; });
+  }, /*daemon=*/true);
+  e.schedule_at(2.0, [] {});  // keeps the engine alive past the daemon
+  e.run();
+  EXPECT_TRUE(late_fired);
+  EXPECT_DOUBLE_EQ(e.now(), 11.0);
+}
+
+}  // namespace
+}  // namespace vhadoop::sim

@@ -1,0 +1,71 @@
+#pragma once
+
+// Shared test fixture: a fully wired hadoop virtual cluster (engine, fluid
+// model, fabric, cloud, HDFS, simulated job runner) in either the paper's
+// "normal" (all VMs on one host) or "cross-domain" (split over two hosts)
+// placement.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hdfs/hdfs.hpp"
+#include "mapreduce/sim_runner.hpp"
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+#include "sim/fluid.hpp"
+#include "virt/cloud.hpp"
+
+namespace vhadoop::testutil {
+
+struct SimCluster {
+  sim::Engine engine;
+  std::unique_ptr<sim::FluidModel> model;
+  std::unique_ptr<net::Fabric> fabric;
+  std::unique_ptr<virt::Cloud> cloud;
+  std::vector<virt::HostId> hosts;
+  virt::VmId namenode{};
+  std::vector<virt::VmId> workers;
+  std::unique_ptr<hdfs::HdfsCluster> hdfs;
+  std::unique_ptr<mapreduce::SimulatedJobRunner> runner;
+
+  /// n_workers datanode/tasktracker VMs + 1 namenode VM. cross=true splits
+  /// the VMs over two hosts; otherwise everything lands on host 0.
+  /// (Returned by pointer: the engine is pinned in memory because every
+  /// component holds references into it.)
+  static std::unique_ptr<SimCluster> make(int n_workers, bool cross,
+                                          mapreduce::HadoopConfig hconf = {},
+                                          hdfs::HdfsConfig dconf = {},
+                                          std::uint64_t seed = 7) {
+    auto owner = std::make_unique<SimCluster>();
+    SimCluster& c = *owner;
+    c.model = std::make_unique<sim::FluidModel>(c.engine);
+    c.fabric = std::make_unique<net::Fabric>(c.engine, *c.model, net::NetConfig{});
+    c.cloud = std::make_unique<virt::Cloud>(c.engine, *c.model, *c.fabric, virt::VirtConfig{});
+    c.hosts.push_back(c.cloud->add_host("hostA"));
+    c.hosts.push_back(c.cloud->add_host("hostB"));
+
+    auto place = [&](int idx, int total) -> virt::HostId {
+      if (!cross) return c.hosts[0];
+      return idx < (total + 1) / 2 ? c.hosts[0] : c.hosts[1];
+    };
+    c.namenode = c.cloud->create_vm("namenode", place(0, n_workers + 1),
+                                    {.vcpus = 1, .memory_mb = 1024});
+    c.cloud->boot_vm(c.namenode, nullptr);
+    for (int i = 0; i < n_workers; ++i) {
+      virt::VmId vm = c.cloud->create_vm("worker" + std::to_string(i),
+                                         place(i + 1, n_workers + 1),
+                                         {.vcpus = 1, .memory_mb = 1024});
+      c.cloud->boot_vm(vm, nullptr);
+      c.workers.push_back(vm);
+    }
+    c.engine.run();  // boots complete
+    c.hdfs = std::make_unique<hdfs::HdfsCluster>(*c.cloud, dconf, c.namenode, c.workers,
+                                                 sim::Rng(seed));
+    c.runner = std::make_unique<mapreduce::SimulatedJobRunner>(*c.cloud, *c.hdfs, hconf,
+                                                               c.workers);
+    return owner;
+  }
+};
+
+}  // namespace vhadoop::testutil

@@ -1,0 +1,115 @@
+#include "tuner/tuner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vhadoop::tuner {
+namespace {
+
+using monitor::TraceAnalyser;
+
+TraceAnalyser::Report base_report() {
+  TraceAnalyser::Report r;
+  r.avg_host_cpu = {0.5, 0.5};
+  r.avg_host_tx = {0.3, 0.3};
+  r.avg_host_rx = {0.3, 0.3};
+  r.avg_nfs_disk = 0.4;
+  r.busiest_vm = 1;
+  return r;
+}
+
+bool has_kind(const std::vector<Recommendation>& recs, Recommendation::Kind k) {
+  for (const auto& r : recs) {
+    if (r.kind == k) return true;
+  }
+  return false;
+}
+
+TEST(Tuner, QuietClusterYieldsNothingDramatic) {
+  MapReduceTuner tuner;
+  auto recs = tuner.analyse(base_report());
+  EXPECT_FALSE(has_kind(recs, Recommendation::Kind::MigrateVm));
+  EXPECT_FALSE(has_kind(recs, Recommendation::Kind::ReduceMapSlots));
+  EXPECT_FALSE(has_kind(recs, Recommendation::Kind::IncreaseSortBuffer));
+}
+
+TEST(Tuner, NfsSaturationSuggestsSpillAndReplicationRelief) {
+  auto r = base_report();
+  r.avg_nfs_disk = 0.95;
+  MapReduceTuner tuner;
+  auto recs = tuner.analyse(r);
+  EXPECT_TRUE(has_kind(recs, Recommendation::Kind::IncreaseSortBuffer));
+  EXPECT_TRUE(has_kind(recs, Recommendation::Kind::LowerReplication));
+}
+
+TEST(Tuner, NicSaturationSuggestsRebalance) {
+  auto r = base_report();
+  r.avg_host_tx = {0.95, 0.2};
+  MapReduceTuner tuner;
+  auto recs = tuner.analyse(r);
+  EXPECT_TRUE(has_kind(recs, Recommendation::Kind::RebalanceNetwork));
+}
+
+TEST(Tuner, CpuImbalanceSuggestsMigration) {
+  auto r = base_report();
+  r.avg_host_cpu = {0.97, 0.2};
+  r.busiest_vm = 5;
+  MapReduceTuner tuner;
+  auto recs = tuner.analyse(r);
+  ASSERT_TRUE(has_kind(recs, Recommendation::Kind::MigrateVm));
+  for (const auto& rec : recs) {
+    if (rec.kind == Recommendation::Kind::MigrateVm) {
+      EXPECT_EQ(rec.vm_index, 5u);
+      EXPECT_EQ(rec.target_host, 1u);  // the idle host
+    }
+  }
+}
+
+TEST(Tuner, UniformCpuSaturationSuggestsFewerSlots) {
+  auto r = base_report();
+  r.avg_host_cpu = {0.95, 0.93};
+  MapReduceTuner tuner;
+  auto recs = tuner.analyse(r);
+  EXPECT_TRUE(has_kind(recs, Recommendation::Kind::ReduceMapSlots));
+  EXPECT_FALSE(has_kind(recs, Recommendation::Kind::MigrateVm));
+}
+
+TEST(Tuner, IdleClusterSuggestsMoreSlots) {
+  auto r = base_report();
+  r.avg_host_cpu = {0.1, 0.15};
+  MapReduceTuner tuner;
+  auto recs = tuner.analyse(r);
+  EXPECT_TRUE(has_kind(recs, Recommendation::Kind::IncreaseMapSlots));
+}
+
+TEST(Tuner, ApplyAdjustsHadoopConfig) {
+  mapreduce::HadoopConfig cfg;
+  cfg.map_slots_per_worker = 2;
+  const double sort = cfg.io_sort_bytes;
+
+  auto cfg2 = MapReduceTuner::apply(
+      cfg, {{Recommendation::Kind::IncreaseSortBuffer, ""},
+            {Recommendation::Kind::LowerReplication, ""},
+            {Recommendation::Kind::ReduceMapSlots, ""}});
+  EXPECT_DOUBLE_EQ(cfg2.io_sort_bytes, sort * 2);
+  EXPECT_EQ(cfg2.output_replication, 2);
+  EXPECT_EQ(cfg2.map_slots_per_worker, 1);
+
+  // Slots never drop below one.
+  auto cfg3 = MapReduceTuner::apply(cfg2, {{Recommendation::Kind::ReduceMapSlots, ""}});
+  EXPECT_EQ(cfg3.map_slots_per_worker, 1);
+
+  auto cfg4 = MapReduceTuner::apply(cfg, {{Recommendation::Kind::IncreaseMapSlots, ""}});
+  EXPECT_EQ(cfg4.map_slots_per_worker, 3);
+}
+
+TEST(Tuner, CustomPolicyThresholdsRespected) {
+  auto r = base_report();
+  r.avg_nfs_disk = 0.7;
+  MapReduceTuner strict(TunerPolicy{.disk_saturated = 0.6});
+  MapReduceTuner lax(TunerPolicy{.disk_saturated = 0.9});
+  EXPECT_TRUE(has_kind(strict.analyse(r), Recommendation::Kind::IncreaseSortBuffer));
+  EXPECT_FALSE(has_kind(lax.analyse(r), Recommendation::Kind::IncreaseSortBuffer));
+}
+
+}  // namespace
+}  // namespace vhadoop::tuner

@@ -1,0 +1,302 @@
+#include "virt/cloud.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+#include "sim/fluid.hpp"
+
+namespace vhadoop::virt {
+namespace {
+
+class CloudTest : public ::testing::Test {
+ protected:
+  CloudTest() : model(engine), fabric(engine, model, net::NetConfig{}), cloud(engine, model, fabric, VirtConfig{}) {
+    h0 = cloud.add_host("host0");
+    h1 = cloud.add_host("host1");
+  }
+
+  VmId make_running_vm(const std::string& name, HostId h, VmSpec spec = {}) {
+    VmId vm = cloud.create_vm(name, h, spec);
+    cloud.boot_vm(vm, nullptr);
+    engine.run();
+    return vm;
+  }
+
+  sim::Engine engine;
+  sim::FluidModel model{engine};
+  net::Fabric fabric;
+  Cloud cloud;
+  HostId h0{}, h1{};
+};
+
+TEST_F(CloudTest, VmBootTakesImageFetchPlusBootTime) {
+  VmId vm = cloud.create_vm("vm0", h0, {});
+  EXPECT_EQ(cloud.state(vm), VmState::Stopped);
+  double ready_at = -1.0;
+  cloud.boot_vm(vm, [&] { ready_at = engine.now(); });
+  EXPECT_EQ(cloud.state(vm), VmState::Booting);
+  engine.run();
+  EXPECT_EQ(cloud.state(vm), VmState::Running);
+  const VirtConfig cfg;
+  // Image fetch at NFS disk speed (the NIC is faster) + boot time.
+  const double fetch = cfg.vm_boot_io_bytes / cfg.nfs_disk_bw;
+  EXPECT_NEAR(ready_at, fetch + cfg.vm_boot_seconds, 0.5);
+}
+
+TEST_F(CloudTest, ConcurrentBootsContendOnNfs) {
+  std::vector<VmId> vms;
+  double last_ready = 0.0;
+  int ready = 0;
+  for (int i = 0; i < 8; ++i) {
+    VmId vm = cloud.create_vm("vm" + std::to_string(i), h0, {});
+    cloud.boot_vm(vm, [&] {
+      ++ready;
+      last_ready = engine.now();
+    });
+    vms.push_back(vm);
+  }
+  engine.run();
+  EXPECT_EQ(ready, 8);
+  const VirtConfig cfg;
+  // 8 images share the NFS spindle: total fetch is 8x one image.
+  const double serial_fetch = 8 * cfg.vm_boot_io_bytes / cfg.nfs_disk_bw;
+  EXPECT_NEAR(last_ready, serial_fetch + cfg.vm_boot_seconds, 1.0);
+}
+
+TEST_F(CloudTest, MemoryOversubscriptionRejected) {
+  const VirtConfig cfg;
+  const int fits = static_cast<int>(cfg.host_memory_mb / 1024.0);
+  for (int i = 0; i < fits; ++i) {
+    cloud.create_vm("vm" + std::to_string(i), h0, {.vcpus = 1, .memory_mb = 1024});
+  }
+  EXPECT_THROW(cloud.create_vm("too_many", h0, {.vcpus = 1, .memory_mb = 1024}),
+               std::runtime_error);
+  EXPECT_THROW(cloud.create_vm("huge", h1, {.vcpus = 1, .memory_mb = cfg.host_memory_mb + 1}),
+               std::runtime_error);
+}
+
+TEST_F(CloudTest, DestroyVmReleasesMemory) {
+  VmId vm = cloud.create_vm("vm0", h0, {.vcpus = 1, .memory_mb = 4096});
+  const double before = cloud.host_memory_free_mb(h0);
+  cloud.destroy_vm(vm);
+  EXPECT_DOUBLE_EQ(cloud.host_memory_free_mb(h0), before + 4096);
+}
+
+TEST_F(CloudTest, ComputeRunsAtVcpuSpeed) {
+  VmId vm = make_running_vm("vm0", h0);
+  double done = -1.0;
+  const double t0 = engine.now();
+  cloud.run_compute(vm, 10.0, [&] { done = engine.now(); });
+  engine.run();
+  EXPECT_NEAR(done - t0, 10.0, 1e-6);  // 1 VCPU => 10 core-seconds in 10s
+}
+
+TEST_F(CloudTest, SingleVcpuCannotUseTwoCores) {
+  VmId vm = make_running_vm("vm0", h0);
+  double t0 = engine.now();
+  int done = 0;
+  double last = 0.0;
+  // Two concurrent 5-core-second burns on a 1-VCPU guest: serialized by
+  // the VCPU allotment -> 10 seconds total, not 5.
+  for (int i = 0; i < 2; ++i) {
+    cloud.run_compute(vm, 5.0, [&] {
+      ++done;
+      last = engine.now();
+    });
+  }
+  engine.run();
+  EXPECT_EQ(done, 2);
+  EXPECT_NEAR(last - t0, 10.0, 1e-6);
+}
+
+TEST_F(CloudTest, HostCpuSharedWhenOversubscribed) {
+  // 24 single-VCPU VMs on a 16-thread host: 24x5 core-seconds across 16
+  // threads takes 7.5 s.
+  std::vector<VmId> vms;
+  for (int i = 0; i < 24; ++i) {
+    vms.push_back(make_running_vm("vm" + std::to_string(i), h0));
+  }
+  const double t0 = engine.now();
+  int done = 0;
+  double last = 0.0;
+  for (VmId vm : vms) {
+    cloud.run_compute(vm, 5.0, [&] {
+      ++done;
+      last = engine.now();
+    });
+  }
+  engine.run();
+  EXPECT_EQ(done, 24);
+  EXPECT_NEAR(last - t0, 7.5, 1e-6);
+}
+
+TEST_F(CloudTest, CreditSchedulerCapThrottlesGuest) {
+  VmId vm = make_running_vm("vm0", h0);
+  cloud.set_vcpu_cap(vm, 0.25);
+  double done = -1.0;
+  const double t0 = engine.now();
+  cloud.run_compute(vm, 5.0, [&] { done = engine.now(); });
+  engine.run();
+  EXPECT_NEAR(done - t0, 20.0, 1e-6);  // 5 core-s at a quarter core
+
+  // Restoring the cap restores full speed.
+  cloud.set_vcpu_cap(vm, 1.0);
+  const double t1 = engine.now();
+  cloud.run_compute(vm, 5.0, [&] { done = engine.now(); });
+  engine.run();
+  EXPECT_NEAR(done - t1, 5.0, 1e-6);
+
+  EXPECT_THROW(cloud.set_vcpu_cap(vm, 0.0), std::invalid_argument);
+  EXPECT_THROW(cloud.set_vcpu_cap(vm, 1.5), std::invalid_argument);
+}
+
+TEST_F(CloudTest, DiskIoIsBoundedByNfsPath) {
+  VmId vm = make_running_vm("vm0", h0);
+  const double bytes = 200 * sim::kMiB;
+  double rd = -1.0, t0 = engine.now();
+  cloud.disk_read(vm, bytes, [&] { rd = engine.now(); });
+  engine.run();
+  const VirtConfig cfg;
+  // vdisk ceiling (90 MB/s) is tighter than NFS disk (120) and GbE.
+  EXPECT_NEAR(rd - t0, bytes / cfg.vdisk_bw, 0.1);
+}
+
+TEST_F(CloudTest, ManyVmsDiskIoBottlenecksOnNfsSpindle) {
+  std::vector<VmId> vms;
+  for (int i = 0; i < 8; ++i) vms.push_back(make_running_vm("vm" + std::to_string(i), h0));
+  const double bytes = 50 * sim::kMiB;
+  const double t0 = engine.now();
+  int done = 0;
+  double last = 0.0;
+  for (VmId vm : vms) {
+    cloud.disk_write(vm, bytes, [&] {
+      ++done;
+      last = engine.now();
+    });
+  }
+  engine.run();
+  const VirtConfig cfg;
+  EXPECT_EQ(done, 8);
+  EXPECT_NEAR(last - t0, 8 * bytes / cfg.nfs_disk_bw, 0.3);
+}
+
+TEST_F(CloudTest, CoLocatedTransferFasterThanCrossHost) {
+  VmId a = make_running_vm("a", h0);
+  VmId b = make_running_vm("b", h0);
+  VmId c = make_running_vm("c", h1);
+  const double bytes = 64 * sim::kMiB;
+  double t0 = engine.now(), intra = -1.0;
+  cloud.vm_transfer(a, b, bytes, [&] { intra = engine.now() - t0; });
+  engine.run();
+  t0 = engine.now();
+  double cross = -1.0;
+  cloud.vm_transfer(a, c, bytes, [&] { cross = engine.now() - t0; });
+  engine.run();
+  EXPECT_LT(intra, cross);
+  EXPECT_GT(cross / intra, 3.0);
+}
+
+TEST_F(CloudTest, MessageLatencyLowerIntraHost) {
+  VmId a = make_running_vm("a", h0);
+  VmId b = make_running_vm("b", h0);
+  VmId c = make_running_vm("c", h1);
+  EXPECT_LT(cloud.message_latency(a, b), cloud.message_latency(a, c));
+}
+
+// --- migration ---------------------------------------------------------------
+
+TEST_F(CloudTest, IdleMigrationTimeScalesWithMemory) {
+  VmId small = make_running_vm("small", h0, {.vcpus = 1, .memory_mb = 512});
+  VmId big = make_running_vm("big", h0, {.vcpus = 1, .memory_mb = 1024});
+
+  MigrationResult r_small, r_big;
+  cloud.migrate(small, h1, DirtyModel::idle(), [&](const MigrationResult& r) { r_small = r; });
+  engine.run();
+  cloud.migrate(big, h1, DirtyModel::idle(), [&](const MigrationResult& r) { r_big = r; });
+  engine.run();
+
+  EXPECT_GT(r_big.migration_time, r_small.migration_time * 1.7);
+  // Paper observation (i): downtime has no causal link to memory size.
+  EXPECT_NEAR(r_big.downtime, r_small.downtime, 0.05);
+}
+
+TEST_F(CloudTest, LoadedGuestHasMuchLongerDowntime) {
+  VmId idle_vm = make_running_vm("idle", h0, {.vcpus = 1, .memory_mb = 1024});
+  VmId busy_vm = make_running_vm("busy", h0, {.vcpus = 1, .memory_mb = 1024});
+
+  MigrationResult r_idle, r_busy;
+  cloud.migrate(idle_vm, h1, DirtyModel::idle(), [&](const MigrationResult& r) { r_idle = r; });
+  engine.run();
+  cloud.migrate(busy_vm, h1, DirtyModel::wordcount(), [&](const MigrationResult& r) { r_busy = r; });
+  engine.run();
+
+  EXPECT_GT(r_busy.downtime, r_idle.downtime * 4.0);
+  EXPECT_GT(r_busy.migration_time, r_idle.migration_time);
+  EXPECT_GT(r_busy.rounds, r_idle.rounds);
+}
+
+TEST_F(CloudTest, MigrationMovesVmToDestinationHost) {
+  VmId vm = make_running_vm("vm0", h0, {.vcpus = 1, .memory_mb = 1024});
+  bool done = false;
+  cloud.migrate(vm, h1, DirtyModel::idle(), [&](const MigrationResult&) { done = true; });
+  EXPECT_EQ(cloud.state(vm), VmState::Migrating);
+  engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(cloud.host_of(vm), h1);
+  EXPECT_EQ(cloud.state(vm), VmState::Running);
+}
+
+TEST_F(CloudTest, MigrationReservesDestinationMemory) {
+  const VirtConfig cfg;
+  // Fill h1 so the migration target has no room.
+  const int fits = static_cast<int>(cfg.host_memory_mb / 1024.0);
+  for (int i = 0; i < fits; ++i) {
+    cloud.create_vm("filler" + std::to_string(i), h1, {.vcpus = 1, .memory_mb = 1024});
+  }
+  VmId vm = make_running_vm("vm0", h0, {.vcpus = 1, .memory_mb = 1024});
+  EXPECT_THROW(cloud.migrate(vm, h1, DirtyModel::idle(), nullptr), std::runtime_error);
+}
+
+TEST_F(CloudTest, MigrationContendingWithTrafficIsSlower) {
+  VmId vm = make_running_vm("vm0", h0, {.vcpus = 1, .memory_mb = 1024});
+  VmId other = make_running_vm("other", h0, {.vcpus = 1, .memory_mb = 1024});
+  VmId sink = make_running_vm("sink", h1, {.vcpus = 1, .memory_mb = 1024});
+
+  MigrationResult quiet;
+  cloud.migrate(vm, h1, DirtyModel::idle(), [&](const MigrationResult& r) { quiet = r; });
+  engine.run();
+
+  // Saturate the h0->h1 direction with guest traffic, then migrate back.
+  cloud.vm_transfer(other, sink, 10 * sim::kGiB, nullptr);
+  MigrationResult contended;
+  cloud.migrate(vm, h0, DirtyModel::idle(), [&](const MigrationResult& r) { contended = r; });
+  engine.run();
+  // h1->h0 migration direction is opposite to the bulk flow... so instead
+  // compare: quiet was unobstructed; contended shares h1.tx with nothing
+  // but h0.rx with the sink's incoming traffic? The bulk flow is h0->h1:
+  // it uses h0.tx and h1.rx; the migration h1->h0 uses h1.tx and h0.rx.
+  // No overlap -> equal. This asserts full-duplex correctness instead.
+  EXPECT_NEAR(contended.migration_time, quiet.migration_time, quiet.migration_time * 0.1);
+}
+
+TEST_F(CloudTest, MigrationSharesNicWithSameDirectionTraffic) {
+  VmId vm = make_running_vm("vm0", h0, {.vcpus = 1, .memory_mb = 1024});
+  VmId src = make_running_vm("src", h0, {.vcpus = 1, .memory_mb = 1024});
+  VmId sink = make_running_vm("sink", h1, {.vcpus = 1, .memory_mb = 1024});
+
+  MigrationResult quiet;
+  cloud.migrate(vm, h1, DirtyModel::idle(), [&](const MigrationResult& r) { quiet = r; });
+  engine.run();
+  cloud.migrate(vm, h0, DirtyModel::idle(), [&](const MigrationResult&) {});
+  engine.run();
+
+  cloud.vm_transfer(src, sink, 10 * sim::kGiB, nullptr);  // same direction as migration
+  MigrationResult contended;
+  cloud.migrate(vm, h1, DirtyModel::idle(), [&](const MigrationResult& r) { contended = r; });
+  engine.run_until(engine.now() + 500.0);
+  EXPECT_GT(contended.migration_time, quiet.migration_time * 1.5);
+}
+
+}  // namespace
+}  // namespace vhadoop::virt

@@ -1,0 +1,152 @@
+#include "virt/migration_bench.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+#include "sim/fluid.hpp"
+
+namespace vhadoop::virt {
+namespace {
+
+class ClusterMigrationTest : public ::testing::Test {
+ protected:
+  ClusterMigrationTest()
+      : model(engine),
+        fabric(engine, model, net::NetConfig{}),
+        cloud(engine, model, fabric, VirtConfig{}) {
+    src = cloud.add_host("src");
+    dst = cloud.add_host("dst");
+  }
+
+  std::vector<VmId> make_cluster(int n, double memory_mb) {
+    std::vector<VmId> vms;
+    for (int i = 0; i < n; ++i) {
+      VmId vm = cloud.create_vm("vm" + std::to_string(i), src,
+                                {.vcpus = 1, .memory_mb = memory_mb});
+      cloud.boot_vm(vm, nullptr);
+      vms.push_back(vm);
+    }
+    engine.run();
+    return vms;
+  }
+
+  sim::Engine engine;
+  sim::FluidModel model{engine};
+  net::Fabric fabric;
+  Cloud cloud;
+  HostId src{}, dst{};
+};
+
+TEST_F(ClusterMigrationTest, MigratesAllVmsAndReportsPerVmResults) {
+  auto vms = make_cluster(8, 1024);
+  ClusterMigration bench(cloud, 2);
+  ClusterMigrationResult result;
+  bool done = false;
+  bench.run(vms, dst, [](VmId) { return DirtyModel::idle(); },
+            [&](const ClusterMigrationResult& r) {
+              result = r;
+              done = true;
+            });
+  engine.run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(result.per_vm.size(), 8u);
+  for (VmId vm : vms) EXPECT_EQ(cloud.host_of(vm), dst);
+  EXPECT_GT(result.overall_migration_time, 0.0);
+  EXPECT_GT(result.overall_downtime, 0.0);
+}
+
+TEST_F(ClusterMigrationTest, OverallTimeScalesWithMemorySize) {
+  auto small = make_cluster(4, 512);
+  ClusterMigration bench(cloud, 2);
+  ClusterMigrationResult r_small, r_big;
+  bench.run(small, dst, [](VmId) { return DirtyModel::idle(); },
+            [&](const ClusterMigrationResult& r) { r_small = r; });
+  engine.run();
+
+  // Fresh set of larger VMs, migrated over the same quiet link.
+  std::vector<VmId> big;
+  for (int i = 0; i < 4; ++i) {
+    VmId vm = cloud.create_vm("big" + std::to_string(i), src, {.vcpus = 1, .memory_mb = 1024});
+    cloud.boot_vm(vm, nullptr);
+    big.push_back(vm);
+  }
+  engine.run();
+  bench.run(big, dst, [](VmId) { return DirtyModel::idle(); },
+            [&](const ClusterMigrationResult& r) { r_big = r; });
+  engine.run();
+  EXPECT_GT(r_big.overall_migration_time, r_small.overall_migration_time * 1.7);
+}
+
+TEST_F(ClusterMigrationTest, LoadedClusterDowntimeBlowsUp) {
+  auto vms = make_cluster(8, 1024);
+  ClusterMigration bench(cloud, 2);
+  ClusterMigrationResult r_idle;
+  bench.run(vms, dst, [](VmId) { return DirtyModel::idle(); },
+            [&](const ClusterMigrationResult& r) { r_idle = r; });
+  engine.run();
+
+  ClusterMigrationResult r_busy;
+  bench.run(vms, src, [](VmId) { return DirtyModel::wordcount(); },
+            [&](const ClusterMigrationResult& r) { r_busy = r; });
+  engine.run();
+
+  EXPECT_GT(r_busy.overall_downtime, r_idle.overall_downtime * 4.0);
+  EXPECT_GT(r_busy.overall_migration_time, r_idle.overall_migration_time);
+}
+
+TEST_F(ClusterMigrationTest, ConcurrencyOneIsSequential) {
+  auto vms = make_cluster(4, 1024);
+  ClusterMigration seq(cloud, 1);
+  ClusterMigrationResult result;
+  seq.run(vms, dst, [](VmId) { return DirtyModel::idle(); },
+          [&](const ClusterMigrationResult& r) { result = r; });
+  engine.run();
+  // Sequential: overall time ~ sum of per-VM times.
+  double sum = 0.0;
+  for (const auto& r : result.per_vm) sum += r.migration_time;
+  EXPECT_NEAR(result.overall_migration_time, sum, sum * 0.1);
+}
+
+TEST_F(ClusterMigrationTest, ReservedStreamWeightBeatsBestEffortUnderLoad) {
+  // The authors' prior work (ref [18]): reserving bandwidth for the
+  // migration stream shortens migration when guests are chatty.
+  auto run_with_weight = [](double weight) {
+    sim::Engine engine;
+    sim::FluidModel model(engine);
+    net::Fabric fabric(engine, model, net::NetConfig{});
+    VirtConfig cfg;
+    cfg.migration_stream_weight = weight;
+    Cloud cloud(engine, model, fabric, cfg);
+    HostId src = cloud.add_host("src");
+    HostId dst = cloud.add_host("dst");
+    VmId vm = cloud.create_vm("vm", src, {.vcpus = 1, .memory_mb = 1024});
+    VmId chatty = cloud.create_vm("chatty", src, {.vcpus = 1, .memory_mb = 1024});
+    VmId sink = cloud.create_vm("sink", dst, {.vcpus = 1, .memory_mb = 1024});
+    cloud.boot_vm(vm, nullptr);
+    cloud.boot_vm(chatty, nullptr);
+    cloud.boot_vm(sink, nullptr);
+    engine.run();
+    // Saturate the migration direction with guest traffic.
+    for (int i = 0; i < 4; ++i) cloud.vm_transfer(chatty, sink, 20 * sim::kGiB, nullptr);
+    MigrationResult result;
+    cloud.migrate(vm, dst, DirtyModel::idle(),
+                  [&](const MigrationResult& r) { result = r; });
+    engine.run_until(engine.now() + 2000.0);
+    return result.migration_time;
+  };
+  const double best_effort = run_with_weight(1.0);
+  const double reserved = run_with_weight(8.0);
+  ASSERT_GT(best_effort, 0.0);
+  ASSERT_GT(reserved, 0.0);
+  EXPECT_LT(reserved, best_effort * 0.5);
+}
+
+TEST_F(ClusterMigrationTest, EmptyVmSetThrows) {
+  ClusterMigration bench(cloud, 2);
+  EXPECT_THROW(bench.run({}, dst, [](VmId) { return DirtyModel::idle(); }, nullptr),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vhadoop::virt

@@ -1,0 +1,133 @@
+#include "viz/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "ml/kmeans.hpp"
+#include "sim/rng.hpp"
+
+namespace vhadoop::viz {
+namespace {
+
+ml::Dataset small_blobs() {
+  ml::Dataset data;
+  sim::Rng rng(9);
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < 15; ++i) {
+      data.points.push_back({c * 6.0 + rng.normal(0, 0.2), rng.normal(0, 0.2)});
+      data.labels.push_back(c);
+    }
+  }
+  return data;
+}
+
+std::size_t count_occurrences(const std::string& s, const std::string& needle) {
+  std::size_t n = 0, pos = 0;
+  while ((pos = s.find(needle, pos)) != std::string::npos) {
+    ++n;
+    pos += needle.size();
+  }
+  return n;
+}
+
+TEST(Svg, ContainsAllSamplePoints) {
+  auto data = small_blobs();
+  auto run = ml::kmeans_cluster(data, {.k = 2, .base = {.num_splits = 2}});
+  const std::string svg = render_clustering_svg(data, run);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // 30 sample points + one circle per center per iteration.
+  std::size_t expected = data.size();
+  for (const auto& centers : run.iteration_centers) expected += centers.size();
+  EXPECT_EQ(count_occurrences(svg, "<circle"), expected);
+}
+
+TEST(Svg, FinalIterationIsBoldRed) {
+  auto data = small_blobs();
+  auto run = ml::kmeans_cluster(data, {.k = 2, .base = {.num_splits = 2}});
+  const std::string svg = render_clustering_svg(data, run);
+  EXPECT_NE(svg.find("stroke=\"red\""), std::string::npos);
+  // The paper's color ladder appears when there are enough iterations.
+  if (run.iteration_centers.size() >= 3) {
+    EXPECT_NE(svg.find("stroke=\"magenta\""), std::string::npos);
+  }
+}
+
+TEST(Svg, EarlyIterationsAreGreyWhenMany) {
+  auto data = small_blobs();
+  ml::ClusteringRun run;
+  run.algorithm = "synthetic";
+  for (int i = 0; i < 10; ++i) {
+    run.iteration_centers.push_back({{0.0, 0.0}, {6.0, 0.0}});
+  }
+  run.iterations = 10;
+  const std::string svg = render_clustering_svg(data, run);
+  EXPECT_NE(svg.find("stroke=\"#cccccc\""), std::string::npos);
+  EXPECT_NE(svg.find("stroke=\"orange\""), std::string::npos);
+}
+
+TEST(Svg, RejectsNon2dData) {
+  ml::Dataset data;
+  data.points = {{1.0, 2.0, 3.0}};
+  data.labels = {0};
+  ml::ClusteringRun run;
+  EXPECT_THROW(render_clustering_svg(data, run), std::invalid_argument);
+}
+
+TEST(Svg, WritesFile) {
+  auto data = small_blobs();
+  auto run = ml::kmeans_cluster(data, {.k = 2, .base = {.num_splits = 2}});
+  const std::string path = ::testing::TempDir() + "/cluster_test.svg";
+  write_clustering_svg(path, data, run);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_NE(first.find("<svg"), std::string::npos);
+}
+
+TEST(TraceSvg, RendersSeriesWithLegend) {
+  std::vector<TraceSeries> series;
+  TraceSeries cpu{.name = "host cpu", .color = "tomato"};
+  for (int t = 0; t <= 10; ++t) {
+    cpu.times.push_back(t);
+    cpu.values.push_back(0.1 * t);
+  }
+  series.push_back(cpu);
+  const std::string svg = render_trace_svg(series);
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+  EXPECT_NE(svg.find("host cpu"), std::string::npos);
+  EXPECT_NE(svg.find("tomato"), std::string::npos);
+  EXPECT_NE(svg.find("100%"), std::string::npos);
+}
+
+TEST(TraceSvg, MismatchedSeriesThrows) {
+  TraceSeries bad{.name = "x"};
+  bad.times = {1.0, 2.0};
+  bad.values = {0.5};
+  EXPECT_THROW(render_trace_svg({bad}), std::invalid_argument);
+}
+
+TEST(TraceSvg, ValuesClampedToUnitRange) {
+  TraceSeries spike{.name = "spike"};
+  spike.times = {0.0, 1.0};
+  spike.values = {-0.5, 2.0};
+  const std::string svg = render_trace_svg({spike});
+  EXPECT_EQ(svg.find("nan"), std::string::npos);
+}
+
+TEST(Svg, DegenerateSinglePointDatasetIsSafe) {
+  ml::Dataset data;
+  data.points = {{5.0, 5.0}};
+  data.labels = {0};
+  ml::ClusteringRun run;
+  run.iteration_centers.push_back({{5.0, 5.0}});
+  run.iterations = 1;
+  const std::string svg = render_clustering_svg(data, run);
+  EXPECT_NE(svg.find("<circle"), std::string::npos);
+  EXPECT_EQ(svg.find("nan"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vhadoop::viz

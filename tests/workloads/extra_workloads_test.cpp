@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "workloads/grep.hpp"
+#include "workloads/pi_estimator.hpp"
+#include "workloads/text_corpus.hpp"
+
+#include "testutil/sim_cluster.hpp"
+
+namespace vhadoop::workloads {
+namespace {
+
+// --- grep ----------------------------------------------------------------------
+
+std::vector<mapreduce::KV> grep_corpus() {
+  return {
+      {"0", "the needle is here and the needleful too"},
+      {"1", "no match on this line at all"},
+      {"2", "needle again needle again needle"},
+      {"3", "haystack haystack needlepoint"},
+  };
+}
+
+TEST(Grep, FindsAndCountsMatches) {
+  auto result = grep("needle", grep_corpus(), 2);
+  std::int64_t total = 0;
+  bool found_plain = false;
+  for (const auto& [word, count] : result.matches) {
+    EXPECT_NE(word.find("needle"), std::string::npos);
+    total += count;
+    if (word == "needle") {
+      found_plain = true;
+      EXPECT_EQ(count, 4);  // 1 + 3 occurrences
+    }
+  }
+  EXPECT_TRUE(found_plain);
+  EXPECT_EQ(total, 6);  // needle x4 + needleful + needlepoint
+}
+
+TEST(Grep, OutputSortedByDescendingCount) {
+  auto result = grep("needle", grep_corpus(), 3);
+  for (std::size_t i = 1; i < result.matches.size(); ++i) {
+    EXPECT_GE(result.matches[i - 1].second, result.matches[i].second);
+  }
+}
+
+TEST(Grep, NoMatchesYieldsEmpty) {
+  auto result = grep("zebra", grep_corpus(), 2);
+  EXPECT_TRUE(result.matches.empty());
+}
+
+TEST(Grep, RunsOnGeneratedCorpus) {
+  TextCorpus corpus(500);
+  auto lines = corpus.generate(64 * 1024.0);
+  auto result = grep(corpus.word(0).substr(0, 2), lines, 4);
+  EXPECT_FALSE(result.matches.empty());
+  EXPECT_EQ(result.jobs.size(), 2u);
+}
+
+// --- pi ------------------------------------------------------------------------
+
+TEST(PiEstimator, ConvergesToPi) {
+  PiEstimator pi{.num_maps = 8, .samples_per_map = 200000};
+  auto result = pi.run(4);
+  EXPECT_EQ(result.total, 8 * 200000);
+  EXPECT_NEAR(result.pi, 3.14159, 0.01);
+}
+
+TEST(PiEstimator, DeterministicAcrossRuns) {
+  PiEstimator pi{.num_maps = 4, .samples_per_map = 50000};
+  auto a = pi.run(1);
+  auto b = pi.run(4);
+  EXPECT_EQ(a.inside, b.inside);  // per-task seeding, thread-count invariant
+}
+
+TEST(PiEstimator, SimJobIsComputeBound) {
+  auto c = testutil::SimCluster::make(8, false);
+  PiEstimator pi{.num_maps = 16, .samples_per_map = 10000000};
+  const double nfs_before = c->cloud->nfs_disk_busy_integral();  // boot I/O excluded
+  double elapsed = 0.0;
+  c->runner->submit(pi.sim_job("/out/pi"),
+                    [&](const mapreduce::JobTimeline& t) { elapsed = t.elapsed(); });
+  c->engine.run();
+  EXPECT_GT(elapsed, 0.0);
+  // Essentially no NFS involvement beyond jar localization + tiny output.
+  EXPECT_LT(c->cloud->nfs_disk_busy_integral() - nfs_before, 100 * sim::kMiB);
+}
+
+}  // namespace
+}  // namespace vhadoop::workloads
