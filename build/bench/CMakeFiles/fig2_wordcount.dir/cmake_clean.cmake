@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_wordcount.dir/fig2_wordcount.cpp.o"
+  "CMakeFiles/fig2_wordcount.dir/fig2_wordcount.cpp.o.d"
+  "fig2_wordcount"
+  "fig2_wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

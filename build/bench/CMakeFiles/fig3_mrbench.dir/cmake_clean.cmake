@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_mrbench.dir/fig3_mrbench.cpp.o"
+  "CMakeFiles/fig3_mrbench.dir/fig3_mrbench.cpp.o.d"
+  "fig3_mrbench"
+  "fig3_mrbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_mrbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_terasort_dfsio.dir/fig4_terasort_dfsio.cpp.o"
+  "CMakeFiles/fig4_terasort_dfsio.dir/fig4_terasort_dfsio.cpp.o.d"
+  "fig4_terasort_dfsio"
+  "fig4_terasort_dfsio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_terasort_dfsio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_migration.dir/fig5_migration.cpp.o"
+  "CMakeFiles/fig5_migration.dir/fig5_migration.cpp.o.d"
+  "fig5_migration"
+  "fig5_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_control_clustering.cpp" "bench/CMakeFiles/fig6_control_clustering.dir/fig6_control_clustering.cpp.o" "gcc" "bench/CMakeFiles/fig6_control_clustering.dir/fig6_control_clustering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vhadoop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/vhadoop_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/vhadoop_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/vhadoop_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/vhadoop_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/vhadoop_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/vhadoop_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/vhadoop_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/vhadoop_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vhadoop_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vhadoop_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

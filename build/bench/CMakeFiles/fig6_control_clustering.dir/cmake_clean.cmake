@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_control_clustering.dir/fig6_control_clustering.cpp.o"
+  "CMakeFiles/fig6_control_clustering.dir/fig6_control_clustering.cpp.o.d"
+  "fig6_control_clustering"
+  "fig6_control_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_control_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

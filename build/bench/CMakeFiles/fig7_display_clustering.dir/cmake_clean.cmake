@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_display_clustering.dir/fig7_display_clustering.cpp.o"
+  "CMakeFiles/fig7_display_clustering.dir/fig7_display_clustering.cpp.o.d"
+  "fig7_display_clustering"
+  "fig7_display_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_display_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

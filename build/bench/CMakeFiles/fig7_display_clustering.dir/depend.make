@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_display_clustering.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_migration_overall.dir/table2_migration_overall.cpp.o"
+  "CMakeFiles/table2_migration_overall.dir/table2_migration_overall.cpp.o.d"
+  "table2_migration_overall"
+  "table2_migration_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_migration_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_visualization.dir/clustering_visualization.cpp.o"
+  "CMakeFiles/clustering_visualization.dir/clustering_visualization.cpp.o.d"
+  "clustering_visualization"
+  "clustering_visualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_visualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

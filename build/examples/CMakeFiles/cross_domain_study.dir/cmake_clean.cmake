@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_domain_study.dir/cross_domain_study.cpp.o"
+  "CMakeFiles/cross_domain_study.dir/cross_domain_study.cpp.o.d"
+  "cross_domain_study"
+  "cross_domain_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_domain_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

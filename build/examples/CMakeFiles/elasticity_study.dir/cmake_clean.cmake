@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elasticity_study.dir/elasticity_study.cpp.o"
+  "CMakeFiles/elasticity_study.dir/elasticity_study.cpp.o.d"
+  "elasticity_study"
+  "elasticity_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elasticity_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

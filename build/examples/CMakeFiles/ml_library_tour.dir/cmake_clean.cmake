@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_library_tour.dir/ml_library_tour.cpp.o"
+  "CMakeFiles/ml_library_tour.dir/ml_library_tour.cpp.o.d"
+  "ml_library_tour"
+  "ml_library_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_library_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhadoop_cli.dir/vhadoop_cli.cpp.o"
+  "CMakeFiles/vhadoop_cli.dir/vhadoop_cli.cpp.o.d"
+  "vhadoop_cli"
+  "vhadoop_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhadoop_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

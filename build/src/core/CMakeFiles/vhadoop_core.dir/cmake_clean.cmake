@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhadoop_core.dir/platform.cpp.o"
+  "CMakeFiles/vhadoop_core.dir/platform.cpp.o.d"
+  "libvhadoop_core.a"
+  "libvhadoop_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhadoop_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

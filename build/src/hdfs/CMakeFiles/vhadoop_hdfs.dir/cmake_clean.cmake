@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhadoop_hdfs.dir/hdfs.cpp.o"
+  "CMakeFiles/vhadoop_hdfs.dir/hdfs.cpp.o.d"
+  "libvhadoop_hdfs.a"
+  "libvhadoop_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhadoop_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

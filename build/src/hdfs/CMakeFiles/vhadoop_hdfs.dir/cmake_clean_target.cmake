@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvhadoop_hdfs.a"
+)

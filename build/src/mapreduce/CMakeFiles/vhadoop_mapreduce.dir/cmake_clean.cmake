@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhadoop_mapreduce.dir/bridge.cpp.o"
+  "CMakeFiles/vhadoop_mapreduce.dir/bridge.cpp.o.d"
+  "CMakeFiles/vhadoop_mapreduce.dir/local_runner.cpp.o"
+  "CMakeFiles/vhadoop_mapreduce.dir/local_runner.cpp.o.d"
+  "CMakeFiles/vhadoop_mapreduce.dir/sim_runner.cpp.o"
+  "CMakeFiles/vhadoop_mapreduce.dir/sim_runner.cpp.o.d"
+  "libvhadoop_mapreduce.a"
+  "libvhadoop_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhadoop_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/canopy.cpp" "src/ml/CMakeFiles/vhadoop_ml.dir/canopy.cpp.o" "gcc" "src/ml/CMakeFiles/vhadoop_ml.dir/canopy.cpp.o.d"
+  "/root/repo/src/ml/clustering.cpp" "src/ml/CMakeFiles/vhadoop_ml.dir/clustering.cpp.o" "gcc" "src/ml/CMakeFiles/vhadoop_ml.dir/clustering.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/vhadoop_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/vhadoop_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/dirichlet.cpp" "src/ml/CMakeFiles/vhadoop_ml.dir/dirichlet.cpp.o" "gcc" "src/ml/CMakeFiles/vhadoop_ml.dir/dirichlet.cpp.o.d"
+  "/root/repo/src/ml/fuzzy_kmeans.cpp" "src/ml/CMakeFiles/vhadoop_ml.dir/fuzzy_kmeans.cpp.o" "gcc" "src/ml/CMakeFiles/vhadoop_ml.dir/fuzzy_kmeans.cpp.o.d"
+  "/root/repo/src/ml/kmeans.cpp" "src/ml/CMakeFiles/vhadoop_ml.dir/kmeans.cpp.o" "gcc" "src/ml/CMakeFiles/vhadoop_ml.dir/kmeans.cpp.o.d"
+  "/root/repo/src/ml/meanshift.cpp" "src/ml/CMakeFiles/vhadoop_ml.dir/meanshift.cpp.o" "gcc" "src/ml/CMakeFiles/vhadoop_ml.dir/meanshift.cpp.o.d"
+  "/root/repo/src/ml/minhash.cpp" "src/ml/CMakeFiles/vhadoop_ml.dir/minhash.cpp.o" "gcc" "src/ml/CMakeFiles/vhadoop_ml.dir/minhash.cpp.o.d"
+  "/root/repo/src/ml/naive_bayes.cpp" "src/ml/CMakeFiles/vhadoop_ml.dir/naive_bayes.cpp.o" "gcc" "src/ml/CMakeFiles/vhadoop_ml.dir/naive_bayes.cpp.o.d"
+  "/root/repo/src/ml/quality.cpp" "src/ml/CMakeFiles/vhadoop_ml.dir/quality.cpp.o" "gcc" "src/ml/CMakeFiles/vhadoop_ml.dir/quality.cpp.o.d"
+  "/root/repo/src/ml/recommender.cpp" "src/ml/CMakeFiles/vhadoop_ml.dir/recommender.cpp.o" "gcc" "src/ml/CMakeFiles/vhadoop_ml.dir/recommender.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapreduce/CMakeFiles/vhadoop_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vhadoop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/vhadoop_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/vhadoop_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vhadoop_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhadoop_ml.dir/canopy.cpp.o"
+  "CMakeFiles/vhadoop_ml.dir/canopy.cpp.o.d"
+  "CMakeFiles/vhadoop_ml.dir/clustering.cpp.o"
+  "CMakeFiles/vhadoop_ml.dir/clustering.cpp.o.d"
+  "CMakeFiles/vhadoop_ml.dir/dataset.cpp.o"
+  "CMakeFiles/vhadoop_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/vhadoop_ml.dir/dirichlet.cpp.o"
+  "CMakeFiles/vhadoop_ml.dir/dirichlet.cpp.o.d"
+  "CMakeFiles/vhadoop_ml.dir/fuzzy_kmeans.cpp.o"
+  "CMakeFiles/vhadoop_ml.dir/fuzzy_kmeans.cpp.o.d"
+  "CMakeFiles/vhadoop_ml.dir/kmeans.cpp.o"
+  "CMakeFiles/vhadoop_ml.dir/kmeans.cpp.o.d"
+  "CMakeFiles/vhadoop_ml.dir/meanshift.cpp.o"
+  "CMakeFiles/vhadoop_ml.dir/meanshift.cpp.o.d"
+  "CMakeFiles/vhadoop_ml.dir/minhash.cpp.o"
+  "CMakeFiles/vhadoop_ml.dir/minhash.cpp.o.d"
+  "CMakeFiles/vhadoop_ml.dir/naive_bayes.cpp.o"
+  "CMakeFiles/vhadoop_ml.dir/naive_bayes.cpp.o.d"
+  "CMakeFiles/vhadoop_ml.dir/quality.cpp.o"
+  "CMakeFiles/vhadoop_ml.dir/quality.cpp.o.d"
+  "CMakeFiles/vhadoop_ml.dir/recommender.cpp.o"
+  "CMakeFiles/vhadoop_ml.dir/recommender.cpp.o.d"
+  "libvhadoop_ml.a"
+  "libvhadoop_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhadoop_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

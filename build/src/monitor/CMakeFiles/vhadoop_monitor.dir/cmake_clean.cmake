@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhadoop_monitor.dir/nmon.cpp.o"
+  "CMakeFiles/vhadoop_monitor.dir/nmon.cpp.o.d"
+  "libvhadoop_monitor.a"
+  "libvhadoop_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhadoop_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

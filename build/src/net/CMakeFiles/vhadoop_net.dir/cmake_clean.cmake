@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhadoop_net.dir/fabric.cpp.o"
+  "CMakeFiles/vhadoop_net.dir/fabric.cpp.o.d"
+  "libvhadoop_net.a"
+  "libvhadoop_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhadoop_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

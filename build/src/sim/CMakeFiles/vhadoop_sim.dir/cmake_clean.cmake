@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhadoop_sim.dir/engine.cpp.o"
+  "CMakeFiles/vhadoop_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/vhadoop_sim.dir/fluid.cpp.o"
+  "CMakeFiles/vhadoop_sim.dir/fluid.cpp.o.d"
+  "CMakeFiles/vhadoop_sim.dir/rng.cpp.o"
+  "CMakeFiles/vhadoop_sim.dir/rng.cpp.o.d"
+  "libvhadoop_sim.a"
+  "libvhadoop_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhadoop_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhadoop_tuner.dir/tuner.cpp.o"
+  "CMakeFiles/vhadoop_tuner.dir/tuner.cpp.o.d"
+  "libvhadoop_tuner.a"
+  "libvhadoop_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhadoop_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

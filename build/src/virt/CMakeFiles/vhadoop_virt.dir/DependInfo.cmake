@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/virt/cloud.cpp" "src/virt/CMakeFiles/vhadoop_virt.dir/cloud.cpp.o" "gcc" "src/virt/CMakeFiles/vhadoop_virt.dir/cloud.cpp.o.d"
+  "/root/repo/src/virt/migration_bench.cpp" "src/virt/CMakeFiles/vhadoop_virt.dir/migration_bench.cpp.o" "gcc" "src/virt/CMakeFiles/vhadoop_virt.dir/migration_bench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/vhadoop_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vhadoop_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

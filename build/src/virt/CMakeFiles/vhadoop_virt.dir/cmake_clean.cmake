@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhadoop_virt.dir/cloud.cpp.o"
+  "CMakeFiles/vhadoop_virt.dir/cloud.cpp.o.d"
+  "CMakeFiles/vhadoop_virt.dir/migration_bench.cpp.o"
+  "CMakeFiles/vhadoop_virt.dir/migration_bench.cpp.o.d"
+  "libvhadoop_virt.a"
+  "libvhadoop_virt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhadoop_virt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhadoop_viz.dir/svg.cpp.o"
+  "CMakeFiles/vhadoop_viz.dir/svg.cpp.o.d"
+  "libvhadoop_viz.a"
+  "libvhadoop_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhadoop_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/dfsio.cpp" "src/workloads/CMakeFiles/vhadoop_workloads.dir/dfsio.cpp.o" "gcc" "src/workloads/CMakeFiles/vhadoop_workloads.dir/dfsio.cpp.o.d"
+  "/root/repo/src/workloads/grep.cpp" "src/workloads/CMakeFiles/vhadoop_workloads.dir/grep.cpp.o" "gcc" "src/workloads/CMakeFiles/vhadoop_workloads.dir/grep.cpp.o.d"
+  "/root/repo/src/workloads/mrbench.cpp" "src/workloads/CMakeFiles/vhadoop_workloads.dir/mrbench.cpp.o" "gcc" "src/workloads/CMakeFiles/vhadoop_workloads.dir/mrbench.cpp.o.d"
+  "/root/repo/src/workloads/pi_estimator.cpp" "src/workloads/CMakeFiles/vhadoop_workloads.dir/pi_estimator.cpp.o" "gcc" "src/workloads/CMakeFiles/vhadoop_workloads.dir/pi_estimator.cpp.o.d"
+  "/root/repo/src/workloads/terasort.cpp" "src/workloads/CMakeFiles/vhadoop_workloads.dir/terasort.cpp.o" "gcc" "src/workloads/CMakeFiles/vhadoop_workloads.dir/terasort.cpp.o.d"
+  "/root/repo/src/workloads/text_corpus.cpp" "src/workloads/CMakeFiles/vhadoop_workloads.dir/text_corpus.cpp.o" "gcc" "src/workloads/CMakeFiles/vhadoop_workloads.dir/text_corpus.cpp.o.d"
+  "/root/repo/src/workloads/wordcount.cpp" "src/workloads/CMakeFiles/vhadoop_workloads.dir/wordcount.cpp.o" "gcc" "src/workloads/CMakeFiles/vhadoop_workloads.dir/wordcount.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapreduce/CMakeFiles/vhadoop_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/vhadoop_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/vhadoop_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vhadoop_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vhadoop_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

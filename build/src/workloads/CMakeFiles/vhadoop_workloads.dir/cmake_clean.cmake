@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhadoop_workloads.dir/dfsio.cpp.o"
+  "CMakeFiles/vhadoop_workloads.dir/dfsio.cpp.o.d"
+  "CMakeFiles/vhadoop_workloads.dir/grep.cpp.o"
+  "CMakeFiles/vhadoop_workloads.dir/grep.cpp.o.d"
+  "CMakeFiles/vhadoop_workloads.dir/mrbench.cpp.o"
+  "CMakeFiles/vhadoop_workloads.dir/mrbench.cpp.o.d"
+  "CMakeFiles/vhadoop_workloads.dir/pi_estimator.cpp.o"
+  "CMakeFiles/vhadoop_workloads.dir/pi_estimator.cpp.o.d"
+  "CMakeFiles/vhadoop_workloads.dir/terasort.cpp.o"
+  "CMakeFiles/vhadoop_workloads.dir/terasort.cpp.o.d"
+  "CMakeFiles/vhadoop_workloads.dir/text_corpus.cpp.o"
+  "CMakeFiles/vhadoop_workloads.dir/text_corpus.cpp.o.d"
+  "CMakeFiles/vhadoop_workloads.dir/wordcount.cpp.o"
+  "CMakeFiles/vhadoop_workloads.dir/wordcount.cpp.o.d"
+  "libvhadoop_workloads.a"
+  "libvhadoop_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhadoop_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

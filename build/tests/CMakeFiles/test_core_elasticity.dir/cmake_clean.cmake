@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_elasticity.dir/core/elasticity_test.cpp.o"
+  "CMakeFiles/test_core_elasticity.dir/core/elasticity_test.cpp.o.d"
+  "test_core_elasticity"
+  "test_core_elasticity.pdb"
+  "test_core_elasticity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

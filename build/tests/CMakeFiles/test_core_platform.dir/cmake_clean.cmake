@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_platform.dir/core/platform_test.cpp.o"
+  "CMakeFiles/test_core_platform.dir/core/platform_test.cpp.o.d"
+  "test_core_platform"
+  "test_core_platform.pdb"
+  "test_core_platform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hdfs.dir/hdfs/hdfs_test.cpp.o"
+  "CMakeFiles/test_hdfs.dir/hdfs/hdfs_test.cpp.o.d"
+  "test_hdfs"
+  "test_hdfs.pdb"
+  "test_hdfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

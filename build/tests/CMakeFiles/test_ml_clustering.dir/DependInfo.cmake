@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/clustering_test.cpp" "tests/CMakeFiles/test_ml_clustering.dir/ml/clustering_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml_clustering.dir/ml/clustering_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/vhadoop_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/vhadoop_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/vhadoop_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/vhadoop_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vhadoop_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vhadoop_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

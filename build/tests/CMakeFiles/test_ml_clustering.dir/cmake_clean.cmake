@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_clustering.dir/ml/clustering_test.cpp.o"
+  "CMakeFiles/test_ml_clustering.dir/ml/clustering_test.cpp.o.d"
+  "test_ml_clustering"
+  "test_ml_clustering.pdb"
+  "test_ml_clustering[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_quality.dir/ml/quality_test.cpp.o"
+  "CMakeFiles/test_ml_quality.dir/ml/quality_test.cpp.o.d"
+  "test_ml_quality"
+  "test_ml_quality.pdb"
+  "test_ml_quality[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_supervised.dir/ml/supervised_test.cpp.o"
+  "CMakeFiles/test_ml_supervised.dir/ml/supervised_test.cpp.o.d"
+  "test_ml_supervised"
+  "test_ml_supervised.pdb"
+  "test_ml_supervised[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_supervised.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mr_bridge.dir/mapreduce/bridge_test.cpp.o"
+  "CMakeFiles/test_mr_bridge.dir/mapreduce/bridge_test.cpp.o.d"
+  "test_mr_bridge"
+  "test_mr_bridge.pdb"
+  "test_mr_bridge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mr_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

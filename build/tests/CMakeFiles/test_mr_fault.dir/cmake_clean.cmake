@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mr_fault.dir/mapreduce/fault_tolerance_test.cpp.o"
+  "CMakeFiles/test_mr_fault.dir/mapreduce/fault_tolerance_test.cpp.o.d"
+  "test_mr_fault"
+  "test_mr_fault.pdb"
+  "test_mr_fault[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mr_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

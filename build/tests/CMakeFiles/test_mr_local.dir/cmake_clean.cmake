@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mr_local.dir/mapreduce/local_runner_test.cpp.o"
+  "CMakeFiles/test_mr_local.dir/mapreduce/local_runner_test.cpp.o.d"
+  "test_mr_local"
+  "test_mr_local.pdb"
+  "test_mr_local[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mr_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mr_sim.dir/mapreduce/sim_runner_test.cpp.o"
+  "CMakeFiles/test_mr_sim.dir/mapreduce/sim_runner_test.cpp.o.d"
+  "test_mr_sim"
+  "test_mr_sim.pdb"
+  "test_mr_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

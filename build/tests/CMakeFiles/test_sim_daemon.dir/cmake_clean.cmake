@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_daemon.dir/sim/daemon_test.cpp.o"
+  "CMakeFiles/test_sim_daemon.dir/sim/daemon_test.cpp.o.d"
+  "test_sim_daemon"
+  "test_sim_daemon.pdb"
+  "test_sim_daemon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

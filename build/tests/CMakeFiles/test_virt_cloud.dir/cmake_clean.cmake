@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_virt_cloud.dir/virt/cloud_test.cpp.o"
+  "CMakeFiles/test_virt_cloud.dir/virt/cloud_test.cpp.o.d"
+  "test_virt_cloud"
+  "test_virt_cloud.pdb"
+  "test_virt_cloud[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_virt_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

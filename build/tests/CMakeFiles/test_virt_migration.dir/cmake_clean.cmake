@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_virt_migration.dir/virt/migration_bench_test.cpp.o"
+  "CMakeFiles/test_virt_migration.dir/virt/migration_bench_test.cpp.o.d"
+  "test_virt_migration"
+  "test_virt_migration.pdb"
+  "test_virt_migration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_virt_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

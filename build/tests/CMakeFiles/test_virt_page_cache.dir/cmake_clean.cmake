@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_virt_page_cache.dir/virt/page_cache_test.cpp.o"
+  "CMakeFiles/test_virt_page_cache.dir/virt/page_cache_test.cpp.o.d"
+  "test_virt_page_cache"
+  "test_virt_page_cache.pdb"
+  "test_virt_page_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_virt_page_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_virt_page_cache.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_fluid[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_daemon[1]_include.cmake")
+include("/root/repo/build/tests/test_virt_page_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_net_fabric[1]_include.cmake")
+include("/root/repo/build/tests/test_virt_cloud[1]_include.cmake")
+include("/root/repo/build/tests/test_virt_migration[1]_include.cmake")
+include("/root/repo/build/tests/test_hdfs[1]_include.cmake")
+include("/root/repo/build/tests/test_mr_local[1]_include.cmake")
+include("/root/repo/build/tests/test_mr_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_mr_bridge[1]_include.cmake")
+include("/root/repo/build/tests/test_mr_fault[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_dataset[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_clustering[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_supervised[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_quality[1]_include.cmake")
+include("/root/repo/build/tests/test_monitor[1]_include.cmake")
+include("/root/repo/build/tests/test_tuner[1]_include.cmake")
+include("/root/repo/build/tests/test_viz[1]_include.cmake")
+include("/root/repo/build/tests/test_core_platform[1]_include.cmake")
+include("/root/repo/build/tests/test_core_elasticity[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
