@@ -3,16 +3,123 @@
 // Shared helpers for the figure/table reproduction harnesses.
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/platform.hpp"
 #include "mapreduce/bridge.hpp"
 #include "mapreduce/local_runner.hpp"
+#include "obs/metrics.hpp"
 #include "workloads/text_corpus.hpp"
 #include "workloads/wordcount.hpp"
 
 namespace vhadoop::bench {
+
+/// Machine-readable per-run results next to every bench's human table.
+///
+/// Accumulates rows of (key, value) cells and writes
+/// `$VHADOOP_BENCH_DIR/BENCH_<name>.json` (current directory when the env
+/// var is unset) with the schema:
+///
+///   {"bench": "<name>", "schema": "vhadoop-bench-v1",
+///    "rows": [{"col": value, ...}, ...],
+///    "metrics": {<registry snapshot>}}        // optional
+///
+/// `metrics` is the obs::Registry snapshot of the most recently attached
+/// platform, so a sweep's last configuration is inspectable in full.
+class BenchResults {
+ public:
+  explicit BenchResults(std::string name) : name_(std::move(name)) {}
+
+  /// Start a new row; fill it with col() calls.
+  BenchResults& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+  BenchResults& col(const std::string& key, double value) {
+    rows_.back().push_back({key, true, value, {}});
+    return *this;
+  }
+  BenchResults& col(const std::string& key, const std::string& value) {
+    rows_.back().push_back({key, false, 0.0, value});
+    return *this;
+  }
+
+  void attach_metrics(const obs::Registry& registry) { metrics_json_ = registry.to_json(); }
+
+  std::string to_json() const {
+    std::string out = "{\"bench\": " + quoted(name_) +
+                      ", \"schema\": \"vhadoop-bench-v1\", \"rows\": [";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      if (r) out += ", ";
+      out += '{';
+      for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+        const Cell& cell = rows_[r][c];
+        if (c) out += ", ";
+        out += quoted(cell.key) + ": ";
+        if (cell.numeric) {
+          char buf[64];
+          std::snprintf(buf, sizeof(buf), "%.17g", cell.num);
+          out += buf;
+        } else {
+          out += quoted(cell.str);
+        }
+      }
+      out += '}';
+    }
+    out += ']';
+    if (!metrics_json_.empty()) out += ", \"metrics\": " + metrics_json_;
+    out += "}\n";
+    return out;
+  }
+
+  /// Write BENCH_<name>.json; returns the path written, empty on failure.
+  std::string write() const {
+    const char* dir = std::getenv("VHADOOP_BENCH_DIR");
+    const std::string path =
+        (dir && *dir ? std::string(dir) + "/" : std::string()) + "BENCH_" + name_ + ".json";
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return {};
+    }
+    out << to_json();
+    std::printf("results: %s\n", path.c_str());
+    return path;
+  }
+
+ private:
+  struct Cell {
+    std::string key;
+    bool numeric;
+    double num;
+    std::string str;
+  };
+
+  static std::string quoted(const std::string& s) {
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"' || ch == '\\') {
+        out += '\\';
+        out += ch;
+      } else if (static_cast<unsigned char>(ch) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+        out += buf;
+      } else {
+        out += ch;
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::vector<Cell>> rows_;
+  std::string metrics_json_;
+};
 
 inline const char* placement_name(core::Placement p) {
   return p == core::Placement::Normal ? "normal" : "cross-domain";

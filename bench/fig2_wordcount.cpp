@@ -15,7 +15,8 @@ using namespace vhadoop::bench;
 
 namespace {
 
-double run_case(core::Placement placement, const WordcountScenario& scenario) {
+double run_case(core::Placement placement, const WordcountScenario& scenario,
+                BenchResults& results) {
   core::Platform platform;
   platform.boot_cluster(paper_cluster(placement));
   scenario.stage(platform);
@@ -25,20 +26,28 @@ double run_case(core::Placement placement, const WordcountScenario& scenario) {
   for (int r = 0; r < 3; ++r) {
     total += scenario.run(platform, placement_name(placement) + std::to_string(r));
   }
+  results.attach_metrics(platform.metrics());
   return total / 3.0;
 }
 
 }  // namespace
 
 int main() {
+  BenchResults results("fig2_wordcount");
   std::printf("== Figure 2: Wordcount, normal vs cross-domain (16-node cluster) ==\n");
   std::printf("%-12s %14s %18s %10s\n", "input (MB)", "normal (s)", "cross-domain (s)", "gap");
   for (double mb : {32.0, 64.0, 128.0, 256.0, 384.0}) {
     auto scenario = WordcountScenario::prepare(mb);
-    const double normal = run_case(core::Placement::Normal, scenario);
-    const double cross = run_case(core::Placement::CrossDomain, scenario);
+    const double normal = run_case(core::Placement::Normal, scenario, results);
+    const double cross = run_case(core::Placement::CrossDomain, scenario, results);
     std::printf("%-12.0f %14.1f %18.1f %9.1f%%\n", mb, normal, cross,
                 (cross / normal - 1.0) * 100.0);
+    results.row()
+        .col("input_mb", mb)
+        .col("normal_s", normal)
+        .col("cross_domain_s", cross)
+        .col("gap_pct", (cross / normal - 1.0) * 100.0);
   }
+  results.write();
   return 0;
 }

@@ -36,18 +36,34 @@ double run_case(core::Placement placement, int maps, int reduces) {
 }  // namespace
 
 int main() {
+  BenchResults results("fig3_mrbench");
   std::printf("== Figure 3(a): MRBench, reduce=1, map scale 1..6 ==\n");
   std::printf("%-8s %14s %18s\n", "maps", "normal (s)", "cross-domain (s)");
   for (int maps = 1; maps <= 6; ++maps) {
-    std::printf("%-8d %14.2f %18.2f\n", maps, run_case(core::Placement::Normal, maps, 1),
-                run_case(core::Placement::CrossDomain, maps, 1));
+    const double normal = run_case(core::Placement::Normal, maps, 1);
+    const double cross = run_case(core::Placement::CrossDomain, maps, 1);
+    std::printf("%-8d %14.2f %18.2f\n", maps, normal, cross);
+    results.row()
+        .col("sweep", "maps")
+        .col("maps", maps)
+        .col("reduces", 1)
+        .col("normal_s", normal)
+        .col("cross_domain_s", cross);
   }
 
   std::printf("\n== Figure 3(b): MRBench, map=15, reduce scale 1..6 ==\n");
   std::printf("%-8s %14s %18s\n", "reduces", "normal (s)", "cross-domain (s)");
   for (int reduces = 1; reduces <= 6; ++reduces) {
-    std::printf("%-8d %14.2f %18.2f\n", reduces, run_case(core::Placement::Normal, 15, reduces),
-                run_case(core::Placement::CrossDomain, 15, reduces));
+    const double normal = run_case(core::Placement::Normal, 15, reduces);
+    const double cross = run_case(core::Placement::CrossDomain, 15, reduces);
+    std::printf("%-8d %14.2f %18.2f\n", reduces, normal, cross);
+    results.row()
+        .col("sweep", "reduces")
+        .col("maps", 15)
+        .col("reduces", reduces)
+        .col("normal_s", normal)
+        .col("cross_domain_s", cross);
   }
+  results.write();
   return 0;
 }

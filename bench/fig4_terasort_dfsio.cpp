@@ -59,6 +59,7 @@ DfsioResult run_dfsio(core::Placement placement) {
 }  // namespace
 
 int main() {
+  BenchResults results("fig4_terasort_dfsio");
   std::printf("== Figure 4(a): TeraSort — generation and sort time ==\n");
   std::printf("%-12s | %12s %12s | %12s %12s\n", "", "normal", "", "cross-domain", "");
   std::printf("%-12s | %12s %12s | %12s %12s\n", "input (MB)", "gen (s)", "sort (s)",
@@ -67,6 +68,13 @@ int main() {
     const auto n = run_terasort(core::Placement::Normal, mb);
     const auto c = run_terasort(core::Placement::CrossDomain, mb);
     std::printf("%-12.0f | %12.1f %12.1f | %12.1f %12.1f\n", mb, n.gen, n.sort, c.gen, c.sort);
+    results.row()
+        .col("bench", "terasort")
+        .col("input_mb", mb)
+        .col("normal_gen_s", n.gen)
+        .col("normal_sort_s", n.sort)
+        .col("cross_gen_s", c.gen)
+        .col("cross_sort_s", c.sort);
   }
 
   std::printf("\n== Figure 4(b): TestDFSIO — aggregate throughput (10 x 64 MB files) ==\n");
@@ -75,5 +83,16 @@ int main() {
   const auto c = run_dfsio(core::Placement::CrossDomain);
   std::printf("%-14s %14.1f %14.1f\n", "normal", n.write_mb_s, n.read_mb_s);
   std::printf("%-14s %14.1f %14.1f\n", "cross-domain", c.write_mb_s, c.read_mb_s);
+  results.row()
+      .col("bench", "dfsio")
+      .col("placement", "normal")
+      .col("write_mb_s", n.write_mb_s)
+      .col("read_mb_s", n.read_mb_s);
+  results.row()
+      .col("bench", "dfsio")
+      .col("placement", "cross-domain")
+      .col("write_mb_s", c.write_mb_s)
+      .col("read_mb_s", c.read_mb_s);
+  results.write();
   return 0;
 }

@@ -60,22 +60,30 @@ virt::ClusterMigrationResult run_case(double memory_mb, bool wordcount) {
   return platform.migrate_cluster(platform.hosts()[1], dirty_of);
 }
 
-void print_case(const std::string& name, const virt::ClusterMigrationResult& r) {
+void print_case(const std::string& name, const virt::ClusterMigrationResult& r,
+                BenchResults& results) {
   std::printf("\n-- %s --\n", name.c_str());
   std::printf("%-8s %18s %15s\n", "node", "migration time(s)", "downtime (ms)");
   for (std::size_t i = 0; i < r.per_vm.size(); ++i) {
     std::printf("vm%-6zu %18.1f %15.0f\n", i, r.per_vm[i].migration_time,
                 r.per_vm[i].downtime * 1000);
+    results.row()
+        .col("case", name)
+        .col("vm", static_cast<double>(i))
+        .col("migration_time_s", r.per_vm[i].migration_time)
+        .col("downtime_ms", r.per_vm[i].downtime * 1000);
   }
 }
 
 }  // namespace
 
 int main() {
+  BenchResults results("fig5_migration");
   std::printf("== Figure 5: per-node migration overheads, 16-node cluster ==\n");
-  print_case("idle.512MB", run_case(512, false));
-  print_case("idle.1024MB", run_case(1024, false));
-  print_case("wordcount.512MB", run_case(512, true));
-  print_case("wordcount.1024MB", run_case(1024, true));
+  print_case("idle.512MB", run_case(512, false), results);
+  print_case("idle.1024MB", run_case(1024, false), results);
+  print_case("wordcount.512MB", run_case(512, true), results);
+  print_case("wordcount.1024MB", run_case(1024, true), results);
+  results.write();
   return 0;
 }

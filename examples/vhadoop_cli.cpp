@@ -2,16 +2,23 @@
 // point for quick experiments against the simulated testbed.
 //
 //   vhadoop_cli <workload> [--cross] [--workers N] [--mb SIZE]
+//               [--metrics-out=FILE] [--trace-out=FILE]
 //
 // workloads: wordcount | terasort | dfsio | mrbench | pi
+//
+// --metrics-out writes the platform metrics registry as JSON after the run;
+// --trace-out enables timeline tracing and writes a Chrome trace-event file
+// loadable in chrome://tracing or https://ui.perfetto.dev.
 //
 // Examples:
 //   vhadoop_cli terasort --mb 800 --cross
 //   vhadoop_cli wordcount --workers 7 --mb 64
+//   vhadoop_cli wordcount --trace-out=trace.json --metrics-out=metrics.json
 //   vhadoop_cli pi
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "core/platform.hpp"
@@ -32,12 +39,15 @@ struct Options {
   bool cross = false;
   int workers = 15;
   double mb = 128.0;
+  std::string metrics_out;
+  std::string trace_out;
 };
 
 int usage() {
   std::fprintf(stderr,
                "usage: vhadoop_cli <wordcount|terasort|dfsio|mrbench|pi> "
-               "[--cross] [--workers N] [--mb SIZE]\n");
+               "[--cross] [--workers N] [--mb SIZE] "
+               "[--metrics-out=FILE] [--trace-out=FILE]\n");
   return 2;
 }
 
@@ -46,15 +56,30 @@ Options parse(int argc, char** argv) {
   if (argc < 2) return opt;
   opt.workload = argv[1];
   for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--cross") == 0) {
+    const std::string arg = argv[i];
+    if (arg == "--cross") {
       opt.cross = true;
-    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+    } else if (arg == "--workers" && i + 1 < argc) {
       opt.workers = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--mb") == 0 && i + 1 < argc) {
+    } else if (arg == "--mb" && i + 1 < argc) {
       opt.mb = std::atof(argv[++i]);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      opt.metrics_out = arg.substr(14);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      opt.trace_out = arg.substr(12);
     }
   }
   return opt;
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "vhadoop_cli: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
 }
 
 }  // namespace
@@ -64,6 +89,7 @@ int main(int argc, char** argv) {
   if (opt.workload.empty()) return usage();
 
   core::Platform platform;
+  if (!opt.trace_out.empty()) platform.enable_tracing();
   core::ClusterSpec spec;
   spec.num_workers = opt.workers;
   spec.placement = opt.cross ? core::Placement::CrossDomain : core::Placement::Normal;
@@ -112,6 +138,17 @@ int main(int argc, char** argv) {
                 static_cast<long long>(real.total), t.elapsed());
   } else {
     return usage();
+  }
+
+  if (!opt.metrics_out.empty()) {
+    if (!write_text_file(opt.metrics_out, platform.metrics().to_json())) return 1;
+    std::printf("metrics: %s (%zu metrics)\n", opt.metrics_out.c_str(),
+                platform.metrics().size());
+  }
+  if (!opt.trace_out.empty()) {
+    if (!write_text_file(opt.trace_out, platform.tracer().to_chrome_json())) return 1;
+    std::printf("trace: %s (%zu events) — load in chrome://tracing or ui.perfetto.dev\n",
+                opt.trace_out.c_str(), platform.tracer().events().size());
   }
   return 0;
 }

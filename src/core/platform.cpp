@@ -40,6 +40,25 @@ void Platform::boot_cluster(const ClusterSpec& spec) {
                                               sim::Rng(spec.seed));
   runner_ = std::make_unique<mapreduce::SimulatedJobRunner>(*cloud_, *hdfs_, spec.hadoop,
                                                             workers_);
+
+  engine_.tracer().set_process_name(kPlatformPid, "platform");
+  name_vm_lanes(namenode_);
+  for (virt::VmId vm : workers_) name_vm_lanes(vm);
+}
+
+void Platform::name_vm_lanes(virt::VmId vm) {
+  obs::Tracer& tracer = engine_.tracer();
+  tracer.set_process_name(static_cast<int>(vm), cloud_->vm_name(vm));
+  const int maps = spec_.hadoop.map_slots_per_worker;
+  const int reduces = spec_.hadoop.reduce_slots_per_worker;
+  for (int s = 0; s < maps; ++s) {
+    tracer.set_thread_name(static_cast<int>(vm), s, "map-slot-" + std::to_string(s));
+  }
+  for (int s = 0; s < reduces; ++s) {
+    tracer.set_thread_name(static_cast<int>(vm), maps + s,
+                           "reduce-slot-" + std::to_string(s));
+  }
+  tracer.set_thread_name(static_cast<int>(vm), virt::Cloud::kMigrationTid, "migration");
 }
 
 std::vector<virt::VmId> Platform::all_vms() const {
@@ -68,6 +87,7 @@ std::vector<virt::VmId> Platform::add_workers(int n, virt::HostId host) {
     workers_.push_back(vm);
     hdfs_->add_datanode(vm);
     runner_->add_tracker(vm);
+    name_vm_lanes(vm);
   }
   return fresh;
 }
@@ -130,10 +150,15 @@ monitor::NmonMonitor& Platform::attach_monitor(double interval_seconds) {
   return *monitor_;
 }
 
-std::vector<tuner::Recommendation> Platform::tune(const tuner::TunerPolicy& policy) const {
+std::vector<tuner::Recommendation> Platform::tune(const tuner::TunerPolicy& policy) {
   if (!monitor_) throw std::runtime_error("Platform: attach a monitor first");
   const auto report = monitor::TraceAnalyser::analyse(*monitor_);
-  return tuner::MapReduceTuner(policy).analyse(report);
+  auto recs = tuner::MapReduceTuner(policy).analyse(report);
+  obs::Tracer& tracer = engine_.tracer();
+  if (tracer.enabled()) {
+    for (const auto& rec : recs) tracer.instant(kPlatformPid, 0, rec.message, "tuner");
+  }
+  return recs;
 }
 
 bool Platform::apply_recommendation(const tuner::Recommendation& rec) {

@@ -88,8 +88,9 @@ class Platform {
 
   /// Step 9 support: attach an nmon monitor over all cluster VMs.
   monitor::NmonMonitor& attach_monitor(double interval_seconds = 1.0);
-  /// Analyse the traces and get tuner recommendations.
-  std::vector<tuner::Recommendation> tune(const tuner::TunerPolicy& policy = {}) const;
+  /// Analyse the traces and get tuner recommendations. Each recommendation
+  /// is also recorded as an instant event on the trace's platform lane.
+  std::vector<tuner::Recommendation> tune(const tuner::TunerPolicy& policy = {});
 
   /// Actuate one tuner recommendation against the running platform:
   /// MigrateVm live-migrates the flagged VM (blocking); RebalanceNetwork
@@ -105,6 +106,22 @@ class Platform {
                                                std::function<virt::DirtyModel(virt::VmId)> dirty,
                                                int concurrency = 2);
 
+  // --- observability --------------------------------------------------------
+  /// Trace lane for platform-level events (tuner decisions); VM pids are
+  /// the VmIds themselves, so this sits far outside their range.
+  static constexpr int kPlatformPid = 9999;
+
+  /// Platform-wide metrics registry (owned by the simulation engine; every
+  /// module publishes its counters here).
+  obs::Registry& metrics() { return engine_.metrics(); }
+  const obs::Registry& metrics() const { return engine_.metrics(); }
+  /// Timeline tracer on the simulated clock.
+  obs::Tracer& tracer() { return engine_.tracer(); }
+  const obs::Tracer& tracer() const { return engine_.tracer(); }
+  /// Turn on timeline recording (lane names are registered at boot whether
+  /// or not tracing is on, so this can be called any time).
+  void enable_tracing() { engine_.tracer().set_enabled(true); }
+
   // --- component access ----------------------------------------------------
   sim::Engine& engine() { return engine_; }
   virt::Cloud& cloud() { return *cloud_; }
@@ -118,6 +135,9 @@ class Platform {
   const ClusterSpec& cluster_spec() const { return spec_; }
 
  private:
+  /// Register process/thread names for a VM's trace lanes.
+  void name_vm_lanes(virt::VmId vm);
+
   TestbedConfig config_;
   sim::Engine engine_;
   std::unique_ptr<sim::FluidModel> model_;

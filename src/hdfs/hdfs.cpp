@@ -14,7 +14,16 @@ HdfsCluster::HdfsCluster(virt::Cloud& cloud, HdfsConfig config, virt::VmId namen
       config_(config),
       namenode_(namenode),
       datanodes_(std::move(datanodes)),
-      rng_(rng) {
+      rng_(rng),
+      m_blocks_read_(cloud.engine().metrics().counter("hdfs.blocks_read")),
+      m_bytes_read_(cloud.engine().metrics().counter("hdfs.bytes_read")),
+      m_reads_local_(cloud.engine().metrics().counter("hdfs.reads_local")),
+      m_reads_remote_(cloud.engine().metrics().counter("hdfs.reads_remote")),
+      m_files_written_(cloud.engine().metrics().counter("hdfs.files_written")),
+      m_blocks_written_(cloud.engine().metrics().counter("hdfs.blocks_written")),
+      m_bytes_written_(cloud.engine().metrics().counter("hdfs.bytes_written")),
+      m_pipeline_bytes_(cloud.engine().metrics().counter("hdfs.pipeline_bytes")),
+      m_rereplications_(cloud.engine().metrics().counter("hdfs.rereplications_started")) {
   if (datanodes_.empty()) throw std::invalid_argument("HdfsCluster: no datanodes");
   if (config_.replication < 1) throw std::invalid_argument("HdfsCluster: replication < 1");
   if (config_.block_size <= 0) throw std::invalid_argument("HdfsCluster: block size <= 0");
@@ -86,6 +95,9 @@ void HdfsCluster::write_file(const std::string& path, double bytes, virt::VmId c
   }
   files_.emplace(path, std::move(meta));
   bytes_written_ += bytes;
+  m_files_written_->inc();
+  m_blocks_written_->add(n_blocks);
+  m_bytes_written_->add(bytes);
   write_block(path, 0, client, std::move(on_complete));
 }
 
@@ -104,6 +116,7 @@ void HdfsCluster::write_block(const std::string& path, std::size_t index, virt::
   // to its (NFS-backed) disk. Stages overlap, so we model them as concurrent
   // activities joined by a latch — bandwidth-exact, latency-approximate.
   const std::size_t hops = block.replicas.size();  // client->r0 plus forwards
+  m_pipeline_bytes_->add(block.bytes * static_cast<double>(hops));
   auto latch = sim::Latch::create(2 * hops, std::move(next));
   const std::string key = path + "#" + std::to_string(block.index);
   virt::VmId prev = client;
@@ -139,6 +152,9 @@ void HdfsCluster::read_block(const std::string& path, int block_index, virt::VmI
   const BlockInfo& block = meta.blocks.at(static_cast<std::size_t>(block_index));
   bytes_read_ += block.bytes;
   const virt::VmId replica = preferred_replica(block, client);
+  m_blocks_read_->inc();
+  m_bytes_read_->add(block.bytes);
+  (replica == client ? m_reads_local_ : m_reads_remote_)->inc();
   // Data path: replica's disk read (page cache or NFS), streamed to the
   // client over the fabric (loopback when the replica *is* the client).
   // Concurrent stages joined by a latch, as with writes.
@@ -182,6 +198,7 @@ void HdfsCluster::handle_datanode_failure(virt::VmId dead) {
         BlockInfo& b = fit->second.blocks[static_cast<std::size_t>(index)];
         b.replicas.push_back(fresh);
       };
+      m_rereplications_->inc();
       auto latch = sim::Latch::create(3, std::move(done));
       cloud_.disk_read(source, bytes, [latch] { latch->arrive(); }, 1.0, key);
       cloud_.vm_transfer(source, fresh, bytes, [latch] { latch->arrive(); });

@@ -112,6 +112,15 @@ class HdfsCluster {
   std::unordered_map<std::string, FileMeta> files_;
   double bytes_written_ = 0.0;
   double bytes_read_ = 0.0;
+  obs::Counter* m_blocks_read_;
+  obs::Counter* m_bytes_read_;
+  obs::Counter* m_reads_local_;
+  obs::Counter* m_reads_remote_;
+  obs::Counter* m_files_written_;
+  obs::Counter* m_blocks_written_;
+  obs::Counter* m_bytes_written_;
+  obs::Counter* m_pipeline_bytes_;
+  obs::Counter* m_rereplications_;
 };
 
 }  // namespace vhadoop::hdfs

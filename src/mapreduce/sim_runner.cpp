@@ -9,15 +9,57 @@ namespace vhadoop::mapreduce {
 
 SimulatedJobRunner::SimulatedJobRunner(virt::Cloud& cloud, hdfs::HdfsCluster& hdfs,
                                        HadoopConfig config, std::vector<virt::VmId> workers)
-    : cloud_(cloud), hdfs_(hdfs), config_(config), workers_(std::move(workers)) {
+    : cloud_(cloud),
+      hdfs_(hdfs),
+      config_(config),
+      workers_(std::move(workers)),
+      m_map_attempts_(cloud.engine().metrics().counter("mr.map_attempts")),
+      m_reduce_attempts_(cloud.engine().metrics().counter("mr.reduce_attempts")),
+      m_speculative_launched_(cloud.engine().metrics().counter("mr.speculative_launched")),
+      m_speculative_wins_(cloud.engine().metrics().counter("mr.speculative_wins")),
+      m_reexecutions_(cloud.engine().metrics().counter("mr.reexecutions")),
+      m_heartbeats_(cloud.engine().metrics().counter("mr.heartbeats")),
+      m_jobs_completed_(cloud.engine().metrics().counter("mr.jobs_completed")),
+      m_jobs_failed_(cloud.engine().metrics().counter("mr.jobs_failed")),
+      m_shuffle_bytes_(cloud.engine().metrics().counter("mr.shuffle_bytes")),
+      h_map_seconds_(cloud.engine().metrics().histogram(
+          "mr.map_seconds", obs::Histogram::exponential_buckets(1.0, 2.0, 12))),
+      h_reduce_seconds_(cloud.engine().metrics().histogram(
+          "mr.reduce_seconds", obs::Histogram::exponential_buckets(1.0, 2.0, 12))) {
   if (workers_.empty()) throw std::invalid_argument("SimulatedJobRunner: no workers");
   trackers_.reserve(workers_.size());
   for (virt::VmId vm : workers_) {
     trackers_.push_back(
         {vm, config_.map_slots_per_worker, config_.reduce_slots_per_worker, 0, true});
+    trackers_.back().map_slot_busy.assign(config_.map_slots_per_worker, false);
+    trackers_.back().reduce_slot_busy.assign(config_.reduce_slots_per_worker, false);
   }
   heartbeat_events_.resize(trackers_.size());
   cloud_.on_crash([this](virt::VmId vm) { on_vm_crash(vm); });
+}
+
+int SimulatedJobRunner::acquire_slot(std::vector<bool>& busy, int base) {
+  for (std::size_t k = 0; k < busy.size(); ++k) {
+    if (!busy[k]) {
+      busy[k] = true;
+      return base + static_cast<int>(k);
+    }
+  }
+  busy.push_back(true);
+  return base + static_cast<int>(busy.size()) - 1;
+}
+
+void SimulatedJobRunner::release_slot(std::size_t tracker_idx, int tid) {
+  if (tid < 0) return;
+  Tracker& tr = trackers_[tracker_idx];
+  const int reduce_base = config_.map_slots_per_worker;
+  if (tid < reduce_base) {
+    if (static_cast<std::size_t>(tid) < tr.map_slot_busy.size()) tr.map_slot_busy[tid] = false;
+  } else {
+    const std::size_t k = static_cast<std::size_t>(tid - reduce_base);
+    if (k < tr.reduce_slot_busy.size()) tr.reduce_slot_busy[k] = false;
+  }
+  tracer().end_all(static_cast<int>(tr.vm), tid);
 }
 
 SimulatedJobRunner::~SimulatedJobRunner() {
@@ -44,6 +86,8 @@ void SimulatedJobRunner::add_tracker(virt::VmId vm) {
   workers_.push_back(vm);
   trackers_.push_back(
       {vm, config_.map_slots_per_worker, config_.reduce_slots_per_worker, 0, true});
+  trackers_.back().map_slot_busy.assign(config_.map_slots_per_worker, false);
+  trackers_.back().reduce_slot_busy.assign(config_.reduce_slots_per_worker, false);
   heartbeat_events_.push_back({});
   if (active_ || !queue_.empty()) start_heartbeats();
 }
@@ -114,6 +158,7 @@ void SimulatedJobRunner::heartbeat(std::size_t i) {
   }
   heartbeat_events_[i] =
       cloud_.engine().schedule_in(config_.heartbeat_seconds, [this, i] { heartbeat(i); });
+  m_heartbeats_->inc();
   if (!active_) return;
   // One map and one reduce may be handed out per heartbeat (0.20 protocol).
   maybe_assign_map(i);
@@ -160,10 +205,11 @@ void SimulatedJobRunner::maybe_assign_map(std::size_t i) {
   --tr.free_map_slots;
   ++tr.running;
   active_->maps[m].tracker = i;
+  active_->maps[m].tid[0] = acquire_slot(tr.map_slot_busy, 0);
   active_->timeline.maps[m].vm = tr.vm;
   active_->timeline.maps[m].assigned = cloud_.engine().now();
   arm_map_watchdog(m, i, active_->maps[m].attempt, 0);
-  run_map(m, i, active_->maps[m].attempt);
+  run_map(m, i, active_->maps[m].attempt, active_->maps[m].tid[0]);
 }
 
 void SimulatedJobRunner::maybe_speculate(std::size_t i) {
@@ -191,11 +237,14 @@ void SimulatedJobRunner::maybe_speculate(std::size_t i) {
     --tr.free_map_slots;
     ++tr.running;
     ms.spec_tracker = i;
+    ms.tid[1] = acquire_slot(tr.map_slot_busy, 0);
     ++reexecuted_maps_;
+    m_reexecutions_->inc();
+    m_speculative_launched_->inc();
     // The duplicate races the original under the same attempt number; the
     // first finisher wins and the loser's chain is invalidated.
     arm_map_watchdog(m, i, ms.attempt, 1);
-    run_map(m, i, ms.attempt);
+    run_map(m, i, ms.attempt, ms.tid[1]);
     return;  // at most one speculative launch per heartbeat
   }
 }
@@ -229,39 +278,59 @@ void SimulatedJobRunner::maybe_assign_reduce(std::size_t i) {
   ReduceState& rs = active_->reduces[r];
   rs.assigned = true;
   rs.tracker = i;
+  rs.tid = acquire_slot(tr.reduce_slot_busy, config_.map_slots_per_worker);
   rs.last_progress = cloud_.engine().now();
   active_->timeline.reduces[r].vm = tr.vm;
   active_->timeline.reduces[r].assigned = cloud_.engine().now();
   arm_reduce_watchdog(r, rs.attempt);
-  run_reduce(r, i, rs.attempt);
+  run_reduce(r, i, rs.attempt, rs.tid);
 }
 
-void SimulatedJobRunner::run_map(std::size_t m, std::size_t i, int attempt) {
+void SimulatedJobRunner::run_map(std::size_t m, std::size_t i, int attempt, int tid) {
   const auto epoch = active_->epoch;
   const virt::VmId vm = trackers_[i].vm;
   auto G = [this, epoch, m, attempt](std::function<void()> fn) {
     return map_guard(epoch, m, attempt, std::move(fn));
   };
+  m_map_attempts_->inc();
+  const int pid = static_cast<int>(vm);
+  if (tracer().enabled()) {
+    tracer().begin(pid, tid,
+                   "map-" + std::to_string(m) +
+                       (attempt > 0 ? "/a" + std::to_string(attempt) : ""),
+                   "map");
+  }
 
   // 1. child JVM spawn: fixed exec latency plus guest CPU work (the CPU
   // part is what host oversubscription stretches).
-  cloud_.engine().schedule_in(config_.task_start_latency, G([this, m, i, vm, G] {
-  cloud_.run_compute(vm, config_.task_start_cpu_seconds, G([this, m, i, vm, G] {
+  cloud_.engine().schedule_in(config_.task_start_latency, G([this, m, i, vm, pid, tid, G] {
+  tracer().begin(pid, tid, "jvm_spawn", "map");
+  cloud_.run_compute(vm, config_.task_start_cpu_seconds, G([this, m, i, vm, pid, tid, G] {
+    tracer().end(pid, tid);  // jvm_spawn
     // 2. job localization: stream jar + conf from a datanode
     // (DistributedCache — cold once per VM per job, cached afterwards).
-    localize(vm, G([this, m, i, vm, G] {
+    tracer().begin(pid, tid, "localize", "map");
+    localize(vm, G([this, m, i, vm, pid, tid, G] {
+      tracer().end(pid, tid);  // localize
       auto& timing = active_->timeline.maps[m];
       timing.started = cloud_.engine().now();
       const auto& mt = active_->spec.maps[m];
-      auto after_read = G([this, m, i, vm, G] {
+      auto after_read = G([this, m, i, vm, pid, tid, G] {
+        tracer().end(pid, tid);  // read
         // 4. user map function.
-        cloud_.run_compute(vm, active_->spec.maps[m].cpu_seconds, G([this, m, i, vm, G] {
-          // 5. materialize map output.
+        tracer().begin(pid, tid, "compute", "map");
+        cloud_.run_compute(vm, active_->spec.maps[m].cpu_seconds, G([this, m, i, vm, pid, tid,
+                                                                     G] {
+          tracer().end(pid, tid);  // compute
+          // 5. materialize map output. The spill/commit span (and the
+          // enclosing map span) are closed by the slot release in
+          // finish_map via end_all.
           const auto& mt3 = active_->spec.maps[m];
           auto done = G([this, m, i] { finish_map(m, i); });
           if (mt3.output_bytes <= 0.0) {
             done();
           } else if (active_->spec.map_output_to_hdfs) {
+            tracer().begin(pid, tid, "commit", "map");
             const int attempt_now = active_->maps[m].attempt;
             const std::string path =
                 active_->spec.output_path + "/map-" + std::to_string(m) +
@@ -269,6 +338,7 @@ void SimulatedJobRunner::run_map(std::size_t m, std::size_t i, int attempt) {
             hdfs_.write_file(path, mt3.output_bytes, vm, std::move(done),
                              config_.output_replication);
           } else {
+            tracer().begin(pid, tid, "spill", "map");
             // Spill to local disk; one extra merge pass if the output
             // exceeds io.sort.mb. The final spill stays hot in the page
             // cache for the imminent shuffle fetches; the intermediate
@@ -290,6 +360,7 @@ void SimulatedJobRunner::run_map(std::size_t m, std::size_t i, int attempt) {
       });
       // 3. input: HDFS block or whole file (locality recorded) or raw
       // local-disk bytes.
+      tracer().begin(pid, tid, "read", "map");
       if (!mt.input_path.empty()) {
         const auto& block =
             hdfs_.blocks(mt.input_path)[static_cast<std::size_t>(std::max(0, mt.block_index))];
@@ -352,24 +423,31 @@ void SimulatedJobRunner::finish_map(std::size_t m, std::size_t i) {
   ms.done = true;
   ms.output_vm = trackers_[i].vm;
   cancel_map_watchdogs(m);
+  if (ms.spec_tracker == i) m_speculative_wins_->inc();
 
   // Free the winner's slot, and kill the losing attempt if one is racing.
-  auto release = [this](std::size_t t) {
+  auto release = [this](std::size_t t, int tid) {
+    release_slot(t, tid);
     ++trackers_[t].free_map_slots;
     --trackers_[t].running;
     out_of_band_heartbeat(t);
   };
-  release(i);
+  const int my_tid = (ms.tracker == i) ? ms.tid[0] : ms.tid[1];
+  const int other_tid = (ms.tracker == i) ? ms.tid[1] : ms.tid[0];
+  release(i, my_tid);
   const std::size_t other = (ms.tracker == i) ? ms.spec_tracker : ms.tracker;
   if (other != kNone && other != i) {
     ++ms.attempt;  // invalidates the loser's continuation chain
-    if (trackers_[other].alive) release(other);
+    if (trackers_[other].alive) release(other, other_tid);
   }
   ms.tracker = i;
   ms.spec_tracker = kNone;
+  ms.tid[0] = ms.tid[1] = -1;
 
   active_->timeline.maps[m].vm = trackers_[i].vm;
   active_->timeline.maps[m].finished = cloud_.engine().now();
+  h_map_seconds_->observe(active_->timeline.maps[m].finished -
+                          active_->timeline.maps[m].assigned);
   ++active_->maps_done;
   // Feed every ready reducer that does not have this partition yet.
   for (std::size_t r = 0; r < active_->reduces.size(); ++r) {
@@ -378,15 +456,30 @@ void SimulatedJobRunner::finish_map(std::size_t m, std::size_t i) {
   maybe_finish_job();
 }
 
-void SimulatedJobRunner::run_reduce(std::size_t r, std::size_t i, int attempt) {
+void SimulatedJobRunner::run_reduce(std::size_t r, std::size_t i, int attempt, int tid) {
   const auto epoch = active_->epoch;
   const virt::VmId vm = trackers_[i].vm;
   auto G = [this, epoch, r, attempt](std::function<void()> fn) {
     return reduce_guard(epoch, r, attempt, std::move(fn));
   };
-  cloud_.engine().schedule_in(config_.task_start_latency, G([this, r, vm, G] {
-  cloud_.run_compute(vm, config_.task_start_cpu_seconds, G([this, r, vm, G] {
-    localize(vm, G([this, r] {
+  m_reduce_attempts_->inc();
+  const int pid = static_cast<int>(vm);
+  if (tracer().enabled()) {
+    tracer().begin(pid, tid,
+                   "reduce-" + std::to_string(r) +
+                       (attempt > 0 ? "/a" + std::to_string(attempt) : ""),
+                   "reduce");
+  }
+  cloud_.engine().schedule_in(config_.task_start_latency, G([this, r, vm, pid, tid, G] {
+  tracer().begin(pid, tid, "jvm_spawn", "reduce");
+  cloud_.run_compute(vm, config_.task_start_cpu_seconds, G([this, r, vm, pid, tid, G] {
+    tracer().end(pid, tid);  // jvm_spawn
+    tracer().begin(pid, tid, "localize", "reduce");
+    localize(vm, G([this, r, pid, tid] {
+      tracer().end(pid, tid);  // localize
+      // The shuffle span runs from fetch-readiness to the last partition's
+      // arrival; maybe_merge closes it.
+      tracer().begin(pid, tid, "shuffle", "reduce");
       active_->timeline.reduces[r].started = cloud_.engine().now();
       active_->reduces[r].ready = true;
       active_->reduces[r].last_progress = cloud_.engine().now();
@@ -410,6 +503,7 @@ void SimulatedJobRunner::mark_map_lost(std::size_t m) {
   ms.spec_tracker = kNone;
   cancel_map_watchdogs(m);
   ++reexecuted_maps_;
+  m_reexecutions_->inc();
   active_->pending_maps.push_back(m);
 }
 
@@ -432,6 +526,7 @@ void SimulatedJobRunner::start_fetch(std::size_t m, std::size_t r) {
     rs2.fetched[m] = true;
     ++rs2.fetch_count;
     rs2.fetched_bytes += bytes;
+    m_shuffle_bytes_->add(bytes);
     rs2.last_progress = cloud_.engine().now();
     maybe_merge(r);
   });
@@ -454,18 +549,26 @@ void SimulatedJobRunner::maybe_merge(std::size_t r) {
   const auto epoch = active_->epoch;
   const int attempt = rs.attempt;
   const virt::VmId vm = active_->timeline.reduces[r].vm;
+  const int pid = static_cast<int>(vm);
+  const int tid = rs.tid;
   const double fetched = rs.fetched_bytes;
+  tracer().end(pid, tid);  // shuffle
 
-  auto compute = reduce_guard(epoch, r, attempt, [this, r, vm, epoch, attempt] {
+  auto compute = reduce_guard(epoch, r, attempt, [this, r, vm, pid, tid, epoch, attempt] {
+    tracer().begin(pid, tid, "compute", "reduce");
     cloud_.run_compute(
         vm, active_->spec.reduces[r].cpu_seconds,
-        reduce_guard(epoch, r, attempt, [this, r, vm, attempt] {
+        reduce_guard(epoch, r, attempt, [this, r, vm, pid, tid, attempt] {
+          tracer().end(pid, tid);  // compute
           const double out = active_->spec.reduces[r].output_bytes;
           auto done =
               reduce_guard(active_->epoch, r, attempt, [this, r] { finish_reduce(r); });
           if (out <= 0.0) {
             done();
           } else {
+            // The commit span (and the enclosing reduce span) are closed by
+            // the slot release in finish_reduce via end_all.
+            tracer().begin(pid, tid, "commit", "reduce");
             const std::string path =
                 active_->spec.output_path + "/part-" + std::to_string(r) +
                 (attempt > 0 ? "-a" + std::to_string(attempt) : "");
@@ -478,11 +581,18 @@ void SimulatedJobRunner::maybe_merge(std::size_t r) {
     // short-lived temp: it stays in the guest page cache while it fits and
     // spills to the NFS-backed disk beyond that — the superlinear knee the
     // paper's TeraSort curve shows past ~400 MB.
+    tracer().begin(pid, tid, "merge", "reduce");
+    auto compute_after_merge =
+        reduce_guard(epoch, r, attempt, [this, pid, tid, compute] {
+          tracer().end(pid, tid);  // merge
+          compute();
+        });
     const std::string key = "job" + std::to_string(epoch) + "/merge-r" + std::to_string(r);
     cloud_.scratch_write(vm, fetched,
                          reduce_guard(epoch, r, attempt,
-                                      [this, vm, fetched, key, compute] {
-                                        cloud_.disk_read(vm, fetched, compute, 1.0, key);
+                                      [this, vm, fetched, key, compute_after_merge] {
+                                        cloud_.disk_read(vm, fetched, compute_after_merge,
+                                                         1.0, key);
                                       }),
                          key);
   } else {
@@ -498,11 +608,15 @@ void SimulatedJobRunner::finish_reduce(std::size_t r) {
     cloud_.engine().cancel(rs.watchdog);
     rs.watchdog = {};
   }
+  release_slot(rs.tracker, rs.tid);
+  rs.tid = -1;
   Tracker& tr = trackers_[rs.tracker];
   ++tr.free_reduce_slots;
   --tr.running;
   out_of_band_heartbeat(rs.tracker);
   active_->timeline.reduces[r].finished = cloud_.engine().now();
+  h_reduce_seconds_->observe(active_->timeline.reduces[r].finished -
+                             active_->timeline.reduces[r].assigned);
   ++active_->reduces_done;
   maybe_finish_job();
 }
@@ -510,6 +624,7 @@ void SimulatedJobRunner::finish_reduce(std::size_t r) {
 void SimulatedJobRunner::maybe_finish_job() {
   if (active_->maps_done < active_->spec.maps.size()) return;
   if (active_->reduces_done < active_->spec.reduces.size()) return;
+  m_jobs_completed_->inc();
   active_->timeline.finished = cloud_.engine().now();
   auto timeline = std::move(active_->timeline);
   auto on_done = std::move(active_->on_done);
@@ -544,9 +659,11 @@ void SimulatedJobRunner::map_timeout(std::size_t m, std::size_t i, int attempt, 
   // Kill this attempt: free its slot, drop its chain, and requeue unless a
   // racing attempt is still healthy.
   if (trackers_[i].alive) {
+    release_slot(i, ms.tid[slot]);
     ++trackers_[i].free_map_slots;
     --trackers_[i].running;
   }
+  ms.tid[slot] = -1;
   if (slot == 0) ms.tracker = kNone;
   else ms.spec_tracker = kNone;
   const std::size_t survivor = (slot == 0) ? ms.spec_tracker : ms.tracker;
@@ -555,6 +672,7 @@ void SimulatedJobRunner::map_timeout(std::size_t m, std::size_t i, int attempt, 
   ms.tracker = kNone;
   ms.spec_tracker = kNone;
   ++reexecuted_maps_;
+  m_reexecutions_->inc();
   active_->pending_maps.push_back(m);
 }
 
@@ -584,9 +702,11 @@ void SimulatedJobRunner::reduce_timeout(std::size_t r, int attempt) {
   }
   // Wedged: restart the reduce elsewhere.
   if (trackers_[rs.tracker].alive) {
+    release_slot(rs.tracker, rs.tid);
     ++trackers_[rs.tracker].free_reduce_slots;
     --trackers_[rs.tracker].running;
   }
+  rs.tid = -1;
   ++rs.attempt;
   rs.assigned = false;
   rs.ready = false;
@@ -611,6 +731,18 @@ void SimulatedJobRunner::on_vm_crash(virt::VmId vm) {
   tr.free_map_slots = 0;
   tr.free_reduce_slots = 0;
   tr.running = 0;
+  // Close every span still open on the dead VM's task lanes.
+  for (std::size_t k = 0; k < tr.map_slot_busy.size(); ++k) {
+    if (tr.map_slot_busy[k]) tracer().end_all(static_cast<int>(vm), static_cast<int>(k));
+    tr.map_slot_busy[k] = false;
+  }
+  for (std::size_t k = 0; k < tr.reduce_slot_busy.size(); ++k) {
+    if (tr.reduce_slot_busy[k]) {
+      tracer().end_all(static_cast<int>(vm),
+                       config_.map_slots_per_worker + static_cast<int>(k));
+    }
+    tr.reduce_slot_busy[k] = false;
+  }
   if (heartbeat_events_[dead].valid()) {
     cloud_.engine().cancel(heartbeat_events_[dead]);
     heartbeat_events_[dead] = {};
@@ -635,19 +767,28 @@ void SimulatedJobRunner::on_vm_crash(virt::VmId vm) {
       if (ms.output_vm != vm || output_safe) continue;
       --job.maps_done;
       ++reexecuted_maps_;
+      m_reexecutions_->inc();
       ms.done = false;
     } else {
       // A racing attempt on a live tracker may still win; only reschedule
       // when no live attempt remains.
-      if (was_primary) ms.tracker = kNone;
-      if (was_spec) ms.spec_tracker = kNone;
+      if (was_primary) {
+        ms.tracker = kNone;
+        ms.tid[0] = -1;
+      }
+      if (was_spec) {
+        ms.spec_tracker = kNone;
+        ms.tid[1] = -1;
+      }
       const std::size_t survivor = was_primary ? ms.spec_tracker : ms.tracker;
       if (survivor != kNone && trackers_[survivor].alive) continue;
       ++reexecuted_maps_;
+      m_reexecutions_->inc();
     }
     ++ms.attempt;  // invalidate any continuation still in flight
     ms.tracker = kNone;
     ms.spec_tracker = kNone;
+    ms.tid[0] = ms.tid[1] = -1;
     cancel_map_watchdogs(m);
     job.pending_maps.push_back(m);
   }
@@ -658,6 +799,7 @@ void SimulatedJobRunner::on_vm_crash(virt::VmId vm) {
       std::any_of(trackers_.begin(), trackers_.end(), [](const Tracker& t) { return t.alive; });
   if (!any_alive) {
     while (active_) {
+      m_jobs_failed_->inc();
       active_->timeline.finished = cloud_.engine().now();
       active_->timeline.failed = true;
       auto timeline = std::move(active_->timeline);
@@ -681,6 +823,7 @@ void SimulatedJobRunner::on_vm_crash(virt::VmId vm) {
       cloud_.engine().cancel(rs.watchdog);
       rs.watchdog = {};
     }
+    rs.tid = -1;
     ++rs.attempt;
     rs.assigned = false;
     rs.ready = false;

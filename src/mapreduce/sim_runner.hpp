@@ -65,6 +65,10 @@ class SimulatedJobRunner {
     int free_reduce_slots = 0;
     int running = 0;
     bool alive = true;
+    /// Trace-lane occupancy: map slots take tids [0, map_slots), reduce
+    /// slots [map_slots, map_slots + reduce_slots).
+    std::vector<bool> map_slot_busy;
+    std::vector<bool> reduce_slot_busy;
   };
 
   struct PendingJob {
@@ -79,6 +83,7 @@ class SimulatedJobRunner {
     std::size_t spec_tracker = kNone;  ///< speculative attempt's tracker
     virt::VmId output_vm = 0;          ///< where the winning spill lives
     sim::Engine::EventId watchdog[2];  ///< per-slot task timeout (0=primary)
+    int tid[2] = {-1, -1};             ///< trace lane per attempt slot
   };
 
   struct ReduceState {
@@ -92,6 +97,7 @@ class SimulatedJobRunner {
     double fetched_bytes = 0.0;
     double last_progress = 0.0;        ///< refreshed by shuffle arrivals
     sim::Engine::EventId watchdog;
+    int tid = -1;  ///< trace lane of the current attempt
   };
 
   struct ActiveJob {
@@ -116,9 +122,9 @@ class SimulatedJobRunner {
   void maybe_assign_map(std::size_t tracker_idx);
   void maybe_speculate(std::size_t tracker_idx);
   void maybe_assign_reduce(std::size_t tracker_idx);
-  void run_map(std::size_t m, std::size_t tracker_idx, int attempt);
+  void run_map(std::size_t m, std::size_t tracker_idx, int attempt, int tid);
   void finish_map(std::size_t m, std::size_t tracker_idx);
-  void run_reduce(std::size_t r, std::size_t tracker_idx, int attempt);
+  void run_reduce(std::size_t r, std::size_t tracker_idx, int attempt, int tid);
   void start_fetch(std::size_t m, std::size_t r);
   void maybe_merge(std::size_t r);
   void finish_reduce(std::size_t r);
@@ -146,6 +152,12 @@ class SimulatedJobRunner {
     return "job" + std::to_string(active_->epoch) + "/spill-m" + std::to_string(m);
   }
 
+  obs::Tracer& tracer() { return cloud_.engine().tracer(); }
+  /// Claim the lowest free trace lane in `busy`, growing it defensively.
+  int acquire_slot(std::vector<bool>& busy, int base);
+  /// Free the lane and close any spans a dropped chain left open on it.
+  void release_slot(std::size_t tracker_idx, int tid);
+
   virt::Cloud& cloud_;
   hdfs::HdfsCluster& hdfs_;
   HadoopConfig config_;
@@ -156,6 +168,18 @@ class SimulatedJobRunner {
   std::uint64_t epoch_counter_ = 0;
   int reexecuted_maps_ = 0;
   std::vector<sim::Engine::EventId> heartbeat_events_;
+
+  obs::Counter* m_map_attempts_;
+  obs::Counter* m_reduce_attempts_;
+  obs::Counter* m_speculative_launched_;
+  obs::Counter* m_speculative_wins_;
+  obs::Counter* m_reexecutions_;
+  obs::Counter* m_heartbeats_;
+  obs::Counter* m_jobs_completed_;
+  obs::Counter* m_jobs_failed_;
+  obs::Counter* m_shuffle_bytes_;
+  obs::Histogram* h_map_seconds_;
+  obs::Histogram* h_reduce_seconds_;
 };
 
 }  // namespace vhadoop::mapreduce

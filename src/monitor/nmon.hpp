@@ -14,6 +14,7 @@ struct Sample {
   std::vector<double> vm_cpu;        ///< VCPU utilization in [0,1]
   std::vector<double> vm_net_bytes;  ///< bytes moved since previous sample
   std::vector<double> vm_disk_bytes;
+  std::vector<double> vm_mem;        ///< resident memory estimate, MB
   /// Per host.
   std::vector<double> host_cpu;
   std::vector<double> host_tx;  ///< NIC tx utilization
@@ -28,6 +29,8 @@ struct Sample {
 /// counters from the resource model.
 class NmonMonitor {
  public:
+  /// Throws std::invalid_argument if `interval_seconds` is not positive
+  /// (a zero or negative period would spin the event loop forever).
   NmonMonitor(virt::Cloud& cloud, net::Fabric& fabric, std::vector<virt::VmId> vms,
               double interval_seconds = 1.0);
 
@@ -72,6 +75,15 @@ class TraceAnalyser {
     std::vector<double> avg_host_rx;
     double avg_nfs_disk = 0.0;
     double peak_nfs_disk = 0.0;
+    double avg_vm_mem = 0.0;   ///< MB, averaged over VMs and samples
+    double peak_vm_mem = 0.0;  ///< MB, highest single-VM sample
+    /// Distribution summaries over all per-sample utilization values.
+    double p50_vm_cpu = 0.0;
+    double p95_vm_cpu = 0.0;
+    double p50_nfs_disk = 0.0;
+    double p95_nfs_disk = 0.0;
+    double p95_host_cpu = 0.0;
+    double p95_net = 0.0;  ///< over host tx and rx utilization
     /// "cpu", "network" or "nfs-disk" — highest average utilization.
     std::string bottleneck;
     /// Index of the busiest VM by average CPU (into monitor.vms()).

@@ -6,7 +6,14 @@
 namespace vhadoop::net {
 
 Fabric::Fabric(sim::Engine& engine, sim::FluidModel& model, NetConfig config)
-    : engine_(engine), model_(model), config_(config) {}
+    : engine_(engine),
+      model_(model),
+      config_(config),
+      flows_started_(engine.metrics().counter("net.flows_started")),
+      bytes_requested_(engine.metrics().counter("net.bytes_requested")),
+      flows_loopback_(engine.metrics().counter("net.flows_loopback")),
+      flows_bridge_(engine.metrics().counter("net.flows_bridge")),
+      flows_wire_(engine.metrics().counter("net.flows_wire")) {}
 
 Fabric::NodeId Fabric::add_node(const std::string& name) {
   Node n;
@@ -42,18 +49,23 @@ void Fabric::transfer(TransferSpec spec) {
 
   const bool loopback = spec.src.node == spec.dst.node && spec.src.vm == spec.dst.vm &&
                         spec.src.vm >= 0;
+  flows_started_->inc();
+  bytes_requested_->add(spec.bytes);
   double path_cap = std::numeric_limits<double>::infinity();
   if (loopback) {
     // In-VM copy: no shared fabric resource, just a memory-bandwidth cap.
     path_cap = config_.loopback_bw;
+    flows_loopback_->inc();
   } else if (spec.src.node == spec.dst.node) {
     // Same host, different VM: crosses the software bridge once.
     act.resources.push_back(nodes_[spec.src.node].bridge);
     path_cap = config_.bridge_bw;
+    flows_bridge_->inc();
   } else {
     act.resources.push_back(nodes_[spec.src.node].tx);
     act.resources.push_back(nodes_[spec.dst.node].rx);
     path_cap = config_.nic_bw;
+    flows_wire_->inc();
   }
   if (spec.src.virtualized || spec.dst.virtualized) {
     path_cap *= config_.vm_io_efficiency;

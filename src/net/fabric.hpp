@@ -98,6 +98,11 @@ class Fabric {
   sim::FluidModel& model_;
   NetConfig config_;
   std::vector<Node> nodes_;
+  obs::Counter* flows_started_;
+  obs::Counter* bytes_requested_;
+  obs::Counter* flows_loopback_;
+  obs::Counter* flows_bridge_;
+  obs::Counter* flows_wire_;
 };
 
 }  // namespace vhadoop::net

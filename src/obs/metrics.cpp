@@ -1,0 +1,183 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace vhadoop::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty()) throw std::invalid_argument("Histogram: no buckets");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument("Histogram: bounds must be strictly ascending");
+    }
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+std::vector<double> Histogram::linear_buckets(double hi, int n) {
+  if (hi <= 0.0 || n < 1) throw std::invalid_argument("linear_buckets: bad shape");
+  std::vector<double> b;
+  b.reserve(static_cast<std::size_t>(n));
+  for (int i = 1; i <= n; ++i) b.push_back(hi * static_cast<double>(i) / n);
+  return b;
+}
+
+std::vector<double> Histogram::exponential_buckets(double lo, double factor, int n) {
+  if (lo <= 0.0 || factor <= 1.0 || n < 1) {
+    throw std::invalid_argument("exponential_buckets: bad shape");
+  }
+  std::vector<double> b;
+  b.reserve(static_cast<std::size_t>(n));
+  double v = lo;
+  for (int i = 0; i < n; ++i, v *= factor) b.push_back(v);
+  return b;
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+double Histogram::percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (static_cast<double>(cum) < target) continue;
+    if (i == bounds_.size()) return max_;  // overflow bucket
+    const double hi = std::min(bounds_[i], max_);
+    const double lo = std::max(i == 0 ? 0.0 : bounds_[i - 1], min_);
+    if (counts_[i] == 0 || hi <= lo) return hi;
+    const double into = target - static_cast<double>(cum - counts_[i]);
+    return lo + (hi - lo) * into / static_cast<double>(counts_[i]);
+  }
+  return max_;
+}
+
+Counter* Registry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::histogram(const std::string& name, std::vector<double> bounds) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+const Counter* Registry::find_counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* Registry::find_gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* Registry::find_histogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+namespace {
+
+// JSON numbers must be finite; shortest round-trip text keeps snapshots
+// byte-identical across runs of the same simulation.
+void put_number(std::ostringstream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "null";
+    return;
+  }
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    out << static_cast<long long>(v);
+  } else {
+    out.precision(17);
+    out << v;
+  }
+}
+
+void put_key(std::ostringstream& out, const std::string& k) {
+  out << '"';
+  for (char c : k) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << "\":";
+}
+
+}  // namespace
+
+std::string Registry::to_json() const {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out << ',';
+    first = false;
+    put_key(out, name);
+    put_number(out, c->value());
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out << ',';
+    first = false;
+    put_key(out, name);
+    out << "{\"value\":";
+    put_number(out, g->value());
+    out << ",\"max\":";
+    put_number(out, g->max());
+    out << '}';
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out << ',';
+    first = false;
+    put_key(out, name);
+    out << "{\"count\":" << h->count();
+    out << ",\"sum\":";
+    put_number(out, h->sum());
+    out << ",\"min\":";
+    put_number(out, h->min());
+    out << ",\"max\":";
+    put_number(out, h->max());
+    out << ",\"mean\":";
+    put_number(out, h->mean());
+    out << ",\"p50\":";
+    put_number(out, h->percentile(0.50));
+    out << ",\"p95\":";
+    put_number(out, h->percentile(0.95));
+    out << ",\"bounds\":[";
+    for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+      if (i) out << ',';
+      put_number(out, h->bounds()[i]);
+    }
+    out << "],\"counts\":[";
+    for (std::size_t i = 0; i < h->bucket_counts().size(); ++i) {
+      if (i) out << ',';
+      out << h->bucket_counts()[i];
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace vhadoop::obs

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vhadoop::obs {
+
+/// Monotonically increasing metric. Values are doubles because most of what
+/// the platform counts (bytes, simulated seconds) is continuous; discrete
+/// counts stay exactly representable far beyond anything a run produces.
+class Counter {
+ public:
+  void add(double delta) { value_ += delta; }
+  void inc() { value_ += 1.0; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Last-written value plus its high-water mark (queue depths, memory).
+class Gauge {
+ public:
+  void set(double v) {
+    value_ = v;
+    max_ = std::max(max_, v);
+  }
+  double value() const { return value_; }
+  double max() const { return max_; }
+
+ private:
+  double value_ = 0.0;
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram. Buckets are upper bounds (ascending); one
+/// implicit overflow bucket catches everything past the last bound. Keeps
+/// count/sum/min/max exactly and estimates percentiles by linear
+/// interpolation inside the winning bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  /// Evenly spaced bounds over [0, hi] — the common utilization shape.
+  static std::vector<double> linear_buckets(double hi, int n);
+  /// Geometric bounds from `lo` multiplying by `factor` — latency shape.
+  static std::vector<double> exponential_buckets(double lo, double factor, int n);
+
+  void observe(double v);
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  /// Value at quantile q in [0,1]; 0 when empty. Within a bucket the mass is
+  /// assumed uniform; the overflow bucket reports the observed max.
+  double percentile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 (overflow)
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Named-metric registry. Lookup is idempotent: the first call creates the
+/// metric, later calls with the same name return the same object, so hot
+/// paths cache the pointer once and pay a bare increment afterwards.
+/// Metric names follow the `module.noun_verb` convention (DESIGN.md §Obs).
+class Registry {
+ public:
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  /// `bounds` is only consulted on first creation.
+  Histogram* histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Lookup without creation; nullptr when absent (used by tests/exports).
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  /// Deterministic JSON snapshot (keys sorted by name):
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,
+  ///  max,mean,p50,p95,bounds:[...],counts:[...]}}}
+  std::string to_json() const;
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  // std::map: pointer-stable values and sorted iteration for the snapshot.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// RAII timer: observes the elapsed time between construction and
+/// destruction into a histogram. The clock is injectable so simulated-time
+/// callers pass `[&engine]{ return engine.now(); }`.
+class ScopedTimer {
+ public:
+  ScopedTimer(Histogram* hist, std::function<double()> clock)
+      : hist_(hist), clock_(std::move(clock)), started_(clock_ ? clock_() : 0.0) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (hist_ && clock_) hist_->observe(clock_() - started_);
+  }
+
+ private:
+  Histogram* hist_;
+  std::function<double()> clock_;
+  double started_;
+};
+
+}  // namespace vhadoop::obs

@@ -1,0 +1,153 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace vhadoop::obs {
+
+void Tracer::begin(int pid, int tid, std::string name, std::string cat) {
+  if (!enabled_) return;
+  open_[lane(pid, tid)].push_back(name);
+  events_.push_back({Phase::Begin, now(), pid, tid, std::move(name), std::move(cat)});
+}
+
+void Tracer::end(int pid, int tid) {
+  if (!enabled_) return;
+  auto it = open_.find(lane(pid, tid));
+  if (it == open_.end() || it->second.empty()) return;
+  std::string name = std::move(it->second.back());
+  it->second.pop_back();
+  if (it->second.empty()) open_.erase(it);
+  events_.push_back({Phase::End, now(), pid, tid, std::move(name), {}});
+}
+
+void Tracer::end_all(int pid, int tid) {
+  if (!enabled_) return;
+  auto it = open_.find(lane(pid, tid));
+  if (it == open_.end()) return;
+  const double ts = now();
+  while (!it->second.empty()) {
+    events_.push_back({Phase::End, ts, pid, tid, std::move(it->second.back()), {}});
+    it->second.pop_back();
+  }
+  open_.erase(it);
+}
+
+void Tracer::instant(int pid, int tid, std::string name, std::string cat) {
+  if (!enabled_) return;
+  events_.push_back({Phase::Instant, now(), pid, tid, std::move(name), std::move(cat)});
+}
+
+std::size_t Tracer::open_span_count() const {
+  std::size_t n = 0;
+  for (const auto& [l, stack] : open_) n += stack.size();
+  return n;
+}
+
+int Tracer::open_depth(int pid, int tid) const {
+  auto it = open_.find(lane(pid, tid));
+  return it == open_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+void Tracer::clear() {
+  events_.clear();
+  open_.clear();
+}
+
+std::vector<Tracer::Event> Tracer::export_events() const {
+  std::vector<Event> out = events_;
+  // Anything still open closes at the trace's final instant so every B has
+  // a matching E no matter how the simulation ended.
+  double last_ts = 0.0;
+  for (const Event& e : events_) last_ts = std::max(last_ts, e.ts);
+  for (const auto& [l, stack] : open_) {
+    const int pid = static_cast<int>(static_cast<std::int32_t>(l >> 32));
+    const int tid = static_cast<int>(static_cast<std::int32_t>(l & 0xffffffffu));
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      out.push_back({Phase::End, last_ts, pid, tid, *it, {}});
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Event& a, const Event& b) { return a.ts < b.ts; });
+  return out;
+}
+
+namespace {
+
+void put_string(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+char phase_letter(Tracer::Phase p) {
+  switch (p) {
+    case Tracer::Phase::Begin: return 'B';
+    case Tracer::Phase::End: return 'E';
+    default: return 'i';
+  }
+}
+
+}  // namespace
+
+std::string Tracer::to_chrome_json() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ',';
+    first = false;
+  };
+  for (const auto& [pid, name] : process_names_) {
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+       << ",\"tid\":0,\"ts\":0,\"args\":{\"name\":";
+    put_string(os, name);
+    os << "}}";
+  }
+  for (const auto& [l, name] : thread_names_) {
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":"
+       << static_cast<std::int32_t>(l >> 32)
+       << ",\"tid\":" << static_cast<std::int32_t>(l & 0xffffffffu)
+       << ",\"ts\":0,\"args\":{\"name\":";
+    put_string(os, name);
+    os << "}}";
+  }
+  for (const Event& e : export_events()) {
+    sep();
+    os << "{\"ph\":\"" << phase_letter(e.phase) << "\",\"ts\":" << e.ts * 1e6
+       << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid << ",\"name\":";
+    put_string(os, e.name);
+    if (!e.cat.empty()) {
+      os << ",\"cat\":";
+      put_string(os, e.cat);
+    }
+    if (e.phase == Phase::Instant) os << ",\"s\":\"t\"";
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string Tracer::to_csv() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "ts_seconds,phase,pid,tid,name,cat\n";
+  for (const Event& e : export_events()) {
+    os << e.ts << ',' << phase_letter(e.phase) << ',' << e.pid << ',' << e.tid << ','
+       << e.name << ',' << e.cat << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace vhadoop::obs

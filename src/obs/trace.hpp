@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vhadoop::obs {
+
+/// Timeline tracer on an injected clock (the simulated clock, in practice).
+///
+/// Records begin/end spans and instant events on (pid, tid) lanes —
+/// exported as Chrome trace-event JSON, where pid/tid map to the "process"
+/// and "thread" rows of chrome://tracing / Perfetto. The platform uses one
+/// process per VM and one thread per task slot.
+///
+/// Recording is off by default: a disabled tracer turns every begin/end/
+/// instant into a cheap early-return, so long benches do not accumulate
+/// unbounded event memory. Lane metadata (process/thread names) is kept
+/// even while disabled — it is tiny and lets callers register names at
+/// boot regardless of whether a trace was requested.
+///
+/// Spans nest per lane: `end` closes the innermost open span, and the
+/// exporters synthesize closing events for anything still open, so the
+/// emitted JSON always has balanced B/E pairs even if a task attempt was
+/// abandoned mid-flight (crash, timeout, speculative loss).
+class Tracer {
+ public:
+  enum class Phase { Begin, End, Instant };
+
+  struct Event {
+    Phase phase = Phase::Instant;
+    double ts = 0.0;  ///< simulated seconds
+    int pid = 0;
+    int tid = 0;
+    std::string name;
+    std::string cat;
+  };
+
+  /// Clock supplying "now" in simulated seconds. Without one, events are
+  /// stamped 0 (tests may prefer explicit control via `at`-suffixed calls).
+  void set_clock(std::function<double()> clock) { clock_ = std::move(clock); }
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  // --- recording ----------------------------------------------------------
+  void begin(int pid, int tid, std::string name, std::string cat = {});
+  /// Close the innermost open span on the lane; no-op when none is open.
+  void end(int pid, int tid);
+  /// Close every open span on the lane (task attempt abandoned).
+  void end_all(int pid, int tid);
+  void instant(int pid, int tid, std::string name, std::string cat = {});
+
+  // --- lane metadata ------------------------------------------------------
+  void set_process_name(int pid, std::string name) { process_names_[pid] = std::move(name); }
+  void set_thread_name(int pid, int tid, std::string name) {
+    thread_names_[lane(pid, tid)] = std::move(name);
+  }
+
+  // --- introspection ------------------------------------------------------
+  const std::vector<Event>& events() const { return events_; }
+  std::size_t open_span_count() const;
+  int open_depth(int pid, int tid) const;
+  void clear();
+
+  // --- export -------------------------------------------------------------
+  /// Chrome trace-event JSON ("traceEvents" array): metadata rows first,
+  /// then all events sorted by timestamp (stable, so same-instant B/E keep
+  /// recording order). Timestamps are emitted in microseconds as Chrome
+  /// expects. Open spans are closed at the trace's final timestamp.
+  std::string to_chrome_json() const;
+  /// Compact CSV: ts_seconds,phase,pid,tid,name,cat — same ordering and
+  /// auto-closing as the Chrome export.
+  std::string to_csv() const;
+
+ private:
+  static std::uint64_t lane(int pid, int tid) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(pid)) << 32) |
+           static_cast<std::uint32_t>(tid);
+  }
+  double now() const { return clock_ ? clock_() : 0.0; }
+  /// Events plus synthesized closers, sorted for export.
+  std::vector<Event> export_events() const;
+
+  bool enabled_ = false;
+  std::function<double()> clock_;
+  std::vector<Event> events_;
+  std::map<std::uint64_t, std::vector<std::string>> open_;  // lane -> span-name stack
+  std::map<int, std::string> process_names_;
+  std::map<std::uint64_t, std::string> thread_names_;
+};
+
+/// RAII span: begins on construction, ends on destruction. For spans whose
+/// lifetime matches a C++ scope (the simulator's callback chains usually
+/// call begin/end explicitly instead).
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer& tracer, int pid, int tid, std::string name, std::string cat = {})
+      : tracer_(tracer), pid_(pid), tid_(tid) {
+    tracer_.begin(pid_, tid_, std::move(name), std::move(cat));
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() { tracer_.end(pid_, tid_); }
+
+ private:
+  Tracer& tracer_;
+  int pid_;
+  int tid_;
+};
+
+}  // namespace vhadoop::obs

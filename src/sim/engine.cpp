@@ -6,6 +6,14 @@
 
 namespace vhadoop::sim {
 
+Engine::Engine()
+    : events_scheduled_(metrics_.counter("sim.events_scheduled")),
+      events_fired_(metrics_.counter("sim.events_fired")),
+      events_cancelled_(metrics_.counter("sim.events_cancelled")),
+      queue_depth_(metrics_.gauge("sim.queue_depth")) {
+  tracer_.set_clock([this] { return now_; });
+}
+
 Engine::EventId Engine::schedule_at(SimTime t, Callback cb, bool daemon) {
   if (t < now_ - kEps) {
     throw std::invalid_argument("Engine::schedule_at: time in the past");
@@ -15,6 +23,10 @@ Engine::EventId Engine::schedule_at(SimTime t, Callback cb, bool daemon) {
   queue_.push(QueueEntry{t, seq});
   callbacks_.emplace(seq, Pending{std::move(cb), daemon});
   if (!daemon) ++regular_pending_;
+  events_scheduled_->inc();
+  if (static_cast<double>(callbacks_.size()) > queue_depth_->max()) {
+    queue_depth_->set(static_cast<double>(callbacks_.size()));
+  }
   return EventId{seq};
 }
 
@@ -24,6 +36,7 @@ bool Engine::cancel(EventId id) {
   if (it == callbacks_.end()) return false;
   if (!it->second.daemon) --regular_pending_;
   callbacks_.erase(it);
+  events_cancelled_->inc();
   return true;
 }
 
@@ -39,6 +52,7 @@ bool Engine::step() {
     assert(top.time >= now_ - kEps);
     now_ = std::max(now_, top.time);
     ++processed_;
+    events_fired_->inc();
     cb();
     return true;
   }

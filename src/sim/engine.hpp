@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/time.hpp"
 
 namespace vhadoop::sim {
@@ -27,7 +29,7 @@ class Engine {
     bool valid() const { return seq != 0; }
   };
 
-  Engine() = default;
+  Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -63,6 +65,15 @@ class Engine {
   std::size_t pending() const { return callbacks_.size(); }
   std::uint64_t processed() const { return processed_; }
 
+  /// Platform-wide observability, anchored here because every component
+  /// already holds an Engine reference. Metrics are always live (untouched
+  /// metrics cost nothing); the tracer records only once enabled and is
+  /// pre-wired to this engine's simulated clock.
+  obs::Registry& metrics() { return metrics_; }
+  const obs::Registry& metrics() const { return metrics_; }
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
+
  private:
   struct QueueEntry {
     SimTime time;
@@ -84,6 +95,13 @@ class Engine {
   std::size_t regular_pending_ = 0;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
   std::unordered_map<std::uint64_t, Pending> callbacks_;
+
+  obs::Registry metrics_;
+  obs::Tracer tracer_;
+  obs::Counter* events_scheduled_;
+  obs::Counter* events_fired_;
+  obs::Counter* events_cancelled_;
+  obs::Gauge* queue_depth_;
 };
 
 }  // namespace vhadoop::sim

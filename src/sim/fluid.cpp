@@ -70,6 +70,7 @@ FluidModel::ActivityId FluidModel::start(ActivitySpec spec) {
     act.resources.push_back(r.v);
   }
   activities_.emplace(id, std::move(act));
+  activities_started_->inc();
   recompute_and_reschedule();
   return ActivityId{id};
 }
@@ -133,6 +134,7 @@ void FluidModel::settle() {
 }
 
 void FluidModel::recompute_rates() {
+  rate_recomputes_->inc();
   // Progressive filling: raise a common water level theta; each unfrozen
   // activity's rate grows as weight*theta until either one of its resources
   // saturates (freezing every unfrozen user of that resource) or its own

@@ -60,7 +60,10 @@ class FluidModel {
     Callback on_complete;
   };
 
-  explicit FluidModel(Engine& engine) : engine_(engine) {}
+  explicit FluidModel(Engine& engine)
+      : engine_(engine),
+        activities_started_(engine.metrics().counter("sim.fluid.activities_started")),
+        rate_recomputes_(engine.metrics().counter("sim.fluid.rate_recomputes")) {}
   FluidModel(const FluidModel&) = delete;
   FluidModel& operator=(const FluidModel&) = delete;
 
@@ -121,6 +124,8 @@ class FluidModel {
   std::unordered_map<std::uint64_t, Activity> activities_;
   SimTime last_update_ = 0.0;
   Engine::EventId pending_event_{};
+  obs::Counter* activities_started_;
+  obs::Counter* rate_recomputes_;
 };
 
 }  // namespace vhadoop::sim

@@ -26,7 +26,9 @@ std::vector<Recommendation> MapReduceTuner::analyse(
 
   if (report.avg_nfs_disk >= policy_.disk_saturated) {
     recs.push_back({Recommendation::Kind::IncreaseSortBuffer,
-                    "NFS disk saturated (" + std::to_string(report.avg_nfs_disk) +
+                    "NFS disk saturated (avg " + std::to_string(report.avg_nfs_disk) +
+                        ", p50 " + std::to_string(report.p50_nfs_disk) + ", p95 " +
+                        std::to_string(report.p95_nfs_disk) +
                         "): raise io.sort.mb to cut spill passes"});
     recs.push_back({Recommendation::Kind::LowerReplication,
                     "NFS disk saturated: consider dfs.replication=2 to shrink the "
@@ -34,7 +36,8 @@ std::vector<Recommendation> MapReduceTuner::analyse(
   }
   if (net_max >= policy_.net_saturated) {
     recs.push_back({Recommendation::Kind::RebalanceNetwork,
-                    "host NIC saturated (" + std::to_string(net_max) +
+                    "host NIC saturated (avg " + std::to_string(net_max) + ", p95 " +
+                        std::to_string(report.p95_net) +
                         "): co-locate shuffle-heavy VMs on one physical machine"});
   }
   if (cpu_max >= policy_.cpu_saturated) {
@@ -46,8 +49,9 @@ std::vector<Recommendation> MapReduceTuner::analyse(
       recs.push_back(std::move(r));
     } else {
       recs.push_back({Recommendation::Kind::ReduceMapSlots,
-                      "host CPU saturated everywhere: lower "
-                      "mapred.tasktracker.map.tasks.maximum"});
+                      "host CPU saturated everywhere (p95 " +
+                          std::to_string(report.p95_host_cpu) +
+                          "): lower mapred.tasktracker.map.tasks.maximum"});
     }
   } else if (cpu_max <= policy_.cpu_idle && net_max < policy_.net_saturated &&
              report.avg_nfs_disk < policy_.disk_saturated) {

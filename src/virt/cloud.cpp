@@ -8,7 +8,20 @@
 namespace vhadoop::virt {
 
 Cloud::Cloud(sim::Engine& engine, sim::FluidModel& model, net::Fabric& fabric, VirtConfig config)
-    : engine_(engine), model_(model), fabric_(fabric), config_(config) {
+    : engine_(engine),
+      model_(model),
+      fabric_(fabric),
+      config_(config),
+      m_vms_booted_(engine.metrics().counter("virt.vms_booted")),
+      m_vms_crashed_(engine.metrics().counter("virt.vms_crashed")),
+      m_migrations_(engine.metrics().counter("virt.migrations_completed")),
+      m_precopy_rounds_(engine.metrics().counter("virt.precopy_rounds")),
+      m_dirtied_bytes_(engine.metrics().counter("virt.dirtied_bytes")),
+      m_copied_bytes_(engine.metrics().counter("virt.copied_bytes")),
+      m_cache_hits_(engine.metrics().counter("virt.page_cache_hits")),
+      m_cache_misses_(engine.metrics().counter("virt.page_cache_misses")),
+      m_downtime_seconds_(engine.metrics().histogram(
+          "virt.downtime_seconds", obs::Histogram::exponential_buckets(0.01, 2.0, 12))) {
   nfs_node_ = fabric_.add_node("nfs");
   nfs_disk_ = model_.add_resource("nfs.disk", config_.nfs_disk_bw);
 }
@@ -57,6 +70,7 @@ void Cloud::boot_vm(VmId id, std::function<void()> on_ready) {
                       engine_.schedule_in(config_.vm_boot_seconds,
                                           [this, id, on_ready = std::move(on_ready)] {
                                             vms_[id].state = VmState::Running;
+                                            m_vms_booted_->inc();
                                             if (on_ready) on_ready();
                                           });
                     }});
@@ -91,6 +105,7 @@ void Cloud::crash_vm(VmId id) {
   if (vm.state == VmState::Crashed || vm.state == VmState::Stopped) return;
   hang_vm(id);
   vm.state = VmState::Crashed;
+  m_vms_crashed_->inc();
   hosts_[vm.host].memory_used_mb -= vm.spec.memory_mb;
   // Notify after the model is consistent (listeners may start traffic).
   for (const auto& listener : crash_listeners_) listener(id);
@@ -150,13 +165,17 @@ void Cloud::disk_read(VmId id, double bytes, std::function<void()> on_complete, 
   if (cached(id, cache_key)) {
     // Page-cache hit: an in-RAM copy, no NFS involvement at all.
     vm.cache->touch(cache_key);
+    m_cache_hits_->inc();
     model_.start({.work = bytes,
                   .weight = weight,
                   .cap = config_.cache_read_bw,
                   .on_complete = std::move(on_complete)});
     return;
   }
-  if (!cache_key.empty()) vm.cache->insert(cache_key, bytes);
+  if (!cache_key.empty()) {
+    m_cache_misses_->inc();
+    vm.cache->insert(cache_key, bytes);
+  }
   // Data path: NFS spindle -> NFS NIC -> host NIC -> blkfront. The guest's
   // virtual-disk ceiling rides along as an extra resource.
   fabric_.transfer({.src = {nfs_node_, false, -1},
@@ -221,6 +240,17 @@ double Cloud::host_memory_free_mb(HostId h) const {
   return config_.host_memory_mb - hosts_.at(h).memory_used_mb;
 }
 
+double Cloud::vm_memory_used_mb(VmId v) const {
+  const Vm& vm = vms_.at(v);
+  if (!vm.alive || vm.state == VmState::Stopped || vm.state == VmState::Crashed) return 0.0;
+  // Base working set (kernel + daemons + idle JVM heap) plus whatever the
+  // guest page cache currently holds — the two components nmon's MEM view
+  // distinguishes on a real worker.
+  const double base_mb = 0.25 * vm.spec.memory_mb;
+  const double cache_mb = vm.cache ? vm.cache->used_bytes() / sim::kMiB : 0.0;
+  return std::min(vm.spec.memory_mb, base_mb + cache_mb);
+}
+
 // --- live migration ---------------------------------------------------------
 
 struct Cloud::Migration {
@@ -246,6 +276,8 @@ void Cloud::migrate(VmId id, HostId dst, DirtyModel dirty,
   }
   vm.state = VmState::Migrating;
   target.memory_used_mb += vm.spec.memory_mb;  // reserved at destination
+  engine_.tracer().begin(static_cast<int>(id), kMigrationTid,
+                         "migrate:" + vm.name + "->" + target.name, "virt");
 
   auto mig = std::make_shared<Migration>();
   mig->vm = id;
@@ -262,6 +294,10 @@ void Cloud::precopy_round(std::shared_ptr<Migration> mig) {
   mig->round_started_at = engine_.now();
   const double bytes = mig->remaining;
   mig->transferred += bytes;
+  m_precopy_rounds_->inc();
+  m_copied_bytes_->add(bytes);
+  engine_.tracer().begin(static_cast<int>(mig->vm), kMigrationTid,
+                         "precopy-" + std::to_string(mig->round), "virt");
   // Migration is a dom0-to-dom0 stream: bare-metal endpoints sharing the
   // host NICs with all guest traffic — that contention is precisely what
   // inflates migration of a loaded Hadoop cluster (paper Sec. III-C).
@@ -280,6 +316,8 @@ void Cloud::precopy_round(std::shared_ptr<Migration> mig) {
          // The dirty set cannot exceed guest RAM.
          dirtied = std::min(dirtied, vms_[mig->vm].spec.memory_mb * sim::kMiB);
          ++mig->round;
+         m_dirtied_bytes_->add(dirtied);
+         engine_.tracer().end(static_cast<int>(mig->vm), kMigrationTid);
 
          const bool converged = dirtied <= config_.stop_copy_threshold_bytes;
          const bool gave_up = mig->round >= config_.max_precopy_rounds;
@@ -296,7 +334,10 @@ void Cloud::precopy_round(std::shared_ptr<Migration> mig) {
          // Stop-and-copy: the guest pauses while the final dirty set moves.
          const double final_bytes = dirtied;
          mig->transferred += final_bytes;
+         m_copied_bytes_->add(final_bytes);
          const double stop_started = engine_.now();
+         engine_.tracer().begin(static_cast<int>(mig->vm), kMigrationTid, "stop_and_copy",
+                                "virt");
          fabric_.transfer(
              {.src = {hosts_[mig->src].node, false, -1},
               .dst = {hosts_[mig->dst].node, false, -1},
@@ -321,6 +362,10 @@ void Cloud::precopy_round(std::shared_ptr<Migration> mig) {
                     config_.downtime_fixed_seconds + copy_time + resume_cost;
                 res.migration_time = (engine_.now() - mig->started_at) +
                                      config_.downtime_fixed_seconds + resume_cost;
+                m_migrations_->inc();
+                m_downtime_seconds_->observe(res.downtime);
+                engine_.tracer().end(static_cast<int>(mig->vm), kMigrationTid);  // stop_and_copy
+                engine_.tracer().end(static_cast<int>(mig->vm), kMigrationTid);  // migrate
                 if (mig->on_done) mig->on_done(res);
               }});
        }});

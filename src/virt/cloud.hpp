@@ -109,6 +109,9 @@ struct MigrationResult {
 /// pre-copy live migration.
 class Cloud {
  public:
+  /// Trace lane for migration spans (task slots occupy the low tids).
+  static constexpr int kMigrationTid = 1000;
+
   Cloud(sim::Engine& engine, sim::FluidModel& model, net::Fabric& fabric, VirtConfig config);
 
   // --- topology -----------------------------------------------------------
@@ -213,6 +216,13 @@ class Cloud {
   net::Fabric::NodeId nfs_node() const { return nfs_node_; }
   double host_memory_free_mb(HostId h) const;
 
+  /// Estimated resident memory of the guest in MB (the paper's nmon
+  /// samples memory alongside CPU/disk/network). Modeled as a base
+  /// working set — kernel, daemons, idle JVM — plus whatever currently
+  /// sits in the guest page cache, clamped to the VM's allocation. Dead
+  /// guests report 0.
+  double vm_memory_used_mb(VmId v) const;
+
   const VirtConfig& config() const { return config_; }
   net::Fabric& fabric() { return fabric_; }
   sim::Engine& engine() { return engine_; }
@@ -233,6 +243,7 @@ class Cloud {
     bool contains(const std::string& key) const { return entries_.contains(key); }
     void touch(const std::string& key);
     void insert(const std::string& key, double bytes);
+    double used_bytes() const { return used_; }
 
    private:
     double capacity_;
@@ -275,6 +286,16 @@ class Cloud {
   net::Fabric::NodeId nfs_node_;
   sim::FluidModel::ResourceId nfs_disk_;
   std::vector<std::function<void(VmId)>> crash_listeners_;
+
+  obs::Counter* m_vms_booted_;
+  obs::Counter* m_vms_crashed_;
+  obs::Counter* m_migrations_;
+  obs::Counter* m_precopy_rounds_;
+  obs::Counter* m_dirtied_bytes_;
+  obs::Counter* m_copied_bytes_;
+  obs::Counter* m_cache_hits_;
+  obs::Counter* m_cache_misses_;
+  obs::Histogram* m_downtime_seconds_;
 };
 
 }  // namespace vhadoop::virt

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 
 #include "testutil/sim_cluster.hpp"
 
@@ -107,6 +108,57 @@ TEST(Analyser, FindsCpuBottleneckAndBusiestVm) {
   auto report = TraceAnalyser::analyse(mon);
   EXPECT_EQ(report.bottleneck, "cpu");
   EXPECT_EQ(report.busiest_vm, 2u);
+}
+
+TEST(Nmon, RejectsNonPositiveInterval) {
+  auto c = SimCluster::make(2, false);
+  EXPECT_THROW(NmonMonitor(*c->cloud, *c->fabric, c->workers, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(NmonMonitor(*c->cloud, *c->fabric, c->workers, -1.0),
+               std::invalid_argument);
+}
+
+TEST(Nmon, SamplesVmMemoryAndReportsAvgPeak) {
+  auto c = SimCluster::make(2, false);
+  NmonMonitor mon(*c->cloud, *c->fabric, c->workers, 1.0);
+  mon.start();
+  // Cached data counts toward the VM's sampled memory footprint.
+  c->cloud->cache_insert(c->workers[0], "blk-a", 50 * sim::kMiB);
+  c->engine.run_until(c->engine.now() + 4.0);
+  mon.stop();
+  c->engine.run();
+  ASSERT_GE(mon.samples().size(), 2u);
+  const auto& s = mon.samples().back();
+  ASSERT_EQ(s.vm_mem.size(), c->workers.size());
+  for (double mb : s.vm_mem) EXPECT_GT(mb, 0.0);  // base footprint
+  // Worker 0 cached the read; worker 1 did not.
+  EXPECT_GT(s.vm_mem[0], s.vm_mem[1]);
+
+  auto report = TraceAnalyser::analyse(mon);
+  EXPECT_GT(report.avg_vm_mem, 0.0);
+  EXPECT_GE(report.peak_vm_mem, report.avg_vm_mem);
+
+  // The CSV grows a memory column per VM.
+  EXPECT_NE(mon.to_csv().find("worker0.mem_mb"), std::string::npos);
+}
+
+TEST(Analyser, ReportsPercentiles) {
+  auto c = SimCluster::make(2, false);
+  NmonMonitor mon(*c->cloud, *c->fabric, c->workers, 1.0);
+  mon.start();
+  c->cloud->run_compute(c->workers[0], 3.0, nullptr);
+  c->engine.run_until(c->engine.now() + 8.0);
+  mon.stop();
+  c->engine.run();
+  auto report = TraceAnalyser::analyse(mon);
+  // Percentiles are ordered and bounded by utilization limits.
+  EXPECT_LE(report.p50_vm_cpu, report.p95_vm_cpu);
+  EXPECT_LE(report.p50_nfs_disk, report.p95_nfs_disk);
+  EXPECT_GE(report.p95_vm_cpu, 0.0);
+  EXPECT_LE(report.p95_vm_cpu, 1.05);
+  // Worker 0 was busy for ~3 of ~8 sampled seconds: p95 sees the busy
+  // tail, p50 the idle majority.
+  EXPECT_GT(report.p95_vm_cpu, report.p50_vm_cpu);
 }
 
 TEST(Analyser, EmptyTraceIsSafe) {

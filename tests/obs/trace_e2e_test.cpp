@@ -1,0 +1,154 @@
+// End-to-end observability check: run a real simulated job on the full
+// platform with tracing enabled, then validate the exported Chrome trace
+// and metrics snapshot by parsing them back.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/platform.hpp"
+#include "testutil/mini_json.hpp"
+
+namespace vhadoop::core {
+namespace {
+
+using testutil::JsonParser;
+using testutil::JsonValue;
+
+/// A small wordcount-shaped job whose maps read real HDFS blocks (so the
+/// hdfs.* counters tick too).
+mapreduce::SimJobSpec small_job(Platform& p) {
+  if (!p.hdfs().exists("/in/e2e")) p.upload("/in/e2e", 48 * sim::kMiB);
+  mapreduce::SimJobSpec job;
+  job.name = "wc-e2e";
+  job.output_path = "/out/wc-e2e";
+  const int blocks = static_cast<int>(p.hdfs().blocks("/in/e2e").size());
+  for (int m = 0; m < 6; ++m) {
+    job.maps.push_back({.input_path = "/in/e2e", .block_index = m % blocks,
+                        .cpu_seconds = 2.0, .output_bytes = 4 * sim::kMiB});
+  }
+  for (int r = 0; r < 2; ++r) {
+    job.reduces.push_back({.cpu_seconds = 1.5, .output_bytes = 2 * sim::kMiB});
+  }
+  return job;
+}
+
+TEST(TraceE2E, JobProducesValidChromeTrace) {
+  Platform p;
+  p.enable_tracing();
+  p.boot_cluster({.num_workers = 4});
+  auto timeline = p.run_job(small_job(p));
+  EXPECT_GT(timeline.elapsed(), 0.0);
+  // Every task attempt released its slot: no span left open.
+  EXPECT_EQ(p.tracer().open_span_count(), 0u);
+
+  JsonValue root = JsonParser::parse(p.tracer().to_chrome_json());
+  const JsonValue& ev = root.at("traceEvents");
+  ASSERT_TRUE(ev.is_array());
+  ASSERT_FALSE(ev.array.empty());
+
+  std::set<int> named_pids;
+  std::map<std::pair<int, int>, int> depth;
+  double last_ts = -1.0;
+  int begins = 0, ends = 0;
+  for (const JsonValue& e : ev.array) {
+    const std::string ph = e.at("ph").str;
+    const int pid = static_cast<int>(e.at("pid").number);
+    if (ph == "M") {
+      if (e.at("name").str == "process_name") named_pids.insert(pid);
+      continue;
+    }
+    // Non-metadata events come out sorted by timestamp.
+    const double ts = e.at("ts").number;
+    EXPECT_GE(ts, last_ts);
+    last_ts = ts;
+    auto key = std::make_pair(pid, static_cast<int>(e.at("tid").number));
+    if (ph == "B") {
+      ++begins;
+      ++depth[key];
+    } else if (ph == "E") {
+      ++ends;
+      --depth[key];
+      ASSERT_GE(depth[key], 0) << "unmatched E on pid=" << key.first
+                               << " tid=" << key.second;
+    }
+  }
+  EXPECT_GT(begins, 0);
+  EXPECT_EQ(begins, ends);
+  for (const auto& [lane, d] : depth) EXPECT_EQ(d, 0);
+
+  // One process row per VM (namenode + 4 workers) plus the platform lane.
+  EXPECT_TRUE(named_pids.count(static_cast<int>(p.namenode())));
+  for (virt::VmId vm : p.workers()) {
+    EXPECT_TRUE(named_pids.count(static_cast<int>(vm)));
+  }
+  EXPECT_TRUE(named_pids.count(Platform::kPlatformPid));
+
+  // Map attempts show up as spans on the worker lanes.
+  bool saw_map_span = false;
+  for (const JsonValue& e : ev.array) {
+    if (e.at("ph").str == "B" && e.at("name").str.rfind("map-", 0) == 0) {
+      saw_map_span = true;
+    }
+  }
+  EXPECT_TRUE(saw_map_span);
+}
+
+TEST(TraceE2E, MetricsSnapshotHasNonZeroModuleCounters) {
+  Platform p;
+  p.boot_cluster({.num_workers = 4});
+  p.run_job(small_job(p));
+
+  JsonValue root = JsonParser::parse(p.metrics().to_json());
+  const JsonValue& c = root.at("counters");
+  for (const char* name :
+       {"sim.events_scheduled", "sim.events_fired", "net.flows_started",
+        "net.bytes_requested", "hdfs.blocks_read", "hdfs.bytes_written",
+        "virt.vms_booted", "mr.map_attempts", "mr.reduce_attempts",
+        "mr.heartbeats", "mr.jobs_completed"}) {
+    ASSERT_TRUE(c.has(name)) << name;
+    EXPECT_GT(c.at(name).number, 0.0) << name;
+  }
+  EXPECT_DOUBLE_EQ(c.at("virt.vms_booted").number, 5.0);
+  EXPECT_DOUBLE_EQ(c.at("mr.jobs_completed").number, 1.0);
+
+  // Task-duration histograms observed one sample per attempt.
+  const JsonValue& h = root.at("histograms");
+  ASSERT_TRUE(h.has("mr.map_seconds"));
+  EXPECT_GE(h.at("mr.map_seconds").at("count").number, 6.0);
+  EXPECT_GE(h.at("mr.reduce_seconds").at("count").number, 2.0);
+  EXPECT_GT(h.at("mr.map_seconds").at("p50").number, 0.0);
+}
+
+TEST(TraceE2E, TracingDisabledRecordsNothing) {
+  Platform p;
+  p.boot_cluster({.num_workers = 2});
+  p.run_job(small_job(p));
+  EXPECT_TRUE(p.tracer().events().empty());
+  // Metrics are always on regardless of tracing.
+  ASSERT_NE(p.metrics().find_counter("mr.map_attempts"), nullptr);
+  EXPECT_GT(p.metrics().find_counter("mr.map_attempts")->value(), 0.0);
+}
+
+TEST(TraceE2E, TunerRecommendationsBecomeInstantEvents) {
+  Platform p;
+  p.enable_tracing();
+  p.boot_cluster({.num_workers = 4});
+  auto& mon = p.attach_monitor(1.0);
+  p.run_job(small_job(p));
+  mon.stop();
+  auto recs = p.tune();
+  int instants = 0;
+  for (const auto& e : p.tracer().events()) {
+    if (e.phase == obs::Tracer::Phase::Instant &&
+        e.pid == Platform::kPlatformPid) {
+      ++instants;
+    }
+  }
+  EXPECT_EQ(instants, static_cast<int>(recs.size()));
+}
+
+}  // namespace
+}  // namespace vhadoop::core

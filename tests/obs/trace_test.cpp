@@ -1,0 +1,173 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "testutil/mini_json.hpp"
+
+namespace vhadoop::obs {
+namespace {
+
+using testutil::JsonParser;
+using testutil::JsonValue;
+
+Tracer make_enabled(double* clock) {
+  Tracer t;
+  t.set_enabled(true);
+  t.set_clock([clock] { return *clock; });
+  return t;
+}
+
+TEST(Tracer, DisabledIsANoOp) {
+  Tracer t;  // disabled by default
+  t.begin(1, 0, "span");
+  t.instant(1, 0, "tick");
+  t.end(1, 0);
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_EQ(t.open_span_count(), 0u);
+}
+
+TEST(Tracer, SpansNestPerLane) {
+  double now = 0.0;
+  Tracer t = make_enabled(&now);
+  t.begin(1, 0, "outer");
+  now = 1.0;
+  t.begin(1, 0, "inner");
+  t.begin(2, 0, "other-lane");
+  EXPECT_EQ(t.open_depth(1, 0), 2);
+  EXPECT_EQ(t.open_depth(2, 0), 1);
+  EXPECT_EQ(t.open_span_count(), 3u);
+
+  now = 2.0;
+  t.end(1, 0);  // closes "inner", not "outer"
+  EXPECT_EQ(t.open_depth(1, 0), 1);
+  ASSERT_EQ(t.events().size(), 4u);
+  const Tracer::Event& e = t.events().back();
+  EXPECT_EQ(e.phase, Tracer::Phase::End);
+  EXPECT_EQ(e.name, "inner");
+  EXPECT_DOUBLE_EQ(e.ts, 2.0);
+}
+
+TEST(Tracer, EndOnEmptyLaneIsIgnored) {
+  double now = 0.0;
+  Tracer t = make_enabled(&now);
+  t.end(5, 5);  // nothing open
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(Tracer, EndAllDrainsOneLaneOnly) {
+  double now = 3.0;
+  Tracer t = make_enabled(&now);
+  t.begin(1, 0, "a");
+  t.begin(1, 0, "b");
+  t.begin(1, 1, "keep");
+  t.end_all(1, 0);
+  EXPECT_EQ(t.open_depth(1, 0), 0);
+  EXPECT_EQ(t.open_depth(1, 1), 1);
+  // LIFO close order: b then a.
+  ASSERT_EQ(t.events().size(), 5u);
+  EXPECT_EQ(t.events()[3].name, "b");
+  EXPECT_EQ(t.events()[4].name, "a");
+}
+
+TEST(Tracer, ChromeJsonBalancedAndOrdered) {
+  double now = 0.0;
+  Tracer t = make_enabled(&now);
+  t.set_process_name(1, "worker0");
+  t.set_thread_name(1, 0, "map-slot-0");
+  t.begin(1, 0, "map-0", "mr");
+  now = 1.5;
+  t.instant(1, 0, "spill");
+  now = 4.0;
+  t.end(1, 0);
+  t.begin(1, 0, "left-open");  // exporter must synthesize the close
+
+  JsonValue root = JsonParser::parse(t.to_chrome_json());
+  const JsonValue& ev = root.at("traceEvents");
+  ASSERT_TRUE(ev.is_array());
+
+  std::map<std::pair<int, int>, int> depth;
+  double last_ts = -1.0;
+  int metadata = 0;
+  for (const JsonValue& e : ev.array) {
+    const std::string ph = e.at("ph").str;
+    if (ph == "M") {
+      ++metadata;
+      continue;
+    }
+    const double ts = e.at("ts").number;
+    EXPECT_GE(ts, last_ts);  // sorted
+    last_ts = ts;
+    auto key = std::make_pair(static_cast<int>(e.at("pid").number),
+                              static_cast<int>(e.at("tid").number));
+    if (ph == "B") ++depth[key];
+    if (ph == "E") {
+      --depth[key];
+      EXPECT_GE(depth[key], 0);  // never more E than B
+    }
+    if (ph == "i") EXPECT_EQ(e.at("s").str, "t");
+  }
+  EXPECT_EQ(metadata, 2);  // process_name + thread_name rows
+  for (const auto& [lane, d] : depth) EXPECT_EQ(d, 0);  // balanced
+
+  // Timestamps are microseconds: the instant recorded at 1.5 s shows as 1.5e6.
+  bool found_instant = false;
+  for (const JsonValue& e : ev.array) {
+    if (e.at("ph").str == "i") {
+      EXPECT_DOUBLE_EQ(e.at("ts").number, 1.5e6);
+      found_instant = true;
+    }
+  }
+  EXPECT_TRUE(found_instant);
+  // Exporting is non-destructive: the span is still open in the tracer.
+  EXPECT_EQ(t.open_depth(1, 0), 1);
+}
+
+TEST(Tracer, CsvExportListsEventsInOrder) {
+  double now = 0.0;
+  Tracer t = make_enabled(&now);
+  t.begin(3, 1, "work", "cat");
+  now = 2.0;
+  t.end(3, 1);
+  std::istringstream csv(t.to_csv());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(csv, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "ts_seconds,phase,pid,tid,name,cat");
+  EXPECT_EQ(lines[1], "0,B,3,1,work,cat");
+  EXPECT_EQ(lines[2], "2,E,3,1,work,");
+}
+
+TEST(Tracer, ClearDropsEventsButKeepsLaneNames) {
+  double now = 0.0;
+  Tracer t = make_enabled(&now);
+  t.set_process_name(7, "vm7");
+  t.begin(7, 0, "x");
+  t.clear();
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_EQ(t.open_span_count(), 0u);
+  // Metadata survives: boot-time naming outlives per-run clears.
+  JsonValue root = JsonParser::parse(t.to_chrome_json());
+  ASSERT_EQ(root.at("traceEvents").array.size(), 1u);
+  EXPECT_EQ(root.at("traceEvents").at(0).at("args").at("name").str, "vm7");
+}
+
+TEST(ScopedSpan, BeginsAndEndsWithScope) {
+  double now = 1.0;
+  Tracer t = make_enabled(&now);
+  {
+    ScopedSpan s(t, 2, 3, "scoped", "test");
+    EXPECT_EQ(t.open_depth(2, 3), 1);
+    now = 6.0;
+  }
+  EXPECT_EQ(t.open_depth(2, 3), 0);
+  ASSERT_EQ(t.events().size(), 2u);
+  EXPECT_DOUBLE_EQ(t.events()[1].ts, 6.0);
+}
+
+}  // namespace
+}  // namespace vhadoop::obs
