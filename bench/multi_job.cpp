@@ -1,0 +1,151 @@
+// Multi-tenant scheduling bench: a mixed job stream (one long TeraSort, a
+// train of short Wordcount jobs, and a sequential k-means iteration chain)
+// submitted together, replayed under each scheduler policy.
+//
+// Under FIFO every short job queues behind the long sort, so the p95 job
+// latency tracks the sort's runtime; Fair and Capacity interleave the
+// stream and collapse short-job latency while barely moving the makespan.
+//
+// Prints one row per policy and writes BENCH_multi_job.json.
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "workloads/terasort.hpp"
+
+using namespace vhadoop;
+
+namespace {
+
+// Short synthetic Wordcount: maps scan corpus blocks, tiny shuffle.
+mapreduce::SimJobSpec short_wordcount(int idx, const hdfs::HdfsCluster& hdfs) {
+  mapreduce::SimJobSpec spec;
+  spec.name = "wordcount-" + std::to_string(idx);
+  spec.queue = "adhoc";
+  const int blocks = static_cast<int>(hdfs.blocks("/in/corpus").size());
+  for (int b = 0; b < blocks; ++b) {
+    spec.maps.push_back({"/in/corpus", b, 0.0, 0.4, 2 * sim::kMiB});
+  }
+  spec.reduces.assign(2, {0.3, sim::kMiB});
+  spec.output_path = "/out/wc-" + std::to_string(idx);
+  return spec;
+}
+
+// One k-means iteration: maps assign points to centroids (CPU-heavy over
+// the dataset), a single reduce recomputes the tiny centroid table.
+mapreduce::SimJobSpec kmeans_iteration(int iter, const hdfs::HdfsCluster& hdfs) {
+  mapreduce::SimJobSpec spec;
+  spec.name = "kmeans-it" + std::to_string(iter);
+  spec.queue = "adhoc";
+  const int blocks = static_cast<int>(hdfs.blocks("/in/points").size());
+  for (int b = 0; b < blocks; ++b) {
+    spec.maps.push_back({"/in/points", b, 0.0, 0.8, 0.1 * sim::kMiB});
+  }
+  spec.reduces.assign(1, {0.2, 0.1 * sim::kMiB});
+  spec.output_path = "/out/kmeans-it" + std::to_string(iter);
+  return spec;
+}
+
+struct PolicyResult {
+  double makespan = 0.0;
+  std::vector<double> latencies;  ///< per-job submit-to-finish seconds
+  std::vector<double> queue_waits;
+
+  double p95() const {
+    auto sorted = latencies;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t idx = static_cast<std::size_t>(
+        std::ceil(0.95 * static_cast<double>(sorted.size()))) - 1;
+    return sorted[std::min(idx, sorted.size() - 1)];
+  }
+  double mean_wait() const {
+    double s = 0.0;
+    for (double w : queue_waits) s += w;
+    return queue_waits.empty() ? 0.0 : s / static_cast<double>(queue_waits.size());
+  }
+};
+
+PolicyResult run_policy(mapreduce::SchedulerPolicy policy) {
+  core::ClusterSpec spec = bench::paper_cluster(core::Placement::Normal);
+  spec.hadoop.scheduler = policy;
+  if (policy == mapreduce::SchedulerPolicy::Capacity) {
+    spec.hadoop.queues = {{"prod", 0.6, 1.0, 1.0}, {"adhoc", 0.4, 0.8, 1.0}};
+  }
+  core::Platform platform;
+  platform.boot_cluster(spec);
+
+  // Stage inputs: sort input, wordcount corpus, k-means points.
+  workloads::TeraSort ts{.total_bytes = 512 * sim::kMiB, .num_reduces = 4};
+  platform.run_job(ts.sim_teragen("/t/in"));
+  platform.upload("/in/corpus", 128 * sim::kMiB);
+  platform.upload("/in/points", 128 * sim::kMiB);
+
+  PolicyResult result;
+  const double t0 = platform.engine().now();
+  auto record = [&result](const mapreduce::JobTimeline& t) {
+    result.latencies.push_back(t.elapsed());
+    result.queue_waits.push_back(t.queue_wait());
+  };
+
+  // The long job goes in first; everything else queues behind it under FIFO.
+  auto long_sort = ts.sim_terasort("/t/in", "/t/out");
+  long_sort.queue = "prod";
+  platform.submit_job(std::move(long_sort), record);
+  for (int k = 0; k < 3; ++k) {
+    platform.submit_job(short_wordcount(k, platform.hdfs()), record);
+  }
+  // k-means iterations are sequential: each one is submitted when the
+  // previous finishes, like the Mahout driver loop.
+  std::function<void(int)> submit_iter = [&](int iter) {
+    platform.submit_job(kmeans_iteration(iter, platform.hdfs()),
+                        [&, iter](const mapreduce::JobTimeline& t) {
+                          record(t);
+                          if (iter + 1 < 3) submit_iter(iter + 1);
+                        });
+  };
+  submit_iter(0);
+
+  platform.engine().run();
+  result.makespan = platform.engine().now() - t0;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const std::pair<mapreduce::SchedulerPolicy, const char*> policies[] = {
+      {mapreduce::SchedulerPolicy::Fifo, "fifo"},
+      {mapreduce::SchedulerPolicy::Fair, "fair"},
+      {mapreduce::SchedulerPolicy::Capacity, "capacity"},
+  };
+
+  bench::BenchResults results("multi_job");
+  std::printf("%-10s %8s %12s %12s %12s\n", "scheduler", "jobs", "makespan(s)",
+              "p95-lat(s)", "mean-wait(s)");
+  double fifo_p95 = 0.0, fair_p95 = 0.0;
+  for (const auto& [policy, name] : policies) {
+    const PolicyResult r = run_policy(policy);
+    if (policy == mapreduce::SchedulerPolicy::Fifo) fifo_p95 = r.p95();
+    if (policy == mapreduce::SchedulerPolicy::Fair) fair_p95 = r.p95();
+    std::printf("%-10s %8zu %12.1f %12.1f %12.1f\n", name, r.latencies.size(), r.makespan,
+                r.p95(), r.mean_wait());
+    results.row()
+        .col("scheduler", name)
+        .col("jobs", static_cast<double>(r.latencies.size()))
+        .col("makespan_s", r.makespan)
+        .col("p95_latency_s", r.p95())
+        .col("mean_queue_wait_s", r.mean_wait());
+  }
+  results.write();
+
+  if (fair_p95 >= fifo_p95) {
+    std::fprintf(stderr,
+                 "multi_job: expected fair p95 (%.1f) below fifo p95 (%.1f)\n",
+                 fair_p95, fifo_p95);
+    return 1;
+  }
+  return 0;
+}

@@ -2,9 +2,14 @@
 // point for quick experiments against the simulated testbed.
 //
 //   vhadoop_cli <workload> [--cross] [--workers N] [--mb SIZE]
+//               [--scheduler=fifo|fair|capacity]
 //               [--metrics-out=FILE] [--trace-out=FILE]
 //
-// workloads: wordcount | terasort | dfsio | mrbench | pi
+// workloads: wordcount | terasort | dfsio | mrbench | pi | multi
+//
+// --scheduler selects the JobTracker scheduling policy (default fifo); the
+// `multi` workload submits a mixed job stream (one long sort behind a train
+// of short jobs) so the policies can be compared head-to-head.
 //
 // --metrics-out writes the platform metrics registry as JSON after the run;
 // --trace-out enables timeline tracing and writes a Chrome trace-event file
@@ -15,11 +20,15 @@
 //   vhadoop_cli wordcount --workers 7 --mb 64
 //   vhadoop_cli wordcount --trace-out=trace.json --metrics-out=metrics.json
 //   vhadoop_cli pi
+//   vhadoop_cli multi --scheduler=fair
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/platform.hpp"
 #include "mapreduce/local_runner.hpp"
@@ -41,12 +50,13 @@ struct Options {
   double mb = 128.0;
   std::string metrics_out;
   std::string trace_out;
+  std::string scheduler = "fifo";
 };
 
 int usage() {
   std::fprintf(stderr,
-               "usage: vhadoop_cli <wordcount|terasort|dfsio|mrbench|pi> "
-               "[--cross] [--workers N] [--mb SIZE] "
+               "usage: vhadoop_cli <wordcount|terasort|dfsio|mrbench|pi|multi> "
+               "[--cross] [--workers N] [--mb SIZE] [--scheduler=fifo|fair|capacity] "
                "[--metrics-out=FILE] [--trace-out=FILE]\n");
   return 2;
 }
@@ -67,6 +77,8 @@ Options parse(int argc, char** argv) {
       opt.metrics_out = arg.substr(14);
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       opt.trace_out = arg.substr(12);
+    } else if (arg.rfind("--scheduler=", 0) == 0) {
+      opt.scheduler = arg.substr(12);
     }
   }
   return opt;
@@ -88,14 +100,27 @@ int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
   if (opt.workload.empty()) return usage();
 
+  const auto policy = mapreduce::scheduler_policy_from_string(opt.scheduler);
+  if (!policy) {
+    std::fprintf(stderr, "vhadoop_cli: unknown scheduler '%s' (fifo|fair|capacity)\n",
+                 opt.scheduler.c_str());
+    return 2;
+  }
+
   core::Platform platform;
   if (!opt.trace_out.empty()) platform.enable_tracing();
   core::ClusterSpec spec;
   spec.num_workers = opt.workers;
   spec.placement = opt.cross ? core::Placement::CrossDomain : core::Placement::Normal;
+  spec.hadoop.scheduler = *policy;
+  if (*policy == mapreduce::SchedulerPolicy::Capacity) {
+    // Two demo queues: production owns 70% of the slots, adhoc the rest.
+    spec.hadoop.queues = {{"prod", 0.7, 1.0, 1.0}, {"adhoc", 0.3, 0.5, 1.0}};
+  }
   platform.boot_cluster(spec);
-  std::printf("cluster: %d workers, %s placement (boot %.0f s simulated)\n", opt.workers,
-              opt.cross ? "cross-domain" : "normal", platform.engine().now());
+  std::printf("cluster: %d workers, %s placement, %s scheduler (boot %.0f s simulated)\n",
+              opt.workers, opt.cross ? "cross-domain" : "normal",
+              platform.runner().scheduler_name(), platform.engine().now());
 
   if (opt.workload == "wordcount") {
     workloads::TextCorpus corpus(20000);
@@ -136,6 +161,37 @@ int main(int argc, char** argv) {
     auto t = platform.run_job(pi.sim_job("/out/pi"));
     std::printf("pi: estimate %.5f (%lld samples), cluster time %.1f s\n", real.pi,
                 static_cast<long long>(real.total), t.elapsed());
+  } else if (opt.workload == "multi") {
+    // One long sort monopolizes the cluster under FIFO; a train of short
+    // jobs queues behind it. Fair/Capacity interleave them instead.
+    workloads::TeraSort ts{.total_bytes = opt.mb * 4 * sim::kMiB, .num_reduces = 4};
+    platform.run_job(ts.sim_teragen("/multi/in"));
+    const double t0 = platform.engine().now();
+    std::vector<std::pair<std::string, double>> latency;
+    auto record = [&latency, t0](const std::string& name) {
+      return [&latency, name, t0](const mapreduce::JobTimeline& t) {
+        latency.emplace_back(name, t.finished - t0);
+      };
+    };
+    auto long_job = ts.sim_terasort("/multi/in", "/multi/out");
+    long_job.queue = "prod";
+    platform.submit_job(std::move(long_job), record("long-sort"));
+    for (int k = 0; k < 4; ++k) {
+      workloads::MrBench bench{.num_maps = 4, .num_reduces = 1};
+      auto job = bench.sim_job("/multi/short-" + std::to_string(k));
+      job.name = "short-" + std::to_string(k);
+      job.queue = "adhoc";
+      auto done = record(job.name);
+      platform.submit_job(std::move(job), std::move(done));
+    }
+    platform.engine().run();
+    double makespan = 0.0;
+    for (const auto& [name, secs] : latency) {
+      std::printf("  %-10s finished after %.1f s\n", name.c_str(), secs);
+      makespan = std::max(makespan, secs);
+    }
+    std::printf("multi (%s): %zu jobs, makespan %.1f s\n",
+                platform.runner().scheduler_name(), latency.size(), makespan);
   } else {
     return usage();
   }

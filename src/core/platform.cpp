@@ -113,6 +113,12 @@ mapreduce::JobTimeline Platform::run_job(mapreduce::SimJobSpec spec) {
   return timeline;
 }
 
+void Platform::submit_job(mapreduce::SimJobSpec spec,
+                          std::function<void(const mapreduce::JobTimeline&)> on_done) {
+  if (!runner_) throw std::runtime_error("Platform: boot a cluster first");
+  runner_->submit(std::move(spec), std::move(on_done));
+}
+
 mapreduce::JobTimeline Platform::run_measured(const std::string& name,
                                               const mapreduce::JobResult& measured,
                                               const std::string& input_path,

@@ -71,6 +71,12 @@ class Platform {
   /// Steps 5-8: run one simulated job to completion.
   mapreduce::JobTimeline run_job(mapreduce::SimJobSpec spec);
 
+  /// Enqueue a job without driving the engine: lets callers stage several
+  /// concurrent jobs (multi-tenant workloads under the Fair/Capacity
+  /// schedulers) and then run the engine themselves.
+  void submit_job(mapreduce::SimJobSpec spec,
+                  std::function<void(const mapreduce::JobTimeline&)> on_done);
+
   /// Run a *measured* logical job (LocalJobRunner output) on the virtual
   /// cluster: the bridge maps real task profiles onto simulated tasks.
   /// `input_path` must exist in HDFS; map block indices are folded onto

@@ -1,8 +1,31 @@
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "sim/time.hpp"
 
 namespace vhadoop::mapreduce {
+
+/// Which job scheduler the simulated JobTracker loads (the 0.20-era
+/// mapred.jobtracker.taskScheduler pluggability point).
+enum class SchedulerPolicy {
+  Fifo,      ///< strict submit order, one job served at a time (era default)
+  Fair,      ///< equal slot shares across runnable jobs + delay scheduling
+  Capacity,  ///< named queues with guaranteed/max slot fractions, user limits
+};
+
+/// One Capacity-scheduler queue (mapred-queues.xml entry).
+struct QueueConfig {
+  std::string name = "default";
+  /// Guaranteed fraction of the cluster's slots of each kind.
+  double capacity = 1.0;
+  /// Elastic ceiling: the queue may borrow idle slots up to this fraction.
+  double max_capacity = 1.0;
+  /// Largest fraction of the queue's ceiling one user may hold
+  /// (minimum-user-limit-percent, simplified to a hard per-user cap).
+  double user_limit = 1.0;
+};
 
 /// MapReduce-layer knobs of the Hadoop Module (paper Sec. II-B), with the
 /// Hadoop-0.20-era defaults a 1-VCPU/1-GB worker would carry.
@@ -46,6 +69,16 @@ struct HadoopConfig {
   /// killed and re-executed (catches tasks wedged on I/O against a dead
   /// node). Reduce progress is refreshed by every shuffle arrival.
   double task_timeout_seconds = 240.0;
+  /// Which scheduler the JobTracker runs. FIFO reproduces the seed
+  /// behaviour exactly; Fair and Capacity allow concurrent jobs.
+  SchedulerPolicy scheduler = SchedulerPolicy::Fifo;
+  /// Fair-scheduler delay scheduling: how long a job may be skipped while
+  /// waiting for a slot on a node holding one of its input blocks before it
+  /// accepts a non-local slot (Zaharia et al., EuroSys'10).
+  double locality_delay_seconds = 6.0;
+  /// Capacity-scheduler queues. Empty = a single "default" queue owning the
+  /// whole cluster; jobs naming an unknown queue fall into the first one.
+  std::vector<QueueConfig> queues;
 };
 
 }  // namespace vhadoop::mapreduce

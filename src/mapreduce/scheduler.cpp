@@ -1,0 +1,118 @@
+#include "mapreduce/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vhadoop::mapreduce {
+
+std::size_t FifoScheduler::pick(const std::vector<JobSchedView>& views, SlotKind,
+                                int) const {
+  // Strict head-of-line service: only the oldest unfinished job may run, even
+  // when it has no schedulable work of this kind right now.
+  if (views.empty() || views.front().pending == 0) return kNone;
+  return 0;
+}
+
+std::size_t FairScheduler::pick(const std::vector<JobSchedView>& views, SlotKind kind,
+                                int) const {
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    if (views[i].pending > 0) order.push_back(i);
+  }
+  if (order.empty()) return kNone;
+  // Most slot-deficient job first; submission order breaks ties, so equal
+  // claimants are served round-robin-ish rather than by vector accident.
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (views[a].running != views[b].running) return views[a].running < views[b].running;
+    return views[a].submit_index < views[b].submit_index;
+  });
+  if (kind == SlotKind::Reduce) return order.front();
+  for (std::size_t i : order) {
+    if (views[i].local_available || views[i].locality_wait >= locality_delay_) return i;
+  }
+  return kNone;  // everyone is still inside their locality-delay window
+}
+
+CapacityScheduler::CapacityScheduler(std::vector<QueueConfig> queues)
+    : queues_(std::move(queues)) {
+  if (queues_.empty()) queues_.push_back({});
+}
+
+std::size_t CapacityScheduler::queue_index(const std::string& name) const {
+  for (std::size_t q = 0; q < queues_.size(); ++q) {
+    if (queues_[q].name == name) return q;
+  }
+  return 0;
+}
+
+std::size_t CapacityScheduler::pick(const std::vector<JobSchedView>& views, SlotKind,
+                                    int total_slots) const {
+  const std::size_t nq = queues_.size();
+  std::vector<int> q_running(nq, 0);
+  std::vector<bool> q_has_pending(nq, false);
+  for (const JobSchedView& v : views) {
+    const std::size_t q = queue_index(v.queue);
+    q_running[q] += v.running;
+    if (v.pending > 0) q_has_pending[q] = true;
+  }
+
+  std::vector<std::size_t> qorder;
+  for (std::size_t q = 0; q < nq; ++q) {
+    if (!q_has_pending[q]) continue;
+    if (q_running[q] >= queues_[q].max_capacity * total_slots) continue;  // at ceiling
+    qorder.push_back(q);
+  }
+  // Most underserved relative to its guarantee first; configuration order
+  // breaks ties so the choice is deterministic.
+  std::stable_sort(qorder.begin(), qorder.end(), [&](std::size_t a, std::size_t b) {
+    const double ra = q_running[a] / std::max(queues_[a].capacity, 1e-9);
+    const double rb = q_running[b] / std::max(queues_[b].capacity, 1e-9);
+    return ra < rb;
+  });
+
+  for (std::size_t q : qorder) {
+    const double user_cap =
+        std::max(1.0, queues_[q].user_limit * queues_[q].max_capacity * total_slots);
+    for (std::size_t i = 0; i < views.size(); ++i) {  // views are in FIFO order
+      const JobSchedView& v = views[i];
+      if (v.pending == 0 || queue_index(v.queue) != q) continue;
+      int user_running = 0;
+      for (const JobSchedView& w : views) {
+        if (queue_index(w.queue) == q && w.user == v.user) user_running += w.running;
+      }
+      if (user_running >= user_cap) continue;
+      return i;
+    }
+  }
+  return kNone;
+}
+
+std::unique_ptr<Scheduler> make_scheduler(const HadoopConfig& config) {
+  switch (config.scheduler) {
+    case SchedulerPolicy::Fair:
+      return std::make_unique<FairScheduler>(config.locality_delay_seconds);
+    case SchedulerPolicy::Capacity:
+      return std::make_unique<CapacityScheduler>(config.queues);
+    case SchedulerPolicy::Fifo:
+      break;
+  }
+  return std::make_unique<FifoScheduler>();
+}
+
+const char* to_string(SchedulerPolicy policy) {
+  switch (policy) {
+    case SchedulerPolicy::Fair: return "fair";
+    case SchedulerPolicy::Capacity: return "capacity";
+    case SchedulerPolicy::Fifo: break;
+  }
+  return "fifo";
+}
+
+std::optional<SchedulerPolicy> scheduler_policy_from_string(const std::string& s) {
+  if (s == "fifo") return SchedulerPolicy::Fifo;
+  if (s == "fair") return SchedulerPolicy::Fair;
+  if (s == "capacity") return SchedulerPolicy::Capacity;
+  return std::nullopt;
+}
+
+}  // namespace vhadoop::mapreduce

@@ -13,6 +13,11 @@ namespace vhadoop::mapreduce {
 /// real logical run (the ML algorithms).
 struct SimJobSpec {
   std::string name = "job";
+  /// Capacity-scheduler queue this job is submitted to (ignored by FIFO and
+  /// Fair). Unknown names fall into the first configured queue.
+  std::string queue = "default";
+  /// Submitting user, for the Capacity scheduler's per-user limits.
+  std::string user = "user";
 
   struct MapTask {
     /// HDFS input: path+block (locality-schedulable). Empty path = the task
@@ -62,12 +67,25 @@ struct TaskTiming {
 struct JobTimeline {
   std::string name;
   sim::SimTime submitted = 0.0;
+  /// When the scheduler granted the job its first task slot (equals
+  /// `submitted` plus the queue wait; 0 for a job that never ran).
+  sim::SimTime first_task_at = 0.0;
   sim::SimTime finished = 0.0;
   /// True when the job was aborted (e.g. every TaskTracker died).
   bool failed = false;
   std::vector<TaskTiming> maps;
   std::vector<TaskTiming> reduces;
+  /// Map-output bytes the reducers actually fetched (each (map, reduce)
+  /// partition counted once — re-fetches after a reduce restart included).
+  double shuffle_fetched_bytes = 0.0;
   double elapsed() const { return finished - submitted; }
+  double queue_wait() const { return first_task_at - submitted; }
+  /// Execution wall-clock: first task slot to completion. Unlike elapsed()
+  /// this excludes time spent queued behind other jobs, so throughput
+  /// tools (DFSIO) report the I/O rate, not the scheduler backlog.
+  double run_seconds() const {
+    return finished - (first_task_at > 0.0 ? first_task_at : submitted);
+  }
   int data_local_maps() const {
     int n = 0;
     for (const auto& t : maps) n += t.data_local;

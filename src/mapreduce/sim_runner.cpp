@@ -12,6 +12,7 @@ SimulatedJobRunner::SimulatedJobRunner(virt::Cloud& cloud, hdfs::HdfsCluster& hd
     : cloud_(cloud),
       hdfs_(hdfs),
       config_(config),
+      scheduler_(make_scheduler(config_)),
       workers_(std::move(workers)),
       m_map_attempts_(cloud.engine().metrics().counter("mr.map_attempts")),
       m_reduce_attempts_(cloud.engine().metrics().counter("mr.reduce_attempts")),
@@ -22,10 +23,17 @@ SimulatedJobRunner::SimulatedJobRunner(virt::Cloud& cloud, hdfs::HdfsCluster& hd
       m_jobs_completed_(cloud.engine().metrics().counter("mr.jobs_completed")),
       m_jobs_failed_(cloud.engine().metrics().counter("mr.jobs_failed")),
       m_shuffle_bytes_(cloud.engine().metrics().counter("mr.shuffle_bytes")),
+      g_jobs_running_(cloud.engine().metrics().gauge("mr.jobs_running")),
       h_map_seconds_(cloud.engine().metrics().histogram(
           "mr.map_seconds", obs::Histogram::exponential_buckets(1.0, 2.0, 12))),
       h_reduce_seconds_(cloud.engine().metrics().histogram(
-          "mr.reduce_seconds", obs::Histogram::exponential_buckets(1.0, 2.0, 12))) {
+          "mr.reduce_seconds", obs::Histogram::exponential_buckets(1.0, 2.0, 12))),
+      h_job_seconds_(cloud.engine().metrics().histogram(
+          "mr.job_seconds", obs::Histogram::exponential_buckets(4.0, 2.0, 14))),
+      h_queue_wait_seconds_(cloud.engine().metrics().histogram(
+          "mr.job_queue_wait_seconds", obs::Histogram::exponential_buckets(0.5, 2.0, 14))),
+      h_map_slot_share_(cloud.engine().metrics().histogram(
+          "mr.map_slot_share", obs::Histogram::linear_buckets(1.0, 10))) {
   if (workers_.empty()) throw std::invalid_argument("SimulatedJobRunner: no workers");
   trackers_.reserve(workers_.size());
   for (virt::VmId vm : workers_) {
@@ -35,6 +43,7 @@ SimulatedJobRunner::SimulatedJobRunner(virt::Cloud& cloud, hdfs::HdfsCluster& hd
     trackers_.back().reduce_slot_busy.assign(config_.reduce_slots_per_worker, false);
   }
   heartbeat_events_.resize(trackers_.size());
+  tracer().set_process_name(kJobTrackerPid, "jobtracker");
   cloud_.on_crash([this](virt::VmId vm) { on_vm_crash(vm); });
 }
 
@@ -60,6 +69,10 @@ void SimulatedJobRunner::release_slot(std::size_t tracker_idx, int tid) {
     if (k < tr.reduce_slot_busy.size()) tr.reduce_slot_busy[k] = false;
   }
   tracer().end_all(static_cast<int>(tr.vm), tid);
+}
+
+obs::Counter* SimulatedJobRunner::queue_counter(const ActiveJob& job, const char* what) {
+  return cloud_.engine().metrics().counter("mr.queue." + job.spec.queue + "." + what);
 }
 
 SimulatedJobRunner::~SimulatedJobRunner() {
@@ -89,7 +102,7 @@ void SimulatedJobRunner::add_tracker(virt::VmId vm) {
   trackers_.back().map_slot_busy.assign(config_.map_slots_per_worker, false);
   trackers_.back().reduce_slot_busy.assign(config_.reduce_slots_per_worker, false);
   heartbeat_events_.push_back({});
-  if (active_ || !queue_.empty()) start_heartbeats();
+  if (!jobs_.empty()) start_heartbeats();
 }
 
 int SimulatedJobRunner::running_tasks(virt::VmId vm) const {
@@ -97,6 +110,20 @@ int SimulatedJobRunner::running_tasks(virt::VmId vm) const {
     if (t.vm == vm) return t.running;
   }
   return 0;
+}
+
+SimulatedJobRunner::ActiveJob* SimulatedJobRunner::find_job(std::uint64_t id) {
+  for (auto& job : jobs_) {
+    if (job->id == id) return job.get();
+  }
+  return nullptr;
+}
+
+void SimulatedJobRunner::erase_job(std::uint64_t id) {
+  jobs_.erase(std::remove_if(jobs_.begin(), jobs_.end(),
+                             [id](const std::unique_ptr<ActiveJob>& j) { return j->id == id; }),
+              jobs_.end());
+  g_jobs_running_->set(static_cast<double>(jobs_.size()));
 }
 
 void SimulatedJobRunner::submit(SimJobSpec spec, std::function<void(const JobTimeline&)> on_done) {
@@ -107,41 +134,40 @@ void SimulatedJobRunner::submit(SimJobSpec spec, std::function<void(const JobTim
       throw std::invalid_argument("SimJobSpec: shuffle matrix shape mismatch");
     }
   }
-  queue_.push_back({std::move(spec), std::move(on_done)});
-  if (!active_) start_next_job();
+  auto job = std::make_unique<ActiveJob>();
+  job->id = ++next_job_id_;
+  job->submit_index = submit_counter_++;
+  job->spec = std::move(spec);
+  job->on_done = std::move(on_done);
+  job->timeline.name = job->spec.name;
+  job->timeline.submitted = cloud_.engine().now();
+  job->timeline.maps.resize(job->spec.maps.size());
+  job->timeline.reduces.resize(job->spec.reduces.size());
+  job->maps.assign(job->spec.maps.size(), {});
+  job->reduces.assign(job->spec.reduces.size(), {});
+  for (auto& rs : job->reduces) rs.fetched.assign(job->spec.maps.size(), false);
+  for (std::size_t m = 0; m < job->spec.maps.size(); ++m) job->pending_maps.push_back(m);
+  if (tracer().enabled()) {
+    tracer().instant(kJobTrackerPid, 0, "submit:" + job->spec.name, "job");
+  }
+  jobs_.push_back(std::move(job));
+  g_jobs_running_->set(static_cast<double>(jobs_.size()));
   start_heartbeats();
 }
 
-void SimulatedJobRunner::start_next_job() {
-  if (queue_.empty()) return;
-  PendingJob pending = std::move(queue_.front());
-  queue_.pop_front();
-
-  active_ = std::make_unique<ActiveJob>();
-  active_->spec = std::move(pending.spec);
-  active_->on_done = std::move(pending.on_done);
-  active_->epoch = ++epoch_counter_;
-  active_->timeline.name = active_->spec.name;
-  active_->timeline.submitted = cloud_.engine().now();
-  active_->timeline.maps.resize(active_->spec.maps.size());
-  active_->timeline.reduces.resize(active_->spec.reduces.size());
-  active_->maps.assign(active_->spec.maps.size(), {});
-  active_->reduces.assign(active_->spec.reduces.size(), {});
-  for (auto& rs : active_->reduces) rs.fetched.assign(active_->spec.maps.size(), false);
-  for (std::size_t m = 0; m < active_->spec.maps.size(); ++m) active_->pending_maps.push_back(m);
-}
-
-std::function<void()> SimulatedJobRunner::map_guard(std::uint64_t epoch, std::size_t m,
-                                                    int attempt, std::function<void()> fn) {
-  return [this, epoch, m, attempt, fn = std::move(fn)] {
-    if (active_ && active_->epoch == epoch && active_->maps[m].attempt == attempt) fn();
+std::function<void()> SimulatedJobRunner::map_guard(std::uint64_t id, std::size_t m,
+                                                    int attempt, JobFn fn) {
+  return [this, id, m, attempt, fn = std::move(fn)] {
+    ActiveJob* job = find_job(id);
+    if (job && job->maps[m].attempt == attempt) fn(*job);
   };
 }
 
-std::function<void()> SimulatedJobRunner::reduce_guard(std::uint64_t epoch, std::size_t r,
-                                                       int attempt, std::function<void()> fn) {
-  return [this, epoch, r, attempt, fn = std::move(fn)] {
-    if (active_ && active_->epoch == epoch && active_->reduces[r].attempt == attempt) fn();
+std::function<void()> SimulatedJobRunner::reduce_guard(std::uint64_t id, std::size_t r,
+                                                       int attempt, JobFn fn) {
+  return [this, id, r, attempt, fn = std::move(fn)] {
+    ActiveJob* job = find_job(id);
+    if (job && job->reduces[r].attempt == attempt) fn(*job);
   };
 }
 
@@ -150,7 +176,7 @@ void SimulatedJobRunner::heartbeat(std::size_t i) {
     heartbeat_events_[i] = {};
     return;
   }
-  if (!active_ && queue_.empty()) {
+  if (jobs_.empty()) {
     // Idle: let this timer lapse so a finished simulation can drain its
     // event queue. submit() re-arms lapsed timers.
     heartbeat_events_[i] = {};
@@ -159,7 +185,6 @@ void SimulatedJobRunner::heartbeat(std::size_t i) {
   heartbeat_events_[i] =
       cloud_.engine().schedule_in(config_.heartbeat_seconds, [this, i] { heartbeat(i); });
   m_heartbeats_->inc();
-  if (!active_) return;
   // One map and one reduce may be handed out per heartbeat (0.20 protocol).
   maybe_assign_map(i);
   maybe_assign_reduce(i);
@@ -170,10 +195,86 @@ void SimulatedJobRunner::out_of_band_heartbeat(std::size_t i) {
   // Hadoop 0.20 TaskTrackers heartbeat immediately after a task completes
   // so freed slots refill without waiting out the period.
   cloud_.engine().schedule_in(0.1, [this, i] {
-    if (!active_ || !trackers_[i].alive) return;
+    if (jobs_.empty() || !trackers_[i].alive) return;
     maybe_assign_map(i);
     maybe_assign_reduce(i);
   });
+}
+
+std::size_t SimulatedJobRunner::schedulable_tasks(const ActiveJob& job, SlotKind kind) const {
+  if (kind == SlotKind::Map) return job.pending_maps.size();
+  std::size_t n = job.retry_reduces.size();
+  if (job.next_reduce < job.spec.reduces.size()) {
+    const double done_frac = job.spec.maps.empty()
+                                 ? 1.0
+                                 : static_cast<double>(job.maps_done) /
+                                       static_cast<double>(job.spec.maps.size());
+    // Reducers slow-start once enough maps have finished; a tiny threshold
+    // (the default) launches them immediately so shuffle overlaps the map
+    // waves, as Hadoop does.
+    if (!(config_.reduce_slowstart > 0.05 && done_frac < config_.reduce_slowstart)) {
+      n += job.spec.reduces.size() - job.next_reduce;
+    }
+  }
+  return n;
+}
+
+bool SimulatedJobRunner::job_has_local_map(const ActiveJob& job, virt::VmId vm) const {
+  for (std::size_t m : job.pending_maps) {
+    const auto& mt = job.spec.maps[m];
+    if (mt.input_path.empty()) return true;  // no locality to honour
+    if (hdfs_.is_local(
+            hdfs_.blocks(mt.input_path)[static_cast<std::size_t>(std::max(0, mt.block_index))],
+            vm)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int SimulatedJobRunner::total_live_slots(SlotKind kind) const {
+  int alive = 0;
+  for (const Tracker& t : trackers_) alive += t.alive ? 1 : 0;
+  return alive *
+         (kind == SlotKind::Map ? config_.map_slots_per_worker : config_.reduce_slots_per_worker);
+}
+
+std::size_t SimulatedJobRunner::pick_job(SlotKind kind, std::size_t tracker_idx) {
+  const bool locality = kind == SlotKind::Map && scheduler_->wants_locality();
+  const virt::VmId vm = trackers_[tracker_idx].vm;
+  const double now = cloud_.engine().now();
+  std::vector<JobSchedView> views;
+  views.reserve(jobs_.size());
+  for (auto& jp : jobs_) {
+    ActiveJob& job = *jp;
+    JobSchedView v;
+    v.id = job.id;
+    v.submit_index = job.submit_index;
+    v.queue = job.spec.queue;
+    v.user = job.spec.user;
+    v.running = kind == SlotKind::Map ? job.running_maps : job.running_reduces;
+    v.pending = schedulable_tasks(job, kind);
+    if (locality && v.pending > 0) {
+      v.local_available = job_has_local_map(job, vm);
+      if (v.local_available) {
+        job.locality_wait_since = -1.0;
+      } else {
+        // Delay scheduling: start (or continue) the clock on how long this
+        // job has been passed over for lack of a local block.
+        if (job.locality_wait_since < 0.0) job.locality_wait_since = now;
+        v.locality_wait = now - job.locality_wait_since;
+      }
+    }
+    views.push_back(std::move(v));
+  }
+  return scheduler_->pick(views, kind, total_live_slots(kind));
+}
+
+void SimulatedJobRunner::note_job_started(ActiveJob& job) {
+  if (job.started) return;
+  job.started = true;
+  job.timeline.first_task_at = cloud_.engine().now();
+  h_queue_wait_seconds_->observe(job.timeline.queue_wait());
 }
 
 void SimulatedJobRunner::maybe_assign_map(std::size_t i) {
@@ -181,16 +282,18 @@ void SimulatedJobRunner::maybe_assign_map(std::size_t i) {
   // A silently hung guest cannot answer the heartbeat RPC, so the
   // JobTracker never hands it work (its in-flight tasks die by timeout).
   if (!tr.alive || !cloud_.responsive(tr.vm) || tr.free_map_slots <= 0) return;
-  if (active_->pending_maps.empty()) {
+  const std::size_t j = pick_job(SlotKind::Map, i);
+  if (j == Scheduler::kNone) {
     maybe_speculate(i);
     return;
   }
+  ActiveJob& job = *jobs_[j];
 
   // Locality-aware pick: first pending map whose block has a replica on
   // this tracker's VM; otherwise the head of the queue.
   std::size_t chosen_pos = 0;
-  for (std::size_t pos = 0; pos < active_->pending_maps.size(); ++pos) {
-    const auto& mt = active_->spec.maps[active_->pending_maps[pos]];
+  for (std::size_t pos = 0; pos < job.pending_maps.size(); ++pos) {
+    const auto& mt = job.spec.maps[job.pending_maps[pos]];
     if (!mt.input_path.empty() &&
         hdfs_.is_local(
             hdfs_.blocks(mt.input_path)[static_cast<std::size_t>(std::max(0, mt.block_index))],
@@ -199,99 +302,97 @@ void SimulatedJobRunner::maybe_assign_map(std::size_t i) {
       break;
     }
   }
-  const std::size_t m = active_->pending_maps[chosen_pos];
-  active_->pending_maps.erase(active_->pending_maps.begin() +
-                              static_cast<std::ptrdiff_t>(chosen_pos));
+  const std::size_t m = job.pending_maps[chosen_pos];
+  job.pending_maps.erase(job.pending_maps.begin() + static_cast<std::ptrdiff_t>(chosen_pos));
   --tr.free_map_slots;
   ++tr.running;
-  active_->maps[m].tracker = i;
-  active_->maps[m].tid[0] = acquire_slot(tr.map_slot_busy, 0);
-  active_->timeline.maps[m].vm = tr.vm;
-  active_->timeline.maps[m].assigned = cloud_.engine().now();
-  arm_map_watchdog(m, i, active_->maps[m].attempt, 0);
-  run_map(m, i, active_->maps[m].attempt, active_->maps[m].tid[0]);
+  ++job.running_maps;
+  job.locality_wait_since = -1.0;  // granted a slot: the delay clock resets
+  h_map_slot_share_->observe(static_cast<double>(job.running_maps));
+  note_job_started(job);
+  job.maps[m].tracker = i;
+  job.maps[m].tid[0] = acquire_slot(tr.map_slot_busy, 0);
+  job.timeline.maps[m].vm = tr.vm;
+  job.timeline.maps[m].assigned = cloud_.engine().now();
+  arm_map_watchdog(job, m, i, job.maps[m].attempt, 0);
+  run_map(job, m, i, job.maps[m].attempt, job.maps[m].tid[0]);
 }
 
 void SimulatedJobRunner::maybe_speculate(std::size_t i) {
   if (!config_.speculative_execution) return;
-  if (active_->maps_done == 0) return;
+  for (auto& jp : jobs_) {
+    ActiveJob& job = *jp;
+    if (job.maps_done == 0) continue;
 
-  // Mean wall-clock of completed maps.
-  double mean = 0.0;
-  std::size_t n = 0;
-  for (std::size_t m = 0; m < active_->maps.size(); ++m) {
-    if (active_->maps[m].done) {
-      mean += active_->timeline.maps[m].finished - active_->timeline.maps[m].assigned;
-      ++n;
+    // Mean wall-clock of this job's completed maps.
+    double mean = 0.0;
+    std::size_t n = 0;
+    for (std::size_t m = 0; m < job.maps.size(); ++m) {
+      if (job.maps[m].done) {
+        mean += job.timeline.maps[m].finished - job.timeline.maps[m].assigned;
+        ++n;
+      }
     }
-  }
-  if (n == 0) return;
-  mean /= static_cast<double>(n);
+    if (n == 0) continue;
+    mean /= static_cast<double>(n);
 
-  for (std::size_t m = 0; m < active_->maps.size(); ++m) {
-    MapState& ms = active_->maps[m];
-    if (ms.done || ms.tracker == kNone || ms.spec_tracker != kNone || ms.tracker == i) continue;
-    const double running_for = cloud_.engine().now() - active_->timeline.maps[m].assigned;
-    if (running_for < config_.speculative_slowdown * mean) continue;
-    Tracker& tr = trackers_[i];
-    --tr.free_map_slots;
-    ++tr.running;
-    ms.spec_tracker = i;
-    ms.tid[1] = acquire_slot(tr.map_slot_busy, 0);
-    ++reexecuted_maps_;
-    m_reexecutions_->inc();
-    m_speculative_launched_->inc();
-    // The duplicate races the original under the same attempt number; the
-    // first finisher wins and the loser's chain is invalidated.
-    arm_map_watchdog(m, i, ms.attempt, 1);
-    run_map(m, i, ms.attempt, ms.tid[1]);
-    return;  // at most one speculative launch per heartbeat
+    for (std::size_t m = 0; m < job.maps.size(); ++m) {
+      MapState& ms = job.maps[m];
+      if (ms.done || ms.tracker == kNone || ms.spec_tracker != kNone || ms.tracker == i) continue;
+      const double running_for = cloud_.engine().now() - job.timeline.maps[m].assigned;
+      if (running_for < config_.speculative_slowdown * mean) continue;
+      Tracker& tr = trackers_[i];
+      --tr.free_map_slots;
+      ++tr.running;
+      ++job.running_maps;
+      ms.spec_tracker = i;
+      ms.tid[1] = acquire_slot(tr.map_slot_busy, 0);
+      ++reexecuted_maps_;
+      m_reexecutions_->inc();
+      m_speculative_launched_->inc();
+      // The duplicate races the original under the same attempt number; the
+      // first finisher wins and the loser's chain is invalidated.
+      arm_map_watchdog(job, m, i, ms.attempt, 1);
+      run_map(job, m, i, ms.attempt, ms.tid[1]);
+      return;  // at most one speculative launch per heartbeat
+    }
   }
 }
 
 void SimulatedJobRunner::maybe_assign_reduce(std::size_t i) {
   Tracker& tr = trackers_[i];
   if (!tr.alive || !cloud_.responsive(tr.vm) || tr.free_reduce_slots <= 0) return;
-  std::size_t r = kNone;
-  if (!active_->retry_reduces.empty()) {
-    r = active_->retry_reduces.front();
+  const std::size_t j = pick_job(SlotKind::Reduce, i);
+  if (j == Scheduler::kNone) return;
+  ActiveJob& job = *jobs_[j];
+  std::size_t r;
+  if (!job.retry_reduces.empty()) {
+    r = job.retry_reduces.front();
+    job.retry_reduces.pop_front();
   } else {
-    if (active_->next_reduce >= active_->spec.reduces.size()) return;
-    const double done_frac = active_->spec.maps.empty()
-                                 ? 1.0
-                                 : static_cast<double>(active_->maps_done) /
-                                       static_cast<double>(active_->spec.maps.size());
-    // Reducers slow-start once enough maps have finished; a tiny threshold
-    // (the default) launches them immediately so shuffle overlaps the map
-    // waves, as Hadoop does.
-    if (config_.reduce_slowstart > 0.05 && done_frac < config_.reduce_slowstart) return;
-    r = active_->next_reduce;
-  }
-
-  if (!active_->retry_reduces.empty()) {
-    active_->retry_reduces.pop_front();
-  } else {
-    ++active_->next_reduce;
+    r = job.next_reduce;
+    ++job.next_reduce;
   }
   --tr.free_reduce_slots;
   ++tr.running;
-  ReduceState& rs = active_->reduces[r];
+  ++job.running_reduces;
+  note_job_started(job);
+  ReduceState& rs = job.reduces[r];
   rs.assigned = true;
   rs.tracker = i;
   rs.tid = acquire_slot(tr.reduce_slot_busy, config_.map_slots_per_worker);
   rs.last_progress = cloud_.engine().now();
-  active_->timeline.reduces[r].vm = tr.vm;
-  active_->timeline.reduces[r].assigned = cloud_.engine().now();
-  arm_reduce_watchdog(r, rs.attempt);
-  run_reduce(r, i, rs.attempt, rs.tid);
+  job.timeline.reduces[r].vm = tr.vm;
+  job.timeline.reduces[r].assigned = cloud_.engine().now();
+  arm_reduce_watchdog(job, r, rs.attempt);
+  run_reduce(job, r, i, rs.attempt, rs.tid);
 }
 
-void SimulatedJobRunner::run_map(std::size_t m, std::size_t i, int attempt, int tid) {
-  const auto epoch = active_->epoch;
+void SimulatedJobRunner::run_map(ActiveJob& job0, std::size_t m, std::size_t i, int attempt,
+                                 int tid) {
+  const auto id = job0.id;
   const virt::VmId vm = trackers_[i].vm;
-  auto G = [this, epoch, m, attempt](std::function<void()> fn) {
-    return map_guard(epoch, m, attempt, std::move(fn));
-  };
+  auto G = [this, id, m, attempt](JobFn fn) { return map_guard(id, m, attempt, std::move(fn)); };
   m_map_attempts_->inc();
   const int pid = static_cast<int>(vm);
   if (tracer().enabled()) {
@@ -303,37 +404,39 @@ void SimulatedJobRunner::run_map(std::size_t m, std::size_t i, int attempt, int 
 
   // 1. child JVM spawn: fixed exec latency plus guest CPU work (the CPU
   // part is what host oversubscription stretches).
-  cloud_.engine().schedule_in(config_.task_start_latency, G([this, m, i, vm, pid, tid, G] {
+  cloud_.engine().schedule_in(config_.task_start_latency, G([this, m, i, vm, pid, tid,
+                                                             G](ActiveJob&) {
   tracer().begin(pid, tid, "jvm_spawn", "map");
-  cloud_.run_compute(vm, config_.task_start_cpu_seconds, G([this, m, i, vm, pid, tid, G] {
+  cloud_.run_compute(vm, config_.task_start_cpu_seconds, G([this, m, i, vm, pid, tid,
+                                                            G](ActiveJob& job) {
     tracer().end(pid, tid);  // jvm_spawn
     // 2. job localization: stream jar + conf from a datanode
     // (DistributedCache — cold once per VM per job, cached afterwards).
     tracer().begin(pid, tid, "localize", "map");
-    localize(vm, G([this, m, i, vm, pid, tid, G] {
+    localize(job, vm, G([this, m, i, vm, pid, tid, G](ActiveJob& job) {
       tracer().end(pid, tid);  // localize
-      auto& timing = active_->timeline.maps[m];
+      auto& timing = job.timeline.maps[m];
       timing.started = cloud_.engine().now();
-      const auto& mt = active_->spec.maps[m];
-      auto after_read = G([this, m, i, vm, pid, tid, G] {
+      const auto& mt = job.spec.maps[m];
+      auto after_read = G([this, m, i, vm, pid, tid, G](ActiveJob& job) {
         tracer().end(pid, tid);  // read
         // 4. user map function.
         tracer().begin(pid, tid, "compute", "map");
-        cloud_.run_compute(vm, active_->spec.maps[m].cpu_seconds, G([this, m, i, vm, pid, tid,
-                                                                     G] {
+        cloud_.run_compute(vm, job.spec.maps[m].cpu_seconds, G([this, m, i, vm, pid, tid,
+                                                                G](ActiveJob& job) {
           tracer().end(pid, tid);  // compute
           // 5. materialize map output. The spill/commit span (and the
           // enclosing map span) are closed by the slot release in
           // finish_map via end_all.
-          const auto& mt3 = active_->spec.maps[m];
-          auto done = G([this, m, i] { finish_map(m, i); });
+          const auto& mt3 = job.spec.maps[m];
+          auto done = G([this, m, i](ActiveJob& job) { finish_map(job, m, i); });
           if (mt3.output_bytes <= 0.0) {
             done();
-          } else if (active_->spec.map_output_to_hdfs) {
+          } else if (job.spec.map_output_to_hdfs) {
             tracer().begin(pid, tid, "commit", "map");
-            const int attempt_now = active_->maps[m].attempt;
+            const int attempt_now = job.maps[m].attempt;
             const std::string path =
-                active_->spec.output_path + "/map-" + std::to_string(m) +
+                job.spec.output_path + "/map-" + std::to_string(m) +
                 (attempt_now > 0 ? "-a" + std::to_string(attempt_now) : "");
             hdfs_.write_file(path, mt3.output_bytes, vm, std::move(done),
                              config_.output_replication);
@@ -344,7 +447,7 @@ void SimulatedJobRunner::run_map(std::size_t m, std::size_t i, int attempt, int 
             // cache for the imminent shuffle fetches; the intermediate
             // pass is forced writeback.
             const bool extra = mt3.output_bytes > config_.io_sort_bytes;
-            const std::string key = map_output_key(m);
+            const std::string key = map_output_key(job, m);
             auto write_final = [this, vm, mt3, key, done = std::move(done)]() mutable {
               cloud_.scratch_write(vm, mt3.output_bytes, std::move(done), key);
             };
@@ -380,18 +483,18 @@ void SimulatedJobRunner::run_map(std::size_t m, std::size_t i, int attempt, int 
   }));
 }
 
-void SimulatedJobRunner::localize(virt::VmId vm, std::function<void()> next) {
+void SimulatedJobRunner::localize(ActiveJob& job, virt::VmId vm, std::function<void()> next) {
   // job.jar/job.xml live in HDFS: localization streams them from a live
   // datanode (page-cache-hot there after the first fetch), so in a
   // cross-domain layout roughly half the fetches cross the GbE wire. The
   // local copy is cached, making later tasks on the same VM free.
-  const std::string key = "job" + std::to_string(active_->epoch) + "-jar";
+  const std::string key = "job" + std::to_string(job.id) + "-jar";
   if (cloud_.cached(vm, key)) {
     next();
     return;
   }
   virt::VmId source = vm;
-  const std::size_t start = (active_->epoch * 31 + vm * 17) % workers_.size();
+  const std::size_t start = (job.id * 31 + vm * 17) % workers_.size();
   for (std::size_t k = 0; k < workers_.size(); ++k) {
     virt::VmId candidate = workers_[(start + k) % workers_.size()];
     if (cloud_.alive(candidate)) {
@@ -412,8 +515,8 @@ void SimulatedJobRunner::localize(virt::VmId vm, std::function<void()> next) {
   });
 }
 
-void SimulatedJobRunner::finish_map(std::size_t m, std::size_t i) {
-  MapState& ms = active_->maps[m];
+void SimulatedJobRunner::finish_map(ActiveJob& job, std::size_t m, std::size_t i) {
+  MapState& ms = job.maps[m];
   if (ms.done) return;  // a speculative loser crossing the line
   if (ms.tracker != i && ms.spec_tracker != i) {
     // This attempt was already written off (timeout freed its slot); a
@@ -422,14 +525,15 @@ void SimulatedJobRunner::finish_map(std::size_t m, std::size_t i) {
   }
   ms.done = true;
   ms.output_vm = trackers_[i].vm;
-  cancel_map_watchdogs(m);
+  cancel_map_watchdogs(job, m);
   if (ms.spec_tracker == i) m_speculative_wins_->inc();
 
   // Free the winner's slot, and kill the losing attempt if one is racing.
-  auto release = [this](std::size_t t, int tid) {
+  auto release = [this, &job](std::size_t t, int tid) {
     release_slot(t, tid);
     ++trackers_[t].free_map_slots;
     --trackers_[t].running;
+    --job.running_maps;
     out_of_band_heartbeat(t);
   };
   const int my_tid = (ms.tracker == i) ? ms.tid[0] : ms.tid[1];
@@ -444,24 +548,22 @@ void SimulatedJobRunner::finish_map(std::size_t m, std::size_t i) {
   ms.spec_tracker = kNone;
   ms.tid[0] = ms.tid[1] = -1;
 
-  active_->timeline.maps[m].vm = trackers_[i].vm;
-  active_->timeline.maps[m].finished = cloud_.engine().now();
-  h_map_seconds_->observe(active_->timeline.maps[m].finished -
-                          active_->timeline.maps[m].assigned);
-  ++active_->maps_done;
+  job.timeline.maps[m].vm = trackers_[i].vm;
+  job.timeline.maps[m].finished = cloud_.engine().now();
+  h_map_seconds_->observe(job.timeline.maps[m].finished - job.timeline.maps[m].assigned);
+  ++job.maps_done;
   // Feed every ready reducer that does not have this partition yet.
-  for (std::size_t r = 0; r < active_->reduces.size(); ++r) {
-    if (active_->reduces[r].assigned && active_->reduces[r].ready) start_fetch(m, r);
+  for (std::size_t r = 0; r < job.reduces.size(); ++r) {
+    if (job.reduces[r].assigned && job.reduces[r].ready) start_fetch(job, m, r);
   }
-  maybe_finish_job();
+  maybe_finish_job(job);
 }
 
-void SimulatedJobRunner::run_reduce(std::size_t r, std::size_t i, int attempt, int tid) {
-  const auto epoch = active_->epoch;
+void SimulatedJobRunner::run_reduce(ActiveJob& job0, std::size_t r, std::size_t i, int attempt,
+                                    int tid) {
+  const auto id = job0.id;
   const virt::VmId vm = trackers_[i].vm;
-  auto G = [this, epoch, r, attempt](std::function<void()> fn) {
-    return reduce_guard(epoch, r, attempt, std::move(fn));
-  };
+  auto G = [this, id, r, attempt](JobFn fn) { return reduce_guard(id, r, attempt, std::move(fn)); };
   m_reduce_attempts_->inc();
   const int pid = static_cast<int>(vm);
   if (tracer().enabled()) {
@@ -470,65 +572,68 @@ void SimulatedJobRunner::run_reduce(std::size_t r, std::size_t i, int attempt, i
                        (attempt > 0 ? "/a" + std::to_string(attempt) : ""),
                    "reduce");
   }
-  cloud_.engine().schedule_in(config_.task_start_latency, G([this, r, vm, pid, tid, G] {
+  cloud_.engine().schedule_in(config_.task_start_latency, G([this, r, vm, pid, tid,
+                                                             G](ActiveJob&) {
   tracer().begin(pid, tid, "jvm_spawn", "reduce");
-  cloud_.run_compute(vm, config_.task_start_cpu_seconds, G([this, r, vm, pid, tid, G] {
+  cloud_.run_compute(vm, config_.task_start_cpu_seconds, G([this, r, vm, pid, tid,
+                                                            G](ActiveJob& job) {
     tracer().end(pid, tid);  // jvm_spawn
     tracer().begin(pid, tid, "localize", "reduce");
-    localize(vm, G([this, r, pid, tid] {
+    localize(job, vm, G([this, r, pid, tid](ActiveJob& job) {
       tracer().end(pid, tid);  // localize
       // The shuffle span runs from fetch-readiness to the last partition's
       // arrival; maybe_merge closes it.
       tracer().begin(pid, tid, "shuffle", "reduce");
-      active_->timeline.reduces[r].started = cloud_.engine().now();
-      active_->reduces[r].ready = true;
-      active_->reduces[r].last_progress = cloud_.engine().now();
+      job.timeline.reduces[r].started = cloud_.engine().now();
+      job.reduces[r].ready = true;
+      job.reduces[r].last_progress = cloud_.engine().now();
       // Fetch everything already finished; the rest arrives via finish_map.
-      for (std::size_t m = 0; m < active_->maps.size(); ++m) {
-        if (active_->maps[m].done) start_fetch(m, r);
+      for (std::size_t m = 0; m < job.maps.size(); ++m) {
+        if (job.maps[m].done) start_fetch(job, m, r);
       }
-      maybe_merge(r);  // degenerate: zero maps already fetched
+      maybe_merge(job, r);  // degenerate: zero maps already fetched
     }));
   }));
   }));
 }
 
-void SimulatedJobRunner::mark_map_lost(std::size_t m) {
-  MapState& ms = active_->maps[m];
+void SimulatedJobRunner::mark_map_lost(ActiveJob& job, std::size_t m) {
+  MapState& ms = job.maps[m];
   if (!ms.done) return;  // already re-executing
   ms.done = false;
-  --active_->maps_done;
+  --job.maps_done;
   ++ms.attempt;
   ms.tracker = kNone;
   ms.spec_tracker = kNone;
-  cancel_map_watchdogs(m);
+  cancel_map_watchdogs(job, m);
   ++reexecuted_maps_;
   m_reexecutions_->inc();
-  active_->pending_maps.push_back(m);
+  job.pending_maps.push_back(m);
 }
 
-void SimulatedJobRunner::start_fetch(std::size_t m, std::size_t r) {
-  ReduceState& rs = active_->reduces[r];
+void SimulatedJobRunner::start_fetch(ActiveJob& job, std::size_t m, std::size_t r) {
+  ReduceState& rs = job.reduces[r];
   if (rs.fetched[m]) return;  // already have this partition
-  const auto epoch = active_->epoch;
-  const double bytes = active_->spec.shuffle_bytes(m, r);
-  const virt::VmId map_vm = active_->maps[m].output_vm;
-  const virt::VmId red_vm = active_->timeline.reduces[r].vm;
+  const auto id = job.id;
+  const double bytes = job.spec.shuffle_bytes(m, r);
+  const virt::VmId map_vm = job.maps[m].output_vm;
+  const virt::VmId red_vm = job.timeline.reduces[r].vm;
   if (bytes > 0.0 && !cloud_.alive(map_vm)) {
     // Fetch failure against a dead node: the map output is gone for good;
     // re-execute the map (the re-run's finish re-feeds this reducer).
-    mark_map_lost(m);
+    mark_map_lost(job, m);
     return;
   }
-  auto arrived = reduce_guard(epoch, r, rs.attempt, [this, m, r, bytes] {
-    ReduceState& rs2 = active_->reduces[r];
+  auto arrived = reduce_guard(id, r, rs.attempt, [this, m, r, bytes](ActiveJob& job) {
+    ReduceState& rs2 = job.reduces[r];
     if (rs2.fetched[m]) return;  // duplicate delivery after a re-fetch
     rs2.fetched[m] = true;
     ++rs2.fetch_count;
     rs2.fetched_bytes += bytes;
+    job.timeline.shuffle_fetched_bytes += bytes;
     m_shuffle_bytes_->add(bytes);
     rs2.last_progress = cloud_.engine().now();
-    maybe_merge(r);
+    maybe_merge(job, r);
   });
   if (bytes <= 0.0) {
     arrived();
@@ -539,30 +644,31 @@ void SimulatedJobRunner::start_fetch(std::size_t m, std::size_t r) {
   // latch-joined) — so shuffle cost is network-topology-bound, exactly the
   // term the cross-domain placement inflates.
   auto latch = sim::Latch::create(2, std::move(arrived));
-  cloud_.disk_read(map_vm, bytes, [latch] { latch->arrive(); }, 1.0, map_output_key(m));
+  cloud_.disk_read(map_vm, bytes, [latch] { latch->arrive(); }, 1.0, map_output_key(job, m));
   cloud_.vm_transfer(map_vm, red_vm, bytes, [latch] { latch->arrive(); });
 }
 
-void SimulatedJobRunner::maybe_merge(std::size_t r) {
-  ReduceState& rs = active_->reduces[r];
-  if (!rs.ready || rs.fetch_count < active_->maps.size()) return;
-  const auto epoch = active_->epoch;
+void SimulatedJobRunner::maybe_merge(ActiveJob& job, std::size_t r) {
+  ReduceState& rs = job.reduces[r];
+  if (!rs.ready || rs.fetch_count < job.maps.size()) return;
+  const auto id = job.id;
   const int attempt = rs.attempt;
-  const virt::VmId vm = active_->timeline.reduces[r].vm;
+  const virt::VmId vm = job.timeline.reduces[r].vm;
   const int pid = static_cast<int>(vm);
   const int tid = rs.tid;
   const double fetched = rs.fetched_bytes;
   tracer().end(pid, tid);  // shuffle
 
-  auto compute = reduce_guard(epoch, r, attempt, [this, r, vm, pid, tid, epoch, attempt] {
+  auto compute = reduce_guard(id, r, attempt, [this, r, vm, pid, tid, id,
+                                               attempt](ActiveJob& job) {
     tracer().begin(pid, tid, "compute", "reduce");
     cloud_.run_compute(
-        vm, active_->spec.reduces[r].cpu_seconds,
-        reduce_guard(epoch, r, attempt, [this, r, vm, pid, tid, attempt] {
+        vm, job.spec.reduces[r].cpu_seconds,
+        reduce_guard(id, r, attempt, [this, r, vm, pid, tid, id, attempt](ActiveJob& job) {
           tracer().end(pid, tid);  // compute
-          const double out = active_->spec.reduces[r].output_bytes;
-          auto done =
-              reduce_guard(active_->epoch, r, attempt, [this, r] { finish_reduce(r); });
+          const double out = job.spec.reduces[r].output_bytes;
+          auto done = reduce_guard(id, r, attempt,
+                                   [this, r](ActiveJob& job) { finish_reduce(job, r); });
           if (out <= 0.0) {
             done();
           } else {
@@ -570,7 +676,7 @@ void SimulatedJobRunner::maybe_merge(std::size_t r) {
             // the slot release in finish_reduce via end_all.
             tracer().begin(pid, tid, "commit", "reduce");
             const std::string path =
-                active_->spec.output_path + "/part-" + std::to_string(r) +
+                job.spec.output_path + "/part-" + std::to_string(r) +
                 (attempt > 0 ? "-a" + std::to_string(attempt) : "");
             hdfs_.write_file(path, out, vm, std::move(done), config_.output_replication);
           }
@@ -583,14 +689,14 @@ void SimulatedJobRunner::maybe_merge(std::size_t r) {
     // paper's TeraSort curve shows past ~400 MB.
     tracer().begin(pid, tid, "merge", "reduce");
     auto compute_after_merge =
-        reduce_guard(epoch, r, attempt, [this, pid, tid, compute] {
+        reduce_guard(id, r, attempt, [this, pid, tid, compute](ActiveJob&) {
           tracer().end(pid, tid);  // merge
           compute();
         });
-    const std::string key = "job" + std::to_string(epoch) + "/merge-r" + std::to_string(r);
+    const std::string key = "job" + std::to_string(id) + "/merge-r" + std::to_string(r);
     cloud_.scratch_write(vm, fetched,
-                         reduce_guard(epoch, r, attempt,
-                                      [this, vm, fetched, key, compute_after_merge] {
+                         reduce_guard(id, r, attempt,
+                                      [this, vm, fetched, key, compute_after_merge](ActiveJob&) {
                                         cloud_.disk_read(vm, fetched, compute_after_merge,
                                                          1.0, key);
                                       }),
@@ -600,8 +706,8 @@ void SimulatedJobRunner::maybe_merge(std::size_t r) {
   }
 }
 
-void SimulatedJobRunner::finish_reduce(std::size_t r) {
-  ReduceState& rs = active_->reduces[r];
+void SimulatedJobRunner::finish_reduce(ActiveJob& job, std::size_t r) {
+  ReduceState& rs = job.reduces[r];
   if (rs.done) return;
   rs.done = true;
   if (rs.watchdog.valid()) {
@@ -613,28 +719,34 @@ void SimulatedJobRunner::finish_reduce(std::size_t r) {
   Tracker& tr = trackers_[rs.tracker];
   ++tr.free_reduce_slots;
   --tr.running;
+  --job.running_reduces;
   out_of_band_heartbeat(rs.tracker);
-  active_->timeline.reduces[r].finished = cloud_.engine().now();
-  h_reduce_seconds_->observe(active_->timeline.reduces[r].finished -
-                             active_->timeline.reduces[r].assigned);
-  ++active_->reduces_done;
-  maybe_finish_job();
+  job.timeline.reduces[r].finished = cloud_.engine().now();
+  h_reduce_seconds_->observe(job.timeline.reduces[r].finished -
+                             job.timeline.reduces[r].assigned);
+  ++job.reduces_done;
+  maybe_finish_job(job);
 }
 
-void SimulatedJobRunner::maybe_finish_job() {
-  if (active_->maps_done < active_->spec.maps.size()) return;
-  if (active_->reduces_done < active_->spec.reduces.size()) return;
+void SimulatedJobRunner::maybe_finish_job(ActiveJob& job) {
+  if (job.maps_done < job.spec.maps.size()) return;
+  if (job.reduces_done < job.spec.reduces.size()) return;
   m_jobs_completed_->inc();
-  active_->timeline.finished = cloud_.engine().now();
-  auto timeline = std::move(active_->timeline);
-  auto on_done = std::move(active_->on_done);
-  active_.reset();
+  queue_counter(job, "jobs_completed")->inc();
+  job.timeline.finished = cloud_.engine().now();
+  h_job_seconds_->observe(job.timeline.elapsed());
+  if (tracer().enabled()) {
+    tracer().instant(kJobTrackerPid, 0, "finish:" + job.spec.name, "job");
+  }
+  const auto id = job.id;
+  auto timeline = std::move(job.timeline);
+  auto on_done = std::move(job.on_done);
+  erase_job(id);  // `job` is dangling from here on
   if (on_done) on_done(timeline);
-  start_next_job();
 }
 
-void SimulatedJobRunner::cancel_map_watchdogs(std::size_t m) {
-  for (auto& wd : active_->maps[m].watchdog) {
+void SimulatedJobRunner::cancel_map_watchdogs(ActiveJob& job, std::size_t m) {
+  for (auto& wd : job.maps[m].watchdog) {
     if (wd.valid()) {
       cloud_.engine().cancel(wd);
       wd = {};
@@ -642,18 +754,20 @@ void SimulatedJobRunner::cancel_map_watchdogs(std::size_t m) {
   }
 }
 
-void SimulatedJobRunner::arm_map_watchdog(std::size_t m, std::size_t i, int attempt, int slot) {
-  const auto epoch = active_->epoch;
-  active_->maps[m].watchdog[slot] =
-      cloud_.engine().schedule_in(config_.task_timeout_seconds, [this, epoch, m, i, attempt,
-                                                                 slot] {
-        if (!active_ || active_->epoch != epoch) return;
-        map_timeout(m, i, attempt, slot);
+void SimulatedJobRunner::arm_map_watchdog(ActiveJob& job, std::size_t m, std::size_t i,
+                                          int attempt, int slot) {
+  const auto id = job.id;
+  job.maps[m].watchdog[slot] =
+      cloud_.engine().schedule_in(config_.task_timeout_seconds, [this, id, m, i, attempt, slot] {
+        ActiveJob* j = find_job(id);
+        if (!j) return;
+        map_timeout(*j, m, i, attempt, slot);
       });
 }
 
-void SimulatedJobRunner::map_timeout(std::size_t m, std::size_t i, int attempt, int slot) {
-  MapState& ms = active_->maps[m];
+void SimulatedJobRunner::map_timeout(ActiveJob& job, std::size_t m, std::size_t i, int attempt,
+                                     int slot) {
+  MapState& ms = job.maps[m];
   ms.watchdog[slot] = {};
   if (ms.done || ms.attempt != attempt) return;
   // Kill this attempt: free its slot, drop its chain, and requeue unless a
@@ -662,6 +776,7 @@ void SimulatedJobRunner::map_timeout(std::size_t m, std::size_t i, int attempt, 
     release_slot(i, ms.tid[slot]);
     ++trackers_[i].free_map_slots;
     --trackers_[i].running;
+    --job.running_maps;
   }
   ms.tid[slot] = -1;
   if (slot == 0) ms.tracker = kNone;
@@ -673,30 +788,32 @@ void SimulatedJobRunner::map_timeout(std::size_t m, std::size_t i, int attempt, 
   ms.spec_tracker = kNone;
   ++reexecuted_maps_;
   m_reexecutions_->inc();
-  active_->pending_maps.push_back(m);
+  job.pending_maps.push_back(m);
 }
 
-void SimulatedJobRunner::arm_reduce_watchdog(std::size_t r, int attempt) {
-  const auto epoch = active_->epoch;
-  active_->reduces[r].watchdog =
-      cloud_.engine().schedule_in(config_.task_timeout_seconds, [this, epoch, r, attempt] {
-        if (!active_ || active_->epoch != epoch) return;
-        reduce_timeout(r, attempt);
+void SimulatedJobRunner::arm_reduce_watchdog(ActiveJob& job, std::size_t r, int attempt) {
+  const auto id = job.id;
+  job.reduces[r].watchdog =
+      cloud_.engine().schedule_in(config_.task_timeout_seconds, [this, id, r, attempt] {
+        ActiveJob* j = find_job(id);
+        if (!j) return;
+        reduce_timeout(*j, r, attempt);
       });
 }
 
-void SimulatedJobRunner::reduce_timeout(std::size_t r, int attempt) {
-  ReduceState& rs = active_->reduces[r];
+void SimulatedJobRunner::reduce_timeout(ActiveJob& job, std::size_t r, int attempt) {
+  ReduceState& rs = job.reduces[r];
   rs.watchdog = {};
   if (rs.done || rs.attempt != attempt) return;
   const double idle_for = cloud_.engine().now() - rs.last_progress;
   if (idle_for < config_.task_timeout_seconds) {
     // Progress was reported (shuffle arrivals); re-arm from the last one.
-    const auto epoch = active_->epoch;
+    const auto id = job.id;
     rs.watchdog = cloud_.engine().schedule_in(
-        config_.task_timeout_seconds - idle_for, [this, epoch, r, attempt] {
-          if (!active_ || active_->epoch != epoch) return;
-          reduce_timeout(r, attempt);
+        config_.task_timeout_seconds - idle_for, [this, id, r, attempt] {
+          ActiveJob* j = find_job(id);
+          if (!j) return;
+          reduce_timeout(*j, r, attempt);
         });
     return;
   }
@@ -705,16 +822,104 @@ void SimulatedJobRunner::reduce_timeout(std::size_t r, int attempt) {
     release_slot(rs.tracker, rs.tid);
     ++trackers_[rs.tracker].free_reduce_slots;
     --trackers_[rs.tracker].running;
+    --job.running_reduces;
   }
   rs.tid = -1;
   ++rs.attempt;
   rs.assigned = false;
   rs.ready = false;
   rs.tracker = kNone;
-  rs.fetched.assign(active_->maps.size(), false);
+  rs.fetched.assign(job.maps.size(), false);
   rs.fetch_count = 0;
   rs.fetched_bytes = 0.0;
-  active_->retry_reduces.push_back(r);
+  job.retry_reduces.push_back(r);
+}
+
+void SimulatedJobRunner::fail_all_jobs() {
+  // Hadoop reports every job as failed once the last TaskTracker is lost.
+  // Callbacks run after their job is removed; one that resubmits puts the
+  // new job back into jobs_, where this loop fails it too.
+  while (!jobs_.empty()) {
+    ActiveJob& job = *jobs_.front();
+    m_jobs_failed_->inc();
+    queue_counter(job, "jobs_failed")->inc();
+    job.timeline.finished = cloud_.engine().now();
+    job.timeline.failed = true;
+    const auto id = job.id;
+    auto timeline = std::move(job.timeline);
+    auto on_done = std::move(job.on_done);
+    erase_job(id);
+    if (on_done) on_done(timeline);
+  }
+}
+
+void SimulatedJobRunner::crash_job_maps(ActiveJob& job, std::size_t dead, virt::VmId vm) {
+  // Maps touched by the dead tracker.
+  for (std::size_t m = 0; m < job.maps.size(); ++m) {
+    MapState& ms = job.maps[m];
+    const bool was_primary = ms.tracker == dead;
+    const bool was_spec = ms.spec_tracker == dead;
+    if (!was_primary && !was_spec && !(ms.done && ms.output_vm == vm)) continue;
+
+    if (ms.done) {
+      // Output lost? Completed maps must re-run unless every reducer has
+      // already fetched them (or the output was committed to HDFS).
+      const bool output_safe =
+          job.spec.map_output_to_hdfs || job.spec.reduces.empty() ||
+          std::all_of(job.reduces.begin(), job.reduces.end(),
+                      [m](const ReduceState& rs) { return rs.fetched[m]; });
+      if (ms.output_vm != vm || output_safe) continue;
+      --job.maps_done;
+      ++reexecuted_maps_;
+      m_reexecutions_->inc();
+      ms.done = false;
+    } else {
+      // A racing attempt on a live tracker may still win; only reschedule
+      // when no live attempt remains.
+      if (was_primary) {
+        ms.tracker = kNone;
+        ms.tid[0] = -1;
+        --job.running_maps;
+      }
+      if (was_spec) {
+        ms.spec_tracker = kNone;
+        ms.tid[1] = -1;
+        --job.running_maps;
+      }
+      const std::size_t survivor = was_primary ? ms.spec_tracker : ms.tracker;
+      if (survivor != kNone && trackers_[survivor].alive) continue;
+      ++reexecuted_maps_;
+      m_reexecutions_->inc();
+    }
+    ++ms.attempt;  // invalidate any continuation still in flight
+    ms.tracker = kNone;
+    ms.spec_tracker = kNone;
+    ms.tid[0] = ms.tid[1] = -1;
+    cancel_map_watchdogs(job, m);
+    job.pending_maps.push_back(m);
+  }
+}
+
+void SimulatedJobRunner::crash_job_reduces(ActiveJob& job, std::size_t dead) {
+  // Reduces running on the dead tracker start over elsewhere.
+  for (std::size_t r = 0; r < job.reduces.size(); ++r) {
+    ReduceState& rs = job.reduces[r];
+    if (!rs.assigned || rs.done || rs.tracker != dead) continue;
+    if (rs.watchdog.valid()) {
+      cloud_.engine().cancel(rs.watchdog);
+      rs.watchdog = {};
+    }
+    rs.tid = -1;
+    ++rs.attempt;
+    rs.assigned = false;
+    rs.ready = false;
+    rs.tracker = kNone;
+    rs.fetched.assign(job.maps.size(), false);
+    rs.fetch_count = 0;
+    rs.fetched_bytes = 0.0;
+    --job.running_reduces;
+    job.retry_reduces.push_back(r);
+  }
 }
 
 void SimulatedJobRunner::on_vm_crash(virt::VmId vm) {
@@ -747,92 +952,19 @@ void SimulatedJobRunner::on_vm_crash(virt::VmId vm) {
     cloud_.engine().cancel(heartbeat_events_[dead]);
     heartbeat_events_[dead] = {};
   }
-  if (!active_) return;
-  ActiveJob& job = *active_;
+  if (jobs_.empty()) return;
 
-  // Maps touched by the dead tracker.
-  for (std::size_t m = 0; m < job.maps.size(); ++m) {
-    MapState& ms = job.maps[m];
-    const bool was_primary = ms.tracker == dead;
-    const bool was_spec = ms.spec_tracker == dead;
-    if (!was_primary && !was_spec && !(ms.done && ms.output_vm == vm)) continue;
+  for (auto& jp : jobs_) crash_job_maps(*jp, dead, vm);
 
-    if (ms.done) {
-      // Output lost? Completed maps must re-run unless every reducer has
-      // already fetched them (or the output was committed to HDFS).
-      const bool output_safe =
-          active_->spec.map_output_to_hdfs || active_->spec.reduces.empty() ||
-          std::all_of(job.reduces.begin(), job.reduces.end(),
-                      [m](const ReduceState& rs) { return rs.fetched[m]; });
-      if (ms.output_vm != vm || output_safe) continue;
-      --job.maps_done;
-      ++reexecuted_maps_;
-      m_reexecutions_->inc();
-      ms.done = false;
-    } else {
-      // A racing attempt on a live tracker may still win; only reschedule
-      // when no live attempt remains.
-      if (was_primary) {
-        ms.tracker = kNone;
-        ms.tid[0] = -1;
-      }
-      if (was_spec) {
-        ms.spec_tracker = kNone;
-        ms.tid[1] = -1;
-      }
-      const std::size_t survivor = was_primary ? ms.spec_tracker : ms.tracker;
-      if (survivor != kNone && trackers_[survivor].alive) continue;
-      ++reexecuted_maps_;
-      m_reexecutions_->inc();
-    }
-    ++ms.attempt;  // invalidate any continuation still in flight
-    ms.tracker = kNone;
-    ms.spec_tracker = kNone;
-    ms.tid[0] = ms.tid[1] = -1;
-    cancel_map_watchdogs(m);
-    job.pending_maps.push_back(m);
-  }
-
-  // With no live tracker left, the job (and everything queued) fails —
-  // Hadoop reports the job as failed once every TaskTracker is lost.
+  // With no live tracker left, every job (active and queued) fails.
   const bool any_alive =
       std::any_of(trackers_.begin(), trackers_.end(), [](const Tracker& t) { return t.alive; });
   if (!any_alive) {
-    while (active_) {
-      m_jobs_failed_->inc();
-      active_->timeline.finished = cloud_.engine().now();
-      active_->timeline.failed = true;
-      auto timeline = std::move(active_->timeline);
-      auto on_done = std::move(active_->on_done);
-      active_.reset();
-      if (on_done) on_done(timeline);
-      start_next_job();
-      if (active_) {
-        // Newly started job fails immediately too.
-        continue;
-      }
-    }
+    fail_all_jobs();
     return;
   }
 
-  // Reduces running on the dead tracker start over elsewhere.
-  for (std::size_t r = 0; r < job.reduces.size(); ++r) {
-    ReduceState& rs = job.reduces[r];
-    if (!rs.assigned || rs.done || rs.tracker != dead) continue;
-    if (rs.watchdog.valid()) {
-      cloud_.engine().cancel(rs.watchdog);
-      rs.watchdog = {};
-    }
-    rs.tid = -1;
-    ++rs.attempt;
-    rs.assigned = false;
-    rs.ready = false;
-    rs.tracker = kNone;
-    rs.fetched.assign(job.maps.size(), false);
-    rs.fetch_count = 0;
-    rs.fetched_bytes = 0.0;
-    job.retry_reduces.push_back(r);
-  }
+  for (auto& jp : jobs_) crash_job_reduces(*jp, dead);
 }
 
 }  // namespace vhadoop::mapreduce

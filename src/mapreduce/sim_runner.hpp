@@ -7,6 +7,7 @@
 
 #include "hdfs/hdfs.hpp"
 #include "mapreduce/hadoop_config.hpp"
+#include "mapreduce/scheduler.hpp"
 #include "mapreduce/sim_job.hpp"
 #include "virt/cloud.hpp"
 
@@ -31,9 +32,15 @@ namespace vhadoop::mapreduce {
 /// speculative execution: a second attempt races the slow one and the
 /// first finisher wins.
 ///
-/// Jobs are FIFO, one at a time, as the era's default scheduler ran them.
+/// Multiple jobs may be active at once; which job a freed slot goes to is
+/// the pluggable Scheduler's decision (HadoopConfig::scheduler). The FIFO
+/// policy reproduces the era's default — strictly one job at a time — while
+/// Fair and Capacity interleave jobs for multi-tenant traffic.
 class SimulatedJobRunner {
  public:
+  /// Trace lane for JobTracker-level instants (job submit/finish markers).
+  static constexpr int kJobTrackerPid = 9998;
+
   SimulatedJobRunner(virt::Cloud& cloud, hdfs::HdfsCluster& hdfs, HadoopConfig config,
                      std::vector<virt::VmId> workers);
   ~SimulatedJobRunner();
@@ -41,14 +48,19 @@ class SimulatedJobRunner {
   SimulatedJobRunner(const SimulatedJobRunner&) = delete;
   SimulatedJobRunner& operator=(const SimulatedJobRunner&) = delete;
 
-  /// Queue a job; `on_done` fires with the completed timeline.
+  /// Submit a job; `on_done` fires with the completed timeline. The job is
+  /// runnable immediately — whether it actually receives slots while other
+  /// jobs are active is the scheduler's call.
   void submit(SimJobSpec spec, std::function<void(const JobTimeline&)> on_done);
 
-  bool idle() const { return !active_ && queue_.empty(); }
+  bool idle() const { return jobs_.empty(); }
+  /// Jobs submitted but not yet completed or failed.
+  std::size_t active_jobs() const { return jobs_.size(); }
   /// Tasks currently executing on `vm` (drives the migration dirty model).
   int running_tasks(virt::VmId vm) const;
   const HadoopConfig& config() const { return config_; }
   const std::vector<virt::VmId>& workers() const { return workers_; }
+  const char* scheduler_name() const { return scheduler_->name(); }
   /// Map tasks that ran more than once (re-execution or speculation).
   int reexecuted_maps() const { return reexecuted_maps_; }
 
@@ -69,11 +81,6 @@ class SimulatedJobRunner {
     /// slots [map_slots, map_slots + reduce_slots).
     std::vector<bool> map_slot_busy;
     std::vector<bool> reduce_slot_busy;
-  };
-
-  struct PendingJob {
-    SimJobSpec spec;
-    std::function<void(const JobTimeline&)> on_done;
   };
 
   struct MapState {
@@ -100,7 +107,11 @@ class SimulatedJobRunner {
     int tid = -1;  ///< trace lane of the current attempt
   };
 
+  /// One in-flight job: the per-job state machine that used to be the whole
+  /// runner, now instantiated once per concurrent job.
   struct ActiveJob {
+    std::uint64_t id = 0;        ///< unique; guards stale callbacks
+    std::size_t submit_index = 0;  ///< FIFO order for the schedulers
     SimJobSpec spec;
     std::function<void(const JobTimeline&)> on_done;
     JobTimeline timeline;
@@ -111,45 +122,69 @@ class SimulatedJobRunner {
     std::size_t maps_done = 0;
     std::size_t reduces_done = 0;
     std::size_t next_reduce = 0;
-    std::uint64_t epoch = 0;  ///< guards stale callbacks across jobs
+    int running_maps = 0;     ///< live map attempts (scheduler share basis)
+    int running_reduces = 0;  ///< live reduce attempts
+    bool started = false;     ///< first slot granted (queue-wait observed)
+    /// Delay scheduling: when this job first got skipped for lacking a
+    /// data-local map on an offered VM (<0 = not currently waiting).
+    double locality_wait_since = -1.0;
   };
 
-  void start_next_job();
+  using JobFn = std::function<void(ActiveJob&)>;
+
+  ActiveJob* find_job(std::uint64_t id);
+  void erase_job(std::uint64_t id);
+  void fail_all_jobs();
   void start_heartbeats();
   void heartbeat(std::size_t tracker_idx);
   void out_of_band_heartbeat(std::size_t tracker_idx);
-  void localize(virt::VmId vm, std::function<void()> next);
+  void localize(ActiveJob& job, virt::VmId vm, std::function<void()> next);
+
+  /// Ask the scheduler which job gets a slot of `kind` on this tracker.
+  /// Returns an index into jobs_ or kNone.
+  std::size_t pick_job(SlotKind kind, std::size_t tracker_idx);
+  /// Tasks of `kind` the scheduler may place for this job right now
+  /// (reduce counts respect slow-start).
+  std::size_t schedulable_tasks(const ActiveJob& job, SlotKind kind) const;
+  bool job_has_local_map(const ActiveJob& job, virt::VmId vm) const;
+  int total_live_slots(SlotKind kind) const;
+  void note_job_started(ActiveJob& job);
+
   void maybe_assign_map(std::size_t tracker_idx);
   void maybe_speculate(std::size_t tracker_idx);
   void maybe_assign_reduce(std::size_t tracker_idx);
-  void run_map(std::size_t m, std::size_t tracker_idx, int attempt, int tid);
-  void finish_map(std::size_t m, std::size_t tracker_idx);
-  void run_reduce(std::size_t r, std::size_t tracker_idx, int attempt, int tid);
-  void start_fetch(std::size_t m, std::size_t r);
-  void maybe_merge(std::size_t r);
-  void finish_reduce(std::size_t r);
-  void maybe_finish_job();
+  void run_map(ActiveJob& job, std::size_t m, std::size_t tracker_idx, int attempt, int tid);
+  void finish_map(ActiveJob& job, std::size_t m, std::size_t tracker_idx);
+  void run_reduce(ActiveJob& job, std::size_t r, std::size_t tracker_idx, int attempt,
+                  int tid);
+  void start_fetch(ActiveJob& job, std::size_t m, std::size_t r);
+  void maybe_merge(ActiveJob& job, std::size_t r);
+  void finish_reduce(ActiveJob& job, std::size_t r);
+  void maybe_finish_job(ActiveJob& job);
   void on_vm_crash(virt::VmId vm);
-  void arm_map_watchdog(std::size_t m, std::size_t tracker_idx, int attempt, int slot);
-  void map_timeout(std::size_t m, std::size_t tracker_idx, int attempt, int slot);
-  void arm_reduce_watchdog(std::size_t r, int attempt);
-  void reduce_timeout(std::size_t r, int attempt);
-  void cancel_map_watchdogs(std::size_t m);
+  void crash_job_maps(ActiveJob& job, std::size_t dead, virt::VmId vm);
+  void crash_job_reduces(ActiveJob& job, std::size_t dead);
+  void arm_map_watchdog(ActiveJob& job, std::size_t m, std::size_t tracker_idx, int attempt,
+                        int slot);
+  void map_timeout(ActiveJob& job, std::size_t m, std::size_t tracker_idx, int attempt,
+                   int slot);
+  void arm_reduce_watchdog(ActiveJob& job, std::size_t r, int attempt);
+  void reduce_timeout(ActiveJob& job, std::size_t r, int attempt);
+  void cancel_map_watchdogs(ActiveJob& job, std::size_t m);
   /// A completed map whose output became unreachable (fetch failure
   /// against a dead node) is demoted back to pending — Hadoop's
   /// "too many fetch failures" re-execution.
-  void mark_map_lost(std::size_t m);
+  void mark_map_lost(ActiveJob& job, std::size_t m);
 
-  /// Continuation valid only while job `epoch` is active and map m is
-  /// still on attempt `attempt` (re-execution invalidates older chains).
-  std::function<void()> map_guard(std::uint64_t epoch, std::size_t m, int attempt,
-                                  std::function<void()> fn);
-  std::function<void()> reduce_guard(std::uint64_t epoch, std::size_t r, int attempt,
-                                     std::function<void()> fn);
+  /// Continuation valid only while job `id` is active and map m is still on
+  /// attempt `attempt` (re-execution invalidates older chains). The live
+  /// ActiveJob is re-resolved at fire time — never captured.
+  std::function<void()> map_guard(std::uint64_t id, std::size_t m, int attempt, JobFn fn);
+  std::function<void()> reduce_guard(std::uint64_t id, std::size_t r, int attempt, JobFn fn);
 
   /// Page-cache key for map task m's final spill (unique per job).
-  std::string map_output_key(std::size_t m) const {
-    return "job" + std::to_string(active_->epoch) + "/spill-m" + std::to_string(m);
+  static std::string map_output_key(const ActiveJob& job, std::size_t m) {
+    return "job" + std::to_string(job.id) + "/spill-m" + std::to_string(m);
   }
 
   obs::Tracer& tracer() { return cloud_.engine().tracer(); }
@@ -157,15 +192,18 @@ class SimulatedJobRunner {
   int acquire_slot(std::vector<bool>& busy, int base);
   /// Free the lane and close any spans a dropped chain left open on it.
   void release_slot(std::size_t tracker_idx, int tid);
+  obs::Counter* queue_counter(const ActiveJob& job, const char* what);
 
   virt::Cloud& cloud_;
   hdfs::HdfsCluster& hdfs_;
   HadoopConfig config_;
+  std::unique_ptr<Scheduler> scheduler_;
   std::vector<virt::VmId> workers_;
   std::vector<Tracker> trackers_;
-  std::deque<PendingJob> queue_;
-  std::unique_ptr<ActiveJob> active_;
-  std::uint64_t epoch_counter_ = 0;
+  /// Active jobs in submission order (completed/failed jobs are removed).
+  std::vector<std::unique_ptr<ActiveJob>> jobs_;
+  std::uint64_t next_job_id_ = 0;
+  std::size_t submit_counter_ = 0;
   int reexecuted_maps_ = 0;
   std::vector<sim::Engine::EventId> heartbeat_events_;
 
@@ -178,8 +216,12 @@ class SimulatedJobRunner {
   obs::Counter* m_jobs_completed_;
   obs::Counter* m_jobs_failed_;
   obs::Counter* m_shuffle_bytes_;
+  obs::Gauge* g_jobs_running_;
   obs::Histogram* h_map_seconds_;
   obs::Histogram* h_reduce_seconds_;
+  obs::Histogram* h_job_seconds_;
+  obs::Histogram* h_queue_wait_seconds_;
+  obs::Histogram* h_map_slot_share_;
 };
 
 }  // namespace vhadoop::mapreduce

@@ -61,6 +61,24 @@ std::vector<Recommendation> MapReduceTuner::analyse(
   return recs;
 }
 
+std::vector<Recommendation> MapReduceTuner::analyse_scheduling(
+    const obs::Registry& metrics, const mapreduce::HadoopConfig& config) const {
+  std::vector<Recommendation> recs;
+  // Fair/Capacity already interleave jobs; the rule targets FIFO clusters.
+  if (config.scheduler != mapreduce::SchedulerPolicy::Fifo) return recs;
+  const obs::Histogram* wait = metrics.find_histogram("mr.job_queue_wait_seconds");
+  const obs::Gauge* running = metrics.find_gauge("mr.jobs_running");
+  if (!wait || wait->count() < 2 || !running) return recs;
+  if (running->max() < policy_.min_concurrent_jobs) return recs;
+  const double p95 = wait->percentile(0.95);
+  if (p95 < policy_.queue_wait_tolerable) return recs;
+  recs.push_back({Recommendation::Kind::UseFairScheduler,
+                  "FIFO head-of-line blocking: p95 job queue wait " + std::to_string(p95) +
+                      " s with up to " + std::to_string(running->max()) +
+                      " concurrent jobs — switch the JobTracker to the fair scheduler"});
+  return recs;
+}
+
 mapreduce::HadoopConfig MapReduceTuner::apply(const mapreduce::HadoopConfig& config,
                                               const std::vector<Recommendation>& recs) {
   mapreduce::HadoopConfig out = config;
@@ -79,6 +97,9 @@ mapreduce::HadoopConfig MapReduceTuner::apply(const mapreduce::HadoopConfig& con
         if (out.output_replication == 0 || out.output_replication > 2) {
           out.output_replication = 2;
         }
+        break;
+      case Recommendation::Kind::UseFairScheduler:
+        out.scheduler = mapreduce::SchedulerPolicy::Fair;
         break;
       case Recommendation::Kind::MigrateVm:
       case Recommendation::Kind::RebalanceNetwork:

@@ -5,6 +5,7 @@
 
 #include "mapreduce/hadoop_config.hpp"
 #include "monitor/nmon.hpp"
+#include "obs/metrics.hpp"
 
 namespace vhadoop::tuner {
 
@@ -17,6 +18,7 @@ struct Recommendation {
     LowerReplication,  ///< NFS disk saturated by pipeline writes
     MigrateVm,         ///< host imbalance: move the busiest VM
     RebalanceNetwork,  ///< NIC saturated: co-locate chatty VMs
+    UseFairScheduler,  ///< FIFO head-of-line blocking under multi-job load
   };
 
   Kind kind;
@@ -33,6 +35,12 @@ struct TunerPolicy {
   double net_saturated = 0.85;
   double disk_saturated = 0.85;
   double imbalance_gap = 0.40;  ///< host CPU spread that triggers migration
+  /// Scheduler rule: p95 job queue wait (seconds) a FIFO cluster may show
+  /// before the tuner proposes the Fair scheduler.
+  double queue_wait_tolerable = 15.0;
+  /// ... and only when the cluster actually held this many jobs at once
+  /// (a single-tenant cluster gains nothing from Fair).
+  double min_concurrent_jobs = 2.0;
 };
 
 /// The MapReduce Tuner module (paper Sec. II-B): turns monitoring data into
@@ -44,6 +52,12 @@ class MapReduceTuner {
   explicit MapReduceTuner(TunerPolicy policy = {}) : policy_(policy) {}
 
   std::vector<Recommendation> analyse(const monitor::TraceAnalyser::Report& report) const;
+
+  /// Scheduler-aware pass: reads the JobTracker's metrics (queue-wait
+  /// histogram, concurrent-jobs gauge) and proposes a policy change when a
+  /// FIFO cluster shows multi-tenant head-of-line blocking.
+  std::vector<Recommendation> analyse_scheduling(const obs::Registry& metrics,
+                                                 const mapreduce::HadoopConfig& config) const;
 
   /// Apply parameter recommendations; migration/advice entries are left to
   /// the caller (they need the Cloud). Returns the adjusted config.

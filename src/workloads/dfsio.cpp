@@ -17,7 +17,7 @@ void TestDfsIo::run_write(const std::string& dir, std::function<void(const Resul
   const double total = file_bytes_ * nr_files_;
   runner_.submit(std::move(spec),
                  [total, on_done = std::move(on_done)](const mapreduce::JobTimeline& t) {
-                   if (on_done) on_done({t.elapsed(), total});
+                   if (on_done) on_done({t.run_seconds(), total});
                  });
 }
 
@@ -39,7 +39,7 @@ void TestDfsIo::run_read(const std::string& dir, std::function<void(const Result
   const double total = file_bytes_ * nr_files_;
   runner_.submit(std::move(spec),
                  [total, on_done = std::move(on_done)](const mapreduce::JobTimeline& t) {
-                   if (on_done) on_done({t.elapsed(), total});
+                   if (on_done) on_done({t.run_seconds(), total});
                  });
 }
 

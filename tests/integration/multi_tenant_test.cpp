@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+
+namespace vhadoop::core {
+namespace {
+
+using mapreduce::JobTimeline;
+using mapreduce::SimJobSpec;
+
+SimJobSpec tenant_job(const std::string& name, const std::string& queue,
+                      const std::string& user, int n_maps, double map_cpu) {
+  SimJobSpec spec;
+  spec.name = name;
+  spec.queue = queue;
+  spec.user = user;
+  spec.output_path = "/out/" + name;
+  for (int m = 0; m < n_maps; ++m) {
+    spec.maps.push_back({.input_bytes = 8 * sim::kMiB, .cpu_seconds = map_cpu,
+                         .output_bytes = 4 * sim::kMiB});
+  }
+  spec.reduces.assign(2, {.cpu_seconds = 0.5, .output_bytes = 2 * sim::kMiB});
+  return spec;
+}
+
+// The paper's multi-tenant story end to end: a cross-domain virtual cluster
+// runs two departments' jobs under the Capacity scheduler — a guaranteed
+// "prod" queue and a smaller elastic "adhoc" queue, two users per queue.
+TEST(MultiTenantIntegration, CapacityQueuesShareACrossDomainCluster) {
+  Platform platform;
+  ClusterSpec spec;
+  spec.num_workers = 8;
+  spec.placement = Placement::CrossDomain;
+  spec.hadoop.scheduler = mapreduce::SchedulerPolicy::Capacity;
+  spec.hadoop.queues = {{"prod", 0.7, 1.0, 0.6}, {"adhoc", 0.3, 0.6, 0.6}};
+  platform.boot_cluster(spec);
+  platform.enable_tracing();
+
+  std::vector<JobTimeline> done;
+  auto record = [&](const JobTimeline& t) { done.push_back(t); };
+  // Six jobs, two queues, two users per queue.
+  platform.submit_job(tenant_job("prod-etl-1", "prod", "alice", 10, 2.0), record);
+  platform.submit_job(tenant_job("prod-etl-2", "prod", "bob", 10, 2.0), record);
+  platform.submit_job(tenant_job("prod-report", "prod", "alice", 6, 1.0), record);
+  platform.submit_job(tenant_job("adhoc-probe-1", "adhoc", "carol", 4, 0.5), record);
+  platform.submit_job(tenant_job("adhoc-probe-2", "adhoc", "dave", 4, 0.5), record);
+  platform.submit_job(tenant_job("adhoc-probe-3", "adhoc", "carol", 4, 0.5), record);
+  platform.engine().run();
+
+  ASSERT_EQ(done.size(), 6u);
+  for (const auto& t : done) {
+    EXPECT_FALSE(t.failed) << t.name;
+    EXPECT_GT(t.first_task_at, 0.0) << t.name;
+  }
+  EXPECT_TRUE(platform.runner().idle());
+  EXPECT_STREQ(platform.runner().scheduler_name(), "capacity");
+
+  // Per-queue accounting adds up.
+  const obs::Registry& reg = platform.metrics();
+  const obs::Counter* prod_done = reg.find_counter("mr.queue.prod.jobs_completed");
+  const obs::Counter* adhoc_done = reg.find_counter("mr.queue.adhoc.jobs_completed");
+  ASSERT_NE(prod_done, nullptr);
+  ASSERT_NE(adhoc_done, nullptr);
+  EXPECT_EQ(prod_done->value(), 3);
+  EXPECT_EQ(adhoc_done->value(), 3);
+  const obs::Counter* failed = reg.find_counter("mr.jobs_failed");
+  ASSERT_NE(failed, nullptr);
+  EXPECT_EQ(failed->value(), 0);
+  const obs::Gauge* running = reg.find_gauge("mr.jobs_running");
+  ASSERT_NE(running, nullptr);
+  EXPECT_GE(running->max(), 2.0);  // the cluster really was multi-tenant
+  EXPECT_DOUBLE_EQ(running->value(), 0.0);
+
+  // The guaranteed adhoc share means probes do not queue behind all of prod:
+  // every adhoc job starts before the last prod job finishes.
+  double last_prod_finish = 0.0;
+  for (const auto& t : done) {
+    if (t.name.rfind("prod", 0) == 0) last_prod_finish = std::max(last_prod_finish, t.finished);
+  }
+  for (const auto& t : done) {
+    if (t.name.rfind("adhoc", 0) == 0) {
+      EXPECT_LT(t.first_task_at, last_prod_finish) << t.name;
+    }
+  }
+
+  // The trace has one lane per job-facing daemon plus the jobtracker lane.
+  const std::string trace = platform.tracer().to_chrome_json();
+  EXPECT_NE(trace.find("jobtracker"), std::string::npos);
+}
+
+// Under Fair, a short job submitted while a long one is running overlaps it
+// instead of waiting (the scheduler tentpole's headline behaviour).
+TEST(MultiTenantIntegration, FairSchedulerOverlapsShortJobWithLongJob) {
+  Platform platform;
+  ClusterSpec spec;
+  spec.num_workers = 4;
+  spec.hadoop.scheduler = mapreduce::SchedulerPolicy::Fair;
+  platform.boot_cluster(spec);
+
+  std::vector<JobTimeline> done;
+  auto record = [&](const JobTimeline& t) { done.push_back(t); };
+  platform.submit_job(tenant_job("long", "default", "alice", 16, 3.0), record);
+  platform.submit_job(tenant_job("short", "default", "bob", 2, 0.3), record);
+  platform.engine().run();
+
+  ASSERT_EQ(done.size(), 2u);
+  const JobTimeline& long_job = done[0].name == "long" ? done[0] : done[1];
+  const JobTimeline& short_job = done[0].name == "short" ? done[0] : done[1];
+  ASSERT_EQ(long_job.name, "long");
+  ASSERT_EQ(short_job.name, "short");
+  EXPECT_FALSE(long_job.failed);
+  EXPECT_FALSE(short_job.failed);
+  // Overlap: the short job finished while the long one was still running.
+  EXPECT_LT(short_job.finished, long_job.finished);
+  EXPECT_GT(long_job.finished, short_job.first_task_at);
+}
+
+}  // namespace
+}  // namespace vhadoop::core

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "testutil/sim_cluster.hpp"
+
+namespace vhadoop::mapreduce {
+namespace {
+
+using testutil::SimCluster;
+
+struct RunArtifacts {
+  std::string metrics_json;
+  std::string trace_json;
+  double finished_at = 0.0;
+  int jobs_done = 0;
+};
+
+// A three-job mixed workload (HDFS-input job + two local-input jobs) with a
+// mid-run worker crash, traced end to end.
+RunArtifacts run_workload(SchedulerPolicy policy, std::uint64_t seed) {
+  HadoopConfig hc;
+  hc.scheduler = policy;
+  if (policy == SchedulerPolicy::Capacity) {
+    hc.queues = {{"prod", 0.6, 1.0, 1.0}, {"adhoc", 0.4, 0.8, 1.0}};
+  }
+  auto c = SimCluster::make(6, true, hc, {}, seed);
+  c->engine.tracer().set_enabled(true);
+
+  c->hdfs->write_file("/in/data", 6 * 64 * sim::kMiB, c->workers[0], nullptr);
+  c->engine.run();
+
+  RunArtifacts out;
+  SimJobSpec big;
+  big.name = "big";
+  big.queue = "prod";
+  big.output_path = "/out/big";
+  const auto& blocks = c->hdfs->blocks("/in/data");
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    big.maps.push_back({.input_path = "/in/data", .block_index = static_cast<int>(b),
+                        .cpu_seconds = 2.0, .output_bytes = 16 * sim::kMiB});
+  }
+  big.reduces.assign(2, {.cpu_seconds = 1.0, .output_bytes = 4 * sim::kMiB});
+  c->runner->submit(big, [&](const JobTimeline&) { ++out.jobs_done; });
+  for (int k = 0; k < 2; ++k) {
+    SimJobSpec small;
+    small.name = "small-" + std::to_string(k);
+    small.queue = "adhoc";
+    small.output_path = "/out/small-" + std::to_string(k);
+    for (int m = 0; m < 4; ++m) {
+      small.maps.push_back({.input_bytes = 4 * sim::kMiB, .cpu_seconds = 0.5,
+                            .output_bytes = 2 * sim::kMiB});
+    }
+    small.reduces.assign(1, {.cpu_seconds = 0.2, .output_bytes = sim::kMiB});
+    c->runner->submit(small, [&](const JobTimeline&) { ++out.jobs_done; });
+  }
+
+  // Deterministic fault injection: the crash lands at a fixed simulated
+  // instant, so the replay must reproduce it bit for bit too.
+  c->engine.run_until(c->engine.now() + 8.0);
+  c->cloud->crash_vm(c->workers[1]);
+  c->engine.run();
+
+  out.finished_at = c->engine.now();
+  out.metrics_json = c->engine.metrics().to_json();
+  out.trace_json = c->engine.tracer().to_chrome_json();
+  return out;
+}
+
+class DeterministicReplay : public ::testing::TestWithParam<SchedulerPolicy> {};
+
+TEST_P(DeterministicReplay, SameSeedTwiceIsByteIdentical) {
+  const RunArtifacts a = run_workload(GetParam(), 11);
+  const RunArtifacts b = run_workload(GetParam(), 11);
+  ASSERT_EQ(a.jobs_done, 3);
+  ASSERT_EQ(b.jobs_done, 3);
+  EXPECT_DOUBLE_EQ(a.finished_at, b.finished_at);
+  // The full observability surface replays byte-identically: every metric
+  // value and every trace event timestamp.
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+  EXPECT_EQ(a.trace_json, b.trace_json);
+  EXPECT_FALSE(a.metrics_json.empty());
+  EXPECT_FALSE(a.trace_json.empty());
+}
+
+TEST_P(DeterministicReplay, DifferentSeedChangesHdfsPlacementNotCorrectness) {
+  const RunArtifacts a = run_workload(GetParam(), 11);
+  const RunArtifacts b = run_workload(GetParam(), 12);
+  EXPECT_EQ(a.jobs_done, 3);
+  EXPECT_EQ(b.jobs_done, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, DeterministicReplay,
+                         ::testing::Values(SchedulerPolicy::Fifo, SchedulerPolicy::Fair,
+                                           SchedulerPolicy::Capacity),
+                         [](const ::testing::TestParamInfo<SchedulerPolicy>& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+// --- FIFO timing regression ----------------------------------------------------
+
+// Golden values captured from the pre-scheduler (single-job) runner: the
+// multi-job refactor must not move a single FIFO timestamp. If either
+// expectation trips, slot assignment or event ordering drifted.
+
+TEST(FifoTimingRegression, SimpleJobTimingsExactlyMatchSeedRunner) {
+  auto c = SimCluster::make(4, false);
+  SimJobSpec spec;
+  spec.name = "golden-a";
+  spec.output_path = "/out/golden-a";
+  for (int m = 0; m < 4; ++m) {
+    spec.maps.push_back({.input_bytes = 8 * sim::kMiB, .cpu_seconds = 0.5,
+                         .output_bytes = 4 * sim::kMiB});
+  }
+  for (int r = 0; r < 2; ++r) {
+    spec.reduces.push_back({.cpu_seconds = 0.3, .output_bytes = 4 * sim::kMiB});
+  }
+  JobTimeline t;
+  c->runner->submit(spec, [&](const JobTimeline& tl) { t = tl; });
+  c->engine.run();
+  EXPECT_DOUBLE_EQ(t.elapsed(), 4.4445490111999959);
+  EXPECT_DOUBLE_EQ(t.finished, 23.435080677866662);
+  EXPECT_DOUBLE_EQ(t.queue_wait(), 0.0);  // idle cluster: first heartbeat serves it
+}
+
+TEST(FifoTimingRegression, HdfsLocalityJobTimingsExactlyMatchSeedRunner) {
+  auto c = SimCluster::make(6, false);
+  c->hdfs->write_file("/in/golden", 6 * 64 * sim::kMiB, c->workers[0], nullptr);
+  c->engine.run();
+  SimJobSpec spec;
+  spec.name = "golden-b";
+  spec.output_path = "/out/golden-b";
+  const auto& blocks = c->hdfs->blocks("/in/golden");
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    spec.maps.push_back({.input_path = "/in/golden", .block_index = static_cast<int>(b),
+                         .cpu_seconds = 1.5, .output_bytes = 16 * sim::kMiB});
+  }
+  spec.reduces.assign(2, {.cpu_seconds = 1.0, .output_bytes = 8 * sim::kMiB});
+  JobTimeline t;
+  c->runner->submit(spec, [&](const JobTimeline& tl) { t = tl; });
+  c->engine.run();
+  EXPECT_DOUBLE_EQ(t.elapsed(), 6.7368669059555586);
+  EXPECT_DOUBLE_EQ(t.finished, 38.590440839288895);
+  EXPECT_EQ(t.data_local_maps(), 4);
+}
+
+}  // namespace
+}  // namespace vhadoop::mapreduce

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "testutil/sim_cluster.hpp"
+
+namespace vhadoop::mapreduce {
+namespace {
+
+using testutil::SimCluster;
+
+// Fault matrix: every scheduler policy crossed with two workload shapes,
+// each losing a datanode mid-job. The JobTracker must re-execute the lost
+// work on the survivors and finish every job without marking any failed.
+
+enum class Shape { Wordcount, Terasort };
+
+struct MatrixParam {
+  SchedulerPolicy policy;
+  Shape shape;
+};
+
+std::string param_name(const ::testing::TestParamInfo<MatrixParam>& info) {
+  return std::string(to_string(info.param.policy)) +
+         (info.param.shape == Shape::Wordcount ? "_wordcount" : "_terasort");
+}
+
+// Wordcount shape: CPU-heavy maps over HDFS blocks, tiny combiner-shrunk
+// shuffle. TeraSort shape: I/O-heavy, shuffle as large as the input, more
+// reduces with replication-1 output.
+SimJobSpec shaped_job(Shape shape, const hdfs::HdfsCluster& hdfs, const std::string& path) {
+  SimJobSpec spec;
+  const auto& blocks = hdfs.blocks(path);
+  if (shape == Shape::Wordcount) {
+    spec.name = "wordcount";
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      spec.maps.push_back({.input_path = path, .block_index = static_cast<int>(b),
+                           .cpu_seconds = 6.0, .output_bytes = 2 * sim::kMiB});
+    }
+    spec.reduces.assign(2, {.cpu_seconds = 1.0, .output_bytes = sim::kMiB});
+    spec.output_path = "/out/wordcount";
+  } else {
+    spec.name = "terasort";
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      spec.maps.push_back({.input_path = path, .block_index = static_cast<int>(b),
+                           .cpu_seconds = 0.8, .output_bytes = 64 * sim::kMiB});
+    }
+    spec.reduces.assign(4, {.cpu_seconds = 1.5, .output_bytes = 96 * sim::kMiB});
+    spec.output_path = "/out/terasort";
+  }
+  return spec;
+}
+
+class FaultMatrix : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(FaultMatrix, DatanodeLossMidJobStillCompletesEverything) {
+  const MatrixParam p = GetParam();
+  HadoopConfig hc;
+  hc.scheduler = p.policy;
+  if (p.policy == SchedulerPolicy::Capacity) {
+    hc.queues = {{"prod", 0.6, 1.0, 1.0}, {"adhoc", 0.4, 1.0, 1.0}};
+  }
+  auto c = SimCluster::make(6, false, hc, {}, 7);
+  c->hdfs->write_file("/in/matrix", 6 * 64 * sim::kMiB, c->workers[0], nullptr);
+  c->engine.run();
+
+  int jobs_done = 0, jobs_failed = 0;
+  auto record = [&](const JobTimeline& t) {
+    ++jobs_done;
+    jobs_failed += t.failed ? 1 : 0;
+  };
+
+  SimJobSpec main_job = shaped_job(p.shape, *c->hdfs, "/in/matrix");
+  main_job.queue = "prod";
+  c->runner->submit(main_job, record);
+  // A concurrent background job keeps the non-FIFO policies honest: the
+  // recovery must interleave correctly with another tenant's tasks.
+  SimJobSpec side;
+  side.name = "side";
+  side.queue = "adhoc";
+  side.output_path = "/out/side";
+  for (int m = 0; m < 4; ++m) {
+    side.maps.push_back({.input_bytes = 4 * sim::kMiB, .cpu_seconds = 0.6,
+                         .output_bytes = 2 * sim::kMiB});
+  }
+  side.reduces.assign(1, {.cpu_seconds = 0.4, .output_bytes = sim::kMiB});
+  c->runner->submit(side, record);
+
+  // Kill a datanode that holds replicas and is running tasks mid-flight.
+  c->engine.run_until(c->engine.now() + 8.0);
+  c->cloud->crash_vm(c->workers[2]);
+  c->engine.run();
+
+  EXPECT_EQ(jobs_done, 2);
+  EXPECT_EQ(jobs_failed, 0);
+  EXPECT_TRUE(c->runner->idle());
+  const obs::Counter* failed = c->engine.metrics().find_counter("mr.jobs_failed");
+  ASSERT_NE(failed, nullptr);
+  EXPECT_EQ(failed->value(), 0);
+  const obs::Counter* completed = c->engine.metrics().find_counter("mr.jobs_completed");
+  ASSERT_NE(completed, nullptr);
+  EXPECT_EQ(completed->value(), 2);
+  // The lost node's tasks were re-executed somewhere else.
+  const obs::Counter* reexec = c->engine.metrics().find_counter("mr.reexecutions");
+  ASSERT_NE(reexec, nullptr);
+  EXPECT_GT(reexec->value(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyByWorkload, FaultMatrix,
+    ::testing::Values(MatrixParam{SchedulerPolicy::Fifo, Shape::Wordcount},
+                      MatrixParam{SchedulerPolicy::Fifo, Shape::Terasort},
+                      MatrixParam{SchedulerPolicy::Fair, Shape::Wordcount},
+                      MatrixParam{SchedulerPolicy::Fair, Shape::Terasort},
+                      MatrixParam{SchedulerPolicy::Capacity, Shape::Wordcount},
+                      MatrixParam{SchedulerPolicy::Capacity, Shape::Terasort}),
+    param_name);
+
+}  // namespace
+}  // namespace vhadoop::mapreduce

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "testutil/sim_cluster.hpp"
+
+namespace vhadoop::mapreduce {
+namespace {
+
+using testutil::SimCluster;
+
+// Invariants that must hold for EVERY scheduler policy and EVERY rng seed:
+//   1. every submitted job completes, none fail;
+//   2. reducers fetch exactly the map-output bytes the job produced;
+//   3. no VM ever holds more map (reduce) tasks than it has slots;
+//   4. no job starves: each one is eventually granted a first task slot.
+// Speculation is disabled so the recorded TaskTimings are the complete set
+// of attempts (a speculative loser would occupy a slot invisibly).
+
+struct SweepParam {
+  SchedulerPolicy policy;
+  std::uint64_t seed;
+};
+
+std::string param_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  return std::string(to_string(info.param.policy)) + "_seed" +
+         std::to_string(info.param.seed);
+}
+
+double expected_shuffle_bytes(const SimJobSpec& spec) {
+  double total = 0.0;
+  for (std::size_t m = 0; m < spec.maps.size(); ++m) {
+    for (std::size_t r = 0; r < spec.reduces.size(); ++r) {
+      total += spec.shuffle_bytes(m, r);
+    }
+  }
+  return total;
+}
+
+// Event sweep over [assigned, finished) occupancy intervals: the peak
+// number of simultaneous tasks of one kind on one VM.
+int peak_occupancy(const std::vector<std::pair<double, double>>& intervals) {
+  std::vector<std::pair<double, int>> events;
+  for (const auto& [a, b] : intervals) {
+    events.emplace_back(a, +1);
+    events.emplace_back(b, -1);
+  }
+  // Releases sort before grabs at the same instant: an out-of-band
+  // heartbeat legitimately refills a slot the moment it frees.
+  std::sort(events.begin(), events.end(),
+            [](const auto& x, const auto& y) {
+              return x.first != y.first ? x.first < y.first : x.second < y.second;
+            });
+  int cur = 0, peak = 0;
+  for (const auto& [t, d] : events) {
+    cur += d;
+    peak = std::max(peak, cur);
+  }
+  return peak;
+}
+
+class SchedulerPropertySweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(SchedulerPropertySweep, InvariantsHoldForMixedWorkload) {
+  const SweepParam p = GetParam();
+  HadoopConfig hc;
+  hc.scheduler = p.policy;
+  hc.speculative_execution = false;
+  if (p.policy == SchedulerPolicy::Capacity) {
+    hc.queues = {{"prod", 0.5, 1.0, 0.6}, {"adhoc", 0.5, 1.0, 0.6}};
+  }
+  auto c = SimCluster::make(4, p.seed % 2 == 0, hc, {}, p.seed);
+
+  c->hdfs->write_file("/in/sweep", 4 * 64 * sim::kMiB, c->workers[0], nullptr);
+  c->engine.run();
+
+  std::vector<SimJobSpec> specs;
+  {
+    SimJobSpec big;
+    big.name = "sweep-big";
+    big.queue = "prod";
+    big.user = "alice";
+    big.output_path = "/out/sweep-big";
+    const auto& blocks = c->hdfs->blocks("/in/sweep");
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      big.maps.push_back({.input_path = "/in/sweep", .block_index = static_cast<int>(b),
+                          .cpu_seconds = 1.2, .output_bytes = 8 * sim::kMiB});
+    }
+    big.reduces.assign(2, {.cpu_seconds = 0.5, .output_bytes = 2 * sim::kMiB});
+    specs.push_back(std::move(big));
+  }
+  for (int k = 0; k < 2; ++k) {
+    SimJobSpec small;
+    small.name = "sweep-small-" + std::to_string(k);
+    small.queue = "adhoc";
+    small.user = k == 0 ? "alice" : "bob";
+    small.output_path = "/out/sweep-small-" + std::to_string(k);
+    for (int m = 0; m < 3; ++m) {
+      small.maps.push_back({.input_bytes = 4 * sim::kMiB, .cpu_seconds = 0.4,
+                            .output_bytes = 2 * sim::kMiB});
+    }
+    small.reduces.assign(1, {.cpu_seconds = 0.3, .output_bytes = sim::kMiB});
+    specs.push_back(std::move(small));
+  }
+
+  std::vector<JobTimeline> done;
+  for (const auto& spec : specs) {
+    c->runner->submit(spec, [&](const JobTimeline& t) { done.push_back(t); });
+  }
+  c->engine.run();
+
+  // 1. completion
+  ASSERT_EQ(done.size(), specs.size());
+  ASSERT_TRUE(c->runner->idle());
+  std::map<std::string, const JobTimeline*> by_name;
+  for (const auto& t : done) {
+    EXPECT_FALSE(t.failed) << t.name;
+    EXPECT_GT(t.finished, t.submitted) << t.name;
+    by_name[t.name] = &t;
+  }
+  ASSERT_EQ(by_name.size(), specs.size());
+
+  // 2. shuffle conservation: bytes consumed == bytes produced, per job
+  for (const auto& spec : specs) {
+    const JobTimeline& t = *by_name.at(spec.name);
+    const double want = expected_shuffle_bytes(spec);
+    EXPECT_NEAR(t.shuffle_fetched_bytes, want, 1e-6 * want) << spec.name;
+  }
+
+  // 3. slot caps: sweep every recorded task interval, grouped by VM
+  std::map<virt::VmId, std::vector<std::pair<double, double>>> map_busy, red_busy;
+  for (const auto& t : done) {
+    for (const auto& task : t.maps) map_busy[task.vm].emplace_back(task.assigned, task.finished);
+    for (const auto& task : t.reduces) red_busy[task.vm].emplace_back(task.assigned, task.finished);
+  }
+  for (const auto& [vm, iv] : map_busy) {
+    EXPECT_LE(peak_occupancy(iv), hc.map_slots_per_worker) << "vm " << vm;
+  }
+  for (const auto& [vm, iv] : red_busy) {
+    EXPECT_LE(peak_occupancy(iv), hc.reduce_slots_per_worker) << "vm " << vm;
+  }
+
+  // 4. no starvation: every job got a slot, and under Fair/Capacity no small
+  // job waits for the big job's full runtime (FIFO intentionally serializes).
+  for (const auto& t : done) {
+    EXPECT_GT(t.first_task_at, 0.0) << t.name;
+  }
+  if (p.policy != SchedulerPolicy::Fifo) {
+    const double big_finish = by_name.at("sweep-big")->finished;
+    for (int k = 0; k < 2; ++k) {
+      const JobTimeline& t = *by_name.at("sweep-small-" + std::to_string(k));
+      EXPECT_LT(t.first_task_at, big_finish) << t.name << " starved behind sweep-big";
+    }
+  }
+}
+
+std::vector<SweepParam> sweep_params() {
+  std::vector<SweepParam> params;
+  for (auto policy : {SchedulerPolicy::Fifo, SchedulerPolicy::Fair, SchedulerPolicy::Capacity}) {
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) params.push_back({policy, seed});
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, SchedulerPropertySweep,
+                         ::testing::ValuesIn(sweep_params()), param_name);
+
+}  // namespace
+}  // namespace vhadoop::mapreduce

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "testutil/sim_cluster.hpp"
+#include "tuner/tuner.hpp"
+
+namespace vhadoop::tuner {
+namespace {
+
+using mapreduce::HadoopConfig;
+using mapreduce::SchedulerPolicy;
+
+// Populate a registry the way the JobTracker does: a queue-wait histogram
+// and a concurrent-jobs gauge.
+void seed_metrics(obs::Registry& reg, std::vector<double> waits, double peak_jobs) {
+  obs::Histogram* h = reg.histogram("mr.job_queue_wait_seconds",
+                                    obs::Histogram::exponential_buckets(0.5, 2.0, 14));
+  for (double w : waits) h->observe(w);
+  reg.gauge("mr.jobs_running")->set(peak_jobs);
+}
+
+TEST(TunerSchedulingTest, RecommendsFairForFifoHeadOfLineBlocking) {
+  obs::Registry reg;
+  seed_metrics(reg, {0.0, 22.0, 45.0}, 3.0);
+  MapReduceTuner tuner;
+  HadoopConfig fifo;  // default scheduler is Fifo
+  auto recs = tuner.analyse_scheduling(reg, fifo);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].kind, Recommendation::Kind::UseFairScheduler);
+  EXPECT_NE(recs[0].message.find("fair"), std::string::npos);
+}
+
+TEST(TunerSchedulingTest, SilentWhenAlreadyFairOrCapacity) {
+  obs::Registry reg;
+  seed_metrics(reg, {30.0, 60.0, 90.0}, 4.0);
+  MapReduceTuner tuner;
+  HadoopConfig hc;
+  hc.scheduler = SchedulerPolicy::Fair;
+  EXPECT_TRUE(tuner.analyse_scheduling(reg, hc).empty());
+  hc.scheduler = SchedulerPolicy::Capacity;
+  EXPECT_TRUE(tuner.analyse_scheduling(reg, hc).empty());
+}
+
+TEST(TunerSchedulingTest, SilentForSingleTenantCluster) {
+  // Long waits but never more than one job at a time: Fair would not help.
+  obs::Registry reg;
+  seed_metrics(reg, {20.0, 40.0}, 1.0);
+  MapReduceTuner tuner;
+  EXPECT_TRUE(tuner.analyse_scheduling(reg, HadoopConfig{}).empty());
+}
+
+TEST(TunerSchedulingTest, SilentWhenWaitsAreTolerable) {
+  obs::Registry reg;
+  seed_metrics(reg, {0.5, 1.0, 2.0, 3.0}, 3.0);
+  MapReduceTuner tuner;
+  EXPECT_TRUE(tuner.analyse_scheduling(reg, HadoopConfig{}).empty());
+}
+
+TEST(TunerSchedulingTest, SilentWithoutEnoughEvidence) {
+  MapReduceTuner tuner;
+  obs::Registry empty;
+  EXPECT_TRUE(tuner.analyse_scheduling(empty, HadoopConfig{}).empty());
+  obs::Registry one_job;
+  seed_metrics(one_job, {99.0}, 5.0);  // a single sample is not a pattern
+  EXPECT_TRUE(tuner.analyse_scheduling(one_job, HadoopConfig{}).empty());
+}
+
+TEST(TunerSchedulingTest, ThresholdsComeFromPolicy) {
+  obs::Registry reg;
+  seed_metrics(reg, {4.0, 8.0}, 2.0);
+  TunerPolicy strict;
+  strict.queue_wait_tolerable = 5.0;
+  EXPECT_EQ(MapReduceTuner(strict).analyse_scheduling(reg, HadoopConfig{}).size(), 1u);
+  TunerPolicy lax;
+  lax.queue_wait_tolerable = 50.0;
+  EXPECT_TRUE(MapReduceTuner(lax).analyse_scheduling(reg, HadoopConfig{}).empty());
+}
+
+TEST(TunerSchedulingTest, ApplySwitchesSchedulerToFair) {
+  HadoopConfig fifo;
+  std::vector<Recommendation> recs = {{Recommendation::Kind::UseFairScheduler, "msg"}};
+  HadoopConfig out = MapReduceTuner::apply(fifo, recs);
+  EXPECT_EQ(out.scheduler, SchedulerPolicy::Fair);
+  // Everything else untouched.
+  EXPECT_EQ(out.map_slots_per_worker, fifo.map_slots_per_worker);
+  EXPECT_DOUBLE_EQ(out.io_sort_bytes, fifo.io_sort_bytes);
+}
+
+// End to end: run a congested FIFO cluster, feed its real metrics to the
+// tuner, apply the advice, and check the reconfigured cluster is Fair.
+TEST(TunerSchedulingTest, EndToEndFifoBacklogProducesFairConfig) {
+  HadoopConfig hc;  // Fifo
+  auto c = testutil::SimCluster::make(3, false, hc);
+
+  auto long_job = [](int i) {
+    mapreduce::SimJobSpec s;
+    s.name = "batch-" + std::to_string(i);
+    s.output_path = "/out/batch-" + std::to_string(i);
+    for (int m = 0; m < 6; ++m) {
+      s.maps.push_back({.input_bytes = 8 * sim::kMiB, .cpu_seconds = 4.0,
+                        .output_bytes = 2 * sim::kMiB});
+    }
+    s.reduces.assign(1, {.cpu_seconds = 1.0, .output_bytes = sim::kMiB});
+    return s;
+  };
+  int done = 0;
+  for (int i = 0; i < 3; ++i) {
+    c->runner->submit(long_job(i), [&](const mapreduce::JobTimeline&) { ++done; });
+  }
+  c->engine.run();
+  ASSERT_EQ(done, 3);
+
+  MapReduceTuner tuner;
+  auto recs = tuner.analyse_scheduling(c->engine.metrics(), hc);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].kind, Recommendation::Kind::UseFairScheduler);
+  HadoopConfig tuned = MapReduceTuner::apply(hc, recs);
+  EXPECT_EQ(tuned.scheduler, SchedulerPolicy::Fair);
+  // The tuned config must not fire the rule again once adopted.
+  EXPECT_TRUE(tuner.analyse_scheduling(c->engine.metrics(), tuned).empty());
+}
+
+}  // namespace
+}  // namespace vhadoop::tuner
