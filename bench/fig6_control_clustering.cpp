@@ -24,7 +24,7 @@ namespace {
 /// given size. One map wave across the cluster, as the Mahout drivers of
 /// the era were configured (mapred.map.tasks = cluster size).
 template <typename RunFn>
-double run_on_cluster(int workers, const ml::Dataset& data, double dataset_bytes, RunFn fn) {
+double run_on_cluster(int workers, const ml::Dataset&, double dataset_bytes, RunFn fn) {
   ml::ClusteringConfig base{.num_splits = workers, .num_reduces = 1, .max_iterations = 5};
   auto run = fn(base);
   core::Platform platform;

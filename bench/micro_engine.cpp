@@ -49,7 +49,7 @@ BENCHMARK(BM_FluidRecompute)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_WordcountLogical(benchmark::State& state) {
   workloads::TextCorpus corpus(5000);
-  const auto lines = corpus.generate(1024.0 * state.range(0));
+  const auto lines = corpus.generate(1024.0 * static_cast<double>(state.range(0)));
   mapreduce::LocalJobRunner runner(4);
   for (auto _ : state) {
     auto result = runner.run(workloads::wordcount_job(2, true), lines, 4);

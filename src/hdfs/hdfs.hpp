@@ -1,8 +1,8 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/rng.hpp"
@@ -109,7 +109,10 @@ class HdfsCluster {
   virt::VmId namenode_;
   std::vector<virt::VmId> datanodes_;
   sim::Rng rng_;
-  std::unordered_map<std::string, FileMeta> files_;
+  // std::map, not unordered: failure handling, decommission and fsck-style
+  // scans iterate the namespace, and the traffic they start must be ordered
+  // identically on every run (determinism contract, DESIGN.md §9).
+  std::map<std::string, FileMeta> files_;
   double bytes_written_ = 0.0;
   double bytes_read_ = 0.0;
   obs::Counter* m_blocks_read_;

@@ -413,30 +413,30 @@ void SimulatedJobRunner::run_map(ActiveJob& job0, std::size_t m, std::size_t i, 
     // 2. job localization: stream jar + conf from a datanode
     // (DistributedCache — cold once per VM per job, cached afterwards).
     tracer().begin(pid, tid, "localize", "map");
-    localize(job, vm, G([this, m, i, vm, pid, tid, G](ActiveJob& job) {
+    localize(job, vm, G([this, m, i, vm, pid, tid, G](ActiveJob& job2) {
       tracer().end(pid, tid);  // localize
-      auto& timing = job.timeline.maps[m];
+      auto& timing = job2.timeline.maps[m];
       timing.started = cloud_.engine().now();
-      const auto& mt = job.spec.maps[m];
-      auto after_read = G([this, m, i, vm, pid, tid, G](ActiveJob& job) {
+      const auto& mt = job2.spec.maps[m];
+      auto after_read = G([this, m, i, vm, pid, tid, G](ActiveJob& job3) {
         tracer().end(pid, tid);  // read
         // 4. user map function.
         tracer().begin(pid, tid, "compute", "map");
-        cloud_.run_compute(vm, job.spec.maps[m].cpu_seconds, G([this, m, i, vm, pid, tid,
-                                                                G](ActiveJob& job) {
+        cloud_.run_compute(vm, job3.spec.maps[m].cpu_seconds, G([this, m, i, vm, pid, tid,
+                                                                G](ActiveJob& job4) {
           tracer().end(pid, tid);  // compute
           // 5. materialize map output. The spill/commit span (and the
           // enclosing map span) are closed by the slot release in
           // finish_map via end_all.
-          const auto& mt3 = job.spec.maps[m];
-          auto done = G([this, m, i](ActiveJob& job) { finish_map(job, m, i); });
+          const auto& mt3 = job4.spec.maps[m];
+          auto done = G([this, m, i](ActiveJob& job5) { finish_map(job5, m, i); });
           if (mt3.output_bytes <= 0.0) {
             done();
-          } else if (job.spec.map_output_to_hdfs) {
+          } else if (job4.spec.map_output_to_hdfs) {
             tracer().begin(pid, tid, "commit", "map");
-            const int attempt_now = job.maps[m].attempt;
+            const int attempt_now = job4.maps[m].attempt;
             const std::string path =
-                job.spec.output_path + "/map-" + std::to_string(m) +
+                job4.spec.output_path + "/map-" + std::to_string(m) +
                 (attempt_now > 0 ? "-a" + std::to_string(attempt_now) : "");
             hdfs_.write_file(path, mt3.output_bytes, vm, std::move(done),
                              config_.output_replication);
@@ -447,7 +447,7 @@ void SimulatedJobRunner::run_map(ActiveJob& job0, std::size_t m, std::size_t i, 
             // cache for the imminent shuffle fetches; the intermediate
             // pass is forced writeback.
             const bool extra = mt3.output_bytes > config_.io_sort_bytes;
-            const std::string key = map_output_key(job, m);
+            const std::string key = map_output_key(job4, m);
             auto write_final = [this, vm, mt3, key, done = std::move(done)]() mutable {
               cloud_.scratch_write(vm, mt3.output_bytes, std::move(done), key);
             };
@@ -579,19 +579,19 @@ void SimulatedJobRunner::run_reduce(ActiveJob& job0, std::size_t r, std::size_t 
                                                             G](ActiveJob& job) {
     tracer().end(pid, tid);  // jvm_spawn
     tracer().begin(pid, tid, "localize", "reduce");
-    localize(job, vm, G([this, r, pid, tid](ActiveJob& job) {
+    localize(job, vm, G([this, r, pid, tid](ActiveJob& job2) {
       tracer().end(pid, tid);  // localize
       // The shuffle span runs from fetch-readiness to the last partition's
       // arrival; maybe_merge closes it.
       tracer().begin(pid, tid, "shuffle", "reduce");
-      job.timeline.reduces[r].started = cloud_.engine().now();
-      job.reduces[r].ready = true;
-      job.reduces[r].last_progress = cloud_.engine().now();
+      job2.timeline.reduces[r].started = cloud_.engine().now();
+      job2.reduces[r].ready = true;
+      job2.reduces[r].last_progress = cloud_.engine().now();
       // Fetch everything already finished; the rest arrives via finish_map.
-      for (std::size_t m = 0; m < job.maps.size(); ++m) {
-        if (job.maps[m].done) start_fetch(job, m, r);
+      for (std::size_t m = 0; m < job2.maps.size(); ++m) {
+        if (job2.maps[m].done) start_fetch(job2, m, r);
       }
-      maybe_merge(job, r);  // degenerate: zero maps already fetched
+      maybe_merge(job2, r);  // degenerate: zero maps already fetched
     }));
   }));
   }));
@@ -624,16 +624,16 @@ void SimulatedJobRunner::start_fetch(ActiveJob& job, std::size_t m, std::size_t 
     mark_map_lost(job, m);
     return;
   }
-  auto arrived = reduce_guard(id, r, rs.attempt, [this, m, r, bytes](ActiveJob& job) {
-    ReduceState& rs2 = job.reduces[r];
+  auto arrived = reduce_guard(id, r, rs.attempt, [this, m, r, bytes](ActiveJob& job2) {
+    ReduceState& rs2 = job2.reduces[r];
     if (rs2.fetched[m]) return;  // duplicate delivery after a re-fetch
     rs2.fetched[m] = true;
     ++rs2.fetch_count;
     rs2.fetched_bytes += bytes;
-    job.timeline.shuffle_fetched_bytes += bytes;
+    job2.timeline.shuffle_fetched_bytes += bytes;
     m_shuffle_bytes_->add(bytes);
     rs2.last_progress = cloud_.engine().now();
-    maybe_merge(job, r);
+    maybe_merge(job2, r);
   });
   if (bytes <= 0.0) {
     arrived();
@@ -660,15 +660,15 @@ void SimulatedJobRunner::maybe_merge(ActiveJob& job, std::size_t r) {
   tracer().end(pid, tid);  // shuffle
 
   auto compute = reduce_guard(id, r, attempt, [this, r, vm, pid, tid, id,
-                                               attempt](ActiveJob& job) {
+                                               attempt](ActiveJob& job2) {
     tracer().begin(pid, tid, "compute", "reduce");
     cloud_.run_compute(
-        vm, job.spec.reduces[r].cpu_seconds,
-        reduce_guard(id, r, attempt, [this, r, vm, pid, tid, id, attempt](ActiveJob& job) {
+        vm, job2.spec.reduces[r].cpu_seconds,
+        reduce_guard(id, r, attempt, [this, r, vm, pid, tid, id, attempt](ActiveJob& job3) {
           tracer().end(pid, tid);  // compute
-          const double out = job.spec.reduces[r].output_bytes;
+          const double out = job3.spec.reduces[r].output_bytes;
           auto done = reduce_guard(id, r, attempt,
-                                   [this, r](ActiveJob& job) { finish_reduce(job, r); });
+                                   [this, r](ActiveJob& job4) { finish_reduce(job4, r); });
           if (out <= 0.0) {
             done();
           } else {
@@ -676,7 +676,7 @@ void SimulatedJobRunner::maybe_merge(ActiveJob& job, std::size_t r) {
             // the slot release in finish_reduce via end_all.
             tracer().begin(pid, tid, "commit", "reduce");
             const std::string path =
-                job.spec.output_path + "/part-" + std::to_string(r) +
+                job3.spec.output_path + "/part-" + std::to_string(r) +
                 (attempt > 0 ? "-a" + std::to_string(attempt) : "");
             hdfs_.write_file(path, out, vm, std::move(done), config_.output_replication);
           }

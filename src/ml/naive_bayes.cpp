@@ -159,7 +159,8 @@ NaiveBayesRun train_naive_bayes(const std::vector<LabeledDoc>& docs,
   for (const auto& [label, n] : doc_counts) total_docs += n;
   const double v = static_cast<double>(vocab.size());
   for (const auto& [label, n] : doc_counts) {
-    model.log_prior[label] = std::log(static_cast<double>(n) / total_docs);
+    model.log_prior[label] =
+        std::log(static_cast<double>(n) / static_cast<double>(total_docs));
     const double denom = static_cast<double>(total_tokens[label]) + config.alpha * v;
     model.log_unseen[label] = std::log(config.alpha / denom);
     auto& out = model.log_likelihood[label];

@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <cassert>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
@@ -121,13 +122,32 @@ void put_key(std::ostringstream& out, const std::string& k) {
   out << "\":";
 }
 
+/// Debug-mode guard for the determinism contract (DESIGN.md §9): keys in a
+/// snapshot section must be emitted in strictly increasing order. Sorted
+/// output is an invariant that golden tests and replay diffing rely on —
+/// asserted here so it cannot silently regress to an accident of whichever
+/// container the registry happens to use.
+class SortedKeyCheck {
+ public:
+  void emit(const std::string& key) {
+    assert((prev_ == nullptr || *prev_ < key) &&
+           "Registry snapshot keys must be strictly sorted");
+    prev_ = &key;
+  }
+
+ private:
+  const std::string* prev_ = nullptr;  // owned by the registry map, stable
+};
+
 }  // namespace
 
 std::string Registry::to_json() const {
   std::ostringstream out;
   out << "{\"counters\":{";
   bool first = true;
+  SortedKeyCheck counters_sorted;
   for (const auto& [name, c] : counters_) {
+    counters_sorted.emit(name);
     if (!first) out << ',';
     first = false;
     put_key(out, name);
@@ -135,7 +155,9 @@ std::string Registry::to_json() const {
   }
   out << "},\"gauges\":{";
   first = true;
+  SortedKeyCheck gauges_sorted;
   for (const auto& [name, g] : gauges_) {
+    gauges_sorted.emit(name);
     if (!first) out << ',';
     first = false;
     put_key(out, name);
@@ -147,7 +169,9 @@ std::string Registry::to_json() const {
   }
   out << "},\"histograms\":{";
   first = true;
+  SortedKeyCheck histograms_sorted;
   for (const auto& [name, h] : histograms_) {
+    histograms_sorted.emit(name);
     if (!first) out << ',';
     first = false;
     put_key(out, name);

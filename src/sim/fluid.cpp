@@ -122,11 +122,13 @@ void FluidModel::settle() {
     last_update_ = now;
     return;
   }
+  // vlint: allow(no-unordered-iteration) per-entry update, no cross-entry state
   for (auto& [id, r] : resources_) {
     double alloc = 0.0;
     for (std::uint64_t a : r.users) alloc += activities_.at(a).rate;
     r.busy_integral += alloc * elapsed;
   }
+  // vlint: allow(no-unordered-iteration) per-entry update, no cross-entry state
   for (auto& [id, act] : activities_) {
     act.remaining = std::max(0.0, act.remaining - act.rate * elapsed);
   }
@@ -141,10 +143,12 @@ void FluidModel::recompute_rates() {
   // cap is reached.
   std::unordered_map<std::uint64_t, double> slack;
   slack.reserve(resources_.size());
+  // vlint: allow(no-unordered-iteration) keyed copy, one write per entry
   for (auto& [rid, r] : resources_) slack[rid] = r.capacity;
 
   std::vector<std::uint64_t> unfrozen;
   unfrozen.reserve(activities_.size());
+  // vlint: allow(no-unordered-iteration) collects ids, sorted before use below
   for (auto& [aid, act] : activities_) {
     act.rate = 0.0;
     if (act.cap <= 0.0) continue;  // paused
@@ -162,6 +166,7 @@ void FluidModel::recompute_rates() {
     }
 
     double theta = std::numeric_limits<double>::infinity();
+    // vlint: allow(no-unordered-iteration) min-reduction, order-independent
     for (const auto& [rid, w] : sumw) {
       if (w > 0.0) theta = std::min(theta, std::max(0.0, slack.at(rid)) / w);
     }
@@ -176,6 +181,7 @@ void FluidModel::recompute_rates() {
       Activity& act = activities_.at(aid);
       act.rate += act.weight * theta;
     }
+    // vlint: allow(no-unordered-iteration) per-entry update, no cross-entry state
     for (auto& [rid, w] : sumw) slack.at(rid) -= theta * w;
 
     // Freeze activities at saturated resources or at their cap.
@@ -216,6 +222,7 @@ void FluidModel::recompute_and_reschedule() {
     pending_event_ = {};
   }
   double eta = std::numeric_limits<double>::infinity();
+  // vlint: allow(no-unordered-iteration) min-reduction, order-independent
   for (const auto& [aid, act] : activities_) {
     if (act.rate > 0.0) eta = std::min(eta, std::max(0.0, act.remaining) / act.rate);
   }
@@ -231,6 +238,7 @@ void FluidModel::on_completion_event() {
   // Collect everything that is done. Tolerance is absolute: kWorkEps work
   // units remaining cannot be observed by any consumer of the model.
   std::vector<std::uint64_t> done;
+  // vlint: allow(no-unordered-iteration) collects ids, sorted before callbacks
   for (const auto& [aid, act] : activities_) {
     if (act.remaining <= kWorkEps && (act.rate > 0.0 || act.total <= kWorkEps)) {
       done.push_back(aid);
@@ -243,9 +251,14 @@ void FluidModel::on_completion_event() {
     // frozen timestamp forever.
     std::uint64_t best = 0;
     double best_eta = std::numeric_limits<double>::infinity();
+    // Ties break on the smaller activity id, so the chosen finisher does not
+    // depend on the hash-map layout (determinism contract, DESIGN.md §9).
+    // vlint: allow(no-unordered-iteration) selection by (eta, id) minimum, order-independent
     for (const auto& [aid, act] : activities_) {
-      if (act.rate > 0.0 && act.remaining / act.rate < best_eta) {
-        best_eta = act.remaining / act.rate;
+      if (act.rate <= 0.0) continue;
+      const double a_eta = act.remaining / act.rate;
+      if (a_eta < best_eta || (a_eta == best_eta && (best == 0 || aid < best))) {
+        best_eta = a_eta;
         best = aid;
       }
     }

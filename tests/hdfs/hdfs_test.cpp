@@ -204,11 +204,11 @@ TEST_F(HdfsTest, CrossDomainCachedReadsSlowerThanNormal) {
     sim::FluidModel m(e);
     net::Fabric f(e, m, net::NetConfig{});
     virt::Cloud c(e, m, f, virt::VirtConfig{});
-    auto h0 = c.add_host("h0");
-    auto h1 = c.add_host("h1");
+    auto host_a = c.add_host("h0");
+    auto host_b = c.add_host("h1");
     std::vector<virt::VmId> dns;
     for (int i = 0; i < 8; ++i) {
-      virt::VmId vm = c.create_vm("dn" + std::to_string(i), (cross && i >= 4) ? h1 : h0,
+      virt::VmId vm = c.create_vm("dn" + std::to_string(i), (cross && i >= 4) ? host_b : host_a,
                                   {.vcpus = 1, .memory_mb = 1024});
       c.boot_vm(vm, nullptr);
       dns.push_back(vm);

@@ -1,0 +1,11 @@
+// Fixture: malformed vlint directives are findings themselves.
+#include <cstdlib>
+
+// vlint: allow(no-os-entropy)
+const char* fixture_missing_reason() { return std::getenv("A"); }
+
+// vlint: allow(no-such-rule) this rule name does not exist
+int fixture_unknown_rule() { return 1; }
+
+// vlint: this is not even an allow() directive
+int fixture_malformed() { return 2; }

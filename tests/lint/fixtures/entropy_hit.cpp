@@ -1,0 +1,12 @@
+// Fixture: every construct here must trip no-os-entropy.
+#include <cstdlib>
+#include <random>
+
+int fixture_entropy() {
+  std::random_device rd;                  // finding: random_device
+  int a = rand();                         // finding: rand()
+  int b = std::rand();                    // finding: std::rand()
+  srand(42u);                             // finding: srand()
+  const char* home = std::getenv("HOME"); // finding: getenv()
+  return a + b + static_cast<int>(rd()) + (home ? 1 : 0);
+}

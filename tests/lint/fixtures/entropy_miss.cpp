@@ -1,0 +1,16 @@
+// Fixture: no OS entropy drawn; no findings expected.
+#include <cstdint>
+#include <string>
+
+struct FakeEnv {
+  std::string getenv(const std::string&) const { return "stub"; }  // member, fine
+};
+
+// Identifiers that merely *contain* banned names must not fire.
+int operand(int strand, int brand) { return strand + brand; }
+
+std::uint64_t fixture_deterministic(const FakeEnv& env, const FakeEnv* penv) {
+  const std::string s = "rand() and getenv() inside a string literal";
+  // A comment mentioning std::random_device must not fire either.
+  return env.getenv("A").size() + penv->getenv("B").size() + s.size();
+}

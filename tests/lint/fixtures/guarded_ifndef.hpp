@@ -1,0 +1,7 @@
+#ifndef VHADOOP_TESTS_LINT_FIXTURES_GUARDED_IFNDEF_HPP_
+#define VHADOOP_TESTS_LINT_FIXTURES_GUARDED_IFNDEF_HPP_
+
+// Fixture: classic include guard is accepted; no findings.
+inline int fixture_ifndef_ok() { return 1; }
+
+#endif  // VHADOOP_TESTS_LINT_FIXTURES_GUARDED_IFNDEF_HPP_

@@ -1,0 +1,6 @@
+#pragma once
+
+// Fixture: clean header; no findings.
+#include <string>
+
+inline std::string fixture_pragma_ok() { return "ok"; }

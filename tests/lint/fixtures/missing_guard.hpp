@@ -1,0 +1,7 @@
+// Fixture: header with no #pragma once / include guard (finding) that also
+// leaks a namespace (finding).
+#include <string>
+
+using namespace std;
+
+inline string fixture_greet() { return "hi"; }

@@ -1,0 +1,28 @@
+// Fixture: every loop here must trip no-unordered-iteration.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+using Index = std::unordered_map<std::string, int>;  // alias is tracked too
+
+struct FixtureTable {
+  std::unordered_map<std::uint64_t, double> cells_;
+  double sum() const {
+    double s = 0.0;
+    for (const auto& [k, v] : cells_) s += v;  // finding: range-for over member
+    return s;
+  }
+};
+
+int fixture_iterate() {
+  std::unordered_set<int> seen{1, 2, 3};
+  int n = 0;
+  for (int v : seen) n += v;  // finding: range-for over local
+
+  Index index;
+  for (const auto& [key, val] : index) n += val;  // finding: range-for over alias
+
+  for (auto it = seen.begin(); it != seen.end(); ++it) n += *it;  // finding: .begin()
+  return n;
+}

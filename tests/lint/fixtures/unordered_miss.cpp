@@ -1,0 +1,22 @@
+// Fixture: ordered iteration and order-free unordered access; no findings.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+int fixture_ordered() {
+  std::map<std::string, int> sorted{{"a", 1}, {"b", 2}};
+  int n = 0;
+  for (const auto& [k, v] : sorted) n += v;  // std::map: fine
+
+  std::vector<int> vec{1, 2, 3};
+  for (int v : vec) n += v;  // vector: fine
+
+  std::unordered_map<std::string, int> lut{{"x", 1}};
+  n += lut["x"];                       // keyed access: fine
+  if (lut.contains("y")) n += 1;       // membership: fine
+  auto it = lut.find("x");             // point lookup: fine
+  if (it != lut.end()) n += it->second;
+  lut.erase("x");
+  return n;
+}

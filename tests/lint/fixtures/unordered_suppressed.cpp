@@ -1,0 +1,9 @@
+// Fixture: an order-insensitive unordered loop, suppressed with a reason.
+#include <unordered_map>
+
+double fixture_total(const std::unordered_map<int, double>& weights_) {
+  double lo = 1e300;
+  // vlint: allow(no-unordered-iteration) min-reduction, order-independent
+  for (const auto& [k, v] : weights_) lo = v < lo ? v : lo;
+  return lo;
+}

@@ -1,0 +1,18 @@
+// Fixture: every construct here must trip no-wall-clock.
+#include <chrono>
+#include <ctime>
+
+double fixture_now_ms() {
+  auto a = std::chrono::system_clock::now();            // finding: system_clock
+  auto b = std::chrono::steady_clock::now();            // finding: steady_clock
+  auto c = std::chrono::high_resolution_clock::now();   // finding: high_resolution_clock
+  std::time_t t = std::time(nullptr);                   // finding: std::time()
+  std::time_t u = ::time(nullptr);                      // finding: ::time()
+  std::clock_t k = clock();                             // finding: clock()
+  (void)a;
+  (void)b;
+  (void)c;
+  (void)u;
+  (void)k;
+  return static_cast<double>(t);
+}

@@ -1,0 +1,22 @@
+// Fixture: nothing here reads the host clock; no findings expected.
+#include <string>
+
+struct Event {
+  double time = 0.0;
+  bool operator>(const Event& o) const { return time > o.time; }
+};
+
+struct SimClock {
+  double now_ = 0.0;
+  double time() const { return now_; }  // member named `time` is fine
+};
+
+namespace myns {
+double time(int x) { return static_cast<double>(x); }
+}  // namespace myns
+
+double fixture_sim_time(const SimClock& clk, const SimClock* pclk) {
+  const std::string s = "call to time() inside a string literal";
+  // A comment mentioning std::chrono::system_clock must not fire either.
+  return clk.time() + pclk->time() + myns::time(3) + static_cast<double>(s.size());
+}

@@ -1,0 +1,196 @@
+// vhadoop_lint self-tests: each rule against hit / miss / suppression
+// fixtures (tests/lint/fixtures/), plus lexer unit tests on inline sources.
+//
+// The fixtures are never compiled and never seen by the tree-wide lint.tree
+// ctest case (the walker skips tests/lint/); they exist only as input here.
+
+#include "vhadoop_lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+vlint::SourceFile load_fixture(const std::string& name) {
+  const std::string path = std::string(LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return vlint::lex(name, "tests/lint/fixtures/" + name, buf.str());
+}
+
+vlint::Result lint_fixture(const std::string& name) {
+  std::vector<vlint::SourceFile> files;
+  files.push_back(load_fixture(name));
+  return vlint::run(files);
+}
+
+vlint::Result lint_source(const std::string& rel, const std::string& text) {
+  std::vector<vlint::SourceFile> files;
+  files.push_back(vlint::lex(rel, rel, text));
+  return vlint::run(files);
+}
+
+int count_rule(const vlint::Result& res, const std::string& rule, bool suppressed = false) {
+  return static_cast<int>(
+      std::count_if(res.findings.begin(), res.findings.end(), [&](const vlint::Finding& f) {
+        return f.rule == rule && f.suppressed == suppressed;
+      }));
+}
+
+// --- no-wall-clock ---------------------------------------------------------
+
+TEST(NoWallClock, FlagsEveryHostClockRead) {
+  const auto res = lint_fixture("wall_clock_hit.cpp");
+  EXPECT_EQ(count_rule(res, "no-wall-clock"), 6);
+  EXPECT_EQ(res.unsuppressed, 6);
+}
+
+TEST(NoWallClock, IgnoresMembersOtherNamespacesAndLiterals) {
+  const auto res = lint_fixture("wall_clock_miss.cpp");
+  EXPECT_EQ(res.unsuppressed, 0) << "false positive in wall_clock_miss.cpp";
+}
+
+TEST(NoWallClock, SuppressionWithReasonSilencesBothForms) {
+  const auto res = lint_fixture("wall_clock_suppressed.cpp");
+  EXPECT_EQ(res.unsuppressed, 0);
+  EXPECT_EQ(count_rule(res, "no-wall-clock", /*suppressed=*/true), 2);
+  for (const auto& f : res.findings) {
+    if (f.suppressed) {
+      EXPECT_FALSE(f.reason.empty());
+    }
+  }
+}
+
+TEST(NoWallClock, SimTimeHeaderIsExempt) {
+  const auto res =
+      lint_source("src/sim/time.hpp", "#pragma once\n#include <chrono>\n"
+                                      "inline auto t() { return std::chrono::steady_clock::now(); }\n");
+  EXPECT_EQ(res.unsuppressed, 0);
+}
+
+// --- no-os-entropy ---------------------------------------------------------
+
+TEST(NoOsEntropy, FlagsEveryEntropySource) {
+  const auto res = lint_fixture("entropy_hit.cpp");
+  EXPECT_EQ(count_rule(res, "no-os-entropy"), 5);
+}
+
+TEST(NoOsEntropy, IgnoresMembersAndSubstrings) {
+  const auto res = lint_fixture("entropy_miss.cpp");
+  EXPECT_EQ(res.unsuppressed, 0) << "false positive in entropy_miss.cpp";
+}
+
+TEST(NoOsEntropy, SuppressedGetenvIsClean) {
+  const auto res = lint_fixture("entropy_suppressed.cpp");
+  EXPECT_EQ(res.unsuppressed, 0);
+  EXPECT_EQ(count_rule(res, "no-os-entropy", /*suppressed=*/true), 1);
+}
+
+TEST(NoOsEntropy, RngImplementationIsExempt) {
+  const auto res = lint_source("src/sim/rng.cpp",
+                               "#include <random>\nstd::random_device seed_source;\n");
+  EXPECT_EQ(res.unsuppressed, 0);
+}
+
+// --- bad-suppression -------------------------------------------------------
+
+TEST(BadSuppression, MissingReasonUnknownRuleAndMalformedAllFlagged) {
+  const auto res = lint_fixture("bad_suppression.cpp");
+  EXPECT_EQ(count_rule(res, "bad-suppression"), 3);
+  // The reason-less allow() must NOT silence the getenv finding under it.
+  EXPECT_EQ(count_rule(res, "no-os-entropy"), 1);
+}
+
+// --- no-unordered-iteration ------------------------------------------------
+
+TEST(NoUnorderedIteration, FlagsRangeForIteratorAndAliasLoops) {
+  const auto res = lint_fixture("unordered_hit.cpp");
+  EXPECT_EQ(count_rule(res, "no-unordered-iteration"), 4);
+}
+
+TEST(NoUnorderedIteration, OrderedContainersAndPointAccessAreClean) {
+  const auto res = lint_fixture("unordered_miss.cpp");
+  EXPECT_EQ(res.unsuppressed, 0) << "false positive in unordered_miss.cpp";
+}
+
+TEST(NoUnorderedIteration, SuppressionWithReasonAccepted) {
+  const auto res = lint_fixture("unordered_suppressed.cpp");
+  EXPECT_EQ(res.unsuppressed, 0);
+  EXPECT_EQ(count_rule(res, "no-unordered-iteration", /*suppressed=*/true), 1);
+}
+
+TEST(NoUnorderedIteration, ResolvesMemberTypeAcrossFiles) {
+  // Declaration in the "header", iteration in the "cpp" — the name set is
+  // global across the linted file set.
+  std::vector<vlint::SourceFile> files;
+  files.push_back(vlint::lex("t.hpp", "t.hpp",
+                             "#pragma once\n#include <unordered_map>\n"
+                             "struct S { std::unordered_map<int,int> table_; };\n"));
+  files.push_back(vlint::lex("t.cpp", "t.cpp",
+                             "#include \"t.hpp\"\nint f(S& s) {\n  int n = 0;\n"
+                             "  for (auto& [k, v] : s.table_) n += v;\n  return n;\n}\n"));
+  const auto res = vlint::run(files);
+  EXPECT_EQ(count_rule(res, "no-unordered-iteration"), 1);
+}
+
+// --- header hygiene --------------------------------------------------------
+
+TEST(HeaderHygiene, MissingGuardAndUsingNamespaceFlagged) {
+  const auto res = lint_fixture("missing_guard.hpp");
+  EXPECT_EQ(count_rule(res, "header-guard"), 1);
+  EXPECT_EQ(count_rule(res, "using-namespace-header"), 1);
+}
+
+TEST(HeaderHygiene, PragmaOnceAndIfndefGuardsAccepted) {
+  EXPECT_EQ(lint_fixture("guarded_pragma.hpp").unsuppressed, 0);
+  EXPECT_EQ(lint_fixture("guarded_ifndef.hpp").unsuppressed, 0);
+}
+
+TEST(HeaderHygiene, SourceFilesNeedNoGuard) {
+  const auto res = lint_source("a.cpp", "#include <string>\nint x = 1;\n");
+  EXPECT_EQ(count_rule(res, "header-guard"), 0);
+}
+
+// --- lexer -----------------------------------------------------------------
+
+TEST(Lexer, StringsCommentsAndRawStringsAreOpaque) {
+  const auto res = lint_source(
+      "s.cpp",
+      "// rand() in a line comment\n"
+      "/* std::random_device in a block comment */\n"
+      "const char* a = \"getenv(\\\"X\\\")\";\n"
+      "const char* b = R\"(system_clock and rand())\";\n"
+      "char c = 'r';\n");
+  EXPECT_EQ(res.unsuppressed, 0);
+}
+
+TEST(Lexer, TracksLineNumbersAcrossMultilineConstructs) {
+  const auto f = vlint::lex("l.cpp", "l.cpp",
+                            "/* one\n   two\n   three */\nint marker = 1;\n");
+  ASSERT_FALSE(f.tokens.empty());
+  EXPECT_EQ(f.tokens.front().line, 4);
+}
+
+TEST(Lexer, DirectiveInBlockCommentGetsItsOwnLine) {
+  const auto f = vlint::lex("d.cpp", "d.cpp",
+                            "/*\n vlint: allow(no-os-entropy) spans lines\n*/\nint x;\n");
+  ASSERT_EQ(f.suppressions.size(), 1u);
+  EXPECT_EQ(f.suppressions[0].line, 2);
+  EXPECT_EQ(f.suppressions[0].rule, "no-os-entropy");
+  EXPECT_EQ(f.suppressions[0].reason, "spans lines");
+}
+
+TEST(Rules, ListIsStableAndKnown) {
+  EXPECT_TRUE(vlint::is_known_rule("no-wall-clock"));
+  EXPECT_TRUE(vlint::is_known_rule("no-unordered-iteration"));
+  EXPECT_FALSE(vlint::is_known_rule("no-such-rule"));
+}
+
+}  // namespace

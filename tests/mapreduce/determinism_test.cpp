@@ -94,8 +94,8 @@ TEST_P(DeterministicReplay, DifferentSeedChangesHdfsPlacementNotCorrectness) {
 INSTANTIATE_TEST_SUITE_P(AllPolicies, DeterministicReplay,
                          ::testing::Values(SchedulerPolicy::Fifo, SchedulerPolicy::Fair,
                                            SchedulerPolicy::Capacity),
-                         [](const ::testing::TestParamInfo<SchedulerPolicy>& info) {
-                           return std::string(to_string(info.param));
+                         [](const ::testing::TestParamInfo<SchedulerPolicy>& p) {
+                           return std::string(to_string(p.param));
                          });
 
 // --- FIFO timing regression ----------------------------------------------------

@@ -21,7 +21,7 @@ TEST(NaiveBayes, LearnsSeparableClasses) {
   auto [predicted, job] = classify_naive_bayes(run.model, test);
   int correct = 0;
   for (std::size_t i = 0; i < test.size(); ++i) correct += (predicted[i] == test[i].label);
-  EXPECT_GT(static_cast<double>(correct) / test.size(), 0.9);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(test.size()), 0.9);
 }
 
 TEST(NaiveBayes, PriorsAreLogProbabilities) {

@@ -143,5 +143,28 @@ TEST(Registry, JsonSnapshotParsesAndIsOrderIndependent) {
   EXPECT_EQ(h.at("counts").array.size(), 3u);  // 2 bounds + overflow
 }
 
+TEST(Registry, SnapshotKeysAreStrictlySortedRegardlessOfRegistrationOrder) {
+  // Sorted emission is an asserted invariant of the determinism contract
+  // (DESIGN.md §9), not an accident of the backing container: register in
+  // descending order and check the serialized key order byte-for-byte.
+  Registry r;
+  for (const char* name : {"z.last", "m.middle", "a.first"}) {
+    r.counter(name)->inc();
+    r.gauge(name)->set(1.0);
+    r.histogram(name, Histogram::linear_buckets(1.0, 1))->observe(0.5);
+  }
+  const std::string json = r.to_json();
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    const std::size_t base = json.find("\"" + std::string(section) + "\":");
+    ASSERT_NE(base, std::string::npos) << section;
+    const std::size_t a = json.find("\"a.first\"", base);
+    const std::size_t m = json.find("\"m.middle\"", base);
+    const std::size_t z = json.find("\"z.last\"", base);
+    ASSERT_NE(a, std::string::npos) << section;
+    EXPECT_LT(a, m) << section;
+    EXPECT_LT(m, z) << section;
+  }
+}
+
 }  // namespace
 }  // namespace vhadoop::obs

@@ -108,7 +108,9 @@ TEST(Tracer, ChromeJsonBalancedAndOrdered) {
       --depth[key];
       EXPECT_GE(depth[key], 0);  // never more E than B
     }
-    if (ph == "i") EXPECT_EQ(e.at("s").str, "t");
+    if (ph == "i") {
+      EXPECT_EQ(e.at("s").str, "t");
+    }
   }
   EXPECT_EQ(metadata, 2);  // process_name + thread_name rows
   for (const auto& [lane, d] : depth) EXPECT_EQ(d, 0);  // balanced

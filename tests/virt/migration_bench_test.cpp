@@ -112,27 +112,27 @@ TEST_F(ClusterMigrationTest, ReservedStreamWeightBeatsBestEffortUnderLoad) {
   // The authors' prior work (ref [18]): reserving bandwidth for the
   // migration stream shortens migration when guests are chatty.
   auto run_with_weight = [](double weight) {
-    sim::Engine engine;
-    sim::FluidModel model(engine);
-    net::Fabric fabric(engine, model, net::NetConfig{});
+    sim::Engine eng;
+    sim::FluidModel mdl(eng);
+    net::Fabric fab(eng, mdl, net::NetConfig{});
     VirtConfig cfg;
     cfg.migration_stream_weight = weight;
-    Cloud cloud(engine, model, fabric, cfg);
-    HostId src = cloud.add_host("src");
-    HostId dst = cloud.add_host("dst");
-    VmId vm = cloud.create_vm("vm", src, {.vcpus = 1, .memory_mb = 1024});
-    VmId chatty = cloud.create_vm("chatty", src, {.vcpus = 1, .memory_mb = 1024});
-    VmId sink = cloud.create_vm("sink", dst, {.vcpus = 1, .memory_mb = 1024});
-    cloud.boot_vm(vm, nullptr);
-    cloud.boot_vm(chatty, nullptr);
-    cloud.boot_vm(sink, nullptr);
-    engine.run();
+    Cloud cld(eng, mdl, fab, cfg);
+    HostId from = cld.add_host("src");
+    HostId to = cld.add_host("dst");
+    VmId vm = cld.create_vm("vm", from, {.vcpus = 1, .memory_mb = 1024});
+    VmId chatty = cld.create_vm("chatty", from, {.vcpus = 1, .memory_mb = 1024});
+    VmId sink = cld.create_vm("sink", to, {.vcpus = 1, .memory_mb = 1024});
+    cld.boot_vm(vm, nullptr);
+    cld.boot_vm(chatty, nullptr);
+    cld.boot_vm(sink, nullptr);
+    eng.run();
     // Saturate the migration direction with guest traffic.
-    for (int i = 0; i < 4; ++i) cloud.vm_transfer(chatty, sink, 20 * sim::kGiB, nullptr);
+    for (int i = 0; i < 4; ++i) cld.vm_transfer(chatty, sink, 20 * sim::kGiB, nullptr);
     MigrationResult result;
-    cloud.migrate(vm, dst, DirtyModel::idle(),
-                  [&](const MigrationResult& r) { result = r; });
-    engine.run_until(engine.now() + 2000.0);
+    cld.migrate(vm, to, DirtyModel::idle(),
+                [&](const MigrationResult& r) { result = r; });
+    eng.run_until(eng.now() + 2000.0);
     return result.migration_time;
   };
   const double best_effort = run_with_weight(1.0);

@@ -1,0 +1,518 @@
+#include "vhadoop_lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vlint {
+
+const std::vector<std::string> kRules = {
+    "no-wall-clock",  "no-os-entropy",          "no-unordered-iteration",
+    "header-guard",   "using-namespace-header", "bad-suppression",
+};
+
+bool is_known_rule(const std::string& name) {
+  return std::find(kRules.begin(), kRules.end(), name) != kRules.end();
+}
+
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return {};
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+/// Parse `vlint: allow(rule) reason` directives out of a comment body.
+/// Malformed directives are kept with an empty rule/reason so the
+/// bad-suppression rule can report them at the right line.
+void scan_comment_for_directives(const std::string& body, int line,
+                                 std::vector<Suppression>& out) {
+  std::size_t pos = 0;
+  while ((pos = body.find("vlint:", pos)) != std::string::npos) {
+    std::size_t p = pos + 6;
+    // The directive's line: count newlines inside a block comment.
+    int dline = line + static_cast<int>(std::count(body.begin(),
+                                                   body.begin() + static_cast<long>(pos), '\n'));
+    while (p < body.size() && (body[p] == ' ' || body[p] == '\t')) ++p;
+    Suppression sup;
+    sup.line = dline;
+    if (body.compare(p, 6, "allow(") == 0) {
+      p += 6;
+      std::size_t close = body.find(')', p);
+      if (close != std::string::npos) {
+        sup.rule = trim(body.substr(p, close - p));
+        std::size_t eol = body.find('\n', close);
+        std::string reason = body.substr(close + 1, eol == std::string::npos
+                                                        ? std::string::npos
+                                                        : eol - close - 1);
+        sup.reason = trim(reason);
+      }
+    }
+    out.push_back(std::move(sup));
+    pos += 6;
+  }
+}
+
+}  // namespace
+
+SourceFile lex(std::string path, std::string rel, const std::string& text) {
+  SourceFile f;
+  f.path = std::move(path);
+  f.rel = std::move(rel);
+  std::replace(f.rel.begin(), f.rel.end(), '\\', '/');
+  f.is_header = f.rel.size() > 2 &&
+                (f.rel.ends_with(".hpp") || f.rel.ends_with(".h") || f.rel.ends_with(".hh"));
+
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  bool at_line_start = true;  // only whitespace seen on this line so far
+
+  auto push = [&](TokKind k, std::string t) {
+    f.tokens.push_back(Token{k, std::move(t), line});
+  };
+
+  while (i < n) {
+    char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      std::size_t eol = text.find('\n', i);
+      if (eol == std::string::npos) eol = n;
+      scan_comment_for_directives(text.substr(i + 2, eol - i - 2), line, f.suppressions);
+      i = eol;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      std::size_t end = text.find("*/", i + 2);
+      if (end == std::string::npos) end = n;
+      std::string body = text.substr(i + 2, end - i - 2);
+      scan_comment_for_directives(body, line, f.suppressions);
+      line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
+      i = (end == n) ? n : end + 2;
+      continue;
+    }
+    // Preprocessor directive: keep the logical line as one token.
+    if (c == '#' && at_line_start) {
+      std::size_t start = i;
+      std::size_t eol;
+      for (;;) {
+        eol = text.find('\n', i);
+        if (eol == std::string::npos) {
+          eol = n;
+          break;
+        }
+        // Backslash continuation (allow trailing \r).
+        std::size_t back = eol;
+        while (back > i && (text[back - 1] == '\r')) --back;
+        if (back > i && text[back - 1] == '\\') {
+          ++line;
+          i = eol + 1;
+          continue;
+        }
+        break;
+      }
+      push(TokKind::Directive, text.substr(start, eol - start));
+      i = eol;
+      at_line_start = false;
+      continue;
+    }
+    at_line_start = false;
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      std::size_t open = text.find('(', i + 2);
+      if (open != std::string::npos) {
+        std::string delim = text.substr(i + 2, open - i - 2);
+        std::string closer = ")" + delim + "\"";
+        std::size_t end = text.find(closer, open + 1);
+        if (end == std::string::npos) end = n;
+        line += static_cast<int>(
+            std::count(text.begin() + static_cast<long>(i),
+                       text.begin() + static_cast<long>(std::min(end, n)), '\n'));
+        push(TokKind::String, "R\"...\"");
+        i = (end == n) ? n : end + closer.size();
+        continue;
+      }
+    }
+    // String / char literal (bodies discarded).
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && text[j] != quote) {
+        if (text[j] == '\\' && j + 1 < n) ++j;
+        if (text[j] == '\n') ++line;
+        ++j;
+      }
+      push(quote == '"' ? TokKind::String : TokKind::CharLit, std::string(1, quote));
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(text[j])) ++j;
+      push(TokKind::Ident, text.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      // Numbers, including 1'000'000 separators and exponents.
+      std::size_t j = i + 1;
+      while (j < n && (ident_char(text[j]) || text[j] == '\'' || text[j] == '.' ||
+                       ((text[j] == '+' || text[j] == '-') &&
+                        (text[j - 1] == 'e' || text[j - 1] == 'E' || text[j - 1] == 'p' ||
+                         text[j - 1] == 'P')))) {
+        ++j;
+      }
+      push(TokKind::Number, text.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    // Multi-char punctuators the rules care about; everything else is 1 char.
+    if (c == ':' && i + 1 < n && text[i + 1] == ':') {
+      push(TokKind::Punct, "::");
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && text[i + 1] == '>') {
+      push(TokKind::Punct, "->");
+      i += 2;
+      continue;
+    }
+    push(TokKind::Punct, std::string(1, c));
+    ++i;
+  }
+  return f;
+}
+
+namespace {
+
+struct RuleCtx {
+  const SourceFile& f;
+  std::vector<Finding>& out;
+
+  void report(int line, const std::string& rule, std::string msg) const {
+    out.push_back(Finding{f.path, line, rule, std::move(msg), false, {}});
+  }
+};
+
+bool prev_is(const std::vector<Token>& t, std::size_t i, const char* text) {
+  return i > 0 && t[i - 1].kind == TokKind::Punct && t[i - 1].text == text;
+}
+
+/// True when the call at token i (an identifier followed by `(`) resolves to
+/// the global/std function of that name: bare `time(`, `std::time(` or
+/// `::time(` — but not `obj.time(`, `obj->time(` or `other::time(`.
+bool is_global_or_std_call(const std::vector<Token>& t, std::size_t i) {
+  if (i + 1 >= t.size() || t[i + 1].kind != TokKind::Punct || t[i + 1].text != "(") return false;
+  if (prev_is(t, i, ".") || prev_is(t, i, "->")) return false;
+  if (prev_is(t, i, "::")) {
+    if (i < 2) return true;  // leading `::name(` is the global namespace
+    const Token& q = t[i - 2];
+    if (q.kind == TokKind::Ident) return q.text == "std";
+    return true;  // `= ::name(...)`: still the global namespace
+  }
+  // `double time(...)` declares a function of that name; a *call* never
+  // directly follows a type identifier. Expression keywords still count as
+  // call context (`return time(0)`).
+  static const std::set<std::string> kExprKeywords = {
+      "return", "co_return", "co_yield", "co_await", "throw", "case",
+      "else",   "do",        "and",      "or",       "not",   "xor",
+  };
+  if (i > 0 && t[i - 1].kind == TokKind::Ident && !kExprKeywords.count(t[i - 1].text)) {
+    return false;
+  }
+  return true;
+}
+
+// --- no-wall-clock ---------------------------------------------------------
+
+const std::set<std::string> kClockTypes = {
+    "system_clock", "steady_clock", "high_resolution_clock",
+    "gettimeofday", "clock_gettime", "timespec_get",
+};
+const std::set<std::string> kClockCalls = {
+    "time", "clock", "localtime", "gmtime", "mktime", "difftime", "ftime",
+};
+
+void rule_no_wall_clock(const RuleCtx& ctx) {
+  if (ctx.f.rel == "src/sim/time.hpp") return;
+  const auto& t = ctx.f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::Ident) continue;
+    if (kClockTypes.count(t[i].text)) {
+      ctx.report(t[i].line, "no-wall-clock",
+                 "'" + t[i].text +
+                     "' reads the host clock; simulated code must take time "
+                     "from sim::Engine::now() (see src/sim/time.hpp)");
+    } else if (kClockCalls.count(t[i].text) && is_global_or_std_call(t, i)) {
+      ctx.report(t[i].line, "no-wall-clock",
+                 "call to '" + t[i].text +
+                     "()' reads the host clock; use the simulated clock "
+                     "(sim::Engine::now())");
+    }
+  }
+}
+
+// --- no-os-entropy ---------------------------------------------------------
+
+const std::set<std::string> kEntropyTypes = {"random_device"};
+const std::set<std::string> kEntropyCalls = {
+    "rand", "srand", "rand_r", "drand48", "lrand48", "getenv", "secure_getenv",
+};
+
+void rule_no_os_entropy(const RuleCtx& ctx) {
+  if (ctx.f.rel.starts_with("src/sim/rng.")) return;
+  const auto& t = ctx.f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::Ident) continue;
+    if (kEntropyTypes.count(t[i].text)) {
+      ctx.report(t[i].line, "no-os-entropy",
+                 "'" + t[i].text +
+                     "' draws OS entropy; all randomness must flow through "
+                     "the seeded sim::Rng");
+    } else if (kEntropyCalls.count(t[i].text) && is_global_or_std_call(t, i)) {
+      ctx.report(t[i].line, "no-os-entropy",
+                 "call to '" + t[i].text +
+                     "()' is environment-dependent; use sim::Rng (or CLI "
+                     "arguments) and suppress with a reason if this really "
+                     "is argument parsing");
+    }
+  }
+}
+
+// --- no-unordered-iteration ------------------------------------------------
+
+const std::set<std::string> kUnorderedTemplates = {
+    "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset",
+};
+
+/// Skip a balanced `<...>` template argument list starting at t[i] == "<".
+/// Returns the index one past the closing ">", or i on mismatch.
+std::size_t skip_angles(const std::vector<Token>& t, std::size_t i) {
+  if (i >= t.size() || t[i].text != "<") return i;
+  int depth = 0;
+  std::size_t j = i;
+  for (; j < t.size(); ++j) {
+    if (t[j].kind != TokKind::Punct) continue;
+    if (t[j].text == "<") ++depth;
+    if (t[j].text == ">" && --depth == 0) return j + 1;
+    if (t[j].text == ";") break;  // never crosses a statement
+  }
+  return i;
+}
+
+/// Collect names bound to unordered containers: type aliases
+/// (`using M = std::unordered_map<...>`) and declared variables/members
+/// (`std::unordered_map<K,V> name`, `const M& name`).
+void collect_unordered_names(const std::vector<SourceFile>& files,
+                             std::set<std::string>& aliases,
+                             std::set<std::string>& vars) {
+  for (const auto& f : files) {
+    const auto& t = f.tokens;
+    for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+      if (t[i].kind == TokKind::Ident && t[i].text == "using" &&
+          t[i + 1].kind == TokKind::Ident && t[i + 2].text == "=") {
+        // `using Name = ... unordered_xxx ... ;`
+        for (std::size_t j = i + 3; j < t.size(); ++j) {
+          if (t[j].kind == TokKind::Punct && t[j].text == ";") break;
+          if (t[j].kind == TokKind::Ident && kUnorderedTemplates.count(t[j].text)) {
+            aliases.insert(t[i + 1].text);
+            break;
+          }
+        }
+      }
+    }
+  }
+  for (const auto& f : files) {
+    const auto& t = f.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::Ident) continue;
+      std::size_t after = 0;
+      if (kUnorderedTemplates.count(t[i].text)) {
+        after = skip_angles(t, i + 1);
+        if (after == i + 1) continue;  // not a template instantiation
+      } else if (aliases.count(t[i].text) && !prev_is(t, i, ".") && !prev_is(t, i, "->")) {
+        after = i + 1;
+      } else {
+        continue;
+      }
+      // `Type [const] [&|*] name` — the next identifier is the declared name.
+      std::size_t j = after;
+      while (j < t.size() &&
+             ((t[j].kind == TokKind::Punct && (t[j].text == "&" || t[j].text == "*")) ||
+              (t[j].kind == TokKind::Ident && t[j].text == "const"))) {
+        ++j;
+      }
+      if (j < t.size() && t[j].kind == TokKind::Ident && t[j].text != "const") {
+        vars.insert(t[j].text);
+      }
+    }
+  }
+}
+
+void rule_no_unordered_iteration(const RuleCtx& ctx, const std::set<std::string>& vars) {
+  const auto& t = ctx.f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::Ident) continue;
+    // Range-for: `for ( decl : expr )` where expr's last identifier is an
+    // unordered container.
+    if (t[i].text == "for" && i + 1 < t.size() && t[i + 1].text == "(") {
+      int depth = 0;
+      std::size_t colon = 0, close = 0;
+      for (std::size_t j = i + 1; j < t.size(); ++j) {
+        if (t[j].kind != TokKind::Punct) continue;
+        if (t[j].text == "(") ++depth;
+        if (t[j].text == ")" && --depth == 0) {
+          close = j;
+          break;
+        }
+        if (t[j].text == ":" && depth == 1 && colon == 0) colon = j;
+      }
+      if (colon && close) {
+        // Walk back from the closing paren: a plain identifier chain like
+        // `obj.member` or `member` names the ranged container.
+        const Token& last = t[close - 1];
+        if (last.kind == TokKind::Ident && vars.count(last.text)) {
+          ctx.report(t[i].line, "no-unordered-iteration",
+                     "range-for over unordered container '" + last.text +
+                         "': iteration order depends on the hash layout; "
+                         "iterate a sorted snapshot, use std::map, or "
+                         "suppress with a reason if order provably cannot "
+                         "be observed");
+        }
+      }
+    }
+    // Iterator style: `container.begin()` / `.cbegin()`.
+    if (vars.count(t[i].text) && i + 3 < t.size() &&
+        (t[i + 1].text == "." || t[i + 1].text == "->") && t[i + 2].kind == TokKind::Ident &&
+        (t[i + 2].text == "begin" || t[i + 2].text == "cbegin") && t[i + 3].text == "(") {
+      ctx.report(t[i].line, "no-unordered-iteration",
+                 "iterator over unordered container '" + t[i].text +
+                     "': iteration order depends on the hash layout; "
+                     "iterate a sorted snapshot, use std::map, or suppress "
+                     "with a reason if order provably cannot be observed");
+    }
+  }
+}
+
+// --- header hygiene --------------------------------------------------------
+
+void rule_header_guard(const RuleCtx& ctx) {
+  if (!ctx.f.is_header) return;
+  for (const auto& tok : ctx.f.tokens) {
+    if (tok.kind != TokKind::Directive) {
+      // Code before any directive: no guard protects it.
+      break;
+    }
+    const std::string d = tok.text;
+    if (d.find("pragma") != std::string::npos && d.find("once") != std::string::npos) return;
+    if (d.find("ifndef") != std::string::npos) return;
+    if (d.find("if") != std::string::npos && d.find("defined") != std::string::npos) return;
+    break;  // some other directive (e.g. #include) came first
+  }
+  ctx.report(1, "header-guard",
+             "header does not open with '#pragma once' (or an #ifndef "
+             "include guard)");
+}
+
+void rule_using_namespace_header(const RuleCtx& ctx) {
+  if (!ctx.f.is_header) return;
+  const auto& t = ctx.f.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind == TokKind::Ident && t[i].text == "using" &&
+        t[i + 1].kind == TokKind::Ident && t[i + 1].text == "namespace") {
+      ctx.report(t[i].line, "using-namespace-header",
+                 "'using namespace' in a header leaks the namespace into "
+                 "every includer");
+    }
+  }
+}
+
+}  // namespace
+
+Result run(const std::vector<SourceFile>& files, const std::vector<std::string>& only_rules) {
+  auto enabled = [&](const std::string& rule) {
+    return only_rules.empty() ||
+           std::find(only_rules.begin(), only_rules.end(), rule) != only_rules.end();
+  };
+
+  std::set<std::string> aliases, unordered_vars;
+  collect_unordered_names(files, aliases, unordered_vars);
+
+  Result res;
+  for (const auto& f : files) {
+    std::vector<Finding> raw;
+    RuleCtx ctx{f, raw};
+    if (enabled("no-wall-clock")) rule_no_wall_clock(ctx);
+    if (enabled("no-os-entropy")) rule_no_os_entropy(ctx);
+    if (enabled("no-unordered-iteration")) rule_no_unordered_iteration(ctx, unordered_vars);
+    if (enabled("header-guard")) rule_header_guard(ctx);
+    if (enabled("using-namespace-header")) rule_using_namespace_header(ctx);
+
+    // Malformed suppressions are findings themselves — and never
+    // suppressible, or a bad suppression could excuse itself.
+    for (const auto& sup : f.suppressions) {
+      if (sup.rule.empty()) {
+        raw.push_back(Finding{f.path, sup.line, "bad-suppression",
+                              "malformed vlint directive: expected "
+                              "'vlint: allow(rule-name) reason'",
+                              false,
+                              {}});
+      } else if (!is_known_rule(sup.rule) || sup.rule == "bad-suppression") {
+        raw.push_back(Finding{f.path, sup.line, "bad-suppression",
+                              "unknown rule '" + sup.rule + "' in vlint directive", false,
+                              {}});
+      } else if (sup.reason.empty()) {
+        raw.push_back(Finding{f.path, sup.line, "bad-suppression",
+                              "suppression of '" + sup.rule +
+                                  "' carries no reason; every allow() must say why",
+                              false,
+                              {}});
+      }
+    }
+
+    // Apply suppressions: a well-formed allow(rule) on the finding's line or
+    // the line directly above silences it.
+    for (auto& finding : raw) {
+      if (finding.rule == "bad-suppression") continue;
+      for (const auto& sup : f.suppressions) {
+        if (sup.rule != finding.rule || sup.reason.empty()) continue;
+        if (sup.line == finding.line || sup.line == finding.line - 1) {
+          finding.suppressed = true;
+          finding.reason = sup.reason;
+          break;
+        }
+      }
+    }
+
+    std::sort(raw.begin(), raw.end(), [](const Finding& a, const Finding& b) {
+      if (a.line != b.line) return a.line < b.line;
+      return a.rule < b.rule;
+    });
+    for (auto& finding : raw) {
+      if (!finding.suppressed) ++res.unsuppressed;
+      res.findings.push_back(std::move(finding));
+    }
+  }
+  return res;
+}
+
+}  // namespace vlint

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vlint {
+
+/// The determinism & hygiene contract, as named rules (DESIGN.md §9).
+///
+///  no-wall-clock          — std::chrono clocks, time(), clock(), gettimeofday
+///                           et al. are banned outside src/sim/time.hpp: all
+///                           time must flow through the simulated clock.
+///  no-os-entropy          — rand(), std::random_device, getenv() et al. are
+///                           banned outside src/sim/rng.*: all randomness must
+///                           flow through the seeded sim::Rng.
+///  no-unordered-iteration — range-for / .begin() iteration over
+///                           std::unordered_map/set is hash-layout-dependent;
+///                           sort a snapshot or suppress with a reason.
+///  header-guard           — every header opens with #pragma once (or an
+///                           #ifndef guard) before any other directive.
+///  using-namespace-header — `using namespace` in a header leaks into every
+///                           includer.
+///  bad-suppression        — a `// vlint: allow(...)` comment that names an
+///                           unknown rule or carries no reason. Never itself
+///                           suppressible.
+///
+/// Suppression syntax, on the finding line or the line directly above:
+///   // vlint: allow(rule-name) reason text (mandatory)
+extern const std::vector<std::string> kRules;
+
+bool is_known_rule(const std::string& name);
+
+enum class TokKind { Ident, Punct, Number, String, CharLit, Directive };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;
+};
+
+struct Suppression {
+  std::string rule;
+  std::string reason;  // empty = malformed (reported as bad-suppression)
+  int line = 0;
+};
+
+struct SourceFile {
+  std::string path;  ///< path for diagnostics (as given by the caller)
+  std::string rel;   ///< forward-slash path relative to the lint root
+  bool is_header = false;
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+};
+
+struct Finding {
+  std::string path;
+  int line = 0;
+  std::string rule;
+  std::string message;
+  bool suppressed = false;
+  std::string reason;  ///< suppression reason when suppressed
+};
+
+/// Lex one translation unit. Comments and string/char literal *bodies* are
+/// discarded (so banned names inside them never fire); `vlint:` directives
+/// hidden in comments come back as suppressions.
+SourceFile lex(std::string path, std::string rel, const std::string& text);
+
+struct Result {
+  std::vector<Finding> findings;  ///< every finding, suppressed ones included
+  int unsuppressed = 0;
+};
+
+/// Run every rule (or only `only_rules`) over the file set. The
+/// no-unordered-iteration rule resolves container names across the whole
+/// set, so headers and their .cpp files should be linted together.
+Result run(const std::vector<SourceFile>& files,
+           const std::vector<std::string>& only_rules = {});
+
+}  // namespace vlint

@@ -1,0 +1,148 @@
+// vhadoop_lint — the project's determinism & hygiene linter (DESIGN.md §9).
+//
+// Usage:
+//   vhadoop_lint [--root=DIR] [--rule=NAME ...] [--show-suppressed]
+//                [--list-rules] [paths...]
+//
+// With no positional paths, lints src/, tests/, bench/ and examples/ under
+// --root (default: the current directory), skipping tests/lint/ (rule
+// fixtures trip rules on purpose) and build directories. Positional paths
+// (files or directories) are linted unconditionally.
+//
+// Exit status: 0 when the tree is clean (suppressed findings are fine),
+// 1 when any unsuppressed finding remains, 2 on usage/IO errors.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "vhadoop_lint/lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool has_source_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" || ext == ".h" ||
+         ext == ".hh";
+}
+
+bool skip_directory(const fs::path& dir) {
+  const std::string name = dir.filename().string();
+  if (!name.empty() && name[0] == '.') return true;        // .git, .github, ...
+  if (name.rfind("build", 0) == 0) return true;            // build, build-asan, ...
+  return false;
+}
+
+/// Lint fixtures violate rules by design; the tree walk must not see them.
+bool is_fixture_path(const std::string& rel) {
+  return rel.rfind("tests/lint/", 0) == 0 || rel.find("/tests/lint/") != std::string::npos;
+}
+
+void collect(const fs::path& dir, const fs::path& root, bool skip_fixtures,
+             std::vector<std::pair<std::string, std::string>>& out) {
+  if (!fs::exists(dir)) return;
+  if (fs::is_regular_file(dir)) {
+    if (has_source_extension(dir)) {
+      out.emplace_back(dir.string(), fs::relative(dir, root).generic_string());
+    }
+    return;
+  }
+  for (fs::recursive_directory_iterator it(dir), end; it != end; ++it) {
+    if (it->is_directory()) {
+      if (skip_directory(it->path())) it.disable_recursion_pending();
+      continue;
+    }
+    if (!it->is_regular_file() || !has_source_extension(it->path())) continue;
+    std::string rel = fs::relative(it->path(), root).generic_string();
+    if (skip_fixtures && is_fixture_path(rel)) continue;
+    out.emplace_back(it->path().string(), std::move(rel));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> only_rules;
+  std::vector<std::string> paths;
+  bool show_suppressed = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg.rfind("--rule=", 0) == 0) {
+      only_rules.push_back(arg.substr(7));
+    } else if (arg == "--show-suppressed") {
+      show_suppressed = true;
+    } else if (arg == "--list-rules") {
+      for (const auto& r : vlint::kRules) std::cout << r << "\n";
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: vhadoop_lint [--root=DIR] [--rule=NAME ...] "
+                   "[--show-suppressed] [--list-rules] [paths...]\n";
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "vhadoop_lint: unknown option '" << arg << "'\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  for (const auto& r : only_rules) {
+    if (!vlint::is_known_rule(r)) {
+      std::cerr << "vhadoop_lint: unknown rule '" << r << "' (--list-rules)\n";
+      return 2;
+    }
+  }
+
+  const fs::path root_path = fs::path(root);
+  std::vector<std::pair<std::string, std::string>> sources;  // (path, rel)
+  if (paths.empty()) {
+    for (const char* sub : {"src", "tests", "bench", "examples"}) {
+      collect(root_path / sub, root_path, /*skip_fixtures=*/true, sources);
+    }
+  } else {
+    for (const auto& p : paths) {
+      collect(fs::path(p), root_path, /*skip_fixtures=*/false, sources);
+    }
+  }
+  std::sort(sources.begin(), sources.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+
+  std::vector<vlint::SourceFile> files;
+  files.reserve(sources.size());
+  for (const auto& [path, rel] : sources) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "vhadoop_lint: cannot read " << path << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    files.push_back(vlint::lex(path, rel, buf.str()));
+  }
+
+  const vlint::Result res = vlint::run(files, only_rules);
+  int suppressed = 0;
+  for (const auto& f : res.findings) {
+    if (f.suppressed) {
+      ++suppressed;
+      if (show_suppressed) {
+        std::cout << f.path << ":" << f.line << ": [" << f.rule
+                  << "] suppressed: " << f.reason << "\n";
+      }
+      continue;
+    }
+    std::cout << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+  }
+  std::cout << "vhadoop_lint: " << files.size() << " files, " << res.unsuppressed
+            << " finding(s), " << suppressed << " suppressed\n";
+  return res.unsuppressed == 0 ? 0 : 1;
+}
