@@ -48,6 +48,8 @@ class BenchResults {
   }
 
   void attach_metrics(const obs::Registry& registry) { metrics_json_ = registry.to_json(); }
+  /// Same, from a snapshot taken while the registry was still alive.
+  void attach_metrics_json(std::string json) { metrics_json_ = std::move(json); }
 
   std::string to_json() const {
     std::string out = "{\"bench\": " + quoted(name_) +
@@ -123,7 +125,12 @@ class BenchResults {
 };
 
 inline const char* placement_name(core::Placement p) {
-  return p == core::Placement::Normal ? "normal" : "cross-domain";
+  switch (p) {
+    case core::Placement::Normal: return "normal";
+    case core::Placement::CrossDomain: return "cross-domain";
+    case core::Placement::Spread: return "spread";
+  }
+  return "unknown";
 }
 
 /// A staged Wordcount scenario: the corpus is split into ~file_mb files

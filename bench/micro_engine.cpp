@@ -1,9 +1,12 @@
 // Microbenchmarks (google-benchmark) for the platform's hot kernels: the
 // discrete-event queue, the fluid max-min solver, the logical MapReduce
-// runtime, and the clustering arithmetic.
+// runtime, and the clustering arithmetic. Besides the usual console table,
+// the run is captured into BENCH_micro_engine.json (one row per benchmark)
+// so CI can archive it alongside the macro benches.
 
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
 #include "mapreduce/local_runner.hpp"
 #include "ml/kmeans.hpp"
 #include "sim/engine.hpp"
@@ -71,6 +74,37 @@ void BM_KMeansIteration(benchmark::State& state) {
 }
 BENCHMARK(BM_KMeansIteration)->Arg(1000)->Arg(10000);
 
+/// Console output as usual, plus one BenchResults row per benchmark run
+/// (aggregates included, tagged via the run_type/aggregate columns).
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      results_.row()
+          .col("name", run.benchmark_name())
+          .col("run_type", run.run_type == Run::RT_Aggregate ? "aggregate" : "iteration")
+          .col("real_time_ns", run.GetAdjustedRealTime())
+          .col("cpu_time_ns", run.GetAdjustedCPUTime())
+          .col("iterations", static_cast<double>(run.iterations));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  bench::BenchResults& results() { return results_; }
+
+ private:
+  bench::BenchResults results_{"micro_engine"};
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  reporter.results().write();
+  return 0;
+}

@@ -1,0 +1,227 @@
+// Solver-scaling sweep: hadoop virtual clusters of 16 → 1024 VMs running a
+// Wordcount + TeraSort pair sized to the cluster, once under the incremental
+// fluid solver and once with the reference oracle enabled
+// (VHADOOP_FLUID_REFERENCE=1, which re-verifies every component after every
+// mutation — the cost profile of the old global recompute).
+//
+// Both modes execute the *same* simulation (DESIGN.md §10: the stored rates
+// always equal the canonical per-component solution), so simulated makespans
+// must agree bit-for-bit; only wall-clock differs. The speedup column is the
+// acceptance metric for the incremental solver: ≥5× at 256 VMs.
+//
+// Prints one row per (cluster size, job, mode) and writes
+// BENCH_scale_cluster.json. Flags:
+//   --vms=16,64,256,1024   cluster sizes to sweep (total VMs incl. namenode)
+//   --reference-max=256    largest size also run under the oracle (0 = never;
+//                          the oracle is quadratic, 1024 takes minutes)
+
+#include <chrono>  // vlint: allow(no-wall-clock) measuring the simulator itself is this bench's purpose
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "workloads/terasort.hpp"
+
+using namespace vhadoop;
+
+namespace {
+
+// vlint: allow(no-wall-clock) host-clock stopwatch around engine.run(); never feeds simulation state
+using WallClock = std::chrono::steady_clock;
+
+double elapsed_ms(WallClock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(WallClock::now() - t0).count();
+}
+
+struct ScaleResult {
+  int vms = 0;
+  bool reference = false;
+  double boot_ms = 0.0;
+  double upload_ms = 0.0;
+  double wordcount_ms = 0.0;  ///< wall-clock per job
+  double terasort_ms = 0.0;
+  double wordcount_sim_s = 0.0;  ///< simulated seconds per job
+  double terasort_sim_s = 0.0;
+  double recomputes = 0.0;  ///< sim.fluid.recomputes (dirty-component solves)
+  double component_p95 = 0.0;
+  double events_fired = 0.0;
+  std::string metrics_json;
+};
+
+// Wordcount sized to the cluster: one map per corpus block (~1 block per VM),
+// CPU-bound maps (tokenizing 8 MiB of text dwarfs reading it) with a small
+// shuffle into vms/32 reduces. CPU phases live in per-host {vcpu, host.cpu}
+// components, so this job is the incremental solver's home turf; TeraSort
+// below is the adversarial case where everything meets at the NFS disk.
+mapreduce::SimJobSpec wordcount_job(const hdfs::HdfsCluster& hdfs, int reduces) {
+  mapreduce::SimJobSpec spec;
+  spec.name = "wordcount";
+  const int blocks = static_cast<int>(hdfs.blocks("/in/corpus").size());
+  for (int b = 0; b < blocks; ++b) {
+    spec.maps.push_back({"/in/corpus", b, 0.0, 2.0, 2 * sim::kMiB});
+  }
+  spec.reduces.assign(static_cast<std::size_t>(reduces), {0.3, sim::kMiB});
+  spec.output_path = "/out/wc";
+  return spec;
+}
+
+ScaleResult run_scale(int vms, bool reference) {
+  // The oracle switch is read by FluidModel's constructor; flip it before
+  // the Platform (and its engine) exist so both modes share one code path.
+  setenv("VHADOOP_FLUID_REFERENCE", reference ? "1" : "0", 1);
+
+  ScaleResult r;
+  r.vms = vms;
+  r.reference = reference;
+
+  // ~16 VMs per host (paper hosts: 16 cores / 32 GB; 1 GiB guests), VMs
+  // round-robin across hosts so per-host CPU components stay bounded while
+  // the shared NFS component grows with the cluster.
+  core::TestbedConfig testbed;
+  testbed.num_hosts = (vms + 15) / 16;
+  core::Platform platform(testbed);
+
+  core::ClusterSpec spec;
+  spec.num_workers = vms - 1;
+  spec.placement = core::Placement::Spread;
+  spec.hdfs.block_size = 8 * sim::kMiB;  // 1 block ≈ 1 VM keeps maps ∝ cluster
+  const int reduces = std::max(4, vms / 32);
+
+  auto t0 = WallClock::now();
+  platform.boot_cluster(spec);
+  r.boot_ms = elapsed_ms(t0);
+
+  workloads::TeraSort tera;
+  const double input_bytes = vms * 8.0 * sim::kMiB;
+  tera.total_bytes = input_bytes;
+  tera.block_size = spec.hdfs.block_size;
+  tera.num_reduces = reduces;
+
+  // Staging: corpus upload from the namenode plus a teragen run (which lays
+  // out the per-map part files sim_terasort reads).
+  t0 = WallClock::now();
+  platform.upload("/in/corpus", input_bytes);
+  platform.run_job(tera.sim_teragen("/in/tera"));
+  r.upload_ms = elapsed_ms(t0);
+
+  t0 = WallClock::now();
+  r.wordcount_sim_s = platform.run_job(wordcount_job(platform.hdfs(), reduces)).elapsed();
+  r.wordcount_ms = elapsed_ms(t0);
+
+  t0 = WallClock::now();
+  r.terasort_sim_s = platform.run_job(tera.sim_terasort("/in/tera", "/out/tera")).elapsed();
+  r.terasort_ms = elapsed_ms(t0);
+
+  const obs::Registry& metrics = platform.metrics();
+  if (const obs::Counter* c = metrics.find_counter("sim.fluid.recomputes")) {
+    r.recomputes = c->value();
+  }
+  if (const obs::Histogram* h = metrics.find_histogram("sim.fluid.component_size")) {
+    r.component_p95 = h->percentile(0.95);
+  }
+  if (const obs::Counter* c = metrics.find_counter("sim.events_fired")) {
+    r.events_fired = c->value();
+  }
+  r.metrics_json = metrics.to_json();
+  return r;
+}
+
+std::vector<int> parse_sizes(const std::string& arg) {
+  std::vector<int> sizes;
+  std::size_t pos = 0;
+  while (pos < arg.size()) {
+    std::size_t comma = arg.find(',', pos);
+    if (comma == std::string::npos) comma = arg.size();
+    sizes.push_back(std::atoi(arg.substr(pos, comma - pos).c_str()));
+    pos = comma + 1;
+  }
+  return sizes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<int> sizes = {16, 64, 256, 1024};
+  int reference_max = 256;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--vms=", 6) == 0) {
+      sizes = parse_sizes(argv[i] + 6);
+    } else if (std::strncmp(argv[i], "--reference-max=", 16) == 0) {
+      reference_max = std::atoi(argv[i] + 16);
+    } else {
+      std::fprintf(stderr, "usage: %s [--vms=16,64,...] [--reference-max=N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  bench::BenchResults results("scale_cluster");
+  std::printf("%6s %12s %10s %12s %12s %12s %12s %10s\n", "vms", "mode", "boot_ms",
+              "wc_ms", "tera_ms", "wc_sim_s", "tera_sim_s", "comp_p95");
+
+  std::string last_metrics;
+  for (int vms : sizes) {
+    ScaleResult inc = run_scale(vms, /*reference=*/false);
+    last_metrics = inc.metrics_json;
+    bool have_ref = vms <= reference_max;
+    ScaleResult ref;
+    if (have_ref) {
+      ref = run_scale(vms, /*reference=*/true);
+      // Same simulation by construction; a mismatch means a stale component
+      // escaped the incremental solver.
+      if (ref.wordcount_sim_s != inc.wordcount_sim_s ||
+          ref.terasort_sim_s != inc.terasort_sim_s) {
+        std::fprintf(stderr,
+                     "scale_cluster: simulated makespan diverged at %d VMs "
+                     "(wc %.17g vs %.17g, tera %.17g vs %.17g)\n",
+                     vms, inc.wordcount_sim_s, ref.wordcount_sim_s, inc.terasort_sim_s,
+                     ref.terasort_sim_s);
+        return 1;
+      }
+    }
+
+    for (const ScaleResult* run : {&inc, have_ref ? &ref : nullptr}) {
+      if (!run) continue;
+      const char* mode = run->reference ? "reference" : "incremental";
+      std::printf("%6d %12s %10.1f %12.1f %12.1f %12.2f %12.2f %10.1f\n", run->vms, mode,
+                  run->boot_ms, run->wordcount_ms, run->terasort_ms, run->wordcount_sim_s,
+                  run->terasort_sim_s, run->component_p95);
+      results.row()
+          .col("vms", run->vms)
+          .col("mode", mode)
+          .col("boot_ms", run->boot_ms)
+          .col("upload_ms", run->upload_ms)
+          .col("wordcount_ms", run->wordcount_ms)
+          .col("terasort_ms", run->terasort_ms)
+          .col("wordcount_sim_s", run->wordcount_sim_s)
+          .col("terasort_sim_s", run->terasort_sim_s)
+          .col("recomputes", run->recomputes)
+          .col("component_p95", run->component_p95)
+          .col("events_fired", run->events_fired);
+    }
+    if (have_ref) {
+      const double inc_total = inc.wordcount_ms + inc.terasort_ms;
+      const double ref_total = ref.wordcount_ms + ref.terasort_ms;
+      const double speedup = inc_total > 0.0 ? ref_total / inc_total : 0.0;
+      const double wc_speedup =
+          inc.wordcount_ms > 0.0 ? ref.wordcount_ms / inc.wordcount_ms : 0.0;
+      const double tera_speedup =
+          inc.terasort_ms > 0.0 ? ref.terasort_ms / inc.terasort_ms : 0.0;
+      std::printf("%6d %12s %10s %12s %12s  jobs speedup: %.1fx (wc %.1fx, tera %.1fx)\n",
+                  vms, "speedup", "", "", "", speedup, wc_speedup, tera_speedup);
+      results.row()
+          .col("vms", vms)
+          .col("mode", "speedup")
+          .col("jobs_speedup", speedup)
+          .col("wordcount_speedup", wc_speedup)
+          .col("terasort_speedup", tera_speedup);
+    }
+  }
+
+  // Snapshot of the largest incremental run for post-hoc inspection.
+  results.attach_metrics_json(std::move(last_metrics));
+  results.write();
+  return 0;
+}

@@ -21,6 +21,9 @@ void Platform::boot_cluster(const ClusterSpec& spec) {
   const int total = spec.num_workers + 1;
   auto place = [&](int idx) -> virt::HostId {
     if (spec.placement == Placement::Normal || hosts_.size() < 2) return hosts_[0];
+    if (spec.placement == Placement::Spread) {
+      return hosts_[static_cast<std::size_t>(idx) % hosts_.size()];
+    }
     return idx < (total + 1) / 2 ? hosts_[0] : hosts_[1];
   };
 

@@ -27,10 +27,13 @@ struct TestbedConfig {
   virt::VirtConfig virt;
 };
 
-/// Where the cluster's VMs land (paper Sec. III-B).
+/// Where the cluster's VMs land (paper Sec. III-B). Spread generalizes the
+/// paper's two-host split to the scale-out testbeds of bench/scale_cluster:
+/// VMs land round-robin across every configured host.
 enum class Placement {
   Normal,       ///< all VMs on physical machine A
   CrossDomain,  ///< VMs split evenly between machines A and B
+  Spread,       ///< VMs round-robin over all hosts
 };
 
 /// A hadoop virtual cluster request: 1 namenode + N worker VMs plus the

@@ -55,6 +55,11 @@ struct HadoopConfig {
   /// Replication for job output files (TeraSort sets 1; others inherit
   /// dfs.replication).
   int output_replication = 0;  // 0 = inherit from HDFS config
+  /// mapred.reduce.parallel.copies: concurrent shuffle fetches per reduce.
+  /// Bounding the fan-in keeps a large job's shuffle from opening
+  /// maps × reduces simultaneous flows (it also keeps the fluid model's
+  /// sharing components small on big clusters — see DESIGN.md §10).
+  int reduce_parallel_copies = 5;
   /// mapred.map.tasks.speculative.execution: launch a duplicate attempt of
   /// a map that has been running far longer than the completed-task mean;
   /// the first finisher wins (covers silently hung nodes).

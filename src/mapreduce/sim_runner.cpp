@@ -438,8 +438,15 @@ void SimulatedJobRunner::run_map(ActiveJob& job0, std::size_t m, std::size_t i, 
             const std::string path =
                 job4.spec.output_path + "/map-" + std::to_string(m) +
                 (attempt_now > 0 ? "-a" + std::to_string(attempt_now) : "");
-            hdfs_.write_file(path, mt3.output_bytes, vm, std::move(done),
-                             config_.output_replication);
+            if (hdfs_.exists(path)) {
+              // A speculative duplicate races the original under the same
+              // attempt number; whichever commits second finds the file in
+              // place and its commit is a no-op rename (OutputCommitter).
+              done();
+            } else {
+              hdfs_.write_file(path, mt3.output_bytes, vm, std::move(done),
+                               config_.output_replication);
+            }
           } else {
             tracer().begin(pid, tid, "spill", "map");
             // Spill to local disk; one extra merge pass if the output
@@ -614,38 +621,53 @@ void SimulatedJobRunner::mark_map_lost(ActiveJob& job, std::size_t m) {
 void SimulatedJobRunner::start_fetch(ActiveJob& job, std::size_t m, std::size_t r) {
   ReduceState& rs = job.reduces[r];
   if (rs.fetched[m]) return;  // already have this partition
+  rs.fetch_queue.push_back(m);
+  pump_fetches(job, r);
+}
+
+void SimulatedJobRunner::pump_fetches(ActiveJob& job, std::size_t r) {
+  ReduceState& rs = job.reduces[r];
   const auto id = job.id;
-  const double bytes = job.spec.shuffle_bytes(m, r);
-  const virt::VmId map_vm = job.maps[m].output_vm;
-  const virt::VmId red_vm = job.timeline.reduces[r].vm;
-  if (bytes > 0.0 && !cloud_.alive(map_vm)) {
-    // Fetch failure against a dead node: the map output is gone for good;
-    // re-execute the map (the re-run's finish re-feeds this reducer).
-    mark_map_lost(job, m);
-    return;
+  while (rs.copiers < config_.reduce_parallel_copies && !rs.fetch_queue.empty()) {
+    const std::size_t m = rs.fetch_queue.front();
+    rs.fetch_queue.pop_front();
+    if (rs.fetched[m]) continue;  // duplicate enqueue after a re-fetch
+    const double bytes = job.spec.shuffle_bytes(m, r);
+    const virt::VmId map_vm = job.maps[m].output_vm;
+    const virt::VmId red_vm = job.timeline.reduces[r].vm;
+    if (bytes > 0.0 && !cloud_.alive(map_vm)) {
+      // Fetch failure against a dead node: the map output is gone for good;
+      // re-execute the map (the re-run's finish re-feeds this reducer).
+      mark_map_lost(job, m);
+      continue;
+    }
+    ++rs.copiers;
+    auto arrived = reduce_guard(id, r, rs.attempt, [this, m, r, bytes](ActiveJob& job2) {
+      ReduceState& rs2 = job2.reduces[r];
+      --rs2.copiers;
+      if (!rs2.fetched[m]) {
+        rs2.fetched[m] = true;
+        ++rs2.fetch_count;
+        rs2.fetched_bytes += bytes;
+        job2.timeline.shuffle_fetched_bytes += bytes;
+        m_shuffle_bytes_->add(bytes);
+        rs2.last_progress = cloud_.engine().now();
+        maybe_merge(job2, r);
+      }
+      pump_fetches(job2, r);
+    });
+    if (bytes <= 0.0) {
+      arrived();  // frees the copier slot synchronously
+      continue;
+    }
+    // Segment fetch: read the mapper's spill (usually still in its page
+    // cache) while streaming it to the reducer (concurrent stages,
+    // latch-joined) — so shuffle cost is network-topology-bound, exactly the
+    // term the cross-domain placement inflates.
+    auto latch = sim::Latch::create(2, std::move(arrived));
+    cloud_.disk_read(map_vm, bytes, [latch] { latch->arrive(); }, 1.0, map_output_key(job, m));
+    cloud_.vm_transfer(map_vm, red_vm, bytes, [latch] { latch->arrive(); });
   }
-  auto arrived = reduce_guard(id, r, rs.attempt, [this, m, r, bytes](ActiveJob& job2) {
-    ReduceState& rs2 = job2.reduces[r];
-    if (rs2.fetched[m]) return;  // duplicate delivery after a re-fetch
-    rs2.fetched[m] = true;
-    ++rs2.fetch_count;
-    rs2.fetched_bytes += bytes;
-    job2.timeline.shuffle_fetched_bytes += bytes;
-    m_shuffle_bytes_->add(bytes);
-    rs2.last_progress = cloud_.engine().now();
-    maybe_merge(job2, r);
-  });
-  if (bytes <= 0.0) {
-    arrived();
-    return;
-  }
-  // Segment fetch: read the mapper's spill (usually still in its page
-  // cache) while streaming it to the reducer (concurrent stages,
-  // latch-joined) — so shuffle cost is network-topology-bound, exactly the
-  // term the cross-domain placement inflates.
-  auto latch = sim::Latch::create(2, std::move(arrived));
-  cloud_.disk_read(map_vm, bytes, [latch] { latch->arrive(); }, 1.0, map_output_key(job, m));
-  cloud_.vm_transfer(map_vm, red_vm, bytes, [latch] { latch->arrive(); });
 }
 
 void SimulatedJobRunner::maybe_merge(ActiveJob& job, std::size_t r) {
@@ -832,6 +854,10 @@ void SimulatedJobRunner::reduce_timeout(ActiveJob& job, std::size_t r, int attem
   rs.fetched.assign(job.maps.size(), false);
   rs.fetch_count = 0;
   rs.fetched_bytes = 0.0;
+  // Guarded copier completions of the dead attempt never fire; zero the
+  // window so the retry starts with full copier capacity.
+  rs.fetch_queue.clear();
+  rs.copiers = 0;
   job.retry_reduces.push_back(r);
 }
 

@@ -102,6 +102,10 @@ class SimulatedJobRunner {
     std::vector<bool> fetched;
     std::size_t fetch_count = 0;
     double fetched_bytes = 0.0;
+    /// Map indices waiting for a copier slot (FIFO; see pump_fetches).
+    std::deque<std::size_t> fetch_queue;
+    /// In-flight parallel copies (≤ config.reduce_parallel_copies).
+    int copiers = 0;
     double last_progress = 0.0;        ///< refreshed by shuffle arrivals
     sim::Engine::EventId watchdog;
     int tid = -1;  ///< trace lane of the current attempt
@@ -157,7 +161,11 @@ class SimulatedJobRunner {
   void finish_map(ActiveJob& job, std::size_t m, std::size_t tracker_idx);
   void run_reduce(ActiveJob& job, std::size_t r, std::size_t tracker_idx, int attempt,
                   int tid);
+  /// Queue map `m`'s partition for reduce `r` and start copies while
+  /// copier slots are free.
   void start_fetch(ActiveJob& job, std::size_t m, std::size_t r);
+  /// Launch queued fetches up to reduce_parallel_copies in flight.
+  void pump_fetches(ActiveJob& job, std::size_t r);
   void maybe_merge(ActiveJob& job, std::size_t r);
   void finish_reduce(ActiveJob& job, std::size_t r);
   void maybe_finish_job(ActiveJob& job);

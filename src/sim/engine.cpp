@@ -10,6 +10,7 @@ Engine::Engine()
     : events_scheduled_(metrics_.counter("sim.events_scheduled")),
       events_fired_(metrics_.counter("sim.events_fired")),
       events_cancelled_(metrics_.counter("sim.events_cancelled")),
+      queue_compactions_(metrics_.counter("sim.queue_compactions")),
       queue_depth_(metrics_.gauge("sim.queue_depth")) {
   tracer_.set_clock([this] { return now_; });
 }
@@ -21,7 +22,7 @@ Engine::EventId Engine::schedule_at(SimTime t, Callback cb, bool daemon) {
   if (t < now_) t = now_;  // absorb fp slop
   const std::uint64_t seq = next_seq_++;
   queue_.push(QueueEntry{t, seq});
-  callbacks_.emplace(seq, Pending{std::move(cb), daemon});
+  callbacks_.emplace(seq, Pending{std::move(cb), daemon, t});
   if (!daemon) ++regular_pending_;
   events_scheduled_->inc();
   if (static_cast<double>(callbacks_.size()) > queue_depth_->max()) {
@@ -37,7 +38,23 @@ bool Engine::cancel(EventId id) {
   if (!it->second.daemon) --regular_pending_;
   callbacks_.erase(it);
   events_cancelled_->inc();
+  ++tombstones_;
+  if (tombstones_ > 64 && tombstones_ > callbacks_.size()) compact_queue();
   return true;
+}
+
+void Engine::compact_queue() {
+  std::vector<QueueEntry> live;
+  live.reserve(callbacks_.size());
+  // vlint: allow(no-unordered-iteration) collects entries, sorted before the heap is rebuilt
+  for (const auto& [seq, pending] : callbacks_) live.push_back(QueueEntry{pending.time, seq});
+  // Sorted input gives one canonical heap layout; pop order is total
+  // ((time, seq) is a strict order) either way.
+  std::sort(live.begin(), live.end(),
+            [](const QueueEntry& a, const QueueEntry& b) { return b > a; });
+  queue_ = decltype(queue_)(std::greater<>(), std::move(live));
+  tombstones_ = 0;
+  queue_compactions_->inc();
 }
 
 bool Engine::step() {
@@ -45,7 +62,10 @@ bool Engine::step() {
     const QueueEntry top = queue_.top();
     queue_.pop();
     auto it = callbacks_.find(top.seq);
-    if (it == callbacks_.end()) continue;  // cancelled
+    if (it == callbacks_.end()) {  // cancelled
+      if (tombstones_ > 0) --tombstones_;
+      continue;
+    }
     Callback cb = std::move(it->second.cb);
     if (!it->second.daemon) --regular_pending_;
     callbacks_.erase(it);
@@ -69,6 +89,7 @@ bool Engine::run_until(SimTime t) {
     // Skip tombstones without advancing time.
     if (!callbacks_.contains(queue_.top().seq)) {
       queue_.pop();
+      if (tombstones_ > 0) --tombstones_;
       continue;
     }
     if (queue_.top().time > t) {

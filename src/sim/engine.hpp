@@ -87,12 +87,20 @@ class Engine {
   struct Pending {
     Callback cb;
     bool daemon = false;
+    SimTime time = 0.0;
   };
+
+  /// Cancelled events leave tombstones in the heap; once they outnumber the
+  /// live entries the heap is rebuilt from the cancellation index. Timer
+  /// re-arming (the fluid model cancels and re-schedules completion events
+  /// as rates change) would otherwise grow the heap without bound.
+  void compact_queue();
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
   std::size_t regular_pending_ = 0;
+  std::size_t tombstones_ = 0;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
   std::unordered_map<std::uint64_t, Pending> callbacks_;
 
@@ -101,6 +109,7 @@ class Engine {
   obs::Counter* events_scheduled_;
   obs::Counter* events_fired_;
   obs::Counter* events_cancelled_;
+  obs::Counter* queue_compactions_;
   obs::Gauge* queue_depth_;
 };
 

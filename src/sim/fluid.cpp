@@ -3,49 +3,85 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace vhadoop::sim {
 
 namespace {
-// An activity is finished when less than this much work remains. Work units
-// are bytes or core-seconds; a micro-unit is far below observability.
-constexpr double kWorkEps = 1e-6;
+
+// When a completion event fires slightly early by fp rounding, force the
+// finish if it is within a microsecond of simulated time (far below
+// anything the platform measures) — otherwise rescheduling could ping-pong
+// at a frozen timestamp forever.
+constexpr double kForcedFinishEta = 1e-6;
+
+// Canonical order for component member lists (pointer values never decide
+// anything — ids do, so the solve order is reproducible run to run).
+constexpr auto by_id = [](const auto* a, const auto* b) { return a->id < b->id; };
+
+bool reference_mode_from_env() {
+  // vlint: allow(no-os-entropy) opt-in oracle switch; both modes produce bit-identical simulations, verified by the churn suite
+  const char* v = std::getenv("VHADOOP_FLUID_REFERENCE");
+  return v != nullptr && *v != '\0' && *v != '0';
+}
+
 }  // namespace
+
+FluidModel::FluidModel(Engine& engine) : FluidModel(engine, reference_mode_from_env()) {}
+
+FluidModel::FluidModel(Engine& engine, bool reference)
+    : engine_(engine),
+      reference_(reference),
+      activities_started_(engine.metrics().counter("sim.fluid.activities_started")),
+      rate_recomputes_(engine.metrics().counter("sim.fluid.rate_recomputes")),
+      recomputes_(engine.metrics().counter("sim.fluid.recomputes")),
+      component_size_(engine.metrics().histogram(
+          "sim.fluid.component_size", obs::Histogram::exponential_buckets(1.0, 2.0, 16))) {}
 
 FluidModel::ResourceId FluidModel::add_resource(std::string name, double capacity) {
   if (capacity < 0.0) throw std::invalid_argument("resource capacity < 0");
   const std::uint64_t id = next_id_++;
-  resources_.emplace(id, Resource{std::move(name), capacity, 0.0, {}});
+  Resource r;
+  r.name = std::move(name);
+  r.capacity = capacity;
+  r.last_update = engine_.now();
+  r.id = id;
+  resources_.emplace(id, std::move(r));
   return ResourceId{id};
 }
 
 void FluidModel::set_capacity(ResourceId id, double capacity) {
   if (capacity < 0.0) throw std::invalid_argument("resource capacity < 0");
-  settle();
-  resources_.at(id.v).capacity = capacity;
-  recompute_and_reschedule();
+  Resource& res = resources_.at(id.v);
+  Component comp = collect_component(nullptr, &res);
+  settle_component(comp);
+  res.capacity = capacity;
+  rate_recomputes_->inc();
+  update_component(std::move(comp));
+  if (reference_) verify_all_components();
 }
 
 double FluidModel::capacity(ResourceId id) const { return resources_.at(id.v).capacity; }
 
 double FluidModel::allocated(ResourceId id) const {
-  const Resource& r = resources_.at(id.v);
-  double sum = 0.0;
-  for (std::uint64_t a : r.users) sum += activities_.at(a).rate;
-  return sum;
+  // The maintained sum equals a fresh summation over users: apply_rates
+  // recomputes it from scratch (same order) whenever any user's rate moves.
+  return resources_.at(id.v).allocated;
 }
 
 double FluidModel::utilization(ResourceId id) const {
   const Resource& r = resources_.at(id.v);
   if (r.capacity <= 0.0) return 0.0;
-  return std::min(1.0, allocated(id) / r.capacity);
+  return std::min(1.0, r.allocated / r.capacity);
 }
 
 double FluidModel::busy_integral(ResourceId id) const {
   const Resource& r = resources_.at(id.v);
-  // Include the partially elapsed interval since the last settle.
-  return r.busy_integral + allocated(id) * (engine_.now() - last_update_);
+  // Include the lazily unsettled interval since the resource's last touch.
+  return r.busy_integral + r.allocated * (engine_.now() - r.last_update);
 }
 
 const std::string& FluidModel::name(ResourceId id) const { return resources_.at(id.v).name; }
@@ -56,145 +92,264 @@ FluidModel::ActivityId FluidModel::start(ActivitySpec spec) {
   if (spec.resources.empty() && !std::isfinite(spec.cap)) {
     throw std::invalid_argument("activity with no resource must have a finite cap");
   }
-  settle();
   const std::uint64_t id = next_id_++;
   Activity act;
   act.remaining = spec.work;
   act.total = spec.work;
   act.weight = spec.weight;
   act.cap = spec.cap;
+  act.last_update = engine_.now();
+  act.id = id;
   act.on_complete = std::move(spec.on_complete);
-  act.resources.reserve(spec.resources.size());
+  // Wire adjacency only once the node lives in the map: its address is
+  // stable from then on (unordered_map never moves nodes on rehash).
+  Activity& node = activities_.emplace(id, std::move(act)).first->second;
+  node.resources.reserve(spec.resources.size());
   for (ResourceId r : spec.resources) {
-    resources_.at(r.v).users.push_back(id);
-    act.resources.push_back(r.v);
+    Resource& res = resources_.at(r.v);
+    // Ids are handed out monotonically, so push_back keeps `users` sorted.
+    res.users.push_back(&node);
+    node.resources.push_back(&res);
   }
-  activities_.emplace(id, std::move(act));
   activities_started_->inc();
-  recompute_and_reschedule();
+
+  // The new activity may bridge previously separate components; the BFS
+  // from it finds the merged (true) component.
+  Component comp = collect_component(&node, nullptr);
+  settle_component(comp);
+  rate_recomputes_->inc();
+  update_component(std::move(comp));
+  if (reference_) verify_all_components();
   return ActivityId{id};
 }
 
-void FluidModel::detach(std::uint64_t activity_id, const Activity& act) {
-  for (std::uint64_t rid : act.resources) {
-    auto& users = resources_.at(rid).users;
-    users.erase(std::remove(users.begin(), users.end(), activity_id), users.end());
+void FluidModel::detach(Activity& act) {
+  for (Resource* res : act.resources) {
+    auto& users = res->users;
+    // `users` is sorted ascending by id; duplicates (an activity listed
+    // twice on one resource) are erased one per detach pass, matching attach.
+    auto it = std::lower_bound(users.begin(), users.end(), &act, by_id);
+    if (it != users.end() && (*it)->id == act.id) users.erase(it);
   }
 }
 
 bool FluidModel::cancel(ActivityId id) {
   auto it = activities_.find(id.v);
   if (it == activities_.end()) return false;
-  settle();
-  detach(id.v, it->second);
+  Activity& act = it->second;
+  Component comp = collect_component(&act, nullptr);
+  settle_component(comp);
+  if (act.finish_event.valid()) engine_.cancel(act.finish_event);
+  comp_cache_.erase(id.v);
+  detach(act);
+  comp.acts.erase(std::find(comp.acts.begin(), comp.acts.end(), &act));
   activities_.erase(it);
-  recompute_and_reschedule();
+  rate_recomputes_->inc();
+  update_partition(std::move(comp));
+  if (reference_) verify_all_components();
   return true;
 }
 
 void FluidModel::add_work(ActivityId id, double extra) {
   if (extra < 0.0) throw std::invalid_argument("add_work: extra < 0");
-  settle();
   Activity& act = activities_.at(id.v);
+  Component comp = collect_component(&act, nullptr);
+  settle_component(comp);
   act.remaining += extra;
   act.total += extra;
-  recompute_and_reschedule();
+  rate_recomputes_->inc();
+  // The rate is typically unchanged (same sharing problem), but the ETA
+  // moved with the extra work: force this activity's timer to re-arm.
+  update_component(std::move(comp), &act);
+  if (reference_) verify_all_components();
 }
 
 void FluidModel::set_cap(ActivityId id, double cap) {
   if (cap < 0.0) throw std::invalid_argument("set_cap: cap < 0");
-  settle();
-  activities_.at(id.v).cap = cap;
-  recompute_and_reschedule();
+  Activity& act = activities_.at(id.v);
+  Component comp = collect_component(&act, nullptr);
+  settle_component(comp);
+  act.cap = cap;
+  rate_recomputes_->inc();
+  update_component(std::move(comp));
+  if (reference_) verify_all_components();
 }
 
 double FluidModel::rate(ActivityId id) const { return activities_.at(id.v).rate; }
 
 double FluidModel::remaining(ActivityId id) const {
   const Activity& act = activities_.at(id.v);
-  return std::max(0.0, act.remaining - act.rate * (engine_.now() - last_update_));
+  return std::max(0.0, act.remaining - act.rate * (engine_.now() - act.last_update));
 }
 
-void FluidModel::settle() {
+FluidModel::Component FluidModel::collect_component(Activity* seed_act, Resource* seed_res) {
+  Component comp;
+  // Epoch-stamped visit marks instead of hash sets: one counter bump makes
+  // every stale stamp invalid, so the BFS allocates nothing in steady state.
+  const std::uint64_t epoch = ++visit_epoch_;
+  bfs_act_stack_.clear();
+  bfs_res_stack_.clear();
+  if (seed_act != nullptr) {
+    seed_act->seen = epoch;
+    bfs_act_stack_.push_back(seed_act);
+  }
+  if (seed_res != nullptr) {
+    seed_res->seen = epoch;
+    bfs_res_stack_.push_back(seed_res);
+  }
+  while (!bfs_act_stack_.empty() || !bfs_res_stack_.empty()) {
+    if (!bfs_act_stack_.empty()) {
+      Activity* act = bfs_act_stack_.back();
+      bfs_act_stack_.pop_back();
+      comp.acts.push_back(act);
+      for (Resource* r : act->resources) {
+        if (r->seen != epoch) {
+          r->seen = epoch;
+          bfs_res_stack_.push_back(r);
+        }
+      }
+    } else {
+      Resource* res = bfs_res_stack_.back();
+      bfs_res_stack_.pop_back();
+      comp.res.push_back(res);
+      for (Activity* a : res->users) {
+        if (a->seen != epoch) {
+          a->seen = epoch;
+          bfs_act_stack_.push_back(a);
+        }
+      }
+    }
+  }
+  // Canonical order: the solver and every per-member loop run ascending by
+  // id, independent of traversal order.
+  std::sort(comp.acts.begin(), comp.acts.end(), by_id);
+  std::sort(comp.res.begin(), comp.res.end(), by_id);
+  return comp;
+}
+
+std::size_t FluidModel::reach_component(Activity* seed) {
+  const std::uint64_t epoch = ++visit_epoch_;
+  bfs_act_stack_.clear();
+  bfs_res_stack_.clear();
+  seed->seen = epoch;
+  bfs_act_stack_.push_back(seed);
+  std::size_t acts_reached = 0;
+  while (!bfs_act_stack_.empty() || !bfs_res_stack_.empty()) {
+    if (!bfs_act_stack_.empty()) {
+      Activity* act = bfs_act_stack_.back();
+      bfs_act_stack_.pop_back();
+      ++acts_reached;
+      for (Resource* r : act->resources) {
+        if (r->seen != epoch) {
+          r->seen = epoch;
+          bfs_res_stack_.push_back(r);
+        }
+      }
+    } else {
+      Resource* res = bfs_res_stack_.back();
+      bfs_res_stack_.pop_back();
+      for (Activity* a : res->users) {
+        if (a->seen != epoch) {
+          a->seen = epoch;
+          bfs_act_stack_.push_back(a);
+        }
+      }
+    }
+  }
+  return acts_reached;
+}
+
+void FluidModel::settle_component(const Component& comp) {
   const SimTime now = engine_.now();
-  const double elapsed = now - last_update_;
-  if (elapsed <= 0.0) {
-    last_update_ = now;
-    return;
+  for (Activity* act : comp.acts) {
+    const double elapsed = now - act->last_update;
+    if (elapsed > 0.0) {
+      act->remaining = std::max(0.0, act->remaining - act->rate * elapsed);
+    }
+    act->last_update = now;
   }
-  // vlint: allow(no-unordered-iteration) per-entry update, no cross-entry state
-  for (auto& [id, r] : resources_) {
-    double alloc = 0.0;
-    for (std::uint64_t a : r.users) alloc += activities_.at(a).rate;
-    r.busy_integral += alloc * elapsed;
+  for (Resource* r : comp.res) {
+    const double elapsed = now - r->last_update;
+    if (elapsed > 0.0) r->busy_integral += r->allocated * elapsed;
+    r->last_update = now;
   }
-  // vlint: allow(no-unordered-iteration) per-entry update, no cross-entry state
-  for (auto& [id, act] : activities_) {
-    act.remaining = std::max(0.0, act.remaining - act.rate * elapsed);
-  }
-  last_update_ = now;
 }
 
-void FluidModel::recompute_rates() {
-  rate_recomputes_->inc();
+void FluidModel::solve_component(const Component& comp, std::vector<double>& rates) {
   // Progressive filling: raise a common water level theta; each unfrozen
   // activity's rate grows as weight*theta until either one of its resources
   // saturates (freezing every unfrozen user of that resource) or its own
-  // cap is reached.
-  std::unordered_map<std::uint64_t, double> slack;
-  slack.reserve(resources_.size());
-  // vlint: allow(no-unordered-iteration) keyed copy, one write per entry
-  for (auto& [rid, r] : resources_) slack[rid] = r.capacity;
+  // cap is reached. Scoped to one component — by definition no activity
+  // outside it shares any of its resources, so the component solution *is*
+  // the global max-min solution restricted to these activities.
+  const std::size_t na = comp.acts.size();
+  const std::size_t nr = comp.res.size();
+  rates.assign(na, 0.0);
 
-  std::vector<std::uint64_t> unfrozen;
-  unfrozen.reserve(activities_.size());
-  // vlint: allow(no-unordered-iteration) collects ids, sorted before use below
-  for (auto& [aid, act] : activities_) {
-    act.rate = 0.0;
-    if (act.cap <= 0.0) continue;  // paused
-    unfrozen.push_back(aid);
+  s_slack_.resize(nr);
+  s_rescap_.resize(nr);
+  for (std::size_t j = 0; j < nr; ++j) {
+    Resource* r = comp.res[j];
+    r->local_idx = j;  // lets each edge resolve its slot in O(1) below
+    s_rescap_[j] = r->capacity;
+    s_slack_[j] = s_rescap_[j];
   }
-  // Deterministic iteration order regardless of hash-map layout.
-  std::sort(unfrozen.begin(), unfrozen.end());
 
-  while (!unfrozen.empty()) {
-    // Weight sum of unfrozen users per resource.
-    std::unordered_map<std::uint64_t, double> sumw;
-    for (std::uint64_t aid : unfrozen) {
-      const Activity& act = activities_.at(aid);
-      for (std::uint64_t rid : act.resources) sumw[rid] += act.weight;
+  // Cache each activity's parameters and local resource indices once
+  // (flat index array + offsets; all scratch, reused across solves).
+  s_weight_.resize(na);
+  s_cap_.resize(na);
+  s_roff_.resize(na + 1);
+  s_ridx_.clear();
+  s_unfrozen_.clear();
+  for (std::size_t i = 0; i < na; ++i) {
+    const Activity* act = comp.acts[i];
+    s_weight_[i] = act->weight;
+    s_cap_[i] = act->cap;
+    s_roff_[i] = s_ridx_.size();
+    for (const Resource* r : act->resources) s_ridx_.push_back(r->local_idx);
+    if (act->cap > 0.0) s_unfrozen_.push_back(i);  // cap <= 0 is paused
+  }
+  s_roff_[na] = s_ridx_.size();
+
+  // Weight sum (and count) of unfrozen users per resource, maintained
+  // incrementally: built once, then each freeze subtracts the frozen
+  // activity's weight. The count snaps a sum exactly to zero when the last
+  // user freezes, so subtraction residue can never keep a userless
+  // resource in the theta minimization.
+  s_sumw_.assign(nr, 0.0);
+  s_cnt_.assign(nr, 0);
+  for (std::size_t i : s_unfrozen_) {
+    for (std::size_t k = s_roff_[i]; k < s_roff_[i + 1]; ++k) {
+      s_sumw_[s_ridx_[k]] += s_weight_[i];
+      ++s_cnt_[s_ridx_[k]];
     }
-
+  }
+  while (!s_unfrozen_.empty()) {
     double theta = std::numeric_limits<double>::infinity();
-    // vlint: allow(no-unordered-iteration) min-reduction, order-independent
-    for (const auto& [rid, w] : sumw) {
-      if (w > 0.0) theta = std::min(theta, std::max(0.0, slack.at(rid)) / w);
+    for (std::size_t j = 0; j < nr; ++j) {
+      if (s_sumw_[j] > 0.0) theta = std::min(theta, std::max(0.0, s_slack_[j]) / s_sumw_[j]);
     }
-    for (std::uint64_t aid : unfrozen) {
-      const Activity& act = activities_.at(aid);
-      theta = std::min(theta, (act.cap - act.rate) / act.weight);
+    for (std::size_t i : s_unfrozen_) {
+      theta = std::min(theta, (s_cap_[i] - rates[i]) / s_weight_[i]);
     }
     assert(std::isfinite(theta));
     theta = std::max(theta, 0.0);
 
-    for (std::uint64_t aid : unfrozen) {
-      Activity& act = activities_.at(aid);
-      act.rate += act.weight * theta;
+    for (std::size_t i : s_unfrozen_) rates[i] += s_weight_[i] * theta;
+    for (std::size_t j = 0; j < nr; ++j) {
+      if (s_sumw_[j] > 0.0) s_slack_[j] -= theta * s_sumw_[j];
     }
-    // vlint: allow(no-unordered-iteration) per-entry update, no cross-entry state
-    for (auto& [rid, w] : sumw) slack.at(rid) -= theta * w;
 
     // Freeze activities at saturated resources or at their cap.
-    std::vector<std::uint64_t> next;
-    next.reserve(unfrozen.size());
+    s_next_.clear();
     bool froze_any = false;
-    for (std::uint64_t aid : unfrozen) {
-      Activity& act = activities_.at(aid);
-      bool frozen = act.rate >= act.cap * (1.0 - 1e-12) - kEps;
+    for (std::size_t i : s_unfrozen_) {
+      bool frozen = rates[i] >= s_cap_[i] * (1.0 - 1e-12) - kEps;
       if (!frozen) {
-        for (std::uint64_t rid : act.resources) {
-          const double cap = resources_.at(rid).capacity;
-          if (slack.at(rid) <= kEps * std::max(1.0, cap)) {
+        for (std::size_t k = s_roff_[i]; k < s_roff_[i + 1]; ++k) {
+          const std::size_t j = s_ridx_[k];
+          if (s_slack_[j] <= kEps * std::max(1.0, s_rescap_[j])) {
             frozen = true;
             break;
           }
@@ -202,8 +357,13 @@ void FluidModel::recompute_rates() {
       }
       if (frozen) {
         froze_any = true;
+        for (std::size_t k = s_roff_[i]; k < s_roff_[i + 1]; ++k) {
+          const std::size_t j = s_ridx_[k];
+          s_sumw_[j] -= s_weight_[i];
+          if (--s_cnt_[j] == 0) s_sumw_[j] = 0.0;
+        }
       } else {
-        next.push_back(aid);
+        s_next_.push_back(i);
       }
     }
     if (!froze_any) {
@@ -211,78 +371,233 @@ void FluidModel::recompute_rates() {
       // freeze; if rounding prevented it, freeze everything to terminate.
       break;
     }
-    unfrozen = std::move(next);
+    s_unfrozen_.swap(s_next_);
   }
 }
 
-void FluidModel::recompute_and_reschedule() {
-  recompute_rates();
-  if (pending_event_.valid()) {
-    engine_.cancel(pending_event_);
-    pending_event_ = {};
-  }
-  double eta = std::numeric_limits<double>::infinity();
-  // vlint: allow(no-unordered-iteration) min-reduction, order-independent
-  for (const auto& [aid, act] : activities_) {
-    if (act.rate > 0.0) eta = std::min(eta, std::max(0.0, act.remaining) / act.rate);
-  }
-  if (std::isfinite(eta)) {
-    pending_event_ = engine_.schedule_in(eta, [this] { on_completion_event(); });
+void FluidModel::project_finish(Activity& act) const {
+  const SimTime now = engine_.now();
+  if (finished(act)) {
+    act.finish_at = now;
+  } else if (act.rate > 0.0) {
+    act.finish_at = now + act.remaining / act.rate;
+  } else {
+    act.finish_at = kNever;
   }
 }
 
-void FluidModel::on_completion_event() {
-  pending_event_ = {};
-  settle();
-
-  // Collect everything that is done. Tolerance is absolute: kWorkEps work
-  // units remaining cannot be observed by any consumer of the model.
-  std::vector<std::uint64_t> done;
-  // vlint: allow(no-unordered-iteration) collects ids, sorted before callbacks
-  for (const auto& [aid, act] : activities_) {
-    if (act.remaining <= kWorkEps && (act.rate > 0.0 || act.total <= kWorkEps)) {
-      done.push_back(aid);
+FluidModel::Activity* FluidModel::arm_component_timer(const Component& comp) {
+  // Earliest projected finisher, smallest id on ties (ascending scan).
+  Activity* best = nullptr;
+  SimTime best_t = kNever;
+  for (Activity* act : comp.acts) {
+    if (act->finish_at < best_t) {
+      best_t = act->finish_at;
+      best = act;
     }
   }
-  if (done.empty()) {
-    // Scheduled slightly early by fp rounding; force the closest finisher
-    // if it is within a microsecond of simulated time (far below anything
-    // the platform measures) — otherwise rescheduling could ping-pong at a
-    // frozen timestamp forever.
-    std::uint64_t best = 0;
-    double best_eta = std::numeric_limits<double>::infinity();
-    // Ties break on the smaller activity id, so the chosen finisher does not
-    // depend on the hash-map layout (determinism contract, DESIGN.md §9).
-    // vlint: allow(no-unordered-iteration) selection by (eta, id) minimum, order-independent
-    for (const auto& [aid, act] : activities_) {
-      if (act.rate <= 0.0) continue;
-      const double a_eta = act.remaining / act.rate;
-      if (a_eta < best_eta || (a_eta == best_eta && (best == 0 || aid < best))) {
-        best_eta = a_eta;
-        best = aid;
+  for (Activity* act : comp.acts) {
+    if (act == best) {
+      if (act->finish_event.valid() && act->armed_at == act->finish_at) continue;
+      if (act->finish_event.valid()) engine_.cancel(act->finish_event);
+      act->armed_at = act->finish_at;
+      const std::uint64_t aid = act->id;
+      act->finish_event =
+          engine_.schedule_at(act->finish_at, [this, aid] { on_finish_event(aid); });
+    } else if (act->finish_event.valid()) {
+      // This member held the timer under an older partition of the graph;
+      // its cached component (if any) is superseded by the caller's.
+      engine_.cancel(act->finish_event);
+      act->finish_event = {};
+      act->armed_at = kNever;
+      comp_cache_.erase(act->id);
+    }
+  }
+  return best;
+}
+
+FluidModel::Activity* FluidModel::apply_rates(const Component& comp,
+                                              const std::vector<double>& rates,
+                                              Activity* force_rearm) {
+  // Reuses the flat edge index solve_component just built for this very
+  // component (s_roff_/s_ridx_ are untouched between solve and apply).
+  std::fill(s_sumw_.begin(), s_sumw_.end(), 0.0);
+  for (std::size_t i = 0; i < comp.acts.size(); ++i) {
+    Activity* act = comp.acts[i];
+    if (rates[i] != act->rate || act == force_rearm) {
+      act->rate = rates[i];
+      project_finish(*act);
+    }
+    // Ascending i == ascending activity id == the order a fresh summation
+    // over Resource::users would use, so the sums are bit-identical to one.
+    for (std::size_t k = s_roff_[i]; k < s_roff_[i + 1]; ++k) s_sumw_[s_ridx_[k]] += rates[i];
+  }
+  for (std::size_t j = 0; j < comp.res.size(); ++j) {
+    comp.res[j]->allocated = s_sumw_[j];
+  }
+  return arm_component_timer(comp);
+}
+
+void FluidModel::update_component(Component comp, Activity* force_rearm) {
+  recomputes_->inc();
+  component_size_->observe(static_cast<double>(comp.acts.size()));
+  solve_component(comp, s_rates_);
+  Activity* holder = apply_rates(comp, s_rates_, force_rearm);
+  // Hand the sorted member lists to the timer holder: when its finish event
+  // fires, on_finish_event reuses them instead of redoing the BFS + sorts.
+  if (holder != nullptr) comp_cache_[holder->id] = std::move(comp);
+}
+
+void FluidModel::update_partition(Component comp) {
+  // Removals may have split the component; re-partition the survivors and
+  // solve each true sub-component on its own (the canonical form the
+  // reference oracle verifies against).
+  if (comp.acts.empty()) {
+    for (Resource* r : comp.res) r->allocated = 0.0;
+    return;
+  }
+  // Fast path — by far the common case: one BFS proves the survivors are
+  // still a single component, and the member lists (already sorted) are
+  // reused as-is. Only resources the BFS reached stay in the component;
+  // the rest lost their last user and carry no load.
+  if (reach_component(comp.acts.front()) == comp.acts.size()) {
+    const std::uint64_t epoch = visit_epoch_;
+    std::size_t keep = 0;
+    for (Resource* r : comp.res) {
+      if (r->seen == epoch) {
+        comp.res[keep++] = r;
+      } else {
+        r->allocated = 0.0;
       }
     }
-    if (best != 0 && best_eta < 1e-6) {
-      done.push_back(best);
+    comp.res.resize(keep);
+    update_component(std::move(comp));
+    return;
+  }
+  // Split: re-collect each true sub-component. The sets are only
+  // membership-tested, never iterated, so their unordered layout cannot
+  // leak into the results.
+  std::unordered_set<const Activity*> pending(comp.acts.begin(), comp.acts.end());
+  std::unordered_set<const Resource*> live_res;
+  for (Activity* act : comp.acts) {
+    if (!pending.contains(act)) continue;
+    Component sub = collect_component(act, nullptr);
+    for (const Activity* a : sub.acts) pending.erase(a);
+    for (const Resource* r : sub.res) live_res.insert(r);
+    update_component(std::move(sub));
+  }
+  // Resources left with no path to any surviving activity carry no load.
+  for (Resource* r : comp.res) {
+    if (!live_res.contains(r)) r->allocated = 0.0;
+  }
+}
+
+void FluidModel::on_finish_event(std::uint64_t activity_id) {
+  auto it = activities_.find(activity_id);
+  if (it == activities_.end()) {
+    comp_cache_.erase(activity_id);
+    return;  // completed in a batch meanwhile
+  }
+  Activity& self = it->second;
+  self.finish_event = {};
+  self.armed_at = kNever;
+
+  // A firing timer means no mutation touched this component since it was
+  // armed (any mutation re-solves and re-arms, replacing the cache entry),
+  // so the cached membership is exact — no BFS, no sort.
+  Component comp;
+  if (auto cit = comp_cache_.find(activity_id); cit != comp_cache_.end()) {
+    comp = std::move(cit->second);
+    comp_cache_.erase(cit);
+  } else {
+    comp = collect_component(&self, nullptr);
+  }
+  settle_component(comp);
+
+  // Everything in the component that is done completes in one batch: the
+  // co-finishers would fire at this same instant anyway, and batching
+  // keeps callback order independent of timer arming order.
+  std::vector<Activity*> done;
+  for (Activity* act : comp.acts) {
+    if (finished(*act)) done.push_back(act);
+  }
+  if (done.empty()) {
+    // Scheduled slightly early by fp rounding; force the finish when it is
+    // within kForcedFinishEta of simulated time, else re-arm.
+    if (self.rate > 0.0 && self.remaining / self.rate < kForcedFinishEta) {
+      done.push_back(&self);
     } else {
-      recompute_and_reschedule();
+      // This activity held the component's timer; re-project its finish and
+      // pick the component's earliest finisher afresh.
+      project_finish(self);
+      Activity* holder = arm_component_timer(comp);
+      if (holder != nullptr) comp_cache_[holder->id] = std::move(comp);
       return;
     }
   }
-  std::sort(done.begin(), done.end());  // deterministic callback order
+
+  // Partition the survivors before the done nodes are erased (their
+  // pointers dangle afterwards). `done` is ascending by id: it is either a
+  // subsequence of the sorted comp.acts or the single forced finisher.
+  Component survivors;
+  survivors.res = std::move(comp.res);
+  std::set_difference(comp.acts.begin(), comp.acts.end(), done.begin(), done.end(),
+                      std::back_inserter(survivors.acts), by_id);
 
   std::vector<Callback> callbacks;
   callbacks.reserve(done.size());
-  for (std::uint64_t aid : done) {
-    auto it = activities_.find(aid);
-    detach(aid, it->second);
-    if (it->second.on_complete) callbacks.push_back(std::move(it->second.on_complete));
-    activities_.erase(it);
+  for (Activity* act : done) {  // ascending id: deterministic callbacks
+    if (act->finish_event.valid()) engine_.cancel(act->finish_event);
+    comp_cache_.erase(act->id);
+    detach(*act);
+    if (act->on_complete) callbacks.push_back(std::move(act->on_complete));
+    activities_.erase(act->id);
   }
-  recompute_and_reschedule();
+
+  rate_recomputes_->inc();
+  update_partition(std::move(survivors));
+  if (reference_) verify_all_components();
+
   // Callbacks run last: the model is consistent and reentrant calls
   // (start/cancel) each re-settle and re-schedule on their own.
   for (Callback& cb : callbacks) cb();
+}
+
+void FluidModel::verify_all_components() {
+  // The reference is the pre-incremental algorithm verbatim: one global
+  // progressive filling over every live activity at once. Components are
+  // independent subproblems, so the joint water level reaches each
+  // component's own bottlenecks and the result is mathematically identical
+  // to the per-component solves — but the cost is the old cost, O(freeze
+  // rounds × total activities) per mutation, which is exactly what
+  // bench/scale_cluster measures the incremental solver against.
+  Component all;
+  all.acts.reserve(activities_.size());
+  // vlint: allow(no-unordered-iteration) collects pointers, sorted by id before use
+  for (auto& [aid, act] : activities_) all.acts.push_back(&act);
+  std::sort(all.acts.begin(), all.acts.end(), by_id);
+  for (const Activity* act : all.acts) {
+    for (Resource* r : act->resources) all.res.push_back(r);
+  }
+  std::sort(all.res.begin(), all.res.end(), by_id);
+  all.res.erase(std::unique(all.res.begin(), all.res.end()), all.res.end());
+
+  std::vector<double> rates;
+  solve_component(all, rates);
+  for (std::size_t i = 0; i < all.acts.size(); ++i) {
+    const double stored = all.acts[i]->rate;
+    // The joint solve reaches each bottleneck through more (smaller) water-
+    // level increments, so accumulation differs in the last bits; compare
+    // relative, not bitwise.
+    const double tol = 1e-9 * std::max(1.0, std::max(std::abs(stored), std::abs(rates[i])));
+    if (std::abs(stored - rates[i]) > tol) {
+      std::fprintf(stderr,
+                   "FluidModel reference oracle: activity %llu rate %.17g != reference "
+                   "%.17g (stale component?)\n",
+                   static_cast<unsigned long long>(all.acts[i]->id), stored, rates[i]);
+      std::abort();
+    }
+  }
 }
 
 }  // namespace vhadoop::sim

@@ -25,10 +25,34 @@ namespace vhadoop::sim {
 /// exact packet/instruction interleaving is abstracted away, while
 /// bottleneck formation — the subject of the vHadoop paper — is preserved.
 ///
-/// Rates are recomputed with progressive filling whenever the activity set
-/// or a capacity changes; completion times are exact under the piecewise-
-/// constant rate assumption. The model owns a single pending engine event
-/// for the earliest completion.
+/// ## Incremental recomputation (DESIGN.md §10)
+///
+/// Activities and resources form a bipartite sharing graph whose connected
+/// components are independent max-min problems: progressive filling in one
+/// component never reads state from another. The model exploits that by
+/// recomputing, on every change (activity start/finish/cancel, capacity or
+/// cap change), only the component touched by the change. Rates of all
+/// other components — and their already-armed completion timers — are left
+/// intact, which turns the per-event cost from O(all activities × all
+/// resources) into O(component). Work remaining and busy integrals are
+/// settled lazily, also per component.
+///
+/// The invariant that makes this safe: *the stored rate of every activity
+/// always equals the canonical progressive-filling solution of its own
+/// (true, maximal) connected component*. Solving is deterministic, so a
+/// reference re-solve of an untouched component reproduces the stored
+/// rates bit for bit. `VHADOOP_FLUID_REFERENCE=1` (or the constructor
+/// flag) turns on the reference oracle: after every update the model
+/// re-solves *every* component from scratch and verifies the invariant,
+/// aborting on divergence beyond 1e-9 — the stale-component bug class an
+/// incremental solver can introduce cannot then go unnoticed.
+///
+/// Completion times are exact under the piecewise-constant rate
+/// assumption. Projected finish times are plain arithmetic; only one
+/// engine timer is armed per component — on its earliest finisher — and it
+/// is re-armed only when that earliest ETA actually moves. A rate change
+/// that shifts every member of a 500-activity component therefore costs
+/// one heap operation, not 500.
 class FluidModel {
  public:
   struct ResourceId {
@@ -60,12 +84,16 @@ class FluidModel {
     Callback on_complete;
   };
 
-  explicit FluidModel(Engine& engine)
-      : engine_(engine),
-        activities_started_(engine.metrics().counter("sim.fluid.activities_started")),
-        rate_recomputes_(engine.metrics().counter("sim.fluid.rate_recomputes")) {}
+  /// Reference-oracle mode defaults to the VHADOOP_FLUID_REFERENCE
+  /// environment variable; pass `reference` explicitly in tests.
+  explicit FluidModel(Engine& engine);
+  FluidModel(Engine& engine, bool reference);
   FluidModel(const FluidModel&) = delete;
   FluidModel& operator=(const FluidModel&) = delete;
+
+  /// True when every update re-solves all components and verifies the
+  /// incremental invariant (see class comment).
+  bool reference_mode() const { return reference_; }
 
   // --- resources ---------------------------------------------------------
   ResourceId add_resource(std::string name, double capacity);
@@ -95,37 +123,132 @@ class FluidModel {
   std::size_t active_count() const { return activities_.size(); }
 
  private:
+  struct Activity;
+
   struct Resource {
     std::string name;
     double capacity = 0.0;
+    /// ∫ allocated dt, integrated up to `last_update`.
     double busy_integral = 0.0;
-    std::vector<std::uint64_t> users;  // activity ids (unordered)
+    /// Sum of users' rates (kept current by apply_rates).
+    double allocated = 0.0;
+    SimTime last_update = 0.0;
+    std::uint64_t id = 0;
+    /// Users ascending by id (ids are handed out monotonically). Raw
+    /// pointers: unordered_map nodes are pointer-stable across rehashes,
+    /// and pointer adjacency keeps hash lookups out of the per-event path.
+    std::vector<Activity*> users;
+    /// BFS visit stamp (see visit_epoch_); scratch, not model state.
+    std::uint64_t seen = 0;
+    /// Position in the component currently being solved; scratch written by
+    /// solve_component so edge targets resolve in O(1).
+    std::size_t local_idx = 0;
   };
 
   struct Activity {
+    /// Work left as of `last_update`; drains at `rate` since then.
     double remaining = 0.0;
     double total = 0.0;
     double weight = 1.0;
     double cap = 0.0;
     double rate = 0.0;
-    std::vector<std::uint64_t> resources;
+    SimTime last_update = 0.0;
+    /// Absolute projected completion time (kNever when paused/stalled).
+    SimTime finish_at = kNever;
+    /// Engine timer, armed only while this activity is its component's
+    /// earliest finisher (one live timer per component, see apply_rates).
+    Engine::EventId finish_event{};
+    /// The time finish_event is armed at (kNever when not armed); lets a
+    /// re-arm be skipped when the projected finish did not move.
+    SimTime armed_at = kNever;
+    std::uint64_t id = 0;
+    std::vector<Resource*> resources;
     Callback on_complete;
+    /// BFS visit stamp (see visit_epoch_); scratch, not model state.
+    std::uint64_t seen = 0;
   };
 
-  void settle();
-  void recompute_and_reschedule();
-  void recompute_rates();
-  void on_completion_event();
-  void detach(std::uint64_t activity_id, const Activity& act);
+  /// One connected component of the activity↔resource bipartite graph;
+  /// both lists are sorted ascending by id (canonical order for solving).
+  struct Component {
+    std::vector<Activity*> acts;
+    std::vector<Resource*> res;
+  };
+
+  /// BFS over shared resources from the given seeds (either may be null).
+  Component collect_component(Activity* seed_act, Resource* seed_res);
+  /// Count-only BFS from `seed`: stamps everything reachable with a fresh
+  /// visit epoch and returns how many activities were reached. Lets
+  /// update_partition prove "no split" without re-collecting and re-sorting
+  /// the member lists.
+  std::size_t reach_component(Activity* seed);
+  /// Bring `remaining` / `busy_integral` of every member up to now.
+  void settle_component(const Component& comp);
+  /// Canonical progressive filling over one component. Writes the solution
+  /// into `rates` (parallel to comp.acts); touches only scratch state.
+  void solve_component(const Component& comp, std::vector<double>& rates);
+  /// Write solved rates back, refresh per-resource allocation sums and
+  /// re-arm the component's timer if its earliest ETA moved. `force_rearm`
+  /// names an activity whose remaining changed without a rate change
+  /// (add_work), so its projection must be refreshed regardless. Returns
+  /// the member holding the component's timer (null when none finishes).
+  Activity* apply_rates(const Component& comp, const std::vector<double>& rates,
+                        Activity* force_rearm);
+  /// Solve + apply for one dirty component (metrics included). Takes the
+  /// component by value: it is moved into comp_cache_ under the timer
+  /// holder, so the holder's finish event can reuse it without a BFS.
+  void update_component(Component comp, Activity* force_rearm = nullptr);
+  /// After removals a component may have split: re-partition the remaining
+  /// members into true components and solve each.
+  void update_partition(Component comp);
+  /// Arm one engine timer for the component, on its earliest projected
+  /// finisher (smallest id on ties); cancel timers of all other members.
+  /// A component with no finite finish keeps no timer at all. Returns the
+  /// timer holder (even when the existing timer was kept), or null.
+  Activity* arm_component_timer(const Component& comp);
+  /// Recompute `act.finish_at` from rate/remaining as of now.
+  void project_finish(Activity& act) const;
+  void on_finish_event(std::uint64_t activity_id);
+  void detach(Activity& act);
+  /// Reference oracle: re-solve every component, verify stored rates.
+  void verify_all_components();
+
+  /// An activity is finished when less than this much work remains. Work
+  /// units are bytes or core-seconds; a micro-unit is far below
+  /// observability.
+  static constexpr double kWorkEps = 1e-6;
+
+  bool finished(const Activity& act) const {
+    return act.remaining <= kWorkEps && (act.rate > 0.0 || act.total <= kWorkEps);
+  }
 
   Engine& engine_;
+  bool reference_;
   std::uint64_t next_id_ = 1;
   std::unordered_map<std::uint64_t, Resource> resources_;
   std::unordered_map<std::uint64_t, Activity> activities_;
-  SimTime last_update_ = 0.0;
-  Engine::EventId pending_event_{};
+  /// Solved component of each armed timer holder, keyed by its activity id.
+  /// Valid by construction: any mutation touching the component re-solves
+  /// and re-arms it, replacing the entry — so when the timer actually
+  /// fires, the membership is exactly what it was at arming time and the
+  /// finish path needs neither a BFS nor a sort. Entries die with their
+  /// timer (consumed on fire, erased on cancel/re-arm).
+  std::unordered_map<std::uint64_t, Component> comp_cache_;
   obs::Counter* activities_started_;
   obs::Counter* rate_recomputes_;
+  obs::Counter* recomputes_;
+  obs::Histogram* component_size_;
+
+  // Scratch reused across calls so the per-event hot path (BFS + solve on
+  // the dirty component) allocates nothing in steady state. The engine is
+  // single-threaded and no solve nests inside another, so sharing is safe.
+  std::uint64_t visit_epoch_ = 0;
+  std::vector<Activity*> bfs_act_stack_;
+  std::vector<Resource*> bfs_res_stack_;
+  std::vector<double> s_slack_, s_rescap_, s_weight_, s_cap_, s_sumw_;
+  std::vector<std::size_t> s_ridx_, s_roff_, s_unfrozen_, s_next_;
+  std::vector<int> s_cnt_;
+  std::vector<double> s_rates_;
 };
 
 }  // namespace vhadoop::sim

@@ -208,6 +208,71 @@ TEST_F(FluidTest, CapacityIncreaseAcceleratesInFlightWork) {
   EXPECT_NEAR(done, 6.0, 1e-6);
 }
 
+TEST_F(FluidTest, CapacityDecreaseDelaysInFlightWork) {
+  auto r = model.add_resource("link", 20.0);
+  double done = -1.0;
+  model.start({.work = 100.0, .resources = {r}, .on_complete = [&] { done = engine.now(); }});
+  engine.run_until(2.0);  // 40 of 100 done
+  model.set_capacity(r, 5.0);
+  EXPECT_DOUBLE_EQ(model.allocated(r), 5.0);
+  engine.run();
+  EXPECT_NEAR(done, 14.0, 1e-6);  // 60 remaining at rate 5
+}
+
+TEST_F(FluidTest, CapacityZeroedMidFlightStallsThenResumes) {
+  auto r = model.add_resource("link", 10.0);
+  double done = -1.0;
+  auto id =
+      model.start({.work = 100.0, .resources = {r}, .on_complete = [&] { done = engine.now(); }});
+  engine.run_until(4.0);  // 40 done
+  model.set_capacity(r, 0.0);
+  EXPECT_DOUBLE_EQ(model.rate(id), 0.0);
+  EXPECT_DOUBLE_EQ(model.utilization(r), 0.0);
+  engine.run_until(20.0);  // fully stalled: nothing fires, no progress
+  EXPECT_NEAR(model.remaining(id), 60.0, 1e-9);
+  model.set_capacity(r, 10.0);
+  engine.run();
+  EXPECT_NEAR(done, 26.0, 1e-6);  // 60 remaining at rate 10 from t=20
+}
+
+TEST_F(FluidTest, CapacityChangeRebalancesSharersMidFlight) {
+  // Two equal sharers at 10 → 5 each; raising the capacity mid-flight must
+  // re-split among the *remaining* work, not replay from the start.
+  auto r = model.add_resource("link", 10.0);
+  double a_done = -1.0, b_done = -1.0;
+  model.start({.work = 50.0, .resources = {r}, .on_complete = [&] { a_done = engine.now(); }});
+  model.start({.work = 100.0, .resources = {r}, .on_complete = [&] { b_done = engine.now(); }});
+  engine.run_until(4.0);  // 20 done each
+  model.set_capacity(r, 30.0);
+  engine.run();
+  EXPECT_NEAR(a_done, 6.0, 1e-6);         // 30 left at 15/s
+  EXPECT_NEAR(b_done, 23.0 / 3.0, 1e-6);  // then 50 left alone at 30/s
+}
+
+TEST_F(FluidTest, AllocatedAndUtilizationAfterPartialSettles) {
+  // allocated()/utilization() must reflect the *current* rate sum at every
+  // observation point, including after departures settled mid-simulation.
+  auto r = model.add_resource("link", 100.0);
+  model.start({.work = 100.0, .resources = {r}});           // shares 50/50, gone at t=2
+  auto b = model.start({.work = 300.0, .resources = {r}});
+  EXPECT_DOUBLE_EQ(model.allocated(r), 100.0);
+  EXPECT_DOUBLE_EQ(model.utilization(r), 1.0);
+
+  engine.run_until(3.0);  // first sharer left at t=2; b runs alone at 100
+  EXPECT_DOUBLE_EQ(model.allocated(r), 100.0);
+  EXPECT_NEAR(model.remaining(b), 100.0, 1e-9);  // 50/s until t=2, then 100/s
+  EXPECT_NEAR(model.busy_integral(r), 300.0, 1e-9);
+
+  model.set_cap(b, 25.0);  // partial settle: integral up to now, new rate on
+  EXPECT_DOUBLE_EQ(model.allocated(r), 25.0);
+  EXPECT_DOUBLE_EQ(model.utilization(r), 0.25);
+
+  engine.run();
+  EXPECT_DOUBLE_EQ(model.allocated(r), 0.0);
+  EXPECT_DOUBLE_EQ(model.utilization(r), 0.0);
+  EXPECT_NEAR(model.busy_integral(r), 400.0, 1e-6);
+}
+
 // ---------------------------------------------------------------------------
 // Property sweeps: conservation and fairness hold for random activity mixes.
 // ---------------------------------------------------------------------------

@@ -1,0 +1,255 @@
+// bench_check — benchmark-regression gate over BENCH_*.json results.
+//
+// Reads every baseline file in --baselines (schema
+// "vhadoop-bench-baseline-v1"), locates the matching BENCH_<bench>.json in
+// --results, and compares each tracked metric against its recorded value:
+//
+//   {"schema": "vhadoop-bench-baseline-v1", "bench": "scale_cluster",
+//    "checks": [{"name": "wc_sim_64",
+//                "row": {"vms": 64, "mode": "incremental"},
+//                "col": "wordcount_sim_s",
+//                "value": 8.25, "direction": "lower_better",
+//                "max_regress_pct": 15, "gate": true}, ...]}
+//
+// A check regresses when the result moves against `direction` by more than
+// max_regress_pct. Gated regressions fail the run (exit 1); ungated ones
+// (wall-clock metrics, which vary across machines) only warn. Checks whose
+// row/col is absent from the results are skipped unless --require-all (the
+// CI mode) makes that an error; locally a reduced sweep may legitimately
+// omit the largest cluster sizes. --update rewrites every baseline file
+// with the values just measured (the intentional-refresh workflow in the
+// README).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "testutil/mini_json.hpp"
+
+namespace fs = std::filesystem;
+using vhadoop::testutil::JsonParser;
+using vhadoop::testutil::JsonValue;
+
+namespace {
+
+struct Options {
+  std::string baselines;
+  std::string results;
+  bool update = false;
+  bool require_all = false;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --baselines=DIR --results=DIR [--update] [--require-all]\n",
+               argv0);
+  return 2;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// True when every key of `sel` matches the row (numbers by value, strings
+/// exactly) — the baseline's way of pinning one row of a sweep.
+bool row_matches(const JsonValue& row, const JsonValue& sel) {
+  for (const auto& [key, want] : sel.object) {
+    if (!row.has(key)) return false;
+    const JsonValue& got = row.at(key);
+    if (want.is_number()) {
+      if (!got.is_number() || got.number != want.number) return false;
+    } else if (want.is_string()) {
+      if (!got.is_string() || got.str != want.str) return false;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+/// Serialize a baseline back to disk (canonical key order; values replaced
+/// by --update). The file is machine-managed, so the layout is ours.
+std::string baseline_to_json(const std::string& bench, const std::vector<JsonValue>& checks) {
+  std::string out = "{\"schema\": \"vhadoop-bench-baseline-v1\", \"bench\": " + quoted(bench) +
+                    ", \"checks\": [\n";
+  for (std::size_t i = 0; i < checks.size(); ++i) {
+    const JsonValue& c = checks[i];
+    out += "  {\"name\": " + quoted(c.at("name").str) + ", \"row\": {";
+    bool first = true;
+    for (const auto& [key, v] : c.at("row").object) {
+      if (!first) out += ", ";
+      first = false;
+      out += quoted(key) + ": " + (v.is_string() ? quoted(v.str) : fmt(v.number));
+    }
+    out += "}, \"col\": " + quoted(c.at("col").str);
+    out += ", \"value\": " + fmt(c.at("value").number);
+    out += ", \"direction\": " + quoted(c.at("direction").str);
+    out += ", \"max_regress_pct\": " + fmt(c.at("max_regress_pct").number);
+    out += ", \"gate\": " + std::string(c.at("gate").boolean ? "true" : "false") + "}";
+    out += (i + 1 < checks.size()) ? ",\n" : "\n";
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--baselines=", 12) == 0) {
+      opt.baselines = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--results=", 10) == 0) {
+      opt.results = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--update") == 0) {
+      opt.update = true;
+    } else if (std::strcmp(argv[i], "--require-all") == 0) {
+      opt.require_all = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (opt.baselines.empty() || opt.results.empty()) return usage(argv[0]);
+
+  int failures = 0;
+  int checked = 0;
+  int skipped = 0;
+
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(opt.baselines)) {
+    if (entry.path().extension() == ".json") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::fprintf(stderr, "bench_check: no baseline files in %s\n", opt.baselines.c_str());
+    return 2;
+  }
+
+  for (const fs::path& file : files) {
+    JsonValue base;
+    try {
+      base = JsonParser::parse(read_file(file));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench_check: %s: %s\n", file.string().c_str(), e.what());
+      return 2;
+    }
+    if (!base.has("schema") || base.at("schema").str != "vhadoop-bench-baseline-v1") {
+      std::fprintf(stderr, "bench_check: %s: not a vhadoop-bench-baseline-v1 file\n",
+                   file.string().c_str());
+      return 2;
+    }
+    const std::string bench = base.at("bench").str;
+    const fs::path results_path = fs::path(opt.results) / ("BENCH_" + bench + ".json");
+
+    JsonValue results;
+    bool have_results = fs::exists(results_path);
+    if (have_results) {
+      try {
+        results = JsonParser::parse(read_file(results_path));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "bench_check: %s: %s\n", results_path.string().c_str(), e.what());
+        return 2;
+      }
+    } else if (opt.require_all) {
+      std::fprintf(stderr, "FAIL %s: missing results file %s\n", bench.c_str(),
+                   results_path.string().c_str());
+      ++failures;
+      continue;
+    } else {
+      std::printf("skip %s: no %s\n", bench.c_str(), results_path.string().c_str());
+      skipped += static_cast<int>(base.at("checks").array.size());
+      continue;
+    }
+
+    std::vector<JsonValue> checks = base.at("checks").array;
+    for (JsonValue& check : checks) {
+      const std::string& name = check.at("name").str;
+      const std::string& col = check.at("col").str;
+      const double want = check.at("value").number;
+      const bool lower_better = check.at("direction").str == "lower_better";
+      const double max_pct = check.at("max_regress_pct").number;
+      const bool gate = check.at("gate").boolean;
+
+      const JsonValue* row = nullptr;
+      for (const JsonValue& r : results.at("rows").array) {
+        if (row_matches(r, check.at("row"))) {
+          row = &r;
+          break;
+        }
+      }
+      if (row == nullptr || !row->has(col) || !row->at(col).is_number()) {
+        if (opt.require_all) {
+          std::fprintf(stderr, "FAIL %s/%s: row or column missing from results\n",
+                       bench.c_str(), name.c_str());
+          ++failures;
+        } else {
+          std::printf("skip %s/%s: row or column not in results\n", bench.c_str(),
+                      name.c_str());
+          ++skipped;
+        }
+        continue;
+      }
+      const double got = row->at(col).number;
+      if (opt.update) {
+        check.object["value"].number = got;
+        continue;
+      }
+      // Positive = worse than baseline by that many percent.
+      double regress_pct = 0.0;
+      if (want != 0.0) {
+        regress_pct = (lower_better ? (got - want) : (want - got)) / std::abs(want) * 100.0;
+      } else if (got != 0.0) {
+        regress_pct = lower_better ? 100.0 : -100.0;
+      }
+      ++checked;
+      if (regress_pct > max_pct) {
+        std::fprintf(stderr, "%s %s/%s (%s): %s vs baseline %s — %+.1f%% (limit %.0f%%)\n",
+                     gate ? "FAIL" : "warn", bench.c_str(), name.c_str(), col.c_str(),
+                     fmt(got).c_str(), fmt(want).c_str(), regress_pct, max_pct);
+        if (gate) ++failures;
+      } else {
+        std::printf("ok   %s/%s (%s): %s vs baseline %s — %+.1f%%\n", bench.c_str(),
+                    name.c_str(), col.c_str(), fmt(got).c_str(), fmt(want).c_str(),
+                    regress_pct);
+      }
+    }
+
+    if (opt.update) {
+      std::ofstream out(file, std::ios::binary);
+      out << baseline_to_json(bench, checks);
+      std::printf("updated %s\n", file.string().c_str());
+    }
+  }
+
+  if (!opt.update) {
+    std::printf("bench_check: %d checked, %d skipped, %d failure(s)\n", checked, skipped,
+                failures);
+  }
+  return failures == 0 ? 0 : 1;
+}
