@@ -1,0 +1,332 @@
+// ML-scaling sweep for the zero-copy KV data path: the six paper clustering
+// algorithms (k-means, fuzzy k-means, canopy, Dirichlet, mean-shift, MinHash)
+// run over synthetic datasets of growing (points x dims), once on the
+// arena-backed optimized runner and once under the reference oracle
+// (VHADOOP_RUNNER_REFERENCE=1, the original std::vector<KV> path).
+//
+// Both paths execute the *same* logical job (DESIGN.md §11), so outputs,
+// task profiles, shuffle accounting and the mode-independent record/byte
+// counters must agree bit-for-bit — the sweep re-checks that here for every
+// (algorithm, seed) and exits 1 on any divergence. Only wall-clock differs;
+// the speedup column on the largest configuration (minhash-1000000x2, ~2M
+// shuffled records) is the acceptance metric for the data-path rewrite: ≥2×.
+// Wall times on configurations marked wall_reps > 1 are best-of-N to tame
+// single-core scheduler noise; every repetition is a full driver run.
+//
+// Prints one row per (configuration, seed) and writes BENCH_ml_scaling.json
+// whose deterministic counters (records/bytes moved, sort/merge comparisons,
+// arena chunks) are gated by tools/bench_check; wall-clock columns are
+// recorded ungated. Flags:
+//   --quick        reduced sweep for the local ctest fixture (drops the
+//                  large full-sweep-only configurations; CI runs the full
+//                  sweep and re-checks with --require-all)
+//   --seeds=1,7    dataset seeds for the cross-mode equivalence sweep
+
+#include <chrono>  // vlint: allow(no-wall-clock) measuring the real-execution runner itself is this bench's purpose
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "ml/canopy.hpp"
+#include "ml/dirichlet.hpp"
+#include "ml/fuzzy_kmeans.hpp"
+#include "ml/kmeans.hpp"
+#include "ml/meanshift.hpp"
+#include "ml/minhash.hpp"
+
+using namespace vhadoop;
+
+namespace {
+
+// vlint: allow(no-wall-clock) host-clock stopwatch around the drivers; never feeds job results
+using WallClock = std::chrono::steady_clock;
+
+double elapsed_ms(WallClock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(WallClock::now() - t0).count();
+}
+
+/// One swept configuration: a seeded dataset generator plus a driver
+/// closure. The dataset is built once per seed *outside* the stopwatch and
+/// shared by both modes — only the driver (jobs + model assembly) is timed.
+struct SweepConfig {
+  std::string name;       ///< row id, e.g. "kmeans-600x60"
+  std::string algorithm;
+  int points = 0;
+  int dims = 0;
+  bool quick = false;     ///< part of the reduced --quick sweep
+  int wall_reps = 1;      ///< best-of-N wall timing (outputs checked once)
+  std::function<ml::Dataset(std::uint64_t seed)> data;
+  std::function<ml::ClusteringRun(const ml::Dataset&)> run;
+};
+
+/// Run a driver with the runner's oracle switch set; the env is read when
+/// the driver constructs its LocalJobRunner, inside `run`.
+ml::ClusteringRun run_mode(const SweepConfig& c, const ml::Dataset& data, bool reference) {
+  setenv("VHADOOP_RUNNER_REFERENCE", reference ? "1" : "0", 1);
+  return c.run(data);
+}
+
+/// Time one mode. The first run's result is kept for the equivalence check;
+/// configurations with wall_reps > 1 re-run the driver and keep the fastest
+/// wall time (the runs are deterministic, so repetitions only differ in
+/// scheduler noise).
+double time_mode(const SweepConfig& c, const ml::Dataset& data, bool reference,
+                 ml::ClusteringRun& out) {
+  auto t0 = WallClock::now();
+  out = run_mode(c, data, reference);
+  double best = elapsed_ms(t0);
+  for (int rep = 1; rep < c.wall_reps; ++rep) {
+    t0 = WallClock::now();
+    const ml::ClusteringRun again = run_mode(c, data, reference);
+    const double ms = elapsed_ms(t0);
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+bool check(bool ok, const char* where, const std::string& name, std::size_t job) {
+  if (!ok) {
+    std::fprintf(stderr, "ml_scaling: %s diverged between modes (%s, job %zu)\n", where,
+                 name.c_str(), job);
+  }
+  return ok;
+}
+
+bool profiles_equal(const std::vector<mapreduce::TaskProfile>& a,
+                    const std::vector<mapreduce::TaskProfile>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].input_bytes != b[i].input_bytes || a[i].input_records != b[i].input_records ||
+        a[i].output_bytes != b[i].output_bytes || a[i].output_records != b[i].output_records ||
+        a[i].cpu_seconds != b[i].cpu_seconds) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Byte-identity across modes: outputs, profiles, shuffle accounting and the
+/// mode-independent data-path counters must match exactly.
+bool jobs_equal(const ml::ClusteringRun& opt, const ml::ClusteringRun& ref,
+                const std::string& name) {
+  if (!check(opt.jobs.size() == ref.jobs.size(), "job count", name, 0)) return false;
+  for (std::size_t j = 0; j < opt.jobs.size(); ++j) {
+    const mapreduce::JobResult& o = opt.jobs[j];
+    const mapreduce::JobResult& r = ref.jobs[j];
+    if (!check(o.output.size() == r.output.size(), "output size", name, j)) return false;
+    for (std::size_t i = 0; i < o.output.size(); ++i) {
+      if (!check(o.output[i].key == r.output[i].key && o.output[i].value == r.output[i].value,
+                 "output record", name, j)) {
+        return false;
+      }
+    }
+    if (!check(profiles_equal(o.map_profiles, r.map_profiles), "map profiles", name, j) ||
+        !check(profiles_equal(o.reduce_profiles, r.reduce_profiles), "reduce profiles", name,
+               j) ||
+        !check(o.shuffle_matrix == r.shuffle_matrix, "shuffle matrix", name, j) ||
+        !check(o.total_shuffle_bytes == r.total_shuffle_bytes, "shuffle bytes", name, j) ||
+        !check(o.stats.map_emit_records == r.stats.map_emit_records &&
+                   o.stats.map_emit_bytes == r.stats.map_emit_bytes &&
+                   o.stats.shuffle_records == r.stats.shuffle_records,
+               "data-path stats", name, j)) {
+      return false;
+    }
+  }
+  if (!check(opt.iterations == ref.iterations, "iterations", name, 0) ||
+      !check(opt.centers == ref.centers, "centers", name, 0) ||
+      !check(opt.assignments == ref.assignments, "assignments", name, 0)) {
+    return false;
+  }
+  return true;
+}
+
+/// Sum the deterministic counters over every job of a run.
+struct Counters {
+  std::int64_t emit_records = 0;
+  std::int64_t emit_bytes = 0;
+  std::int64_t shuffle_records = 0;
+  std::int64_t sort_comparisons = 0;
+  std::int64_t merge_comparisons = 0;
+  std::int64_t arena_chunks = 0;
+};
+
+Counters aggregate(const ml::ClusteringRun& run) {
+  Counters c;
+  for (const mapreduce::JobResult& j : run.jobs) {
+    c.emit_records += j.stats.map_emit_records;
+    c.emit_bytes += j.stats.map_emit_bytes;
+    c.shuffle_records += j.stats.shuffle_records;
+    c.sort_comparisons += j.stats.sort_comparisons;
+    c.merge_comparisons += j.stats.merge_comparisons;
+    c.arena_chunks += j.stats.arena_chunks;
+  }
+  return c;
+}
+
+std::vector<SweepConfig> build_sweep() {
+  std::vector<SweepConfig> sweep;
+  auto add = [&sweep](std::string name, std::string algorithm, int points, int dims,
+                      bool quick, std::function<ml::Dataset(std::uint64_t)> data,
+                      std::function<ml::ClusteringRun(const ml::Dataset&)> run) {
+    sweep.push_back({std::move(name), std::move(algorithm), points, dims, quick,
+                     /*wall_reps=*/1, std::move(data), std::move(run)});
+  };
+  auto control = [](int per_class) {
+    return [per_class](std::uint64_t seed) { return ml::synthetic_control(per_class, 60, seed); };
+  };
+  auto display = [](int total) {
+    return [total](std::uint64_t seed) { return ml::display_clustering_samples(total, seed); };
+  };
+
+  auto kmeans = [](const ml::Dataset& data) {
+    ml::KMeansConfig c;
+    c.k = 6;
+    c.base.num_splits = 8;
+    c.base.num_reduces = 2;
+    return ml::kmeans_cluster(data, c);
+  };
+  add("kmeans-600x60", "kmeans", 600, 60, true, control(100), kmeans);
+  add("kmeans-3000x60", "kmeans", 3000, 60, false, control(500), kmeans);
+
+  add("fuzzy-600x60", "fuzzy_kmeans", 600, 60, true, control(100), [](const ml::Dataset& data) {
+    ml::FuzzyKMeansConfig c;
+    c.k = 6;
+    c.base.num_splits = 8;
+    c.base.num_reduces = 2;
+    c.base.max_iterations = 5;
+    return ml::fuzzy_kmeans_cluster(data, c);
+  });
+
+  auto canopy = [](const ml::Dataset& data) {
+    ml::CanopyConfig c;
+    c.base.num_splits = 8;
+    return ml::canopy_cluster(data, c);
+  };
+  add("canopy-4000x2", "canopy", 4000, 2, true, display(4000), canopy);
+  add("canopy-20000x2", "canopy", 20000, 2, false, display(20000), canopy);
+
+  add("dirichlet-300x60", "dirichlet", 300, 60, true, control(50), [](const ml::Dataset& data) {
+    ml::DirichletConfig c;
+    c.k = 10;
+    c.base.num_splits = 8;
+    c.base.max_iterations = 5;
+    return ml::dirichlet_cluster(data, c);
+  });
+
+  add("meanshift-1500x2", "meanshift", 1500, 2, true, display(1500),
+      [](const ml::Dataset& data) {
+        ml::MeanShiftConfig c;
+        c.base.num_splits = 8;
+        c.base.max_iterations = 5;
+        return ml::meanshift_cluster(data, c);
+      });
+
+  // Two short hash bands (keygroups=1) keep the per-point hashing cost —
+  // identical in both modes — small relative to the records shuffled, so
+  // the sweep measures the data path rather than the hash bank.
+  auto minhash = [](const ml::Dataset& data) {
+    ml::MinHashConfig c;
+    c.num_hash_functions = 2;
+    c.keygroups = 1;
+    c.base.num_splits = 8;
+    c.base.num_reduces = 4;
+    return ml::minhash_cluster(data, c);
+  };
+  add("minhash-100000x2", "minhash", 100000, 2, true, display(100000), minhash);
+  // The acceptance configuration: ~2M shuffled records of short string
+  // keys — the record-bound regime the arena/merge rewrite targets.
+  add("minhash-1000000x2", "minhash", 1000000, 2, false, display(1000000), minhash);
+  sweep.back().wall_reps = 3;
+
+  return sweep;
+}
+
+std::vector<std::uint64_t> parse_seeds(const std::string& arg) {
+  std::vector<std::uint64_t> seeds;
+  std::size_t pos = 0;
+  while (pos < arg.size()) {
+    std::size_t comma = arg.find(',', pos);
+    if (comma == std::string::npos) comma = arg.size();
+    seeds.push_back(std::strtoull(arg.substr(pos, comma - pos).c_str(), nullptr, 10));
+    pos = comma + 1;
+  }
+  return seeds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::vector<std::uint64_t> seeds = {1, 7};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--seeds=", 8) == 0) {
+      seeds = parse_seeds(argv[i] + 8);
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--seeds=1,7,...]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (seeds.empty()) seeds = {1};
+
+  bench::BenchResults results("ml_scaling");
+  std::printf("%-18s %5s %9s %9s %12s %12s %12s %7s %9s %9s %8s\n", "config", "seed", "iters",
+              "emit_rec", "shuffle_rec", "sort_cmp", "merge_cmp", "chunks", "opt_ms",
+              "ref_ms", "speedup");
+
+  for (const SweepConfig& c : build_sweep()) {
+    if (quick && !c.quick) continue;
+    for (std::uint64_t seed : seeds) {
+      const ml::Dataset data = c.data(seed);
+
+      ml::ClusteringRun opt, ref;
+      const double opt_ms = time_mode(c, data, /*reference=*/false, opt);
+      const double ref_ms = time_mode(c, data, /*reference=*/true, ref);
+
+      if (!jobs_equal(opt, ref, c.name)) return 1;
+
+      const Counters agg = aggregate(opt);
+      const Counters ref_agg = aggregate(ref);
+      // The oracle fills only the mode-independent counters; nonzero
+      // comparison/arena counts there mean the paths were swapped.
+      if (ref_agg.sort_comparisons != 0 || ref_agg.arena_chunks != 0) {
+        std::fprintf(stderr, "ml_scaling: reference run reported optimized-path counters (%s)\n",
+                     c.name.c_str());
+        return 1;
+      }
+      const double speedup = opt_ms > 0.0 ? ref_ms / opt_ms : 0.0;
+
+      std::printf("%-18s %5llu %9d %9lld %12lld %12lld %12lld %7lld %9.1f %9.1f %7.2fx\n",
+                  c.name.c_str(), static_cast<unsigned long long>(seed), opt.iterations,
+                  static_cast<long long>(agg.emit_records),
+                  static_cast<long long>(agg.shuffle_records),
+                  static_cast<long long>(agg.sort_comparisons),
+                  static_cast<long long>(agg.merge_comparisons),
+                  static_cast<long long>(agg.arena_chunks), opt_ms, ref_ms, speedup);
+      results.row()
+          .col("config", c.name)
+          .col("algorithm", c.algorithm)
+          .col("seed", static_cast<double>(seed))
+          .col("points", c.points)
+          .col("dims", c.dims)
+          .col("iterations", opt.iterations)
+          .col("map_emit_records", static_cast<double>(agg.emit_records))
+          .col("map_emit_bytes", static_cast<double>(agg.emit_bytes))
+          .col("shuffle_records", static_cast<double>(agg.shuffle_records))
+          .col("sort_comparisons", static_cast<double>(agg.sort_comparisons))
+          .col("merge_comparisons", static_cast<double>(agg.merge_comparisons))
+          .col("arena_chunks", static_cast<double>(agg.arena_chunks))
+          .col("opt_ms", opt_ms)
+          .col("ref_ms", ref_ms)
+          .col("speedup", speedup);
+    }
+  }
+
+  results.write();
+  return 0;
+}

@@ -7,25 +7,69 @@
 #include <vector>
 
 #include "mapreduce/kv.hpp"
+#include "mapreduce/kv_batch.hpp"
 
 namespace vhadoop::mapreduce {
 
-/// Output collector handed to user map/reduce functions.
+/// Output collector handed to user map/reduce functions. Emitted records go
+/// straight into an arena-backed KVBatch: one bulk byte copy per record
+/// instead of two std::string allocations, and value payloads land 8-byte
+/// aligned so `decode_vec_view` reads them in place downstream.
+///
+/// A Context can instead be switched to *direct* mode (`materialize_direct`)
+/// before any emit: records then become owning strings immediately. The
+/// optimized runner uses this for the final reduce stage, whose output must
+/// end up as owning strings in JobResult anyway — emitting through the
+/// arena there would be a pure extra copy of every output record.
 class Context {
  public:
-  void emit(std::string key, std::string value) {
-    bytes_ += key.size() + value.size();
-    out_.emplace_back(KV{std::move(key), std::move(value)});
+  void emit(std::string_view key, std::string_view value) {
+    if (direct_) {
+      direct_bytes_ += key.size() + value.size();
+      out_.push_back({std::string(key), std::string(value)});
+    } else {
+      batch_.push(key, value);
+    }
   }
 
-  const std::vector<KV>& output() const { return out_; }
-  std::vector<KV> take_output() { return std::move(out_); }
-  std::size_t emitted_records() const { return out_.size(); }
-  std::size_t emitted_bytes() const { return bytes_; }
+  /// Capacity hint for the expected number of emits (pass-through reducers
+  /// emit one record per merged input; see run_optimized's reduce phase).
+  void reserve(std::size_t records) {
+    if (direct_) out_.reserve(records);
+    else batch_.reserve_entries(records);
+  }
+
+  /// Emit owning strings from here on (only valid before the first emit).
+  void materialize_direct() { direct_ = true; }
+
+  std::size_t emitted_records() const { return direct_ ? out_.size() : batch_.size(); }
+  std::size_t emitted_bytes() const { return direct_ ? direct_bytes_ : batch_.total_bytes(); }
+
+  /// Arena-backed output — the optimized data path consumes this directly.
+  const KVBatch& batch() const { return batch_; }
+  KVBatch take_batch() { return std::move(batch_); }
+
+  /// Materialize records as owning strings (final reduce output, reference
+  /// path, tests).
+  std::vector<KV> take_output() {
+    if (direct_) {
+      direct_bytes_ = 0;
+      return std::move(out_);
+    }
+    std::vector<KV> out;
+    out.reserve(batch_.size());
+    for (std::size_t i = 0; i < batch_.size(); ++i) {
+      out.push_back({std::string(batch_.key(i)), std::string(batch_.value(i))});
+    }
+    batch_.clear();
+    return out;
+  }
 
  private:
+  KVBatch batch_;
   std::vector<KV> out_;
-  std::size_t bytes_ = 0;
+  std::size_t direct_bytes_ = 0;
+  bool direct_ = false;
 };
 
 /// User map function, one instance per map task (Hadoop semantics: state
@@ -93,6 +137,22 @@ struct TaskProfile {
   double cpu_seconds = 0.0;
 };
 
+/// Deterministic data-path counters for one job run. All counters are
+/// exact functions of the job's records (no clocks, no addresses), so
+/// bench/ml_scaling can gate on them machine-independently. The comparison
+/// and arena counters come from the repo's own sort/merge/arena code
+/// (kv_batch.hpp) and are only meaningful on the optimized path; the
+/// reference oracle (VHADOOP_RUNNER_REFERENCE=1) fills just the
+/// mode-independent record/byte counters and leaves them zero.
+struct DataPathStats {
+  std::int64_t map_emit_records = 0;   ///< records emitted by all mappers
+  std::int64_t map_emit_bytes = 0;     ///< logical bytes emitted by all mappers
+  std::int64_t shuffle_records = 0;    ///< records crossing map->reduce (post-combine)
+  std::int64_t sort_comparisons = 0;   ///< map-side spill sorts (incl. combiner re-sorts)
+  std::int64_t merge_comparisons = 0;  ///< reduce-side k-way merge
+  std::int64_t arena_chunks = 0;       ///< map-side KVBatch chunks (spill + combiner arenas)
+};
+
 /// Everything a logical (in-process) job run produces.
 struct JobResult {
   /// Reduce outputs concatenated in partition order (keys sorted within
@@ -103,6 +163,7 @@ struct JobResult {
   /// shuffle_matrix[m][r]: bytes map m sent to reduce r (real skew).
   std::vector<std::vector<double>> shuffle_matrix;
   double total_shuffle_bytes = 0.0;
+  DataPathStats stats;
 };
 
 }  // namespace vhadoop::mapreduce

@@ -2,6 +2,8 @@
 
 #include <cstdint>
 #include <cstring>
+#include <span>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -37,7 +39,8 @@ inline int default_partition(std::string_view key, int num_reduces) {
 
 // --- codecs -----------------------------------------------------------------
 // Fixed-format binary codecs for numeric payloads. Text formats would
-// inflate shuffle sizes unrealistically for the ML jobs.
+// inflate shuffle sizes unrealistically for the ML jobs. Decoders validate
+// payload sizes: a truncated record is a serialization bug, not a value.
 
 inline std::string encode_f64(double v) {
   std::string out(sizeof(double), '\0');
@@ -46,6 +49,9 @@ inline std::string encode_f64(double v) {
 }
 
 inline double decode_f64(std::string_view s) {
+  if (s.size() < sizeof(double)) {
+    throw std::invalid_argument("decode_f64: payload shorter than 8 bytes");
+  }
   double v = 0.0;
   std::memcpy(&v, s.data(), sizeof(double));
   return v;
@@ -58,21 +64,50 @@ inline std::string encode_i64(std::int64_t v) {
 }
 
 inline std::int64_t decode_i64(std::string_view s) {
+  if (s.size() < sizeof(std::int64_t)) {
+    throw std::invalid_argument("decode_i64: payload shorter than 8 bytes");
+  }
   std::int64_t v = 0;
   std::memcpy(&v, s.data(), sizeof(v));
   return v;
 }
 
-inline std::string encode_vec(const std::vector<double>& v) {
+inline std::string encode_vec(std::span<const double> v) {
   std::string out(v.size() * sizeof(double), '\0');
   if (!v.empty()) std::memcpy(out.data(), v.data(), out.size());
   return out;
 }
 
 inline std::vector<double> decode_vec(std::string_view s) {
+  if (s.size() % sizeof(double) != 0) {
+    throw std::invalid_argument("decode_vec: payload size not a multiple of 8");
+  }
   std::vector<double> v(s.size() / sizeof(double));
   if (!v.empty()) std::memcpy(v.data(), s.data(), v.size() * sizeof(double));
   return v;
+}
+
+/// Zero-copy view over a packed-double payload. Values emitted through the
+/// arena-backed data path (KVBatch) are 8-byte aligned, so the common case
+/// is a direct span over the payload bytes — no allocation, no copy, which
+/// removes the per-record `decode_vec` heap allocation from every ML
+/// iteration's mapper. Payloads from other sources (e.g. an std::string
+/// whose buffer happens to be unaligned) fall back to one memcpy into
+/// `scratch`; callers keep `scratch` alive as long as the returned span.
+inline std::span<const double> decode_vec_view(std::string_view s, std::vector<double>& scratch) {
+  if (s.size() % sizeof(double) != 0) {
+    throw std::invalid_argument("decode_vec_view: payload size not a multiple of 8");
+  }
+  const std::size_t n = s.size() / sizeof(double);
+  if (n == 0) return {};
+  if (reinterpret_cast<std::uintptr_t>(s.data()) % alignof(double) == 0) {
+    // The bytes were memcpy'd from doubles; reading them back through an
+    // aligned double* is the standard serialization idiom.
+    return {reinterpret_cast<const double*>(static_cast<const void*>(s.data())), n};
+  }
+  scratch.resize(n);
+  std::memcpy(scratch.data(), s.data(), s.size());
+  return {scratch.data(), n};
 }
 
 }  // namespace vhadoop::mapreduce

@@ -1,0 +1,283 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+namespace vhadoop::mapreduce {
+
+/// Arena-backed flat record batch — the zero-copy spine of the optimized
+/// LocalJobRunner data path. All key/value bytes live in a small number of
+/// contiguous chunks (never reallocated, so views stay valid for the life
+/// of the batch); records are 16-byte-ish POD entries that can be
+/// partitioned, sorted and merged without touching the payload. Value
+/// payloads are 8-byte aligned inside the arena so packed-double values can
+/// be read in place via `decode_vec_view` (kv.hpp).
+///
+/// Chunk allocations are counted (`chunks_allocated`) — a deterministic
+/// function of the pushed data, gated by bench/ml_scaling as the data
+/// path's allocation metric.
+class KVBatch {
+ public:
+  /// One record: key bytes at `data`, value bytes at `data + val_off()`
+  /// (the value start is padded up to 8-byte alignment; the padding is
+  /// never part of the record's logical bytes). `prefix` holds the first
+  /// min(8, key_len) key bytes big-endian, zero-padded: whenever two
+  /// prefixes differ, their numeric order equals the keys' lexicographic
+  /// order, so most comparisons are one 64-bit compare.
+  struct Entry {
+    const char* data = nullptr;
+    std::uint32_t key_len = 0;
+    std::uint32_t val_len = 0;
+    std::uint64_t prefix = 0;
+
+    std::string_view key() const { return {data, key_len}; }
+    std::string_view value() const { return {data + val_off(), val_len}; }
+    std::size_t val_off() const { return align8(key_len); }
+    /// Logical record size (Hadoop-visible bytes; excludes alignment pad).
+    std::size_t bytes() const { return std::size_t{key_len} + val_len; }
+  };
+
+  explicit KVBatch(std::size_t chunk_bytes = kDefaultChunk) : chunk_bytes_(chunk_bytes) {}
+
+  KVBatch(KVBatch&&) = default;
+  KVBatch& operator=(KVBatch&&) = default;
+  KVBatch(const KVBatch&) = delete;
+  KVBatch& operator=(const KVBatch&) = delete;
+
+  static std::uint64_t key_prefix(std::string_view key) {
+    if (key.size() >= 8) {
+      // One 8-byte load + byte swap (GCC/Clang collapse the shift chain to
+      // a single bswap) instead of the byte loop — this runs on every emit.
+      std::uint64_t raw;
+      std::memcpy(&raw, key.data(), 8);
+      if constexpr (std::endian::native == std::endian::little) {
+        raw = ((raw & 0x00000000000000ffULL) << 56) | ((raw & 0x000000000000ff00ULL) << 40) |
+              ((raw & 0x0000000000ff0000ULL) << 24) | ((raw & 0x00000000ff000000ULL) << 8) |
+              ((raw & 0x000000ff00000000ULL) >> 8) | ((raw & 0x0000ff0000000000ULL) >> 24) |
+              ((raw & 0x00ff000000000000ULL) >> 40) | ((raw & 0xff00000000000000ULL) >> 56);
+      }
+      return raw;
+    }
+    std::uint64_t p = 0;
+    for (std::size_t i = 0; i < key.size(); ++i) {
+      p |= static_cast<std::uint64_t>(static_cast<unsigned char>(key[i])) << (56 - 8 * i);
+    }
+    return p;
+  }
+
+  void push(std::string_view key, std::string_view value) {
+    if (key.size() > UINT32_MAX || value.size() > UINT32_MAX) {
+      throw std::length_error("KVBatch: record exceeds 4 GiB field limit");
+    }
+    const std::size_t val_off = align8(key.size());
+    // Pad the record end too, so the next record's value stays aligned.
+    const std::size_t need = align8(val_off + value.size());
+    char* p = allocate(need);
+    if (!key.empty()) std::memcpy(p, key.data(), key.size());
+    if (!value.empty()) std::memcpy(p + val_off, value.data(), value.size());
+    Entry e;
+    e.data = p;
+    e.key_len = static_cast<std::uint32_t>(key.size());
+    e.val_len = static_cast<std::uint32_t>(value.size());
+    e.prefix = key_prefix(key);
+    entries_.push_back(e);
+    total_bytes_ += key.size() + value.size();
+  }
+
+  /// Pre-size the entry index (a capacity hint only: chunk accounting and
+  /// every gated stat are unaffected).
+  void reserve_entries(std::size_t n) { entries_.reserve(n); }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const Entry& entry(std::size_t i) const { return entries_[i]; }
+  std::span<const Entry> entries() const { return entries_; }
+  std::string_view key(std::size_t i) const { return entries_[i].key(); }
+  std::string_view value(std::size_t i) const { return entries_[i].value(); }
+
+  /// Sum of logical record bytes pushed so far.
+  std::size_t total_bytes() const { return total_bytes_; }
+  /// Arena chunks allocated — deterministic for a given push sequence.
+  std::int64_t chunks_allocated() const { return static_cast<std::int64_t>(chunks_.size()); }
+
+  void clear() {
+    chunks_.clear();
+    entries_.clear();
+    used_ = 0;
+    cap_ = 0;
+    total_bytes_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t kDefaultChunk = 64 * 1024;
+
+  static std::size_t align8(std::size_t n) { return (n + 7) & ~std::size_t{7}; }
+
+  char* allocate(std::size_t need) {
+    if (used_ + need > cap_) {
+      const std::size_t sz = need > chunk_bytes_ ? need : chunk_bytes_;
+      // operator new[] guarantees at least alignof(std::max_align_t), so
+      // every chunk base (and every 8-aligned offset) is double-aligned.
+      chunks_.push_back(std::make_unique<char[]>(sz));
+      used_ = 0;
+      cap_ = sz;
+    }
+    char* p = chunks_.back().get() + used_;
+    used_ += need;
+    return p;
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  std::size_t used_ = 0;
+  std::size_t cap_ = 0;
+  std::vector<Entry> entries_;
+  std::size_t total_bytes_ = 0;
+};
+
+/// Three-way entry comparison by key: one 64-bit prefix compare resolves
+/// everything except keys sharing their first 8 bytes, which fall back to a
+/// full lexicographic compare (the zero-padded prefix makes the fast path
+/// order-consistent: equal prefixes are exactly the "might still differ"
+/// case).
+inline int compare_entries(const KVBatch::Entry& a, const KVBatch::Entry& b) {
+  if (a.prefix != b.prefix) return a.prefix < b.prefix ? -1 : 1;
+  const std::string_view ka = a.key(), kb = b.key();
+  const int c = ka.compare(kb);
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+/// Stable sort of `entries` by key (ties keep input order, like Hadoop's
+/// stable spill sort). Bottom-up merge sort over insertion-sorted base runs
+/// rather than std::stable_sort so the returned key-comparison count is a
+/// deterministic function of the input on every platform/stdlib —
+/// bench/ml_scaling gates on it. The 16-entry insertion-sorted base runs
+/// save the four densest merge passes (the bulk of the 24-byte entry
+/// copies) without giving up determinism.
+inline std::int64_t sort_entries(std::vector<KVBatch::Entry>& entries) {
+  constexpr std::size_t kBaseRun = 16;
+  const std::size_t n = entries.size();
+  if (n < 2) return 0;
+  std::int64_t comparisons = 0;
+  KVBatch::Entry* a = entries.data();
+  for (std::size_t lo = 0; lo < n; lo += kBaseRun) {
+    const std::size_t hi = lo + kBaseRun < n ? lo + kBaseRun : n;
+    for (std::size_t i = lo + 1; i < hi; ++i) {
+      const KVBatch::Entry e = a[i];
+      std::size_t j = i;
+      while (j > lo) {
+        ++comparisons;
+        if (compare_entries(e, a[j - 1]) < 0) {
+          a[j] = a[j - 1];
+          --j;
+        } else {
+          break;
+        }
+      }
+      a[j] = e;
+    }
+  }
+  if (n <= kBaseRun) return comparisons;
+  // Bottom-up 2-way merge passes with a branchless inner loop: the winner
+  // of each comparison is selected by address arithmetic (compiles to a
+  // conditional move), so the data-dependent compare never becomes an
+  // unpredictable branch — on random keys that misprediction, not memory
+  // traffic, dominates the sort. Taking the left side on ties preserves
+  // stability, and the comparison count stays a pure function of the input.
+  std::vector<KVBatch::Entry> scratch(n);
+  KVBatch::Entry* src = entries.data();
+  KVBatch::Entry* dst = scratch.data();
+  bool in_src = true;
+  for (std::size_t width = kBaseRun; width < n; width *= 2) {
+    for (std::size_t lo = 0; lo < n; lo += 2 * width) {
+      const std::size_t mid = lo + width < n ? lo + width : n;
+      const std::size_t hi = lo + 2 * width < n ? lo + 2 * width : n;
+      std::size_t i = lo, j = mid, out = lo;
+      while (i < mid && j < hi) {
+        ++comparisons;
+        const bool take_right = compare_entries(src[j], src[i]) < 0;
+        dst[out++] = take_right ? src[j] : src[i];
+        i += static_cast<std::size_t>(!take_right);
+        j += static_cast<std::size_t>(take_right);
+      }
+      if (i < mid) std::memcpy(dst + out, src + i, (mid - i) * sizeof(KVBatch::Entry));
+      else if (j < hi) std::memcpy(dst + out, src + j, (hi - j) * sizeof(KVBatch::Entry));
+    }
+    std::swap(src, dst);
+    in_src = !in_src;
+  }
+  if (!in_src) std::memcpy(entries.data(), src, n * sizeof(KVBatch::Entry));
+  return comparisons;
+}
+
+/// True k-way merge of key-sorted runs into `out` (replacing the reduce
+/// phase's old concatenate-and-stable_sort). Ties resolve to the earlier
+/// run, then input order within a run — exactly the order a stable sort of
+/// the runs' concatenation produces, so outputs stay byte-identical to the
+/// reference path. Hand-rolled binary heap for deterministic comparison
+/// counts. Returns the number of key comparisons.
+inline std::int64_t merge_runs(std::span<const std::span<const KVBatch::Entry>> runs,
+                               std::vector<KVBatch::Entry>& out) {
+  out.clear();
+  std::size_t total = 0;
+  for (const auto& r : runs) total += r.size();
+  out.reserve(total);
+
+  struct Head {
+    const KVBatch::Entry* cur;
+    const KVBatch::Entry* end;
+    std::size_t run;
+  };
+  std::vector<Head> heap;
+  heap.reserve(runs.size());
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    if (!runs[r].empty()) heap.push_back({runs[r].data(), runs[r].data() + runs[r].size(), r});
+  }
+  if (heap.empty()) return 0;
+  if (heap.size() == 1) {
+    out.insert(out.end(), heap[0].cur, heap[0].end);
+    return 0;
+  }
+
+  std::int64_t comparisons = 0;
+  auto head_less = [&comparisons](const Head& x, const Head& y) {
+    ++comparisons;
+    const int c = compare_entries(*x.cur, *y.cur);
+    if (c != 0) return c < 0;
+    return x.run < y.run;
+  };
+  auto sift_down = [&](std::size_t i) {
+    const std::size_t n = heap.size();
+    while (true) {
+      std::size_t best = i;
+      const std::size_t l = 2 * i + 1, r = 2 * i + 2;
+      if (l < n && head_less(heap[l], heap[best])) best = l;
+      if (r < n && head_less(heap[r], heap[best])) best = r;
+      if (best == i) return;
+      std::swap(heap[i], heap[best]);
+      i = best;
+    }
+  };
+  for (std::size_t i = heap.size() / 2; i-- > 0;) sift_down(i);
+
+  while (!heap.empty()) {
+    Head& top = heap[0];
+    out.push_back(*top.cur);
+    ++top.cur;
+    if (top.cur == top.end) {
+      heap[0] = heap.back();
+      heap.pop_back();
+      if (heap.empty()) break;
+    }
+    if (heap.size() > 1) sift_down(0);
+  }
+  return comparisons;
+}
+
+}  // namespace vhadoop::mapreduce

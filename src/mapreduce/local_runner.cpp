@@ -1,14 +1,29 @@
 #include "mapreduce/local_runner.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 
+#include "mapreduce/kv_batch.hpp"
 #include "mapreduce/thread_pool.hpp"
 
 namespace vhadoop::mapreduce {
 
+namespace {
+
+bool reference_mode_from_env() {
+  // vlint: allow(no-os-entropy) opt-in oracle switch; both modes produce byte-identical job results, verified by the runner equivalence suite
+  const char* v = std::getenv("VHADOOP_RUNNER_REFERENCE");
+  return v != nullptr && *v != '\0' && *v != '0';
+}
+
+}  // namespace
+
 LocalJobRunner::LocalJobRunner(unsigned threads)
-    : threads_(threads == 0 ? default_threads() : threads) {}
+    : LocalJobRunner(threads, reference_mode_from_env()) {}
+
+LocalJobRunner::LocalJobRunner(unsigned threads, bool reference)
+    : threads_(threads == 0 ? default_threads() : threads), reference_(reference) {}
 
 void sort_by_key(std::vector<KV>& records) {
   std::stable_sort(records.begin(), records.end(),
@@ -36,11 +51,6 @@ std::vector<KV> reduce_sorted(Reducer& reducer, std::span<const KV> sorted) {
 
 namespace {
 
-struct MapTaskOutput {
-  std::vector<std::vector<KV>> partitions;  // [reduce] -> records (sorted)
-  TaskProfile profile;
-};
-
 double modeled_cpu(const CostModel& c, std::int64_t in_records, double in_bytes,
                    std::int64_t out_records, double out_bytes, bool is_map) {
   const double per_record = is_map ? c.map_cpu_per_record : c.reduce_cpu_per_record;
@@ -52,6 +62,62 @@ double modeled_cpu(const CostModel& c, std::int64_t in_records, double in_bytes,
                                       per_byte * out_bytes);
 }
 
+int clamp_splits(int num_splits, unsigned threads, std::size_t input_size) {
+  int s = num_splits > 0 ? num_splits : static_cast<int>(threads);
+  return std::max(1, std::min<int>(s, input_size == 0 ? 1 : static_cast<int>(input_size)));
+}
+
+Partitioner effective_partitioner(const JobSpec& spec) {
+  return spec.partitioner
+             ? spec.partitioner
+             : Partitioner([](std::string_view k, int r) { return default_partition(k, r); });
+}
+
+/// Group a key-sorted entry run (equal keys are adjacent) and feed each
+/// group to `reducer`, collecting output in `ctx`. The equality test uses
+/// the 8-byte prefix as a cheap pre-filter before the full key compare.
+void reduce_entries_into(Reducer& reducer, std::span<const KVBatch::Entry> sorted, Context& ctx) {
+  reducer.setup(ctx);
+  std::size_t i = 0;
+  std::vector<std::string_view> values;
+  while (i < sorted.size()) {
+    const KVBatch::Entry& first = sorted[i];
+    const std::string_view key = first.key();
+    std::size_t j = i;
+    values.clear();
+    while (j < sorted.size() && sorted[j].prefix == first.prefix && sorted[j].key() == key) {
+      values.push_back(sorted[j].value());
+      ++j;
+    }
+    reducer.reduce(key, values, ctx);
+    i = j;
+  }
+  reducer.cleanup(ctx);
+}
+
+// --- reference path (VHADOOP_RUNNER_REFERENCE=1 oracle) ---------------------
+
+struct MapTaskOutput {
+  std::vector<std::vector<KV>> partitions;  // [reduce] -> records (sorted)
+  TaskProfile profile;
+  std::int64_t emit_records = 0;
+  std::int64_t emit_bytes = 0;
+};
+
+// --- optimized path (arena-backed, default) ---------------------------------
+
+struct OptMapOutput {
+  KVBatch arena;                                    // owns all mapper-emitted bytes
+  std::vector<KVBatch> combined;                    // [reduce] combiner output arenas
+  std::vector<std::vector<KVBatch::Entry>> parts;   // [reduce] -> sorted entries
+  std::vector<double> part_bytes;                   // [reduce] -> shuffle bytes
+  TaskProfile profile;
+  std::int64_t emit_records = 0;
+  std::int64_t emit_bytes = 0;
+  std::int64_t sort_comparisons = 0;
+  std::int64_t arena_chunks = 0;
+};
+
 }  // namespace
 
 JobResult LocalJobRunner::run(const JobSpec& spec, std::span<const KV> input,
@@ -61,15 +127,170 @@ JobResult LocalJobRunner::run(const JobSpec& spec, std::span<const KV> input,
   if (spec.config.use_combiner && !spec.combiner) {
     throw std::invalid_argument("JobSpec: use_combiner set but no combiner factory");
   }
+  if (spec.config.num_reduces < 1) throw std::invalid_argument("JobSpec: num_reduces < 1");
+  return reference_ ? run_reference(spec, input, num_splits)
+                    : run_optimized(spec, input, num_splits);
+}
+
+JobResult LocalJobRunner::run_optimized(const JobSpec& spec, std::span<const KV> input,
+                                        int num_splits) const {
   const int R = spec.config.num_reduces;
-  if (R < 1) throw std::invalid_argument("JobSpec: num_reduces < 1");
+  const int S = clamp_splits(num_splits, threads_, input.size());
+  // The default HashPartitioner is called once per emitted record; dispatch
+  // to it directly (inlined) instead of through a std::function unless the
+  // job installed a custom partitioner.
+  const bool custom_partitioner = static_cast<bool>(spec.partitioner);
+  const Partitioner partition = effective_partitioner(spec);
 
-  int S = num_splits > 0 ? num_splits : static_cast<int>(threads_);
-  S = std::max(1, std::min<int>(S, input.empty() ? 1 : static_cast<int>(input.size())));
+  // --- map phase -----------------------------------------------------------
+  // One arena per map task; partition lists hold 24-byte entries, so the
+  // partition -> sort -> combine pipeline never copies key/value payloads.
+  std::vector<OptMapOutput> map_out(static_cast<std::size_t>(S));
+  const std::size_t n = input.size();
+  parallel_for(static_cast<std::size_t>(S), threads_, [&](std::size_t m) {
+    const std::size_t lo = n * m / static_cast<std::size_t>(S);
+    const std::size_t hi = n * (m + 1) / static_cast<std::size_t>(S);
+    auto split = input.subspan(lo, hi - lo);
 
-  const Partitioner partition =
-      spec.partitioner ? spec.partitioner
-                       : Partitioner([](std::string_view k, int r) { return default_partition(k, r); });
+    auto mapper = spec.mapper();
+    Context ctx;
+    mapper->setup(ctx);
+    double in_bytes = 0.0;
+    for (const KV& rec : split) {
+      in_bytes += static_cast<double>(rec.bytes());
+      mapper->map(rec.key, rec.value, ctx);
+    }
+    mapper->cleanup(ctx);
+
+    OptMapOutput& out = map_out[m];
+    out.arena = ctx.take_batch();
+    out.emit_records = static_cast<std::int64_t>(out.arena.size());
+    out.emit_bytes = static_cast<std::int64_t>(out.arena.total_bytes());
+    out.arena_chunks = out.arena.chunks_allocated();
+    out.profile.input_records = static_cast<std::int64_t>(split.size());
+    out.profile.input_bytes = in_bytes;
+
+    // Partition entries (not records) and account shuffle bytes in the same
+    // pass — the reference path re-walks every record for the byte totals.
+    // Each entry's slot is computed once into `slot`, counted, and the
+    // partition lists reserved exactly: no growth reallocations and no
+    // second hash pass.
+    const auto entries = out.arena.entries();
+    std::vector<std::uint32_t> slot(entries.size());
+    std::vector<std::size_t> counts(static_cast<std::size_t>(R), 0);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const std::string_view key = entries[i].key();
+      const int p = custom_partitioner ? partition(key, R) : default_partition(key, R);
+      if (p < 0 || p >= R) throw std::out_of_range("partitioner returned out-of-range index");
+      slot[i] = static_cast<std::uint32_t>(p);
+      ++counts[static_cast<std::size_t>(p)];
+    }
+    out.parts.assign(static_cast<std::size_t>(R), {});
+    out.part_bytes.assign(static_cast<std::size_t>(R), 0.0);
+    for (std::size_t r = 0; r < static_cast<std::size_t>(R); ++r) out.parts[r].reserve(counts[r]);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      out.parts[slot[i]].push_back(entries[i]);
+      out.part_bytes[slot[i]] += static_cast<double>(entries[i].bytes());
+    }
+    if (spec.config.use_combiner) out.combined.resize(static_cast<std::size_t>(R));
+    for (std::size_t p = 0; p < static_cast<std::size_t>(R); ++p) {
+      auto& part = out.parts[p];
+      out.sort_comparisons += sort_entries(part);
+      if (spec.config.use_combiner && !part.empty()) {
+        auto combiner = spec.combiner();
+        Context cctx;
+        reduce_entries_into(*combiner, part, cctx);
+        out.combined[p] = cctx.take_batch();
+        const KVBatch& cb = out.combined[p];
+        out.arena_chunks += cb.chunks_allocated();
+        part.assign(cb.entries().begin(), cb.entries().end());
+        out.sort_comparisons += sort_entries(part);  // combiner may emit in any order
+        out.part_bytes[p] = static_cast<double>(cb.total_bytes());
+      }
+      for (const KVBatch::Entry& e : part) {
+        ++out.profile.output_records;
+        out.profile.output_bytes += static_cast<double>(e.bytes());
+      }
+    }
+    out.profile.cpu_seconds =
+        modeled_cpu(spec.config.cost, out.profile.input_records, out.profile.input_bytes,
+                    out.profile.output_records, out.profile.output_bytes, /*is_map=*/true);
+  });
+
+  // --- shuffle accounting --------------------------------------------------
+  // Byte totals were accumulated during partitioning; both paths sum the
+  // same integral record sizes, so the doubles are exactly equal.
+  JobResult result;
+  result.shuffle_matrix.assign(static_cast<std::size_t>(S),
+                               std::vector<double>(static_cast<std::size_t>(R), 0.0));
+  for (std::size_t m = 0; m < static_cast<std::size_t>(S); ++m) {
+    for (std::size_t r = 0; r < static_cast<std::size_t>(R); ++r) {
+      result.shuffle_matrix[m][r] = map_out[m].part_bytes[r];
+      result.total_shuffle_bytes += map_out[m].part_bytes[r];
+    }
+  }
+
+  // --- reduce phase --------------------------------------------------------
+  // True k-way merge of the per-map sorted runs; ties resolve to the earlier
+  // map then within-run order, which is exactly the order the reference
+  // path's stable sort of the concatenation produces.
+  std::vector<std::vector<KV>> reduce_out(static_cast<std::size_t>(R));
+  std::vector<TaskProfile> reduce_profiles(static_cast<std::size_t>(R));
+  std::vector<std::int64_t> merge_comparisons(static_cast<std::size_t>(R), 0);
+  parallel_for(static_cast<std::size_t>(R), threads_, [&](std::size_t r) {
+    TaskProfile& prof = reduce_profiles[r];
+    std::vector<std::span<const KVBatch::Entry>> runs;
+    runs.reserve(static_cast<std::size_t>(S));
+    for (std::size_t m = 0; m < static_cast<std::size_t>(S); ++m) {
+      const auto& part = map_out[m].parts[r];
+      prof.input_records += static_cast<std::int64_t>(part.size());
+      prof.input_bytes += map_out[m].part_bytes[r];
+      runs.push_back(part);
+    }
+    std::vector<KVBatch::Entry> merged;
+    merge_comparisons[r] = merge_runs(runs, merged);
+
+    auto reducer = spec.reducer();
+    Context ctx;
+    // Reduce output becomes JobResult::output (owning strings): materialize
+    // directly rather than round-tripping every record through an arena.
+    ctx.materialize_direct();
+    ctx.reserve(merged.size());
+    reduce_entries_into(*reducer, merged, ctx);
+    reduce_out[r] = ctx.take_output();
+    for (const KV& rec : reduce_out[r]) {
+      ++prof.output_records;
+      prof.output_bytes += static_cast<double>(rec.bytes());
+    }
+    prof.cpu_seconds = modeled_cpu(spec.config.cost, prof.input_records, prof.input_bytes,
+                                   prof.output_records, prof.output_bytes, /*is_map=*/false);
+  });
+
+  // Aggregate stats sequentially so the totals are deterministic.
+  for (const OptMapOutput& m : map_out) {
+    result.map_profiles.push_back(m.profile);
+    result.stats.map_emit_records += m.emit_records;
+    result.stats.map_emit_bytes += m.emit_bytes;
+    result.stats.sort_comparisons += m.sort_comparisons;
+    result.stats.arena_chunks += m.arena_chunks;
+  }
+  for (std::size_t r = 0; r < static_cast<std::size_t>(R); ++r) {
+    result.stats.shuffle_records += reduce_profiles[r].input_records;
+    result.stats.merge_comparisons += merge_comparisons[r];
+  }
+  result.reduce_profiles = std::move(reduce_profiles);
+  for (auto& part : reduce_out) {
+    result.output.insert(result.output.end(), std::make_move_iterator(part.begin()),
+                         std::make_move_iterator(part.end()));
+  }
+  return result;
+}
+
+JobResult LocalJobRunner::run_reference(const JobSpec& spec, std::span<const KV> input,
+                                        int num_splits) const {
+  const int R = spec.config.num_reduces;
+  const int S = clamp_splits(num_splits, threads_, input.size());
+  const Partitioner partition = effective_partitioner(spec);
 
   // --- map phase -----------------------------------------------------------
   std::vector<MapTaskOutput> map_out(static_cast<std::size_t>(S));
@@ -88,9 +309,11 @@ JobResult LocalJobRunner::run(const JobSpec& spec, std::span<const KV> input,
       mapper->map(rec.key, rec.value, ctx);
     }
     mapper->cleanup(ctx);
+    MapTaskOutput& out = map_out[m];
+    out.emit_records = static_cast<std::int64_t>(ctx.emitted_records());
+    out.emit_bytes = static_cast<std::int64_t>(ctx.emitted_bytes());
     std::vector<KV> emitted = ctx.take_output();
 
-    MapTaskOutput& out = map_out[m];
     out.profile.input_records = static_cast<std::int64_t>(split.size());
     out.profile.input_bytes = in_bytes;
 
@@ -118,7 +341,7 @@ JobResult LocalJobRunner::run(const JobSpec& spec, std::span<const KV> input,
                     out.profile.output_records, out.profile.output_bytes, /*is_map=*/true);
   });
 
-  // --- shuffle accounting ----------------------------------------------------
+  // --- shuffle accounting --------------------------------------------------
   JobResult result;
   result.shuffle_matrix.assign(static_cast<std::size_t>(S),
                                std::vector<double>(static_cast<std::size_t>(R), 0.0));
@@ -133,7 +356,7 @@ JobResult LocalJobRunner::run(const JobSpec& spec, std::span<const KV> input,
     }
   }
 
-  // --- reduce phase ----------------------------------------------------------
+  // --- reduce phase --------------------------------------------------------
   std::vector<std::vector<KV>> reduce_out(static_cast<std::size_t>(R));
   std::vector<TaskProfile> reduce_profiles(static_cast<std::size_t>(R));
   parallel_for(static_cast<std::size_t>(R), threads_, [&](std::size_t r) {
@@ -160,7 +383,16 @@ JobResult LocalJobRunner::run(const JobSpec& spec, std::span<const KV> input,
                                    prof.output_records, prof.output_bytes, /*is_map=*/false);
   });
 
-  for (auto& m : map_out) result.map_profiles.push_back(m.profile);
+  // Mode-independent stats only: the reference path has no entry sorts,
+  // k-way merge, or arenas to count (DataPathStats doc in job.hpp).
+  for (const MapTaskOutput& m : map_out) {
+    result.map_profiles.push_back(m.profile);
+    result.stats.map_emit_records += m.emit_records;
+    result.stats.map_emit_bytes += m.emit_bytes;
+  }
+  for (const TaskProfile& prof : reduce_profiles) {
+    result.stats.shuffle_records += prof.input_records;
+  }
   result.reduce_profiles = std::move(reduce_profiles);
   for (auto& part : reduce_out) {
     result.output.insert(result.output.end(), std::make_move_iterator(part.begin()),

@@ -13,9 +13,22 @@ namespace vhadoop::mapreduce {
 /// produces (a) the job's real output and (b) per-task profiles (records,
 /// bytes, modeled CPU cost) that the simulated virtual cluster replays for
 /// timing. Correctness is real; only wall-clock is modeled.
+///
+/// Two execution paths produce byte-identical results (DESIGN.md §11):
+///  - optimized (default): arena-backed KVBatch records, index sorts with
+///    an 8-byte key-prefix fast path, a true k-way merge feeding reducers,
+///    shuffle bytes accounted during partitioning;
+///  - reference oracle (`VHADOOP_RUNNER_REFERENCE=1`, or the two-argument
+///    constructor): the original std::vector<KV> path — partition moves,
+///    stable_sort, concatenate-and-re-sort merge. The equivalence suite
+///    (tests/mapreduce/runner_equivalence_test.cpp) and bench/ml_scaling
+///    assert outputs, profiles and shuffle accounting match exactly.
 class LocalJobRunner {
  public:
+  /// Reference-oracle mode defaults to the VHADOOP_RUNNER_REFERENCE
+  /// environment switch (mirroring VHADOOP_FLUID_REFERENCE).
   explicit LocalJobRunner(unsigned threads = 0);
+  LocalJobRunner(unsigned threads, bool reference);
 
   /// Run `spec` over `input`, cut into `num_splits` contiguous splits
   /// (one map task per split — Hadoop's FileInputFormat over block-aligned
@@ -23,13 +36,18 @@ class LocalJobRunner {
   JobResult run(const JobSpec& spec, std::span<const KV> input, int num_splits) const;
 
   unsigned threads() const { return threads_; }
+  bool reference() const { return reference_; }
 
  private:
+  JobResult run_optimized(const JobSpec& spec, std::span<const KV> input, int num_splits) const;
+  JobResult run_reference(const JobSpec& spec, std::span<const KV> input, int num_splits) const;
+
   unsigned threads_;
+  bool reference_;
 };
 
 /// Group a key-sorted run of records and feed them to `reducer`. Exposed
-/// for reuse by the combiner stage and by tests.
+/// for reuse by the reference-path combiner stage and by tests.
 std::vector<KV> reduce_sorted(Reducer& reducer, std::span<const KV> sorted);
 
 /// Stable sort by key (ties keep input order, like Hadoop's stable merge).

@@ -3,6 +3,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "mapreduce/thread_pool.hpp"
+
 namespace vhadoop::ml {
 
 int nearest_center(const Vec& point, const std::vector<Vec>& centers) {
@@ -17,6 +19,40 @@ int nearest_center(const Vec& point, const std::vector<Vec>& centers) {
     }
   }
   return best;
+}
+
+CenterMatrix::CenterMatrix(const std::vector<Vec>& centers)
+    : rows_(centers.size()), cols_(centers.empty() ? 0 : centers[0].size()) {
+  data_.reserve(rows_ * cols_);
+  for (const Vec& c : centers) {
+    if (c.size() != cols_) throw std::invalid_argument("CenterMatrix: ragged centers");
+    data_.insert(data_.end(), c.begin(), c.end());
+  }
+}
+
+int nearest_center(std::span<const double> point, const CenterMatrix& centers) {
+  if (centers.rows() == 0) throw std::invalid_argument("nearest_center: no centers");
+  int best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < centers.rows(); ++c) {
+    const double d = squared_euclidean(point, centers.row(c));
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+std::vector<int> assign_nearest(const Dataset& data, const std::vector<Vec>& centers,
+                                unsigned threads) {
+  const CenterMatrix flat(centers);
+  std::vector<int> assignments(data.size());
+  mapreduce::parallel_for(data.size(), threads == 0 ? mapreduce::default_threads() : threads,
+                          [&](std::size_t i) {
+                            assignments[i] = nearest_center(data.points[i], flat);
+                          });
+  return assignments;
 }
 
 double total_cost(const Dataset& data, const std::vector<Vec>& centers) {

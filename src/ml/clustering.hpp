@@ -39,4 +39,32 @@ double total_cost(const Dataset& data, const std::vector<Vec>& centers);
 /// Nearest-center index (squared Euclidean).
 int nearest_center(const Vec& point, const std::vector<Vec>& centers);
 
+/// Row-major flat center storage: one contiguous buffer instead of k
+/// separately heap-allocated Vecs, so a nearest-center scan walks memory
+/// linearly (the hot loop of every k-means-family iteration).
+class CenterMatrix {
+ public:
+  CenterMatrix() = default;
+  explicit CenterMatrix(const std::vector<Vec>& centers);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::span<const double> row(std::size_t i) const { return {data_.data() + i * cols_, cols_}; }
+
+ private:
+  std::vector<double> data_;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+};
+
+/// Nearest-center index against flat row-major centers; identical distance
+/// arithmetic (and therefore identical ties/results) to the Vec overload.
+int nearest_center(std::span<const double> point, const CenterMatrix& centers);
+
+/// Final O(n·k) assignment pass, parallelized over the runner's thread
+/// pool. Each point's assignment is computed independently into its own
+/// slot, so the result is identical for every thread count.
+std::vector<int> assign_nearest(const Dataset& data, const std::vector<Vec>& centers,
+                                unsigned threads);
+
 }  // namespace vhadoop::ml

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <memory>
 
 #include "sim/rng.hpp"
@@ -11,15 +12,17 @@ namespace vhadoop::ml {
 namespace {
 
 /// Log density of a spherical Gaussian (up to the shared 2*pi constant).
-double log_pdf(const Vec& x, const DirichletModel& m) {
+double log_pdf(std::span<const double> x, const DirichletModel& m) {
   const double d2 = squared_euclidean(x, m.mean);
   const double var = std::max(1e-6, m.stddev * m.stddev);
   return -0.5 * d2 / var - 0.5 * static_cast<double>(x.size()) * std::log(var);
 }
 
-/// Posterior over models for x; returns normalized probabilities.
-Vec posterior(const Vec& x, const std::vector<DirichletModel>& models) {
-  Vec logp(models.size());
+/// Posterior over models for x, written into caller-owned `logp` (the
+/// mapper calls this once per record; no allocation in the steady state).
+void posterior_into(std::span<const double> x, const std::vector<DirichletModel>& models,
+                    Vec& logp) {
+  logp.resize(models.size());
   double best = -std::numeric_limits<double>::infinity();
   for (std::size_t j = 0; j < models.size(); ++j) {
     logp[j] = std::log(std::max(1e-12, models[j].mixture)) + log_pdf(x, models[j]);
@@ -31,17 +34,23 @@ Vec posterior(const Vec& x, const std::vector<DirichletModel>& models) {
     z += lp;
   }
   for (double& lp : logp) lp /= z;
+}
+
+Vec posterior(std::span<const double> x, const std::vector<DirichletModel>& models) {
+  Vec logp;
+  posterior_into(x, models, logp);
   return logp;
 }
 
 /// Partial statistics emitted per (model, split): [count, sum|x|^2, sum...].
-std::string encode_stats(double count, double sumsq, const Vec& sum) {
-  Vec payload;
-  payload.reserve(sum.size() + 2);
-  payload.push_back(count);
-  payload.push_back(sumsq);
-  payload.insert(payload.end(), sum.begin(), sum.end());
-  return mapreduce::encode_vec(payload);
+std::string encode_stats(double count, double sumsq, std::span<const double> sum) {
+  std::string out((sum.size() + 2) * sizeof(double), '\0');
+  std::memcpy(out.data(), &count, sizeof(double));
+  std::memcpy(out.data() + sizeof(double), &sumsq, sizeof(double));
+  if (!sum.empty()) {
+    std::memcpy(out.data() + 2 * sizeof(double), sum.data(), sum.size() * sizeof(double));
+  }
+  return out;
 }
 
 struct Stats {
@@ -61,7 +70,7 @@ Stats decode_stats(std::string_view s) {
   return st;
 }
 
-double norm_sq(const Vec& v) {
+double norm_sq(std::span<const double> v) {
   double s = 0.0;
   for (double x : v) s += x * x;
   return s;
@@ -71,21 +80,24 @@ class DirichletMapper : public mapreduce::Mapper {
  public:
   DirichletMapper(std::shared_ptr<const std::vector<DirichletModel>> models, int iteration)
       : models_(std::move(models)), iteration_(iteration),
-        counts_(models_->size(), 0.0), sumsqs_(models_->size(), 0.0),
-        sums_(models_->size()) {}
+        counts_(models_->size(), 0.0), sumsqs_(models_->size(), 0.0) {}
 
   void map(std::string_view key, std::string_view value, mapreduce::Context&) override {
-    const Vec x = mapreduce::decode_vec(value);
-    const Vec p = posterior(x, *models_);
+    const auto x = mapreduce::decode_vec_view(value, scratch_);
+    if (sums_.empty()) {
+      dim_ = x.size();
+      sums_.assign(models_->size() * dim_, 0.0);  // row-major [model][dim]
+    }
+    posterior_into(x, *models_, p_);
     // Gibbs assignment, deterministically seeded by (record, iteration) so
     // the sampling is independent of split layout and thread schedule.
     sim::Rng rng(mapreduce::stable_hash(key) * 0x9e3779b97f4a7c15ULL +
                  static_cast<std::uint64_t>(iteration_));
     const double u = rng.uniform();
     double acc = 0.0;
-    std::size_t j = p.size() - 1;
-    for (std::size_t i = 0; i < p.size(); ++i) {
-      acc += p[i];
+    std::size_t j = p_.size() - 1;
+    for (std::size_t i = 0; i < p_.size(); ++i) {
+      acc += p_[i];
       if (u <= acc) {
         j = i;
         break;
@@ -93,13 +105,15 @@ class DirichletMapper : public mapreduce::Mapper {
     }
     counts_[j] += 1.0;
     sumsqs_[j] += norm_sq(x);
-    add_in_place(sums_[j], x);
+    double* sum = sums_.data() + j * dim_;
+    for (std::size_t i = 0; i < x.size(); ++i) sum[i] += x[i];
   }
 
   void cleanup(mapreduce::Context& ctx) override {
     for (std::size_t j = 0; j < counts_.size(); ++j) {
       if (counts_[j] > 0.0) {
-        ctx.emit(std::to_string(j), encode_stats(counts_[j], sumsqs_[j], sums_[j]));
+        ctx.emit(std::to_string(j),
+                 encode_stats(counts_[j], sumsqs_[j], {sums_.data() + j * dim_, dim_}));
       }
     }
   }
@@ -109,22 +123,36 @@ class DirichletMapper : public mapreduce::Mapper {
   int iteration_;
   std::vector<double> counts_;
   std::vector<double> sumsqs_;
-  std::vector<Vec> sums_;
+  std::vector<double> sums_;
+  std::size_t dim_ = 0;
+  std::vector<double> scratch_;
+  Vec p_;
 };
 
 class DirichletReducer : public mapreduce::Reducer {
  public:
   void reduce(std::string_view key, const std::vector<std::string_view>& values,
               mapreduce::Context& ctx) override {
-    Stats total;
+    double count = 0.0, sumsq = 0.0;
+    sum_.clear();
     for (auto v : values) {
-      Stats s = decode_stats(v);
-      total.count += s.count;
-      total.sumsq += s.sumsq;
-      add_in_place(total.sum, s.sum);
+      const auto payload = mapreduce::decode_vec_view(v, scratch_);
+      if (payload.size() < 2) continue;
+      count += payload[0];
+      sumsq += payload[1];
+      const auto s = payload.subspan(2);
+      if (sum_.empty()) sum_.assign(s.begin(), s.end());
+      else {
+        check_same_dim(sum_, s);
+        for (std::size_t i = 0; i < s.size(); ++i) sum_[i] += s[i];
+      }
     }
-    ctx.emit(std::string(key), encode_stats(total.count, total.sumsq, total.sum));
+    ctx.emit(key, encode_stats(count, sumsq, sum_));
   }
+
+ private:
+  Vec sum_;
+  std::vector<double> scratch_;
 };
 
 }  // namespace

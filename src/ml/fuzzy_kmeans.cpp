@@ -1,5 +1,6 @@
 #include "ml/fuzzy_kmeans.hpp"
 
+#include <cstring>
 #include <memory>
 #include <stdexcept>
 
@@ -7,38 +8,51 @@
 
 namespace vhadoop::ml {
 
-Vec memberships(const Vec& point, const std::vector<Vec>& centers, double m) {
+namespace {
+
+/// Shared core of the membership computation, writing into caller-owned
+/// scratch (`dist`, `u`) so the mapper's hot loop does not allocate.
+void memberships_into(std::span<const double> point, const CenterMatrix& centers, double m,
+                      Vec& dist, Vec& u) {
   if (m <= 1.0) throw std::invalid_argument("fuzzy k-means: m must be > 1");
   const double exponent = 2.0 / (m - 1.0);
-  Vec dist(centers.size());
-  for (std::size_t j = 0; j < centers.size(); ++j) {
-    dist[j] = euclidean(point, centers[j]);
+  const std::size_t k = centers.rows();
+  dist.resize(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    dist[j] = euclidean(point, centers.row(j));
   }
-  Vec u(centers.size(), 0.0);
-  for (std::size_t j = 0; j < centers.size(); ++j) {
+  u.assign(k, 0.0);
+  for (std::size_t j = 0; j < k; ++j) {
     if (dist[j] == 0.0) {
       // Point coincides with a center: full membership there.
-      u.assign(centers.size(), 0.0);
+      u.assign(k, 0.0);
       u[j] = 1.0;
-      return u;
+      return;
     }
     double denom = 0.0;
-    for (std::size_t k = 0; k < centers.size(); ++k) {
-      denom += std::pow(dist[j] / dist[k], exponent);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      denom += std::pow(dist[j] / dist[kk], exponent);
     }
     u[j] = 1.0 / denom;
   }
+}
+
+}  // namespace
+
+Vec memberships(const Vec& point, const std::vector<Vec>& centers, double m) {
+  const CenterMatrix flat(centers);
+  Vec dist, u;
+  memberships_into(point, flat, m, dist, u);
   return u;
 }
 
 namespace {
 
-std::string encode_partial(double weight, const Vec& sum) {
-  Vec payload;
-  payload.reserve(sum.size() + 1);
-  payload.push_back(weight);
-  payload.insert(payload.end(), sum.begin(), sum.end());
-  return mapreduce::encode_vec(payload);
+std::string encode_partial(double weight, std::span<const double> sum) {
+  std::string out((sum.size() + 1) * sizeof(double), '\0');
+  std::memcpy(out.data(), &weight, sizeof(double));
+  if (!sum.empty()) std::memcpy(out.data() + sizeof(double), sum.data(), sum.size() * sizeof(double));
+  return out;
 }
 
 std::pair<double, Vec> decode_partial(std::string_view s) {
@@ -50,37 +64,41 @@ std::pair<double, Vec> decode_partial(std::string_view s) {
 
 class FuzzyMapper : public mapreduce::Mapper {
  public:
-  FuzzyMapper(std::shared_ptr<const std::vector<Vec>> centers, double m)
+  FuzzyMapper(std::shared_ptr<const CenterMatrix> centers, double m)
       : centers_(std::move(centers)),
         m_(m),
-        sums_(centers_->size()),
-        weights_(centers_->size(), 0.0) {}
+        sums_(centers_->rows() * centers_->cols(), 0.0),
+        weights_(centers_->rows(), 0.0) {}
 
   void map(std::string_view, std::string_view value, mapreduce::Context&) override {
-    const Vec p = mapreduce::decode_vec(value);
-    const Vec u = memberships(p, *centers_, m_);
-    for (std::size_t j = 0; j < u.size(); ++j) {
-      const double w = std::pow(u[j], m_);
+    const auto p = mapreduce::decode_vec_view(value, scratch_);
+    memberships_into(p, *centers_, m_, dist_, u_);
+    const std::size_t dim = centers_->cols();
+    for (std::size_t j = 0; j < u_.size(); ++j) {
+      const double w = std::pow(u_[j], m_);
       if (w <= 0.0) continue;
       weights_[j] += w;
-      Vec wp = scaled(p, w);
-      add_in_place(sums_[j], wp);
+      double* sum = sums_.data() + j * dim;
+      for (std::size_t i = 0; i < p.size(); ++i) sum[i] += p[i] * w;
     }
   }
 
   void cleanup(mapreduce::Context& ctx) override {
     for (std::size_t j = 0; j < weights_.size(); ++j) {
       if (weights_[j] > 0.0) {
-        ctx.emit(std::to_string(j), encode_partial(weights_[j], sums_[j]));
+        ctx.emit(std::to_string(j),
+                 encode_partial(weights_[j], {sums_.data() + j * centers_->cols(), centers_->cols()}));
       }
     }
   }
 
  private:
-  std::shared_ptr<const std::vector<Vec>> centers_;
+  std::shared_ptr<const CenterMatrix> centers_;
   double m_;
-  std::vector<Vec> sums_;
+  std::vector<double> sums_;  // row-major [cluster][dim] weighted accumulators
   std::vector<double> weights_;
+  std::vector<double> scratch_;
+  Vec dist_, u_;
 };
 
 class FuzzyReducer : public mapreduce::Reducer {
@@ -88,14 +106,25 @@ class FuzzyReducer : public mapreduce::Reducer {
   void reduce(std::string_view key, const std::vector<std::string_view>& values,
               mapreduce::Context& ctx) override {
     double weight = 0.0;
-    Vec sum;
+    sum_.clear();
     for (auto v : values) {
-      auto [w, s] = decode_partial(v);
-      weight += w;
-      add_in_place(sum, s);
+      const auto payload = mapreduce::decode_vec_view(v, scratch_);
+      if (payload.empty()) continue;
+      weight += payload[0];
+      const auto s = payload.subspan(1);
+      if (sum_.empty()) sum_.assign(s.begin(), s.end());
+      else {
+        check_same_dim(sum_, s);
+        for (std::size_t i = 0; i < s.size(); ++i) sum_[i] += s[i];
+      }
     }
-    ctx.emit(std::string(key), encode_partial(weight, mean_of(std::move(sum), weight)));
+    if (weight > 0.0) scale_in_place(sum_, 1.0 / weight);
+    ctx.emit(key, encode_partial(weight, sum_));
   }
+
+ private:
+  Vec sum_;
+  std::vector<double> scratch_;
 };
 
 }  // namespace
@@ -118,7 +147,7 @@ ClusteringRun fuzzy_kmeans_cluster(const Dataset& data, const FuzzyKMeansConfig&
     spec.config.num_reduces = config.base.num_reduces;
     spec.config.cost.map_cpu_per_record = 9e-6 * static_cast<double>(centers->size());
     spec.config.cost.map_cpu_per_byte = 2e-8;
-    auto snapshot = centers;
+    auto snapshot = std::make_shared<const CenterMatrix>(*centers);
     const double m = config.m;
     spec.mapper = [snapshot, m] { return std::make_unique<FuzzyMapper>(snapshot, m); };
     spec.reducer = [] { return std::make_unique<FuzzyReducer>(); };
@@ -143,8 +172,7 @@ ClusteringRun fuzzy_kmeans_cluster(const Dataset& data, const FuzzyKMeansConfig&
   }
 
   run.centers = *centers;
-  run.assignments.reserve(data.size());
-  for (const Vec& p : data.points) run.assignments.push_back(nearest_center(p, run.centers));
+  run.assignments = assign_nearest(data, run.centers, config.base.threads);
   return run;
 }
 

@@ -1,5 +1,6 @@
 #include "ml/kmeans.hpp"
 
+#include <cstring>
 #include <memory>
 #include <stdexcept>
 
@@ -24,13 +25,13 @@ std::vector<Vec> seed_centers(const Dataset& data, int k, std::uint64_t seed) {
 
 namespace {
 
-/// Value payload of a partial cluster observation: [count, sum...].
-std::string encode_partial(double count, const Vec& sum) {
-  Vec payload;
-  payload.reserve(sum.size() + 1);
-  payload.push_back(count);
-  payload.insert(payload.end(), sum.begin(), sum.end());
-  return mapreduce::encode_vec(payload);
+/// Value payload of a partial cluster observation: [count, sum...]. Built
+/// with two memcpys straight into the output string — no intermediate Vec.
+std::string encode_partial(double count, std::span<const double> sum) {
+  std::string out((sum.size() + 1) * sizeof(double), '\0');
+  std::memcpy(out.data(), &count, sizeof(double));
+  if (!sum.empty()) std::memcpy(out.data() + sizeof(double), sum.data(), sum.size() * sizeof(double));
+  return out;
 }
 
 std::pair<double, Vec> decode_partial(std::string_view s) {
@@ -42,15 +43,17 @@ std::pair<double, Vec> decode_partial(std::string_view s) {
 
 class KMeansMapper : public mapreduce::Mapper {
  public:
-  explicit KMeansMapper(std::shared_ptr<const std::vector<Vec>> centers)
+  explicit KMeansMapper(std::shared_ptr<const CenterMatrix> centers)
       : centers_(std::move(centers)),
-        sums_(centers_->size()),
-        counts_(centers_->size(), 0.0) {}
+        sums_(centers_->rows() * centers_->cols(), 0.0),
+        counts_(centers_->rows(), 0.0) {}
 
   void map(std::string_view, std::string_view value, mapreduce::Context&) override {
-    const Vec p = mapreduce::decode_vec(value);
+    // Arena-backed values are 8-byte aligned, so this is a zero-copy read.
+    const auto p = mapreduce::decode_vec_view(value, scratch_);
     const auto c = static_cast<std::size_t>(nearest_center(p, *centers_));
-    add_in_place(sums_[c], p);
+    double* sum = sums_.data() + c * centers_->cols();
+    for (std::size_t i = 0; i < p.size(); ++i) sum[i] += p[i];
     counts_[c] += 1.0;
   }
 
@@ -59,15 +62,17 @@ class KMeansMapper : public mapreduce::Mapper {
     // combiner would produce anyway, with identical shuffle volume).
     for (std::size_t c = 0; c < counts_.size(); ++c) {
       if (counts_[c] > 0.0) {
-        ctx.emit(std::to_string(c), encode_partial(counts_[c], sums_[c]));
+        ctx.emit(std::to_string(c),
+                 encode_partial(counts_[c], {sums_.data() + c * centers_->cols(), centers_->cols()}));
       }
     }
   }
 
  private:
-  std::shared_ptr<const std::vector<Vec>> centers_;
-  std::vector<Vec> sums_;
+  std::shared_ptr<const CenterMatrix> centers_;
+  std::vector<double> sums_;  // row-major [cluster][dim] accumulators
   std::vector<double> counts_;
+  std::vector<double> scratch_;
 };
 
 class KMeansReducer : public mapreduce::Reducer {
@@ -75,14 +80,25 @@ class KMeansReducer : public mapreduce::Reducer {
   void reduce(std::string_view key, const std::vector<std::string_view>& values,
               mapreduce::Context& ctx) override {
     double count = 0.0;
-    Vec sum;
+    sum_.clear();
     for (auto v : values) {
-      auto [c, s] = decode_partial(v);
-      count += c;
-      add_in_place(sum, s);
+      const auto payload = mapreduce::decode_vec_view(v, scratch_);
+      if (payload.empty()) continue;
+      count += payload[0];
+      const auto s = payload.subspan(1);
+      if (sum_.empty()) sum_.assign(s.begin(), s.end());
+      else {
+        check_same_dim(sum_, s);
+        for (std::size_t i = 0; i < s.size(); ++i) sum_[i] += s[i];
+      }
     }
-    ctx.emit(std::string(key), encode_partial(count, mean_of(std::move(sum), count)));
+    if (count > 0.0) scale_in_place(sum_, 1.0 / count);
+    ctx.emit(key, encode_partial(count, sum_));
   }
+
+ private:
+  Vec sum_;
+  std::vector<double> scratch_;
 };
 
 }  // namespace
@@ -105,7 +121,8 @@ ClusteringRun kmeans_cluster(const Dataset& data, const KMeansConfig& config,
     spec.config.num_reduces = config.base.num_reduces;
     spec.config.cost.map_cpu_per_record = 4e-6 * static_cast<double>(centers->size());
     spec.config.cost.map_cpu_per_byte = 1.5e-8;
-    auto snapshot = centers;  // mappers see this iteration's centers
+    // Mappers see this iteration's centers as one flat row-major snapshot.
+    auto snapshot = std::make_shared<const CenterMatrix>(*centers);
     spec.mapper = [snapshot] { return std::make_unique<KMeansMapper>(snapshot); };
     spec.reducer = [] { return std::make_unique<KMeansReducer>(); };
 
@@ -129,8 +146,7 @@ ClusteringRun kmeans_cluster(const Dataset& data, const KMeansConfig& config,
   }
 
   run.centers = *centers;
-  run.assignments.reserve(data.size());
-  for (const Vec& p : data.points) run.assignments.push_back(nearest_center(p, run.centers));
+  run.assignments = assign_nearest(data, run.centers, config.base.threads);
   return run;
 }
 

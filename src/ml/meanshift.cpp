@@ -1,5 +1,7 @@
 #include "ml/meanshift.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <memory>
 
 namespace vhadoop::ml {
@@ -11,12 +13,13 @@ struct Canopy {
   Vec center;
 };
 
-std::string encode_canopy(const Canopy& c) {
-  Vec payload;
-  payload.reserve(c.center.size() + 1);
-  payload.push_back(c.weight);
-  payload.insert(payload.end(), c.center.begin(), c.center.end());
-  return mapreduce::encode_vec(payload);
+std::string encode_canopy(double weight, std::span<const double> center) {
+  std::string out((center.size() + 1) * sizeof(double), '\0');
+  std::memcpy(out.data(), &weight, sizeof(double));
+  if (!center.empty()) {
+    std::memcpy(out.data() + sizeof(double), center.data(), center.size() * sizeof(double));
+  }
+  return out;
 }
 
 Canopy decode_canopy(std::string_view s) {
@@ -27,41 +30,65 @@ Canopy decode_canopy(std::string_view s) {
   return c;
 }
 
+/// Canopy population in row-major flat storage: the O(n^2) neighbourhood
+/// scans of shift_and_merge walk two contiguous buffers.
+struct FlatCanopies {
+  std::vector<double> weights;
+  std::vector<double> centers;  // row-major size() x dim
+  std::size_t dim = 0;
+
+  std::size_t size() const { return weights.size(); }
+  std::span<const double> center(std::size_t i) const { return {centers.data() + i * dim, dim}; }
+  void push(double w, std::span<const double> c) {
+    weights.push_back(w);
+    centers.insert(centers.end(), c.begin(), c.end());
+  }
+};
+
 /// Shift every canopy toward the weighted mean of its T1-neighbourhood,
 /// then greedily merge canopies within T2. The kernel both the mapper
-/// (over its split) and the reducer (over everything) apply.
-std::vector<Canopy> shift_and_merge(const std::vector<Canopy>& in, double t1, double t2) {
+/// (over its split) and the reducer (over everything) apply. Arithmetic
+/// order matches the original Vec-of-Canopy implementation exactly.
+FlatCanopies shift_and_merge(const FlatCanopies& in, double t1, double t2) {
   const double t1_sq = t1 * t1, t2_sq = t2 * t2;
-  std::vector<Canopy> shifted;
-  shifted.reserve(in.size());
-  for (const Canopy& c : in) {
-    Vec sum;
+  const std::size_t dim = in.dim;
+  std::vector<double> shifted(in.size() * dim, 0.0);
+  Vec sum(dim);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    std::fill(sum.begin(), sum.end(), 0.0);
     double weight = 0.0;
-    for (const Canopy& o : in) {
-      if (squared_euclidean(c.center, o.center) <= t1_sq) {
-        Vec contrib = scaled(o.center, o.weight);
-        add_in_place(sum, contrib);
-        weight += o.weight;
+    for (std::size_t o = 0; o < in.size(); ++o) {
+      if (squared_euclidean(in.center(i), in.center(o)) <= t1_sq) {
+        const auto oc = in.center(o);
+        for (std::size_t d = 0; d < dim; ++d) sum[d] += oc[d] * in.weights[o];
+        weight += in.weights[o];
       }
     }
-    shifted.push_back({c.weight, mean_of(std::move(sum), weight)});
+    if (weight > 0.0) {
+      for (std::size_t d = 0; d < dim; ++d) sum[d] *= 1.0 / weight;
+    }
+    std::copy(sum.begin(), sum.end(), shifted.begin() + static_cast<std::ptrdiff_t>(i * dim));
   }
-  std::vector<Canopy> merged;
-  for (const Canopy& c : shifted) {
+  FlatCanopies merged;
+  merged.dim = dim;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const std::span<const double> c{shifted.data() + i * dim, dim};
+    const double cw = in.weights[i];
     bool absorbed = false;
-    for (Canopy& m : merged) {
-      if (squared_euclidean(c.center, m.center) <= t2_sq) {
+    for (std::size_t m = 0; m < merged.size(); ++m) {
+      if (squared_euclidean(c, merged.center(m)) <= t2_sq) {
         // Weighted average of the two centers.
-        const double w = m.weight + c.weight;
-        for (std::size_t i = 0; i < m.center.size(); ++i) {
-          m.center[i] = (m.center[i] * m.weight + c.center[i] * c.weight) / w;
+        const double w = merged.weights[m] + cw;
+        double* mc = merged.centers.data() + m * dim;
+        for (std::size_t d = 0; d < dim; ++d) {
+          mc[d] = (mc[d] * merged.weights[m] + c[d] * cw) / w;
         }
-        m.weight = w;
+        merged.weights[m] = w;
         absorbed = true;
         break;
       }
     }
-    if (!absorbed) merged.push_back(c);
+    if (!absorbed) merged.push(cw, c);
   }
   return merged;
 }
@@ -71,18 +98,23 @@ class MeanShiftMapper : public mapreduce::Mapper {
   MeanShiftMapper(double t1, double t2) : t1_(t1), t2_(t2) {}
 
   void map(std::string_view, std::string_view value, mapreduce::Context&) override {
-    canopies_.push_back(decode_canopy(value));
+    const auto payload = mapreduce::decode_vec_view(value, scratch_);
+    if (payload.empty()) return;  // no weight, no center — nothing to shift
+    if (canopies_.size() == 0) canopies_.dim = payload.size() - 1;
+    canopies_.push(payload[0], payload.subspan(1));
   }
 
   void cleanup(mapreduce::Context& ctx) override {
-    for (const Canopy& c : shift_and_merge(canopies_, t1_, t2_)) {
-      ctx.emit("canopy", encode_canopy(c));
+    const FlatCanopies out = shift_and_merge(canopies_, t1_, t2_);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ctx.emit("canopy", encode_canopy(out.weights[i], out.center(i)));
     }
   }
 
  private:
   double t1_, t2_;
-  std::vector<Canopy> canopies_;
+  FlatCanopies canopies_;
+  std::vector<double> scratch_;
 };
 
 class MeanShiftReducer : public mapreduce::Reducer {
@@ -91,17 +123,22 @@ class MeanShiftReducer : public mapreduce::Reducer {
 
   void reduce(std::string_view, const std::vector<std::string_view>& values,
               mapreduce::Context& ctx) override {
-    std::vector<Canopy> all;
-    all.reserve(values.size());
-    for (auto v : values) all.push_back(decode_canopy(v));
-    int i = 0;
-    for (const Canopy& c : shift_and_merge(all, t1_, t2_)) {
-      ctx.emit("c" + std::to_string(i++), encode_canopy(c));
+    FlatCanopies all;
+    for (auto v : values) {
+      const auto payload = mapreduce::decode_vec_view(v, scratch_);
+      if (payload.empty()) continue;
+      if (all.size() == 0) all.dim = payload.size() - 1;
+      all.push(payload[0], payload.subspan(1));
+    }
+    const FlatCanopies out = shift_and_merge(all, t1_, t2_);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ctx.emit("c" + std::to_string(i), encode_canopy(out.weights[i], out.center(i)));
     }
   }
 
  private:
   double t1_, t2_;
+  std::vector<double> scratch_;
 };
 
 }  // namespace
@@ -112,7 +149,7 @@ ClusteringRun meanshift_cluster(const Dataset& data, const MeanShiftConfig& conf
   state.reserve(data.size());
   for (std::size_t i = 0; i < data.size(); ++i) {
     state.push_back({mapreduce::encode_i64(static_cast<std::int64_t>(i)),
-                     encode_canopy({1.0, data.points[i]})});
+                     encode_canopy(1.0, data.points[i])});
   }
 
   mapreduce::LocalJobRunner runner(config.base.threads);
@@ -161,8 +198,7 @@ ClusteringRun meanshift_cluster(const Dataset& data, const MeanShiftConfig& conf
   }
 
   run.centers = prev_centers;
-  run.assignments.reserve(data.size());
-  for (const Vec& p : data.points) run.assignments.push_back(nearest_center(p, run.centers));
+  run.assignments = assign_nearest(data, run.centers, config.base.threads);
   return run;
 }
 

@@ -1,5 +1,6 @@
 #include "ml/minhash.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <memory>
 
@@ -34,30 +35,39 @@ class MinHashMapper : public mapreduce::Mapper {
   explicit MinHashMapper(const MinHashConfig& cfg) : cfg_(cfg) {}
 
   void map(std::string_view key, std::string_view value, mapreduce::Context& ctx) override {
-    const Vec p = mapreduce::decode_vec(value);
-    const auto set = feature_set(p, cfg_.bucket_width);
-    std::vector<std::uint64_t> minima(static_cast<std::size_t>(cfg_.num_hash_functions),
-                                      ~0ULL);
-    for (std::int64_t e : set) {
+    const auto p = mapreduce::decode_vec_view(value, scratch_);
+    // Inline feature_set: (dimension, bucket) elements feed the hash bank
+    // directly, so the hot loop makes no heap allocations at all.
+    minima_.assign(static_cast<std::size_t>(cfg_.num_hash_functions), ~0ULL);
+    for (std::size_t d = 0; d < p.size(); ++d) {
+      const auto bucket = static_cast<std::int64_t>(std::floor(p[d] / cfg_.bucket_width));
+      const std::int64_t e = static_cast<std::int64_t>(d) * 1000003 + bucket;
       for (int f = 0; f < cfg_.num_hash_functions; ++f) {
-        minima[static_cast<std::size_t>(f)] =
-            std::min(minima[static_cast<std::size_t>(f)], hash_element(e, f));
+        minima_[static_cast<std::size_t>(f)] =
+            std::min(minima_[static_cast<std::size_t>(f)], hash_element(e, f));
       }
     }
     // Band the minima: every group of `keygroups` consecutive minima forms
     // one cluster key; a point lands in several buckets (standard LSH).
     for (int f = 0; f + cfg_.keygroups <= cfg_.num_hash_functions; f += cfg_.keygroups) {
-      std::string cluster_key;
+      key_buf_.clear();
       for (int g = 0; g < cfg_.keygroups; ++g) {
-        cluster_key += std::to_string(minima[static_cast<std::size_t>(f + g)] % 100000);
-        cluster_key += '-';
+        char digits[24];
+        const auto [end, ec] = std::to_chars(
+            digits, digits + sizeof(digits), minima_[static_cast<std::size_t>(f + g)] % 100000);
+        (void)ec;
+        key_buf_.append(digits, end);
+        key_buf_ += '-';
       }
-      ctx.emit(std::move(cluster_key), std::string(key));
+      ctx.emit(key_buf_, key);
     }
   }
 
  private:
   MinHashConfig cfg_;
+  std::vector<double> scratch_;
+  std::vector<std::uint64_t> minima_;
+  std::string key_buf_;
 };
 
 class MinHashReducer : public mapreduce::Reducer {
@@ -67,7 +77,7 @@ class MinHashReducer : public mapreduce::Reducer {
   void reduce(std::string_view key, const std::vector<std::string_view>& values,
               mapreduce::Context& ctx) override {
     if (static_cast<int>(values.size()) < min_size_) return;
-    for (auto v : values) ctx.emit(std::string(key), std::string(v));
+    for (auto v : values) ctx.emit(key, v);
   }
 
  private:
@@ -96,8 +106,19 @@ MinHashRun minhash_cluster(const Dataset& data, const MinHashConfig& config) {
   run.jobs.push_back(runner.run(spec, records, config.base.num_splits));
   run.iterations = 1;
 
-  for (const mapreduce::KV& kv : run.jobs[0].output) {
-    run.clusters[kv.key].push_back(mapreduce::decode_i64(kv.value));
+  // Keys are hash-partitioned and sorted within each partition, so every
+  // cluster's members are consecutive in the output: one map lookup per
+  // cluster instead of per member.
+  const std::vector<mapreduce::KV>& out = run.jobs[0].output;
+  for (std::size_t i = 0; i < out.size();) {
+    std::size_t j = i + 1;
+    while (j < out.size() && out[j].key == out[i].key) ++j;
+    std::vector<std::int64_t>& members = run.clusters[out[i].key];
+    members.reserve(members.size() + (j - i));
+    for (std::size_t t = i; t < j; ++t) {
+      members.push_back(mapreduce::decode_i64(out[t].value));
+    }
+    i = j;
   }
   // Represent each cluster by its centroid for visualization parity.
   run.assignments.assign(data.size(), -1);

@@ -51,10 +51,23 @@ std::vector<mapreduce::KV> to_records(const std::vector<LabeledDoc>& docs) {
 class TrainMapper : public mapreduce::Mapper {
  public:
   void map(std::string_view, std::string_view value, mapreduce::Context&) override {
-    const LabeledDoc doc = decode_doc(value);
-    counts_[doc.label + '\x1f'] += 1;
-    for (const std::string& tok : doc.tokens) {
-      counts_[doc.label + '\x1f' + tok] += 1;
+    // Tokenize the raw record in place (no LabeledDoc materialization); one
+    // reused key buffer holds "label\x1f" + token for the count lookups.
+    const auto tab = value.find('\t');
+    key_buf_.assign(value.substr(0, tab));
+    key_buf_ += '\x1f';
+    counts_[key_buf_] += 1;
+    const std::size_t base = key_buf_.size();
+    std::size_t i = tab + 1;
+    while (i < value.size()) {
+      auto j = value.find(' ', i);
+      if (j == std::string_view::npos) j = value.size();
+      if (j > i) {
+        key_buf_.resize(base);
+        key_buf_.append(value.substr(i, j - i));
+        counts_[key_buf_] += 1;
+      }
+      i = j + 1;
     }
   }
 
@@ -64,6 +77,7 @@ class TrainMapper : public mapreduce::Mapper {
 
  private:
   std::map<std::string, std::int64_t> counts_;
+  std::string key_buf_;
 };
 
 class SumReducer : public mapreduce::Reducer {
@@ -72,7 +86,7 @@ class SumReducer : public mapreduce::Reducer {
               mapreduce::Context& ctx) override {
     std::int64_t sum = 0;
     for (auto v : values) sum += mapreduce::decode_i64(v);
-    ctx.emit(std::string(key), mapreduce::encode_i64(sum));
+    ctx.emit(key, mapreduce::encode_i64(sum));
   }
 };
 
@@ -83,7 +97,7 @@ class ClassifyMapper : public mapreduce::Mapper {
 
   void map(std::string_view key, std::string_view value, mapreduce::Context& ctx) override {
     const LabeledDoc doc = decode_doc(value);
-    ctx.emit(std::string(key), model_->classify(doc.tokens));
+    ctx.emit(key, model_->classify(doc.tokens));
   }
 
  private:
@@ -94,7 +108,7 @@ class IdentityReducer : public mapreduce::Reducer {
  public:
   void reduce(std::string_view key, const std::vector<std::string_view>& values,
               mapreduce::Context& ctx) override {
-    for (auto v : values) ctx.emit(std::string(key), std::string(v));
+    for (auto v : values) ctx.emit(key, v);
   }
 };
 

@@ -35,36 +35,32 @@ std::vector<mapreduce::KV> vector_records(
   return records;
 }
 
-std::vector<Rating> decode_prefs(std::int64_t user, std::string_view value) {
-  const auto packed = mapreduce::decode_vec(value);
-  std::vector<Rating> prefs;
-  for (std::size_t i = 0; i + 1 < packed.size(); i += 2) {
-    prefs.push_back({user, static_cast<std::int64_t>(packed[i]), packed[i + 1]});
-  }
-  return prefs;
-}
-
 /// Job 1 mapper: every co-rated item pair in a user vector counts once.
+/// Iterates the packed (item, value) payload in place — no Rating
+/// materialization per record.
 class CooccurrenceMapper : public mapreduce::Mapper {
  public:
-  void map(std::string_view key, std::string_view value, mapreduce::Context&) override {
-    const auto prefs = decode_prefs(mapreduce::decode_i64(key), value);
-    for (const Rating& a : prefs) {
-      for (const Rating& b : prefs) {
-        if (a.item != b.item) counts_[{a.item, b.item}] += 1.0;
+  void map(std::string_view, std::string_view value, mapreduce::Context&) override {
+    const auto packed = mapreduce::decode_vec_view(value, scratch_);
+    for (std::size_t i = 0; i + 1 < packed.size(); i += 2) {
+      const auto a = static_cast<std::int64_t>(packed[i]);
+      for (std::size_t j = 0; j + 1 < packed.size(); j += 2) {
+        const auto b = static_cast<std::int64_t>(packed[j]);
+        if (a != b) counts_[{a, b}] += 1.0;
       }
     }
   }
 
   void cleanup(mapreduce::Context& ctx) override {
     for (const auto& [pair, n] : counts_) {
-      std::vector<double> payload{static_cast<double>(pair.second), n};
+      const double payload[2] = {static_cast<double>(pair.second), n};
       ctx.emit(mapreduce::encode_i64(pair.first), mapreduce::encode_vec(payload));
     }
   }
 
  private:
   std::map<std::pair<std::int64_t, std::int64_t>, double> counts_;
+  std::vector<double> scratch_;
 };
 
 /// Job 1 reducer: assemble one co-occurrence matrix row.
@@ -74,7 +70,7 @@ class RowReducer : public mapreduce::Reducer {
               mapreduce::Context& ctx) override {
     std::map<std::int64_t, double> row;
     for (auto v : values) {
-      const auto payload = mapreduce::decode_vec(v);
+      const auto payload = mapreduce::decode_vec_view(v, scratch_);
       row[static_cast<std::int64_t>(payload[0])] += payload[1];
     }
     std::vector<double> packed;
@@ -83,8 +79,11 @@ class RowReducer : public mapreduce::Reducer {
       packed.push_back(static_cast<double>(item));
       packed.push_back(n);
     }
-    ctx.emit(std::string(key), mapreduce::encode_vec(packed));
+    ctx.emit(key, mapreduce::encode_vec(packed));
   }
+
+ private:
+  std::vector<double> scratch_;
 };
 
 /// Job 2 mapper: user vector x co-occurrence matrix -> top-N unseen items.
@@ -95,17 +94,18 @@ class RecommendMapper : public mapreduce::Mapper {
       : co_(std::move(co)), top_n_(top_n) {}
 
   void map(std::string_view key, std::string_view value, mapreduce::Context& ctx) override {
-    const std::int64_t user = mapreduce::decode_i64(key);
-    const auto prefs = decode_prefs(user, value);
+    const auto packed = mapreduce::decode_vec_view(value, scratch_);
     std::set<std::int64_t> seen;
-    for (const Rating& r : prefs) seen.insert(r.item);
+    for (std::size_t i = 0; i + 1 < packed.size(); i += 2) {
+      seen.insert(static_cast<std::int64_t>(packed[i]));
+    }
 
     std::map<std::int64_t, double> score;
-    for (const Rating& r : prefs) {
-      auto row = co_->find(r.item);
+    for (std::size_t i = 0; i + 1 < packed.size(); i += 2) {
+      auto row = co_->find(static_cast<std::int64_t>(packed[i]));
       if (row == co_->end()) continue;
       for (const auto& [item, n] : row->second) {
-        if (!seen.contains(item)) score[item] += n * r.value;
+        if (!seen.contains(item)) score[item] += n * packed[i + 1];
       }
     }
     std::vector<std::pair<double, std::int64_t>> ranked;
@@ -115,23 +115,24 @@ class RecommendMapper : public mapreduce::Mapper {
       if (a.first != b.first) return a.first > b.first;
       return a.second < b.second;  // deterministic tie-break
     });
-    std::vector<double> packed;
+    std::vector<double> top;
     for (int i = 0; i < top_n_ && i < static_cast<int>(ranked.size()); ++i) {
-      packed.push_back(static_cast<double>(ranked[static_cast<std::size_t>(i)].second));
+      top.push_back(static_cast<double>(ranked[static_cast<std::size_t>(i)].second));
     }
-    ctx.emit(std::string(key), mapreduce::encode_vec(packed));
+    ctx.emit(key, mapreduce::encode_vec(top));
   }
 
  private:
   std::shared_ptr<const std::map<std::int64_t, std::map<std::int64_t, double>>> co_;
   int top_n_;
+  std::vector<double> scratch_;
 };
 
 class PassThroughReducer : public mapreduce::Reducer {
  public:
   void reduce(std::string_view key, const std::vector<std::string_view>& values,
               mapreduce::Context& ctx) override {
-    for (auto v : values) ctx.emit(std::string(key), std::string(v));
+    for (auto v : values) ctx.emit(key, v);
   }
 };
 

@@ -332,6 +332,45 @@ TEST(MinHash, FeatureSetDiscretization) {
   EXPECT_NE(s1, s3);
 }
 
+// --- parallel assignment pass ---------------------------------------------------
+
+TEST(AssignNearest, IndependentOfThreadCount) {
+  auto data = tight_blobs();
+  const auto centers = seed_centers(data, 3, 77);
+  const auto serial = assign_nearest(data, centers, 1);
+  for (unsigned threads : {2u, 4u, 8u}) {
+    EXPECT_EQ(assign_nearest(data, centers, threads), serial) << threads << " threads";
+  }
+  // And the flat-matrix scan agrees with the Vec-of-Vec overload.
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(serial[i], nearest_center(data.points[i], centers)) << i;
+  }
+}
+
+TEST(KMeans, AssignmentsIndependentOfThreadCount) {
+  auto data = tight_blobs();
+  const auto init = seed_centers(data, 3, 42);
+  const auto one = kmeans_cluster(
+      data, {.k = 3, .base = {.num_splits = 4, .max_iterations = 5, .threads = 1}}, init);
+  const auto many = kmeans_cluster(
+      data, {.k = 3, .base = {.num_splits = 4, .max_iterations = 5, .threads = 8}}, init);
+  EXPECT_EQ(one.assignments, many.assignments);
+  EXPECT_EQ(one.centers, many.centers);
+}
+
+TEST(FuzzyKMeans, AssignmentsIndependentOfThreadCount) {
+  auto data = tight_blobs();
+  const auto init = seed_centers(data, 3, 42);
+  const auto one = fuzzy_kmeans_cluster(
+      data, {.k = 3, .m = 2.0, .base = {.num_splits = 4, .max_iterations = 5, .threads = 1}},
+      init);
+  const auto many = fuzzy_kmeans_cluster(
+      data, {.k = 3, .m = 2.0, .base = {.num_splits = 4, .max_iterations = 5, .threads = 8}},
+      init);
+  EXPECT_EQ(one.assignments, many.assignments);
+  EXPECT_EQ(one.centers, many.centers);
+}
+
 // --- shared ClusteringRun contract ----------------------------------------------
 
 TEST(ClusteringRun, JobsCarryProfilesForSimulation) {
