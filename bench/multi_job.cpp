@@ -6,7 +6,12 @@
 // latency tracks the sort's runtime; Fair and Capacity interleave the
 // stream and collapse short-job latency while barely moving the makespan.
 //
-// Prints one row per policy and writes BENCH_multi_job.json.
+// Each tenant (scheduler queue) also gets a latency-distribution row —
+// p50/p95/p99 job latency plus the SLO-miss count against per-job
+// deadlines — pulled from the runner's mr.queue.<q>.* metrics.
+//
+// Prints one row per policy (then one per tenant) and writes
+// BENCH_multi_job.json.
 
 #include <algorithm>
 #include <cmath>
@@ -31,6 +36,7 @@ mapreduce::SimJobSpec short_wordcount(int idx, const hdfs::HdfsCluster& hdfs) {
   }
   spec.reduces.assign(2, {0.3, sim::kMiB});
   spec.output_path = "/out/wc-" + std::to_string(idx);
+  spec.deadline_seconds = 30.0;  // interactive tenant SLO
   return spec;
 }
 
@@ -46,13 +52,24 @@ mapreduce::SimJobSpec kmeans_iteration(int iter, const hdfs::HdfsCluster& hdfs) 
   }
   spec.reduces.assign(1, {0.2, 0.1 * sim::kMiB});
   spec.output_path = "/out/kmeans-it" + std::to_string(iter);
+  spec.deadline_seconds = 30.0;
   return spec;
 }
+
+struct TenantStats {
+  std::string queue;
+  double jobs = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double slo_missed = 0.0;
+};
 
 struct PolicyResult {
   double makespan = 0.0;
   std::vector<double> latencies;  ///< per-job submit-to-finish seconds
   std::vector<double> queue_waits;
+  std::vector<TenantStats> tenants;
 
   double p95() const {
     auto sorted = latencies;
@@ -93,6 +110,7 @@ PolicyResult run_policy(mapreduce::SchedulerPolicy policy) {
   // The long job goes in first; everything else queues behind it under FIFO.
   auto long_sort = ts.sim_terasort("/t/in", "/t/out");
   long_sort.queue = "prod";
+  long_sort.deadline_seconds = 60.0;  // batch tenant: a loose SLO
   platform.submit_job(std::move(long_sort), record);
   for (int k = 0; k < 3; ++k) {
     platform.submit_job(short_wordcount(k, platform.hdfs()), record);
@@ -110,6 +128,24 @@ PolicyResult run_policy(mapreduce::SchedulerPolicy policy) {
 
   platform.engine().run();
   result.makespan = platform.engine().now() - t0;
+
+  // Per-tenant latency distribution + SLO misses, straight from the
+  // runner's queue metrics (what an operator dashboard would scrape).
+  const obs::Registry& reg = platform.metrics();
+  for (const char* queue : {"prod", "adhoc"}) {
+    const std::string base = "mr.queue." + std::string(queue) + ".";
+    const obs::Histogram* h = reg.find_histogram(base + "job_seconds");
+    const obs::Counter* missed = reg.find_counter(base + "slo_missed");
+    if (!h || !missed) continue;
+    TenantStats t;
+    t.queue = queue;
+    t.jobs = static_cast<double>(h->count());
+    t.p50 = h->percentile(0.50);
+    t.p95 = h->percentile(0.95);
+    t.p99 = h->percentile(0.99);
+    t.slo_missed = missed->value();
+    result.tenants.push_back(std::move(t));
+  }
   return result;
 }
 
@@ -138,6 +174,18 @@ int main() {
         .col("makespan_s", r.makespan)
         .col("p95_latency_s", r.p95())
         .col("mean_queue_wait_s", r.mean_wait());
+    for (const TenantStats& t : r.tenants) {
+      std::printf("  %-8s %-6s %5.0f jobs  p50 %6.1f  p95 %6.1f  p99 %6.1f  slo-missed %.0f\n",
+                  name, t.queue.c_str(), t.jobs, t.p50, t.p95, t.p99, t.slo_missed);
+      results.row()
+          .col("scheduler", name)
+          .col("queue", t.queue)
+          .col("jobs", t.jobs)
+          .col("p50_latency_s", t.p50)
+          .col("p95_latency_s", t.p95)
+          .col("p99_latency_s", t.p99)
+          .col("slo_missed", t.slo_missed);
+    }
   }
   results.write();
 

@@ -3,7 +3,8 @@
 //
 //   vhadoop_cli <workload> [--cross] [--workers N] [--mb SIZE]
 //               [--scheduler=fifo|fair|capacity]
-//               [--metrics-out=FILE] [--trace-out=FILE]
+//               [--metrics-out=FILE] [--trace-out=FILE] [--spans-out=FILE]
+//               [--timeseries-out=FILE]
 //
 // workloads: wordcount | terasort | dfsio | mrbench | pi | multi
 //
@@ -14,11 +15,17 @@
 // --metrics-out writes the platform metrics registry as JSON after the run;
 // --trace-out enables timeline tracing and writes a Chrome trace-event file
 // loadable in chrome://tracing or https://ui.perfetto.dev.
+// --spans-out enables tracing too and writes the causal span graph
+// ("vhadoop-spans-v1") for tools/trace_query: pipe it into
+// `trace_query spans.json --critical-path --attribution` for per-job
+// bottleneck attribution. --timeseries-out samples the standard platform
+// probes once per simulated second and writes the ring buffers as JSON.
 //
 // Examples:
 //   vhadoop_cli terasort --mb 800 --cross
 //   vhadoop_cli wordcount --workers 7 --mb 64
 //   vhadoop_cli wordcount --trace-out=trace.json --metrics-out=metrics.json
+//   vhadoop_cli terasort --spans-out=spans.json --timeseries-out=series.json
 //   vhadoop_cli pi
 //   vhadoop_cli multi --scheduler=fair
 
@@ -50,6 +57,8 @@ struct Options {
   double mb = 128.0;
   std::string metrics_out;
   std::string trace_out;
+  std::string spans_out;
+  std::string timeseries_out;
   std::string scheduler = "fifo";
 };
 
@@ -57,7 +66,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: vhadoop_cli <wordcount|terasort|dfsio|mrbench|pi|multi> "
                "[--cross] [--workers N] [--mb SIZE] [--scheduler=fifo|fair|capacity] "
-               "[--metrics-out=FILE] [--trace-out=FILE]\n");
+               "[--metrics-out=FILE] [--trace-out=FILE] [--spans-out=FILE] "
+               "[--timeseries-out=FILE]\n");
   return 2;
 }
 
@@ -77,6 +87,10 @@ Options parse(int argc, char** argv) {
       opt.metrics_out = arg.substr(14);
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       opt.trace_out = arg.substr(12);
+    } else if (arg.rfind("--spans-out=", 0) == 0) {
+      opt.spans_out = arg.substr(12);
+    } else if (arg.rfind("--timeseries-out=", 0) == 0) {
+      opt.timeseries_out = arg.substr(17);
     } else if (arg.rfind("--scheduler=", 0) == 0) {
       opt.scheduler = arg.substr(12);
     }
@@ -108,7 +122,8 @@ int main(int argc, char** argv) {
   }
 
   core::Platform platform;
-  if (!opt.trace_out.empty()) platform.enable_tracing();
+  if (!opt.trace_out.empty() || !opt.spans_out.empty()) platform.enable_tracing();
+  if (!opt.timeseries_out.empty()) platform.enable_timeseries(1.0);
   core::ClusterSpec spec;
   spec.num_workers = opt.workers;
   spec.placement = opt.cross ? core::Placement::CrossDomain : core::Placement::Normal;
@@ -205,6 +220,19 @@ int main(int argc, char** argv) {
     if (!write_text_file(opt.trace_out, platform.tracer().to_chrome_json())) return 1;
     std::printf("trace: %s (%zu events) — load in chrome://tracing or ui.perfetto.dev\n",
                 opt.trace_out.c_str(), platform.tracer().events().size());
+  }
+  if (!opt.spans_out.empty()) {
+    if (!write_text_file(opt.spans_out, platform.tracer().to_span_graph_json())) return 1;
+    std::printf("spans: %s (%zu spans, %zu cause edges) — query with trace_query\n",
+                opt.spans_out.c_str(), platform.tracer().spans().size(),
+                platform.tracer().cause_edges().size());
+  }
+  if (!opt.timeseries_out.empty()) {
+    if (!write_text_file(opt.timeseries_out, platform.engine().timeseries().to_json())) {
+      return 1;
+    }
+    std::printf("timeseries: %s (%zu series)\n", opt.timeseries_out.c_str(),
+                platform.engine().timeseries().series_count());
   }
   return 0;
 }

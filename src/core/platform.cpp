@@ -64,6 +64,20 @@ void Platform::name_vm_lanes(virt::VmId vm) {
   tracer.set_thread_name(static_cast<int>(vm), virt::Cloud::kMigrationTid, "migration");
 }
 
+void Platform::enable_timeseries(double period_seconds) {
+  obs::TimeSeries& ts = engine_.timeseries();
+  ts.add("sim.pending_events",
+         [this] { return static_cast<double>(engine_.pending()); });
+  // Cumulative module counters, created eagerly so the probes are valid
+  // even before the owning module first touches them.
+  for (const char* name : {"mr.map_attempts", "mr.reduce_attempts", "mr.jobs_completed",
+                           "net.bytes_requested", "hdfs.bytes_read", "hdfs.bytes_written"}) {
+    obs::Counter* c = engine_.metrics().counter(name);
+    ts.add(name, [c] { return c->value(); });
+  }
+  engine_.sample_timeseries_every(period_seconds);
+}
+
 std::vector<virt::VmId> Platform::all_vms() const {
   std::vector<virt::VmId> vms;
   vms.push_back(namenode_);

@@ -131,6 +131,12 @@ class Platform {
   /// or not tracing is on, so this can be called any time).
   void enable_tracing() { engine_.tracer().set_enabled(true); }
 
+  /// Register the standard platform probes (pending events plus the core
+  /// module counters) and sample them every `period_seconds` of simulated
+  /// time into the engine's ring-buffered time series. Idempotent; the
+  /// sampler is a daemon chain, so it never keeps the engine alive.
+  void enable_timeseries(double period_seconds = 1.0);
+
   // --- component access ----------------------------------------------------
   sim::Engine& engine() { return engine_; }
   virt::Cloud& cloud() { return *cloud_; }

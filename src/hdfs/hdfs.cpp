@@ -27,8 +27,22 @@ HdfsCluster::HdfsCluster(virt::Cloud& cloud, HdfsConfig config, virt::VmId namen
   if (datanodes_.empty()) throw std::invalid_argument("HdfsCluster: no datanodes");
   if (config_.replication < 1) throw std::invalid_argument("HdfsCluster: replication < 1");
   if (config_.block_size <= 0) throw std::invalid_argument("HdfsCluster: block size <= 0");
+  cloud_.engine().tracer().set_process_name(kHdfsPid, "hdfs");
   cloud_.on_crash([this](virt::VmId vm) { handle_datanode_failure(vm); });
 }
+
+int HdfsCluster::acquire_write_lane() {
+  if (!free_write_lanes_.empty()) {
+    // Lowest lane first keeps lane assignment deterministic (see Fabric).
+    const auto it = std::min_element(free_write_lanes_.begin(), free_write_lanes_.end());
+    const int lane = *it;
+    free_write_lanes_.erase(it);
+    return lane;
+  }
+  return next_write_lane_++;
+}
+
+void HdfsCluster::release_write_lane(int lane) { free_write_lanes_.push_back(lane); }
 
 int HdfsCluster::effective_replication() const {
   return static_cast<int>(std::min<std::size_t>(config_.replication, datanodes_.size()));
@@ -98,19 +112,43 @@ void HdfsCluster::write_file(const std::string& path, double bytes, virt::VmId c
   m_files_written_->inc();
   m_blocks_written_->add(n_blocks);
   m_bytes_written_->add(bytes);
-  write_block(path, 0, client, std::move(on_complete));
+  // Write-pipeline trace: one lane per in-flight file, a root span covering
+  // the whole write, cause-linked from whatever span is driving it (a task
+  // commit, a test, ...). Blocks become children chained by "pipeline".
+  obs::Tracer& tr = cloud_.engine().tracer();
+  int lane = -1;
+  if (tr.enabled()) {
+    lane = acquire_write_lane();
+    const obs::SpanId root = tr.begin(kHdfsPid, lane, "hdfs_write:" + path, "hdfs");
+    tr.cause(tr.ambient(), root, "hdfs-write");
+  }
+  write_block(path, 0, client, std::move(on_complete), lane, 0);
 }
 
 void HdfsCluster::write_block(const std::string& path, std::size_t index, virt::VmId client,
-                              std::function<void()> on_complete) {
+                              std::function<void()> on_complete, int trace_lane,
+                              obs::SpanId prev_block) {
+  obs::Tracer& tr = cloud_.engine().tracer();
   const FileMeta& meta = files_.at(path);
   if (index >= meta.blocks.size()) {
+    if (trace_lane >= 0) {
+      tr.end(kHdfsPid, trace_lane);  // close the hdfs_write root span
+      release_write_lane(trace_lane);
+    }
     if (on_complete) on_complete();
     return;
   }
   const BlockInfo& block = meta.blocks[index];
-  auto next = [this, path, index, client, on_complete = std::move(on_complete)]() mutable {
-    write_block(path, index + 1, client, std::move(on_complete));
+  obs::SpanId block_span = 0;
+  if (trace_lane >= 0) {
+    block_span = tr.begin(kHdfsPid, trace_lane, "block-" + std::to_string(block.index), "hdfs");
+    // Block i+1 cannot start until block i's pipeline is fully acked.
+    tr.cause(prev_block, block_span, "pipeline");
+  }
+  auto next = [this, path, index, client, trace_lane, block_span,
+               on_complete = std::move(on_complete)]() mutable {
+    if (trace_lane >= 0) cloud_.engine().tracer().end(kHdfsPid, trace_lane);
+    write_block(path, index + 1, client, std::move(on_complete), trace_lane, block_span);
   };
   // The pipeline streams: client -> r0 -> r1 -> r2 while each replica spools
   // to its (NFS-backed) disk. Stages overlap, so we model them as concurrent
@@ -120,6 +158,8 @@ void HdfsCluster::write_block(const std::string& path, std::size_t index, virt::
   auto latch = sim::Latch::create(2 * hops, std::move(next));
   const std::string key = path + "#" + std::to_string(block.index);
   virt::VmId prev = client;
+  // Flows started inside the block span belong to it causally.
+  obs::AmbientCause amb(tr, block_span != 0 ? block_span : tr.ambient());
   for (virt::VmId replica : block.replicas) {
     cloud_.vm_transfer(prev, replica, block.bytes, [latch] { latch->arrive(); });
     cloud_.disk_write(replica, block.bytes, [latch] { latch->arrive(); }, 1.0, key);

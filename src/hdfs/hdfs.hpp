@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/rng.hpp"
 #include "virt/cloud.hpp"
 
@@ -25,6 +26,14 @@ struct HdfsConfig {
 /// read, and the NFS-backed virtual disks underneath every datanode.
 class HdfsCluster {
  public:
+  /// Trace process for HDFS write-pipeline spans. Each write_file claims a
+  /// lane under this pid: a root "hdfs_write:<path>" span with one
+  /// "block-<i>" child per block, chained by "pipeline" cause edges (block
+  /// i+1 starts when block i's pipeline is fully acked). The root span is
+  /// additionally cause-linked from the tracer's ambient span (the commit
+  /// span of the task that wrote the file).
+  static constexpr int kHdfsPid = 9997;
+
   struct BlockInfo {
     int index = 0;
     double bytes = 0.0;
@@ -99,8 +108,13 @@ class HdfsCluster {
   };
 
   std::vector<virt::VmId> choose_pipeline(virt::VmId writer, int replication);
+  /// `trace_lane` < 0 means untraced; `prev_block` is the preceding block's
+  /// span for the "pipeline" cause chain (0 for the first block).
   void write_block(const std::string& path, std::size_t index, virt::VmId client,
-                   std::function<void()> on_complete);
+                   std::function<void()> on_complete, int trace_lane,
+                   obs::SpanId prev_block);
+  int acquire_write_lane();
+  void release_write_lane(int lane);
   void read_block_seq(const std::string& path, std::size_t index, virt::VmId client,
                       std::function<void()> on_complete);
 
@@ -113,6 +127,8 @@ class HdfsCluster {
   // scans iterate the namespace, and the traffic they start must be ordered
   // identically on every run (determinism contract, DESIGN.md §9).
   std::map<std::string, FileMeta> files_;
+  std::vector<int> free_write_lanes_;
+  int next_write_lane_ = 0;
   double bytes_written_ = 0.0;
   double bytes_read_ = 0.0;
   obs::Counter* m_blocks_read_;

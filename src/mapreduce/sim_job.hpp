@@ -47,6 +47,11 @@ struct SimJobSpec {
   bool map_output_to_hdfs = false;
   std::string output_path = "";  ///< HDFS path prefix for outputs
 
+  /// SLO deadline on end-to-end latency (submit → finish), in simulated
+  /// seconds; 0 disables. A completed job exceeding it bumps the
+  /// mr.queue.<queue>.slo_missed counter.
+  double deadline_seconds = 0.0;
+
   double shuffle_bytes(std::size_t m, std::size_t r) const {
     if (!shuffle_matrix.empty()) return shuffle_matrix[m][r];
     if (reduces.empty()) return 0.0;

@@ -75,6 +75,12 @@ obs::Counter* SimulatedJobRunner::queue_counter(const ActiveJob& job, const char
   return cloud_.engine().metrics().counter("mr.queue." + job.spec.queue + "." + what);
 }
 
+obs::Histogram* SimulatedJobRunner::queue_histogram(const ActiveJob& job, const char* what) {
+  return cloud_.engine().metrics().histogram(
+      "mr.queue." + job.spec.queue + "." + what,
+      obs::Histogram::exponential_buckets(4.0, 2.0, 14));
+}
+
 SimulatedJobRunner::~SimulatedJobRunner() {
   for (auto& ev : heartbeat_events_) {
     if (ev.valid()) cloud_.engine().cancel(ev);
@@ -149,6 +155,13 @@ void SimulatedJobRunner::submit(SimJobSpec spec, std::function<void(const JobTim
   for (std::size_t m = 0; m < job->spec.maps.size(); ++m) job->pending_maps.push_back(m);
   if (tracer().enabled()) {
     tracer().instant(kJobTrackerPid, 0, "submit:" + job->spec.name, "job");
+    // Job root span on its own JobTracker lane: covers [submitted,
+    // finished] and anchors the "dispatch" cause edges of every task
+    // attempt. The critical-path analyzer keys on cat "job".
+    tracer().set_thread_name(kJobTrackerPid, static_cast<int>(job->id),
+                             "job:" + job->spec.name);
+    job->root_span = tracer().begin(kJobTrackerPid, static_cast<int>(job->id),
+                                    "job:" + job->spec.name, "job", job->id);
   }
   jobs_.push_back(std::move(job));
   g_jobs_running_->set(static_cast<double>(jobs_.size()));
@@ -315,7 +328,7 @@ void SimulatedJobRunner::maybe_assign_map(std::size_t i) {
   job.timeline.maps[m].vm = tr.vm;
   job.timeline.maps[m].assigned = cloud_.engine().now();
   arm_map_watchdog(job, m, i, job.maps[m].attempt, 0);
-  run_map(job, m, i, job.maps[m].attempt, job.maps[m].tid[0]);
+  run_map(job, m, i, job.maps[m].attempt, 0, job.maps[m].tid[0]);
 }
 
 void SimulatedJobRunner::maybe_speculate(std::size_t i) {
@@ -353,7 +366,7 @@ void SimulatedJobRunner::maybe_speculate(std::size_t i) {
       // The duplicate races the original under the same attempt number; the
       // first finisher wins and the loser's chain is invalidated.
       arm_map_watchdog(job, m, i, ms.attempt, 1);
-      run_map(job, m, i, ms.attempt, ms.tid[1]);
+      run_map(job, m, i, ms.attempt, 1, ms.tid[1]);
       return;  // at most one speculative launch per heartbeat
     }
   }
@@ -389,17 +402,20 @@ void SimulatedJobRunner::maybe_assign_reduce(std::size_t i) {
 }
 
 void SimulatedJobRunner::run_map(ActiveJob& job0, std::size_t m, std::size_t i, int attempt,
-                                 int tid) {
+                                 int slot, int tid) {
   const auto id = job0.id;
   const virt::VmId vm = trackers_[i].vm;
   auto G = [this, id, m, attempt](JobFn fn) { return map_guard(id, m, attempt, std::move(fn)); };
   m_map_attempts_->inc();
   const int pid = static_cast<int>(vm);
   if (tracer().enabled()) {
-    tracer().begin(pid, tid,
-                   "map-" + std::to_string(m) +
-                       (attempt > 0 ? "/a" + std::to_string(attempt) : ""),
-                   "map");
+    const obs::SpanId task_span =
+        tracer().begin(pid, tid,
+                       "map-" + std::to_string(m) +
+                           (attempt > 0 ? "/a" + std::to_string(attempt) : ""),
+                       "map", id);
+    job0.maps[m].span[slot] = task_span;
+    tracer().cause(job0.root_span, task_span, "dispatch");
   }
 
   // 1. child JVM spawn: fixed exec latency plus guest CPU work (the CPU
@@ -433,7 +449,7 @@ void SimulatedJobRunner::run_map(ActiveJob& job0, std::size_t m, std::size_t i, 
           if (mt3.output_bytes <= 0.0) {
             done();
           } else if (job4.spec.map_output_to_hdfs) {
-            tracer().begin(pid, tid, "commit", "map");
+            const obs::SpanId commit_span = tracer().begin(pid, tid, "commit", "map");
             const int attempt_now = job4.maps[m].attempt;
             const std::string path =
                 job4.spec.output_path + "/map-" + std::to_string(m) +
@@ -444,6 +460,8 @@ void SimulatedJobRunner::run_map(ActiveJob& job0, std::size_t m, std::size_t i, 
               // place and its commit is a no-op rename (OutputCommitter).
               done();
             } else {
+              // The HDFS write pipeline cause-links its root span to us.
+              obs::AmbientCause amb(tracer(), commit_span);
               hdfs_.write_file(path, mt3.output_bytes, vm, std::move(done),
                                config_.output_replication);
             }
@@ -470,7 +488,9 @@ void SimulatedJobRunner::run_map(ActiveJob& job0, std::size_t m, std::size_t i, 
       });
       // 3. input: HDFS block or whole file (locality recorded) or raw
       // local-disk bytes.
-      tracer().begin(pid, tid, "read", "map");
+      const obs::SpanId read_span = tracer().begin(pid, tid, "read", "map");
+      // Flows the read starts synchronously link back to the read span.
+      obs::AmbientCause amb(tracer(), read_span);
       if (!mt.input_path.empty()) {
         const auto& block =
             hdfs_.blocks(mt.input_path)[static_cast<std::size_t>(std::max(0, mt.block_index))];
@@ -545,6 +565,8 @@ void SimulatedJobRunner::finish_map(ActiveJob& job, std::size_t m, std::size_t i
   };
   const int my_tid = (ms.tracker == i) ? ms.tid[0] : ms.tid[1];
   const int other_tid = (ms.tracker == i) ? ms.tid[1] : ms.tid[0];
+  // The winner's span becomes the source of this map's shuffle edges.
+  ms.done_span = (ms.tracker == i) ? ms.span[0] : ms.span[1];
   release(i, my_tid);
   const std::size_t other = (ms.tracker == i) ? ms.spec_tracker : ms.tracker;
   if (other != kNone && other != i) {
@@ -554,6 +576,7 @@ void SimulatedJobRunner::finish_map(ActiveJob& job, std::size_t m, std::size_t i
   ms.tracker = i;
   ms.spec_tracker = kNone;
   ms.tid[0] = ms.tid[1] = -1;
+  ms.span[0] = ms.span[1] = 0;
 
   job.timeline.maps[m].vm = trackers_[i].vm;
   job.timeline.maps[m].finished = cloud_.engine().now();
@@ -574,10 +597,13 @@ void SimulatedJobRunner::run_reduce(ActiveJob& job0, std::size_t r, std::size_t 
   m_reduce_attempts_->inc();
   const int pid = static_cast<int>(vm);
   if (tracer().enabled()) {
-    tracer().begin(pid, tid,
-                   "reduce-" + std::to_string(r) +
-                       (attempt > 0 ? "/a" + std::to_string(attempt) : ""),
-                   "reduce");
+    const obs::SpanId task_span =
+        tracer().begin(pid, tid,
+                       "reduce-" + std::to_string(r) +
+                           (attempt > 0 ? "/a" + std::to_string(attempt) : ""),
+                       "reduce", id);
+    job0.reduces[r].span = task_span;
+    tracer().cause(job0.root_span, task_span, "dispatch");
   }
   cloud_.engine().schedule_in(config_.task_start_latency, G([this, r, vm, pid, tid,
                                                              G](ActiveJob&) {
@@ -589,8 +615,9 @@ void SimulatedJobRunner::run_reduce(ActiveJob& job0, std::size_t r, std::size_t 
     localize(job, vm, G([this, r, pid, tid](ActiveJob& job2) {
       tracer().end(pid, tid);  // localize
       // The shuffle span runs from fetch-readiness to the last partition's
-      // arrival; maybe_merge closes it.
-      tracer().begin(pid, tid, "shuffle", "reduce");
+      // arrival; maybe_merge closes it. It is the `to` of the "shuffle"
+      // cause edges recorded as partitions land.
+      job2.reduces[r].shuffle_span = tracer().begin(pid, tid, "shuffle", "reduce");
       job2.timeline.reduces[r].started = cloud_.engine().now();
       job2.reduces[r].ready = true;
       job2.reduces[r].last_progress = cloud_.engine().now();
@@ -612,6 +639,7 @@ void SimulatedJobRunner::mark_map_lost(ActiveJob& job, std::size_t m) {
   ++ms.attempt;
   ms.tracker = kNone;
   ms.spec_tracker = kNone;
+  ms.done_span = 0;  // the re-run's winner sources future shuffle edges
   cancel_map_watchdogs(job, m);
   ++reexecuted_maps_;
   m_reexecutions_->inc();
@@ -642,7 +670,10 @@ void SimulatedJobRunner::pump_fetches(ActiveJob& job, std::size_t r) {
       continue;
     }
     ++rs.copiers;
-    auto arrived = reduce_guard(id, r, rs.attempt, [this, m, r, bytes](ActiveJob& job2) {
+    const double fetch_start = cloud_.engine().now();
+    const obs::SpanId map_span = job.maps[m].done_span;
+    auto arrived = reduce_guard(id, r, rs.attempt, [this, m, r, bytes, fetch_start,
+                                                    map_span](ActiveJob& job2) {
       ReduceState& rs2 = job2.reduces[r];
       --rs2.copiers;
       if (!rs2.fetched[m]) {
@@ -652,6 +683,9 @@ void SimulatedJobRunner::pump_fetches(ActiveJob& job, std::size_t r) {
         job2.timeline.shuffle_fetched_bytes += bytes;
         m_shuffle_bytes_->add(bytes);
         rs2.last_progress = cloud_.engine().now();
+        // Map output → shuffle arrival: the edge the critical-path walker
+        // follows back to the last-arriving map attempt.
+        tracer().cause(map_span, rs2.shuffle_span, "shuffle", fetch_start);
         maybe_merge(job2, r);
       }
       pump_fetches(job2, r);
@@ -665,6 +699,8 @@ void SimulatedJobRunner::pump_fetches(ActiveJob& job, std::size_t r) {
     // latch-joined) — so shuffle cost is network-topology-bound, exactly the
     // term the cross-domain placement inflates.
     auto latch = sim::Latch::create(2, std::move(arrived));
+    // Fetch flows link back to this reducer's shuffle span.
+    obs::AmbientCause amb(tracer(), rs.shuffle_span);
     cloud_.disk_read(map_vm, bytes, [latch] { latch->arrive(); }, 1.0, map_output_key(job, m));
     cloud_.vm_transfer(map_vm, red_vm, bytes, [latch] { latch->arrive(); });
   }
@@ -679,11 +715,14 @@ void SimulatedJobRunner::maybe_merge(ActiveJob& job, std::size_t r) {
   const int pid = static_cast<int>(vm);
   const int tid = rs.tid;
   const double fetched = rs.fetched_bytes;
+  const obs::SpanId shuffle_span = rs.shuffle_span;
   tracer().end(pid, tid);  // shuffle
 
-  auto compute = reduce_guard(id, r, attempt, [this, r, vm, pid, tid, id,
-                                               attempt](ActiveJob& job2) {
-    tracer().begin(pid, tid, "compute", "reduce");
+  auto compute = reduce_guard(id, r, attempt, [this, r, vm, pid, tid, id, attempt,
+                                               shuffle_span](ActiveJob& job2) {
+    const obs::SpanId compute_span = tracer().begin(pid, tid, "compute", "reduce");
+    // The completed shuffle made the reduce runnable.
+    tracer().cause(shuffle_span, compute_span, "reduce-start");
     cloud_.run_compute(
         vm, job2.spec.reduces[r].cpu_seconds,
         reduce_guard(id, r, attempt, [this, r, vm, pid, tid, id, attempt](ActiveJob& job3) {
@@ -696,10 +735,12 @@ void SimulatedJobRunner::maybe_merge(ActiveJob& job, std::size_t r) {
           } else {
             // The commit span (and the enclosing reduce span) are closed by
             // the slot release in finish_reduce via end_all.
-            tracer().begin(pid, tid, "commit", "reduce");
+            const obs::SpanId commit_span = tracer().begin(pid, tid, "commit", "reduce");
             const std::string path =
                 job3.spec.output_path + "/part-" + std::to_string(r) +
                 (attempt > 0 ? "-a" + std::to_string(attempt) : "");
+            // The HDFS write pipeline cause-links its root span to us.
+            obs::AmbientCause amb(tracer(), commit_span);
             hdfs_.write_file(path, out, vm, std::move(done), config_.output_replication);
           }
         }));
@@ -756,9 +797,19 @@ void SimulatedJobRunner::maybe_finish_job(ActiveJob& job) {
   m_jobs_completed_->inc();
   queue_counter(job, "jobs_completed")->inc();
   job.timeline.finished = cloud_.engine().now();
-  h_job_seconds_->observe(job.timeline.elapsed());
+  const double elapsed = job.timeline.elapsed();
+  h_job_seconds_->observe(elapsed);
+  // Per-tenant SLO accounting: the queue is the tenant. The counter is
+  // created even when nothing missed, so reports and bench gates can rely
+  // on the row existing.
+  queue_histogram(job, "job_seconds")->observe(elapsed);
+  obs::Counter* slo_missed = queue_counter(job, "slo_missed");
+  if (job.spec.deadline_seconds > 0.0 && elapsed > job.spec.deadline_seconds) {
+    slo_missed->inc();
+  }
   if (tracer().enabled()) {
     tracer().instant(kJobTrackerPid, 0, "finish:" + job.spec.name, "job");
+    tracer().end(kJobTrackerPid, static_cast<int>(job.id));  // job root span
   }
   const auto id = job.id;
   auto timeline = std::move(job.timeline);
@@ -801,6 +852,7 @@ void SimulatedJobRunner::map_timeout(ActiveJob& job, std::size_t m, std::size_t 
     --job.running_maps;
   }
   ms.tid[slot] = -1;
+  ms.span[slot] = 0;
   if (slot == 0) ms.tracker = kNone;
   else ms.spec_tracker = kNone;
   const std::size_t survivor = (slot == 0) ? ms.spec_tracker : ms.tracker;
@@ -847,6 +899,8 @@ void SimulatedJobRunner::reduce_timeout(ActiveJob& job, std::size_t r, int attem
     --job.running_reduces;
   }
   rs.tid = -1;
+  rs.span = 0;
+  rs.shuffle_span = 0;
   ++rs.attempt;
   rs.assigned = false;
   rs.ready = false;
@@ -871,6 +925,9 @@ void SimulatedJobRunner::fail_all_jobs() {
     queue_counter(job, "jobs_failed")->inc();
     job.timeline.finished = cloud_.engine().now();
     job.timeline.failed = true;
+    if (tracer().enabled()) {
+      tracer().end_all(kJobTrackerPid, static_cast<int>(job.id));  // job root span
+    }
     const auto id = job.id;
     auto timeline = std::move(job.timeline);
     auto on_done = std::move(job.on_done);
@@ -905,11 +962,13 @@ void SimulatedJobRunner::crash_job_maps(ActiveJob& job, std::size_t dead, virt::
       if (was_primary) {
         ms.tracker = kNone;
         ms.tid[0] = -1;
+        ms.span[0] = 0;
         --job.running_maps;
       }
       if (was_spec) {
         ms.spec_tracker = kNone;
         ms.tid[1] = -1;
+        ms.span[1] = 0;
         --job.running_maps;
       }
       const std::size_t survivor = was_primary ? ms.spec_tracker : ms.tracker;
@@ -921,6 +980,8 @@ void SimulatedJobRunner::crash_job_maps(ActiveJob& job, std::size_t dead, virt::
     ms.tracker = kNone;
     ms.spec_tracker = kNone;
     ms.tid[0] = ms.tid[1] = -1;
+    ms.span[0] = ms.span[1] = 0;
+    ms.done_span = 0;
     cancel_map_watchdogs(job, m);
     job.pending_maps.push_back(m);
   }
@@ -936,6 +997,8 @@ void SimulatedJobRunner::crash_job_reduces(ActiveJob& job, std::size_t dead) {
       rs.watchdog = {};
     }
     rs.tid = -1;
+    rs.span = 0;
+    rs.shuffle_span = 0;
     ++rs.attempt;
     rs.assigned = false;
     rs.ready = false;

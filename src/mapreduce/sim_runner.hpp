@@ -9,6 +9,7 @@
 #include "mapreduce/hadoop_config.hpp"
 #include "mapreduce/scheduler.hpp"
 #include "mapreduce/sim_job.hpp"
+#include "obs/trace.hpp"
 #include "virt/cloud.hpp"
 
 namespace vhadoop::mapreduce {
@@ -38,7 +39,11 @@ namespace vhadoop::mapreduce {
 /// Fair and Capacity interleave jobs for multi-tenant traffic.
 class SimulatedJobRunner {
  public:
-  /// Trace lane for JobTracker-level instants (job submit/finish markers).
+  /// Trace process for JobTracker-level recording: submit/finish instants
+  /// go on tid 0, and every job gets a root span (cat "job") on its own
+  /// lane, tid = job id, spanning [submitted, finished]. Task attempt spans
+  /// are cause-linked from the root ("dispatch" edges), so the critical-path
+  /// analyzer (obs/critpath.*) can attribute each job's makespan.
   static constexpr int kJobTrackerPid = 9998;
 
   SimulatedJobRunner(virt::Cloud& cloud, hdfs::HdfsCluster& hdfs, HadoopConfig config,
@@ -91,6 +96,10 @@ class SimulatedJobRunner {
     virt::VmId output_vm = 0;          ///< where the winning spill lives
     sim::Engine::EventId watchdog[2];  ///< per-slot task timeout (0=primary)
     int tid[2] = {-1, -1};             ///< trace lane per attempt slot
+    obs::SpanId span[2] = {0, 0};      ///< task attempt span per slot
+    /// Winning attempt's span: the `from` of the "shuffle" cause edges the
+    /// reducers record when this map's partition arrives.
+    obs::SpanId done_span = 0;
   };
 
   struct ReduceState {
@@ -108,7 +117,9 @@ class SimulatedJobRunner {
     int copiers = 0;
     double last_progress = 0.0;        ///< refreshed by shuffle arrivals
     sim::Engine::EventId watchdog;
-    int tid = -1;  ///< trace lane of the current attempt
+    int tid = -1;                  ///< trace lane of the current attempt
+    obs::SpanId span = 0;          ///< current attempt's task span
+    obs::SpanId shuffle_span = 0;  ///< current attempt's shuffle span
   };
 
   /// One in-flight job: the per-job state machine that used to be the whole
@@ -129,6 +140,7 @@ class SimulatedJobRunner {
     int running_maps = 0;     ///< live map attempts (scheduler share basis)
     int running_reduces = 0;  ///< live reduce attempts
     bool started = false;     ///< first slot granted (queue-wait observed)
+    obs::SpanId root_span = 0;  ///< job span on the JobTracker lane
     /// Delay scheduling: when this job first got skipped for lacking a
     /// data-local map on an offered VM (<0 = not currently waiting).
     double locality_wait_since = -1.0;
@@ -157,7 +169,9 @@ class SimulatedJobRunner {
   void maybe_assign_map(std::size_t tracker_idx);
   void maybe_speculate(std::size_t tracker_idx);
   void maybe_assign_reduce(std::size_t tracker_idx);
-  void run_map(ActiveJob& job, std::size_t m, std::size_t tracker_idx, int attempt, int tid);
+  /// `slot` distinguishes the primary (0) and speculative (1) attempt.
+  void run_map(ActiveJob& job, std::size_t m, std::size_t tracker_idx, int attempt, int slot,
+               int tid);
   void finish_map(ActiveJob& job, std::size_t m, std::size_t tracker_idx);
   void run_reduce(ActiveJob& job, std::size_t r, std::size_t tracker_idx, int attempt,
                   int tid);
@@ -201,6 +215,9 @@ class SimulatedJobRunner {
   /// Free the lane and close any spans a dropped chain left open on it.
   void release_slot(std::size_t tracker_idx, int tid);
   obs::Counter* queue_counter(const ActiveJob& job, const char* what);
+  /// Per-tenant latency histogram (`mr.queue.<queue>.<what>`), created on
+  /// first use with the same buckets as mr.job_seconds.
+  obs::Histogram* queue_histogram(const ActiveJob& job, const char* what);
 
   virt::Cloud& cloud_;
   hdfs::HdfsCluster& hdfs_;

@@ -1,5 +1,6 @@
 #include "net/fabric.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -13,7 +14,23 @@ Fabric::Fabric(sim::Engine& engine, sim::FluidModel& model, NetConfig config)
       bytes_requested_(engine.metrics().counter("net.bytes_requested")),
       flows_loopback_(engine.metrics().counter("net.flows_loopback")),
       flows_bridge_(engine.metrics().counter("net.flows_bridge")),
-      flows_wire_(engine.metrics().counter("net.flows_wire")) {}
+      flows_wire_(engine.metrics().counter("net.flows_wire")) {
+  engine.tracer().set_process_name(kNetPid, "fabric");
+}
+
+int Fabric::acquire_flow_lane() {
+  if (!free_flow_lanes_.empty()) {
+    // Lowest lane first: lane assignment stays deterministic and the trace
+    // view stays compact.
+    const auto it = std::min_element(free_flow_lanes_.begin(), free_flow_lanes_.end());
+    const int lane = *it;
+    free_flow_lanes_.erase(it);
+    return lane;
+  }
+  return next_flow_lane_++;
+}
+
+void Fabric::release_flow_lane(int lane) { free_flow_lanes_.push_back(lane); }
 
 Fabric::NodeId Fabric::add_node(const std::string& name) {
   Node n;
@@ -49,6 +66,21 @@ void Fabric::transfer(TransferSpec spec) {
 
   const bool loopback = spec.src.node == spec.dst.node && spec.src.vm == spec.dst.vm &&
                         spec.src.vm >= 0;
+  // Flow span + cause edge from the driving (ambient) span. Loopback flows
+  // are in-VM copies — high-volume, never network-bound — so only bridge
+  // and wire flows are recorded.
+  obs::Tracer& tr = engine_.tracer();
+  if (tr.enabled() && !loopback) {
+    const int lane = acquire_flow_lane();
+    const obs::SpanId flow = tr.begin(
+        kNetPid, lane, nodes_[spec.src.node].name + ">" + nodes_[spec.dst.node].name, "net");
+    tr.cause(tr.ambient(), flow, "flow");
+    act.on_complete = [this, lane, done = std::move(act.on_complete)] {
+      engine_.tracer().end(kNetPid, lane);
+      release_flow_lane(lane);
+      if (done) done();
+    };
+  }
   flows_started_->inc();
   bytes_requested_->add(spec.bytes);
   double path_cap = std::numeric_limits<double>::infinity();

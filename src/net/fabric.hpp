@@ -40,6 +40,12 @@ class Fabric {
  public:
   using NodeId = std::size_t;
 
+  /// Trace process for network flow spans. When the tracer is enabled,
+  /// every non-loopback transfer records a span on its own lane under this
+  /// pid, cause-linked ("flow") to the tracer's ambient span — the
+  /// activity (shuffle fetch, HDFS block) that started the flow.
+  static constexpr int kNetPid = 9996;
+
   struct Endpoint {
     NodeId node = 0;
     /// True when the traffic terminates inside a guest VM (virtio/netfront
@@ -94,10 +100,17 @@ class Fabric {
     sim::FluidModel::ResourceId bridge;
   };
 
+  /// Claim/recycle a trace lane under kNetPid (flows overlap freely, so
+  /// each needs its own lane for span nesting to hold).
+  int acquire_flow_lane();
+  void release_flow_lane(int lane);
+
   sim::Engine& engine_;
   sim::FluidModel& model_;
   NetConfig config_;
   std::vector<Node> nodes_;
+  std::vector<int> free_flow_lanes_;
+  int next_flow_lane_ = 0;
   obs::Counter* flows_started_;
   obs::Counter* bytes_requested_;
   obs::Counter* flows_loopback_;

@@ -1,0 +1,301 @@
+#include "obs/critpath.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <sstream>
+
+namespace vhadoop::obs {
+
+SpanGraph SpanGraph::from_tracer(const Tracer& t) {
+  SpanGraph g;
+  g.spans = t.spans();
+  g.edges = t.cause_edges();
+  for (const Tracer::Span& s : g.spans) {
+    g.final_ts = std::max(g.final_ts, std::max(s.t0, s.t1));
+  }
+  for (Tracer::Span& s : g.spans) {
+    if (!s.closed()) s.t1 = g.final_ts;
+  }
+  return g;
+}
+
+const Tracer::Span* SpanGraph::find(SpanId id) const {
+  if (index_.empty() && !spans.empty()) {
+    for (std::size_t i = 0; i < spans.size(); ++i) index_[spans[i].id] = i;
+  }
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &spans[it->second];
+}
+
+const std::vector<std::string>& critpath_categories() {
+  static const std::vector<std::string> kCategories = {
+      "map-compute",   "shuffle-network", "spill/merge",    "reduce-compute",
+      "scheduler-queue", "hdfs-io",       "straggler-wait",
+  };
+  return kCategories;
+}
+
+double JobCriticalPath::segment_sum() const {
+  double s = 0.0;
+  for (const CritSegment& seg : segments) s += seg.seconds();
+  return s;
+}
+
+bool JobCriticalPath::tiles_exactly() const {
+  if (segments.empty()) return makespan() == 0.0;
+  if (segments.front().t0 != submitted) return false;
+  if (segments.back().t1 != finished) return false;
+  for (std::size_t i = 1; i < segments.size(); ++i) {
+    if (segments[i].t0 != segments[i - 1].t1) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Category of a span when it is the innermost tile on the path.
+std::string leaf_category(const Tracer::Span& s) {
+  const std::string& n = s.name;
+  if (n == "compute") return s.cat == "reduce" ? "reduce-compute" : "map-compute";
+  if (n == "read" || n == "localize" || n == "commit") return "hdfs-io";
+  if (n == "spill" || n == "merge") return "spill/merge";
+  if (n == "jvm_spawn") return "scheduler-queue";  // task-launch overhead
+  if (n == "shuffle") return "shuffle-network";
+  if (s.cat == "hdfs") return "hdfs-io";
+  if (s.cat == "net") return "shuffle-network";
+  if (s.cat == "map") return "map-compute";
+  if (s.cat == "reduce") return "reduce-compute";
+  return "scheduler-queue";
+}
+
+/// Category of dead time *inside* a span, between its children: engine
+/// dispatch latency for task/job spans, the span's own nature otherwise.
+std::string gap_category(const Tracer::Span& s) {
+  if (s.cat == "job" || s.name.rfind("map-", 0) == 0 || s.name.rfind("reduce-", 0) == 0) {
+    return "scheduler-queue";
+  }
+  return leaf_category(s);
+}
+
+/// "map-3/a1" -> "map-3": the task identity shared by all attempts.
+std::string attempt_base(const std::string& name) {
+  const std::size_t slash = name.find('/');
+  return slash == std::string::npos ? name : name.substr(0, slash);
+}
+
+struct JobWalker {
+  const SpanGraph& g;
+  std::uint64_t job;
+  double submitted;
+  // Children (same effective job) per parent, sorted by (t0, id).
+  std::map<SpanId, std::vector<const Tracer::Span*>> children;
+  // Incoming "shuffle" cause edges per target span.
+  std::map<SpanId, std::vector<const Tracer::CauseEdge*>> shuffle_in;
+  // Earliest attempt span per task base name (straggler attribution).
+  std::map<std::string, const Tracer::Span*> first_attempt;
+  std::set<SpanId> visited;
+  std::vector<CritSegment> out;  ///< reverse chronological while walking
+
+  void emit(double t0, double t1, const std::string& cat, const std::string& span) {
+    if (t1 <= t0) return;  // zero-length tiles add nothing and break no chain
+    out.push_back({t0, t1, cat, span});
+  }
+
+  /// Walk span `s` backwards from `upto` (<= s.t1), emitting tiles. Returns
+  /// the time where this chain starts — usually s.t0, earlier if a cause
+  /// edge jumped to an older span (the critical shuffle source).
+  double walk(const Tracer::Span& s, double upto) {
+    if (!visited.insert(s.id).second) {
+      // Defensive: a cyclic (malformed) graph degrades to a plain tile
+      // instead of recursing forever.
+      emit(s.t0, upto, leaf_category(s), s.name);
+      return s.t0;
+    }
+    auto cit = children.find(s.id);
+    if (cit != children.end()) {
+      const auto& kids = cit->second;
+      for (auto k = kids.rbegin(); k != kids.rend(); ++k) {
+        const Tracer::Span& c = **k;
+        if (c.t1 > upto) continue;  // beyond the cursor: not on the path
+        emit(c.t1, upto, gap_category(s), s.name);
+        upto = walk(c, c.t1);
+        if (upto <= s.t0) return upto;  // the chain escaped this span
+      }
+    }
+    // Shuffle tiles end at the critical (last-arriving) map's finish; the
+    // rest of the wait *is* that map running, so the walk jumps into it.
+    auto eit = shuffle_in.find(s.id);
+    if (eit != shuffle_in.end()) {
+      const Tracer::CauseEdge* best = nullptr;
+      for (const Tracer::CauseEdge* e : eit->second) {
+        if (e->at > upto) continue;
+        if (!best || e->at > best->at || (e->at == best->at && e->from > best->from)) {
+          best = e;
+        }
+      }
+      const Tracer::Span* m = best ? g.find(best->from) : nullptr;
+      if (m && m->t1 > s.t0 && m->t1 <= upto) {
+        emit(m->t1, upto, "shuffle-network", s.name);
+        return straggler_adjust(*m, walk(*m, m->t1));
+      }
+    }
+    emit(s.t0, upto, leaf_category(s), s.name);
+    return s.t0;
+  }
+
+  /// If `task` is a re-executed/speculative attempt, the window since the
+  /// original attempt began was lost to the straggler: charge it.
+  double straggler_adjust(const Tracer::Span& task, double chain_start) {
+    auto it = first_attempt.find(attempt_base(task.name));
+    if (it == first_attempt.end()) return chain_start;
+    const Tracer::Span* fa = it->second;
+    if (fa->id == task.id || fa->t0 >= chain_start) return chain_start;
+    const double from = std::max(fa->t0, submitted);
+    emit(from, chain_start, "straggler-wait", task.name);
+    return from;
+  }
+};
+
+}  // namespace
+
+std::vector<JobCriticalPath> analyze_critical_paths(const SpanGraph& g) {
+  // Effective job of every span: explicit tag, else inherited from the
+  // parent. Tracer ids are begin-ordered so parents resolve before
+  // children; loaded graphs with exotic id orders fall back to "untagged".
+  std::map<SpanId, std::uint64_t> eff_job;
+  for (const Tracer::Span& s : g.spans) {
+    std::uint64_t j = s.job;
+    if (j == 0 && s.parent != 0) {
+      auto it = eff_job.find(s.parent);
+      if (it != eff_job.end()) j = it->second;
+    }
+    eff_job[s.id] = j;
+  }
+
+  std::vector<JobCriticalPath> out;
+  for (const Tracer::Span& root : g.spans) {
+    if (root.cat != "job" || root.job == 0) continue;
+
+    JobCriticalPath cp;
+    cp.job = root.job;
+    cp.name = root.name.rfind("job:", 0) == 0 ? root.name.substr(4) : root.name;
+    cp.submitted = root.t0;
+    cp.finished = root.t1;
+    for (const std::string& cat : critpath_categories()) cp.attribution[cat] = 0.0;
+
+    JobWalker w{g, root.job, cp.submitted, {}, {}, {}, {}, {}};
+    const Tracer::Span* sink = nullptr;
+    for (const Tracer::Span& s : g.spans) {
+      if (eff_job.at(s.id) != root.job || s.id == root.id) continue;
+      if (s.parent != 0) {
+        w.children[s.parent].push_back(&s);
+      } else {
+        // Task attempt spans sit at lane top level. Track the earliest
+        // attempt per task, and the last finisher overall (the sink).
+        auto [it, fresh] = w.first_attempt.emplace(attempt_base(s.name), &s);
+        if (!fresh && (s.t0 < it->second->t0 ||
+                       (s.t0 == it->second->t0 && s.id < it->second->id))) {
+          it->second = &s;
+        }
+        if (!sink || s.t1 > sink->t1 || (s.t1 == sink->t1 && s.id > sink->id)) {
+          sink = &s;
+        }
+      }
+    }
+    for (auto& [parent, kids] : w.children) {
+      std::sort(kids.begin(), kids.end(),
+                [](const Tracer::Span* a, const Tracer::Span* b) {
+                  if (a->t0 != b->t0) return a->t0 < b->t0;
+                  return a->id < b->id;
+                });
+    }
+    for (const Tracer::CauseEdge& e : g.edges) {
+      if (e.type == "shuffle") w.shuffle_in[e.to].push_back(&e);
+    }
+
+    if (sink) {
+      double cursor = cp.finished;
+      if (sink->t1 < cursor) {
+        w.emit(sink->t1, cursor, "scheduler-queue", root.name);
+        cursor = sink->t1;
+      }
+      const double cs = w.straggler_adjust(*sink, w.walk(*sink, cursor));
+      w.emit(cp.submitted, cs, "scheduler-queue", "");
+    } else {
+      w.emit(cp.submitted, cp.finished, "scheduler-queue", "");
+    }
+    std::reverse(w.out.begin(), w.out.end());
+    cp.segments = std::move(w.out);
+    for (const CritSegment& seg : cp.segments) cp.attribution[seg.category] += seg.seconds();
+    out.push_back(std::move(cp));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const JobCriticalPath& a, const JobCriticalPath& b) { return a.job < b.job; });
+  return out;
+}
+
+namespace {
+
+void put_str(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string critical_paths_to_json(const std::vector<JobCriticalPath>& jobs) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"schema\":\"vhadoop-critpath-v1\",\"jobs\":[";
+  bool jfirst = true;
+  for (const JobCriticalPath& cp : jobs) {
+    if (!jfirst) os << ',';
+    jfirst = false;
+    os << "{\"job\":" << cp.job << ",\"name\":";
+    put_str(os, cp.name);
+    os << ",\"submitted\":" << cp.submitted << ",\"finished\":" << cp.finished
+       << ",\"makespan\":" << cp.makespan() << ",\"segment_sum\":" << cp.segment_sum()
+       << ",\"exact_tiling\":" << (cp.tiles_exactly() ? "true" : "false")
+       << ",\"attribution\":{";
+    bool afirst = true;
+    for (const auto& [cat, secs] : cp.attribution) {
+      if (!afirst) os << ',';
+      afirst = false;
+      put_str(os, cat);
+      os << ':' << secs;
+    }
+    os << "},\"segments\":[";
+    bool sfirst = true;
+    for (const CritSegment& seg : cp.segments) {
+      if (!sfirst) os << ',';
+      sfirst = false;
+      os << "{\"t0\":" << seg.t0 << ",\"t1\":" << seg.t1 << ",\"category\":";
+      put_str(os, seg.category);
+      os << ",\"span\":";
+      put_str(os, seg.span);
+      os << '}';
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void record_critpath_metrics(const JobCriticalPath& cp, Registry& reg) {
+  const std::string prefix = "critpath.job" + std::to_string(cp.job) + ".";
+  for (const auto& [cat, secs] : cp.attribution) {
+    std::string key = cat;
+    for (char& c : key) {
+      if (c == '-' || c == '/') c = '_';
+    }
+    reg.gauge(prefix + key + "_seconds")->set(secs);
+  }
+  reg.gauge(prefix + "makespan_seconds")->set(cp.makespan());
+}
+
+}  // namespace vhadoop::obs

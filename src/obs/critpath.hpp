@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace vhadoop::obs {
+
+/// Span graph decoupled from the live Tracer, so the same analyzer runs
+/// in-process (SpanGraph::from_tracer) and offline in tools/trace_query
+/// (graph parsed back from "vhadoop-spans-v1" JSON). Spans are closed:
+/// anything the tracer still had open is clipped to the final timestamp.
+struct SpanGraph {
+  std::vector<Tracer::Span> spans;
+  std::vector<Tracer::CauseEdge> edges;
+  double final_ts = 0.0;
+
+  static SpanGraph from_tracer(const Tracer& t);
+  /// Span by id; nullptr when unknown (ids need not be dense).
+  const Tracer::Span* find(SpanId id) const;
+
+ private:
+  mutable std::map<SpanId, std::size_t> index_;  // lazily built by find()
+};
+
+/// The attribution categories, in report order. Every JobCriticalPath
+/// carries all of them (0.0 when absent) so downstream gating can rely on
+/// the keys existing.
+extern const std::vector<std::string>& critpath_categories();
+
+/// One tile of a job's [submitted, finished] interval. Adjacent segments
+/// share their boundary *exactly* (the same double), so the tiling — not a
+/// floating-point sum — is what reproduces the makespan.
+struct CritSegment {
+  double t0 = 0.0;
+  double t1 = 0.0;
+  std::string category;  ///< one of critpath_categories()
+  std::string span;      ///< name of the span this tile came from ("" = queue)
+  double seconds() const { return t1 - t0; }
+};
+
+/// Per-job critical path: the chain of spans (and the waits between them)
+/// that determined the job's end-to-end latency, tiled into categorized
+/// segments covering [submitted, finished] with no gaps or overlaps.
+struct JobCriticalPath {
+  std::uint64_t job = 0;
+  std::string name;
+  double submitted = 0.0;
+  double finished = 0.0;
+  std::vector<CritSegment> segments;            ///< chronological
+  std::map<std::string, double> attribution;    ///< category -> seconds
+
+  double makespan() const { return finished - submitted; }
+  double segment_sum() const;
+  /// Exact tiling check: first segment starts at `submitted`, last ends at
+  /// `finished`, and every boundary is shared bit-for-bit.
+  bool tiles_exactly() const;
+};
+
+/// Walk the span graph backwards from each job's last-finishing task,
+/// following lane nesting and typed cause edges (shuffle arrivals jump to
+/// the critical map attempt; re-executed attempts charge their lost first
+/// attempt to straggler-wait). Deterministic: ties break on span id.
+/// Jobs are returned in id order.
+std::vector<JobCriticalPath> analyze_critical_paths(const SpanGraph& g);
+
+/// "vhadoop-critpath-v1" JSON report for a set of analyzed jobs.
+std::string critical_paths_to_json(const std::vector<JobCriticalPath>& jobs);
+
+/// Publish one job's attribution as gauges:
+/// critpath.job<id>.<category>_seconds (category sanitized to the metric
+/// naming convention: '-' and '/' become '_').
+void record_critpath_metrics(const JobCriticalPath& cp, Registry& reg);
+
+}  // namespace vhadoop::obs

@@ -46,19 +46,25 @@ void Histogram::observe(double v) {
 }
 
 double Histogram::percentile(double q) const {
-  if (count_ == 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
+  if (count_ == 0) return 0.0;   // empty: well-defined, NaN-free
+  if (q <= 0.0) return min();    // never interpolate below the observed range
+  if (q >= 1.0) return max();
   const double target = q * static_cast<double>(count_);
   std::uint64_t cum = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     cum += counts_[i];
     if (static_cast<double>(cum) < target) continue;
     if (i == bounds_.size()) return max_;  // overflow bucket
+    // The winning bucket has mass (the loop stops at the *first* bucket
+    // whose cumulative count reaches a strictly positive target), so the
+    // interpolation divisor is never zero; hi <= lo only when every
+    // observation in the bucket is one repeated value.
     const double hi = std::min(bounds_[i], max_);
     const double lo = std::max(i == 0 ? 0.0 : bounds_[i - 1], min_);
-    if (counts_[i] == 0 || hi <= lo) return hi;
+    if (hi <= lo) return hi;
     const double into = target - static_cast<double>(cum - counts_[i]);
-    return lo + (hi - lo) * into / static_cast<double>(counts_[i]);
+    const double v = lo + (hi - lo) * into / static_cast<double>(counts_[i]);
+    return std::clamp(v, min_, max_);
   }
   return max_;
 }
@@ -188,6 +194,8 @@ std::string Registry::to_json() const {
     put_number(out, h->percentile(0.50));
     out << ",\"p95\":";
     put_number(out, h->percentile(0.95));
+    out << ",\"p99\":";
+    put_number(out, h->percentile(0.99));
     out << ",\"bounds\":[";
     for (std::size_t i = 0; i < h->bounds().size(); ++i) {
       if (i) out << ',';

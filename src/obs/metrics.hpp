@@ -58,8 +58,11 @@ class Histogram {
   double min() const { return count_ ? min_ : 0.0; }
   double max() const { return count_ ? max_ : 0.0; }
   double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
-  /// Value at quantile q in [0,1]; 0 when empty. Within a bucket the mass is
-  /// assumed uniform; the overflow bucket reports the observed max.
+  /// Value at quantile q. Edge cases are pinned: empty histogram -> 0.0,
+  /// q <= 0 -> min(), q >= 1 -> max(); results are clamped to the observed
+  /// [min, max] so interpolation never extrapolates off the bucket ends.
+  /// Within a bucket the mass is assumed uniform; the overflow bucket
+  /// reports the observed max.
   double percentile(double q) const;
 
   const std::vector<double>& bounds() const { return bounds_; }
@@ -92,7 +95,10 @@ class Registry {
 
   /// Deterministic JSON snapshot (keys sorted by name):
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,
-  ///  max,mean,p50,p95,bounds:[...],counts:[...]}}}
+  ///  max,mean,p50,p95,p99,bounds:[...],counts:[...]}}}
+  /// Bucket bounds and per-bucket counts are included so consumers
+  /// (tools/bench_check, tools/trace_query) can diff distributions, not
+  /// just moments.
   std::string to_json() const;
 
   std::size_t size() const {

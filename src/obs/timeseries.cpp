@@ -1,0 +1,79 @@
+#include "obs/timeseries.hpp"
+
+#include <sstream>
+
+namespace vhadoop::obs {
+
+void TimeSeries::add(const std::string& name, Probe probe, std::size_t capacity) {
+  auto it = series_.find(name);
+  if (it != series_.end()) {
+    it->second.probe = std::move(probe);
+    return;
+  }
+  Series s;
+  s.probe = std::move(probe);
+  s.capacity = capacity == 0 ? 1 : capacity;
+  s.ring.reserve(s.capacity);
+  series_.emplace(name, std::move(s));
+}
+
+void TimeSeries::sample(double now) {
+  for (auto& [name, s] : series_) {
+    const Point p{now, s.probe ? s.probe() : 0.0};
+    if (s.ring.size() < s.capacity) {
+      s.ring.push_back(p);
+    } else {
+      s.full = true;
+      s.ring[s.head] = p;
+      s.head = (s.head + 1) % s.capacity;
+    }
+  }
+}
+
+std::vector<TimeSeries::Point> TimeSeries::points(const std::string& name) const {
+  auto it = series_.find(name);
+  if (it == series_.end()) return {};
+  const Series& s = it->second;
+  if (!s.full) return s.ring;
+  std::vector<Point> out;
+  out.reserve(s.ring.size());
+  out.insert(out.end(), s.ring.begin() + static_cast<std::ptrdiff_t>(s.head), s.ring.end());
+  out.insert(out.end(), s.ring.begin(), s.ring.begin() + static_cast<std::ptrdiff_t>(s.head));
+  return out;
+}
+
+void TimeSeries::clear_samples() {
+  for (auto& [name, s] : series_) {
+    s.ring.clear();
+    s.head = 0;
+    s.full = false;
+  }
+}
+
+std::string TimeSeries::to_json() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"schema\":\"vhadoop-timeseries-v1\",\"series\":{";
+  bool first = true;
+  for (const auto& [name, s] : series_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"';
+    for (char c : name) {
+      if (c == '"' || c == '\\') os << '\\';
+      os << c;
+    }
+    os << "\":{\"capacity\":" << s.capacity << ",\"points\":[";
+    bool pfirst = true;
+    for (const Point& p : points(name)) {
+      if (!pfirst) os << ',';
+      pfirst = false;
+      os << '[' << p.t << ',' << p.v << ']';
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace vhadoop::obs

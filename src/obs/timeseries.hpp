@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vhadoop::obs {
+
+/// Metrics-over-time: named series of (t, value) samples taken on a
+/// simulated-clock cadence, so benches can plot utilization curves instead
+/// of a single end-of-run snapshot.
+///
+/// Each series wraps a probe callback read at every `sample()`; samples
+/// land in a fixed-capacity ring buffer (oldest overwritten), which bounds
+/// memory for arbitrarily long runs. The sampling cadence itself lives in
+/// sim::Engine (`sample_timeseries_every`), which drives `sample()` from a
+/// daemon event chain — daemon so an armed sampler never keeps `run()`
+/// alive once the workload drains.
+///
+/// Series are stored by name in a sorted map and exported in name order,
+/// so the JSON snapshot is deterministic for identical runs.
+class TimeSeries {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  struct Point {
+    double t = 0.0;
+    double v = 0.0;
+  };
+
+  /// Probe returning the series' current value (gauge level, counter
+  /// cumulative value, utilization fraction, ...).
+  using Probe = std::function<double()>;
+
+  /// Register a series; re-registering an existing name replaces its probe
+  /// but keeps recorded samples. `capacity` is only consulted on creation.
+  void add(const std::string& name, Probe probe,
+           std::size_t capacity = kDefaultCapacity);
+  bool has(const std::string& name) const { return series_.contains(name); }
+  std::size_t series_count() const { return series_.size(); }
+
+  /// Read every probe once, stamping samples with `now`.
+  void sample(double now);
+
+  /// Samples of one series in chronological order (empty when unknown).
+  std::vector<Point> points(const std::string& name) const;
+
+  /// Drop all recorded samples; registered series (and probes) survive.
+  void clear_samples();
+
+  /// Deterministic "vhadoop-timeseries-v1" JSON:
+  /// {"schema":...,"series":{name:{"capacity":N,"points":[[t,v],...]}}}
+  std::string to_json() const;
+
+ private:
+  struct Series {
+    Probe probe;
+    std::size_t capacity = kDefaultCapacity;
+    std::vector<Point> ring;
+    std::size_t head = 0;  ///< next write position once the ring is full
+    bool full = false;
+  };
+
+  std::map<std::string, Series> series_;
+};
+
+}  // namespace vhadoop::obs

@@ -5,20 +5,35 @@
 
 namespace vhadoop::obs {
 
-void Tracer::begin(int pid, int tid, std::string name, std::string cat) {
-  if (!enabled_) return;
-  open_[lane(pid, tid)].push_back(name);
-  events_.push_back({Phase::Begin, now(), pid, tid, std::move(name), std::move(cat)});
+SpanId Tracer::begin(int pid, int tid, std::string name, std::string cat,
+                     std::uint64_t job) {
+  if (!enabled_) return 0;
+  auto& stack = open_[lane(pid, tid)];
+  Span s;
+  s.id = spans_.size() + 1;
+  s.parent = stack.empty() ? 0 : stack.back();
+  s.job = job;
+  s.pid = pid;
+  s.tid = tid;
+  s.name = name;
+  s.cat = cat;
+  s.t0 = now();
+  stack.push_back(s.id);
+  spans_.push_back(std::move(s));
+  events_.push_back({Phase::Begin, spans_.back().t0, pid, tid, std::move(name),
+                     std::move(cat)});
+  return spans_.back().id;
 }
 
 void Tracer::end(int pid, int tid) {
   if (!enabled_) return;
   auto it = open_.find(lane(pid, tid));
   if (it == open_.end() || it->second.empty()) return;
-  std::string name = std::move(it->second.back());
+  Span& s = spans_[it->second.back() - 1];
   it->second.pop_back();
   if (it->second.empty()) open_.erase(it);
-  events_.push_back({Phase::End, now(), pid, tid, std::move(name), {}});
+  s.t1 = now();
+  events_.push_back({Phase::End, s.t1, pid, tid, s.name, {}});
 }
 
 void Tracer::end_all(int pid, int tid) {
@@ -27,8 +42,10 @@ void Tracer::end_all(int pid, int tid) {
   if (it == open_.end()) return;
   const double ts = now();
   while (!it->second.empty()) {
-    events_.push_back({Phase::End, ts, pid, tid, std::move(it->second.back()), {}});
+    Span& s = spans_[it->second.back() - 1];
     it->second.pop_back();
+    s.t1 = ts;
+    events_.push_back({Phase::End, ts, pid, tid, s.name, {}});
   }
   open_.erase(it);
 }
@@ -36,6 +53,17 @@ void Tracer::end_all(int pid, int tid) {
 void Tracer::instant(int pid, int tid, std::string name, std::string cat) {
   if (!enabled_) return;
   events_.push_back({Phase::Instant, now(), pid, tid, std::move(name), std::move(cat)});
+}
+
+SpanId Tracer::current(int pid, int tid) const {
+  auto it = open_.find(lane(pid, tid));
+  if (it == open_.end() || it->second.empty()) return 0;
+  return it->second.back();
+}
+
+void Tracer::cause(SpanId from, SpanId to, std::string type, double start) {
+  if (!enabled_ || from == 0 || to == 0) return;
+  edges_.push_back({from, to, std::move(type), now(), start});
 }
 
 std::size_t Tracer::open_span_count() const {
@@ -51,20 +79,28 @@ int Tracer::open_depth(int pid, int tid) const {
 
 void Tracer::clear() {
   events_.clear();
+  spans_.clear();
+  edges_.clear();
   open_.clear();
+  ambient_ = 0;
+}
+
+double Tracer::final_ts() const {
+  double last_ts = 0.0;
+  for (const Event& e : events_) last_ts = std::max(last_ts, e.ts);
+  return last_ts;
 }
 
 std::vector<Tracer::Event> Tracer::export_events() const {
   std::vector<Event> out = events_;
   // Anything still open closes at the trace's final instant so every B has
   // a matching E no matter how the simulation ended.
-  double last_ts = 0.0;
-  for (const Event& e : events_) last_ts = std::max(last_ts, e.ts);
+  const double last_ts = final_ts();
   for (const auto& [l, stack] : open_) {
     const int pid = static_cast<int>(static_cast<std::int32_t>(l >> 32));
     const int tid = static_cast<int>(static_cast<std::int32_t>(l & 0xffffffffu));
     for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
-      out.push_back({Phase::End, last_ts, pid, tid, *it, {}});
+      out.push_back({Phase::End, last_ts, pid, tid, spans_[*it - 1].name, {}});
     }
   }
   std::stable_sort(out.begin(), out.end(),
@@ -147,6 +183,44 @@ std::string Tracer::to_csv() const {
     os << e.ts << ',' << phase_letter(e.phase) << ',' << e.pid << ',' << e.tid << ','
        << e.name << ',' << e.cat << '\n';
   }
+  return os.str();
+}
+
+std::string Tracer::to_span_graph_json() const {
+  std::ostringstream os;
+  os.precision(17);
+  const double last_ts = final_ts();
+  os << "{\"schema\":\"vhadoop-spans-v1\",\"final_ts\":" << last_ts;
+  os << ",\"processes\":{";
+  bool first = true;
+  for (const auto& [pid, name] : process_names_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << pid << "\":";
+    put_string(os, name);
+  }
+  os << "},\"spans\":[";
+  first = true;
+  for (const Span& s : spans_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"id\":" << s.id << ",\"parent\":" << s.parent << ",\"job\":" << s.job
+       << ",\"pid\":" << s.pid << ",\"tid\":" << s.tid << ",\"name\":";
+    put_string(os, s.name);
+    os << ",\"cat\":";
+    put_string(os, s.cat);
+    os << ",\"t0\":" << s.t0 << ",\"t1\":" << (s.closed() ? s.t1 : last_ts) << '}';
+  }
+  os << "],\"edges\":[";
+  first = true;
+  for (const CauseEdge& e : edges_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"from\":" << e.from << ",\"to\":" << e.to << ",\"type\":";
+    put_string(os, e.type);
+    os << ",\"at\":" << e.at << ",\"start\":" << e.start << '}';
+  }
+  os << "]}";
   return os.str();
 }
 

@@ -8,12 +8,24 @@
 
 namespace vhadoop::obs {
 
+/// Identifier of one span in the span graph. Ids are handed out sequentially
+/// starting at 1; 0 is "no span" (disabled tracer, empty lane, no parent).
+using SpanId = std::uint64_t;
+
 /// Timeline tracer on an injected clock (the simulated clock, in practice).
 ///
 /// Records begin/end spans and instant events on (pid, tid) lanes —
 /// exported as Chrome trace-event JSON, where pid/tid map to the "process"
 /// and "thread" rows of chrome://tracing / Perfetto. The platform uses one
 /// process per VM and one thread per task slot.
+///
+/// On top of the flat timeline the tracer keeps a *span graph*: every begin
+/// returns a stable SpanId, spans record their parent (the innermost open
+/// span on the same lane at begin time) and an optional job id, and callers
+/// can link any two spans with a typed, timestamped *cause edge* (map output
+/// → shuffle fetch, block write → pipeline ack, dispatch → task launch).
+/// The graph exports as "vhadoop-spans-v1" JSON for tools/trace_query and
+/// the critical-path analyzer (obs/critpath.*).
 ///
 /// Recording is off by default: a disabled tracer turns every begin/end/
 /// instant into a cheap early-return, so long benches do not accumulate
@@ -38,6 +50,33 @@ class Tracer {
     std::string cat;
   };
 
+  /// One node of the span graph. `t1 < t0` means the span is still open;
+  /// exports close such spans at the trace's final timestamp.
+  struct Span {
+    SpanId id = 0;
+    SpanId parent = 0;        ///< innermost open span on the lane at begin
+    std::uint64_t job = 0;    ///< owning job id; 0 = inherit from parent/none
+    int pid = 0;
+    int tid = 0;
+    std::string name;
+    std::string cat;
+    double t0 = 0.0;
+    double t1 = -1.0;
+    bool closed() const { return t1 >= t0; }
+  };
+
+  /// Typed causal link between two spans: `from` made `to` runnable.
+  /// `at` stamps when the effect fired (e.g. fetch arrival); `start` is the
+  /// optional time the causal activity began (e.g. fetch transfer start,
+  /// 0 = not recorded).
+  struct CauseEdge {
+    SpanId from = 0;
+    SpanId to = 0;
+    std::string type;
+    double at = 0.0;
+    double start = 0.0;
+  };
+
   /// Clock supplying "now" in simulated seconds. Without one, events are
   /// stamped 0 (tests may prefer explicit control via `at`-suffixed calls).
   void set_clock(std::function<double()> clock) { clock_ = std::move(clock); }
@@ -46,12 +85,29 @@ class Tracer {
   bool enabled() const { return enabled_; }
 
   // --- recording ----------------------------------------------------------
-  void begin(int pid, int tid, std::string name, std::string cat = {});
+  /// Open a span; returns its id (0 when disabled). `job` tags the span as
+  /// belonging to a job for per-job critical-path analysis; children left
+  /// at 0 inherit their parent's job.
+  SpanId begin(int pid, int tid, std::string name, std::string cat = {},
+               std::uint64_t job = 0);
   /// Close the innermost open span on the lane; no-op when none is open.
   void end(int pid, int tid);
   /// Close every open span on the lane (task attempt abandoned).
   void end_all(int pid, int tid);
   void instant(int pid, int tid, std::string name, std::string cat = {});
+
+  /// Innermost open span on the lane (0 when none / disabled).
+  SpanId current(int pid, int tid) const;
+
+  /// Record a typed cause edge stamped at the current clock. No-op when
+  /// disabled or either endpoint is 0, so call sites need no guards.
+  void cause(SpanId from, SpanId to, std::string type, double start = 0.0);
+
+  /// Ambient causal context: the span whose activity is "driving" the
+  /// current (single-threaded) call chain. Subsystems that cannot see their
+  /// caller (e.g. the network fabric) link new spans to the ambient span.
+  void set_ambient(SpanId s) { ambient_ = s; }
+  SpanId ambient() const { return ambient_; }
 
   // --- lane metadata ------------------------------------------------------
   void set_process_name(int pid, std::string name) { process_names_[pid] = std::move(name); }
@@ -61,6 +117,8 @@ class Tracer {
 
   // --- introspection ------------------------------------------------------
   const std::vector<Event>& events() const { return events_; }
+  const std::vector<Span>& spans() const { return spans_; }
+  const std::vector<CauseEdge>& cause_edges() const { return edges_; }
   std::size_t open_span_count() const;
   int open_depth(int pid, int tid) const;
   void clear();
@@ -74,6 +132,10 @@ class Tracer {
   /// Compact CSV: ts_seconds,phase,pid,tid,name,cat — same ordering and
   /// auto-closing as the Chrome export.
   std::string to_csv() const;
+  /// Span graph as "vhadoop-spans-v1" JSON: spans in id order (open spans
+  /// closed at the final timestamp), cause edges in recording order, plus
+  /// lane names. Input format of tools/trace_query and obs/critpath.
+  std::string to_span_graph_json() const;
 
  private:
   static std::uint64_t lane(int pid, int tid) {
@@ -83,11 +145,15 @@ class Tracer {
   double now() const { return clock_ ? clock_() : 0.0; }
   /// Events plus synthesized closers, sorted for export.
   std::vector<Event> export_events() const;
+  double final_ts() const;
 
   bool enabled_ = false;
   std::function<double()> clock_;
   std::vector<Event> events_;
-  std::map<std::uint64_t, std::vector<std::string>> open_;  // lane -> span-name stack
+  std::vector<Span> spans_;        // spans_[id - 1] has id `id`
+  std::vector<CauseEdge> edges_;
+  SpanId ambient_ = 0;
+  std::map<std::uint64_t, std::vector<SpanId>> open_;  // lane -> open span stack
   std::map<int, std::string> process_names_;
   std::map<std::uint64_t, std::string> thread_names_;
 };
@@ -99,16 +165,35 @@ class ScopedSpan {
  public:
   ScopedSpan(Tracer& tracer, int pid, int tid, std::string name, std::string cat = {})
       : tracer_(tracer), pid_(pid), tid_(tid) {
-    tracer_.begin(pid_, tid_, std::move(name), std::move(cat));
+    id_ = tracer_.begin(pid_, tid_, std::move(name), std::move(cat));
   }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
   ~ScopedSpan() { tracer_.end(pid_, tid_); }
 
+  SpanId id() const { return id_; }
+
  private:
   Tracer& tracer_;
   int pid_;
   int tid_;
+  SpanId id_ = 0;
+};
+
+/// RAII ambient-cause scope: marks `s` as the driving span for the duration
+/// of a synchronous call chain, restoring the previous ambient on exit.
+class AmbientCause {
+ public:
+  AmbientCause(Tracer& tracer, SpanId s) : tracer_(tracer), prev_(tracer.ambient()) {
+    tracer_.set_ambient(s);
+  }
+  AmbientCause(const AmbientCause&) = delete;
+  AmbientCause& operator=(const AmbientCause&) = delete;
+  ~AmbientCause() { tracer_.set_ambient(prev_); }
+
+ private:
+  Tracer& tracer_;
+  SpanId prev_;
 };
 
 }  // namespace vhadoop::obs

@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <cassert>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
@@ -82,6 +83,24 @@ bool Engine::step() {
 void Engine::run() {
   while (regular_pending_ > 0 && step()) {
   }
+}
+
+void Engine::sample_timeseries_every(SimTime period) {
+  timeseries_period_ = period;
+  if (period <= 0.0 || timeseries_armed_) return;
+  timeseries_armed_ = true;
+  // Self-re-arming daemon chain; the std::function recursion trick keeps
+  // the whole sampler local to this call.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, tick] {
+    if (timeseries_period_ <= 0.0) {
+      timeseries_armed_ = false;
+      return;
+    }
+    timeseries_.sample(now_);
+    schedule_in(timeseries_period_, *tick, /*daemon=*/true);
+  };
+  schedule_in(timeseries_period_, *tick, /*daemon=*/true);
 }
 
 bool Engine::run_until(SimTime t) {

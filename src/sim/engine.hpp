@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "sim/time.hpp"
 
@@ -73,6 +74,14 @@ class Engine {
   const obs::Registry& metrics() const { return metrics_; }
   obs::Tracer& tracer() { return tracer_; }
   const obs::Tracer& tracer() const { return tracer_; }
+  obs::TimeSeries& timeseries() { return timeseries_; }
+  const obs::TimeSeries& timeseries() const { return timeseries_; }
+
+  /// Sample every registered time series each `period` simulated seconds,
+  /// via a self-re-arming daemon event (so an armed sampler never keeps
+  /// run() alive). Calling again adjusts the period; period <= 0 stops the
+  /// chain at its next firing.
+  void sample_timeseries_every(SimTime period);
 
  private:
   struct QueueEntry {
@@ -106,6 +115,9 @@ class Engine {
 
   obs::Registry metrics_;
   obs::Tracer tracer_;
+  obs::TimeSeries timeseries_;
+  SimTime timeseries_period_ = 0.0;
+  bool timeseries_armed_ = false;
   obs::Counter* events_scheduled_;
   obs::Counter* events_fired_;
   obs::Counter* events_cancelled_;

@@ -148,6 +148,34 @@ TEST(Platform, ClusterMigrationMovesEveryVm) {
   EXPECT_GT(result.overall_migration_time, 0.0);
 }
 
+TEST(Platform, TimeseriesSamplesStandardProbesDuringAJob) {
+  Platform p;
+  p.boot_cluster({.num_workers = 4});
+  p.enable_timeseries(1.0);
+
+  mapreduce::SimJobSpec job;
+  job.name = "ts";
+  job.output_path = "/out/ts";
+  for (int m = 0; m < 4; ++m) {
+    job.maps.push_back({.input_bytes = 16 * sim::kMiB, .cpu_seconds = 2.0,
+                        .output_bytes = 8 * sim::kMiB});
+  }
+  job.reduces.push_back({.cpu_seconds = 1.0, .output_bytes = 4 * sim::kMiB});
+  auto timeline = p.run_job(job);
+  EXPECT_GT(timeline.elapsed(), 2.0);
+
+  const obs::TimeSeries& ts = p.engine().timeseries();
+  EXPECT_TRUE(ts.has("sim.pending_events"));
+  const auto attempts = ts.points("mr.map_attempts");
+  ASSERT_GE(attempts.size(), 2u);
+  // The counter probe is cumulative: samples never decrease, and by the
+  // end of the run every map attempt has been counted.
+  for (std::size_t i = 1; i < attempts.size(); ++i) {
+    EXPECT_GE(attempts[i].v, attempts[i - 1].v);
+  }
+  EXPECT_GE(attempts.back().v, 4.0);
+}
+
 TEST(Platform, NineStepFlowSmoke) {
   // The paper's Sec. II-A execution flow in one piece: request cluster,
   // boot, configure, upload, run, monitor, tune.

@@ -1,0 +1,18 @@
+// Fixture: every metric literal here must trip metric-name.
+#include <string>
+
+struct FakeRegistry {
+  int counter(const std::string&) { return 0; }
+  int gauge(const std::string&) { return 0; }
+  int histogram(const std::string&) { return 0; }
+};
+
+int fixture_metric_names(FakeRegistry& reg, FakeRegistry* preg, const std::string& q) {
+  int a = reg.counter("BadName");            // finding: uppercase, no dot
+  int b = reg.gauge("noseparator");          // finding: no dot
+  int c = preg->histogram("Upper.case");     // finding: uppercase segment
+  int d = reg.counter("mr..double_dot");     // finding: empty segment
+  int e = reg.gauge(".leading.dot");         // finding: empty first segment
+  int f = reg.counter("queue" + q);          // finding: prefix without a dot
+  return a + b + c + d + e + f;
+}

@@ -1,0 +1,21 @@
+// Fixture: nothing here may trip metric-name.
+#include <string>
+
+struct FakeRegistry {
+  int counter(const std::string&) { return 0; }
+  int gauge(const std::string&) { return 0; }
+  int histogram(const std::string&) { return 0; }
+};
+
+int counter(const std::string&) { return 0; }
+
+int fixture_metric_names_ok(FakeRegistry& reg, FakeRegistry* preg, const std::string& q) {
+  int a = reg.counter("sched.tasks_dispatched");      // compliant
+  int b = reg.gauge("hdfs.blocks_under_replicated");  // compliant
+  int c = preg->histogram("net.flow_seconds");        // compliant
+  int d = reg.counter("mr.queue." + q);               // compliant prefix (dotted)
+  int e = reg.histogram("mr.queue." + q + ".wait");   // compliant prefix
+  int f = counter("NotAMemberCall");                  // free function, not Registry
+  int g = reg.counter(q);                             // non-literal: out of scope
+  return a + b + c + d + e + f + g;
+}

@@ -1,0 +1,11 @@
+// Fixture: a legacy metric name kept alive under suppression.
+#include <string>
+
+struct FakeRegistry {
+  int counter(const std::string&) { return 0; }
+};
+
+int fixture_legacy_metric(FakeRegistry& reg) {
+  // vlint: allow(metric-name) legacy dashboard still scrapes the flat name
+  return reg.counter("legacyTotal");
+}

@@ -140,6 +140,34 @@ TEST(NoUnorderedIteration, ResolvesMemberTypeAcrossFiles) {
   EXPECT_EQ(count_rule(res, "no-unordered-iteration"), 1);
 }
 
+// --- metric-name -----------------------------------------------------------
+
+TEST(MetricName, FlagsEveryNonConformingLiteral) {
+  const auto res = lint_fixture("metric_name_hit.cpp");
+  EXPECT_EQ(count_rule(res, "metric-name"), 6);
+  EXPECT_EQ(res.unsuppressed, 6);
+}
+
+TEST(MetricName, CompliantPrefixesAndNonRegistryCallsAreClean) {
+  const auto res = lint_fixture("metric_name_miss.cpp");
+  EXPECT_EQ(res.unsuppressed, 0) << "false positive in metric_name_miss.cpp";
+}
+
+TEST(MetricName, SuppressionWithReasonAccepted) {
+  const auto res = lint_fixture("metric_name_suppressed.cpp");
+  EXPECT_EQ(res.unsuppressed, 0);
+  EXPECT_EQ(count_rule(res, "metric-name", /*suppressed=*/true), 1);
+}
+
+TEST(MetricName, ArrowCallAndDottedPrefixEndingInDot) {
+  const auto res = lint_source(
+      "m.cpp",
+      "int f(R* r, const std::string& q) {\n"
+      "  return r->counter(\"mr.queue.\" + q + \".slo_missed\");\n"
+      "}\n");
+  EXPECT_EQ(count_rule(res, "metric-name"), 0);
+}
+
 // --- header hygiene --------------------------------------------------------
 
 TEST(HeaderHygiene, MissingGuardAndUsingNamespaceFlagged) {
@@ -190,6 +218,7 @@ TEST(Lexer, DirectiveInBlockCommentGetsItsOwnLine) {
 TEST(Rules, ListIsStableAndKnown) {
   EXPECT_TRUE(vlint::is_known_rule("no-wall-clock"));
   EXPECT_TRUE(vlint::is_known_rule("no-unordered-iteration"));
+  EXPECT_TRUE(vlint::is_known_rule("metric-name"));
   EXPECT_FALSE(vlint::is_known_rule("no-such-rule"));
 }
 

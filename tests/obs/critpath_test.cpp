@@ -1,0 +1,184 @@
+#include "obs/critpath.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "testutil/mini_json.hpp"
+
+namespace vhadoop::obs {
+namespace {
+
+using testutil::JsonParser;
+using testutil::JsonValue;
+
+// Hand-built graph helper: ids are assigned by the caller.
+Tracer::Span mk(SpanId id, SpanId parent, std::uint64_t job, int pid, int tid,
+                std::string name, std::string cat, double t0, double t1) {
+  Tracer::Span s;
+  s.id = id;
+  s.parent = parent;
+  s.job = job;
+  s.pid = pid;
+  s.tid = tid;
+  s.name = std::move(name);
+  s.cat = std::move(cat);
+  s.t0 = t0;
+  s.t1 = t1;
+  return s;
+}
+
+TEST(CritPath, MapShuffleReducePipelineTilesExactly) {
+  // Recorded through a live tracer so job inheritance and from_tracer are
+  // exercised too: map [read 0-2 | compute 2-7 | commit 7-8], shuffle fetch
+  // arrives at 10, reduce [compute 10-18 | commit 18-20].
+  double now = 0.0;
+  Tracer t;
+  t.set_enabled(true);
+  t.set_clock([&now] { return now; });
+
+  t.begin(9998, 1, "job:wc", "job", /*job=*/1);
+  const SpanId map_task = t.begin(1, 0, "map-0/a0", "map", 1);
+  t.begin(1, 1, "reduce-0/a0", "reduce", 1);
+  const SpanId shuffle_span = t.begin(1, 1, "shuffle", "reduce");
+  t.begin(1, 0, "read", "map");
+  now = 2.0;
+  t.end(1, 0);
+  t.begin(1, 0, "compute", "map");
+  now = 7.0;
+  t.end(1, 0);
+  t.begin(1, 0, "commit", "map");
+  now = 8.0;
+  t.end(1, 0);  // commit
+  t.end(1, 0);  // map task
+  now = 10.0;
+  t.cause(map_task, shuffle_span, "shuffle", /*start=*/8.0);
+  t.end(1, 1);  // shuffle
+  t.begin(1, 1, "compute", "reduce");
+  now = 18.0;
+  t.end(1, 1);
+  t.begin(1, 1, "commit", "reduce");
+  now = 20.0;
+  t.end(1, 1);  // commit
+  t.end(1, 1);  // reduce task
+  t.end(9998, 1);  // job root
+
+  const SpanGraph g = SpanGraph::from_tracer(t);
+  const auto jobs = analyze_critical_paths(g);
+  ASSERT_EQ(jobs.size(), 1u);
+  const JobCriticalPath& cp = jobs[0];
+  EXPECT_EQ(cp.job, 1u);
+  EXPECT_EQ(cp.name, "wc");
+  EXPECT_DOUBLE_EQ(cp.makespan(), 20.0);
+  EXPECT_TRUE(cp.tiles_exactly());
+  EXPECT_DOUBLE_EQ(cp.segment_sum(), cp.makespan());
+
+  ASSERT_EQ(cp.segments.size(), 6u);
+  EXPECT_EQ(cp.segments[0].category, "hdfs-io");          // read 0-2
+  EXPECT_EQ(cp.segments[1].category, "map-compute");      // 2-7
+  EXPECT_EQ(cp.segments[2].category, "hdfs-io");          // map commit 7-8
+  EXPECT_EQ(cp.segments[3].category, "shuffle-network");  // 8-10
+  EXPECT_EQ(cp.segments[4].category, "reduce-compute");   // 10-18
+  EXPECT_EQ(cp.segments[5].category, "hdfs-io");          // reduce commit 18-20
+
+  EXPECT_DOUBLE_EQ(cp.attribution.at("map-compute"), 5.0);
+  EXPECT_DOUBLE_EQ(cp.attribution.at("hdfs-io"), 5.0);
+  EXPECT_DOUBLE_EQ(cp.attribution.at("shuffle-network"), 2.0);
+  EXPECT_DOUBLE_EQ(cp.attribution.at("reduce-compute"), 8.0);
+  EXPECT_DOUBLE_EQ(cp.attribution.at("straggler-wait"), 0.0);
+  EXPECT_DOUBLE_EQ(cp.attribution.at("scheduler-queue"), 0.0);
+}
+
+TEST(CritPath, ReexecutedAttemptChargesStragglerWait) {
+  // map-0/a0 straggles [0,6] and is lost; the re-execution a1 runs [6,9];
+  // the shuffle fetch from a1 lands at 9.5; reduce computes to 12.
+  SpanGraph g;
+  g.final_ts = 12.0;
+  g.spans.push_back(mk(1, 0, 2, 9998, 2, "job:sort", "job", 0.0, 12.0));
+  g.spans.push_back(mk(2, 0, 2, 1, 0, "map-0/a0", "map", 0.0, 6.0));
+  g.spans.push_back(mk(3, 0, 2, 2, 0, "map-0/a1", "map", 6.0, 9.0));
+  g.spans.push_back(mk(4, 0, 2, 1, 1, "reduce-0/a0", "reduce", 0.0, 12.0));
+  g.spans.push_back(mk(5, 4, 0, 1, 1, "shuffle", "reduce", 0.0, 9.5));
+  g.spans.push_back(mk(6, 4, 0, 1, 1, "compute", "reduce", 9.5, 12.0));
+  g.edges.push_back({3, 5, "shuffle", 9.5, 9.0});
+
+  const auto jobs = analyze_critical_paths(g);
+  ASSERT_EQ(jobs.size(), 1u);
+  const JobCriticalPath& cp = jobs[0];
+  EXPECT_TRUE(cp.tiles_exactly());
+  EXPECT_DOUBLE_EQ(cp.attribution.at("straggler-wait"), 6.0);
+  EXPECT_DOUBLE_EQ(cp.attribution.at("map-compute"), 3.0);
+  EXPECT_DOUBLE_EQ(cp.attribution.at("shuffle-network"), 0.5);
+  EXPECT_DOUBLE_EQ(cp.attribution.at("reduce-compute"), 2.5);
+}
+
+TEST(CritPath, QueueTimeBracketsTheSinkChain) {
+  // One map runs [1,3] inside a job open [0,5]: dispatch wait before and
+  // commit/teardown wait after both land on scheduler-queue.
+  SpanGraph g;
+  g.final_ts = 5.0;
+  g.spans.push_back(mk(1, 0, 3, 9998, 3, "job:m", "job", 0.0, 5.0));
+  g.spans.push_back(mk(2, 0, 3, 1, 0, "map-0/a0", "map", 1.0, 3.0));
+
+  const auto jobs = analyze_critical_paths(g);
+  ASSERT_EQ(jobs.size(), 1u);
+  const JobCriticalPath& cp = jobs[0];
+  EXPECT_TRUE(cp.tiles_exactly());
+  ASSERT_EQ(cp.segments.size(), 3u);
+  EXPECT_EQ(cp.segments[0].category, "scheduler-queue");
+  EXPECT_EQ(cp.segments[1].category, "map-compute");
+  EXPECT_EQ(cp.segments[2].category, "scheduler-queue");
+  EXPECT_DOUBLE_EQ(cp.attribution.at("scheduler-queue"), 3.0);
+  EXPECT_DOUBLE_EQ(cp.attribution.at("map-compute"), 2.0);
+}
+
+TEST(CritPath, JobWithNoTasksIsAllQueue) {
+  SpanGraph g;
+  g.final_ts = 4.0;
+  g.spans.push_back(mk(1, 0, 9, 9998, 9, "job:idle", "job", 2.0, 4.0));
+  const auto jobs = analyze_critical_paths(g);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_TRUE(jobs[0].tiles_exactly());
+  EXPECT_DOUBLE_EQ(jobs[0].attribution.at("scheduler-queue"), 2.0);
+}
+
+TEST(CritPath, JsonReportAndMetricsPublishAttribution) {
+  SpanGraph g;
+  g.final_ts = 5.0;
+  g.spans.push_back(mk(1, 0, 3, 9998, 3, "job:m", "job", 0.0, 5.0));
+  g.spans.push_back(mk(2, 0, 3, 1, 0, "map-0/a0", "map", 1.0, 3.0));
+  const auto jobs = analyze_critical_paths(g);
+  ASSERT_EQ(jobs.size(), 1u);
+
+  JsonValue root = JsonParser::parse(critical_paths_to_json(jobs));
+  EXPECT_EQ(root.at("schema").str, "vhadoop-critpath-v1");
+  ASSERT_EQ(root.at("jobs").array.size(), 1u);
+  const JsonValue& j = root.at("jobs").at(0);
+  EXPECT_EQ(j.at("name").str, "m");
+  EXPECT_DOUBLE_EQ(j.at("makespan").number, 5.0);
+  EXPECT_TRUE(j.at("exact_tiling").boolean);
+  EXPECT_DOUBLE_EQ(j.at("attribution").at("map-compute").number, 2.0);
+  ASSERT_EQ(j.at("segments").array.size(), 3u);
+  EXPECT_EQ(j.at("segments").at(1).at("category").str, "map-compute");
+
+  Registry reg;
+  record_critpath_metrics(jobs[0], reg);
+  ASSERT_NE(reg.find_gauge("critpath.job3.map_compute_seconds"), nullptr);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("critpath.job3.map_compute_seconds")->value(), 2.0);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("critpath.job3.scheduler_queue_seconds")->value(), 3.0);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("critpath.job3.makespan_seconds")->value(), 5.0);
+}
+
+TEST(CritPath, EveryCategoryKeyIsAlwaysPresent) {
+  SpanGraph g;
+  g.spans.push_back(mk(1, 0, 1, 9998, 1, "job:x", "job", 0.0, 0.0));
+  const auto jobs = analyze_critical_paths(g);
+  ASSERT_EQ(jobs.size(), 1u);
+  for (const std::string& cat : critpath_categories()) {
+    EXPECT_TRUE(jobs[0].attribution.count(cat)) << cat;
+  }
+  EXPECT_TRUE(jobs[0].tiles_exactly());  // zero makespan, zero segments
+}
+
+}  // namespace
+}  // namespace vhadoop::obs

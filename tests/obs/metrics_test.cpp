@@ -47,9 +47,9 @@ TEST(Registry, FindDoesNotCreate) {
   EXPECT_EQ(reg.find_gauge("absent"), nullptr);
   EXPECT_EQ(reg.find_histogram("absent"), nullptr);
   EXPECT_EQ(reg.size(), 0u);
-  reg.counter("present")->inc();
-  ASSERT_NE(reg.find_counter("present"), nullptr);
-  EXPECT_DOUBLE_EQ(reg.find_counter("present")->value(), 1.0);
+  reg.counter("t.present")->inc();
+  ASSERT_NE(reg.find_counter("t.present"), nullptr);
+  EXPECT_DOUBLE_EQ(reg.find_counter("t.present")->value(), 1.0);
 }
 
 TEST(Gauge, TracksHighWaterMark) {
@@ -99,11 +99,28 @@ TEST(Histogram, PercentileInterpolatesWithinBucket) {
 TEST(Histogram, PercentileEdgeCases) {
   Histogram empty(Histogram::linear_buckets(10.0, 5));
   EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);  // no data
+  EXPECT_DOUBLE_EQ(empty.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(1.5), 0.0);
 
   Histogram overflow_only(Histogram::linear_buckets(1.0, 2));
   overflow_only.observe(500.0);
   // Overflow bucket has no upper bound; reports the observed max.
   EXPECT_DOUBLE_EQ(overflow_only.percentile(0.99), 500.0);
+}
+
+TEST(Histogram, PercentileDegenerateQuantilesClampToMinMax) {
+  Histogram h(Histogram::linear_buckets(100.0, 10));
+  for (double v : {3.0, 40.0, 77.0}) h.observe(v);
+  // q <= 0 is the observed minimum, q >= 1 the observed maximum — never an
+  // extrapolation past the data.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.percentile(-2.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 77.0);
+  EXPECT_DOUBLE_EQ(h.percentile(7.0), 77.0);
+  // Interior quantiles stay bracketed by the observed range.
+  const double p50 = h.percentile(0.5);
+  EXPECT_GE(p50, 3.0);
+  EXPECT_LE(p50, 77.0);
 }
 
 TEST(ScopedTimer, ObservesElapsedFakeClock) {
@@ -138,6 +155,11 @@ TEST(Registry, JsonSnapshotParsesAndIsOrderIndependent) {
   const JsonValue& h = root.at("histograms").at("mr.map_seconds");
   EXPECT_DOUBLE_EQ(h.at("count").number, 1.0);
   EXPECT_DOUBLE_EQ(h.at("sum").number, 3.0);
+  // Quantile summary rides along in the snapshot; one observation means
+  // every quantile is that observation.
+  EXPECT_DOUBLE_EQ(h.at("p50").number, 3.0);
+  EXPECT_DOUBLE_EQ(h.at("p95").number, 3.0);
+  EXPECT_DOUBLE_EQ(h.at("p99").number, 3.0);
   ASSERT_TRUE(h.at("bounds").is_array());
   EXPECT_EQ(h.at("bounds").array.size(), 2u);
   EXPECT_EQ(h.at("counts").array.size(), 3u);  // 2 bounds + overflow

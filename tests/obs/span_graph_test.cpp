@@ -1,0 +1,152 @@
+// End-to-end span-graph checks: run real simulated jobs, export the
+// "vhadoop-spans-v1" graph, then drive the trace_query library over it —
+// structural validation, critical-path tiling against the job timeline,
+// determinism (byte-identical exports for same-seed runs), and the fault
+// path (datanode loss mid-job must not corrupt the graph).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/critpath.hpp"
+#include "testutil/sim_cluster.hpp"
+#include "trace_query/query.hpp"
+
+namespace vhadoop::mapreduce {
+namespace {
+
+using testutil::SimCluster;
+
+SimJobSpec terasort_job(const hdfs::HdfsCluster& hdfs, const std::string& path) {
+  SimJobSpec spec;
+  spec.name = "terasort";
+  spec.output_path = "/out/terasort";
+  const auto& blocks = hdfs.blocks(path);
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    spec.maps.push_back({.input_path = path, .block_index = static_cast<int>(b),
+                         .cpu_seconds = 0.8, .output_bytes = 64 * sim::kMiB});
+  }
+  spec.reduces.assign(4, {.cpu_seconds = 1.5, .output_bytes = 96 * sim::kMiB});
+  return spec;
+}
+
+// One traced terasort run; returns (span graph JSON, critpath JSON, timeline).
+struct TracedRun {
+  std::string spans_json;
+  std::string critpath_json;
+  JobTimeline timeline;
+};
+
+TracedRun traced_terasort(std::uint64_t seed) {
+  auto c = SimCluster::make(4, false, {}, {}, seed);
+  c->engine.tracer().set_enabled(true);
+  c->hdfs->write_file("/in/tsort", 4 * 64 * sim::kMiB, c->workers[0], nullptr);
+  c->engine.run();
+
+  TracedRun out;
+  c->runner->submit(terasort_job(*c->hdfs, "/in/tsort"),
+                    [&out](const JobTimeline& t) { out.timeline = t; });
+  c->engine.run();
+  EXPECT_FALSE(out.timeline.failed);
+  out.spans_json = c->engine.tracer().to_span_graph_json();
+  const obs::SpanGraph g = obs::SpanGraph::from_tracer(c->engine.tracer());
+  out.critpath_json = obs::critical_paths_to_json(obs::analyze_critical_paths(g));
+  return out;
+}
+
+TEST(SpanGraphE2E, ExportedGraphValidatesClean) {
+  const TracedRun run = traced_terasort(7);
+  const obs::SpanGraph g = tracequery::load_span_graph(run.spans_json);
+  EXPECT_GT(g.spans.size(), 10u);
+  EXPECT_GT(g.edges.size(), 0u);
+  const auto problems = tracequery::validate(g);
+  EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+TEST(SpanGraphE2E, CriticalPathReproducesTheJobMakespanExactly) {
+  const TracedRun run = traced_terasort(7);
+  const obs::SpanGraph g = tracequery::load_span_graph(run.spans_json);
+  const auto jobs = tracequery::critical_paths(g, "terasort");
+  ASSERT_EQ(jobs.size(), 1u);
+  const obs::JobCriticalPath& cp = jobs[0];
+  // Segment boundaries telescope bit-for-bit over [submitted, finished]:
+  // the tiling — not a floating-point sum — reproduces the makespan.
+  EXPECT_TRUE(cp.tiles_exactly());
+  EXPECT_EQ(cp.submitted, run.timeline.submitted);
+  EXPECT_EQ(cp.finished, run.timeline.finished);
+  EXPECT_EQ(cp.makespan(), run.timeline.elapsed());
+  // A terasort run exercises the whole pipeline: several categories carry
+  // non-zero time, and every segment has a known category.
+  int nonzero = 0;
+  for (const std::string& cat : obs::critpath_categories()) {
+    if (cp.attribution.at(cat) > 0.0) ++nonzero;
+  }
+  EXPECT_GE(nonzero, 3);
+  for (const obs::CritSegment& seg : cp.segments) {
+    EXPECT_NE(std::find(obs::critpath_categories().begin(),
+                        obs::critpath_categories().end(), seg.category),
+              obs::critpath_categories().end())
+        << seg.category;
+  }
+}
+
+TEST(SpanGraphE2E, SameSeedRunsExportByteIdenticalGraphsAndReports) {
+  const TracedRun a = traced_terasort(7);
+  const TracedRun b = traced_terasort(7);
+  EXPECT_EQ(a.spans_json, b.spans_json);
+  EXPECT_EQ(a.critpath_json, b.critpath_json);
+  const TracedRun other = traced_terasort(11);
+  EXPECT_NE(a.spans_json, other.spans_json);  // the seed actually matters
+}
+
+TEST(SpanGraphE2E, SlowestTasksAreSortedTaskAttempts) {
+  const TracedRun run = traced_terasort(7);
+  const obs::SpanGraph g = tracequery::load_span_graph(run.spans_json);
+  const auto rows = tracequery::slowest_tasks(g, 3);
+  ASSERT_EQ(rows.size(), 3u);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_TRUE(rows[i].name.rfind("map-", 0) == 0 ||
+                rows[i].name.rfind("reduce-", 0) == 0)
+        << rows[i].name;
+    EXPECT_GT(rows[i].seconds(), 0.0);
+    if (i > 0) {
+      EXPECT_GE(rows[i - 1].seconds(), rows[i].seconds());
+    }
+  }
+}
+
+TEST(SpanGraphE2E, DatanodeLossMidJobKeepsGraphValidAndTilingExact) {
+  auto c = SimCluster::make(6, false, {}, {}, 7);
+  c->engine.tracer().set_enabled(true);
+  c->hdfs->write_file("/in/fault", 6 * 64 * sim::kMiB, c->workers[0], nullptr);
+  c->engine.run();
+
+  JobTimeline timeline;
+  c->runner->submit(terasort_job(*c->hdfs, "/in/fault"),
+                    [&timeline](const JobTimeline& t) { timeline = t; });
+  c->engine.run_until(c->engine.now() + 8.0);
+  c->cloud->crash_vm(c->workers[2]);
+  c->engine.run();
+  ASSERT_FALSE(timeline.failed);
+
+  const obs::SpanGraph g =
+      tracequery::load_span_graph(c->engine.tracer().to_span_graph_json());
+  const auto problems = tracequery::validate(g);
+  EXPECT_TRUE(problems.empty()) << problems.front();
+
+  const auto jobs = tracequery::critical_paths(g, "all");
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_TRUE(jobs[0].tiles_exactly());
+  EXPECT_EQ(jobs[0].makespan(), timeline.elapsed());
+  // The lost node forced re-execution: the abandoned attempts' spans are
+  // finalized (end_all on crash), not dangling.
+  const obs::Counter* reexec = c->engine.metrics().find_counter("mr.reexecutions");
+  ASSERT_NE(reexec, nullptr);
+  EXPECT_GT(reexec->value(), 0);
+}
+
+}  // namespace
+}  // namespace vhadoop::mapreduce

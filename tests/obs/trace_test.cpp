@@ -158,11 +158,136 @@ TEST(Tracer, ClearDropsEventsButKeepsLaneNames) {
   EXPECT_EQ(root.at("traceEvents").at(0).at("args").at("name").str, "vm7");
 }
 
+// --- span graph ------------------------------------------------------------
+
+TEST(SpanGraph, IdsAreSequentialAndParentIsInnermostOpenSpan) {
+  double now = 0.0;
+  Tracer t = make_enabled(&now);
+  const SpanId outer = t.begin(1, 0, "outer", "x", /*job=*/7);
+  now = 1.0;
+  const SpanId inner = t.begin(1, 0, "inner");
+  const SpanId other = t.begin(2, 0, "other-lane");
+  EXPECT_EQ(outer, 1u);
+  EXPECT_EQ(inner, 2u);
+  EXPECT_EQ(other, 3u);
+  EXPECT_EQ(t.current(1, 0), inner);
+  EXPECT_EQ(t.current(2, 0), other);
+  EXPECT_EQ(t.current(9, 9), 0u);
+
+  ASSERT_EQ(t.spans().size(), 3u);
+  EXPECT_EQ(t.spans()[1].parent, outer);   // inner nests under outer
+  EXPECT_EQ(t.spans()[2].parent, 0u);      // other lane has no parent
+  EXPECT_EQ(t.spans()[0].job, 7u);
+  EXPECT_EQ(t.spans()[1].job, 0u);         // inherits at analysis time
+  EXPECT_FALSE(t.spans()[1].closed());
+  now = 2.0;
+  t.end(1, 0);
+  EXPECT_TRUE(t.spans()[1].closed());
+  EXPECT_DOUBLE_EQ(t.spans()[1].t0, 1.0);
+  EXPECT_DOUBLE_EQ(t.spans()[1].t1, 2.0);
+  EXPECT_EQ(t.current(1, 0), outer);
+}
+
+TEST(SpanGraph, DisabledTracerHandsOutZeroIds) {
+  Tracer t;
+  EXPECT_EQ(t.begin(1, 0, "x"), 0u);
+  EXPECT_EQ(t.current(1, 0), 0u);
+  t.cause(1, 2, "ghost");
+  EXPECT_TRUE(t.spans().empty());
+  EXPECT_TRUE(t.cause_edges().empty());
+}
+
+TEST(SpanGraph, CauseEdgesStampClockAndOptionalStart) {
+  double now = 4.0;
+  Tracer t = make_enabled(&now);
+  const SpanId a = t.begin(1, 0, "a");
+  const SpanId b = t.begin(2, 0, "b");
+  now = 9.0;
+  t.cause(a, b, "shuffle", /*start=*/5.5);
+  t.cause(a, b, "plain");
+  t.cause(0, b, "dropped");  // 0-endpoint edges are silently skipped
+  t.cause(a, 0, "dropped");
+  ASSERT_EQ(t.cause_edges().size(), 2u);
+  EXPECT_EQ(t.cause_edges()[0].type, "shuffle");
+  EXPECT_DOUBLE_EQ(t.cause_edges()[0].at, 9.0);
+  EXPECT_DOUBLE_EQ(t.cause_edges()[0].start, 5.5);
+  EXPECT_DOUBLE_EQ(t.cause_edges()[1].start, 0.0);
+}
+
+TEST(SpanGraph, EndAllFinalizesEverySpanOnTheLane) {
+  double now = 1.0;
+  Tracer t = make_enabled(&now);
+  const SpanId a = t.begin(3, 0, "a");
+  const SpanId b = t.begin(3, 0, "b");
+  t.begin(3, 1, "keep");
+  now = 6.0;
+  t.end_all(3, 0);
+  EXPECT_TRUE(t.spans()[a - 1].closed());
+  EXPECT_TRUE(t.spans()[b - 1].closed());
+  EXPECT_DOUBLE_EQ(t.spans()[a - 1].t1, 6.0);
+  EXPECT_DOUBLE_EQ(t.spans()[b - 1].t1, 6.0);
+  EXPECT_FALSE(t.spans()[2].closed());
+  EXPECT_EQ(t.current(3, 0), 0u);
+}
+
+TEST(SpanGraph, AmbientCauseScopesNestAndRestore) {
+  double now = 0.0;
+  Tracer t = make_enabled(&now);
+  const SpanId a = t.begin(1, 0, "a");
+  EXPECT_EQ(t.ambient(), 0u);
+  {
+    AmbientCause outer_scope(t, a);
+    EXPECT_EQ(t.ambient(), a);
+    {
+      AmbientCause inner_scope(t, 0);
+      EXPECT_EQ(t.ambient(), 0u);
+    }
+    EXPECT_EQ(t.ambient(), a);
+  }
+  EXPECT_EQ(t.ambient(), 0u);
+}
+
+TEST(SpanGraph, JsonExportClosesOpenSpansAtFinalTs) {
+  double now = 0.0;
+  Tracer t = make_enabled(&now);
+  t.set_process_name(1, "worker");
+  const SpanId a = t.begin(1, 0, "done", "m", /*job=*/3);
+  now = 2.0;
+  t.end(1, 0);
+  const SpanId open_span = t.begin(1, 0, "open");
+  now = 5.0;
+  t.instant(1, 0, "final-marker");
+  t.cause(a, open_span, "link", 1.0);
+
+  JsonValue root = JsonParser::parse(t.to_span_graph_json());
+  EXPECT_EQ(root.at("schema").str, "vhadoop-spans-v1");
+  EXPECT_DOUBLE_EQ(root.at("final_ts").number, 5.0);
+  EXPECT_EQ(root.at("processes").at("1").str, "worker");
+  ASSERT_EQ(root.at("spans").array.size(), 2u);
+  const JsonValue& s0 = root.at("spans").at(0);
+  EXPECT_DOUBLE_EQ(s0.at("id").number, 1.0);
+  EXPECT_DOUBLE_EQ(s0.at("job").number, 3.0);
+  EXPECT_EQ(s0.at("cat").str, "m");
+  EXPECT_DOUBLE_EQ(s0.at("t1").number, 2.0);
+  // The still-open span is clipped to final_ts, not left dangling.
+  EXPECT_DOUBLE_EQ(root.at("spans").at(1).at("t1").number, 5.0);
+  ASSERT_EQ(root.at("edges").array.size(), 1u);
+  EXPECT_EQ(root.at("edges").at(0).at("type").str, "link");
+  EXPECT_DOUBLE_EQ(root.at("edges").at(0).at("start").number, 1.0);
+  // Export is non-destructive and clear() resets the graph.
+  EXPECT_EQ(t.spans().size(), 2u);
+  t.clear();
+  EXPECT_TRUE(t.spans().empty());
+  EXPECT_TRUE(t.cause_edges().empty());
+  EXPECT_EQ(t.ambient(), 0u);
+}
+
 TEST(ScopedSpan, BeginsAndEndsWithScope) {
   double now = 1.0;
   Tracer t = make_enabled(&now);
   {
     ScopedSpan s(t, 2, 3, "scoped", "test");
+    EXPECT_EQ(s.id(), t.current(2, 3));
     EXPECT_EQ(t.open_depth(2, 3), 1);
     now = 6.0;
   }

@@ -1,0 +1,218 @@
+#include "trace_query/query.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "testutil/mini_json.hpp"
+
+namespace vhadoop::tracequery {
+
+using testutil::JsonParser;
+using testutil::JsonValue;
+
+obs::SpanGraph load_span_graph(const std::string& json_text) {
+  const JsonValue doc = JsonParser::parse(json_text);
+  if (!doc.is_object() || !doc.has("schema") || doc.at("schema").str != "vhadoop-spans-v1") {
+    throw std::runtime_error("trace_query: not a vhadoop-spans-v1 document");
+  }
+  obs::SpanGraph g;
+  g.final_ts = doc.at("final_ts").number;
+  for (const JsonValue& js : doc.at("spans").array) {
+    obs::Tracer::Span s;
+    s.id = static_cast<obs::SpanId>(js.at("id").number);
+    s.parent = static_cast<obs::SpanId>(js.at("parent").number);
+    s.job = static_cast<std::uint64_t>(js.at("job").number);
+    s.pid = static_cast<int>(js.at("pid").number);
+    s.tid = static_cast<int>(js.at("tid").number);
+    s.name = js.at("name").str;
+    s.cat = js.at("cat").str;
+    s.t0 = js.at("t0").number;
+    s.t1 = js.at("t1").number;
+    g.spans.push_back(std::move(s));
+  }
+  for (const JsonValue& je : doc.at("edges").array) {
+    obs::Tracer::CauseEdge e;
+    e.from = static_cast<obs::SpanId>(je.at("from").number);
+    e.to = static_cast<obs::SpanId>(je.at("to").number);
+    e.type = je.at("type").str;
+    e.at = je.at("at").number;
+    e.start = je.at("start").number;
+    g.edges.push_back(std::move(e));
+  }
+  return g;
+}
+
+namespace {
+
+std::string span_label(const obs::Tracer::Span& s) {
+  return "span " + std::to_string(s.id) + " (" + s.name + ")";
+}
+
+void check_spans(const obs::SpanGraph& g, std::vector<std::string>& out) {
+  std::set<obs::SpanId> ids;
+  for (const obs::Tracer::Span& s : g.spans) {
+    if (s.id == 0) out.push_back("span with id 0");
+    if (!ids.insert(s.id).second) {
+      out.push_back("duplicate span id " + std::to_string(s.id));
+    }
+    if (s.t1 < s.t0) out.push_back(span_label(s) + " ends before it starts");
+  }
+}
+
+void check_parents(const obs::SpanGraph& g, std::vector<std::string>& out) {
+  for (const obs::Tracer::Span& s : g.spans) {
+    if (s.parent == 0) continue;
+    const obs::Tracer::Span* p = g.find(s.parent);
+    if (!p) {
+      out.push_back(span_label(s) + " has unknown parent " + std::to_string(s.parent));
+      continue;
+    }
+    if (p->pid != s.pid || p->tid != s.tid) {
+      out.push_back(span_label(s) + " parent " + span_label(*p) + " is on another lane");
+    }
+    if (s.t0 < p->t0 || s.t1 > p->t1) {
+      out.push_back(span_label(s) + " escapes parent " + span_label(*p));
+    }
+  }
+}
+
+void check_edges(const obs::SpanGraph& g, std::vector<std::string>& out) {
+  for (const obs::Tracer::CauseEdge& e : g.edges) {
+    if (!g.find(e.from)) {
+      out.push_back("edge " + e.type + " from unknown span " + std::to_string(e.from));
+    }
+    if (!g.find(e.to)) {
+      out.push_back("edge " + e.type + " to unknown span " + std::to_string(e.to));
+    }
+    if (e.from == e.to) {
+      out.push_back("edge " + e.type + " is a self-loop on span " + std::to_string(e.from));
+    }
+  }
+}
+
+void check_acyclic(const obs::SpanGraph& g, std::vector<std::string>& out) {
+  std::map<obs::SpanId, std::vector<obs::SpanId>> adj;
+  for (const obs::Tracer::CauseEdge& e : g.edges) adj[e.from].push_back(e.to);
+  // Iterative three-color DFS; a back edge is a cycle.
+  std::map<obs::SpanId, int> color;  // 0 white, 1 grey, 2 black
+  for (const auto& [start, unused] : adj) {
+    if (color[start] != 0) continue;
+    std::vector<std::pair<obs::SpanId, std::size_t>> stack{{start, 0}};
+    color[start] = 1;
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      const auto it = adj.find(node);
+      if (it == adj.end() || next >= it->second.size()) {
+        color[node] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const obs::SpanId succ = it->second[next++];
+      if (color[succ] == 1) {
+        out.push_back("cause cycle through span " + std::to_string(succ));
+        return;
+      }
+      if (color[succ] == 0) {
+        color[succ] = 1;
+        stack.push_back({succ, 0});
+      }
+    }
+  }
+}
+
+void check_nesting(const obs::SpanGraph& g, std::vector<std::string>& out) {
+  std::map<std::pair<int, int>, std::vector<const obs::Tracer::Span*>> lanes;
+  for (const obs::Tracer::Span& s : g.spans) lanes[{s.pid, s.tid}].push_back(&s);
+  for (auto& [lane, spans] : lanes) {
+    std::sort(spans.begin(), spans.end(),
+              [](const obs::Tracer::Span* a, const obs::Tracer::Span* b) {
+                if (a->t0 != b->t0) return a->t0 < b->t0;
+                if (a->t1 != b->t1) return a->t1 > b->t1;  // enclosing span first
+                return a->id < b->id;
+              });
+    std::vector<const obs::Tracer::Span*> stack;
+    for (const obs::Tracer::Span* s : spans) {
+      while (!stack.empty() && stack.back()->t1 <= s->t0) stack.pop_back();
+      if (!stack.empty() && s->t1 > stack.back()->t1) {
+        out.push_back(span_label(*s) + " partially overlaps " + span_label(*stack.back()) +
+                      " on lane " + std::to_string(lane.first) + "/" +
+                      std::to_string(lane.second));
+      }
+      stack.push_back(s);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> validate(const obs::SpanGraph& g) {
+  std::vector<std::string> out;
+  check_spans(g, out);
+  check_parents(g, out);
+  check_edges(g, out);
+  check_acyclic(g, out);
+  check_nesting(g, out);
+  return out;
+}
+
+std::vector<TaskRow> slowest_tasks(const obs::SpanGraph& g, std::size_t n) {
+  // Effective job, as in the analyzer: explicit tag or inherited.
+  std::map<obs::SpanId, std::uint64_t> eff_job;
+  for (const obs::Tracer::Span& s : g.spans) {
+    std::uint64_t j = s.job;
+    if (j == 0 && s.parent != 0) {
+      auto it = eff_job.find(s.parent);
+      if (it != eff_job.end()) j = it->second;
+    }
+    eff_job[s.id] = j;
+  }
+  std::vector<TaskRow> rows;
+  for (const obs::Tracer::Span& s : g.spans) {
+    if (s.parent != 0) continue;
+    if (s.cat != "map" && s.cat != "reduce") continue;
+    rows.push_back({s.name, eff_job[s.id], s.pid, s.tid, s.t0, s.t1});
+  }
+  std::stable_sort(rows.begin(), rows.end(), [](const TaskRow& a, const TaskRow& b) {
+    return a.seconds() > b.seconds();
+  });
+  if (rows.size() > n) rows.resize(n);
+  return rows;
+}
+
+std::vector<obs::JobCriticalPath> critical_paths(const obs::SpanGraph& g,
+                                                 const std::string& job_selector) {
+  std::vector<obs::JobCriticalPath> jobs = obs::analyze_critical_paths(g);
+  if (job_selector.empty() || job_selector == "all") return jobs;
+  std::vector<obs::JobCriticalPath> out;
+  for (obs::JobCriticalPath& cp : jobs) {
+    if (cp.name == job_selector || std::to_string(cp.job) == job_selector) {
+      out.push_back(std::move(cp));
+    }
+  }
+  return out;
+}
+
+std::string attribution_report(const std::vector<obs::JobCriticalPath>& jobs) {
+  std::ostringstream os;
+  for (const obs::JobCriticalPath& cp : jobs) {
+    char head[160];
+    std::snprintf(head, sizeof(head), "job %llu %s: makespan %.6fs (tiling %s)\n",
+                  static_cast<unsigned long long>(cp.job), cp.name.c_str(), cp.makespan(),
+                  cp.tiles_exactly() ? "exact" : "INEXACT");
+    os << head;
+    for (const std::string& cat : obs::critpath_categories()) {
+      const double secs = cp.attribution.at(cat);
+      const double pct = cp.makespan() > 0.0 ? 100.0 * secs / cp.makespan() : 0.0;
+      char line[128];
+      std::snprintf(line, sizeof(line), "  %-16s %12.6fs  %6.2f%%\n", cat.c_str(), secs, pct);
+      os << line;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace vhadoop::tracequery

@@ -1,0 +1,54 @@
+#pragma once
+
+// trace_query: offline queries over a "vhadoop-spans-v1" span graph
+// (obs::Tracer::to_span_graph_json). The query engine is a library so
+// tests/obs/ can drive it in-process; tools/trace_query/main.cpp is the
+// thin CLI used by the quickstart and the CI trace-validation step.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/critpath.hpp"
+#include "obs/trace.hpp"
+
+namespace vhadoop::tracequery {
+
+/// Parse a "vhadoop-spans-v1" document back into a SpanGraph. Throws
+/// std::runtime_error on malformed JSON or a wrong/missing schema tag.
+obs::SpanGraph load_span_graph(const std::string& json_text);
+
+/// Structural validation of a span graph. Returns human-readable problem
+/// descriptions (empty = valid):
+///  - span ids unique and nonzero, t1 >= t0
+///  - parents exist, live on the same (pid, tid) lane, and enclose the child
+///  - cause edges reference existing spans and are not self-loops
+///  - the cause graph is acyclic
+///  - spans on one lane nest properly (no partial overlap)
+std::vector<std::string> validate(const obs::SpanGraph& g);
+
+/// One row of the --slowest-tasks report.
+struct TaskRow {
+  std::string name;
+  std::uint64_t job = 0;
+  int pid = 0;
+  int tid = 0;
+  double t0 = 0.0;
+  double t1 = 0.0;
+  double seconds() const { return t1 - t0; }
+};
+
+/// Top-level task attempt spans (cat "map"/"reduce", lane top level) sorted
+/// by descending duration, ties by ascending id; at most `n`.
+std::vector<TaskRow> slowest_tasks(const obs::SpanGraph& g, std::size_t n);
+
+/// Critical paths of every job in the graph (obs::analyze_critical_paths),
+/// optionally filtered to one job by numeric id or by name ("" = all).
+std::vector<obs::JobCriticalPath> critical_paths(const obs::SpanGraph& g,
+                                                 const std::string& job_selector);
+
+/// Plain-text per-job attribution table: one line per category with seconds
+/// and percentage of the makespan, deterministic ordering.
+std::string attribution_report(const std::vector<obs::JobCriticalPath>& jobs);
+
+}  // namespace vhadoop::tracequery

@@ -9,8 +9,9 @@
 namespace vlint {
 
 const std::vector<std::string> kRules = {
-    "no-wall-clock",  "no-os-entropy",          "no-unordered-iteration",
-    "header-guard",   "using-namespace-header", "bad-suppression",
+    "no-wall-clock", "no-os-entropy",          "no-unordered-iteration",
+    "header-guard",  "using-namespace-header", "metric-name",
+    "bad-suppression",
 };
 
 bool is_known_rule(const std::string& name) {
@@ -151,7 +152,9 @@ SourceFile lex(std::string path, std::string rel, const std::string& text) {
         continue;
       }
     }
-    // String / char literal (bodies discarded).
+    // String / char literal. String bodies are kept (the metric-name rule
+    // inspects them); char bodies are discarded. Neither kind is ever an
+    // Ident token, so name-matching rules cannot fire inside literals.
     if (c == '"' || c == '\'') {
       char quote = c;
       std::size_t j = i + 1;
@@ -160,7 +163,11 @@ SourceFile lex(std::string path, std::string rel, const std::string& text) {
         if (text[j] == '\n') ++line;
         ++j;
       }
-      push(quote == '"' ? TokKind::String : TokKind::CharLit, std::string(1, quote));
+      if (quote == '"') {
+        push(TokKind::String, text.substr(i + 1, j - i - 1));
+      } else {
+        push(TokKind::CharLit, std::string(1, quote));
+      }
       i = (j < n) ? j + 1 : n;
       continue;
     }
@@ -433,6 +440,72 @@ void rule_header_guard(const RuleCtx& ctx) {
              "include guard)");
 }
 
+// --- metric-name -----------------------------------------------------------
+
+bool metric_char_ok(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+}
+
+/// Full metric name: `segment(.segment)+`, segments lowercase [a-z0-9_].
+bool metric_name_ok(const std::string& s) {
+  std::size_t start = 0;
+  int segments = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == '.') {
+      if (i == start) return false;  // empty segment
+      for (std::size_t k = start; k < i; ++k) {
+        if (!metric_char_ok(s[k])) return false;
+      }
+      ++segments;
+      start = i + 1;
+    }
+  }
+  return segments >= 2;
+}
+
+/// Prefix of a concatenated metric name: same charset, must already name
+/// the subsystem (contain a dot), may end with a dot ("mr.queue.").
+bool metric_prefix_ok(const std::string& s) {
+  if (s.empty() || s.front() == '.') return false;
+  bool has_dot = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '.') {
+      if (i > 0 && s[i - 1] == '.') return false;  // empty segment
+      has_dot = true;
+      continue;
+    }
+    if (!metric_char_ok(s[i])) return false;
+  }
+  return has_dot;
+}
+
+const std::set<std::string> kMetricFactories = {"counter", "gauge", "histogram"};
+
+/// Registry::counter/gauge/histogram with a literal first argument must use
+/// the `subsystem.metric_name` convention (lowercase, dot-separated). A
+/// literal that is concatenated onward (`"mr.queue." + q + ...`) is checked
+/// as a prefix. Non-literal first arguments are out of scope.
+void rule_metric_name(const RuleCtx& ctx) {
+  const auto& t = ctx.f.tokens;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind != TokKind::Ident || !kMetricFactories.count(t[i].text)) continue;
+    if (!prev_is(t, i, ".") && !prev_is(t, i, "->")) continue;  // member call only
+    if (t[i + 1].kind != TokKind::Punct || t[i + 1].text != "(") continue;
+    const Token& lit = t[i + 2];
+    if (lit.kind != TokKind::String) continue;
+    const bool concatenated =
+        i + 3 < t.size() && t[i + 3].kind == TokKind::Punct && t[i + 3].text == "+";
+    const bool ok = concatenated ? metric_prefix_ok(lit.text) : metric_name_ok(lit.text);
+    if (!ok) {
+      ctx.report(lit.line, "metric-name",
+                 "metric name \"" + lit.text + "\" passed to " + t[i].text +
+                     "() must follow 'subsystem.metric_name': lowercase "
+                     "[a-z0-9_] segments joined by dots" +
+                     (concatenated ? " (checked as a concatenation prefix)" : ""));
+    }
+  }
+}
+
 void rule_using_namespace_header(const RuleCtx& ctx) {
   if (!ctx.f.is_header) return;
   const auto& t = ctx.f.tokens;
@@ -466,6 +539,7 @@ Result run(const std::vector<SourceFile>& files, const std::vector<std::string>&
     if (enabled("no-unordered-iteration")) rule_no_unordered_iteration(ctx, unordered_vars);
     if (enabled("header-guard")) rule_header_guard(ctx);
     if (enabled("using-namespace-header")) rule_using_namespace_header(ctx);
+    if (enabled("metric-name")) rule_metric_name(ctx);
 
     // Malformed suppressions are findings themselves — and never
     // suppressible, or a bad suppression could excuse itself.

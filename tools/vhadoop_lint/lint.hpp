@@ -20,6 +20,11 @@ namespace vlint {
 ///                           #ifndef guard) before any other directive.
 ///  using-namespace-header — `using namespace` in a header leaks into every
 ///                           includer.
+///  metric-name            — string literals passed to Registry::counter/
+///                           gauge/histogram must follow the
+///                           `subsystem.metric_name` convention (lowercase
+///                           dot-separated segments); concatenated literals
+///                           are checked as prefixes.
 ///  bad-suppression        — a `// vlint: allow(...)` comment that names an
 ///                           unknown rule or carries no reason. Never itself
 ///                           suppressible.
@@ -61,9 +66,11 @@ struct Finding {
   std::string reason;  ///< suppression reason when suppressed
 };
 
-/// Lex one translation unit. Comments and string/char literal *bodies* are
-/// discarded (so banned names inside them never fire); `vlint:` directives
-/// hidden in comments come back as suppressions.
+/// Lex one translation unit. Comments and char-literal bodies are discarded;
+/// string-literal bodies are kept (as String tokens, never Ident, so banned
+/// names inside them never fire) for rules that inspect literals, like
+/// metric-name. `vlint:` directives hidden in comments come back as
+/// suppressions.
 SourceFile lex(std::string path, std::string rel, const std::string& text);
 
 struct Result {
