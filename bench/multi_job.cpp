@@ -156,6 +156,7 @@ int main() {
       {mapreduce::SchedulerPolicy::Fifo, "fifo"},
       {mapreduce::SchedulerPolicy::Fair, "fair"},
       {mapreduce::SchedulerPolicy::Capacity, "capacity"},
+      {mapreduce::SchedulerPolicy::Deadline, "deadline"},
   };
 
   bench::BenchResults results("multi_job");

@@ -2,15 +2,26 @@
 // point for quick experiments against the simulated testbed.
 //
 //   vhadoop_cli <workload> [--cross] [--workers N] [--mb SIZE]
-//               [--scheduler=fifo|fair|capacity]
+//               [--scheduler=fifo|fair|capacity|deadline]
+//               [--workload-trace=FILE] [--trace-gen=SPEC]
 //               [--metrics-out=FILE] [--trace-out=FILE] [--spans-out=FILE]
 //               [--timeseries-out=FILE]
 //
-// workloads: wordcount | terasort | dfsio | mrbench | pi | multi
+// workloads: wordcount | terasort | dfsio | mrbench | pi | multi | trace
 //
 // --scheduler selects the JobTracker scheduling policy (default fifo); the
 // `multi` workload submits a mixed job stream (one long sort behind a train
 // of short jobs) so the policies can be compared head-to-head.
+//
+// The `trace` workload replays a multi-tenant day of traffic open-loop
+// through per-tenant admission control and prints a per-tenant SLO report.
+// --workload-trace=FILE replays a vhadoop-trace-v1 file; otherwise a trace
+// is generated deterministically from --trace-gen=SPEC, a comma-separated
+// list of jobs=N, horizon=SECONDS, tenants=N, process=poisson|bursty,
+// seed=N, out=FILE (out= writes the trace file and exits without
+// replaying). Example:
+//   vhadoop_cli trace --trace-gen=jobs=2000,seed=7,out=day.trace
+//   vhadoop_cli trace --workload-trace=day.trace --scheduler=deadline
 //
 // --metrics-out writes the platform metrics registry as JSON after the run;
 // --trace-out enables timeline tracing and writes a Chrome trace-event file
@@ -33,6 +44,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -44,6 +56,8 @@
 #include "workloads/pi_estimator.hpp"
 #include "workloads/terasort.hpp"
 #include "workloads/text_corpus.hpp"
+#include "workloads/trace.hpp"
+#include "workloads/trace_replay.hpp"
 #include "workloads/wordcount.hpp"
 
 using namespace vhadoop;
@@ -60,12 +74,16 @@ struct Options {
   std::string spans_out;
   std::string timeseries_out;
   std::string scheduler = "fifo";
+  std::string workload_trace;
+  std::string trace_gen;
 };
 
 int usage() {
   std::fprintf(stderr,
-               "usage: vhadoop_cli <wordcount|terasort|dfsio|mrbench|pi|multi> "
-               "[--cross] [--workers N] [--mb SIZE] [--scheduler=fifo|fair|capacity] "
+               "usage: vhadoop_cli <wordcount|terasort|dfsio|mrbench|pi|multi|trace> "
+               "[--cross] [--workers N] [--mb SIZE] "
+               "[--scheduler=fifo|fair|capacity|deadline] "
+               "[--workload-trace=FILE] [--trace-gen=SPEC] "
                "[--metrics-out=FILE] [--trace-out=FILE] [--spans-out=FILE] "
                "[--timeseries-out=FILE]\n");
   return 2;
@@ -93,9 +111,55 @@ Options parse(int argc, char** argv) {
       opt.timeseries_out = arg.substr(17);
     } else if (arg.rfind("--scheduler=", 0) == 0) {
       opt.scheduler = arg.substr(12);
+    } else if (arg.rfind("--workload-trace=", 0) == 0) {
+      opt.workload_trace = arg.substr(17);
+    } else if (arg.rfind("--trace-gen=", 0) == 0) {
+      opt.trace_gen = arg.substr(12);
     }
   }
   return opt;
+}
+
+/// Parse a --trace-gen SPEC ("jobs=N,horizon=S,tenants=N,process=...,seed=N,
+/// out=FILE"). Unknown keys are fatal so typos cannot silently produce the
+/// default trace. Returns false (with a message) on a malformed spec.
+bool parse_gen_spec(const std::string& spec, workloads::TraceGenConfig& gen,
+                    std::string& out_file) {
+  std::stringstream ss(spec);
+  std::string kv;
+  while (std::getline(ss, kv, ',')) {
+    if (kv.empty()) continue;
+    const auto eq = kv.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "vhadoop_cli: --trace-gen entry '%s' is not key=value\n", kv.c_str());
+      return false;
+    }
+    const std::string key = kv.substr(0, eq), val = kv.substr(eq + 1);
+    if (key == "jobs") {
+      gen.num_jobs = std::atoi(val.c_str());
+    } else if (key == "horizon") {
+      gen.horizon_seconds = std::atof(val.c_str());
+    } else if (key == "tenants") {
+      gen.num_tenants = std::atoi(val.c_str());
+    } else if (key == "seed") {
+      gen.seed = static_cast<std::uint64_t>(std::atoll(val.c_str()));
+    } else if (key == "process") {
+      if (val == "poisson") {
+        gen.process = workloads::ArrivalProcess::Poisson;
+      } else if (val == "bursty") {
+        gen.process = workloads::ArrivalProcess::Bursty;
+      } else {
+        std::fprintf(stderr, "vhadoop_cli: unknown arrival process '%s'\n", val.c_str());
+        return false;
+      }
+    } else if (key == "out") {
+      out_file = val;
+    } else {
+      std::fprintf(stderr, "vhadoop_cli: unknown --trace-gen key '%s'\n", key.c_str());
+      return false;
+    }
+  }
+  return true;
 }
 
 bool write_text_file(const std::string& path, const std::string& content) {
@@ -116,7 +180,7 @@ int main(int argc, char** argv) {
 
   const auto policy = mapreduce::scheduler_policy_from_string(opt.scheduler);
   if (!policy) {
-    std::fprintf(stderr, "vhadoop_cli: unknown scheduler '%s' (fifo|fair|capacity)\n",
+    std::fprintf(stderr, "vhadoop_cli: unknown scheduler '%s' (fifo|fair|capacity|deadline)\n",
                  opt.scheduler.c_str());
     return 2;
   }
@@ -129,8 +193,14 @@ int main(int argc, char** argv) {
   spec.placement = opt.cross ? core::Placement::CrossDomain : core::Placement::Normal;
   spec.hadoop.scheduler = *policy;
   if (*policy == mapreduce::SchedulerPolicy::Capacity) {
-    // Two demo queues: production owns 70% of the slots, adhoc the rest.
-    spec.hadoop.queues = {{"prod", 0.7, 1.0, 1.0}, {"adhoc", 0.3, 0.5, 1.0}};
+    if (opt.workload == "trace") {
+      // Generated traces route jobs to these two queues; interactive
+      // traffic gets the larger guarantee.
+      spec.hadoop.queues = {{"interactive", 0.6, 1.0, 1.0}, {"batch", 0.4, 1.0, 1.0}};
+    } else {
+      // Two demo queues: production owns 70% of the slots, adhoc the rest.
+      spec.hadoop.queues = {{"prod", 0.7, 1.0, 1.0}, {"adhoc", 0.3, 0.5, 1.0}};
+    }
   }
   platform.boot_cluster(spec);
   std::printf("cluster: %d workers, %s placement, %s scheduler (boot %.0f s simulated)\n",
@@ -207,6 +277,54 @@ int main(int argc, char** argv) {
     }
     std::printf("multi (%s): %zu jobs, makespan %.1f s\n",
                 platform.runner().scheduler_name(), latency.size(), makespan);
+  } else if (opt.workload == "trace") {
+    workloads::WorkloadTrace trace;
+    if (!opt.workload_trace.empty()) {
+      std::ifstream in(opt.workload_trace, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "vhadoop_cli: cannot read %s\n", opt.workload_trace.c_str());
+        return 1;
+      }
+      std::stringstream buf;
+      buf << in.rdbuf();
+      const auto err = workloads::parse_trace(buf.str(), trace);
+      if (!err.ok()) {
+        std::fprintf(stderr, "vhadoop_cli: %s: %s\n", opt.workload_trace.c_str(),
+                     err.to_string().c_str());
+        return 1;
+      }
+    } else {
+      workloads::TraceGenConfig gen;
+      std::string gen_out;
+      if (!parse_gen_spec(opt.trace_gen, gen, gen_out)) return 2;
+      trace = workloads::generate_trace(gen);
+      if (!gen_out.empty()) {
+        if (!write_text_file(gen_out, trace.serialize())) return 1;
+        std::printf("trace: wrote %zu records to %s\n", trace.records.size(),
+                    gen_out.c_str());
+        return 0;
+      }
+    }
+    workloads::TraceReplayer replayer(
+        platform.engine(), platform.metrics(), std::move(trace),
+        [&platform](mapreduce::SimJobSpec job,
+                    std::function<void(const mapreduce::JobTimeline&)> done) {
+          platform.submit_job(std::move(job), std::move(done));
+        });
+    const double makespan = replayer.run_to_completion();
+    std::printf("trace (%s): %d accepted, %d rejected, %d completed, %d failed, "
+                "makespan %.1f s\n",
+                platform.runner().scheduler_name(), replayer.accepted(),
+                replayer.rejected(), replayer.completed(), replayer.failed(), makespan);
+    std::printf("  SLO: %d/%d missed (%.1f%%), p50 %.1f s, p95 %.1f s, p99 %.1f s\n",
+                replayer.slo_missed(), replayer.slo_tracked(),
+                100.0 * replayer.slo_miss_rate(), replayer.latency_percentile(0.50),
+                replayer.latency_percentile(0.95), replayer.latency_percentile(0.99));
+    for (const auto& ts : replayer.tenant_stats()) {
+      std::printf("  %-8s acc %4d rej %3d done %4d miss %3d p95 %8.1f s\n",
+                  ts.tenant.c_str(), ts.accepted, ts.rejected, ts.completed,
+                  ts.slo_missed, ts.latency_percentile(0.95));
+    }
   } else {
     return usage();
   }

@@ -13,6 +13,7 @@ enum class SchedulerPolicy {
   Fifo,      ///< strict submit order, one job served at a time (era default)
   Fair,      ///< equal slot shares across runnable jobs + delay scheduling
   Capacity,  ///< named queues with guaranteed/max slot fractions, user limits
+  Deadline,  ///< EDF within priority tiers + anti-starvation aging (SLO traffic)
 };
 
 /// One Capacity-scheduler queue (mapred-queues.xml entry).
@@ -79,8 +80,14 @@ struct HadoopConfig {
   SchedulerPolicy scheduler = SchedulerPolicy::Fifo;
   /// Fair-scheduler delay scheduling: how long a job may be skipped while
   /// waiting for a slot on a node holding one of its input blocks before it
-  /// accepts a non-local slot (Zaharia et al., EuroSys'10).
+  /// accepts a non-local slot (Zaharia et al., EuroSys'10). The Deadline
+  /// scheduler applies the same delay to its map picks.
   double locality_delay_seconds = 6.0;
+  /// Deadline scheduler's anti-starvation window: a job that has waited
+  /// this long without ever receiving a slot preempts the EDF/priority
+  /// order (oldest such job first), so a stream of urgent arrivals cannot
+  /// starve no-deadline batch work indefinitely.
+  double deadline_starvation_window_seconds = 300.0;
   /// Capacity-scheduler queues. Empty = a single "default" queue owning the
   /// whole cluster; jobs naming an unknown queue fall into the first one.
   std::vector<QueueConfig> queues;

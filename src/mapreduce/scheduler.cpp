@@ -87,12 +87,53 @@ std::size_t CapacityScheduler::pick(const std::vector<JobSchedView>& views, Slot
   return kNone;
 }
 
+std::size_t DeadlineScheduler::pick(const std::vector<JobSchedView>& views,
+                                    SlotKind kind, int) const {
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    if (views[i].pending > 0) order.push_back(i);
+  }
+  if (order.empty()) return kNone;
+
+  // Anti-starvation override: a job skipped past the window without ever
+  // starting jumps the whole EDF/priority order — oldest such job first, so
+  // a sustained stream of urgent arrivals cannot pin batch work forever.
+  std::vector<std::size_t> starved;
+  for (std::size_t i : order) {
+    if (!views[i].started && views[i].age >= starvation_window_) starved.push_back(i);
+  }
+  const std::vector<std::size_t>& pool = starved.empty() ? order : starved;
+
+  std::vector<std::size_t> ranked(pool);
+  std::stable_sort(ranked.begin(), ranked.end(), [&](std::size_t a, std::size_t b) {
+    if (!starved.empty()) {  // starved pool: strictly oldest-first
+      return views[a].submit_index < views[b].submit_index;
+    }
+    if (views[a].priority != views[b].priority)
+      return views[a].priority > views[b].priority;  // higher tier first
+    if (views[a].deadline != views[b].deadline)
+      return views[a].deadline < views[b].deadline;  // EDF within tier
+    return views[a].submit_index < views[b].submit_index;
+  });
+
+  if (kind == SlotKind::Reduce) return ranked.front();
+  // Delay scheduling for map locality, same walk as the Fair scheduler: the
+  // front-runner may be skipped until it waits out the delay window.
+  for (std::size_t i : ranked) {
+    if (views[i].local_available || views[i].locality_wait >= locality_delay_) return i;
+  }
+  return kNone;
+}
+
 std::unique_ptr<Scheduler> make_scheduler(const HadoopConfig& config) {
   switch (config.scheduler) {
     case SchedulerPolicy::Fair:
       return std::make_unique<FairScheduler>(config.locality_delay_seconds);
     case SchedulerPolicy::Capacity:
       return std::make_unique<CapacityScheduler>(config.queues);
+    case SchedulerPolicy::Deadline:
+      return std::make_unique<DeadlineScheduler>(
+          config.locality_delay_seconds, config.deadline_starvation_window_seconds);
     case SchedulerPolicy::Fifo:
       break;
   }
@@ -103,6 +144,7 @@ const char* to_string(SchedulerPolicy policy) {
   switch (policy) {
     case SchedulerPolicy::Fair: return "fair";
     case SchedulerPolicy::Capacity: return "capacity";
+    case SchedulerPolicy::Deadline: return "deadline";
     case SchedulerPolicy::Fifo: break;
   }
   return "fifo";
@@ -112,6 +154,7 @@ std::optional<SchedulerPolicy> scheduler_policy_from_string(const std::string& s
   if (s == "fifo") return SchedulerPolicy::Fifo;
   if (s == "fair") return SchedulerPolicy::Fair;
   if (s == "capacity") return SchedulerPolicy::Capacity;
+  if (s == "deadline") return SchedulerPolicy::Deadline;
   return std::nullopt;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "mapreduce/hadoop_config.hpp"
+#include "sim/time.hpp"
 
 namespace vhadoop::mapreduce {
 
@@ -29,6 +30,15 @@ struct JobSchedView {
   bool local_available = true;
   /// Seconds this job has been skipped waiting for a data-local slot.
   double locality_wait = 0.0;
+  /// Scheduling tier (SimJobSpec::priority); higher is more urgent.
+  int priority = 0;
+  /// Absolute completion deadline on the simulated clock (submit instant +
+  /// SimJobSpec::deadline_seconds); kNever when the job carries none.
+  double deadline = sim::kNever;
+  /// Seconds since the job was submitted.
+  double age = 0.0;
+  /// The job has been granted at least one task slot (of either kind).
+  bool started = false;
 };
 
 /// Pluggable job scheduler — the decision "which job gets this free slot",
@@ -96,12 +106,37 @@ class CapacityScheduler final : public Scheduler {
   std::vector<QueueConfig> queues_;
 };
 
+/// Deadline scheduler (PAPERS.md "Hybrid Job-driven Scheduling for Virtual
+/// MapReduce Clusters"): earliest-deadline-first within priority tiers.
+/// Higher tiers are always served before lower ones; within a tier the job
+/// with the earliest absolute deadline wins (no-deadline jobs sort last and
+/// fall back to submission order). Two escape hatches keep it safe for
+/// open-loop multi-tenant traffic: a starvation window — a job that has
+/// waited longer than `starvation_window` without ever starting preempts
+/// the whole order, oldest first — and the Fair scheduler's delay
+/// scheduling for map locality.
+class DeadlineScheduler final : public Scheduler {
+ public:
+  DeadlineScheduler(double locality_delay_seconds, double starvation_window_seconds)
+      : locality_delay_(locality_delay_seconds),
+        starvation_window_(starvation_window_seconds) {}
+  const char* name() const override { return "deadline"; }
+  bool wants_locality() const override { return true; }
+  std::size_t pick(const std::vector<JobSchedView>& views, SlotKind kind,
+                   int total_slots) const override;
+
+ private:
+  double locality_delay_;
+  double starvation_window_;
+};
+
 /// Build the configured scheduler (FIFO when `config.scheduler` says so,
 /// etc.). Capacity with no queues gets a single catch-all "default" queue.
 std::unique_ptr<Scheduler> make_scheduler(const HadoopConfig& config);
 
 const char* to_string(SchedulerPolicy policy);
-/// Parse "fifo" / "fair" / "capacity" (exact, lowercase); nullopt otherwise.
+/// Parse "fifo" / "fair" / "capacity" / "deadline" (exact, lowercase);
+/// nullopt otherwise.
 std::optional<SchedulerPolicy> scheduler_policy_from_string(const std::string& s);
 
 }  // namespace vhadoop::mapreduce

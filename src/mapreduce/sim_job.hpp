@@ -49,8 +49,15 @@ struct SimJobSpec {
 
   /// SLO deadline on end-to-end latency (submit → finish), in simulated
   /// seconds; 0 disables. A completed job exceeding it bumps the
-  /// mr.queue.<queue>.slo_missed counter.
+  /// mr.queue.<queue>.slo_missed counter, and the Deadline scheduler orders
+  /// jobs by it (EDF). Negative or non-finite values are rejected at
+  /// submit.
   double deadline_seconds = 0.0;
+
+  /// Scheduling tier for the Deadline policy, 0 (batch) .. 9 (urgent):
+  /// higher tiers are served first, EDF breaks ties within a tier. Ignored
+  /// by FIFO/Fair/Capacity. Values outside [0, 9] are rejected at submit.
+  int priority = 0;
 
   double shuffle_bytes(std::size_t m, std::size_t r) const {
     if (!shuffle_matrix.empty()) return shuffle_matrix[m][r];

@@ -1,6 +1,7 @@
 #include "mapreduce/sim_runner.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "sim/latch.hpp"
@@ -134,6 +135,15 @@ void SimulatedJobRunner::erase_job(std::uint64_t id) {
 
 void SimulatedJobRunner::submit(SimJobSpec spec, std::function<void(const JobTimeline&)> on_done) {
   if (spec.maps.empty()) throw std::invalid_argument("SimJobSpec: no map tasks");
+  // `!(x >= 0)` also catches NaN, which every ordered comparison rejects.
+  if (!(spec.deadline_seconds >= 0.0) || !std::isfinite(spec.deadline_seconds)) {
+    throw std::invalid_argument("SimJobSpec: deadline_seconds must be finite and >= 0 (0 = none), got " +
+                                std::to_string(spec.deadline_seconds));
+  }
+  if (spec.priority < 0 || spec.priority > 9) {
+    throw std::invalid_argument("SimJobSpec: priority must be in [0, 9], got " +
+                                std::to_string(spec.priority));
+  }
   if (!spec.shuffle_matrix.empty()) {
     if (spec.shuffle_matrix.size() != spec.maps.size() ||
         (!spec.reduces.empty() && spec.shuffle_matrix[0].size() != spec.reduces.size())) {
@@ -267,6 +277,12 @@ std::size_t SimulatedJobRunner::pick_job(SlotKind kind, std::size_t tracker_idx)
     v.user = job.spec.user;
     v.running = kind == SlotKind::Map ? job.running_maps : job.running_reduces;
     v.pending = schedulable_tasks(job, kind);
+    v.priority = job.spec.priority;
+    v.deadline = job.spec.deadline_seconds > 0.0
+                     ? job.timeline.submitted + job.spec.deadline_seconds
+                     : sim::kNever;
+    v.age = now - job.timeline.submitted;
+    v.started = job.started;
     if (locality && v.pending > 0) {
       v.local_available = job_has_local_map(job, vm);
       if (v.local_available) {

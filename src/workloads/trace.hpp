@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mapreduce/sim_job.hpp"
+#include "sim/rng.hpp"
+
+namespace vhadoop::workloads {
+
+/// The job families a workload trace may request. Each family expands to a
+/// SimJobSpec shape calibrated from the paper's workloads: wordcount
+/// (map-heavy scan, small shuffle), terasort (shuffle-bound sort), kmeans
+/// (CPU-bound iteration, tiny shuffle), mrbench (latency probe, near-empty
+/// tasks).
+enum class JobFamily { Wordcount, Terasort, Kmeans, Mrbench };
+
+const char* to_string(JobFamily family);
+
+/// One line of a workload trace: a tenant's job arriving open-loop.
+struct TraceRecord {
+  double arrival_seconds = 0.0;  ///< simulated submit instant (non-decreasing)
+  std::string tenant = "t0";     ///< submitting tenant (becomes SimJobSpec::user)
+  std::string queue = "default"; ///< scheduler queue (SimJobSpec::queue)
+  int priority = 0;              ///< scheduling tier, 0 (batch) .. 9 (urgent)
+  double deadline_seconds = 0.0; ///< SLO on submit->finish; 0 = none
+  JobFamily family = JobFamily::Wordcount;
+  double input_mb = 64.0;        ///< input size; drives map count and cost
+
+  bool operator==(const TraceRecord&) const = default;
+};
+
+/// A parsed workload trace: records in arrival order.
+struct WorkloadTrace {
+  std::vector<TraceRecord> records;
+
+  double last_arrival() const {
+    return records.empty() ? 0.0 : records.back().arrival_seconds;
+  }
+  /// Canonical text form ("vhadoop-trace-v1"). serialize(parse(s)) is
+  /// byte-stable: parse(serialize(t)) == t for every valid trace.
+  std::string serialize() const;
+};
+
+/// Parse failure, pointing at the offending input. Lines and columns are
+/// 1-based; column 0 means "the whole line" (e.g. a truncated record).
+struct TraceParseError {
+  int line = 0;
+  int column = 0;
+  std::string message;
+
+  bool ok() const { return line == 0; }
+  std::string to_string() const;
+};
+
+/// Strict line-oriented parser for the "vhadoop-trace-v1" format:
+///
+///   vhadoop-trace-v1
+///   # comment
+///   <arrival_s> <tenant> <queue> <priority> <deadline_s> <family> <input_mb>
+///
+/// Whitespace-separated fields; every numeric token must parse in full.
+/// Rejected with a line/column diagnostic: a missing or wrong header, short
+/// or overlong lines, malformed or negative timestamps, arrivals that go
+/// backwards, priorities outside [0, 9], negative deadlines, unknown
+/// families, non-positive input sizes — and, when `allowed_queues` is
+/// non-empty, any queue name not in it.
+TraceParseError parse_trace(const std::string& text, WorkloadTrace& out,
+                            const std::vector<std::string>& allowed_queues = {});
+
+/// Expand one trace record into the simulated job it requests. The spec's
+/// maps read `input_mb` from local (NFS-backed) disk — no per-job HDFS
+/// staging, so a 10k-job day replays without namenode state explosion.
+mapreduce::SimJobSpec spec_for(const TraceRecord& record, std::uint64_t job_index);
+
+/// How arrivals are spaced by the generator.
+enum class ArrivalProcess {
+  Poisson,  ///< exponential gaps at a constant rate
+  Bursty,   ///< ON/OFF modulated Poisson: heavy bursts between quiet gaps
+};
+
+/// Deterministic day-in-the-life trace generator. Everything flows from
+/// `seed` through sim::rng, so the same config always yields the same
+/// trace, byte for byte.
+///
+/// Tenants split into an interactive tier (short wordcount/mrbench jobs,
+/// tight deadlines, high priority, queue "interactive") and a batch tier
+/// (terasort/kmeans, loose or no deadlines, low priority, queue "batch").
+struct TraceGenConfig {
+  int num_jobs = 10000;
+  double horizon_seconds = 86400.0;  ///< arrivals aim to cover one day
+  int num_tenants = 20;
+  ArrivalProcess process = ArrivalProcess::Bursty;
+  /// Bursty only: mean ON / OFF phase lengths; all arrivals land in ON
+  /// phases, compressing the same job count into rate spikes.
+  double burst_on_seconds = 600.0;
+  double burst_off_seconds = 1800.0;
+  /// Fraction of tenants in the interactive tier.
+  double interactive_fraction = 0.6;
+  std::uint64_t seed = 7;
+};
+
+WorkloadTrace generate_trace(const TraceGenConfig& config);
+
+/// Queue names the generator emits (useful as parse-time `allowed_queues`).
+std::vector<std::string> generated_queues();
+
+}  // namespace vhadoop::workloads

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mapreduce/sim_job.hpp"
+#include "obs/metrics.hpp"
+#include "sim/engine.hpp"
+#include "workloads/trace.hpp"
+
+namespace vhadoop::workloads {
+
+/// Per-tenant admission caps the replayer enforces before a job ever
+/// reaches the JobTracker. A rejected job is dropped (counted, never
+/// queued) — the open-loop analogue of a 429.
+struct AdmissionConfig {
+  /// Accepted-but-unfinished jobs one tenant may hold; <= 0 disables.
+  int max_concurrent_per_tenant = 8;
+  /// Total input bytes of a tenant's accepted-but-unfinished jobs; <= 0
+  /// disables.
+  double max_pending_bytes_per_tenant = 4.0 * sim::kGiB;
+};
+
+/// What one tenant experienced over a replay.
+struct TenantReplayStats {
+  std::string tenant;
+  int accepted = 0;
+  int rejected = 0;
+  int completed = 0;
+  int failed = 0;
+  int slo_missed = 0;  ///< completed jobs that blew their deadline
+  std::vector<double> latencies;  ///< submit->finish, completed jobs only
+
+  /// q in [0, 1]; nearest-rank over the completed-job latencies.
+  double latency_percentile(double q) const;
+};
+
+/// Open-loop trace submitter: a daemon event chain on the simulation engine
+/// that feeds jobs to the JobTracker at their trace arrival instants —
+/// arrivals never wait for completions, so backlog builds exactly as the
+/// trace dictates. Being daemon events, armed arrivals never keep
+/// Engine::run() alive by themselves; drive a replay with
+/// run_to_completion() (or run_until past the last arrival) so quiet gaps
+/// in the trace cannot strand the tail.
+class TraceReplayer {
+ public:
+  using SubmitFn = std::function<void(mapreduce::SimJobSpec,
+                                      std::function<void(const mapreduce::JobTimeline&)>)>;
+
+  /// `submit` is typically Platform::submit_job (or SimulatedJobRunner::
+  /// submit) wrapped in a lambda; tests interpose their own to audit the
+  /// stream independently. `registry` is where the admission counters live
+  /// (mr.queue.<queue>.admission_rejected), normally the engine's own.
+  TraceReplayer(sim::Engine& engine, obs::Registry& registry, WorkloadTrace trace,
+                SubmitFn submit, AdmissionConfig admission = {});
+
+  /// Arm the arrival chain (idempotent; records already in the past of the
+  /// simulated clock are submitted at the current instant, in order).
+  void start();
+
+  /// start() + run the engine past the last arrival, then drain remaining
+  /// work. Returns the simulated makespan (first arrival to last finish).
+  double run_to_completion();
+
+  bool finished() const { return next_ == trace_.records.size() && outstanding_ == 0; }
+  const WorkloadTrace& trace() const { return trace_; }
+
+  // --- replay-wide results --------------------------------------------------
+  int accepted() const { return accepted_; }
+  int rejected() const { return rejected_; }
+  int completed() const { return completed_; }
+  int failed() const { return failed_; }
+  int slo_missed() const { return slo_missed_; }
+  int slo_tracked() const { return slo_tracked_; }  ///< completed jobs that had a deadline
+  /// slo_missed / slo_tracked (0 when nothing carried a deadline).
+  double slo_miss_rate() const;
+  /// Replay-wide nearest-rank latency percentile over completed jobs.
+  double latency_percentile(double q) const;
+  /// Largest (submit instant - trace arrival) over accepted jobs: an
+  /// open-loop replay keeps this at 0 (modulo fp slack).
+  double max_submit_skew() const { return max_submit_skew_; }
+
+  /// Tenants in name order (deterministic iteration for reports).
+  std::vector<TenantReplayStats> tenant_stats() const;
+
+ private:
+  struct TenantState {
+    int in_flight = 0;
+    double pending_bytes = 0.0;
+    TenantReplayStats stats;
+  };
+
+  void arm_next();
+  void arrive();
+  static double spec_input_bytes(const mapreduce::SimJobSpec& spec);
+
+  sim::Engine& engine_;
+  obs::Registry& registry_;
+  WorkloadTrace trace_;
+  SubmitFn submit_;
+  AdmissionConfig admission_;
+  std::size_t next_ = 0;     ///< next record to submit
+  int outstanding_ = 0;      ///< accepted jobs not yet completed/failed
+  bool armed_ = false;
+  double epoch_ = 0.0;       ///< engine instant trace time 0 maps to
+  double first_arrival_ = 0.0;
+  double last_finish_ = 0.0;
+  int accepted_ = 0;
+  int rejected_ = 0;
+  int completed_ = 0;
+  int failed_ = 0;
+  int slo_missed_ = 0;
+  int slo_tracked_ = 0;
+  double max_submit_skew_ = 0.0;
+  std::vector<double> latencies_;
+  std::map<std::string, TenantState> tenants_;
+  obs::Counter* m_accepted_;
+  obs::Counter* m_rejected_;
+};
+
+}  // namespace vhadoop::workloads

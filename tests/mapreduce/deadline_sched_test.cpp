@@ -1,0 +1,243 @@
+// Deadline scheduler unit tests: EDF ordering within priority tiers, the
+// anti-starvation window, locality-delay behaviour on map picks — plus the
+// submit-time validation of SimJobSpec::deadline_seconds/priority and a
+// golden lock that the FIFO policy ignores both fields entirely.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "mapreduce/scheduler.hpp"
+#include "testutil/sim_cluster.hpp"
+
+namespace vhadoop::mapreduce {
+namespace {
+
+using testutil::SimCluster;
+
+JobSchedView view(std::size_t submit_index, int priority, double deadline,
+                  std::size_t pending = 1) {
+  JobSchedView v;
+  v.id = submit_index + 1;
+  v.submit_index = submit_index;
+  v.priority = priority;
+  v.deadline = deadline;
+  v.pending = pending;
+  return v;
+}
+
+constexpr double kWindow = 300.0;
+
+DeadlineScheduler sched() { return DeadlineScheduler(6.0, kWindow); }
+
+TEST(DeadlineScheduler, EarliestDeadlineFirstWithinATier) {
+  std::vector<JobSchedView> views = {view(0, 5, 500.0), view(1, 5, 100.0),
+                                     view(2, 5, 300.0)};
+  EXPECT_EQ(sched().pick(views, SlotKind::Reduce, 8), 1u);
+  EXPECT_EQ(sched().pick(views, SlotKind::Map, 8), 1u);
+}
+
+TEST(DeadlineScheduler, NoDeadlineSortsLastWithinATier) {
+  std::vector<JobSchedView> views = {view(0, 5, sim::kNever), view(1, 5, 900.0)};
+  EXPECT_EQ(sched().pick(views, SlotKind::Reduce, 8), 1u);
+}
+
+TEST(DeadlineScheduler, HigherPriorityTierBeatsEarlierDeadline) {
+  // The low-tier job's deadline is much sooner, but tiers are absolute.
+  std::vector<JobSchedView> views = {view(0, 1, 10.0), view(1, 8, 5000.0)};
+  EXPECT_EQ(sched().pick(views, SlotKind::Reduce, 8), 1u);
+}
+
+TEST(DeadlineScheduler, SubmitOrderBreaksExactTies) {
+  std::vector<JobSchedView> views = {view(0, 3, 100.0), view(1, 3, 100.0)};
+  EXPECT_EQ(sched().pick(views, SlotKind::Reduce, 8), 0u);
+}
+
+TEST(DeadlineScheduler, SkipsJobsWithNoPendingWork) {
+  std::vector<JobSchedView> views = {view(0, 9, 10.0, /*pending=*/0), view(1, 0, sim::kNever)};
+  EXPECT_EQ(sched().pick(views, SlotKind::Reduce, 8), 1u);
+  views[1].pending = 0;
+  EXPECT_EQ(sched().pick(views, SlotKind::Reduce, 8), Scheduler::kNone);
+  EXPECT_EQ(sched().pick({}, SlotKind::Map, 8), Scheduler::kNone);
+}
+
+TEST(DeadlineScheduler, StarvedJobPreemptsTheWholeOrder) {
+  // An old never-started batch job past the window outranks urgent traffic.
+  JobSchedView batch = view(0, 0, sim::kNever);
+  batch.age = kWindow + 1.0;
+  batch.started = false;
+  std::vector<JobSchedView> views = {batch, view(1, 9, 5.0)};
+  EXPECT_EQ(sched().pick(views, SlotKind::Reduce, 8), 0u);
+
+  // Once it has started, the boost is gone and EDF/priority rule again.
+  views[0].started = true;
+  EXPECT_EQ(sched().pick(views, SlotKind::Reduce, 8), 1u);
+
+  // Under the window it waits its turn too.
+  views[0].started = false;
+  views[0].age = kWindow - 1.0;
+  EXPECT_EQ(sched().pick(views, SlotKind::Reduce, 8), 1u);
+}
+
+TEST(DeadlineScheduler, OldestStarvedJobServedFirst) {
+  JobSchedView a = view(3, 2, sim::kNever);
+  a.age = kWindow + 5.0;
+  JobSchedView b = view(1, 7, 50.0);  // higher tier, but also starved
+  b.age = kWindow + 50.0;
+  std::vector<JobSchedView> views = {a, b, view(5, 9, 1.0)};
+  // Both starved jobs outrank the urgent one; the older submit index wins.
+  EXPECT_EQ(sched().pick(views, SlotKind::Reduce, 8), 1u);
+}
+
+TEST(DeadlineScheduler, MapPicksHonourLocalityDelay) {
+  JobSchedView urgent = view(0, 9, 10.0);
+  urgent.local_available = false;
+  urgent.locality_wait = 2.0;  // still inside the 6 s delay window
+  JobSchedView lax = view(1, 1, 5000.0);
+  lax.local_available = true;
+  std::vector<JobSchedView> views = {urgent, lax};
+
+  // Reduce slots ignore locality: the urgent job wins outright.
+  EXPECT_EQ(sched().pick(views, SlotKind::Reduce, 8), 0u);
+  // Map slot: the urgent job is deferred for a local chance; next in rank.
+  EXPECT_EQ(sched().pick(views, SlotKind::Map, 8), 1u);
+  // Once it has waited out the delay it takes the non-local slot.
+  views[0].locality_wait = 6.0;
+  EXPECT_EQ(sched().pick(views, SlotKind::Map, 8), 0u);
+  // Nobody local, nobody past the delay: leave the slot free.
+  views[0].locality_wait = 0.0;
+  views[1].local_available = false;
+  EXPECT_EQ(sched().pick(views, SlotKind::Map, 8), Scheduler::kNone);
+}
+
+TEST(DeadlineScheduler, FactoryAndNamesRoundTrip) {
+  HadoopConfig hc;
+  hc.scheduler = SchedulerPolicy::Deadline;
+  auto s = make_scheduler(hc);
+  EXPECT_STREQ(s->name(), "deadline");
+  EXPECT_TRUE(s->wants_locality());
+  EXPECT_STREQ(to_string(SchedulerPolicy::Deadline), "deadline");
+  EXPECT_EQ(scheduler_policy_from_string("deadline"), SchedulerPolicy::Deadline);
+}
+
+// --- submit-time validation ---------------------------------------------------
+
+SimJobSpec tiny_spec() {
+  SimJobSpec spec;
+  spec.name = "tiny";
+  spec.output_path = "/out/tiny";
+  spec.maps.push_back({.input_bytes = sim::kMiB, .cpu_seconds = 0.1,
+                       .output_bytes = sim::kMiB / 2});
+  spec.reduces.push_back({.cpu_seconds = 0.1, .output_bytes = sim::kMiB / 4});
+  return spec;
+}
+
+TEST(DeadlineValidation, NegativeDeadlineRejectedAtSubmit) {
+  auto c = SimCluster::make(2, false);
+  SimJobSpec spec = tiny_spec();
+  spec.deadline_seconds = -30.0;
+  EXPECT_THROW(c->runner->submit(spec, [](const JobTimeline&) {}), std::invalid_argument);
+}
+
+TEST(DeadlineValidation, NonFiniteDeadlineRejectedAtSubmit) {
+  auto c = SimCluster::make(2, false);
+  SimJobSpec spec = tiny_spec();
+  spec.deadline_seconds = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(c->runner->submit(spec, [](const JobTimeline&) {}), std::invalid_argument);
+  spec.deadline_seconds = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(c->runner->submit(spec, [](const JobTimeline&) {}), std::invalid_argument);
+}
+
+TEST(DeadlineValidation, PriorityOutsideTierRangeRejectedAtSubmit) {
+  auto c = SimCluster::make(2, false);
+  SimJobSpec spec = tiny_spec();
+  spec.priority = 10;
+  EXPECT_THROW(c->runner->submit(spec, [](const JobTimeline&) {}), std::invalid_argument);
+  spec.priority = -1;
+  EXPECT_THROW(c->runner->submit(spec, [](const JobTimeline&) {}), std::invalid_argument);
+}
+
+TEST(DeadlineValidation, ZeroDeadlineMeansNoneAndRunsFine) {
+  auto c = SimCluster::make(2, false);
+  SimJobSpec spec = tiny_spec();
+  spec.deadline_seconds = 0.0;  // documented "no deadline" default
+  JobTimeline t;
+  c->runner->submit(spec, [&](const JobTimeline& tl) { t = tl; });
+  c->engine.run();
+  EXPECT_FALSE(t.failed);
+  EXPECT_GT(t.finished, 0.0);
+}
+
+// --- end-to-end behaviour ------------------------------------------------------
+
+// A no-deadline batch job submitted behind a steady stream of urgent
+// deadline jobs still completes: the starvation window guarantees it.
+TEST(DeadlineScheduler, BatchJobIsNotStarvedByUrgentStream) {
+  HadoopConfig hc;
+  hc.scheduler = SchedulerPolicy::Deadline;
+  hc.deadline_starvation_window_seconds = 60.0;
+  auto c = SimCluster::make(2, false, hc);
+
+  SimJobSpec batch = tiny_spec();
+  batch.name = "batch";
+  batch.output_path = "/out/batch";
+  batch.maps.clear();
+  for (int m = 0; m < 4; ++m) {
+    batch.maps.push_back({.input_bytes = 4 * sim::kMiB, .cpu_seconds = 2.0,
+                          .output_bytes = sim::kMiB});
+  }
+  JobTimeline batch_done;
+  c->runner->submit(batch, [&](const JobTimeline& t) { batch_done = t; });
+
+  // Urgent arrivals every 2 s for 5 simulated minutes, each carrying a
+  // deadline and a top-tier priority.
+  int urgent_done = 0;
+  for (int k = 0; k < 150; ++k) {
+    c->engine.schedule_in(2.0 * k, [&, k] {
+      SimJobSpec urgent = tiny_spec();
+      urgent.name = "urgent-" + std::to_string(k);
+      urgent.output_path = "/out/urgent-" + std::to_string(k);
+      urgent.priority = 9;
+      urgent.deadline_seconds = 30.0;
+      c->runner->submit(std::move(urgent), [&](const JobTimeline&) { ++urgent_done; });
+    });
+  }
+  c->engine.run();
+  EXPECT_EQ(urgent_done, 150);
+  EXPECT_FALSE(batch_done.failed);
+  EXPECT_GT(batch_done.finished, 0.0);
+  // The starvation window (60 s) must have granted it a slot well before the
+  // urgent stream dried up at t = 300 s.
+  EXPECT_LT(batch_done.first_task_at, 150.0)
+      << "batch job starved behind the urgent stream";
+}
+
+// Golden lock: FIFO timing is bit-identical to the seed runner even when the
+// spec carries (ignored) deadline/priority values — adding the fields must
+// not perturb a single FIFO timestamp.
+TEST(FifoGoldenLock, DeadlineFieldsDoNotPerturbFifoTiming) {
+  auto c = SimCluster::make(4, false);
+  SimJobSpec spec;
+  spec.name = "golden-a";
+  spec.output_path = "/out/golden-a";
+  spec.priority = 7;           // ignored by FIFO
+  spec.deadline_seconds = 3.0; // tracked for SLO metrics, never scheduling
+  for (int m = 0; m < 4; ++m) {
+    spec.maps.push_back({.input_bytes = 8 * sim::kMiB, .cpu_seconds = 0.5,
+                         .output_bytes = 4 * sim::kMiB});
+  }
+  for (int r = 0; r < 2; ++r) {
+    spec.reduces.push_back({.cpu_seconds = 0.3, .output_bytes = 4 * sim::kMiB});
+  }
+  JobTimeline t;
+  c->runner->submit(spec, [&](const JobTimeline& tl) { t = tl; });
+  c->engine.run();
+  EXPECT_DOUBLE_EQ(t.elapsed(), 4.4445490111999959);
+  EXPECT_DOUBLE_EQ(t.finished, 23.435080677866662);
+}
+
+}  // namespace
+}  // namespace vhadoop::mapreduce

@@ -93,7 +93,8 @@ TEST_P(DeterministicReplay, DifferentSeedChangesHdfsPlacementNotCorrectness) {
 
 INSTANTIATE_TEST_SUITE_P(AllPolicies, DeterministicReplay,
                          ::testing::Values(SchedulerPolicy::Fifo, SchedulerPolicy::Fair,
-                                           SchedulerPolicy::Capacity),
+                                           SchedulerPolicy::Capacity,
+                                           SchedulerPolicy::Deadline),
                          [](const ::testing::TestParamInfo<SchedulerPolicy>& p) {
                            return std::string(to_string(p.param));
                          });

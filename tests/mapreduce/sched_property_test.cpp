@@ -160,7 +160,8 @@ TEST_P(SchedulerPropertySweep, InvariantsHoldForMixedWorkload) {
 
 std::vector<SweepParam> sweep_params() {
   std::vector<SweepParam> params;
-  for (auto policy : {SchedulerPolicy::Fifo, SchedulerPolicy::Fair, SchedulerPolicy::Capacity}) {
+  for (auto policy : {SchedulerPolicy::Fifo, SchedulerPolicy::Fair, SchedulerPolicy::Capacity,
+                      SchedulerPolicy::Deadline}) {
     for (std::uint64_t seed = 1; seed <= 20; ++seed) params.push_back({policy, seed});
   }
   return params;

@@ -1,0 +1,231 @@
+// Workload-trace format tests: parse → serialize → parse identity, and
+// line/column diagnostics for every class of malformed input the strict
+// parser rejects.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "workloads/trace.hpp"
+
+using namespace vhadoop;
+using workloads::JobFamily;
+using workloads::TraceParseError;
+using workloads::TraceRecord;
+using workloads::WorkloadTrace;
+
+namespace {
+
+const char kValid[] =
+    "vhadoop-trace-v1\n"
+    "# morning burst\n"
+    "0 t0 interactive 7 45 wordcount 64\n"
+    "1.5 t1 batch 0 0 terasort 256\n"
+    "\n"
+    "1.5 t0 interactive 8 30.25 mrbench 16\n"
+    "900 t2 batch 2 1200 kmeans 512.5\n";
+
+WorkloadTrace parse_ok(const std::string& text) {
+  WorkloadTrace trace;
+  const TraceParseError err = workloads::parse_trace(text, trace);
+  EXPECT_TRUE(err.ok()) << err.to_string();
+  return trace;
+}
+
+TraceParseError parse_fail(const std::string& text,
+                           const std::vector<std::string>& allowed_queues = {}) {
+  WorkloadTrace trace;
+  const TraceParseError err = workloads::parse_trace(text, trace, allowed_queues);
+  EXPECT_FALSE(err.ok()) << "parser accepted:\n" << text;
+  return err;
+}
+
+TEST(TraceParser, ParsesRecordsWithCommentsAndBlanks) {
+  const WorkloadTrace trace = parse_ok(kValid);
+  ASSERT_EQ(trace.records.size(), 4u);
+  EXPECT_EQ(trace.records[0].tenant, "t0");
+  EXPECT_EQ(trace.records[0].queue, "interactive");
+  EXPECT_EQ(trace.records[0].priority, 7);
+  EXPECT_DOUBLE_EQ(trace.records[0].deadline_seconds, 45.0);
+  EXPECT_EQ(trace.records[0].family, JobFamily::Wordcount);
+  EXPECT_DOUBLE_EQ(trace.records[3].arrival_seconds, 900.0);
+  EXPECT_EQ(trace.records[3].family, JobFamily::Kmeans);
+  EXPECT_DOUBLE_EQ(trace.records[3].input_mb, 512.5);
+  EXPECT_DOUBLE_EQ(trace.last_arrival(), 900.0);
+}
+
+TEST(TraceParser, RoundTripIsIdentity) {
+  const WorkloadTrace first = parse_ok(kValid);
+  const std::string canon = first.serialize();
+  const WorkloadTrace second = parse_ok(canon);
+  EXPECT_EQ(first.records, second.records);
+  // The canonical form is a fixed point: serializing again is byte-identical.
+  EXPECT_EQ(second.serialize(), canon);
+}
+
+TEST(TraceParser, RoundTripPreservesAwkwardDoubles) {
+  WorkloadTrace trace;
+  TraceRecord r;
+  r.arrival_seconds = 0.1 + 0.2;  // the classic 0.30000000000000004
+  r.deadline_seconds = 1e-3;
+  r.input_mb = 1.0 / 3.0 * 100.0;
+  trace.records.push_back(r);
+  const WorkloadTrace back = parse_ok(trace.serialize());
+  ASSERT_EQ(back.records.size(), 1u);
+  EXPECT_EQ(back.records[0].arrival_seconds, r.arrival_seconds);  // exact
+  EXPECT_EQ(back.records[0].deadline_seconds, r.deadline_seconds);
+  EXPECT_EQ(back.records[0].input_mb, r.input_mb);
+}
+
+TEST(TraceParser, MissingHeader) {
+  const TraceParseError err = parse_fail("0 t0 q 0 0 wordcount 64\n");
+  EXPECT_EQ(err.line, 1);
+  EXPECT_EQ(err.column, 1);
+  EXPECT_NE(err.message.find("header"), std::string::npos);
+}
+
+TEST(TraceParser, EmptyInputIsMissingHeader) {
+  EXPECT_FALSE(parse_fail("").ok());
+}
+
+TEST(TraceParser, BadTimestamp) {
+  const TraceParseError err =
+      parse_fail("vhadoop-trace-v1\n12x t0 q 0 0 wordcount 64\n");
+  EXPECT_EQ(err.line, 2);
+  EXPECT_EQ(err.column, 1);
+  EXPECT_NE(err.message.find("arrival"), std::string::npos);
+}
+
+TEST(TraceParser, NegativeTimestamp) {
+  EXPECT_EQ(parse_fail("vhadoop-trace-v1\n-1 t0 q 0 0 wordcount 64\n").line, 2);
+}
+
+TEST(TraceParser, BackwardsArrivalOrder) {
+  const TraceParseError err = parse_fail(
+      "vhadoop-trace-v1\n"
+      "10 t0 q 0 0 wordcount 64\n"
+      "9 t0 q 0 0 wordcount 64\n");
+  EXPECT_EQ(err.line, 3);
+  EXPECT_EQ(err.column, 1);
+  EXPECT_NE(err.message.find("backwards"), std::string::npos);
+}
+
+TEST(TraceParser, UnknownQueueWhenRestricted) {
+  const TraceParseError err = parse_fail(
+      "vhadoop-trace-v1\n0 t0 staging 0 0 wordcount 64\n", {"interactive", "batch"});
+  EXPECT_EQ(err.line, 2);
+  EXPECT_EQ(err.column, 6);  // column of the queue token
+  EXPECT_NE(err.message.find("queue"), std::string::npos);
+  // Unrestricted parse accepts any queue name.
+  WorkloadTrace trace;
+  EXPECT_TRUE(
+      workloads::parse_trace("vhadoop-trace-v1\n0 t0 staging 0 0 wordcount 64\n", trace)
+          .ok());
+}
+
+TEST(TraceParser, NegativeDeadline) {
+  const TraceParseError err =
+      parse_fail("vhadoop-trace-v1\n0 t0 q 0 -30 wordcount 64\n");
+  EXPECT_EQ(err.line, 2);
+  EXPECT_EQ(err.column, 10);  // column of the deadline token
+  EXPECT_NE(err.message.find("deadline"), std::string::npos);
+}
+
+TEST(TraceParser, PriorityOutOfRange) {
+  EXPECT_EQ(parse_fail("vhadoop-trace-v1\n0 t0 q 10 0 wordcount 64\n").column, 8);
+  EXPECT_EQ(parse_fail("vhadoop-trace-v1\n0 t0 q -1 0 wordcount 64\n").column, 8);
+  EXPECT_EQ(parse_fail("vhadoop-trace-v1\n0 t0 q 1.5 0 wordcount 64\n").column, 8);
+}
+
+TEST(TraceParser, UnknownFamily) {
+  const TraceParseError err =
+      parse_fail("vhadoop-trace-v1\n0 t0 q 0 0 sleep 64\n");
+  EXPECT_EQ(err.line, 2);
+  EXPECT_NE(err.message.find("family"), std::string::npos);
+}
+
+TEST(TraceParser, TruncatedLine) {
+  const TraceParseError err = parse_fail("vhadoop-trace-v1\n0 t0 q 0 0 wordcount\n");
+  EXPECT_EQ(err.line, 2);
+  EXPECT_EQ(err.column, 0);  // whole-line diagnostic
+  EXPECT_NE(err.message.find("7 fields"), std::string::npos);
+}
+
+TEST(TraceParser, OverlongLine) {
+  EXPECT_EQ(parse_fail("vhadoop-trace-v1\n0 t0 q 0 0 wordcount 64 extra\n").column, 0);
+}
+
+TEST(TraceParser, NonPositiveInputSize) {
+  EXPECT_EQ(parse_fail("vhadoop-trace-v1\n0 t0 q 0 0 wordcount 0\n").line, 2);
+  EXPECT_EQ(parse_fail("vhadoop-trace-v1\n0 t0 q 0 0 wordcount -5\n").line, 2);
+}
+
+TEST(TraceParser, ErrorToStringMentionsLineAndColumn) {
+  const TraceParseError err = parse_fail("nope\n");
+  EXPECT_NE(err.to_string().find("line 1"), std::string::npos);
+}
+
+TEST(TraceGenerator, SameSeedSameBytes) {
+  workloads::TraceGenConfig cfg;
+  cfg.num_jobs = 500;
+  const std::string a = workloads::generate_trace(cfg).serialize();
+  const std::string b = workloads::generate_trace(cfg).serialize();
+  EXPECT_EQ(a, b);
+  cfg.seed = 8;
+  EXPECT_NE(workloads::generate_trace(cfg).serialize(), a);
+}
+
+TEST(TraceGenerator, OutputSurvivesItsOwnParserWithQueueRestriction) {
+  workloads::TraceGenConfig cfg;
+  cfg.num_jobs = 300;
+  const auto trace = workloads::generate_trace(cfg);
+  ASSERT_EQ(trace.records.size(), 300u);
+  WorkloadTrace back;
+  const TraceParseError err =
+      workloads::parse_trace(trace.serialize(), back, workloads::generated_queues());
+  EXPECT_TRUE(err.ok()) << err.to_string();
+  EXPECT_EQ(back.records, trace.records);
+}
+
+TEST(TraceGenerator, PoissonArrivalsAreNonDecreasingAndCoverHorizon) {
+  workloads::TraceGenConfig cfg;
+  cfg.num_jobs = 1000;
+  cfg.process = workloads::ArrivalProcess::Poisson;
+  const auto trace = workloads::generate_trace(cfg);
+  double prev = 0.0;
+  for (const auto& r : trace.records) {
+    EXPECT_GE(r.arrival_seconds, prev);
+    prev = r.arrival_seconds;
+  }
+  // Mean rate targets the horizon; the last arrival should land near it.
+  EXPECT_GT(trace.last_arrival(), cfg.horizon_seconds * 0.5);
+  EXPECT_LT(trace.last_arrival(), cfg.horizon_seconds * 2.0);
+}
+
+TEST(TraceGenerator, SpecForShapesFollowFamily) {
+  TraceRecord r;
+  r.family = JobFamily::Terasort;
+  r.input_mb = 256.0;
+  r.priority = 3;
+  r.deadline_seconds = 900.0;
+  r.tenant = "t7";
+  r.queue = "batch";
+  const auto spec = workloads::spec_for(r, 42);
+  EXPECT_EQ(spec.user, "t7");
+  EXPECT_EQ(spec.queue, "batch");
+  EXPECT_EQ(spec.priority, 3);
+  EXPECT_DOUBLE_EQ(spec.deadline_seconds, 900.0);
+  EXPECT_EQ(spec.maps.size(), 4u);       // 256 MB / 64 MB splits
+  EXPECT_EQ(spec.reduces.size(), 2u);    // 256 MB / 128
+  EXPECT_TRUE(spec.maps[0].input_path.empty());  // local-disk input, no HDFS
+  double in = 0.0, out = 0.0;
+  for (const auto& m : spec.maps) {
+    in += m.input_bytes;
+    out += m.output_bytes;
+  }
+  EXPECT_DOUBLE_EQ(in, 256.0 * sim::kMiB);
+  EXPECT_DOUBLE_EQ(out, in);  // terasort shuffles everything
+}
+
+}  // namespace
