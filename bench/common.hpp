@@ -79,7 +79,7 @@ class BenchResults {
 
   /// Write BENCH_<name>.json; returns the path written, empty on failure.
   std::string write() const {
-    // vlint: allow(no-os-entropy) output-directory override for CI harnesses; never feeds simulation state
+    // vlint: allow(no-os-entropy) audited PR 8: output-directory override for CI harnesses; never feeds simulation state
     const char* dir = std::getenv("VHADOOP_BENCH_DIR");
     const std::string path =
         (dir && *dir ? std::string(dir) + "/" : std::string()) + "BENCH_" + name_ + ".json";

@@ -99,7 +99,7 @@ int main() {
   results.write();
 
   // A real span-graph export for the CI trace-validation step.
-  // vlint: allow(no-os-entropy) output-directory override for CI harnesses; never feeds simulation state
+  // vlint: allow(no-os-entropy) audited PR 8: output-directory override for CI harnesses; never feeds simulation state
   const char* dir = std::getenv("VHADOOP_BENCH_DIR");
   const std::string path =
       (dir && *dir ? std::string(dir) + "/" : std::string()) + "SPANS_critpath.json";

@@ -1,3 +1,4 @@
+// vlint: allow-file(no-exact-float-compare) audited PR 8: byte-identity equivalence oracle; optimized and reference runners must match exactly
 // ML-scaling sweep for the zero-copy KV data path: the six paper clustering
 // algorithms (k-means, fuzzy k-means, canopy, Dirichlet, mean-shift, MinHash)
 // run over synthetic datasets of growing (points x dims), once on the
@@ -22,7 +23,7 @@
 //                  sweep and re-checks with --require-all)
 //   --seeds=1,7    dataset seeds for the cross-mode equivalence sweep
 
-#include <chrono>  // vlint: allow(no-wall-clock) measuring the real-execution runner itself is this bench's purpose
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,7 +43,7 @@ using namespace vhadoop;
 
 namespace {
 
-// vlint: allow(no-wall-clock) host-clock stopwatch around the drivers; never feeds job results
+// vlint: allow(no-wall-clock) audited PR 8: host-clock stopwatch around the drivers; never feeds job results
 using WallClock = std::chrono::steady_clock;
 
 double elapsed_ms(WallClock::time_point t0) {

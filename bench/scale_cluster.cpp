@@ -1,3 +1,4 @@
+// vlint: allow-file(no-exact-float-compare) audited PR 8: bit-identity oracle; incremental and reference solvers must agree exactly
 // Solver-scaling sweep: hadoop virtual clusters of 16 → 1024 VMs running a
 // Wordcount + TeraSort pair sized to the cluster, once under the incremental
 // fluid solver and once with the reference oracle enabled
@@ -15,7 +16,7 @@
 //   --reference-max=256    largest size also run under the oracle (0 = never;
 //                          the oracle is quadratic, 1024 takes minutes)
 
-#include <chrono>  // vlint: allow(no-wall-clock) measuring the simulator itself is this bench's purpose
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,7 +30,7 @@ using namespace vhadoop;
 
 namespace {
 
-// vlint: allow(no-wall-clock) host-clock stopwatch around engine.run(); never feeds simulation state
+// vlint: allow(no-wall-clock) audited PR 8: host-clock stopwatch around engine.run(); never feeds simulation state
 using WallClock = std::chrono::steady_clock;
 
 double elapsed_ms(WallClock::time_point t0) {

@@ -12,7 +12,7 @@ namespace vhadoop::mapreduce {
 namespace {
 
 bool reference_mode_from_env() {
-  // vlint: allow(no-os-entropy) opt-in oracle switch; both modes produce byte-identical job results, verified by the runner equivalence suite
+  // vlint: allow(no-os-entropy) audited PR 8: opt-in oracle switch; both modes produce byte-identical job results, verified by the runner equivalence suite
   const char* v = std::getenv("VHADOOP_RUNNER_REFERENCE");
   return v != nullptr && *v != '\0' && *v != '0';
 }

@@ -111,6 +111,7 @@ std::size_t DeadlineScheduler::pick(const std::vector<JobSchedView>& views,
     }
     if (views[a].priority != views[b].priority)
       return views[a].priority > views[b].priority;  // higher tier first
+    // vlint: allow(no-exact-float-compare) audited PR 8: comparator tie-break; strict weak ordering needs the exact test
     if (views[a].deadline != views[b].deadline)
       return views[a].deadline < views[b].deadline;  // EDF within tier
     return views[a].submit_index < views[b].submit_index;

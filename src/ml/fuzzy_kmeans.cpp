@@ -23,6 +23,7 @@ void memberships_into(std::span<const double> point, const CenterMatrix& centers
   }
   u.assign(k, 0.0);
   for (std::size_t j = 0; j < k; ++j) {
+    // vlint: allow(no-exact-float-compare) audited PR 8: coincident-center guard; euclidean() of identical points is exactly zero
     if (dist[j] == 0.0) {
       // Point coincides with a center: full membership there.
       u.assign(k, 0.0);

@@ -107,6 +107,7 @@ double rand_index(const std::vector<int>& a, const std::vector<int>& b) {
   std::size_t agree = 0, total = 0;
   for (std::size_t i = 0; i < a.size(); ++i) {
     for (std::size_t j = i + 1; j < a.size(); ++j) {
+      // vlint: allow(no-exact-float-compare) audited PR 8: a/b are int label vectors; the names collide with doubles declared above
       agree += ((a[i] == a[j]) == (b[i] == b[j]));
       ++total;
     }

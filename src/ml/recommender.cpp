@@ -103,6 +103,7 @@ class RecommendMapper : public mapreduce::Mapper {
     std::map<std::int64_t, double> score;
     for (std::size_t i = 0; i + 1 < packed.size(); i += 2) {
       auto row = co_->find(static_cast<std::int64_t>(packed[i]));
+      // vlint: allow(no-exact-float-compare) audited PR 8: iterator-vs-end compare; row collides with the double-valued map in CombineReducer
       if (row == co_->end()) continue;
       for (const auto& [item, n] : row->second) {
         if (!seen.contains(item)) score[item] += n * packed[i + 1];

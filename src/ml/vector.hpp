@@ -45,6 +45,7 @@ inline double cosine_distance(std::span<const double> a, std::span<const double>
     na += a[i] * a[i];
     nb += b[i] * b[i];
   }
+  // vlint: allow(no-exact-float-compare) audited PR 8: zero-norm guard before division
   if (na == 0.0 || nb == 0.0) return 1.0;
   return 1.0 - dot / (std::sqrt(na) * std::sqrt(nb));
 }

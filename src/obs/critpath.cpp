@@ -1,3 +1,4 @@
+// vlint: allow-file(no-exact-float-compare) audited PR 8: simulated timestamps are exact by construction; tiling invariants and comparator tie-breaks are deliberate
 #include "obs/critpath.hpp"
 
 #include <algorithm>

@@ -111,6 +111,7 @@ void put_number(std::ostringstream& out, double v) {
     out << "null";
     return;
   }
+  // vlint: allow(no-exact-float-compare) audited PR 8: integer-valuedness test for canonical JSON rendering
   if (v == std::floor(v) && std::abs(v) < 1e15) {
     out << static_cast<long long>(v);
   } else {

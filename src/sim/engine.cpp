@@ -47,7 +47,7 @@ bool Engine::cancel(EventId id) {
 void Engine::compact_queue() {
   std::vector<QueueEntry> live;
   live.reserve(callbacks_.size());
-  // vlint: allow(no-unordered-iteration) collects entries, sorted before the heap is rebuilt
+  // vlint: allow(no-unordered-iteration) audited PR 8: collects entries, sorted before the heap is rebuilt
   for (const auto& [seq, pending] : callbacks_) live.push_back(QueueEntry{pending.time, seq});
   // Sorted input gives one canonical heap layout; pop order is total
   // ((time, seq) is a strict order) either way.

@@ -23,7 +23,7 @@ constexpr double kForcedFinishEta = 1e-6;
 constexpr auto by_id = [](const auto* a, const auto* b) { return a->id < b->id; };
 
 bool reference_mode_from_env() {
-  // vlint: allow(no-os-entropy) opt-in oracle switch; both modes produce bit-identical simulations, verified by the churn suite
+  // vlint: allow(no-os-entropy) audited PR 8: opt-in oracle switch; both modes produce bit-identical simulations, verified by the churn suite
   const char* v = std::getenv("VHADOOP_FLUID_REFERENCE");
   return v != nullptr && *v != '\0' && *v != '0';
 }
@@ -424,6 +424,7 @@ FluidModel::Activity* FluidModel::apply_rates(const Component& comp,
   std::fill(s_sumw_.begin(), s_sumw_.end(), 0.0);
   for (std::size_t i = 0; i < comp.acts.size(); ++i) {
     Activity* act = comp.acts[i];
+    // vlint: allow(no-exact-float-compare) audited PR 8: change detection on deterministically recomputed rates; exact compare only skips a redundant re-projection
     if (rates[i] != act->rate || act == force_rearm) {
       act->rate = rates[i];
       project_finish(*act);
@@ -573,7 +574,7 @@ void FluidModel::verify_all_components() {
   // bench/scale_cluster measures the incremental solver against.
   Component all;
   all.acts.reserve(activities_.size());
-  // vlint: allow(no-unordered-iteration) collects pointers, sorted by id before use
+  // vlint: allow(no-unordered-iteration) audited PR 8: collects pointers, sorted by id before use
   for (auto& [aid, act] : activities_) all.acts.push_back(&act);
   std::sort(all.acts.begin(), all.acts.end(), by_id);
   for (const Activity* act : all.acts) {

@@ -121,6 +121,7 @@ double TraceReplayer::run_to_completion() {
   // the remaining regular (job) events.
   engine_.run_until(epoch_ + trace_.last_arrival());
   engine_.run();
+  // vlint: allow(no-exact-float-compare) audited PR 8: 0.0 is the never-assigned sentinel; real finishes are positive sim times
   if (trace_.records.empty() || last_finish_ == 0.0) return 0.0;
   return last_finish_ - (epoch_ + first_arrival_);
 }

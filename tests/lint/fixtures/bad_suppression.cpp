@@ -9,3 +9,6 @@ int fixture_unknown_rule() { return 1; }
 
 // vlint: this is not even an allow() directive
 int fixture_malformed() { return 2; }
+
+// vlint: allow(no-os-entropy) has a reason but cites no auditing PR
+const char* fixture_uncited_reason() { return std::getenv("B"); }

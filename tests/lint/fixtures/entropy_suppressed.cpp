@@ -1,5 +1,5 @@
 // Fixture: a suppressed getenv (the CLI-argument-parsing carve-out).
 #include <cstdlib>
 
-// vlint: allow(no-os-entropy) reads the output directory override, never feeds simulation state
+// vlint: allow(no-os-entropy) audited PR 8: reads the output directory override, never feeds simulation state
 const char* fixture_out_dir() { return std::getenv("FIXTURE_OUT_DIR"); }

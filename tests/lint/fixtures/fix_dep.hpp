@@ -1,0 +1,8 @@
+// Fixture: provider header for the --fix golden pair.
+#pragma once
+
+namespace fx {
+struct Helper {
+  int n = 0;
+};
+}  // namespace fx

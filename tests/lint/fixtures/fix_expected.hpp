@@ -1,0 +1,10 @@
+// Fixture: --fix input — missing header guard and missing include for
+// fx::Helper (golden output: fix_expected.hpp).
+
+#pragma once
+
+#include "util/fix_dep.hpp"
+
+namespace fx {
+inline int helper_size(const Helper& h) { return h.n; }
+}  // namespace fx

@@ -1,0 +1,15 @@
+// Fixture: floating accumulation inside unordered-container loops — both the
+// compound-assign and the x = x + ... spellings.
+#include <unordered_map>
+
+double fixture_sum(const std::unordered_map<int, double>& m) {
+  double sum = 0.0;
+  for (const auto& [k, v] : m) sum += v;
+  return sum;
+}
+
+double fixture_sum_rebind(const std::unordered_map<int, double>& m) {
+  double total = 0.0;
+  for (const auto& [k, v] : m) total = total + v;
+  return total;
+}

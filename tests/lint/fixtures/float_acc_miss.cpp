@@ -1,0 +1,16 @@
+// Fixture: accumulation patterns no-unordered-float-accumulation must NOT
+// flag — integer tallies over unordered containers and float sums over
+// ordered ones. (The unordered loops still trip no-unordered-iteration;
+// the test only counts the accumulation rule.)
+#include <cstddef>
+#include <map>
+#include <unordered_map>
+
+double fixture_ok(const std::unordered_map<int, double>& um,
+                  const std::map<int, double>& om) {
+  std::size_t n = 0;
+  for (const auto& [k, v] : um) n += 1;
+  double sum = 0.0;
+  for (const auto& [k, v] : om) sum += v;
+  return sum + static_cast<double>(n);
+}

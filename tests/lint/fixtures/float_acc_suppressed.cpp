@@ -1,0 +1,13 @@
+// Fixture: a cited suppression silences the accumulation (and the iteration
+// finding on the loop header).
+#include <unordered_map>
+
+double fixture_suppressed(const std::unordered_map<int, double>& m) {
+  double sum = 0.0;
+  // vlint: allow(no-unordered-iteration) audited PR 8: reduction feeds a max(), order cannot be observed
+  for (const auto& [k, v] : m) {
+    // vlint: allow(no-unordered-float-accumulation) audited PR 8: re-summed in key order before export
+    sum += v;
+  }
+  return sum;
+}

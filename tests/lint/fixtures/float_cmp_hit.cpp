@@ -1,0 +1,11 @@
+// Fixture: exact floating comparisons the rule must flag — a literal operand
+// and a member-chain terminal declared double.
+struct Rate {
+  double rate = 0.0;
+};
+
+bool fixture_cmp(double x, const Rate& a, const Rate& b) {
+  const bool eq = x == 1.5;
+  const bool ne = a.rate != b.rate;
+  return eq || ne;
+}

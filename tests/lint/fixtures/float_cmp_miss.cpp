@@ -1,0 +1,19 @@
+// Fixture: comparisons no-exact-float-compare must NOT flag — call
+// terminals (unknown return type), nullptr/string operands, and names this
+// file declares with an integral type.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+struct Blob {
+  std::uint64_t v = 0;
+};
+
+bool fixture_ok(const std::vector<double>& xs, const char* p, const Blob& b,
+                std::size_t n, const std::string& s) {
+  const bool sized = xs.size() == n;
+  const bool present = p != nullptr;
+  const bool tagged = b.v != 0;
+  const bool named = s == "x";
+  return sized && present && tagged && named;
+}

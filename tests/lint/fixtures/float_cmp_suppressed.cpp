@@ -1,0 +1,6 @@
+// Fixture: a determinism oracle — one file-scope suppression covers every
+// exact comparison in the file.
+// vlint: allow-file(no-exact-float-compare) audited PR 8: byte-identity oracle fixture; both operands come from the same deterministic pipeline
+bool fixture_oracle(double a, double b, double c) {
+  return a == b && b != c;
+}

@@ -1,0 +1,11 @@
+// Fixture: entry half of the cross-TU pair — the lambda handed to
+// parallel_for calls into race_worker.cpp, two files away from the write.
+#include <cstddef>
+
+#include "race_shared.hpp"
+
+namespace fx {
+void drive(std::size_t n) {
+  parallel_for(n, 4, [&](std::size_t i) { bump(static_cast<long>(i)); });
+}
+}  // namespace fx

@@ -1,0 +1,19 @@
+// Fixture: lock-guarded variant of the race pair — same shape as
+// race_worker.cpp/race_entry.cpp but every shared write happens under a
+// lock_guard, so thread-shared-mutation must stay quiet.
+#include <cstddef>
+#include <mutex>
+
+namespace fx {
+long guarded_total = 0;
+std::mutex guarded_mu;
+
+void bump_guarded(long v) {
+  std::lock_guard<std::mutex> g(guarded_mu);
+  guarded_total += v;
+}
+
+void drive_guarded(std::size_t n) {
+  parallel_for(n, 4, [&](std::size_t i) { bump_guarded(static_cast<long>(i)); });
+}
+}  // namespace fx

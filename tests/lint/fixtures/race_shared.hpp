@@ -1,0 +1,7 @@
+// Fixture: shared-state API for the cross-TU race pair (race_entry.cpp
+// drives a worker lambda that reaches the write in race_worker.cpp).
+#pragma once
+
+namespace fx {
+void bump(long v);
+}  // namespace fx

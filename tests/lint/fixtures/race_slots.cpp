@@ -1,0 +1,14 @@
+// Fixture: the sanctioned parallel pattern — every worker writes only its
+// own index slot and lambda-local temporaries.
+#include <cstddef>
+#include <vector>
+
+namespace fx {
+void square_all(std::vector<long>& out) {
+  parallel_for(out.size(), 4, [&](std::size_t i) {
+    long x = static_cast<long>(i);
+    x *= x;
+    out[i] = x;
+  });
+}
+}  // namespace fx

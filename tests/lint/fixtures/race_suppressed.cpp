@@ -1,0 +1,13 @@
+// Fixture: a captured-reference write inside a worker lambda, suppressed
+// with a cited audit.
+#include <cstddef>
+#include <vector>
+
+namespace fx {
+void sum_serial(const std::vector<long>& xs, long& acc) {
+  parallel_for(xs.size(), 1, [&](std::size_t i) {
+    // vlint: allow(thread-shared-mutation) audited PR 8: pool is constructed with one thread here, so the accumulation is serial
+    acc += xs[i];
+  });
+}
+}  // namespace fx

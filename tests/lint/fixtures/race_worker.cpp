@@ -1,0 +1,9 @@
+// Fixture: the racy half of the cross-TU pair — bump() writes namespace-scope
+// state and is reached from the parallel_for lambda in race_entry.cpp.
+#include "race_shared.hpp"
+
+namespace fx {
+long total = 0;
+
+void bump(long v) { total += v; }
+}  // namespace fx

@@ -3,7 +3,10 @@
 
 double fixture_total(const std::unordered_map<int, double>& weights_) {
   double lo = 1e300;
-  // vlint: allow(no-unordered-iteration) min-reduction, order-independent
-  for (const auto& [k, v] : weights_) lo = v < lo ? v : lo;
+  // vlint: allow(no-unordered-iteration) audited PR 8: min-reduction, order-independent
+  for (const auto& [k, v] : weights_) {
+    // vlint: allow(no-unordered-float-accumulation) audited PR 8: min-reduction, order-independent
+    lo = v < lo ? v : lo;
+  }
   return lo;
 }

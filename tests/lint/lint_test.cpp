@@ -101,11 +101,12 @@ TEST(NoOsEntropy, RngImplementationIsExempt) {
 
 // --- bad-suppression -------------------------------------------------------
 
-TEST(BadSuppression, MissingReasonUnknownRuleAndMalformedAllFlagged) {
+TEST(BadSuppression, MissingReasonUnknownRuleMalformedAndUncitedAllFlagged) {
   const auto res = lint_fixture("bad_suppression.cpp");
-  EXPECT_EQ(count_rule(res, "bad-suppression"), 3);
-  // The reason-less allow() must NOT silence the getenv finding under it.
-  EXPECT_EQ(count_rule(res, "no-os-entropy"), 1);
+  EXPECT_EQ(count_rule(res, "bad-suppression"), 4);
+  // Neither the reason-less allow() nor the one that cites no auditing PR
+  // may silence the getenv finding under it.
+  EXPECT_EQ(count_rule(res, "no-os-entropy"), 2);
 }
 
 // --- no-unordered-iteration ------------------------------------------------
@@ -219,7 +220,260 @@ TEST(Rules, ListIsStableAndKnown) {
   EXPECT_TRUE(vlint::is_known_rule("no-wall-clock"));
   EXPECT_TRUE(vlint::is_known_rule("no-unordered-iteration"));
   EXPECT_TRUE(vlint::is_known_rule("metric-name"));
+  EXPECT_TRUE(vlint::is_known_rule("thread-shared-mutation"));
+  EXPECT_TRUE(vlint::is_known_rule("no-unordered-float-accumulation"));
+  EXPECT_TRUE(vlint::is_known_rule("no-exact-float-compare"));
+  EXPECT_TRUE(vlint::is_known_rule("layer-dag"));
+  EXPECT_TRUE(vlint::is_known_rule("include-self-sufficiency"));
   EXPECT_FALSE(vlint::is_known_rule("no-such-rule"));
+}
+
+// --- thread-shared-mutation ------------------------------------------------
+
+vlint::Result lint_fixtures(const std::vector<std::string>& names) {
+  std::vector<vlint::SourceFile> files;
+  for (const auto& name : names) files.push_back(load_fixture(name));
+  return vlint::run(files);
+}
+
+TEST(ThreadSharedMutation, CrossTuRaceIsCaught) {
+  // The parallel_for lambda lives in race_entry.cpp; the unsynchronized
+  // write to namespace-scope state it reaches lives two files away in
+  // race_worker.cpp. The finding must land on the write.
+  const auto res = lint_fixtures({"race_shared.hpp", "race_worker.cpp", "race_entry.cpp"});
+  EXPECT_EQ(count_rule(res, "thread-shared-mutation"), 1);
+  for (const auto& f : res.findings) {
+    if (f.rule != "thread-shared-mutation") continue;
+    EXPECT_EQ(f.path, "race_worker.cpp");
+    EXPECT_NE(f.message.find("total"), std::string::npos);
+    EXPECT_NE(f.message.find("race_entry.cpp"), std::string::npos) << "witness missing";
+  }
+}
+
+TEST(ThreadSharedMutation, LockGuardedVariantIsQuiet) {
+  const auto res = lint_fixture("race_guarded.cpp");
+  EXPECT_EQ(count_rule(res, "thread-shared-mutation"), 0);
+}
+
+TEST(ThreadSharedMutation, PerSlotWritesAreSanctioned) {
+  const auto res = lint_fixture("race_slots.cpp");
+  EXPECT_EQ(count_rule(res, "thread-shared-mutation"), 0);
+}
+
+TEST(ThreadSharedMutation, CitedSuppressionAccepted) {
+  const auto res = lint_fixture("race_suppressed.cpp");
+  EXPECT_EQ(res.unsuppressed, 0);
+  EXPECT_EQ(count_rule(res, "thread-shared-mutation", /*suppressed=*/true), 1);
+}
+
+TEST(ThreadSharedMutation, PlainSubmitIsNotAWorkerEntry) {
+  // Engine::submit schedules onto the single simulation thread; only
+  // pool-ish receivers make submit a worker entry point.
+  const auto res = lint_source("s.cpp",
+                               "long n = 0;\n"
+                               "void f(E& engine) {\n"
+                               "  engine.submit(1.0, [&] { n += 1; });\n"
+                               "}\n");
+  EXPECT_EQ(count_rule(res, "thread-shared-mutation"), 0);
+}
+
+// --- no-unordered-float-accumulation ---------------------------------------
+
+TEST(FloatAccumulation, CompoundAndRebindFormsFlagged) {
+  const auto res = lint_fixture("float_acc_hit.cpp");
+  EXPECT_EQ(count_rule(res, "no-unordered-float-accumulation"), 2);
+}
+
+TEST(FloatAccumulation, IntegerTalliesAndOrderedContainersAreClean) {
+  const auto res = lint_fixture("float_acc_miss.cpp");
+  EXPECT_EQ(count_rule(res, "no-unordered-float-accumulation"), 0);
+}
+
+TEST(FloatAccumulation, CitedSuppressionAccepted) {
+  const auto res = lint_fixture("float_acc_suppressed.cpp");
+  EXPECT_EQ(res.unsuppressed, 0);
+  EXPECT_EQ(count_rule(res, "no-unordered-float-accumulation", /*suppressed=*/true), 1);
+}
+
+// --- no-exact-float-compare ------------------------------------------------
+
+TEST(FloatCompare, LiteralAndMemberChainOperandsFlagged) {
+  const auto res = lint_fixture("float_cmp_hit.cpp");
+  EXPECT_EQ(count_rule(res, "no-exact-float-compare"), 2);
+}
+
+TEST(FloatCompare, CallTerminalsSentinelsAndIntegralNamesAreClean) {
+  const auto res = lint_fixture("float_cmp_miss.cpp");
+  EXPECT_EQ(count_rule(res, "no-exact-float-compare"), 0);
+}
+
+TEST(FloatCompare, FileScopeSuppressionCoversWholeOracle) {
+  const auto res = lint_fixture("float_cmp_suppressed.cpp");
+  EXPECT_EQ(res.unsuppressed, 0);
+  EXPECT_EQ(count_rule(res, "no-exact-float-compare", /*suppressed=*/true), 2);
+}
+
+TEST(FloatCompare, OwnIntegralDeclarationBeatsIncludedFloat) {
+  // The header declares `double v`; the cpp's own `std::uint64_t v` must
+  // win for uses inside the cpp.
+  std::vector<vlint::SourceFile> files;
+  files.push_back(vlint::lex("h.hpp", "h.hpp",
+                             "#pragma once\nstruct M { double v = 0.0; };\n"));
+  files.push_back(vlint::lex("c.cpp", "c.cpp",
+                             "#include \"h.hpp\"\n"
+                             "bool f() {\n  std::uint64_t v = 1;\n  return v != 0;\n}\n"));
+  const auto res = vlint::run(files);
+  EXPECT_EQ(count_rule(res, "no-exact-float-compare"), 0);
+}
+
+// --- layer-dag -------------------------------------------------------------
+
+TEST(LayerDag, UpwardIncludeFlagged) {
+  std::vector<vlint::SourceFile> files;
+  files.push_back(vlint::lex("src/ml/kmeans.hpp", "src/ml/kmeans.hpp",
+                             "#pragma once\nnamespace ml { struct KMeans {}; }\n"));
+  files.push_back(vlint::lex("src/sim/engine2.cpp", "src/sim/engine2.cpp",
+                             "#include \"ml/kmeans.hpp\"\nint f() { return 0; }\n"));
+  const auto res = vlint::run(files);
+  EXPECT_EQ(count_rule(res, "layer-dag"), 1);
+  for (const auto& f : res.findings) {
+    if (f.rule == "layer-dag") EXPECT_EQ(f.path, "src/sim/engine2.cpp");
+  }
+}
+
+TEST(LayerDag, DownwardIncludeAllowed) {
+  std::vector<vlint::SourceFile> files;
+  files.push_back(vlint::lex("src/sim/clock.hpp", "src/sim/clock.hpp",
+                             "#pragma once\nnamespace sim { struct Clock {}; }\n"));
+  files.push_back(vlint::lex("src/ml/kmeans.cpp", "src/ml/kmeans.cpp",
+                             "#include \"sim/clock.hpp\"\nint g() { return 1; }\n"));
+  const auto res = vlint::run(files);
+  EXPECT_EQ(count_rule(res, "layer-dag"), 0);
+}
+
+TEST(LayerDag, UnknownModuleWithCrossModuleEdgeIsReported) {
+  // A module missing from the layering table is reported as soon as it
+  // grows a cross-module include edge.
+  std::vector<vlint::SourceFile> files;
+  files.push_back(vlint::lex("src/sim/clock.hpp", "src/sim/clock.hpp",
+                             "#pragma once\nnamespace sim { struct Clock {}; }\n"));
+  files.push_back(vlint::lex("src/mystery/x.cpp", "src/mystery/x.cpp",
+                             "#include \"sim/clock.hpp\"\nint h() { return 2; }\n"));
+  const auto res = vlint::run(files);
+  EXPECT_EQ(count_rule(res, "layer-dag"), 1);
+  for (const auto& f : res.findings) {
+    if (f.rule == "layer-dag") {
+      EXPECT_NE(f.message.find("not in the layering table"), std::string::npos);
+    }
+  }
+}
+
+// --- include-self-sufficiency ----------------------------------------------
+
+TEST(IncludeSelfSufficiency, MissingIncludeFlaggedWithFixSpec) {
+  std::vector<vlint::SourceFile> files;
+  files.push_back(vlint::lex("src/util/dep.hpp", "src/util/dep.hpp",
+                             "#pragma once\nstruct Helper { int n = 0; };\n"));
+  files.push_back(vlint::lex("src/app/use.cpp", "src/app/use.cpp",
+                             "int size_of(const Helper& h) { return h.n; }\n"));
+  const auto res = vlint::run(files);
+  EXPECT_EQ(count_rule(res, "include-self-sufficiency"), 1);
+  for (const auto& f : res.findings) {
+    if (f.rule == "include-self-sufficiency") {
+      EXPECT_EQ(f.path, "src/app/use.cpp");
+      EXPECT_EQ(f.fix_include, "util/dep.hpp");
+    }
+  }
+}
+
+TEST(IncludeSelfSufficiency, TransitiveClosureResolves) {
+  std::vector<vlint::SourceFile> files;
+  files.push_back(vlint::lex("src/util/dep.hpp", "src/util/dep.hpp",
+                             "#pragma once\nstruct Helper { int n = 0; };\n"));
+  files.push_back(vlint::lex("src/app/mid.hpp", "src/app/mid.hpp",
+                             "#pragma once\n#include \"util/dep.hpp\"\n"));
+  files.push_back(vlint::lex("src/app/use.cpp", "src/app/use.cpp",
+                             "#include \"app/mid.hpp\"\n"
+                             "int size_of(const Helper& h) { return h.n; }\n"));
+  const auto res = vlint::run(files);
+  EXPECT_EQ(count_rule(res, "include-self-sufficiency"), 0);
+}
+
+TEST(IncludeSelfSufficiency, CppOnlySymbolsAreNotActionable) {
+  // A name exported solely by a .cpp (e.g. a macro expansion artifact) has
+  // no include to suggest; the rule must stay quiet.
+  std::vector<vlint::SourceFile> files;
+  files.push_back(vlint::lex("src/a/impl.cpp", "src/a/impl.cpp",
+                             "int OnlyHere() { return 1; }\n"));
+  files.push_back(vlint::lex("src/b/use.cpp", "src/b/use.cpp",
+                             "int call() { return OnlyHere(); }\n"));
+  const auto res = vlint::run(files);
+  EXPECT_EQ(count_rule(res, "include-self-sufficiency"), 0);
+}
+
+// --- apply_fixes (--fix) ---------------------------------------------------
+
+std::string read_fixture_text(const std::string& name) {
+  const std::string path = std::string(LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(Fix, GoldenHeaderGuardAndMissingInclude) {
+  // fix_input.hpp (no guard, uses fx::Helper without the include) must fix
+  // to exactly fix_expected.hpp when linted beside fix_dep.hpp.
+  const std::string input = read_fixture_text("fix_input.hpp");
+  const std::string expected = read_fixture_text("fix_expected.hpp");
+  std::vector<vlint::SourceFile> files;
+  files.push_back(vlint::lex("src/util/fix_dep.hpp", "src/util/fix_dep.hpp",
+                             read_fixture_text("fix_dep.hpp")));
+  files.push_back(vlint::lex("src/util/fix_input.hpp", "src/util/fix_input.hpp", input));
+  const auto res = vlint::run(files);
+  EXPECT_GE(res.unsuppressed, 2);  // header-guard + include-self-sufficiency
+  const std::string repaired = vlint::apply_fixes(files[1], input, res.findings);
+  EXPECT_EQ(repaired, expected);
+
+  // And the golden output itself lints clean.
+  std::vector<vlint::SourceFile> fixed;
+  fixed.push_back(files[0]);
+  fixed.push_back(vlint::lex("src/util/fix_input.hpp", "src/util/fix_input.hpp", expected));
+  EXPECT_EQ(vlint::run(fixed).unsuppressed, 0);
+}
+
+// --- report shapes (JSON / SARIF) ------------------------------------------
+
+TEST(Report, SarifCarriesSchemaRulesLocationsAndSuppressions) {
+  std::vector<vlint::SourceFile> files;
+  files.push_back(load_fixture("entropy_hit.cpp"));
+  files.push_back(load_fixture("wall_clock_suppressed.cpp"));
+  const auto res = vlint::run(files);
+  std::ostringstream os;
+  vlint::write_sarif(os, res, {});
+  const std::string sarif = os.str();
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("sarif-2.1.0.json"), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"vhadoop_lint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"no-os-entropy\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": "), std::string::npos);
+  EXPECT_NE(sarif.find("\"kind\": \"inSource\""), std::string::npos);
+  // Every rule is declared in the driver table.
+  for (const auto& rule : vlint::kRules) {
+    EXPECT_NE(sarif.find("{\"id\": \"" + rule + "\"}"), std::string::npos) << rule;
+  }
+}
+
+TEST(Report, JsonListsEveryFindingWithSuppressionState) {
+  std::vector<vlint::SourceFile> files;
+  files.push_back(load_fixture("wall_clock_suppressed.cpp"));
+  const auto res = vlint::run(files);
+  std::ostringstream os;
+  vlint::write_json(os, res, {});
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"rule\": \"no-wall-clock\""), std::string::npos);
+  EXPECT_NE(json.find("\"suppressed\": true"), std::string::npos);
 }
 
 }  // namespace

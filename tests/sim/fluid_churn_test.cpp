@@ -74,6 +74,7 @@ std::vector<double> naive_max_min(const std::vector<double>& capacity,
         delta = std::min(delta, (cap[i] - rate[i]) / weight[i]);
       }
     }
+    // vlint: allow(no-exact-float-compare) audited PR 8: kInf sentinel from the reference water-filling solver
     if (delta == kInf) break;  // only uncapped activities on idle resources
     for (std::size_t i = 0; i < n; ++i) {
       if (!frozen[i]) rate[i] += weight[i] * delta;

@@ -1,3 +1,4 @@
+// vlint: allow-file(no-exact-float-compare) audited PR 8: baseline regression oracle; recorded JSON numbers are compared exactly
 // bench_check — benchmark-regression gate over BENCH_*.json results.
 //
 // Reads every baseline file in --baselines (schema

@@ -1,3 +1,4 @@
+// vlint: allow-file(no-exact-float-compare) audited PR 8: span timestamps are exact simulated times; comparator tie-breaks are deliberate
 #include "trace_query/query.hpp"
 
 #include <algorithm>

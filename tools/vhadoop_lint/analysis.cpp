@@ -1,0 +1,804 @@
+#include "vhadoop_lint/analysis.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <deque>
+
+namespace vlint {
+
+std::size_t skip_angles(const std::vector<Token>& t, std::size_t i) {
+  if (i >= t.size() || t[i].text != "<") return i;
+  int depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (t[j].kind != TokKind::Punct) continue;
+    if (t[j].text == "<") ++depth;
+    if (t[j].text == ">" && --depth == 0) return j + 1;
+    if (t[j].text == ">>") {
+      depth -= 2;  // nested close: map<K, vector<V>>
+      if (depth <= 0) return j + 1;
+    }
+    if (t[j].text == ";") break;  // never crosses a statement
+  }
+  return i;
+}
+
+namespace {
+
+std::size_t match_delim(const std::vector<Token>& t, std::size_t open, const char* o,
+                        const char* c) {
+  int depth = 0;
+  for (std::size_t j = open; j < t.size(); ++j) {
+    if (t[j].kind != TokKind::Punct) continue;
+    if (t[j].text == o) ++depth;
+    if (t[j].text == c && --depth == 0) return j;
+  }
+  return t.size();
+}
+
+}  // namespace
+
+std::size_t match_brace(const std::vector<Token>& t, std::size_t open) {
+  return match_delim(t, open, "{", "}");
+}
+
+std::size_t match_paren(const std::vector<Token>& t, std::size_t open) {
+  return match_delim(t, open, "(", ")");
+}
+
+bool is_float_literal(const Token& tok) {
+  if (tok.kind != TokKind::Number) return false;
+  const std::string& s = tok.text;
+  if (s.size() > 1 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) return false;
+  for (char c : s) {
+    if (c == '.' || c == 'e' || c == 'E') return true;
+  }
+  return !s.empty() && (s.back() == 'f' || s.back() == 'F');
+}
+
+const std::set<std::string>& expr_keywords() {
+  static const std::set<std::string> kExpr = {
+      "return", "co_return", "co_yield", "co_await", "throw", "case", "else",
+      "do",     "goto",      "new",      "delete",   "sizeof", "and",  "or",
+      "not",    "xor",
+  };
+  return kExpr;
+}
+
+bool is_cpp_keyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "alignas",   "alignof",  "and",        "asm",          "auto",      "bool",
+      "break",     "case",     "catch",      "char",         "class",     "co_await",
+      "co_return", "co_yield", "const",      "consteval",    "constexpr", "constinit",
+      "continue",  "decltype", "default",    "delete",       "do",        "double",
+      "else",      "enum",     "explicit",   "extern",       "false",     "final",
+      "float",     "for",      "friend",     "goto",         "if",        "inline",
+      "int",       "long",     "mutable",    "namespace",    "new",       "noexcept",
+      "not",       "nullptr",  "operator",   "or",           "override",  "private",
+      "protected", "public",   "register",   "requires",     "return",    "short",
+      "signed",    "sizeof",   "static",     "static_assert", "struct",   "switch",
+      "template",  "this",     "thread_local", "throw",      "true",      "try",
+      "typedef",   "typeid",   "typename",   "union",        "unsigned",  "using",
+      "virtual",   "void",     "volatile",   "wchar_t",      "while",     "xor",
+  };
+  return kKeywords.count(s) != 0;
+}
+
+namespace {
+
+bool is_ident(const Token& t) { return t.kind == TokKind::Ident; }
+bool is_punct(const Token& t, const char* s) {
+  return t.kind == TokKind::Punct && t.text == s;
+}
+
+/// Type-introducing / qualifier keywords that precede a declared name.
+bool is_decl_qualifier(const std::string& s) {
+  static const std::set<std::string> kQuals = {
+      "const",  "constexpr", "constinit", "static", "inline",   "extern",
+      "mutable", "volatile",  "unsigned",  "signed", "long",     "short",
+      "thread_local", "struct", "class",   "enum",   "typename", "register",
+  };
+  return kQuals.count(s) != 0;
+}
+
+/// The macro name of a `#define NAME ...` directive (or "").
+std::string defined_macro(const std::string& directive) {
+  std::size_t p = directive.find('#');
+  if (p == std::string::npos) return {};
+  ++p;
+  while (p < directive.size() && (directive[p] == ' ' || directive[p] == '\t')) ++p;
+  if (directive.compare(p, 6, "define") != 0) return {};
+  p += 6;
+  while (p < directive.size() && (directive[p] == ' ' || directive[p] == '\t')) ++p;
+  std::size_t e = p;
+  while (e < directive.size() &&
+         (std::isalnum(static_cast<unsigned char>(directive[e])) || directive[e] == '_')) {
+    ++e;
+  }
+  return directive.substr(p, e - p);
+}
+
+// --- include graph ---------------------------------------------------------
+
+/// Extract the quoted path from an `#include "..."` directive token.
+std::string quoted_include(const std::string& directive) {
+  if (directive.find("include") == std::string::npos) return {};
+  const std::size_t open = directive.find('"');
+  if (open == std::string::npos) return {};
+  const std::size_t close = directive.find('"', open + 1);
+  if (close == std::string::npos) return {};
+  return directive.substr(open + 1, close - open - 1);
+}
+
+void build_include_graph(const std::vector<SourceFile>& files, Analysis& an) {
+  // Suffix index: a quoted include resolves to any repo file whose rel path
+  // is exactly the spec, `<dir-of-includer>/<spec>`, or ends with `/<spec>`.
+  const int n = static_cast<int>(files.size());
+  an.includes.assign(static_cast<std::size_t>(n), {});
+  an.closure.assign(static_cast<std::size_t>(n), {});
+
+  for (int fi = 0; fi < n; ++fi) {
+    const SourceFile& f = files[static_cast<std::size_t>(fi)];
+    std::string dir;
+    if (const std::size_t slash = f.rel.rfind('/'); slash != std::string::npos) {
+      dir = f.rel.substr(0, slash + 1);
+    }
+    for (const Token& tok : f.tokens) {
+      if (tok.kind != TokKind::Directive) continue;
+      const std::string spec = quoted_include(tok.text);
+      if (spec.empty()) continue;
+      IncludeEdge edge;
+      edge.spec = spec;
+      edge.line = tok.line;
+      edge.col = tok.col;
+      const std::string suffix = "/" + spec;
+      for (int ti = 0; ti < n; ++ti) {
+        const std::string& rel = files[static_cast<std::size_t>(ti)].rel;
+        if (rel == spec || rel == dir + spec ||
+            (rel.size() > suffix.size() &&
+             rel.compare(rel.size() - suffix.size(), suffix.size(), suffix) == 0)) {
+          edge.targets.push_back(ti);
+        }
+      }
+      an.includes[static_cast<std::size_t>(fi)].push_back(std::move(edge));
+    }
+  }
+
+  for (int fi = 0; fi < n; ++fi) {
+    std::set<int>& cl = an.closure[static_cast<std::size_t>(fi)];
+    std::deque<int> work{fi};
+    cl.insert(fi);
+    while (!work.empty()) {
+      const int cur = work.front();
+      work.pop_front();
+      for (const IncludeEdge& e : an.includes[static_cast<std::size_t>(cur)]) {
+        for (int ti : e.targets) {
+          if (cl.insert(ti).second) work.push_back(ti);
+        }
+      }
+    }
+  }
+}
+
+// --- declaration-scope walk: symbols, globals, functions -------------------
+
+/// The declared name of a statement's first declarator: the identifier that
+/// directly precedes `=`, `;`, `{`, `[` or a top-level `(` — after skipping
+/// template argument lists. Returns npos-style empty string when the
+/// statement declares nothing nameable.
+std::string stmt_decl_name(const std::vector<Token>& t, std::size_t begin, std::size_t end) {
+  std::string last_ident;
+  for (std::size_t j = begin; j < end;) {
+    const Token& tok = t[j];
+    if (tok.kind == TokKind::Directive || tok.kind == TokKind::String ||
+        tok.kind == TokKind::CharLit || tok.kind == TokKind::Number) {
+      ++j;
+      continue;
+    }
+    if (is_ident(tok)) {
+      if (tok.text == "using" && j + 2 < end && is_ident(t[j + 1]) &&
+          is_punct(t[j + 2], "=")) {
+        return t[j + 1].text;  // using Name = ...
+      }
+      if (tok.text == "operator") return {};
+      if (!is_cpp_keyword(tok.text)) last_ident = tok.text;
+      ++j;
+      // Skip a template argument list hanging off this identifier.
+      if (j < end && is_punct(t[j], "<")) {
+        const std::size_t after = skip_angles(t, j);
+        if (after != j) j = after;
+      }
+      continue;
+    }
+    if (is_punct(tok, "=") || is_punct(tok, ";") || is_punct(tok, "{") ||
+        is_punct(tok, "(") || is_punct(tok, "[")) {
+      return last_ident;
+    }
+    if (is_punct(tok, "::")) {
+      // Qualified name: the previous identifier was a scope, not the name.
+      ++j;
+      continue;
+    }
+    if (is_punct(tok, "&") || is_punct(tok, "*") || is_punct(tok, "&&") ||
+        is_punct(tok, ",") || is_punct(tok, ":")) {
+      ++j;
+      continue;
+    }
+    ++j;
+  }
+  return {};
+}
+
+struct ScopeFrame {
+  enum Kind { Ns, AnonNs, Class } kind = Ns;
+};
+
+/// One pass over a file at declaration scope. Function bodies are skipped
+/// (their extents are recorded as FunctionDefs); class bodies are entered
+/// (member functions and atomic members matter); namespace bodies are
+/// entered. Exported symbols require: namespace scope, not anonymous, not
+/// `static`.
+void scan_decl_scope(const SourceFile& f, int file_idx, Analysis& an) {
+  const auto& t = f.tokens;
+  std::vector<ScopeFrame> stack{{ScopeFrame::Ns}};
+  int anon_depth = 0;
+
+  std::size_t stmt_begin = 0;
+  std::size_t i = 0;
+  const std::size_t n = t.size();
+
+  auto exported_here = [&]() {
+    if (anon_depth > 0) return false;
+    for (const ScopeFrame& s : stack) {
+      if (s.kind == ScopeFrame::Class) return false;
+    }
+    return true;
+  };
+  auto stmt_has = [&](std::size_t end, const char* word) {
+    for (std::size_t j = stmt_begin; j < end; ++j) {
+      if (is_ident(t[j]) && t[j].text == word) return true;
+    }
+    return false;
+  };
+  auto add_provider = [&](const std::string& name) {
+    if (!name.empty() && exported_here() && !stmt_has(i, "static")) {
+      an.providers[name].insert(file_idx);
+    }
+  };
+  /// Variable declared by the statement ending at `end`: classify into
+  /// atomic / mutable-global buckets.
+  auto classify_variable = [&](std::size_t end, const std::string& name) {
+    if (name.empty()) return;
+    if (stmt_has(end, "atomic")) {
+      an.atomic_names.insert(name);
+      return;
+    }
+    const bool in_class =
+        !stack.empty() && stack.back().kind == ScopeFrame::Class;
+    if (in_class) return;  // members: object identity unknowable by name
+    if (stmt_has(end, "const") || stmt_has(end, "constexpr") ||
+        stmt_has(end, "thread_local") || stmt_has(end, "using")) {
+      return;
+    }
+    an.mutable_globals.insert(name);
+  };
+
+  while (i < n) {
+    const Token& tok = t[i];
+    if (tok.kind == TokKind::Directive) {
+      // Macros are file-scope symbols regardless of the brace nesting the
+      // #define happens to sit in.
+      const std::string macro = defined_macro(tok.text);
+      if (!macro.empty()) an.providers[macro].insert(file_idx);
+      ++i;
+      stmt_begin = i;
+      continue;
+    }
+    if (is_punct(tok, "}")) {
+      if (stack.size() > 1) {
+        if (stack.back().kind == ScopeFrame::AnonNs) --anon_depth;
+        stack.pop_back();
+      }
+      ++i;
+      stmt_begin = i;
+      continue;
+    }
+    if (is_punct(tok, ";")) {
+      // Brace-less statement: forward decl, alias, function decl, variable.
+      const std::string name = stmt_decl_name(t, stmt_begin, i);
+      if (!name.empty()) {
+        add_provider(name);
+        // `name(` => function declaration, not a variable.
+        bool is_fn_decl = false;
+        for (std::size_t j = stmt_begin; j + 1 < i; ++j) {
+          if (is_ident(t[j]) && t[j].text == name && is_punct(t[j + 1], "(")) {
+            is_fn_decl = true;
+            break;
+          }
+        }
+        if (!is_fn_decl) classify_variable(i, name);
+      }
+      ++i;
+      stmt_begin = i;
+      continue;
+    }
+    if (!is_punct(tok, "{")) {
+      ++i;
+      continue;
+    }
+
+    // A `{` at declaration scope: namespace, class, function body, or
+    // brace initializer.
+    if (stmt_has(i, "namespace")) {
+      std::string ns_name;
+      for (std::size_t j = stmt_begin; j < i; ++j) {
+        if (is_ident(t[j]) && !is_cpp_keyword(t[j].text)) ns_name = t[j].text;
+      }
+      if (ns_name.empty()) {
+        stack.push_back({ScopeFrame::AnonNs});
+        ++anon_depth;
+      } else {
+        an.namespaces.insert(ns_name);
+        stack.push_back({ScopeFrame::Ns});
+      }
+      ++i;
+      stmt_begin = i;
+      continue;
+    }
+
+    // `= { ... }` or `Name{ ... }` initializer at declaration scope: record
+    // the variable, skip the braces, keep scanning the same statement.
+    bool has_eq = false;
+    bool has_paren_group = false;
+    for (std::size_t j = stmt_begin; j < i; ++j) {
+      if (is_punct(t[j], "=")) has_eq = true;
+      if (is_punct(t[j], "(")) {
+        has_paren_group = true;
+        j = match_paren(t, j);
+        if (j >= i) break;
+      }
+    }
+    const bool class_head = !has_paren_group && !has_eq &&
+                            (stmt_has(i, "struct") || stmt_has(i, "class") ||
+                             stmt_has(i, "union") || stmt_has(i, "enum"));
+    if (class_head) {
+      // `struct Name ... {` — the name is the first identifier after the
+      // class key (skipping `class` of `enum class` and `final`).
+      std::string cls;
+      for (std::size_t j = stmt_begin; j < i; ++j) {
+        if (!is_ident(t[j])) continue;
+        const std::string& s = t[j].text;
+        if (s == "struct" || s == "class" || s == "union" || s == "enum" ||
+            s == "template" || s == "typename" || s == "final" || is_decl_qualifier(s)) {
+          continue;
+        }
+        if (is_cpp_keyword(s)) continue;
+        cls = s;
+        break;
+      }
+      add_provider(cls);
+      stack.push_back({ScopeFrame::Class});
+      ++i;
+      stmt_begin = i;
+      continue;
+    }
+
+    if (has_eq || (!has_paren_group && i > stmt_begin && is_ident(t[i - 1]))) {
+      // Brace initializer (`= {...}`, `= [](){...}`, `Name{...}`): the
+      // statement continues past the matching brace to its `;`.
+      const std::string name = stmt_decl_name(t, stmt_begin, i);
+      add_provider(name);
+      classify_variable(i, name);
+      std::size_t close = match_brace(t, i);
+      // `= [](...) { ... };` — the lambda body may be followed by more
+      // initializer tokens; skip to the statement's `;` at depth 0.
+      std::size_t j = (close == n) ? n : close + 1;
+      int pdepth = 0;
+      while (j < n) {
+        if (is_punct(t[j], "(") || is_punct(t[j], "{") || is_punct(t[j], "[")) ++pdepth;
+        if (is_punct(t[j], ")") || is_punct(t[j], "}") || is_punct(t[j], "]")) --pdepth;
+        if (pdepth == 0 && is_punct(t[j], ";")) break;
+        ++j;
+      }
+      i = (j < n) ? j + 1 : n;
+      stmt_begin = i;
+      continue;
+    }
+
+    if (has_paren_group) {
+      // Function definition: `[quals] name ( params ) [quals / ctor-init] {`.
+      // The name is the identifier directly before the first top-level `(`.
+      std::string fn_name;
+      int fn_line = t[i].line;
+      for (std::size_t j = stmt_begin; j < i; ++j) {
+        if (is_punct(t[j], "(")) {
+          if (j > stmt_begin && is_ident(t[j - 1]) && !is_cpp_keyword(t[j - 1].text)) {
+            fn_name = t[j - 1].text;
+            fn_line = t[j - 1].line;
+          }
+          break;
+        }
+      }
+      const std::size_t close = match_brace(t, i);
+      if (!fn_name.empty()) {
+        // Exported only when unqualified, at plain namespace scope, and not
+        // static — but the FunctionDef itself is always recorded:
+        // reachability is name-based and members matter.
+        bool qualified = false;
+        for (std::size_t j = stmt_begin; j + 1 < i; ++j) {
+          if (is_ident(t[j]) && t[j].text == fn_name && j >= 1 &&
+              is_punct(t[j - 1], "::")) {
+            qualified = true;
+          }
+        }
+        if (!qualified) add_provider(fn_name);
+        FunctionDef def;
+        def.name = fn_name;
+        def.file = file_idx;
+        def.line = fn_line;
+        def.body_begin = i + 1;
+        def.body_end = close;
+        an.functions_by_name[def.name].push_back(an.functions.size());
+        an.functions.push_back(std::move(def));
+      }
+      i = (close == n) ? n : close + 1;
+      stmt_begin = i;
+      continue;
+    }
+
+    // Unclassifiable brace (extern "C" { ... } etc.): treat as transparent.
+    stack.push_back({ScopeFrame::Ns});
+    ++i;
+    stmt_begin = i;
+  }
+}
+
+// --- name sets: unordered containers, floats -------------------------------
+
+const std::set<std::string> kUnorderedTemplates = {
+    "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset",
+};
+
+bool prev_is(const std::vector<Token>& t, std::size_t i, const char* text) {
+  return i > 0 && t[i - 1].kind == TokKind::Punct && t[i - 1].text == text;
+}
+
+/// Collect names bound to unordered containers: type aliases
+/// (`using M = std::unordered_map<...>`) and declared variables/members
+/// (`std::unordered_map<K,V> name`, `const M& name`).
+void collect_unordered_names(const std::vector<SourceFile>& files, Analysis& an) {
+  std::set<std::string> aliases;
+  for (const auto& f : files) {
+    const auto& t = f.tokens;
+    for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+      if (t[i].kind == TokKind::Ident && t[i].text == "using" &&
+          t[i + 1].kind == TokKind::Ident && t[i + 2].text == "=") {
+        for (std::size_t j = i + 3; j < t.size(); ++j) {
+          if (is_punct(t[j], ";")) break;
+          if (t[j].kind == TokKind::Ident && kUnorderedTemplates.count(t[j].text)) {
+            aliases.insert(t[i + 1].text);
+            break;
+          }
+        }
+      }
+    }
+  }
+  for (const auto& f : files) {
+    const auto& t = f.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::Ident) continue;
+      std::size_t after = 0;
+      if (kUnorderedTemplates.count(t[i].text)) {
+        after = skip_angles(t, i + 1);
+        if (after == i + 1) continue;  // not a template instantiation
+      } else if (aliases.count(t[i].text) && !prev_is(t, i, ".") && !prev_is(t, i, "->")) {
+        after = i + 1;
+      } else {
+        continue;
+      }
+      // `Type [const] [&|*] name` — the next identifier is the declared name.
+      std::size_t j = after;
+      while (j < t.size() &&
+             ((t[j].kind == TokKind::Punct &&
+               (t[j].text == "&" || t[j].text == "*" || t[j].text == "&&")) ||
+              (t[j].kind == TokKind::Ident && t[j].text == "const"))) {
+        ++j;
+      }
+      if (j < t.size() && t[j].kind == TokKind::Ident && !is_cpp_keyword(t[j].text)) {
+        an.unordered_names.insert(t[j].text);
+      }
+    }
+  }
+  an.unordered_names.insert(aliases.begin(), aliases.end());
+}
+
+/// Type keywords that make a declaration integral (never a float compare).
+const std::set<std::string>& integral_type_words() {
+  static const std::set<std::string> kWords = {
+      "int",      "unsigned", "signed",   "long",    "short",    "char",
+      "bool",     "size_t",   "ptrdiff_t", "uint8_t", "uint16_t", "uint32_t",
+      "uint64_t", "int8_t",   "int16_t",  "int32_t", "int64_t",  "uintptr_t",
+      "intptr_t", "wchar_t",  "char8_t",  "char16_t", "char32_t"};
+  return kWords;
+}
+
+/// Every identifier declared `double x` / `float y, z` (float_names) and every
+/// one declared with an integral type (nonfloat_names), per file. The scan
+/// keys off the type keyword and walks forward to the declarator, skipping
+/// cv/ref/ptr noise and the closing `>` of `std::vector<double> xs`-style
+/// element types; integral scans additionally skip multi-word type spellings
+/// (`unsigned long long n`). At use sites, a file's own integral declaration
+/// overrides a same-named float declaration in an included header.
+void collect_float_names(const std::vector<SourceFile>& files, Analysis& an) {
+  an.float_names.assign(files.size(), {});
+  an.nonfloat_names.assign(files.size(), {});
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const auto& t = files[fi].tokens;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (!is_ident(t[i])) continue;
+      const bool is_float_kw = t[i].text == "double" || t[i].text == "float";
+      const bool is_int_kw = integral_type_words().count(t[i].text) != 0;
+      if (!is_float_kw && !is_int_kw) continue;
+      std::set<std::string>& out = is_float_kw ? an.float_names[fi] : an.nonfloat_names[fi];
+      std::size_t j = i + 1;
+      while (j < t.size() &&
+             (is_punct(t[j], "&") || is_punct(t[j], "*") || is_punct(t[j], ">") ||
+              is_punct(t[j], ">>") || (is_ident(t[j]) && t[j].text == "const") ||
+              (is_int_kw && is_ident(t[j]) && integral_type_words().count(t[j].text)))) {
+        ++j;
+      }
+      while (j + 1 < t.size() && is_ident(t[j]) && !is_cpp_keyword(t[j].text) &&
+             (is_punct(t[j + 1], "=") || is_punct(t[j + 1], ";") ||
+              is_punct(t[j + 1], ",") || is_punct(t[j + 1], ")") ||
+              is_punct(t[j + 1], "{") || is_punct(t[j + 1], ":"))) {
+        out.insert(t[j].text);
+        if (!is_punct(t[j + 1], ",")) break;
+        j += 2;  // `double a, b` — next declarator
+        while (j < t.size() && (is_punct(t[j], "&") || is_punct(t[j], "*"))) ++j;
+      }
+    }
+  }
+}
+
+/// Names declared at ANY scope in each file, by declarator shape:
+/// `Type name <terminator>`, `namespace X`, `struct/class/enum X`,
+/// `using X = ...`, `#define X`. Deliberately over-collects (parameter
+/// names, locals): declared-ness only ever *suppresses*
+/// include-self-sufficiency findings, so the bias keeps false positives out.
+void collect_declared_names(const std::vector<SourceFile>& files, Analysis& an) {
+  an.declared.assign(files.size(), {});
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const auto& t = files[fi].tokens;
+    std::set<std::string>& out = an.declared[fi];
+    auto terminator = [&](std::size_t k) {
+      if (k >= t.size()) return false;
+      return is_punct(t[k], "=") || is_punct(t[k], ";") || is_punct(t[k], "{") ||
+             is_punct(t[k], "(") || is_punct(t[k], ":") || is_punct(t[k], ",") ||
+             is_punct(t[k], ")") || is_punct(t[k], "[");
+    };
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind == TokKind::Directive) {
+        const std::string macro = defined_macro(t[i].text);
+        if (!macro.empty()) out.insert(macro);
+        continue;
+      }
+      if (!is_ident(t[i])) continue;
+      const std::string& s = t[i].text;
+      if (s == "namespace" && i + 1 < t.size() && is_ident(t[i + 1])) {
+        out.insert(t[i + 1].text);
+        continue;
+      }
+      if ((s == "struct" || s == "class" || s == "union" || s == "enum") &&
+          i + 1 < t.size()) {
+        std::size_t k = i + 1;
+        while (k < t.size() && is_ident(t[k]) &&
+               (t[k].text == "class" || t[k].text == "struct")) {
+          ++k;  // enum class X
+        }
+        if (k < t.size() && is_ident(t[k]) && !is_cpp_keyword(t[k].text)) {
+          out.insert(t[k].text);
+        }
+        continue;
+      }
+      if (s == "using" && i + 2 < t.size() && is_ident(t[i + 1]) &&
+          is_punct(t[i + 2], "=")) {
+        out.insert(t[i + 1].text);
+        continue;
+      }
+      // `<type-ish> [<T...>] [&|*|const] name <terminator>`
+      if (is_cpp_keyword(s) && !is_decl_qualifier(s) && s != "auto" && s != "void" &&
+          s != "int" && s != "double" && s != "float" && s != "char" && s != "bool") {
+        continue;
+      }
+      std::size_t k = i + 1;
+      if (k < t.size() && is_punct(t[k], "<")) {
+        const std::size_t after = skip_angles(t, k);
+        if (after != k) k = after;
+      }
+      while (k < t.size() && (is_punct(t[k], "&") || is_punct(t[k], "&&") ||
+                              is_punct(t[k], "*") ||
+                              (is_ident(t[k]) && t[k].text == "const"))) {
+        ++k;
+      }
+      if (k < t.size() && is_ident(t[k]) && !is_cpp_keyword(t[k].text) &&
+          terminator(k + 1)) {
+        out.insert(t[k].text);
+      }
+    }
+  }
+}
+
+// --- worker lambdas and reachability ---------------------------------------
+
+const std::set<std::string> kWorkerEntryPoints = {"parallel_for", "submit", "spawn"};
+
+/// `parallel_for(...)` always hands its lambda to worker threads. `submit` /
+/// `spawn` are worker entry points only when called on something pool-ish
+/// (`pool.submit(...)`, `workers->spawn(...)`, `ThreadPool::submit`): the
+/// simulation's Engine/Runner `submit()` callbacks run on the sim thread and
+/// must not trip the race rules.
+bool is_worker_entry(const std::vector<Token>& t, std::size_t i) {
+  if (t[i].text == "parallel_for") return true;
+  if (i < 2) return false;
+  if (!is_punct(t[i - 1], ".") && !is_punct(t[i - 1], "->") && !is_punct(t[i - 1], "::")) {
+    return false;
+  }
+  if (!is_ident(t[i - 2])) return false;
+  std::string recv = t[i - 2].text;
+  std::transform(recv.begin(), recv.end(), recv.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return recv.find("pool") != std::string::npos ||
+         recv.find("worker") != std::string::npos;
+}
+
+/// Parse one lambda starting at t[i] == "[" inside a worker-entry argument
+/// list; returns the index one past the lambda body (or i+1 when it is not
+/// a lambda after all).
+std::size_t parse_lambda(const std::vector<Token>& t, std::size_t i, int file_idx,
+                         const std::string& entry, std::vector<WorkerLambda>& out) {
+  WorkerLambda lam;
+  lam.file = file_idx;
+  lam.entry = entry;
+  lam.line = t[i].line;
+  std::size_t j = i + 1;
+  // Capture list.
+  while (j < t.size() && !is_punct(t[j], "]")) {
+    if (is_punct(t[j], "&")) {
+      if (j + 1 < t.size() && is_ident(t[j + 1])) {
+        lam.ref_captures.insert(t[j + 1].text);
+        j += 2;
+      } else {
+        lam.ref_default = true;
+        lam.captures_this = true;
+        ++j;
+      }
+      continue;
+    }
+    if (is_punct(t[j], "=")) {
+      lam.captures_this = true;  // [=] captures this in member contexts
+      ++j;
+      continue;
+    }
+    if (is_ident(t[j])) {
+      if (t[j].text == "this") {
+        lam.captures_this = true;
+      } else if (j + 1 < t.size() && is_punct(t[j + 1], "=")) {
+        lam.val_captures.insert(t[j].text);  // init capture [x = expr]
+        while (j < t.size() && !is_punct(t[j], ",") && !is_punct(t[j], "]")) ++j;
+        continue;
+      } else {
+        lam.val_captures.insert(t[j].text);
+      }
+    }
+    ++j;
+  }
+  if (j >= t.size()) return i + 1;
+  ++j;  // past ']'
+  // Parameter list.
+  if (j < t.size() && is_punct(t[j], "(")) {
+    const std::size_t close = match_paren(t, j);
+    for (std::size_t k = j + 1; k < close && k < t.size(); ++k) {
+      if (is_ident(t[k]) && !is_cpp_keyword(t[k].text) && k + 1 <= close &&
+          (is_punct(t[k + 1], ",") || is_punct(t[k + 1], ")") ||
+           is_punct(t[k + 1], "="))) {
+        lam.params.insert(t[k].text);
+      }
+    }
+    j = (close == t.size()) ? close : close + 1;
+  }
+  // Skip mutable / noexcept / -> ret up to the body.
+  while (j < t.size() && !is_punct(t[j], "{")) {
+    if (is_punct(t[j], ";") || is_punct(t[j], ")")) return i + 1;  // not a lambda body
+    ++j;
+  }
+  if (j >= t.size()) return i + 1;
+  const std::size_t close = match_brace(t, j);
+  lam.body_begin = j + 1;
+  lam.body_end = close;
+  out.push_back(std::move(lam));
+  return (close == t.size()) ? close : close + 1;
+}
+
+void collect_worker_lambdas(const std::vector<SourceFile>& files, Analysis& an) {
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const auto& t = files[fi].tokens;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (!is_ident(t[i]) || !kWorkerEntryPoints.count(t[i].text)) continue;
+      if (!is_punct(t[i + 1], "(")) continue;
+      if (!is_worker_entry(t, i)) continue;
+      const std::size_t close = match_paren(t, i + 1);
+      for (std::size_t j = i + 2; j < close && j < t.size();) {
+        if (is_punct(t[j], "[") &&
+            (is_punct(t[j - 1], "(") || is_punct(t[j - 1], ","))) {
+          j = parse_lambda(t, j, static_cast<int>(fi), t[i].text, an.worker_lambdas);
+          continue;
+        }
+        ++j;
+      }
+    }
+  }
+}
+
+/// Call names inside a token range: `name(` where `name` is not a keyword.
+/// Member calls count — reachability is name-based across the set.
+void calls_in_range(const std::vector<Token>& t, std::size_t b, std::size_t e,
+                    std::set<std::string>& out) {
+  for (std::size_t j = b; j + 1 < e; ++j) {
+    if (is_ident(t[j]) && !is_cpp_keyword(t[j].text) && is_punct(t[j + 1], "(")) {
+      out.insert(t[j].text);
+    }
+  }
+}
+
+void build_worker_reachability(const std::vector<SourceFile>& files, Analysis& an) {
+  std::deque<std::pair<std::size_t, std::string>> work;  // (function, witness)
+  for (const WorkerLambda& lam : an.worker_lambdas) {
+    const std::string witness =
+        lam.entry + " at " + files[static_cast<std::size_t>(lam.file)].rel + ":" +
+        std::to_string(lam.line);
+    std::set<std::string> called;
+    calls_in_range(files[static_cast<std::size_t>(lam.file)].tokens, lam.body_begin,
+                   lam.body_end, called);
+    for (const std::string& name : called) {
+      auto it = an.functions_by_name.find(name);
+      if (it == an.functions_by_name.end()) continue;
+      for (std::size_t idx : it->second) {
+        if (an.worker_reachable.emplace(idx, witness).second) work.emplace_back(idx, witness);
+      }
+    }
+  }
+  while (!work.empty()) {
+    auto [idx, witness] = work.front();
+    work.pop_front();
+    const FunctionDef& def = an.functions[idx];
+    std::set<std::string> called;
+    calls_in_range(files[static_cast<std::size_t>(def.file)].tokens, def.body_begin,
+                   def.body_end, called);
+    for (const std::string& name : called) {
+      auto it = an.functions_by_name.find(name);
+      if (it == an.functions_by_name.end()) continue;
+      for (std::size_t next : it->second) {
+        if (an.worker_reachable.emplace(next, witness).second) {
+          work.emplace_back(next, witness);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Analysis analyze(const std::vector<SourceFile>& files) {
+  Analysis an;
+  build_include_graph(files, an);
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    scan_decl_scope(files[fi], static_cast<int>(fi), an);
+  }
+  collect_unordered_names(files, an);
+  collect_float_names(files, an);
+  collect_declared_names(files, an);
+  collect_worker_lambdas(files, an);
+  build_worker_reachability(files, an);
+  return an;
+}
+
+}  // namespace vlint

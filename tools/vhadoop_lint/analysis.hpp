@@ -1,0 +1,128 @@
+#pragma once
+
+// Cross-TU analysis passes for vhadoop_lint (DESIGN.md §9).
+//
+// Two indexes are built over the whole linted file set before any rule runs:
+//
+//  1. The include/symbol graph: every quoted #include resolved against the
+//     repo file set (suffix matching, so `sim/engine.hpp`, `common.hpp` and
+//     `testutil/mini_json.hpp` all land), its transitive closure per TU, and
+//     a symbol table of which files declare each namespace-scope type,
+//     alias, function, or constant.
+//
+//  2. The call-reachability index: lambdas handed to worker-thread entry
+//     points (`parallel_for`, `ThreadPool::submit`-style calls) and the set
+//     of named functions transitively reachable from their bodies, across
+//     translation units.
+//
+// The graph rules (thread-shared-mutation, layer-dag,
+// include-self-sufficiency, no-unordered-float-accumulation) are built on
+// top; the passes themselves know nothing about findings.
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "vhadoop_lint/lint.hpp"
+
+namespace vlint {
+
+/// One resolved `#include "..."` directive.
+struct IncludeEdge {
+  std::string spec;          ///< the quoted path as written
+  int line = 0;
+  int col = 1;
+  std::vector<int> targets;  ///< indices of matching repo files (usually 1)
+};
+
+/// A named function with a body, at namespace or class scope (members and
+/// out-of-line `T::f` definitions included — reachability is name-based).
+struct FunctionDef {
+  std::string name;
+  int file = 0;
+  int line = 0;
+  std::size_t body_begin = 0;  ///< first token index inside the '{'
+  std::size_t body_end = 0;    ///< token index of the matching '}'
+};
+
+/// A lambda passed to a worker-thread entry point.
+struct WorkerLambda {
+  int file = 0;
+  int line = 0;
+  std::string entry;                  ///< parallel_for / submit / ...
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+  bool ref_default = false;           ///< [&] / [&, x]
+  bool captures_this = false;         ///< this / [&] / [=]
+  std::set<std::string> ref_captures;  ///< explicit [&x]
+  std::set<std::string> val_captures;  ///< explicit [x] / [x = init]
+  std::set<std::string> params;
+};
+
+struct Analysis {
+  /// Per-file resolved include directives, parallel to the file vector.
+  std::vector<std::vector<IncludeEdge>> includes;
+  /// Transitive include closure per file (file indices; always contains
+  /// the file itself).
+  std::vector<std::set<int>> closure;
+  /// Symbol name -> files that declare or define it at exported namespace
+  /// scope (anonymous-namespace and `static` declarations stay file-local
+  /// and are never entered here).
+  std::map<std::string, std::set<int>> providers;
+
+  std::vector<FunctionDef> functions;
+  std::map<std::string, std::vector<std::size_t>> functions_by_name;
+  std::vector<WorkerLambda> worker_lambdas;
+  /// Indices into `functions` reachable from any worker lambda, with a
+  /// human-readable witness ("entry at <file>:<line>") per function.
+  std::map<std::size_t, std::string> worker_reachable;
+
+  /// Names declared *anywhere* in each file — any scope, including class
+  /// members, anonymous namespaces, macros and statics. Superset of that
+  /// file's providers entries; include-self-sufficiency resolves against
+  /// the closure union of these so member declarations never read as uses
+  /// of a same-named symbol from an unrelated TU.
+  std::vector<std::set<std::string>> declared;
+
+  /// Name sets resolved across the whole file set.
+  std::set<std::string> unordered_names;   ///< unordered container vars/aliases
+  /// Per-file variables declared double/float (closure-unioned at use, so a
+  /// `float c` in one TU cannot poison `c == '_'` in an unrelated one).
+  std::vector<std::set<std::string>> float_names;
+  /// Per-file variables declared with an integral type. A file's own integral
+  /// declaration beats a same-named float from an included header, so
+  /// `std::uint64_t v` is never misread as the `double v` of another TU.
+  std::vector<std::set<std::string>> nonfloat_names;
+  std::set<std::string> atomic_names;      ///< variables/members of atomic type
+  std::set<std::string> mutable_globals;   ///< non-const namespace-scope vars
+  std::set<std::string> namespaces;        ///< every `namespace X {` name
+};
+
+Analysis analyze(const std::vector<SourceFile>& files);
+
+// --- shared token helpers (used by analysis passes and rules) --------------
+
+/// Skip a balanced `<...>` template argument list starting at t[i] == "<".
+/// Returns the index one past the closing ">", or i on mismatch.
+std::size_t skip_angles(const std::vector<Token>& t, std::size_t i);
+
+/// t[open] == "{": index of the matching "}", or t.size() when unbalanced.
+std::size_t match_brace(const std::vector<Token>& t, std::size_t open);
+
+/// t[open] == "(": index of the matching ")", or t.size() when unbalanced.
+std::size_t match_paren(const std::vector<Token>& t, std::size_t open);
+
+/// True for numeric literals with floating syntax (1.5, 2e9, .25, 1.f) —
+/// hex literals and plain integers are not.
+bool is_float_literal(const Token& tok);
+
+/// Identifiers that can never be a variable/function use.
+bool is_cpp_keyword(const std::string& s);
+
+/// Expression-context keywords: an identifier directly after one of these is
+/// being *used*, not declared (`return Result{...}` vs `Result run(...)`).
+const std::set<std::string>& expr_keywords();
+
+}  // namespace vlint

@@ -1,0 +1,140 @@
+#include "vhadoop_lint/lint.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vlint {
+
+namespace {
+
+/// Split into lines, each WITHOUT its trailing '\n'.
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      lines.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (start < text.size()) lines.push_back(text.substr(start));
+  return lines;
+}
+
+std::string ltrim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  return b == std::string::npos ? std::string() : s.substr(b);
+}
+
+}  // namespace
+
+std::string apply_fixes(const SourceFile& file, const std::string& text,
+                        const std::vector<Finding>& findings) {
+  bool want_guard = false;
+  std::set<std::string> missing_includes;
+  for (const Finding& f : findings) {
+    if (f.suppressed || f.path != file.path) continue;
+    if (f.rule == "header-guard" && file.is_header) want_guard = true;
+    if (f.rule == "include-self-sufficiency" && !f.fix_include.empty()) {
+      missing_includes.insert(f.fix_include);
+    }
+  }
+  if (!want_guard && missing_includes.empty()) return {};
+
+  std::vector<std::string> lines = split_lines(text);
+
+  if (want_guard) {
+    // Insert `#pragma once` above the first line that is neither blank nor
+    // part of the leading comment block.
+    std::size_t at = 0;
+    bool in_block = false;
+    for (; at < lines.size(); ++at) {
+      const std::string s = ltrim(lines[at]);
+      if (in_block) {
+        if (s.find("*/") != std::string::npos) in_block = false;
+        continue;
+      }
+      if (s.empty() || s.starts_with("//")) continue;
+      if (s.starts_with("/*")) {
+        if (s.find("*/") == std::string::npos) in_block = true;
+        continue;
+      }
+      break;
+    }
+    lines.insert(lines.begin() + static_cast<long>(at), {"#pragma once", ""});
+  }
+
+  if (!missing_includes.empty()) {
+    // Drop specs already present (e.g. inserted by an earlier --fix run).
+    for (const std::string& line : lines) {
+      const std::string s = ltrim(line);
+      if (s.starts_with("#include \"")) {
+        const std::size_t open = s.find('"');
+        const std::size_t close = s.find('"', open + 1);
+        if (close != std::string::npos) {
+          missing_includes.erase(s.substr(open + 1, close - open - 1));
+        }
+      }
+    }
+  }
+  if (!missing_includes.empty()) {
+    // Insertion point: after the last quoted include; else after the header
+    // guard / leading comments, where the include block belongs.
+    std::size_t at = 0;
+    bool found_quoted = false;
+    bool in_block = false;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const std::string s = ltrim(lines[i]);
+      if (s.starts_with("#include \"")) {
+        at = i + 1;
+        found_quoted = true;
+      }
+    }
+    if (!found_quoted) {
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string s = ltrim(lines[i]);
+        if (in_block) {
+          if (s.find("*/") != std::string::npos) in_block = false;
+          at = i + 1;
+          continue;
+        }
+        if (s.empty() || s.starts_with("//")) {
+          continue;
+        }
+        if (s.starts_with("/*")) {
+          if (s.find("*/") == std::string::npos) in_block = true;
+          at = i + 1;
+          continue;
+        }
+        if (s.starts_with("#pragma once") || s.starts_with("#ifndef") ||
+            s.starts_with("#define") || s.starts_with("#include")) {
+          at = i + 1;
+          continue;
+        }
+        break;
+      }
+    }
+    std::vector<std::string> block;
+    for (const std::string& spec : missing_includes) {
+      block.push_back("#include \"" + spec + "\"");
+    }
+    if (!found_quoted && at < lines.size() && !ltrim(lines[at]).empty()) {
+      block.push_back("");
+    }
+    if (!found_quoted && at > 0 && !ltrim(lines[at - 1]).empty()) {
+      block.insert(block.begin(), "");
+    }
+    lines.insert(lines.begin() + static_cast<long>(at), block.begin(), block.end());
+  }
+
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace vlint

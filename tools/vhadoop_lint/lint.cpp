@@ -2,15 +2,27 @@
 
 #include <algorithm>
 #include <cctype>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "vhadoop_lint/analysis.hpp"
+
 namespace vlint {
 
 const std::vector<std::string> kRules = {
-    "no-wall-clock", "no-os-entropy",          "no-unordered-iteration",
-    "header-guard",  "using-namespace-header", "metric-name",
+    "no-wall-clock",
+    "no-os-entropy",
+    "no-unordered-iteration",
+    "header-guard",
+    "using-namespace-header",
+    "metric-name",
+    "thread-shared-mutation",
+    "no-unordered-float-accumulation",
+    "no-exact-float-compare",
+    "layer-dag",
+    "include-self-sufficiency",
     "bad-suppression",
 };
 
@@ -30,9 +42,10 @@ std::string trim(const std::string& s) {
   return s.substr(b, e - b + 1);
 }
 
-/// Parse `vlint: allow(rule) reason` directives out of a comment body.
-/// Malformed directives are kept with an empty rule/reason so the
-/// bad-suppression rule can report them at the right line.
+/// Parse allow()/allow-file() suppression directives (marked by the word
+/// "vlint" and a colon) out of a comment body. Malformed directives are
+/// kept with an empty rule/reason so the bad-suppression rule can report
+/// them at the right line.
 void scan_comment_for_directives(const std::string& body, int line,
                                  std::vector<Suppression>& out) {
   std::size_t pos = 0;
@@ -44,11 +57,17 @@ void scan_comment_for_directives(const std::string& body, int line,
     while (p < body.size() && (body[p] == ' ' || body[p] == '\t')) ++p;
     Suppression sup;
     sup.line = dline;
+    std::size_t name_at = std::string::npos;
     if (body.compare(p, 6, "allow(") == 0) {
-      p += 6;
-      std::size_t close = body.find(')', p);
+      name_at = p + 6;
+    } else if (body.compare(p, 11, "allow-file(") == 0) {
+      name_at = p + 11;
+      sup.file_scope = true;
+    }
+    if (name_at != std::string::npos) {
+      std::size_t close = body.find(')', name_at);
       if (close != std::string::npos) {
-        sup.rule = trim(body.substr(p, close - p));
+        sup.rule = trim(body.substr(name_at, close - name_at));
         std::size_t eol = body.find('\n', close);
         std::string reason = body.substr(close + 1, eol == std::string::npos
                                                         ? std::string::npos
@@ -60,6 +79,12 @@ void scan_comment_for_directives(const std::string& body, int line,
     pos += 6;
   }
 }
+
+/// Multi-character punctuators, longest first (maximal munch).
+const char* kPuncts3[] = {"<<=", ">>=", "->*", "..."};
+const char* kPuncts2[] = {"::", "->", "==", "!=", "<=", ">=", "+=", "-=", "*=",
+                          "/=", "%=", "&=", "|=", "^=", "<<", ">>", "&&", "||",
+                          "++", "--"};
 
 }  // namespace
 
@@ -73,11 +98,13 @@ SourceFile lex(std::string path, std::string rel, const std::string& text) {
 
   int line = 1;
   std::size_t i = 0;
+  std::size_t line_start = 0;  // byte offset of the current line's first char
   const std::size_t n = text.size();
   bool at_line_start = true;  // only whitespace seen on this line so far
 
-  auto push = [&](TokKind k, std::string t) {
-    f.tokens.push_back(Token{k, std::move(t), line});
+  auto col_of = [&](std::size_t off) { return static_cast<int>(off - line_start) + 1; };
+  auto push = [&](TokKind k, std::string t, std::size_t off) {
+    f.tokens.push_back(Token{k, std::move(t), line, col_of(off)});
   };
 
   while (i < n) {
@@ -85,6 +112,7 @@ SourceFile lex(std::string path, std::string rel, const std::string& text) {
     if (c == '\n') {
       ++line;
       ++i;
+      line_start = i;
       at_line_start = true;
       continue;
     }
@@ -106,7 +134,11 @@ SourceFile lex(std::string path, std::string rel, const std::string& text) {
       if (end == std::string::npos) end = n;
       std::string body = text.substr(i + 2, end - i - 2);
       scan_comment_for_directives(body, line, f.suppressions);
-      line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
+      const long newlines = std::count(body.begin(), body.end(), '\n');
+      if (newlines > 0) {
+        line += static_cast<int>(newlines);
+        line_start = text.rfind('\n', end) + 1;
+      }
       i = (end == n) ? n : end + 2;
       continue;
     }
@@ -126,11 +158,12 @@ SourceFile lex(std::string path, std::string rel, const std::string& text) {
         if (back > i && text[back - 1] == '\\') {
           ++line;
           i = eol + 1;
+          line_start = i;
           continue;
         }
         break;
       }
-      push(TokKind::Directive, text.substr(start, eol - start));
+      push(TokKind::Directive, text.substr(start, eol - start), start);
       i = eol;
       at_line_start = false;
       continue;
@@ -144,10 +177,14 @@ SourceFile lex(std::string path, std::string rel, const std::string& text) {
         std::string closer = ")" + delim + "\"";
         std::size_t end = text.find(closer, open + 1);
         if (end == std::string::npos) end = n;
-        line += static_cast<int>(
-            std::count(text.begin() + static_cast<long>(i),
-                       text.begin() + static_cast<long>(std::min(end, n)), '\n'));
-        push(TokKind::String, "R\"...\"");
+        push(TokKind::String, "R\"...\"", i);
+        const std::size_t stop = std::min(end, n);
+        for (std::size_t k = i; k < stop; ++k) {
+          if (text[k] == '\n') {
+            ++line;
+            line_start = k + 1;
+          }
+        }
         i = (end == n) ? n : end + closer.size();
         continue;
       }
@@ -157,16 +194,20 @@ SourceFile lex(std::string path, std::string rel, const std::string& text) {
     // Ident token, so name-matching rules cannot fire inside literals.
     if (c == '"' || c == '\'') {
       char quote = c;
+      std::size_t start = i;
       std::size_t j = i + 1;
       while (j < n && text[j] != quote) {
         if (text[j] == '\\' && j + 1 < n) ++j;
-        if (text[j] == '\n') ++line;
+        if (text[j] == '\n') {
+          ++line;
+          line_start = j + 1;
+        }
         ++j;
       }
       if (quote == '"') {
-        push(TokKind::String, text.substr(i + 1, j - i - 1));
+        push(TokKind::String, text.substr(start + 1, j - start - 1), start);
       } else {
-        push(TokKind::CharLit, std::string(1, quote));
+        push(TokKind::CharLit, std::string(1, quote), start);
       }
       i = (j < n) ? j + 1 : n;
       continue;
@@ -174,7 +215,7 @@ SourceFile lex(std::string path, std::string rel, const std::string& text) {
     if (ident_start(c)) {
       std::size_t j = i + 1;
       while (j < n && ident_char(text[j])) ++j;
-      push(TokKind::Ident, text.substr(i, j - i));
+      push(TokKind::Ident, text.substr(i, j - i), i);
       i = j;
       continue;
     }
@@ -188,22 +229,31 @@ SourceFile lex(std::string path, std::string rel, const std::string& text) {
                          text[j - 1] == 'P')))) {
         ++j;
       }
-      push(TokKind::Number, text.substr(i, j - i));
+      push(TokKind::Number, text.substr(i, j - i), i);
       i = j;
       continue;
     }
-    // Multi-char punctuators the rules care about; everything else is 1 char.
-    if (c == ':' && i + 1 < n && text[i + 1] == ':') {
-      push(TokKind::Punct, "::");
-      i += 2;
-      continue;
+    // Maximal-munch punctuators; everything unmatched is 1 char.
+    bool matched = false;
+    for (const char* p : kPuncts3) {
+      if (text.compare(i, 3, p) == 0) {
+        push(TokKind::Punct, p, i);
+        i += 3;
+        matched = true;
+        break;
+      }
     }
-    if (c == '-' && i + 1 < n && text[i + 1] == '>') {
-      push(TokKind::Punct, "->");
-      i += 2;
-      continue;
+    if (matched) continue;
+    for (const char* p : kPuncts2) {
+      if (text.compare(i, 2, p) == 0) {
+        push(TokKind::Punct, p, i);
+        i += 2;
+        matched = true;
+        break;
+      }
     }
-    push(TokKind::Punct, std::string(1, c));
+    if (matched) continue;
+    push(TokKind::Punct, std::string(1, c), i);
     ++i;
   }
   return f;
@@ -214,9 +264,15 @@ namespace {
 struct RuleCtx {
   const SourceFile& f;
   std::vector<Finding>& out;
+  std::size_t file_index = 0;  ///< index into the linted file set
 
-  void report(int line, const std::string& rule, std::string msg) const {
-    out.push_back(Finding{f.path, line, rule, std::move(msg), false, {}});
+  void report(int line, int col, const std::string& rule, std::string msg,
+              std::string fix_include = {}) const {
+    out.push_back(
+        Finding{f.path, line, col, rule, std::move(msg), false, {}, std::move(fix_include)});
+  }
+  void report(const Token& tok, const std::string& rule, std::string msg) const {
+    report(tok.line, tok.col, rule, std::move(msg));
   }
 };
 
@@ -224,11 +280,15 @@ bool prev_is(const std::vector<Token>& t, std::size_t i, const char* text) {
   return i > 0 && t[i - 1].kind == TokKind::Punct && t[i - 1].text == text;
 }
 
+bool tok_is(const Token& t, const char* s) {
+  return t.kind == TokKind::Punct && t.text == s;
+}
+
 /// True when the call at token i (an identifier followed by `(`) resolves to
 /// the global/std function of that name: bare `time(`, `std::time(` or
 /// `::time(` — but not `obj.time(`, `obj->time(` or `other::time(`.
 bool is_global_or_std_call(const std::vector<Token>& t, std::size_t i) {
-  if (i + 1 >= t.size() || t[i + 1].kind != TokKind::Punct || t[i + 1].text != "(") return false;
+  if (i + 1 >= t.size() || !tok_is(t[i + 1], "(")) return false;
   if (prev_is(t, i, ".") || prev_is(t, i, "->")) return false;
   if (prev_is(t, i, "::")) {
     if (i < 2) return true;  // leading `::name(` is the global namespace
@@ -239,11 +299,7 @@ bool is_global_or_std_call(const std::vector<Token>& t, std::size_t i) {
   // `double time(...)` declares a function of that name; a *call* never
   // directly follows a type identifier. Expression keywords still count as
   // call context (`return time(0)`).
-  static const std::set<std::string> kExprKeywords = {
-      "return", "co_return", "co_yield", "co_await", "throw", "case",
-      "else",   "do",        "and",      "or",       "not",   "xor",
-  };
-  if (i > 0 && t[i - 1].kind == TokKind::Ident && !kExprKeywords.count(t[i - 1].text)) {
+  if (i > 0 && t[i - 1].kind == TokKind::Ident && !expr_keywords().count(t[i - 1].text)) {
     return false;
   }
   return true;
@@ -265,12 +321,12 @@ void rule_no_wall_clock(const RuleCtx& ctx) {
   for (std::size_t i = 0; i < t.size(); ++i) {
     if (t[i].kind != TokKind::Ident) continue;
     if (kClockTypes.count(t[i].text)) {
-      ctx.report(t[i].line, "no-wall-clock",
+      ctx.report(t[i], "no-wall-clock",
                  "'" + t[i].text +
                      "' reads the host clock; simulated code must take time "
                      "from sim::Engine::now() (see src/sim/time.hpp)");
     } else if (kClockCalls.count(t[i].text) && is_global_or_std_call(t, i)) {
-      ctx.report(t[i].line, "no-wall-clock",
+      ctx.report(t[i], "no-wall-clock",
                  "call to '" + t[i].text +
                      "()' reads the host clock; use the simulated clock "
                      "(sim::Engine::now())");
@@ -291,12 +347,12 @@ void rule_no_os_entropy(const RuleCtx& ctx) {
   for (std::size_t i = 0; i < t.size(); ++i) {
     if (t[i].kind != TokKind::Ident) continue;
     if (kEntropyTypes.count(t[i].text)) {
-      ctx.report(t[i].line, "no-os-entropy",
+      ctx.report(t[i], "no-os-entropy",
                  "'" + t[i].text +
                      "' draws OS entropy; all randomness must flow through "
                      "the seeded sim::Rng");
     } else if (kEntropyCalls.count(t[i].text) && is_global_or_std_call(t, i)) {
-      ctx.report(t[i].line, "no-os-entropy",
+      ctx.report(t[i], "no-os-entropy",
                  "call to '" + t[i].text +
                      "()' is environment-dependent; use sim::Rng (or CLI "
                      "arguments) and suppress with a reason if this really "
@@ -305,118 +361,236 @@ void rule_no_os_entropy(const RuleCtx& ctx) {
   }
 }
 
-// --- no-unordered-iteration ------------------------------------------------
+// --- no-unordered-iteration / no-unordered-float-accumulation --------------
 
-const std::set<std::string> kUnorderedTemplates = {
-    "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset",
+/// A loop whose visit order follows the hash layout: range-for over an
+/// unordered container, or a classic for whose header calls .begin() on one.
+struct UnorderedLoop {
+  std::size_t for_tok = 0;     // index of `for`
+  std::size_t body_begin = 0;  // token after `{` (or the single statement)
+  std::size_t body_end = 0;    // matching `}` (or the `;`)
+  std::string container;
 };
 
-/// Skip a balanced `<...>` template argument list starting at t[i] == "<".
-/// Returns the index one past the closing ">", or i on mismatch.
-std::size_t skip_angles(const std::vector<Token>& t, std::size_t i) {
-  if (i >= t.size() || t[i].text != "<") return i;
-  int depth = 0;
-  std::size_t j = i;
-  for (; j < t.size(); ++j) {
-    if (t[j].kind != TokKind::Punct) continue;
-    if (t[j].text == "<") ++depth;
-    if (t[j].text == ">" && --depth == 0) return j + 1;
-    if (t[j].text == ";") break;  // never crosses a statement
-  }
-  return i;
-}
-
-/// Collect names bound to unordered containers: type aliases
-/// (`using M = std::unordered_map<...>`) and declared variables/members
-/// (`std::unordered_map<K,V> name`, `const M& name`).
-void collect_unordered_names(const std::vector<SourceFile>& files,
-                             std::set<std::string>& aliases,
-                             std::set<std::string>& vars) {
-  for (const auto& f : files) {
-    const auto& t = f.tokens;
-    for (std::size_t i = 0; i + 3 < t.size(); ++i) {
-      if (t[i].kind == TokKind::Ident && t[i].text == "using" &&
-          t[i + 1].kind == TokKind::Ident && t[i + 2].text == "=") {
-        // `using Name = ... unordered_xxx ... ;`
-        for (std::size_t j = i + 3; j < t.size(); ++j) {
-          if (t[j].kind == TokKind::Punct && t[j].text == ";") break;
-          if (t[j].kind == TokKind::Ident && kUnorderedTemplates.count(t[j].text)) {
-            aliases.insert(t[i + 1].text);
-            break;
-          }
+std::vector<UnorderedLoop> find_unordered_loops(const SourceFile& f,
+                                                const std::set<std::string>& vars) {
+  std::vector<UnorderedLoop> loops;
+  const auto& t = f.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::Ident || t[i].text != "for" || !tok_is(t[i + 1], "(")) continue;
+    const std::size_t close = match_paren(t, i + 1);
+    if (close >= t.size()) continue;
+    std::size_t colon = 0;
+    for (std::size_t j = i + 2; j < close; ++j) {
+      if (tok_is(t[j], ":") && colon == 0) colon = j;
+    }
+    std::string container;
+    if (colon) {
+      // Range-for: the expression's last identifier names the container.
+      const Token& last = t[close - 1];
+      if (last.kind == TokKind::Ident && vars.count(last.text)) container = last.text;
+    } else {
+      // Iterator loop: `U.begin()` / `U.cbegin()` inside the header.
+      for (std::size_t j = i + 2; j + 3 < close; ++j) {
+        if (t[j].kind == TokKind::Ident && vars.count(t[j].text) &&
+            (tok_is(t[j + 1], ".") || tok_is(t[j + 1], "->")) &&
+            t[j + 2].kind == TokKind::Ident &&
+            (t[j + 2].text == "begin" || t[j + 2].text == "cbegin") && tok_is(t[j + 3], "(")) {
+          container = t[j].text;
+          break;
         }
       }
     }
-  }
-  for (const auto& f : files) {
-    const auto& t = f.tokens;
-    for (std::size_t i = 0; i < t.size(); ++i) {
-      if (t[i].kind != TokKind::Ident) continue;
-      std::size_t after = 0;
-      if (kUnorderedTemplates.count(t[i].text)) {
-        after = skip_angles(t, i + 1);
-        if (after == i + 1) continue;  // not a template instantiation
-      } else if (aliases.count(t[i].text) && !prev_is(t, i, ".") && !prev_is(t, i, "->")) {
-        after = i + 1;
-      } else {
-        continue;
-      }
-      // `Type [const] [&|*] name` — the next identifier is the declared name.
-      std::size_t j = after;
-      while (j < t.size() &&
-             ((t[j].kind == TokKind::Punct && (t[j].text == "&" || t[j].text == "*")) ||
-              (t[j].kind == TokKind::Ident && t[j].text == "const"))) {
-        ++j;
-      }
-      if (j < t.size() && t[j].kind == TokKind::Ident && t[j].text != "const") {
-        vars.insert(t[j].text);
-      }
+    if (container.empty()) continue;
+    UnorderedLoop loop;
+    loop.for_tok = i;
+    loop.container = container;
+    if (close + 1 < t.size() && tok_is(t[close + 1], "{")) {
+      loop.body_begin = close + 2;
+      loop.body_end = match_brace(t, close + 1);
+    } else {
+      loop.body_begin = close + 1;
+      loop.body_end = loop.body_begin;
+      while (loop.body_end < t.size() && !tok_is(t[loop.body_end], ";")) ++loop.body_end;
     }
+    loops.push_back(std::move(loop));
   }
+  return loops;
 }
 
 void rule_no_unordered_iteration(const RuleCtx& ctx, const std::set<std::string>& vars) {
   const auto& t = ctx.f.tokens;
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    if (t[i].kind != TokKind::Ident) continue;
-    // Range-for: `for ( decl : expr )` where expr's last identifier is an
-    // unordered container.
-    if (t[i].text == "for" && i + 1 < t.size() && t[i + 1].text == "(") {
-      int depth = 0;
-      std::size_t colon = 0, close = 0;
-      for (std::size_t j = i + 1; j < t.size(); ++j) {
-        if (t[j].kind != TokKind::Punct) continue;
-        if (t[j].text == "(") ++depth;
-        if (t[j].text == ")" && --depth == 0) {
-          close = j;
-          break;
-        }
-        if (t[j].text == ":" && depth == 1 && colon == 0) colon = j;
-      }
-      if (colon && close) {
-        // Walk back from the closing paren: a plain identifier chain like
-        // `obj.member` or `member` names the ranged container.
-        const Token& last = t[close - 1];
-        if (last.kind == TokKind::Ident && vars.count(last.text)) {
-          ctx.report(t[i].line, "no-unordered-iteration",
-                     "range-for over unordered container '" + last.text +
-                         "': iteration order depends on the hash layout; "
-                         "iterate a sorted snapshot, use std::map, or "
-                         "suppress with a reason if order provably cannot "
-                         "be observed");
-        }
-      }
+  for (const UnorderedLoop& loop : find_unordered_loops(ctx.f, vars)) {
+    // Iterator loops are reported by the .begin() clause below.
+    bool range_for = false;
+    const std::size_t close = match_paren(t, loop.for_tok + 1);
+    for (std::size_t j = loop.for_tok + 2; j < close; ++j) {
+      if (tok_is(t[j], ":")) range_for = true;
     }
-    // Iterator style: `container.begin()` / `.cbegin()`.
-    if (vars.count(t[i].text) && i + 3 < t.size() &&
-        (t[i + 1].text == "." || t[i + 1].text == "->") && t[i + 2].kind == TokKind::Ident &&
-        (t[i + 2].text == "begin" || t[i + 2].text == "cbegin") && t[i + 3].text == "(") {
-      ctx.report(t[i].line, "no-unordered-iteration",
+    if (range_for) {
+      ctx.report(t[loop.for_tok], "no-unordered-iteration",
+                 "range-for over unordered container '" + loop.container +
+                     "': iteration order depends on the hash layout; "
+                     "iterate a sorted snapshot, use std::map, or "
+                     "suppress with a reason if order provably cannot "
+                     "be observed");
+    }
+  }
+  // Iterator style: `container.begin()` / `.cbegin()` anywhere.
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::Ident || !vars.count(t[i].text)) continue;
+    if (i + 3 < t.size() && (tok_is(t[i + 1], ".") || tok_is(t[i + 1], "->")) &&
+        t[i + 2].kind == TokKind::Ident &&
+        (t[i + 2].text == "begin" || t[i + 2].text == "cbegin") && tok_is(t[i + 3], "(")) {
+      ctx.report(t[i], "no-unordered-iteration",
                  "iterator over unordered container '" + t[i].text +
                      "': iteration order depends on the hash layout; "
                      "iterate a sorted snapshot, use std::map, or suppress "
                      "with a reason if order provably cannot be observed");
     }
+  }
+}
+
+const std::set<std::string> kCompoundAssign = {"+=", "-=", "*=", "/="};
+
+void rule_no_unordered_float_accumulation(const RuleCtx& ctx, const Analysis& an) {
+  const auto& t = ctx.f.tokens;
+  std::set<std::string> floats;
+  for (int p : an.closure[ctx.file_index]) {
+    const auto& names = an.float_names[static_cast<std::size_t>(p)];
+    floats.insert(names.begin(), names.end());
+  }
+  for (const UnorderedLoop& loop : find_unordered_loops(ctx.f, an.unordered_names)) {
+    for (std::size_t j = loop.body_begin; j < loop.body_end && j < t.size(); ++j) {
+      if (t[j].kind != TokKind::Punct) continue;
+      std::string target;
+      if (kCompoundAssign.count(t[j].text) && j > 0 && t[j - 1].kind == TokKind::Ident) {
+        target = t[j - 1].text;
+      } else if (t[j].text == "=" && j > 0 && t[j - 1].kind == TokKind::Ident) {
+        // `x = x + ...` — the accumulator reappears on the right-hand side.
+        const std::string& lhs = t[j - 1].text;
+        for (std::size_t k = j + 1; k < loop.body_end && !tok_is(t[k], ";"); ++k) {
+          if (t[k].kind == TokKind::Ident && t[k].text == lhs) {
+            target = lhs;
+            break;
+          }
+        }
+      }
+      if (target.empty() || !floats.count(target)) continue;
+      ctx.report(t[j - 1], "no-unordered-float-accumulation",
+                 "floating-point accumulation into '" + target +
+                     "' inside a loop over unordered container '" + loop.container +
+                     "': the reduction order follows the hash layout, so the "
+                     "result is not reproducible; iterate a sorted snapshot "
+                     "or accumulate per-entry and reduce in key order");
+    }
+  }
+}
+
+// --- no-exact-float-compare ------------------------------------------------
+
+void rule_no_exact_float_compare(const RuleCtx& ctx, const Analysis& an) {
+  const auto& t = ctx.f.tokens;
+  // Float-declared names visible to this TU: its own plus its includes'.
+  std::set<std::string> floats;
+  for (int p : an.closure[ctx.file_index]) {
+    const auto& names = an.float_names[static_cast<std::size_t>(p)];
+    floats.insert(names.begin(), names.end());
+  }
+  const std::set<std::string>& own_floats = an.float_names[ctx.file_index];
+  const std::set<std::string>& own_nonfloats =
+      an.nonfloat_names[ctx.file_index];
+  auto float_name = [&](const std::string& name) {
+    // This TU's own integral declaration wins over a same-named float
+    // pulled in from an included header (`std::uint64_t v` vs `double v`).
+    if (own_nonfloats.count(name) && !own_floats.count(name)) return false;
+    return floats.count(name) != 0;
+  };
+  // The value actually compared is the *terminal* of the postfix chain:
+  // for `a[i].cpu_seconds == x` it is `cpu_seconds`, for `xs.size() != n`
+  // it is the call to `size`. Resolve the terminal name going left from
+  // the operator (backwards over `)`/`]` groups) and right from it
+  // (forwards over `(`/`[`/`.`/`->`/`::` links).
+  auto lhs_terminal = [&](std::size_t i) -> const Token* {
+    std::size_t k = i;  // index of the token just left of ==/!=
+    bool via_call = false;
+    while (true) {
+      if (tok_is(t[k], ")") || tok_is(t[k], "]")) {
+        via_call = tok_is(t[k], ")");
+        int depth = 1;
+        while (k > 0 && depth > 0) {
+          --k;
+          if (tok_is(t[k], ")") || tok_is(t[k], "]")) ++depth;
+          if (tok_is(t[k], "(") || tok_is(t[k], "[")) --depth;
+        }
+        if (k == 0) return nullptr;
+        --k;
+        continue;
+      }
+      // An identifier reached by backing out of a `(...)` group is a
+      // callee: its return type is unknowable name-based, so a same-named
+      // double *variable* elsewhere is not evidence (`xs.size()` vs the
+      // `double size` member of an unrelated struct).
+      if (via_call && t[k].kind == TokKind::Ident) return nullptr;
+      return &t[k];
+    }
+  };
+  auto rhs_terminal = [&](std::size_t i) -> const Token* {
+    std::size_t k = i;  // index of the token just right of ==/!=
+    if ((tok_is(t[k], "-") || tok_is(t[k], "+")) && k + 1 < t.size()) ++k;
+    if (t[k].kind != TokKind::Ident) return &t[k];
+    const Token* name = &t[k];
+    while (k + 1 < t.size()) {
+      if (tok_is(t[k + 1], "(")) {
+        k = match_paren(t, k + 1);
+        if (k >= t.size()) return name;
+      } else if (tok_is(t[k + 1], "[")) {
+        std::size_t d = 1, j = k + 2;
+        while (j < t.size() && d > 0) {
+          if (tok_is(t[j], "[")) ++d;
+          if (tok_is(t[j], "]")) --d;
+          ++j;
+        }
+        k = j - 1;
+      } else if (tok_is(t[k + 1], ".") || tok_is(t[k + 1], "->") ||
+                 tok_is(t[k + 1], "::")) {
+        if (k + 2 >= t.size() || t[k + 2].kind != TokKind::Ident) return name;
+        k += 2;
+        name = &t[k];
+      } else {
+        break;
+      }
+    }
+    // Terminal is a call: the return type is unknowable name-based (see
+    // lhs_terminal), so do not treat the callee name as a float variable.
+    if (name + 1 <= &t.back() && tok_is(*(name + 1), "(")) return nullptr;
+    return name;
+  };
+  auto floaty = [&](const Token* tok) {
+    if (tok == nullptr) return false;
+    if (is_float_literal(*tok)) return true;
+    return tok->kind == TokKind::Ident && float_name(tok->text);
+  };
+  auto never_float = [](const Token* tok) {
+    if (tok == nullptr) return false;
+    if (tok->kind == TokKind::String || tok->kind == TokKind::CharLit) return true;
+    return tok->kind == TokKind::Ident &&
+           (tok->text == "nullptr" || tok->text == "true" || tok->text == "false");
+  };
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    if (!tok_is(t[i], "==") && !tok_is(t[i], "!=")) continue;
+    const Token* lhs = lhs_terminal(i - 1);
+    const Token* rhs = rhs_terminal(i + 1);
+    // A string/char/bool/nullptr operand means this is not a float
+    // comparison, no matter what names are in play.
+    if (never_float(lhs) || never_float(rhs)) continue;
+    if (!floaty(lhs) && !floaty(rhs)) continue;
+    ctx.report(t[i], "no-exact-float-compare",
+               "exact floating-point comparison ('" + t[i].text +
+                   "'): equality on float/double encodes accidental "
+                   "bit-identity; compare against a tolerance, use integer "
+                   "state, or mark the file as an audited determinism oracle "
+                   "with a file-scope suppression");
   }
 }
 
@@ -435,9 +609,22 @@ void rule_header_guard(const RuleCtx& ctx) {
     if (d.find("if") != std::string::npos && d.find("defined") != std::string::npos) return;
     break;  // some other directive (e.g. #include) came first
   }
-  ctx.report(1, "header-guard",
+  ctx.report(1, 1, "header-guard",
              "header does not open with '#pragma once' (or an #ifndef "
              "include guard)");
+}
+
+void rule_using_namespace_header(const RuleCtx& ctx) {
+  if (!ctx.f.is_header) return;
+  const auto& t = ctx.f.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind == TokKind::Ident && t[i].text == "using" &&
+        t[i + 1].kind == TokKind::Ident && t[i + 1].text == "namespace") {
+      ctx.report(t[i], "using-namespace-header",
+                 "'using namespace' in a header leaks the namespace into "
+                 "every includer");
+    }
+  }
 }
 
 // --- metric-name -----------------------------------------------------------
@@ -490,14 +677,13 @@ void rule_metric_name(const RuleCtx& ctx) {
   for (std::size_t i = 0; i + 2 < t.size(); ++i) {
     if (t[i].kind != TokKind::Ident || !kMetricFactories.count(t[i].text)) continue;
     if (!prev_is(t, i, ".") && !prev_is(t, i, "->")) continue;  // member call only
-    if (t[i + 1].kind != TokKind::Punct || t[i + 1].text != "(") continue;
+    if (!tok_is(t[i + 1], "(")) continue;
     const Token& lit = t[i + 2];
     if (lit.kind != TokKind::String) continue;
-    const bool concatenated =
-        i + 3 < t.size() && t[i + 3].kind == TokKind::Punct && t[i + 3].text == "+";
+    const bool concatenated = i + 3 < t.size() && tok_is(t[i + 3], "+");
     const bool ok = concatenated ? metric_prefix_ok(lit.text) : metric_name_ok(lit.text);
     if (!ok) {
-      ctx.report(lit.line, "metric-name",
+      ctx.report(lit, "metric-name",
                  "metric name \"" + lit.text + "\" passed to " + t[i].text +
                      "() must follow 'subsystem.metric_name': lowercase "
                      "[a-z0-9_] segments joined by dots" +
@@ -506,17 +692,467 @@ void rule_metric_name(const RuleCtx& ctx) {
   }
 }
 
-void rule_using_namespace_header(const RuleCtx& ctx) {
-  if (!ctx.f.is_header) return;
-  const auto& t = ctx.f.tokens;
-  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
-    if (t[i].kind == TokKind::Ident && t[i].text == "using" &&
-        t[i + 1].kind == TokKind::Ident && t[i + 1].text == "namespace") {
-      ctx.report(t[i].line, "using-namespace-header",
-                 "'using namespace' in a header leaks the namespace into "
-                 "every includer");
+// --- layer-dag -------------------------------------------------------------
+
+/// The module layering (DESIGN.md §9): each src/<module> may include only
+/// the modules listed here. obs is base infrastructure (pure, depends on
+/// nothing); sim sits above it; core and viz are the top of the DAG.
+const std::map<std::string, std::set<std::string>>& layer_deps() {
+  static const std::map<std::string, std::set<std::string>> kDeps = {
+      {"obs", {}},
+      {"sim", {"obs"}},
+      {"net", {"sim", "obs"}},
+      {"virt", {"net", "sim", "obs"}},
+      {"monitor", {"virt", "net", "sim", "obs"}},
+      {"hdfs", {"virt", "net", "sim", "obs"}},
+      {"mapreduce", {"hdfs", "virt", "net", "sim", "obs"}},
+      {"ml", {"mapreduce", "hdfs", "virt", "net", "sim", "obs"}},
+      {"workloads", {"mapreduce", "hdfs", "virt", "net", "sim", "obs", "monitor"}},
+      {"tuner", {"mapreduce", "hdfs", "virt", "net", "sim", "obs", "monitor"}},
+      {"viz", {"ml", "mapreduce", "hdfs", "virt", "net", "sim", "obs"}},
+      {"core",
+       {"ml", "mapreduce", "hdfs", "virt", "net", "sim", "obs", "monitor", "tuner",
+        "workloads", "viz"}},
+  };
+  return kDeps;
+}
+
+std::string src_module(const std::string& rel) {
+  if (!rel.starts_with("src/")) return {};
+  const std::size_t slash = rel.find('/', 4);
+  if (slash == std::string::npos) return {};
+  return rel.substr(4, slash - 4);
+}
+
+void rule_layer_dag(const std::vector<SourceFile>& files, const Analysis& an,
+                    std::vector<std::vector<Finding>>& buckets) {
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const SourceFile& f = files[fi];
+    const std::string mod = src_module(f.rel);
+    if (mod.empty()) continue;  // layering constrains src/ only
+    const auto deps = layer_deps().find(mod);
+    for (const IncludeEdge& e : an.includes[fi]) {
+      for (int ti : e.targets) {
+        const std::string dep = src_module(files[static_cast<std::size_t>(ti)].rel);
+        if (dep.empty() || dep == mod) continue;
+        if (deps == layer_deps().end()) {
+          buckets[fi].push_back(Finding{
+              f.path, e.line, e.col, "layer-dag",
+              "module 'src/" + mod +
+                  "' is not in the layering table; add it to layer_deps() in "
+                  "tools/vhadoop_lint/lint.cpp with its allowed dependencies",
+              false,
+              {},
+              {}});
+          break;
+        }
+        if (!deps->second.count(dep)) {
+          buckets[fi].push_back(Finding{
+              f.path, e.line, e.col, "layer-dag",
+              "layering violation: src/" + mod + " must not include src/" + dep +
+                  " ('" + e.spec +
+                  "'); the module DAG is sim -> {net,virt} -> {hdfs,mapreduce} "
+                  "-> {workloads,ml,tuner} with obs at the base and core/viz "
+                  "on top (DESIGN.md §9)",
+              false,
+              {},
+              {}});
+        }
+      }
     }
   }
+}
+
+// --- include-self-sufficiency ----------------------------------------------
+
+/// Strip the include-root prefix so a repo path becomes the string a file
+/// would actually #include.
+std::string include_spec_for(const std::string& rel) {
+  for (const char* root : {"src/", "tests/", "tools/", "bench/", "examples/"}) {
+    if (rel.starts_with(root)) return rel.substr(std::string(root).size());
+  }
+  return rel;
+}
+
+/// Does the identifier at t[i] look like a *use* of a type/function — a
+/// call, template-id, qualified name, or the type of a declaration — rather
+/// than an arbitrary word? Keeps the symbol-resolution check precise.
+bool looks_like_symbol_use(const std::vector<Token>& t, std::size_t i, const Analysis& an) {
+  if (prev_is(t, i, ".") || prev_is(t, i, "->")) return false;
+  if (prev_is(t, i, "::")) {
+    if (i < 2) return true;
+    const Token& q = t[i - 2];
+    if (q.kind != TokKind::Ident) return true;  // leading `::`
+    // Only names qualified by a *repo namespace* are uses of the bare
+    // symbol; `SomeClass::member` resolves through the class, which was
+    // already checked as a use at its own position.
+    return an.namespaces.count(q.text) != 0;
+  }
+  // Directly after another identifier this is a declarator name, not a use:
+  // `Result run(...)` declares run. Expression keywords (`return Foo{...}`)
+  // still count as use context.
+  if (i > 0 && t[i - 1].kind == TokKind::Ident && !is_cpp_keyword(t[i - 1].text)) {
+    return false;
+  }
+  static const std::set<std::string> kBuiltinTypes = {
+      "int",  "double", "float",    "char", "bool",  "auto",
+      "void", "long",   "unsigned", "short", "signed", "wchar_t",
+  };
+  if (i > 0 && t[i - 1].kind == TokKind::Ident && kBuiltinTypes.count(t[i - 1].text)) {
+    return false;  // `unsigned Foo;` — declarator after a builtin type
+  }
+  if (i + 1 >= t.size()) return false;
+  const Token& nx = t[i + 1];
+  if (tok_is(nx, "(") || tok_is(nx, "{") || tok_is(nx, "::")) return true;
+  if (nx.kind == TokKind::Ident && !is_cpp_keyword(nx.text)) return true;  // `Type name`
+  if ((tok_is(nx, "&") || tok_is(nx, "&&") || tok_is(nx, "*")) && i + 2 < t.size() &&
+      t[i + 2].kind == TokKind::Ident) {
+    return true;  // `Type& name`
+  }
+  if (tok_is(nx, "<")) {
+    const std::size_t after = skip_angles(t, i + 1);
+    return after != i + 1;  // balanced template argument list
+  }
+  return false;
+}
+
+void rule_include_self_sufficiency(const std::vector<SourceFile>& files, const Analysis& an,
+                                   std::vector<std::vector<Finding>>& buckets) {
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const SourceFile& f = files[fi];
+    const std::set<int>& cl = an.closure[fi];
+    std::set<std::string> reported;
+    const auto& t = f.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::Ident || is_cpp_keyword(t[i].text)) continue;
+      const auto prov = an.providers.find(t[i].text);
+      if (prov == an.providers.end()) continue;  // nobody exports this name
+      // Only header-declared symbols are actionable: a name exported solely
+      // by .cpp files (e.g. gtest's TEST macro re-detected at use sites)
+      // cannot be reached by adding an include, so the real declaration
+      // must live outside the repo file set.
+      bool header_provider = false;
+      for (int p : prov->second) {
+        if (files[static_cast<std::size_t>(p)].is_header) {
+          header_provider = true;
+          break;
+        }
+      }
+      if (!header_provider) continue;
+      if (an.declared[fi].count(t[i].text)) continue;  // declared here (any scope)
+      if (reported.count(t[i].text)) continue;
+      if (!looks_like_symbol_use(t, i, an)) continue;
+      // Resolvable when ANY file in the closure declares the name at any
+      // scope — biased against false positives: the tree compiles, so a
+      // finding must mean the declaring header genuinely isn't reachable.
+      bool resolvable = false;
+      for (int p : cl) {
+        if (an.declared[static_cast<std::size_t>(p)].count(t[i].text)) {
+          resolvable = true;
+          break;
+        }
+      }
+      if (resolvable) continue;
+      reported.insert(t[i].text);
+      // Suggest the first header (by path) that declares the symbol.
+      std::string fix, where;
+      for (int p : prov->second) {
+        const SourceFile& pf = files[static_cast<std::size_t>(p)];
+        if (where.empty()) where = pf.rel;
+        if (pf.is_header) {
+          fix = include_spec_for(pf.rel);
+          where = pf.rel;
+          break;
+        }
+      }
+      buckets[fi].push_back(Finding{
+          f.path, t[i].line, t[i].col, "include-self-sufficiency",
+          "'" + t[i].text + "' is declared in " + where +
+              ", which is not in this file's transitive include closure; the "
+              "TU only compiles through accidental include order" +
+              (fix.empty() ? "" : " — add #include \"" + fix + "\""),
+          false,
+          {},
+          fix});
+    }
+  }
+}
+
+// --- thread-shared-mutation ------------------------------------------------
+
+const std::set<std::string> kAssignOps = {"=",  "+=", "-=", "*=",  "/=",  "%=",
+                                          "&=", "|=", "^=", "<<=", ">>=", "++",
+                                          "--"};
+const std::set<std::string> kLockTokens = {"lock_guard", "scoped_lock", "unique_lock",
+                                           "shared_lock"};
+const std::set<std::string> kTypeKeywords = {
+    "int",  "double", "float",    "char", "bool",  "auto",  "unsigned",
+    "long", "short",  "signed",   "const", "static", "void",
+};
+
+/// The written-to expression ending just before the operator at `op`:
+/// a chain of identifiers, member accesses and subscripts. Returns the
+/// chain's root identifier index (npos when the target is not a chain).
+struct WriteTarget {
+  std::size_t root = static_cast<std::size_t>(-1);
+  std::string root_name;
+  bool via_this = false;
+  std::vector<std::pair<std::size_t, std::size_t>> subscripts;  // [begin,end)
+};
+
+WriteTarget walk_back_target(const std::vector<Token>& t, std::size_t op) {
+  WriteTarget w;
+  if (op == 0) return w;
+  std::size_t j = op - 1;
+  for (;;) {
+    if (tok_is(t[j], "]")) {
+      int depth = 0;
+      std::size_t k = j;
+      for (;;) {
+        if (tok_is(t[k], "]")) ++depth;
+        if (tok_is(t[k], "[")) {
+          if (--depth == 0) break;
+        }
+        if (k == 0) return w;
+        --k;
+      }
+      w.subscripts.emplace_back(k + 1, j);
+      if (k == 0) return w;
+      j = k - 1;
+      continue;
+    }
+    if (t[j].kind == TokKind::Ident) {
+      if (is_cpp_keyword(t[j].text) && t[j].text != "this") return w;
+      w.root = j;
+      w.root_name = t[j].text;
+      if (t[j].text == "this") w.via_this = true;
+      if (j >= 2 && (tok_is(t[j - 1], ".") || tok_is(t[j - 1], "->"))) {
+        j -= 2;
+        continue;
+      }
+      return w;
+    }
+    return w;
+  }
+}
+
+/// Names declared inside a token range (locals): `Type name =`, `auto& x :`,
+/// structured bindings, and `static` locals (returned separately — those
+/// stay shared across worker iterations).
+void collect_locals(const std::vector<Token>& t, std::size_t b, std::size_t e,
+                    std::set<std::string>& locals, std::set<std::string>& statics) {
+  bool static_stmt = false;
+  for (std::size_t j = b; j < e && j < t.size(); ++j) {
+    if (tok_is(t[j], ";")) static_stmt = false;
+    if (t[j].kind != TokKind::Ident) continue;
+    if (t[j].text == "static") static_stmt = true;
+    // `auto [a, b] = ...` / `auto& [k, v] :`
+    if (t[j].text == "auto") {
+      std::size_t k = j + 1;
+      while (k < e && (tok_is(t[k], "&") || tok_is(t[k], "&&") || tok_is(t[k], "*") ||
+                       (t[k].kind == TokKind::Ident && t[k].text == "const"))) {
+        ++k;
+      }
+      if (k < e && tok_is(t[k], "[")) {
+        for (++k; k < e && !tok_is(t[k], "]"); ++k) {
+          if (t[k].kind == TokKind::Ident) locals.insert(t[k].text);
+        }
+        continue;
+      }
+    }
+    // `<type-ish> name` followed by a declarator terminator.
+    const bool type_ish =
+        !is_cpp_keyword(t[j].text) || kTypeKeywords.count(t[j].text) != 0;
+    if (!type_ish) continue;
+    std::size_t k = j + 1;
+    if (k < e && tok_is(t[k], "<")) {
+      const std::size_t after = skip_angles(t, k);
+      if (after != k) k = after;
+    }
+    while (k < e && (tok_is(t[k], "&") || tok_is(t[k], "&&") || tok_is(t[k], "*") ||
+                     (t[k].kind == TokKind::Ident && t[k].text == "const"))) {
+      ++k;
+    }
+    if (k < e && k + 1 < t.size() && t[k].kind == TokKind::Ident &&
+        !is_cpp_keyword(t[k].text) &&
+        (tok_is(t[k + 1], "=") || tok_is(t[k + 1], ";") || tok_is(t[k + 1], "{") ||
+         tok_is(t[k + 1], ":") || tok_is(t[k + 1], "("))) {
+      // `(` is a terminator only because the pattern already demands the
+      // two-ident shape `Type name(...)` (paren-init declaration); a bare
+      // call `name(...)` has no preceding type identifier to match.
+      (static_stmt ? statics : locals).insert(t[k].text);
+    }
+  }
+}
+
+/// Index of the first lock acquisition inside [b, e): a lock-guard type or
+/// a member `.lock()` call. Writes after it count as guarded.
+std::size_t first_lock_at(const std::vector<Token>& t, std::size_t b, std::size_t e) {
+  for (std::size_t j = b; j < e && j < t.size(); ++j) {
+    if (t[j].kind != TokKind::Ident) continue;
+    if (kLockTokens.count(t[j].text)) return j;
+    if ((t[j].text == "lock" || t[j].text == "lock_shared") && j + 1 < t.size() &&
+        tok_is(t[j + 1], "(") && (prev_is(t, j, ".") || prev_is(t, j, "->"))) {
+      return j;
+    }
+  }
+  return e;
+}
+
+/// Scan one body region for unsynchronized writes. `classify` decides, for
+/// a chain root that is not local/atomic/guarded/per-slot, whether and how
+/// to report it (empty string = ignore).
+template <typename Classify>
+void scan_writes(const RuleCtx& ctx, const Analysis& an, std::size_t b, std::size_t e,
+                 const std::set<std::string>& locals, const std::set<std::string>& statics,
+                 const Classify& classify) {
+  const auto& t = ctx.f.tokens;
+  const std::size_t lock_at = first_lock_at(t, b, e);
+  int bracket_depth = 0;
+  for (std::size_t j = b; j < e && j < t.size(); ++j) {
+    if (tok_is(t[j], "[")) ++bracket_depth;
+    if (tok_is(t[j], "]")) --bracket_depth;
+    if (t[j].kind != TokKind::Punct || !kAssignOps.count(t[j].text)) continue;
+    if (bracket_depth > 0) continue;  // subscript / capture-init expressions
+    if (j > 0 && t[j - 1].kind == TokKind::Ident && t[j - 1].text == "operator") continue;
+    WriteTarget w;
+    if ((t[j].text == "++" || t[j].text == "--") && j + 1 < t.size() &&
+        t[j + 1].kind == TokKind::Ident && !(j > 0 && t[j - 1].kind == TokKind::Ident)) {
+      // Pre-increment: walk the chain forward (`++counts[p]`, `++s.n`).
+      w.root = j + 1;
+      w.root_name = t[j + 1].text;
+      std::size_t k = j + 2;
+      while (k < t.size()) {
+        if (tok_is(t[k], "[")) {
+          int depth = 0;
+          std::size_t c = k;
+          for (; c < t.size(); ++c) {
+            if (tok_is(t[c], "[")) ++depth;
+            if (tok_is(t[c], "]") && --depth == 0) break;
+          }
+          if (c >= t.size()) break;
+          w.subscripts.emplace_back(k + 1, c);
+          k = c + 1;
+          continue;
+        }
+        if ((tok_is(t[k], ".") || tok_is(t[k], "->")) && k + 1 < t.size() &&
+            t[k + 1].kind == TokKind::Ident) {
+          k += 2;
+          continue;
+        }
+        break;
+      }
+    } else {
+      w = walk_back_target(t, j);
+    }
+    if (w.root == static_cast<std::size_t>(-1)) continue;
+    // Per-index slot: any subscript mentioning a local/param is the
+    // sanctioned parallel output pattern (out[i] = ...).
+    bool per_slot = false;
+    for (const auto& [sb, se] : w.subscripts) {
+      for (std::size_t k = sb; k < se; ++k) {
+        if (t[k].kind == TokKind::Ident && locals.count(t[k].text)) per_slot = true;
+      }
+    }
+    if (per_slot) continue;
+    if (statics.count(w.root_name)) {
+      ctx.report(t[w.root], "thread-shared-mutation",
+                 classify(w, /*is_static_local=*/true));
+      continue;
+    }
+    if (locals.count(w.root_name) && !w.via_this) continue;
+    if (an.atomic_names.count(w.root_name)) continue;
+    if (j >= lock_at) continue;  // a lock is held by this point
+    const std::string msg = classify(w, /*is_static_local=*/false);
+    if (!msg.empty()) ctx.report(t[w.root], "thread-shared-mutation", msg);
+  }
+}
+
+void rule_thread_shared_mutation(const std::vector<SourceFile>& files, const Analysis& an,
+                                 std::vector<std::vector<Finding>>& buckets) {
+  // Pass 1: the worker lambda bodies themselves.
+  for (const WorkerLambda& lam : an.worker_lambdas) {
+    const SourceFile& f = files[static_cast<std::size_t>(lam.file)];
+    RuleCtx ctx{f, buckets[static_cast<std::size_t>(lam.file)],
+                static_cast<std::size_t>(lam.file)};
+    std::set<std::string> locals = lam.params;
+    std::set<std::string> statics;
+    collect_locals(f.tokens, lam.body_begin, lam.body_end, locals, statics);
+    const std::string where = lam.entry + " lambda at " + f.rel + ":" +
+                              std::to_string(lam.line);
+    scan_writes(ctx, an, lam.body_begin, lam.body_end, locals, statics,
+                [&](const WriteTarget& w, bool is_static_local) -> std::string {
+                  const std::string head = "worker threads (" + where + ") write '" +
+                                           w.root_name + "' ";
+                  if (is_static_local) {
+                    return head + "— a function-local static shared across "
+                                  "iterations — without synchronization";
+                  }
+                  if (an.mutable_globals.count(w.root_name)) {
+                    return head + "— namespace-scope state — without "
+                                  "synchronization; guard it with a lock or "
+                                  "make it atomic";
+                  }
+                  if (w.via_this || (lam.captures_this && w.root_name.ends_with("_"))) {
+                    return head + "— member state captured via this — without "
+                                  "synchronization; use a per-index slot, an "
+                                  "atomic, or a lock";
+                  }
+                  if (lam.ref_captures.count(w.root_name) || lam.ref_default) {
+                    if (lam.val_captures.count(w.root_name)) return {};
+                    return head + "captured by reference without "
+                                  "synchronization; use a per-index slot "
+                                  "(out[i] = ...), an atomic, or a lock";
+                  }
+                  return {};
+                });
+  }
+
+  // Pass 2: functions transitively reachable from a worker lambda (across
+  // TUs). Only definitely-shared sinks are flagged here: namespace-scope
+  // variables and function-local statics — member identity is unknowable
+  // by name alone.
+  for (const auto& [fidx, witness] : an.worker_reachable) {
+    const FunctionDef& def = an.functions[fidx];
+    const SourceFile& f = files[static_cast<std::size_t>(def.file)];
+    RuleCtx ctx{f, buckets[static_cast<std::size_t>(def.file)],
+                static_cast<std::size_t>(def.file)};
+    std::set<std::string> locals, statics;
+    collect_locals(f.tokens, def.body_begin, def.body_end, locals, statics);
+    scan_writes(ctx, an, def.body_begin, def.body_end, locals, statics,
+                [&](const WriteTarget& w, bool is_static_local) -> std::string {
+                  const std::string head = "'" + def.name +
+                                           "' runs on worker threads (reachable from " +
+                                           witness + ") and writes '" + w.root_name + "' ";
+                  if (is_static_local) {
+                    return head + "— a function-local static — without "
+                                  "synchronization";
+                  }
+                  if (an.mutable_globals.count(w.root_name) && !locals.count(w.root_name)) {
+                    return head + "— namespace-scope state — without "
+                                  "synchronization; guard it with a lock or "
+                                  "make it atomic";
+                  }
+                  return {};
+                });
+  }
+}
+
+// --- suppression well-formedness -------------------------------------------
+
+/// Audit-trail requirement: every reason must cite the PR that audited the
+/// suppression ("... PR 8 ...").
+bool cites_pr(const std::string& reason) {
+  for (std::size_t i = 0; i + 1 < reason.size(); ++i) {
+    if (reason[i] == 'P' && reason[i + 1] == 'R') {
+      std::size_t j = i + 2;
+      while (j < reason.size() && (reason[j] == ' ' || reason[j] == '#')) ++j;
+      if (j < reason.size() && std::isdigit(static_cast<unsigned char>(reason[j]))) {
+        return true;
+      }
+    }
+  }
+  return false;
 }
 
 }  // namespace
@@ -527,16 +1163,30 @@ Result run(const std::vector<SourceFile>& files, const std::vector<std::string>&
            std::find(only_rules.begin(), only_rules.end(), rule) != only_rules.end();
   };
 
-  std::set<std::string> aliases, unordered_vars;
-  collect_unordered_names(files, aliases, unordered_vars);
+  const Analysis an = analyze(files);
+
+  // Cross-TU rules run once over the whole set, bucketing findings by file.
+  std::vector<std::vector<Finding>> buckets(files.size());
+  if (enabled("thread-shared-mutation")) rule_thread_shared_mutation(files, an, buckets);
+  if (enabled("layer-dag")) rule_layer_dag(files, an, buckets);
+  if (enabled("include-self-sufficiency")) {
+    rule_include_self_sufficiency(files, an, buckets);
+  }
 
   Result res;
-  for (const auto& f : files) {
-    std::vector<Finding> raw;
-    RuleCtx ctx{f, raw};
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const SourceFile& f = files[fi];
+    std::vector<Finding> raw = std::move(buckets[fi]);
+    RuleCtx ctx{f, raw, fi};
     if (enabled("no-wall-clock")) rule_no_wall_clock(ctx);
     if (enabled("no-os-entropy")) rule_no_os_entropy(ctx);
-    if (enabled("no-unordered-iteration")) rule_no_unordered_iteration(ctx, unordered_vars);
+    if (enabled("no-unordered-iteration")) {
+      rule_no_unordered_iteration(ctx, an.unordered_names);
+    }
+    if (enabled("no-unordered-float-accumulation")) {
+      rule_no_unordered_float_accumulation(ctx, an);
+    }
+    if (enabled("no-exact-float-compare")) rule_no_exact_float_compare(ctx, an);
     if (enabled("header-guard")) rule_header_guard(ctx);
     if (enabled("using-namespace-header")) rule_using_namespace_header(ctx);
     if (enabled("metric-name")) rule_metric_name(ctx);
@@ -545,31 +1195,43 @@ Result run(const std::vector<SourceFile>& files, const std::vector<std::string>&
     // suppressible, or a bad suppression could excuse itself.
     for (const auto& sup : f.suppressions) {
       if (sup.rule.empty()) {
-        raw.push_back(Finding{f.path, sup.line, "bad-suppression",
+        raw.push_back(Finding{f.path, sup.line, 1, "bad-suppression",
                               "malformed vlint directive: expected "
-                              "'vlint: allow(rule-name) reason'",
+                              "'vlint: allow(rule-name) audited PR <n>: reason'",
                               false,
+                              {},
                               {}});
       } else if (!is_known_rule(sup.rule) || sup.rule == "bad-suppression") {
-        raw.push_back(Finding{f.path, sup.line, "bad-suppression",
+        raw.push_back(Finding{f.path, sup.line, 1, "bad-suppression",
                               "unknown rule '" + sup.rule + "' in vlint directive", false,
+                              {},
                               {}});
       } else if (sup.reason.empty()) {
-        raw.push_back(Finding{f.path, sup.line, "bad-suppression",
+        raw.push_back(Finding{f.path, sup.line, 1, "bad-suppression",
                               "suppression of '" + sup.rule +
                                   "' carries no reason; every allow() must say why",
                               false,
+                              {},
+                              {}});
+      } else if (!cites_pr(sup.reason)) {
+        raw.push_back(Finding{f.path, sup.line, 1, "bad-suppression",
+                              "suppression of '" + sup.rule +
+                                  "' does not cite its audit: the reason must name "
+                                  "the PR that reviewed it (e.g. 'audited PR 8: ...')",
+                              false,
+                              {},
                               {}});
       }
     }
 
     // Apply suppressions: a well-formed allow(rule) on the finding's line or
-    // the line directly above silences it.
+    // the line directly above silences it; a well-formed allow-file(rule)
+    // anywhere in the file silences the rule file-wide.
     for (auto& finding : raw) {
       if (finding.rule == "bad-suppression") continue;
       for (const auto& sup : f.suppressions) {
-        if (sup.rule != finding.rule || sup.reason.empty()) continue;
-        if (sup.line == finding.line || sup.line == finding.line - 1) {
+        if (sup.rule != finding.rule || sup.reason.empty() || !cites_pr(sup.reason)) continue;
+        if (sup.file_scope || sup.line == finding.line || sup.line == finding.line - 1) {
           finding.suppressed = true;
           finding.reason = sup.reason;
           break;
@@ -579,6 +1241,7 @@ Result run(const std::vector<SourceFile>& files, const std::vector<std::string>&
 
     std::sort(raw.begin(), raw.end(), [](const Finding& a, const Finding& b) {
       if (a.line != b.line) return a.line < b.line;
+      if (a.col != b.col) return a.col < b.col;
       return a.rule < b.rule;
     });
     for (auto& finding : raw) {

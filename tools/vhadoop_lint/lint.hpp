@@ -1,5 +1,8 @@
 #pragma once
 
+#include <iosfwd>
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -7,30 +10,58 @@ namespace vlint {
 
 /// The determinism & hygiene contract, as named rules (DESIGN.md §9).
 ///
-///  no-wall-clock          — std::chrono clocks, time(), clock(), gettimeofday
-///                           et al. are banned outside src/sim/time.hpp: all
-///                           time must flow through the simulated clock.
-///  no-os-entropy          — rand(), std::random_device, getenv() et al. are
-///                           banned outside src/sim/rng.*: all randomness must
-///                           flow through the seeded sim::Rng.
-///  no-unordered-iteration — range-for / .begin() iteration over
-///                           std::unordered_map/set is hash-layout-dependent;
-///                           sort a snapshot or suppress with a reason.
-///  header-guard           — every header opens with #pragma once (or an
-///                           #ifndef guard) before any other directive.
-///  using-namespace-header — `using namespace` in a header leaks into every
-///                           includer.
-///  metric-name            — string literals passed to Registry::counter/
-///                           gauge/histogram must follow the
-///                           `subsystem.metric_name` convention (lowercase
-///                           dot-separated segments); concatenated literals
-///                           are checked as prefixes.
-///  bad-suppression        — a `// vlint: allow(...)` comment that names an
-///                           unknown rule or carries no reason. Never itself
-///                           suppressible.
+/// Per-file (token) rules:
+///  no-wall-clock            — std::chrono clocks, time(), clock(), gettimeofday
+///                             et al. are banned outside src/sim/time.hpp: all
+///                             time must flow through the simulated clock.
+///  no-os-entropy            — rand(), std::random_device, getenv() et al. are
+///                             banned outside src/sim/rng.*: all randomness must
+///                             flow through the seeded sim::Rng.
+///  no-unordered-iteration   — range-for / .begin() iteration over
+///                             std::unordered_map/set is hash-layout-dependent;
+///                             sort a snapshot or suppress with a reason.
+///  header-guard             — every header opens with #pragma once (or an
+///                             #ifndef guard) before any other directive.
+///  using-namespace-header   — `using namespace` in a header leaks into every
+///                             includer.
+///  metric-name              — string literals passed to Registry::counter/
+///                             gauge/histogram must follow the
+///                             `subsystem.metric_name` convention.
+///  no-exact-float-compare   — `==`/`!=` with a floating-point operand: exact
+///                             comparison encodes accidental bit-identity.
+///                             Audited files (determinism oracles) use a
+///                             file-scope `allow-file` suppression.
+///  bad-suppression          — an allow() suppression directive that names an
+///                             unknown rule, carries no reason, or whose reason
+///                             does not cite the auditing PR ("PR <n>"). Never
+///                             itself suppressible.
 ///
-/// Suppression syntax, on the finding line or the line directly above:
-///   // vlint: allow(rule-name) reason text (mandatory)
+/// Cross-TU (graph) rules, built on the include/symbol graph and the
+/// worker-reachability index (see analysis.hpp):
+///  thread-shared-mutation        — code reachable from a lambda handed to
+///                                  ThreadPool::submit / parallel_for writes a
+///                                  non-atomic, non-lock-guarded captured
+///                                  reference, member, or namespace-scope
+///                                  variable. Per-index slot writes
+///                                  (out[i] = ...) are the sanctioned pattern.
+///  no-unordered-float-accumulation — a floating accumulator (`+=`, `x = x + ...`)
+///                                  inside a loop over an unordered container:
+///                                  the reduction order follows the hash
+///                                  layout, so the sum is not reproducible.
+///  layer-dag                     — enforce the src/ module layering
+///                                  sim -> {net,virt} -> {hdfs,mapreduce} ->
+///                                  {workloads,ml,tuner}; obs and sim are the
+///                                  base, core/viz the top. No upward includes.
+///  include-self-sufficiency      — every repo symbol a TU uses must be
+///                                  declared somewhere in that TU's transitive
+///                                  include closure, so each file (headers
+///                                  especially) compiles on its own includes.
+///
+/// Suppressions are comment directives: the marker word "vlint" plus a
+/// colon, then `allow(rule-name) audited PR <n>: reason` on the finding
+/// line or the line directly above — or `allow-file(rule-name) ...` once
+/// anywhere to cover a whole audited file (e.g. exact-comparison oracles).
+/// Exact syntax with examples: DESIGN.md §9.
 extern const std::vector<std::string> kRules;
 
 bool is_known_rule(const std::string& name);
@@ -41,12 +72,14 @@ struct Token {
   TokKind kind;
   std::string text;
   int line = 0;
+  int col = 0;  ///< 1-based byte column of the token start
 };
 
 struct Suppression {
   std::string rule;
   std::string reason;  // empty = malformed (reported as bad-suppression)
   int line = 0;
+  bool file_scope = false;  // allow-file(...): suppresses the rule file-wide
 };
 
 struct SourceFile {
@@ -60,17 +93,20 @@ struct SourceFile {
 struct Finding {
   std::string path;
   int line = 0;
+  int col = 1;
   std::string rule;
   std::string message;
   bool suppressed = false;
-  std::string reason;  ///< suppression reason when suppressed
+  std::string reason;       ///< suppression reason when suppressed
+  std::string fix_include;  ///< include spec apply_fixes() can insert (or "")
 };
 
 /// Lex one translation unit. Comments and char-literal bodies are discarded;
 /// string-literal bodies are kept (as String tokens, never Ident, so banned
 /// names inside them never fire) for rules that inspect literals, like
-/// metric-name. `vlint:` directives hidden in comments come back as
-/// suppressions.
+/// metric-name. Punctuators are maximal-munch (`==`, `+=`, `::`, ...), so
+/// rules can tell assignment from comparison. Suppression directives found
+/// in comments come back in `suppressions`.
 SourceFile lex(std::string path, std::string rel, const std::string& text);
 
 struct Result {
@@ -78,10 +114,31 @@ struct Result {
   int unsuppressed = 0;
 };
 
-/// Run every rule (or only `only_rules`) over the file set. The
-/// no-unordered-iteration rule resolves container names across the whole
-/// set, so headers and their .cpp files should be linted together.
+/// Run every rule (or only `only_rules`) over the file set. Cross-TU rules
+/// (thread-shared-mutation, layer-dag, include-self-sufficiency, and the
+/// name-resolution of no-unordered-iteration) see the whole set at once, so
+/// headers and their .cpp files must be linted together.
 Result run(const std::vector<SourceFile>& files,
            const std::vector<std::string>& only_rules = {});
+
+/// Plain JSON findings array — for scripting (`jq`). `rel_of` maps a
+/// finding's path to the root-relative uri to report (missing = use path).
+void write_json(std::ostream& os, const Result& res,
+                const std::map<std::string, std::string>& rel_of);
+
+/// Minimal valid SARIF 2.1.0: one run, the rule table in tool.driver.rules,
+/// one result per finding with a physical location. Suppressed findings are
+/// carried with suppressions[] so code scanning shows them as dismissed
+/// rather than new.
+void write_sarif(std::ostream& os, const Result& res,
+                 const std::map<std::string, std::string>& rel_of);
+
+/// Mechanical fixer for --fix: returns the repaired text for one file, or an
+/// empty string when no finding in `findings` (matched by path) is fixable.
+/// Fixes: header-guard (insert `#pragma once` above the first code line) and
+/// include-self-sufficiency (insert the missing `#include "..."` into the
+/// quoted-include block). Unsuppressed findings only.
+std::string apply_fixes(const SourceFile& file, const std::string& text,
+                        const std::vector<Finding>& findings);
 
 }  // namespace vlint

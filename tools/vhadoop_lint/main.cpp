@@ -2,12 +2,19 @@
 //
 // Usage:
 //   vhadoop_lint [--root=DIR] [--rule=NAME ...] [--show-suppressed]
+//                [--format=text|json|sarif] [--sarif-out=FILE] [--fix]
 //                [--list-rules] [paths...]
 //
-// With no positional paths, lints src/, tests/, bench/ and examples/ under
-// --root (default: the current directory), skipping tests/lint/ (rule
+// With no positional paths, lints src/, tests/, bench/, examples/ and tools/
+// under --root (default: the current directory), skipping tests/lint/ (rule
 // fixtures trip rules on purpose) and build directories. Positional paths
-// (files or directories) are linted unconditionally.
+// (files or directories) are linted unconditionally. Cross-TU rules see the
+// whole set at once, so lint the tree rather than single files when possible.
+//
+// --format=json|sarif writes the findings to stdout in that shape instead of
+// text; --sarif-out=FILE writes SARIF 2.1.0 to FILE *in addition to* the
+// normal text output (for CI upload). --fix rewrites files in place for the
+// mechanical rules (header-guard, include-self-sufficiency).
 //
 // Exit status: 0 when the tree is clean (suppressed findings are fine),
 // 1 when any unsuppressed finding remains, 2 on usage/IO errors.
@@ -16,6 +23,8 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -71,7 +80,10 @@ int main(int argc, char** argv) {
   std::string root = ".";
   std::vector<std::string> only_rules;
   std::vector<std::string> paths;
+  std::string format = "text";
+  std::string sarif_out;
   bool show_suppressed = false;
+  bool fix = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -79,6 +91,16 @@ int main(int argc, char** argv) {
       root = arg.substr(7);
     } else if (arg.rfind("--rule=", 0) == 0) {
       only_rules.push_back(arg.substr(7));
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json" && format != "sarif") {
+        std::cerr << "vhadoop_lint: --format must be text, json or sarif\n";
+        return 2;
+      }
+    } else if (arg.rfind("--sarif-out=", 0) == 0) {
+      sarif_out = arg.substr(12);
+    } else if (arg == "--fix") {
+      fix = true;
     } else if (arg == "--show-suppressed") {
       show_suppressed = true;
     } else if (arg == "--list-rules") {
@@ -86,7 +108,8 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: vhadoop_lint [--root=DIR] [--rule=NAME ...] "
-                   "[--show-suppressed] [--list-rules] [paths...]\n";
+                   "[--show-suppressed] [--format=text|json|sarif] "
+                   "[--sarif-out=FILE] [--fix] [--list-rules] [paths...]\n";
       return 0;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "vhadoop_lint: unknown option '" << arg << "'\n";
@@ -105,7 +128,7 @@ int main(int argc, char** argv) {
   const fs::path root_path = fs::path(root);
   std::vector<std::pair<std::string, std::string>> sources;  // (path, rel)
   if (paths.empty()) {
-    for (const char* sub : {"src", "tests", "bench", "examples"}) {
+    for (const char* sub : {"src", "tests", "bench", "examples", "tools"}) {
       collect(root_path / sub, root_path, /*skip_fixtures=*/true, sources);
     }
   } else {
@@ -117,7 +140,10 @@ int main(int argc, char** argv) {
             [](const auto& a, const auto& b) { return a.second < b.second; });
 
   std::vector<vlint::SourceFile> files;
+  std::vector<std::string> texts;
+  std::map<std::string, std::string> rel_of;
   files.reserve(sources.size());
+  texts.reserve(sources.size());
   for (const auto& [path, rel] : sources) {
     std::ifstream in(path, std::ios::binary);
     if (!in) {
@@ -126,23 +152,60 @@ int main(int argc, char** argv) {
     }
     std::ostringstream buf;
     buf << in.rdbuf();
-    files.push_back(vlint::lex(path, rel, buf.str()));
+    texts.push_back(buf.str());
+    files.push_back(vlint::lex(path, rel, texts.back()));
+    rel_of[path] = rel;
   }
 
   const vlint::Result res = vlint::run(files, only_rules);
-  int suppressed = 0;
-  for (const auto& f : res.findings) {
-    if (f.suppressed) {
-      ++suppressed;
-      if (show_suppressed) {
-        std::cout << f.path << ":" << f.line << ": [" << f.rule
-                  << "] suppressed: " << f.reason << "\n";
+
+  if (fix) {
+    int fixed = 0;
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      const std::string repaired = vlint::apply_fixes(files[i], texts[i], res.findings);
+      if (repaired.empty() || repaired == texts[i]) continue;
+      std::ofstream out(files[i].path, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        std::cerr << "vhadoop_lint: cannot write " << files[i].path << "\n";
+        return 2;
       }
-      continue;
+      out << repaired;
+      std::cout << "fixed: " << files[i].rel << "\n";
+      ++fixed;
     }
-    std::cout << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+    std::cout << "vhadoop_lint: rewrote " << fixed
+              << " file(s); re-run to verify the remaining findings\n";
   }
-  std::cout << "vhadoop_lint: " << files.size() << " files, " << res.unsuppressed
-            << " finding(s), " << suppressed << " suppressed\n";
+
+  if (!sarif_out.empty()) {
+    std::ofstream out(sarif_out, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "vhadoop_lint: cannot write " << sarif_out << "\n";
+      return 2;
+    }
+    vlint::write_sarif(out, res, rel_of);
+  }
+
+  if (format == "json") {
+    vlint::write_json(std::cout, res, rel_of);
+  } else if (format == "sarif") {
+    vlint::write_sarif(std::cout, res, rel_of);
+  } else {
+    int suppressed = 0;
+    for (const auto& f : res.findings) {
+      if (f.suppressed) {
+        ++suppressed;
+        if (show_suppressed) {
+          std::cout << f.path << ":" << f.line << ":" << f.col << ": [" << f.rule
+                    << "] suppressed: " << f.reason << "\n";
+        }
+        continue;
+      }
+      std::cout << f.path << ":" << f.line << ":" << f.col << ": [" << f.rule << "] "
+                << f.message << "\n";
+    }
+    std::cout << "vhadoop_lint: " << files.size() << " files, " << res.unsuppressed
+              << " finding(s), " << suppressed << " suppressed\n";
+  }
   return res.unsuppressed == 0 ? 0 : 1;
 }

@@ -1,0 +1,110 @@
+// Machine-readable finding reports: plain JSON (for jq-style scripting) and
+// SARIF 2.1.0 (for CI code-scanning upload). Kept in the library so the
+// self-tests can check the shapes without spawning the CLI.
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "vhadoop_lint/lint.hpp"
+
+namespace vlint {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const std::string& uri_for(const Finding& f,
+                           const std::map<std::string, std::string>& rel_of) {
+  const auto it = rel_of.find(f.path);
+  return it == rel_of.end() ? f.path : it->second;
+}
+
+}  // namespace
+
+void write_json(std::ostream& os, const Result& res,
+                const std::map<std::string, std::string>& rel_of) {
+  os << "[\n";
+  bool first = true;
+  for (const auto& f : res.findings) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  {\"file\": \"" << json_escape(uri_for(f, rel_of)) << "\", \"line\": " << f.line
+       << ", \"col\": " << f.col << ", \"rule\": \"" << json_escape(f.rule)
+       << "\", \"suppressed\": " << (f.suppressed ? "true" : "false")
+       << ", \"message\": \"" << json_escape(f.suppressed ? f.reason : f.message) << "\"}";
+  }
+  os << "\n]\n";
+}
+
+void write_sarif(std::ostream& os, const Result& res,
+                 const std::map<std::string, std::string>& rel_of) {
+  os << "{\n"
+     << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"vhadoop_lint\",\n"
+     << "          \"informationUri\": \"https://example.invalid/vhadoop\",\n"
+     << "          \"rules\": [\n";
+  for (std::size_t i = 0; i < kRules.size(); ++i) {
+    os << "            {\"id\": \"" << kRules[i] << "\"}"
+       << (i + 1 < kRules.size() ? "," : "") << "\n";
+  }
+  os << "          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [\n";
+  bool first = true;
+  for (const auto& f : res.findings) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "        {\n"
+       << "          \"ruleId\": \"" << json_escape(f.rule) << "\",\n"
+       << "          \"level\": \"error\",\n"
+       << "          \"message\": {\"text\": \"" << json_escape(f.message) << "\"},\n";
+    if (f.suppressed) {
+      os << "          \"suppressions\": [{\"kind\": \"inSource\", "
+         << "\"justification\": \"" << json_escape(f.reason) << "\"}],\n";
+    }
+    os << "          \"locations\": [\n"
+       << "            {\n"
+       << "              \"physicalLocation\": {\n"
+       << "                \"artifactLocation\": {\"uri\": \""
+       << json_escape(uri_for(f, rel_of)) << "\"},\n"
+       << "                \"region\": {\"startLine\": " << std::max(f.line, 1)
+       << ", \"startColumn\": " << std::max(f.col, 1) << "}\n"
+       << "              }\n"
+       << "            }\n"
+       << "          ]\n"
+       << "        }";
+  }
+  os << "\n      ]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+}
+
+}  // namespace vlint
