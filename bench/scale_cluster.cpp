@@ -11,10 +11,19 @@
 // acceptance metric for the incremental solver: ≥5× at 256 VMs.
 //
 // Prints one row per (cluster size, job, mode) and writes
-// BENCH_scale_cluster.json. Flags:
+// BENCH_scale_cluster.json (BENCH_scale_cluster_<topology>.json for the
+// non-default fabrics, so each topology gates against its own baseline).
+// Flags:
 //   --vms=16,64,256,1024   cluster sizes to sweep (total VMs incl. namenode)
 //   --reference-max=256    largest size also run under the oracle (0 = never;
 //                          the oracle is quadratic, 1024 takes minutes)
+//   --topology=single-switch|fat-tree|rotor
+//                          fabric model (default single-switch, the paper's)
+//   --hosts-per-rack=2     rack width for the multi-rack fabrics; racks =
+//                          ceil(hosts / hosts_per_rack)
+//   --verify-every=1       oracle sampling period (VHADOOP_FLUID_VERIFY_EVERY)
+//                          for reference runs; N>1 makes the oracle tractable
+//                          at 1024+ VMs while still catching stale components
 
 #include <chrono>
 #include <cstdio>
@@ -24,6 +33,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "net/topology.hpp"
 #include "workloads/terasort.hpp"
 
 using namespace vhadoop;
@@ -39,6 +49,7 @@ double elapsed_ms(WallClock::time_point t0) {
 
 struct ScaleResult {
   int vms = 0;
+  int racks = 1;
   bool reference = false;
   double boot_ms = 0.0;
   double upload_ms = 0.0;
@@ -69,7 +80,8 @@ mapreduce::SimJobSpec wordcount_job(const hdfs::HdfsCluster& hdfs, int reduces) 
   return spec;
 }
 
-ScaleResult run_scale(int vms, bool reference) {
+ScaleResult run_scale(int vms, bool reference, net::TopologyKind topology,
+                      int hosts_per_rack) {
   // The oracle switch is read by FluidModel's constructor; flip it before
   // the Platform (and its engine) exist so both modes share one code path.
   setenv("VHADOOP_FLUID_REFERENCE", reference ? "1" : "0", 1);
@@ -83,6 +95,12 @@ ScaleResult run_scale(int vms, bool reference) {
   // the shared NFS component grows with the cluster.
   core::TestbedConfig testbed;
   testbed.num_hosts = (vms + 15) / 16;
+  testbed.net.topology.kind = topology;
+  if (topology != net::TopologyKind::SingleSwitch) {
+    testbed.net.topology.racks = (testbed.num_hosts + hosts_per_rack - 1) / hosts_per_rack;
+    testbed.net.topology.nodes_per_rack = hosts_per_rack;
+  }
+  r.racks = topology == net::TopologyKind::SingleSwitch ? 1 : testbed.net.topology.racks;
   core::Platform platform(testbed);
 
   core::ClusterSpec spec;
@@ -147,29 +165,62 @@ std::vector<int> parse_sizes(const std::string& arg) {
 int main(int argc, char** argv) {
   std::vector<int> sizes = {16, 64, 256, 1024};
   int reference_max = 256;
+  int hosts_per_rack = 2;
+  int verify_every = 1;
+  net::TopologyKind topology = net::TopologyKind::SingleSwitch;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--vms=", 6) == 0) {
       sizes = parse_sizes(argv[i] + 6);
     } else if (std::strncmp(argv[i], "--reference-max=", 16) == 0) {
       reference_max = std::atoi(argv[i] + 16);
+    } else if (std::strncmp(argv[i], "--topology=", 11) == 0) {
+      const auto kind = net::topology_kind_from_string(argv[i] + 11);
+      if (!kind) {
+        std::fprintf(stderr, "unknown topology '%s' (single-switch|fat-tree|rotor)\n",
+                     argv[i] + 11);
+        return 2;
+      }
+      topology = *kind;
+    } else if (std::strncmp(argv[i], "--hosts-per-rack=", 17) == 0) {
+      hosts_per_rack = std::atoi(argv[i] + 17);
+      if (hosts_per_rack < 1) {
+        std::fprintf(stderr, "--hosts-per-rack must be >= 1\n");
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--verify-every=", 15) == 0) {
+      verify_every = std::atoi(argv[i] + 15);
     } else {
-      std::fprintf(stderr, "usage: %s [--vms=16,64,...] [--reference-max=N]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--vms=16,64,...] [--reference-max=N] "
+                   "[--topology=single-switch|fat-tree|rotor] [--hosts-per-rack=N] "
+                   "[--verify-every=N]\n",
+                   argv[0]);
       return 2;
     }
   }
+  if (verify_every > 1) {
+    setenv("VHADOOP_FLUID_VERIFY_EVERY", std::to_string(verify_every).c_str(), 1);
+  }
 
-  bench::BenchResults results("scale_cluster");
+  // Per-topology bench name, so each fabric gates against its own baseline
+  // (bench/baselines/scale_cluster_fat_tree.json etc.).
+  std::string bench_name = "scale_cluster";
+  if (topology == net::TopologyKind::FatTree) bench_name += "_fat_tree";
+  if (topology == net::TopologyKind::Rotor) bench_name += "_rotor";
+
+  bench::BenchResults results(bench_name);
+  std::printf("topology=%s hosts_per_rack=%d\n", net::to_string(topology), hosts_per_rack);
   std::printf("%6s %12s %10s %12s %12s %12s %12s %10s\n", "vms", "mode", "boot_ms",
               "wc_ms", "tera_ms", "wc_sim_s", "tera_sim_s", "comp_p95");
 
   std::string last_metrics;
   for (int vms : sizes) {
-    ScaleResult inc = run_scale(vms, /*reference=*/false);
+    ScaleResult inc = run_scale(vms, /*reference=*/false, topology, hosts_per_rack);
     last_metrics = inc.metrics_json;
     bool have_ref = vms <= reference_max;
     ScaleResult ref;
     if (have_ref) {
-      ref = run_scale(vms, /*reference=*/true);
+      ref = run_scale(vms, /*reference=*/true, topology, hosts_per_rack);
       // Same simulation by construction; a mismatch means a stale component
       // escaped the incremental solver.
       if (ref.wordcount_sim_s != inc.wordcount_sim_s ||
@@ -192,6 +243,8 @@ int main(int argc, char** argv) {
       results.row()
           .col("vms", run->vms)
           .col("mode", mode)
+          .col("topology", net::to_string(topology))
+          .col("racks", run->racks)
           .col("boot_ms", run->boot_ms)
           .col("upload_ms", run->upload_ms)
           .col("wordcount_ms", run->wordcount_ms)
@@ -215,6 +268,7 @@ int main(int argc, char** argv) {
       results.row()
           .col("vms", vms)
           .col("mode", "speedup")
+          .col("topology", net::to_string(topology))
           .col("jobs_speedup", speedup)
           .col("wordcount_speedup", wc_speedup)
           .col("terasort_speedup", tera_speedup);

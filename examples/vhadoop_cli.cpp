@@ -51,6 +51,7 @@
 
 #include "core/platform.hpp"
 #include "mapreduce/local_runner.hpp"
+#include "net/topology.hpp"
 #include "workloads/dfsio.hpp"
 #include "workloads/mrbench.hpp"
 #include "workloads/pi_estimator.hpp"
@@ -76,6 +77,9 @@ struct Options {
   std::string scheduler = "fifo";
   std::string workload_trace;
   std::string trace_gen;
+  std::string topology = "single-switch";
+  int racks = 2;
+  int hosts_per_rack = 2;
 };
 
 int usage() {
@@ -83,6 +87,8 @@ int usage() {
                "usage: vhadoop_cli <wordcount|terasort|dfsio|mrbench|pi|multi|trace> "
                "[--cross] [--workers N] [--mb SIZE] "
                "[--scheduler=fifo|fair|capacity|deadline] "
+               "[--topology=single-switch|fat-tree|rotor] "
+               "[--racks=N] [--hosts-per-rack=N] "
                "[--workload-trace=FILE] [--trace-gen=SPEC] "
                "[--metrics-out=FILE] [--trace-out=FILE] [--spans-out=FILE] "
                "[--timeseries-out=FILE]\n");
@@ -115,6 +121,12 @@ Options parse(int argc, char** argv) {
       opt.workload_trace = arg.substr(17);
     } else if (arg.rfind("--trace-gen=", 0) == 0) {
       opt.trace_gen = arg.substr(12);
+    } else if (arg.rfind("--topology=", 0) == 0) {
+      opt.topology = arg.substr(11);
+    } else if (arg.rfind("--racks=", 0) == 0) {
+      opt.racks = std::atoi(arg.substr(8).c_str());
+    } else if (arg.rfind("--hosts-per-rack=", 0) == 0) {
+      opt.hosts_per_rack = std::atoi(arg.substr(17).c_str());
     }
   }
   return opt;
@@ -185,12 +197,34 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  core::Platform platform;
+  const auto topology = net::topology_kind_from_string(opt.topology);
+  if (!topology) {
+    std::fprintf(stderr, "vhadoop_cli: unknown topology '%s' (single-switch|fat-tree|rotor)\n",
+                 opt.topology.c_str());
+    return 2;
+  }
+
+  if (opt.racks < 1 || opt.hosts_per_rack < 1) {
+    std::fprintf(stderr, "vhadoop_cli: --racks and --hosts-per-rack must be >= 1\n");
+    return 2;
+  }
+
+  core::TestbedConfig testbed;
+  testbed.net.topology.kind = *topology;
+  if (*topology != net::TopologyKind::SingleSwitch) {
+    // Multi-rack testbed: the rack grid decides the host count, and VMs
+    // spread round-robin so every rack actually hosts part of the cluster.
+    testbed.net.topology.racks = opt.racks;
+    testbed.net.topology.nodes_per_rack = opt.hosts_per_rack;
+    testbed.num_hosts = opt.racks * opt.hosts_per_rack;
+  }
+  core::Platform platform(testbed);
   if (!opt.trace_out.empty() || !opt.spans_out.empty()) platform.enable_tracing();
   if (!opt.timeseries_out.empty()) platform.enable_timeseries(1.0);
   core::ClusterSpec spec;
   spec.num_workers = opt.workers;
   spec.placement = opt.cross ? core::Placement::CrossDomain : core::Placement::Normal;
+  if (*topology != net::TopologyKind::SingleSwitch) spec.placement = core::Placement::Spread;
   spec.hadoop.scheduler = *policy;
   if (*policy == mapreduce::SchedulerPolicy::Capacity) {
     if (opt.workload == "trace") {

@@ -9,7 +9,12 @@ Platform::Platform(TestbedConfig config) : config_(config) {
   fabric_ = std::make_unique<net::Fabric>(engine_, *model_, config_.net);
   cloud_ = std::make_unique<virt::Cloud>(engine_, *model_, *fabric_, config_.virt);
   for (int h = 0; h < config_.num_hosts; ++h) {
-    hosts_.push_back(cloud_->add_host("host" + std::string(1, static_cast<char>('A' + h))));
+    // hostA..hostZ for small testbeds (the historic names every test and
+    // trace golden knows); numeric suffixes beyond that, where 'A' + h
+    // would walk off the alphabet.
+    const std::string name = h < 26 ? "host" + std::string(1, static_cast<char>('A' + h))
+                                    : "host" + std::to_string(h);
+    hosts_.push_back(cloud_->add_host(name));
   }
 }
 

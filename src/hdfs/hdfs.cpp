@@ -19,6 +19,7 @@ HdfsCluster::HdfsCluster(virt::Cloud& cloud, HdfsConfig config, virt::VmId namen
       m_bytes_read_(cloud.engine().metrics().counter("hdfs.bytes_read")),
       m_reads_local_(cloud.engine().metrics().counter("hdfs.reads_local")),
       m_reads_remote_(cloud.engine().metrics().counter("hdfs.reads_remote")),
+      m_reads_rack_local_(cloud.engine().metrics().counter("hdfs.reads_rack_local")),
       m_files_written_(cloud.engine().metrics().counter("hdfs.files_written")),
       m_blocks_written_(cloud.engine().metrics().counter("hdfs.blocks_written")),
       m_bytes_written_(cloud.engine().metrics().counter("hdfs.bytes_written")),
@@ -69,8 +70,12 @@ const std::vector<HdfsCluster::BlockInfo>& HdfsCluster::blocks(const std::string
 void HdfsCluster::remove(const std::string& path) { files_.erase(path); }
 
 std::vector<virt::VmId> HdfsCluster::choose_pipeline(virt::VmId writer, int replication) {
-  // Hadoop default placement, rack-unaware: first replica on the writer if
-  // it is a (live) datanode, the rest on distinct random live datanodes.
+  // First replica on the writer if it is a (live) datanode, the rest drawn
+  // from a shuffled pool of the other live datanodes. On a single-rack
+  // cluster that pool is consumed in shuffle order (Hadoop's rack-unaware
+  // default, unchanged from before the topology layer); on a rack-scale
+  // fabric the classic rack-aware policy applies: second replica off the
+  // first replica's rack, third replica back in the second's rack.
   std::vector<virt::VmId> pipeline;
   const int r = static_cast<int>(std::min<std::size_t>(
       replication > 0 ? replication : config_.replication, datanodes_.size()));
@@ -84,9 +89,44 @@ std::vector<virt::VmId> HdfsCluster::choose_pipeline(virt::VmId writer, int repl
     if (!(writer_is_dn && dn == writer)) pool.push_back(dn);
   }
   rng_.shuffle(pool);
-  for (virt::VmId dn : pool) {
-    if (static_cast<int>(pipeline.size()) >= r) break;
-    pipeline.push_back(dn);
+  if (cloud_.rack_count() <= 1) {
+    for (virt::VmId dn : pool) {
+      if (static_cast<int>(pipeline.size()) >= r) break;
+      pipeline.push_back(dn);
+    }
+    return pipeline;
+  }
+
+  // Take the first pool entry satisfying `pred` (shuffle order keeps the
+  // choice random-but-deterministic); falls back to the caller.
+  auto take = [&](auto&& pred) {
+    for (std::size_t k = 0; k < pool.size(); ++k) {
+      if (pred(pool[k])) {
+        pipeline.push_back(pool[k]);
+        pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(k));
+        return true;
+      }
+    }
+    return false;
+  };
+  auto any = [](virt::VmId) { return true; };
+  while (static_cast<int>(pipeline.size()) < r && !pool.empty()) {
+    if (pipeline.empty()) {
+      take(any);
+    } else if (pipeline.size() == 1) {
+      // Second replica off-rack: survives a whole-rack outage. When every
+      // remaining candidate shares the first replica's rack, degrade
+      // gracefully to any node.
+      const int r0 = cloud_.rack_of_vm(pipeline[0]);
+      if (!take([&](virt::VmId v) { return cloud_.rack_of_vm(v) != r0; })) take(any);
+    } else if (pipeline.size() == 2) {
+      // Third replica shares the second's rack: only one copy crosses the
+      // core per pipeline, yet two racks hold the block.
+      const int r1 = cloud_.rack_of_vm(pipeline[1]);
+      if (!take([&](virt::VmId v) { return cloud_.rack_of_vm(v) == r1; })) take(any);
+    } else {
+      take(any);
+    }
   }
   return pipeline;
 }
@@ -168,13 +208,21 @@ void HdfsCluster::write_block(const std::string& path, std::size_t index, virt::
 }
 
 virt::VmId HdfsCluster::preferred_replica(const BlockInfo& block, virt::VmId reader) const {
-  // Same VM beats same host beats anything else; dead replicas are never
-  // chosen. First match wins so the choice is deterministic.
+  // Same VM beats same host beats same rack beats anything else; dead
+  // replicas are never chosen. First match wins so the choice is
+  // deterministic. (On a single-rack cluster the rack tier is the "any"
+  // tier, so it is skipped — bit-identical to the pre-topology walk.)
   for (virt::VmId r : block.replicas) {
     if (r == reader && cloud_.alive(r)) return r;
   }
   for (virt::VmId r : block.replicas) {
     if (cloud_.alive(r) && cloud_.host_of(r) == cloud_.host_of(reader)) return r;
+  }
+  if (cloud_.rack_count() > 1) {
+    const int reader_rack = cloud_.rack_of_vm(reader);
+    for (virt::VmId r : block.replicas) {
+      if (cloud_.alive(r) && cloud_.rack_of_vm(r) == reader_rack) return r;
+    }
   }
   for (virt::VmId r : block.replicas) {
     if (cloud_.alive(r)) return r;
@@ -186,6 +234,16 @@ bool HdfsCluster::is_local(const BlockInfo& block, virt::VmId reader) const {
   return std::find(block.replicas.begin(), block.replicas.end(), reader) != block.replicas.end();
 }
 
+LocalityTier HdfsCluster::locality_tier(const BlockInfo& block, virt::VmId reader) const {
+  const int reader_rack = cloud_.rack_of_vm(reader);
+  bool rack_local = false;
+  for (virt::VmId r : block.replicas) {
+    if (r == reader) return LocalityTier::Node;
+    if (cloud_.rack_of_vm(r) == reader_rack) rack_local = true;
+  }
+  return rack_local ? LocalityTier::Rack : LocalityTier::Off;
+}
+
 void HdfsCluster::read_block(const std::string& path, int block_index, virt::VmId client,
                              std::function<void()> on_complete) {
   const FileMeta& meta = files_.at(path);
@@ -194,7 +252,14 @@ void HdfsCluster::read_block(const std::string& path, int block_index, virt::VmI
   const virt::VmId replica = preferred_replica(block, client);
   m_blocks_read_->inc();
   m_bytes_read_->add(block.bytes);
-  (replica == client ? m_reads_local_ : m_reads_remote_)->inc();
+  if (replica == client) {
+    m_reads_local_->inc();
+  } else {
+    m_reads_remote_->inc();
+    if (cloud_.rack_count() > 1 && cloud_.rack_of_vm(replica) == cloud_.rack_of_vm(client)) {
+      m_reads_rack_local_->inc();
+    }
+  }
   // Data path: replica's disk read (page cache or NFS), streamed to the
   // client over the fabric (loopback when the replica *is* the client).
   // Concurrent stages joined by a latch, as with writes.

@@ -19,6 +19,11 @@ struct HdfsConfig {
   double block_size = 64 * sim::kMiB;
 };
 
+/// How close a block replica is to a reader, in scheduler terms: on the
+/// same VM, on another VM in the reader's rack, or off-rack entirely. A
+/// single-rack cluster never reports Off (everything is rack-local there).
+enum class LocalityTier { Node, Rack, Off };
+
 /// Simulated HDFS deployed over a hadoop virtual cluster: one namenode VM
 /// and N datanode VMs. Files carry sizes, not content — the real bytes of
 /// a job live in the logical MapReduce executor; HDFS models the *traffic*:
@@ -73,6 +78,10 @@ class HdfsCluster {
   /// used for data-locality-aware task placement.
   virt::VmId preferred_replica(const BlockInfo& block, virt::VmId reader) const;
   bool is_local(const BlockInfo& block, virt::VmId reader) const;
+  /// Locality tier of the closest replica relative to `reader` (membership
+  /// semantics, like is_local: aliveness is the read path's concern). A
+  /// block whose replicas all died reports Off.
+  LocalityTier locality_tier(const BlockInfo& block, virt::VmId reader) const;
 
   /// Drop a dead datanode's replicas and start re-replication for every
   /// under-replicated block that still has a live copy. Called from the
@@ -135,6 +144,7 @@ class HdfsCluster {
   obs::Counter* m_bytes_read_;
   obs::Counter* m_reads_local_;
   obs::Counter* m_reads_remote_;
+  obs::Counter* m_reads_rack_local_;
   obs::Counter* m_files_written_;
   obs::Counter* m_blocks_written_;
   obs::Counter* m_bytes_written_;

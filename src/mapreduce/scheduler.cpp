@@ -27,8 +27,16 @@ std::size_t FairScheduler::pick(const std::vector<JobSchedView>& views, SlotKind
     return views[a].submit_index < views[b].submit_index;
   });
   if (kind == SlotKind::Reduce) return order.front();
+  // Two-tier delay scheduling (Zaharia's delay scheduling generalised to
+  // racks): node-local immediately; after one delay window a rack-local map
+  // is acceptable; after a second window, anything. Single-rack clusters
+  // always report rack_local_available, collapsing this to the old walk.
   for (std::size_t i : order) {
-    if (views[i].local_available || views[i].locality_wait >= locality_delay_) return i;
+    if (views[i].local_available) return i;
+    if (views[i].locality_wait >= locality_delay_ &&
+        (views[i].rack_local_available || views[i].locality_wait >= 2 * locality_delay_)) {
+      return i;
+    }
   }
   return kNone;  // everyone is still inside their locality-delay window
 }
@@ -118,10 +126,15 @@ std::size_t DeadlineScheduler::pick(const std::vector<JobSchedView>& views,
   });
 
   if (kind == SlotKind::Reduce) return ranked.front();
-  // Delay scheduling for map locality, same walk as the Fair scheduler: the
-  // front-runner may be skipped until it waits out the delay window.
+  // Delay scheduling for map locality, same two-tier walk as the Fair
+  // scheduler: the front-runner may be skipped until it waits out one delay
+  // window (rack-local acceptable) or two (anything goes).
   for (std::size_t i : ranked) {
-    if (views[i].local_available || views[i].locality_wait >= locality_delay_) return i;
+    if (views[i].local_available) return i;
+    if (views[i].locality_wait >= locality_delay_ &&
+        (views[i].rack_local_available || views[i].locality_wait >= 2 * locality_delay_)) {
+      return i;
+    }
   }
   return kNone;
 }

@@ -28,6 +28,10 @@ struct JobSchedView {
   /// A pending map is data-local to the offered VM (or needs no locality).
   /// Only populated when the scheduler reports `wants_locality()`.
   bool local_available = true;
+  /// A pending map has a replica in the offered VM's rack. Always true on a
+  /// single-rack cluster, so the two-tier delay walk degenerates to the
+  /// classic single-delay one there.
+  bool rack_local_available = true;
   /// Seconds this job has been skipped waiting for a data-local slot.
   double locality_wait = 0.0;
   /// Scheduling tier (SimJobSpec::priority); higher is more urgent.

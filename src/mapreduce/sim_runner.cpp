@@ -24,6 +24,9 @@ SimulatedJobRunner::SimulatedJobRunner(virt::Cloud& cloud, hdfs::HdfsCluster& hd
       m_jobs_completed_(cloud.engine().metrics().counter("mr.jobs_completed")),
       m_jobs_failed_(cloud.engine().metrics().counter("mr.jobs_failed")),
       m_shuffle_bytes_(cloud.engine().metrics().counter("mr.shuffle_bytes")),
+      m_locality_node_(cloud.engine().metrics().counter("mr.locality.node")),
+      m_locality_rack_(cloud.engine().metrics().counter("mr.locality.rack")),
+      m_locality_off_(cloud.engine().metrics().counter("mr.locality.off")),
       g_jobs_running_(cloud.engine().metrics().gauge("mr.jobs_running")),
       h_map_seconds_(cloud.engine().metrics().histogram(
           "mr.map_seconds", obs::Histogram::exponential_buckets(1.0, 2.0, 12))),
@@ -242,17 +245,29 @@ std::size_t SimulatedJobRunner::schedulable_tasks(const ActiveJob& job, SlotKind
   return n;
 }
 
-bool SimulatedJobRunner::job_has_local_map(const ActiveJob& job, virt::VmId vm) const {
+SimulatedJobRunner::MapLocality SimulatedJobRunner::job_map_locality(const ActiveJob& job,
+                                                                     virt::VmId vm) const {
+  MapLocality loc;
   for (std::size_t m : job.pending_maps) {
     const auto& mt = job.spec.maps[m];
-    if (mt.input_path.empty()) return true;  // no locality to honour
-    if (hdfs_.is_local(
-            hdfs_.blocks(mt.input_path)[static_cast<std::size_t>(std::max(0, mt.block_index))],
-            vm)) {
-      return true;
+    if (mt.input_path.empty()) {  // no locality to honour
+      loc.node = true;
+      return loc;
+    }
+    const auto& block =
+        hdfs_.blocks(mt.input_path)[static_cast<std::size_t>(std::max(0, mt.block_index))];
+    switch (hdfs_.locality_tier(block, vm)) {
+      case hdfs::LocalityTier::Node:
+        loc.node = true;
+        return loc;
+      case hdfs::LocalityTier::Rack:
+        loc.rack = true;
+        break;
+      case hdfs::LocalityTier::Off:
+        break;
     }
   }
-  return false;
+  return loc;
 }
 
 int SimulatedJobRunner::total_live_slots(SlotKind kind) const {
@@ -284,7 +299,11 @@ std::size_t SimulatedJobRunner::pick_job(SlotKind kind, std::size_t tracker_idx)
     v.age = now - job.timeline.submitted;
     v.started = job.started;
     if (locality && v.pending > 0) {
-      v.local_available = job_has_local_map(job, vm);
+      const MapLocality loc = job_map_locality(job, vm);
+      v.local_available = loc.node;
+      // On a single-rack cluster every replica is "rack-local", so the
+      // two-tier delay walk must collapse to the pre-topology behaviour.
+      v.rack_local_available = cloud_.rack_count() <= 1 ? true : (loc.node || loc.rack);
       if (v.local_available) {
         job.locality_wait_since = -1.0;
       } else {
@@ -319,18 +338,28 @@ void SimulatedJobRunner::maybe_assign_map(std::size_t i) {
   ActiveJob& job = *jobs_[j];
 
   // Locality-aware pick: first pending map whose block has a replica on
-  // this tracker's VM; otherwise the head of the queue.
+  // this tracker's VM; failing that (on a multi-rack cluster) the first map
+  // with a replica in this VM's rack; otherwise the head of the queue.
   std::size_t chosen_pos = 0;
+  std::size_t rack_pos = kNone;
+  bool found_node_local = false;
+  const bool multi_rack = cloud_.rack_count() > 1;
   for (std::size_t pos = 0; pos < job.pending_maps.size(); ++pos) {
     const auto& mt = job.spec.maps[job.pending_maps[pos]];
-    if (!mt.input_path.empty() &&
-        hdfs_.is_local(
-            hdfs_.blocks(mt.input_path)[static_cast<std::size_t>(std::max(0, mt.block_index))],
-            tr.vm)) {
+    if (mt.input_path.empty()) continue;
+    const auto& block =
+        hdfs_.blocks(mt.input_path)[static_cast<std::size_t>(std::max(0, mt.block_index))];
+    if (hdfs_.is_local(block, tr.vm)) {
       chosen_pos = pos;
+      found_node_local = true;
       break;
     }
+    if (multi_rack && rack_pos == kNone &&
+        hdfs_.locality_tier(block, tr.vm) == hdfs::LocalityTier::Rack) {
+      rack_pos = pos;
+    }
   }
+  if (!found_node_local && rack_pos != kNone) chosen_pos = rack_pos;
   const std::size_t m = job.pending_maps[chosen_pos];
   job.pending_maps.erase(job.pending_maps.begin() + static_cast<std::ptrdiff_t>(chosen_pos));
   --tr.free_map_slots;
@@ -511,6 +540,11 @@ void SimulatedJobRunner::run_map(ActiveJob& job0, std::size_t m, std::size_t i, 
         const auto& block =
             hdfs_.blocks(mt.input_path)[static_cast<std::size_t>(std::max(0, mt.block_index))];
         timing.data_local = hdfs_.is_local(block, vm);
+        switch (hdfs_.locality_tier(block, vm)) {
+          case hdfs::LocalityTier::Node: m_locality_node_->inc(); break;
+          case hdfs::LocalityTier::Rack: m_locality_rack_->inc(); break;
+          case hdfs::LocalityTier::Off: m_locality_off_->inc(); break;
+        }
         if (mt.block_index < 0) {
           hdfs_.read_file(mt.input_path, vm, std::move(after_read));
         } else {

@@ -162,7 +162,15 @@ class SimulatedJobRunner {
   /// Tasks of `kind` the scheduler may place for this job right now
   /// (reduce counts respect slow-start).
   std::size_t schedulable_tasks(const ActiveJob& job, SlotKind kind) const;
-  bool job_has_local_map(const ActiveJob& job, virt::VmId vm) const;
+  /// Best locality any pending map of this job can achieve on `vm`: `node`
+  /// when some map's block has a replica on the VM itself (or needs no
+  /// locality), `rack` when the best on offer is a replica elsewhere in the
+  /// VM's rack.
+  struct MapLocality {
+    bool node = false;
+    bool rack = false;
+  };
+  MapLocality job_map_locality(const ActiveJob& job, virt::VmId vm) const;
   int total_live_slots(SlotKind kind) const;
   void note_job_started(ActiveJob& job);
 
@@ -241,6 +249,10 @@ class SimulatedJobRunner {
   obs::Counter* m_jobs_completed_;
   obs::Counter* m_jobs_failed_;
   obs::Counter* m_shuffle_bytes_;
+  /// Map input locality tiers actually achieved (HDFS-backed maps only).
+  obs::Counter* m_locality_node_;
+  obs::Counter* m_locality_rack_;
+  obs::Counter* m_locality_off_;
   obs::Gauge* g_jobs_running_;
   obs::Histogram* h_map_seconds_;
   obs::Histogram* h_reduce_seconds_;

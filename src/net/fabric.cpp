@@ -6,6 +6,23 @@
 
 namespace vhadoop::net {
 
+namespace {
+
+// Fail at construction rather than letting a zero bandwidth become a NaN
+// flow rate mid-simulation (same posture as NmonMonitor's interval check).
+void validate_net_config(const NetConfig& c) {
+  if (c.nic_bw <= 0.0) throw std::invalid_argument("NetConfig: nic_bw must be > 0");
+  if (c.bridge_bw <= 0.0) throw std::invalid_argument("NetConfig: bridge_bw must be > 0");
+  if (c.loopback_bw <= 0.0) throw std::invalid_argument("NetConfig: loopback_bw must be > 0");
+  if (c.hop_latency <= 0.0) throw std::invalid_argument("NetConfig: hop_latency must be > 0");
+  if (c.vm_latency <= 0.0) throw std::invalid_argument("NetConfig: vm_latency must be > 0");
+  if (c.vm_io_efficiency <= 0.0 || c.vm_io_efficiency > 1.0) {
+    throw std::invalid_argument("NetConfig: vm_io_efficiency must be in (0, 1]");
+  }
+}
+
+}  // namespace
+
 Fabric::Fabric(sim::Engine& engine, sim::FluidModel& model, NetConfig config)
     : engine_(engine),
       model_(model),
@@ -14,7 +31,14 @@ Fabric::Fabric(sim::Engine& engine, sim::FluidModel& model, NetConfig config)
       bytes_requested_(engine.metrics().counter("net.bytes_requested")),
       flows_loopback_(engine.metrics().counter("net.flows_loopback")),
       flows_bridge_(engine.metrics().counter("net.flows_bridge")),
-      flows_wire_(engine.metrics().counter("net.flows_wire")) {
+      flows_wire_(engine.metrics().counter("net.flows_wire")),
+      flows_inter_rack_(engine.metrics().counter("net.flows_inter_rack")) {
+  validate_net_config(config_);
+  // The topology creates its per-rack shared resources (ToR uplinks etc.)
+  // now, before any node resource exists — resource-id order is therefore
+  // fixed by configuration, not by call order. SingleSwitch creates none,
+  // keeping the pre-topology resource layout byte-identical.
+  topology_ = make_topology(model_, config_.topology, config_.nic_bw, config_.hop_latency);
   engine.tracer().set_process_name(kNetPid, "fabric");
 }
 
@@ -32,12 +56,13 @@ int Fabric::acquire_flow_lane() {
 
 void Fabric::release_flow_lane(int lane) { free_flow_lanes_.push_back(lane); }
 
-Fabric::NodeId Fabric::add_node(const std::string& name) {
+Fabric::NodeId Fabric::add_node(const std::string& name, int rack_hint) {
   Node n;
   n.name = name;
   n.tx = model_.add_resource(name + ".tx", config_.nic_bw);
   n.rx = model_.add_resource(name + ".rx", config_.nic_bw);
   n.bridge = model_.add_resource(name + ".bridge", config_.bridge_bw);
+  n.rack = topology_->attach(rack_hint);
   nodes_.push_back(n);
   return nodes_.size() - 1;
 }
@@ -48,7 +73,10 @@ double Fabric::message_latency(const Endpoint& src, const Endpoint& dst) const {
   if (dst.virtualized) lat += config_.vm_latency;
   const bool loopback = src.node == dst.node && src.vm == dst.vm && src.vm >= 0;
   if (loopback) return std::max(lat, 5e-6);
-  if (src.node != dst.node) lat += config_.hop_latency;
+  // Propagation cost of the wire path is the topology's call: one switch
+  // hop on the single switch, host->ToR->core->ToR on the fat-tree, rotor
+  // cycle wait on the optical fabric.
+  if (src.node != dst.node) lat += topology_->wire_latency(src.node, dst.node);
   return lat;
 }
 
@@ -95,9 +123,13 @@ void Fabric::transfer(TransferSpec spec) {
     flows_bridge_->inc();
   } else {
     act.resources.push_back(nodes_[spec.src.node].tx);
+    // Shared fabric resources between the NICs (ToR uplink/downlink on a
+    // fat-tree, rotor ports). The single switch contributes none.
+    topology_->append_wire_resources(spec.src.node, spec.dst.node, act.resources);
     act.resources.push_back(nodes_[spec.dst.node].rx);
     path_cap = config_.nic_bw;
     flows_wire_->inc();
+    if (nodes_[spec.src.node].rack != nodes_[spec.dst.node].rack) flows_inter_rack_->inc();
   }
   if (spec.src.virtualized || spec.dst.virtualized) {
     path_cap *= config_.vm_io_efficiency;

@@ -1,9 +1,11 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "net/topology.hpp"
 #include "sim/engine.hpp"
 #include "sim/fluid.hpp"
 #include "sim/time.hpp"
@@ -14,7 +16,9 @@ namespace vhadoop::net {
 /// paper's environment: GbE NICs between Dell T710 hosts, VM-to-VM traffic
 /// on the same host crossing the Xen software bridge, and a measurable
 /// virtualization penalty on the VM I/O path (netfront/netback copies
-/// through dom0 — Cherkasova & Gardner, USENIX ATC'05).
+/// through dom0 — Cherkasova & Gardner, USENIX ATC'05). Validated at
+/// Fabric construction: non-positive bandwidths or latencies would turn
+/// into NaN/degenerate flow rates in the fluid solver.
 struct NetConfig {
   /// Physical NIC bandwidth, per direction (full duplex).
   double nic_bw = sim::gbit_per_s(1.0);
@@ -31,11 +35,15 @@ struct NetConfig {
   /// metal. Applied as a per-flow rate cap, not a capacity reduction: many
   /// concurrent VM flows can still fill the physical NIC.
   double vm_io_efficiency = 0.75;
+  /// Fabric shape between the node NICs (single switch, fat-tree, rotor).
+  TopologyConfig topology;
 };
 
 /// Flow-level network fabric: per-node full-duplex NIC resources joined by a
-/// non-blocking switch, plus a per-node software bridge for intra-host
-/// VM-to-VM traffic. Nodes are physical machines (and the NFS server).
+/// pluggable topology (non-blocking single switch by default, fat-tree or
+/// rotor fabric for rack-scale clusters — see net/topology.hpp), plus a
+/// per-node software bridge for intra-host VM-to-VM traffic. Nodes are
+/// physical machines (and the NFS servers).
 class Fabric {
  public:
   using NodeId = std::size_t;
@@ -66,10 +74,19 @@ class Fabric {
     std::function<void()> on_complete;
   };
 
+  /// Throws std::invalid_argument when `config` carries a non-positive
+  /// bandwidth/latency or an invalid topology shape.
   Fabric(sim::Engine& engine, sim::FluidModel& model, NetConfig config);
 
-  NodeId add_node(const std::string& name);
+  /// Add a physical node. `rack_hint` >= 0 pins it to that rack; -1 lets
+  /// the topology auto-assign by fill order (nodes_per_rack per rack).
+  NodeId add_node(const std::string& name, int rack_hint = -1);
   std::size_t node_count() const { return nodes_.size(); }
+
+  // --- topology ------------------------------------------------------------
+  int rack_count() const { return topology_->rack_count(); }
+  int rack_of(NodeId n) const { return nodes_[n].rack; }
+  const Topology& topology() const { return *topology_; }
 
   /// Start a flow. Latency (propagation + virtual I/O path) is charged
   /// before the fluid transfer begins. Returns immediately; `on_complete`
@@ -98,6 +115,7 @@ class Fabric {
     sim::FluidModel::ResourceId tx;
     sim::FluidModel::ResourceId rx;
     sim::FluidModel::ResourceId bridge;
+    int rack = 0;
   };
 
   /// Claim/recycle a trace lane under kNetPid (flows overlap freely, so
@@ -108,6 +126,7 @@ class Fabric {
   sim::Engine& engine_;
   sim::FluidModel& model_;
   NetConfig config_;
+  std::unique_ptr<Topology> topology_;
   std::vector<Node> nodes_;
   std::vector<int> free_flow_lanes_;
   int next_flow_lane_ = 0;
@@ -116,6 +135,7 @@ class Fabric {
   obs::Counter* flows_loopback_;
   obs::Counter* flows_bridge_;
   obs::Counter* flows_wire_;
+  obs::Counter* flows_inter_rack_;
 };
 
 }  // namespace vhadoop::net

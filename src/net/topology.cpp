@@ -1,0 +1,161 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vhadoop::net {
+
+const char* to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::FatTree: return "fat-tree";
+    case TopologyKind::Rotor: return "rotor";
+    case TopologyKind::SingleSwitch: break;
+  }
+  return "single-switch";
+}
+
+std::optional<TopologyKind> topology_kind_from_string(const std::string& s) {
+  if (s == "single-switch") return TopologyKind::SingleSwitch;
+  if (s == "fat-tree") return TopologyKind::FatTree;
+  if (s == "rotor") return TopologyKind::Rotor;
+  return std::nullopt;
+}
+
+void validate(const TopologyConfig& config) {
+  if (config.racks < 1) {
+    throw std::invalid_argument("TopologyConfig: racks must be >= 1");
+  }
+  if (config.nodes_per_rack < 1) {
+    throw std::invalid_argument("TopologyConfig: nodes_per_rack must be >= 1");
+  }
+  if (config.oversubscription < 1.0) {
+    throw std::invalid_argument("TopologyConfig: oversubscription must be >= 1");
+  }
+  if (config.kind == TopologyKind::Rotor && config.rotor_cycle_latency <= 0.0) {
+    throw std::invalid_argument("TopologyConfig: rotor_cycle_latency must be > 0");
+  }
+}
+
+int Topology::attach(int rack_hint) {
+  int rack;
+  if (rack_hint >= 0) {
+    if (rack_hint >= rack_count()) {
+      throw std::invalid_argument("Topology::attach: rack_hint beyond rack count");
+    }
+    rack = rack_hint;
+  } else {
+    rack = std::min(auto_attached_ / config_.nodes_per_rack, rack_count() - 1);
+    ++auto_attached_;
+  }
+  node_racks_.push_back(rack);
+  return rack;
+}
+
+namespace {
+
+/// The paper's testbed model: one non-blocking switch, no shared fabric
+/// resource beyond the endpoint NICs, a single hop everywhere. Rack-free by
+/// definition — rack_count() is 1 no matter what the config says, so every
+/// rack-aware code path upstream (HDFS placement tiers, the scheduler's
+/// rack-local delay tier, per-rack filers) stays disabled and the
+/// simulation is byte-identical to the pre-topology fabric.
+class SingleSwitchTopology final : public Topology {
+ public:
+  SingleSwitchTopology(TopologyConfig config, double hop_latency)
+      : Topology(config, hop_latency) {}
+  const char* name() const override { return "single-switch"; }
+  int rack_count() const override { return 1; }
+  void append_wire_resources(std::size_t, std::size_t,
+                             std::vector<sim::FluidModel::ResourceId>&) const override {}
+  double wire_latency(std::size_t, std::size_t) const override { return hop_latency_; }
+};
+
+/// Fat-tree with the over-subscription concentrated at the ToR uplink:
+/// intra-rack traffic switches locally at full NIC speed (one hop), while
+/// inter-rack flows cross tor<src>.up and tor<dst>.down, each capped at
+/// nodes_per_rack * nic_bw / oversubscription, and pay host->ToR->core->ToR
+/// propagation (3 hops). No aggregation/core resource is modeled: a
+/// non-blocking core is the standard abstraction, and it doubles as the
+/// flow-aggregating cut that keeps the fluid solver's components from
+/// coupling cluster-wide through one shared spine resource.
+class FatTreeTopology final : public Topology {
+ public:
+  FatTreeTopology(sim::FluidModel& model, TopologyConfig config, double nic_bw,
+                  double hop_latency)
+      : Topology(config, hop_latency) {
+    const double uplink = config_.nodes_per_rack * nic_bw / config_.oversubscription;
+    for (int r = 0; r < config_.racks; ++r) {
+      up_.push_back(model.add_resource("tor" + std::to_string(r) + ".up", uplink));
+      down_.push_back(model.add_resource("tor" + std::to_string(r) + ".down", uplink));
+    }
+  }
+  const char* name() const override { return "fat-tree"; }
+  void append_wire_resources(std::size_t src, std::size_t dst,
+                             std::vector<sim::FluidModel::ResourceId>& out) const override {
+    const int rs = rack_of(src);
+    const int rd = rack_of(dst);
+    if (rs == rd) return;
+    out.push_back(up_[static_cast<std::size_t>(rs)]);
+    out.push_back(down_[static_cast<std::size_t>(rd)]);
+  }
+  double wire_latency(std::size_t src, std::size_t dst) const override {
+    return rack_of(src) == rack_of(dst) ? hop_latency_ : 3.0 * hop_latency_;
+  }
+
+ private:
+  std::vector<sim::FluidModel::ResourceId> up_;
+  std::vector<sim::FluidModel::ResourceId> down_;
+};
+
+/// Rotor/round-robin optical fabric: every rack's port runs at full
+/// bisection (nodes_per_rack * nic_bw, no over-subscription), but an
+/// inter-rack flow must wait for the rotor to cycle to its destination —
+/// modeled as a fixed rotor_cycle_latency on top of two propagation hops.
+/// Bandwidth-rich and latency-taxed, the complement of the fat-tree.
+class RotorTopology final : public Topology {
+ public:
+  RotorTopology(sim::FluidModel& model, TopologyConfig config, double nic_bw,
+                double hop_latency)
+      : Topology(config, hop_latency) {
+    const double port = config_.nodes_per_rack * nic_bw;
+    for (int r = 0; r < config_.racks; ++r) {
+      up_.push_back(model.add_resource("rotor" + std::to_string(r) + ".up", port));
+      down_.push_back(model.add_resource("rotor" + std::to_string(r) + ".down", port));
+    }
+  }
+  const char* name() const override { return "rotor"; }
+  void append_wire_resources(std::size_t src, std::size_t dst,
+                             std::vector<sim::FluidModel::ResourceId>& out) const override {
+    const int rs = rack_of(src);
+    const int rd = rack_of(dst);
+    if (rs == rd) return;
+    out.push_back(up_[static_cast<std::size_t>(rs)]);
+    out.push_back(down_[static_cast<std::size_t>(rd)]);
+  }
+  double wire_latency(std::size_t src, std::size_t dst) const override {
+    if (rack_of(src) == rack_of(dst)) return hop_latency_;
+    return 2.0 * hop_latency_ + config_.rotor_cycle_latency;
+  }
+
+ private:
+  std::vector<sim::FluidModel::ResourceId> up_;
+  std::vector<sim::FluidModel::ResourceId> down_;
+};
+
+}  // namespace
+
+std::unique_ptr<Topology> make_topology(sim::FluidModel& model, const TopologyConfig& config,
+                                        double nic_bw, double hop_latency) {
+  validate(config);
+  switch (config.kind) {
+    case TopologyKind::FatTree:
+      return std::make_unique<FatTreeTopology>(model, config, nic_bw, hop_latency);
+    case TopologyKind::Rotor:
+      return std::make_unique<RotorTopology>(model, config, nic_bw, hop_latency);
+    case TopologyKind::SingleSwitch:
+      break;
+  }
+  return std::make_unique<SingleSwitchTopology>(config, hop_latency);
+}
+
+}  // namespace vhadoop::net

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/fluid.hpp"
+
+namespace vhadoop::net {
+
+/// Which physical fabric joins the nodes (DESIGN.md §14).
+enum class TopologyKind {
+  /// The paper's testbed: every node one hop from every other behind a
+  /// single non-blocking switch. Rack-free; byte-identical to the fabric
+  /// model that predates the topology layer.
+  SingleSwitch,
+  /// Classic datacenter tree: nodes grouped into racks behind ToR switches
+  /// whose uplinks into the aggregation/core layers are over-subscribed.
+  /// The core is modeled as non-blocking (all over-subscription is
+  /// concentrated at the ToR uplink — the standard simplification), so
+  /// inter-rack flows share the source rack's uplink and the destination
+  /// rack's downlink but no global resource. That is also what keeps the
+  /// fluid solver's components rack-scoped instead of cluster-wide.
+  FatTree,
+  /// Rotor/round-robin optical fabric (Opera-style): each rack gets a
+  /// full-bisection uplink/downlink — no over-subscription — but every
+  /// inter-rack flow pays a rotor reconfiguration wait on top of the
+  /// propagation delay.
+  Rotor,
+};
+
+/// Shape parameters for the pluggable fabric topology. Validated at
+/// construction (see validate()): a zero rack count or non-positive
+/// bandwidth-derived capacity would otherwise surface as NaN flow rates
+/// deep inside the fluid solver.
+struct TopologyConfig {
+  TopologyKind kind = TopologyKind::SingleSwitch;
+  /// Number of racks. Ignored by SingleSwitch (which is rack-free).
+  int racks = 1;
+  /// Fabric nodes (hosts + the rack's NFS filer) per rack; drives both
+  /// auto rack assignment and the ToR uplink capacity.
+  int nodes_per_rack = 16;
+  /// Fat-tree over-subscription factor at the ToR uplink: uplink capacity
+  /// = nodes_per_rack * nic_bw / oversubscription. 1.0 = full bisection.
+  double oversubscription = 4.0;
+  /// Mean wait for the rotor switch to cycle to the destination rack,
+  /// charged once per inter-rack flow (Rotor only).
+  double rotor_cycle_latency = 50e-6;
+};
+
+const char* to_string(TopologyKind kind);
+/// Parse "single-switch" / "fat-tree" / "rotor" (exact); nullopt otherwise.
+std::optional<TopologyKind> topology_kind_from_string(const std::string& s);
+
+/// A fabric topology: owns the shared inter-rack resources, assigns nodes
+/// to racks, and answers which extra resources / how much propagation
+/// latency a wire (different-node) flow between two nodes needs. Node ids
+/// are the Fabric's: attach() is called exactly once per Fabric::add_node,
+/// in node-id order.
+class Topology {
+ public:
+  Topology(TopologyConfig config, double hop_latency)
+      : config_(config), hop_latency_(hop_latency) {}
+  virtual ~Topology() = default;
+
+  virtual const char* name() const = 0;
+  virtual int rack_count() const { return config_.racks; }
+
+  /// Register the next node. `rack_hint` >= 0 pins the node to that rack
+  /// (per-rack infrastructure such as the NFS filers); -1 auto-assigns by
+  /// fill order — nodes_per_rack consecutive auto-attached nodes per rack,
+  /// the overflow landing in the last rack. Pinned nodes do not advance
+  /// the auto-fill cursor. Returns the rack index.
+  int attach(int rack_hint);
+  int rack_of(std::size_t node) const { return node_racks_[node]; }
+
+  /// Append the shared inter-node resources a wire flow src -> dst must
+  /// traverse (beyond the endpoints' own NICs, which the Fabric adds).
+  virtual void append_wire_resources(std::size_t src, std::size_t dst,
+                                     std::vector<sim::FluidModel::ResourceId>& out) const = 0;
+  /// One-way propagation latency of a wire message src -> dst.
+  virtual double wire_latency(std::size_t src, std::size_t dst) const = 0;
+
+  const TopologyConfig& config() const { return config_; }
+
+ protected:
+  TopologyConfig config_;
+  double hop_latency_;
+
+ private:
+  std::vector<int> node_racks_;
+  int auto_attached_ = 0;
+};
+
+/// Throws std::invalid_argument on a non-positive rack count,
+/// nodes-per-rack, over-subscription factor below 1, or (for Rotor) a
+/// non-positive cycle latency.
+void validate(const TopologyConfig& config);
+
+/// Build the configured topology; per-rack shared resources (ToR uplinks,
+/// rotor ports) are created eagerly in rack order, before any node
+/// resource, so resource-id assignment is deterministic. Validates first.
+std::unique_ptr<Topology> make_topology(sim::FluidModel& model, const TopologyConfig& config,
+                                        double nic_bw, double hop_latency);
+
+}  // namespace vhadoop::net

@@ -210,6 +210,13 @@ class FluidModel {
   void project_finish(Activity& act) const;
   void on_finish_event(std::uint64_t activity_id);
   void detach(Activity& act);
+  /// Reference-mode gate: runs the oracle on every mutation by default, or
+  /// on every Nth one when VHADOOP_FLUID_VERIFY_EVERY=N — the full oracle
+  /// is O(all activities × all resources) per mutation, which is fine for
+  /// the churn suite but prohibitive at 4096 VMs. Sampling still catches a
+  /// stale component: staleness persists until the component is next
+  /// touched, so any later sampled check over the same state trips it.
+  void maybe_verify();
   /// Reference oracle: re-solve every component, verify stored rates.
   void verify_all_components();
 
@@ -224,6 +231,9 @@ class FluidModel {
 
   Engine& engine_;
   bool reference_;
+  /// Oracle sampling period (1 = every mutation); see maybe_verify().
+  int verify_every_ = 1;
+  std::uint64_t verify_tick_ = 0;
   std::uint64_t next_id_ = 1;
   std::unordered_map<std::uint64_t, Resource> resources_;
   std::unordered_map<std::uint64_t, Activity> activities_;

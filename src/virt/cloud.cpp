@@ -1,5 +1,6 @@
 #include "virt/cloud.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <stdexcept>
@@ -22,8 +23,38 @@ Cloud::Cloud(sim::Engine& engine, sim::FluidModel& model, net::Fabric& fabric, V
       m_cache_misses_(engine.metrics().counter("virt.page_cache_misses")),
       m_downtime_seconds_(engine.metrics().histogram(
           "virt.downtime_seconds", obs::Histogram::exponential_buckets(0.01, 2.0, 12))) {
-  nfs_node_ = fabric_.add_node("nfs");
-  nfs_disk_ = model_.add_resource("nfs.disk", config_.nfs_disk_bw);
+  if (config_.nfs_disk_bw <= 0.0) {
+    throw std::invalid_argument("VirtConfig: nfs_disk_bw must be > 0");
+  }
+  const int racks = fabric_.rack_count();
+  if (racks <= 1) {
+    // The paper's testbed: one shared NFS server for the whole cluster.
+    nfs_nodes_.push_back(fabric_.add_node("nfs"));
+    nfs_disks_.push_back(model_.add_resource("nfs.disk", config_.nfs_disk_bw));
+  } else {
+    // Rack-scale fabric: one filer per rack, pinned to its rack so image
+    // and virtual-disk traffic stays below the (over-subscribed) ToR
+    // uplinks unless a VM really reads remote data.
+    for (int r = 0; r < racks; ++r) {
+      const std::string name = "nfs" + std::to_string(r);
+      nfs_nodes_.push_back(fabric_.add_node(name, r));
+      nfs_disks_.push_back(model_.add_resource(name + ".disk", config_.nfs_disk_bw));
+    }
+  }
+}
+
+double Cloud::nfs_disk_utilization() const {
+  double peak = 0.0;
+  for (sim::FluidModel::ResourceId disk : nfs_disks_) {
+    peak = std::max(peak, model_.utilization(disk));
+  }
+  return peak;
+}
+
+double Cloud::nfs_disk_busy_integral() const {
+  double total = 0.0;
+  for (sim::FluidModel::ResourceId disk : nfs_disks_) total += model_.busy_integral(disk);
+  return total;
 }
 
 HostId Cloud::add_host(const std::string& name) {
@@ -61,11 +92,12 @@ void Cloud::boot_vm(VmId id, std::function<void()> on_ready) {
   Vm& vm = vms_.at(id);
   if (vm.state != VmState::Stopped) throw std::runtime_error("boot_vm: not stopped");
   vm.state = VmState::Booting;
-  // Fetch the touched image blocks from NFS, then run the guest boot.
-  fabric_.transfer({.src = {nfs_node_, false, -1},
+  // Fetch the touched image blocks from the host's (rack-local) filer,
+  // then run the guest boot.
+  fabric_.transfer({.src = {filer_node(vm.host), false, -1},
                     .dst = {hosts_[vm.host].node, false, -1},
                     .bytes = config_.vm_boot_io_bytes,
-                    .extra_resources = {nfs_disk_},
+                    .extra_resources = {filer_disk(vm.host)},
                     .on_complete = [this, id, on_ready = std::move(on_ready)]() mutable {
                       engine_.schedule_in(config_.vm_boot_seconds,
                                           [this, id, on_ready = std::move(on_ready)] {
@@ -178,11 +210,11 @@ void Cloud::disk_read(VmId id, double bytes, std::function<void()> on_complete, 
   }
   // Data path: NFS spindle -> NFS NIC -> host NIC -> blkfront. The guest's
   // virtual-disk ceiling rides along as an extra resource.
-  fabric_.transfer({.src = {nfs_node_, false, -1},
+  fabric_.transfer({.src = {filer_node(vm.host), false, -1},
                     .dst = {hosts_[vm.host].node, true, static_cast<int>(id)},
                     .bytes = bytes,
                     .weight = weight,
-                    .extra_resources = {nfs_disk_, vm.vdisk},
+                    .extra_resources = {filer_disk(vm.host), vm.vdisk},
                     .on_complete = std::move(on_complete)});
 }
 
@@ -208,10 +240,10 @@ void Cloud::disk_write(VmId id, double bytes, std::function<void()> on_complete,
   // Write-through to NFS: dirty pages must reach the image file; charging
   // it synchronously is the conservative end of writeback behaviour.
   fabric_.transfer({.src = {hosts_[vm.host].node, true, static_cast<int>(id)},
-                    .dst = {nfs_node_, false, -1},
+                    .dst = {filer_node(vm.host), false, -1},
                     .bytes = bytes,
                     .weight = weight,
-                    .extra_resources = {nfs_disk_, vm.vdisk},
+                    .extra_resources = {filer_disk(vm.host), vm.vdisk},
                     .on_complete = std::move(on_complete)});
 }
 

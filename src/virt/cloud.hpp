@@ -119,6 +119,17 @@ class Cloud {
   std::size_t host_count() const { return hosts_.size(); }
   const std::string& host_name(HostId h) const { return hosts_[h].name; }
 
+  /// Rack identity, delegated to the fabric topology. A single-switch
+  /// fabric is one rack; rack-aware behaviour upstream (HDFS placement
+  /// tiers, scheduler rack locality, per-rack filers) keys off
+  /// rack_count() > 1.
+  int rack_count() const { return fabric_.rack_count(); }
+  int rack_of_host(HostId h) const { return fabric_.rack_of(hosts_[h].node); }
+  int rack_of_vm(VmId v) const {
+    return vms_[v].host == kOnNfs ? fabric_.rack_of(nfs_nodes_.front())
+                                  : rack_of_host(vms_[v].host);
+  }
+
   // --- VM lifecycle -------------------------------------------------------
   /// Create a VM on `host` (throws if memory would be oversubscribed).
   VmId create_vm(const std::string& name, HostId host, VmSpec spec);
@@ -210,10 +221,14 @@ class Cloud {
   double vm_cpu_busy_integral(VmId v) const { return model_.busy_integral(vms_[v].vcpu); }
   double vm_net_busy_integral(VmId v) const { return model_.busy_integral(vms_[v].vnic); }
   double vm_disk_busy_integral(VmId v) const { return model_.busy_integral(vms_[v].vdisk); }
-  double nfs_disk_utilization() const { return model_.utilization(nfs_disk_); }
-  double nfs_disk_busy_integral() const { return model_.busy_integral(nfs_disk_); }
+  /// Peak utilization across the filer fleet (a single-rack cloud has one
+  /// filer, so this is exactly the old single-spindle reading).
+  double nfs_disk_utilization() const;
+  /// Total busy time across all filer spindles.
+  double nfs_disk_busy_integral() const;
   net::Fabric::NodeId host_node(HostId h) const { return hosts_[h].node; }
-  net::Fabric::NodeId nfs_node() const { return nfs_node_; }
+  /// The rack-0 filer (the only one on a single-rack cloud).
+  net::Fabric::NodeId nfs_node() const { return nfs_nodes_.front(); }
   double host_memory_free_mb(HostId h) const;
 
   /// Estimated resident memory of the guest in MB (the paper's nmon
@@ -269,8 +284,19 @@ class Cloud {
   struct Migration;
 
   net::Fabric::Endpoint vm_endpoint(VmId v) const {
-    return {vms_[v].host == kOnNfs ? nfs_node_ : hosts_[vms_[v].host].node, true,
+    return {vms_[v].host == kOnNfs ? nfs_nodes_.front() : hosts_[vms_[v].host].node, true,
             static_cast<int>(v)};
+  }
+
+  /// The filer serving a host's virtual block devices: the single shared
+  /// NFS server on a one-rack cloud, the host's rack-local filer otherwise.
+  net::Fabric::NodeId filer_node(HostId h) const {
+    return nfs_nodes_.size() == 1 ? nfs_nodes_.front()
+                                  : nfs_nodes_[static_cast<std::size_t>(rack_of_host(h))];
+  }
+  sim::FluidModel::ResourceId filer_disk(HostId h) const {
+    return nfs_disks_.size() == 1 ? nfs_disks_.front()
+                                  : nfs_disks_[static_cast<std::size_t>(rack_of_host(h))];
   }
 
   void precopy_round(std::shared_ptr<Migration> mig);
@@ -283,8 +309,10 @@ class Cloud {
   VirtConfig config_;
   std::vector<Host> hosts_;
   std::vector<Vm> vms_;
-  net::Fabric::NodeId nfs_node_;
-  sim::FluidModel::ResourceId nfs_disk_;
+  /// One NFS filer per rack (exactly one on a single-rack cloud), created
+  /// before any host so resource-id order is configuration-determined.
+  std::vector<net::Fabric::NodeId> nfs_nodes_;
+  std::vector<sim::FluidModel::ResourceId> nfs_disks_;
   std::vector<std::function<void(VmId)>> crash_listeners_;
 
   obs::Counter* m_vms_booted_;

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testutil/sim_cluster.hpp"
+
+namespace vhadoop::hdfs {
+namespace {
+
+using testutil::SimCluster;
+
+net::TopologyConfig grid(int racks, int nodes_per_rack) {
+  net::TopologyConfig topo;
+  topo.kind = net::TopologyKind::FatTree;
+  topo.racks = racks;
+  topo.nodes_per_rack = nodes_per_rack;
+  return topo;
+}
+
+// Classic Hadoop placement, as a property over 50 seeds: whenever the
+// cluster spans >= 2 racks and a block carries >= 2 replicas, the second
+// replica lands outside the first replica's rack — and no rack ever holds
+// every replica of a multi-replica block.
+TEST(RackPlacement, SecondReplicaIsAlwaysOffRackAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    auto c = SimCluster::make_racked(12, grid(4, 2), {}, {}, seed);
+    ASSERT_GE(c->cloud->rack_count(), 2);
+    c->hdfs->write_file("/in/a", 8 * 64 * sim::kMiB, c->workers[seed % 12], nullptr);
+    c->hdfs->write_file("/in/b", 4 * 64 * sim::kMiB, c->workers[(seed * 7) % 12], nullptr);
+    c->engine.run();
+
+    for (const char* path : {"/in/a", "/in/b"}) {
+      for (const auto& block : c->hdfs->blocks(path)) {
+        ASSERT_GE(block.replicas.size(), 2u) << "seed " << seed;
+        const int rack0 = c->cloud->rack_of_vm(block.replicas[0]);
+        EXPECT_NE(c->cloud->rack_of_vm(block.replicas[1]), rack0)
+            << "seed " << seed << " path " << path << " block " << block.index;
+        std::set<int> racks;
+        for (virt::VmId r : block.replicas) racks.insert(c->cloud->rack_of_vm(r));
+        EXPECT_GE(racks.size(), 2u) << "seed " << seed;
+      }
+    }
+  }
+}
+
+// Third replica follows the second into its rack (pipeline cost stays one
+// inter-rack hop) whenever that rack still has a free datanode.
+TEST(RackPlacement, ThirdReplicaPrefersTheSecondReplicasRack) {
+  int third_in_second_rack = 0, third_total = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    auto c = SimCluster::make_racked(12, grid(3, 2), {}, {}, seed);
+    c->hdfs->write_file("/in/data", 6 * 64 * sim::kMiB, c->workers[0], nullptr);
+    c->engine.run();
+    for (const auto& block : c->hdfs->blocks("/in/data")) {
+      if (block.replicas.size() < 3) continue;
+      ++third_total;
+      if (c->cloud->rack_of_vm(block.replicas[2]) == c->cloud->rack_of_vm(block.replicas[1])) {
+        ++third_in_second_rack;
+      }
+    }
+  }
+  ASSERT_GT(third_total, 0);
+  // 4 workers per rack and the writer holds replica 0: the second replica's
+  // rack always has a free peer, so the preference is satisfiable every time.
+  EXPECT_EQ(third_in_second_rack, third_total);
+}
+
+// The reader-side tiers agree with rack membership: node-local beats
+// rack-local beats off-rack, and a single-rack cluster never reports Off.
+TEST(RackPlacement, LocalityTiersMatchRackMembership) {
+  auto c = SimCluster::make_racked(8, grid(4, 2));
+  c->hdfs->write_file("/in/t", 64 * sim::kMiB, c->workers[0], nullptr);
+  c->engine.run();
+  const auto& block = c->hdfs->blocks("/in/t")[0];
+
+  for (virt::VmId reader : c->workers) {
+    const LocalityTier tier = c->hdfs->locality_tier(block, reader);
+    bool node = false, rack = false;
+    for (virt::VmId r : block.replicas) {
+      if (r == reader) node = true;
+      if (c->cloud->rack_of_vm(r) == c->cloud->rack_of_vm(reader)) rack = true;
+    }
+    if (node) {
+      EXPECT_EQ(tier, LocalityTier::Node);
+    } else if (rack) {
+      EXPECT_EQ(tier, LocalityTier::Rack);
+    } else {
+      EXPECT_EQ(tier, LocalityTier::Off);
+    }
+  }
+
+  auto flat = SimCluster::make(6, false);
+  flat->hdfs->write_file("/in/flat", 64 * sim::kMiB, flat->workers[0], nullptr);
+  flat->engine.run();
+  const auto& fblock = flat->hdfs->blocks("/in/flat")[0];
+  for (virt::VmId reader : flat->workers) {
+    EXPECT_NE(flat->hdfs->locality_tier(fblock, reader), LocalityTier::Off);
+  }
+}
+
+// preferred_replica inserts the rack tier between same-host and anything:
+// a reader with no replica on its VM or host but one in its rack gets the
+// rack-local copy.
+TEST(RackPlacement, PreferredReplicaUsesTheRackTier) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    auto c = SimCluster::make_racked(12, grid(4, 2), {}, {}, seed);
+    c->hdfs->write_file("/in/p", 2 * 64 * sim::kMiB, c->workers[0], nullptr);
+    c->engine.run();
+    for (const auto& block : c->hdfs->blocks("/in/p")) {
+      for (virt::VmId reader : c->workers) {
+        if (c->hdfs->locality_tier(block, reader) != LocalityTier::Rack) continue;
+        const virt::VmId chosen = c->hdfs->preferred_replica(block, reader);
+        EXPECT_EQ(c->cloud->rack_of_vm(chosen), c->cloud->rack_of_vm(reader));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vhadoop::hdfs

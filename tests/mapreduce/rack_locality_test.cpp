@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "testutil/sim_cluster.hpp"
+
+namespace vhadoop::mapreduce {
+namespace {
+
+using testutil::SimCluster;
+
+net::TopologyConfig grid(net::TopologyKind kind, int racks, int nodes_per_rack) {
+  net::TopologyConfig topo;
+  topo.kind = kind;
+  topo.racks = racks;
+  topo.nodes_per_rack = nodes_per_rack;
+  return topo;
+}
+
+double counter(const sim::Engine& engine, const char* name) {
+  const obs::Counter* c = engine.metrics().find_counter(name);
+  return c == nullptr ? 0.0 : c->value();
+}
+
+SimJobSpec hdfs_job(const SimCluster& c, const std::string& path) {
+  SimJobSpec spec;
+  spec.name = "rackjob";
+  spec.queue = "prod";
+  spec.output_path = "/out/rackjob";
+  const auto& blocks = c.hdfs->blocks(path);
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    spec.maps.push_back({.input_path = path, .block_index = static_cast<int>(b),
+                         .cpu_seconds = 1.0, .output_bytes = 8 * sim::kMiB});
+  }
+  spec.reduces.assign(2, {.cpu_seconds = 0.5, .output_bytes = 2 * sim::kMiB});
+  return spec;
+}
+
+class LocalityCounters : public ::testing::TestWithParam<SchedulerPolicy> {};
+
+// Every HDFS-backed map lands in exactly one locality tier, and the three
+// mr.locality.* counters partition the map count — under every scheduler
+// policy, on a 4-rack fat-tree.
+TEST_P(LocalityCounters, TiersPartitionTheHdfsBackedMaps) {
+  HadoopConfig hc;
+  hc.scheduler = GetParam();
+  if (GetParam() == SchedulerPolicy::Capacity) {
+    hc.queues = {{"prod", 0.7, 1.0, 1.0}, {"adhoc", 0.3, 0.8, 1.0}};
+  }
+  auto c = SimCluster::make_racked(8, grid(net::TopologyKind::FatTree, 4, 2), hc);
+  c->hdfs->write_file("/in/rack", 8 * 64 * sim::kMiB, c->workers[0], nullptr);
+  c->engine.run();
+
+  int done = 0;
+  JobTimeline tl;
+  c->runner->submit(hdfs_job(*c, "/in/rack"), [&](const JobTimeline& t) {
+    tl = t;
+    ++done;
+  });
+  c->engine.run();
+  ASSERT_EQ(done, 1);
+
+  const double node = counter(c->engine, "mr.locality.node");
+  const double rack = counter(c->engine, "mr.locality.rack");
+  const double off = counter(c->engine, "mr.locality.off");
+  EXPECT_EQ(node + rack + off, static_cast<double>(c->hdfs->blocks("/in/rack").size()));
+  // Node-tier counter and the timeline's historical data-local count agree.
+  EXPECT_EQ(node, static_cast<double>(tl.data_local_maps()));
+  EXPECT_GT(node, 0.0);
+}
+
+// On a single-rack cluster the off-rack tier is unreachable: everything is
+// at worst rack-local, and rack == remote reads of the flat counters.
+TEST_P(LocalityCounters, SingleRackNeverCountsOffRack) {
+  HadoopConfig hc;
+  hc.scheduler = GetParam();
+  if (GetParam() == SchedulerPolicy::Capacity) {
+    hc.queues = {{"prod", 0.7, 1.0, 1.0}, {"adhoc", 0.3, 0.8, 1.0}};
+  }
+  auto c = SimCluster::make(6, true, hc);
+  c->hdfs->write_file("/in/flat", 6 * 64 * sim::kMiB, c->workers[0], nullptr);
+  c->engine.run();
+
+  int done = 0;
+  c->runner->submit(hdfs_job(*c, "/in/flat"), [&](const JobTimeline&) { ++done; });
+  c->engine.run();
+  ASSERT_EQ(done, 1);
+
+  EXPECT_EQ(counter(c->engine, "mr.locality.off"), 0.0);
+  EXPECT_EQ(counter(c->engine, "mr.locality.node") + counter(c->engine, "mr.locality.rack"),
+            static_cast<double>(c->hdfs->blocks("/in/flat").size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, LocalityCounters,
+                         ::testing::Values(SchedulerPolicy::Fifo, SchedulerPolicy::Fair,
+                                           SchedulerPolicy::Capacity,
+                                           SchedulerPolicy::Deadline),
+                         [](const ::testing::TestParamInfo<SchedulerPolicy>& p) {
+                           return std::string(to_string(p.param));
+                         });
+
+// --- cross-topology determinism replay -------------------------------------
+
+struct RunArtifacts {
+  std::string metrics_json;
+  std::string trace_json;
+  double finished_at = 0.0;
+  int jobs_done = 0;
+};
+
+// The determinism contract (DESIGN.md §9) must hold on every fabric: an
+// HDFS-input job plus a local-input job with a mid-run crash, on a 3×2
+// rack grid, traced end to end.
+RunArtifacts run_racked_workload(net::TopologyKind kind, std::uint64_t seed) {
+  HadoopConfig hc;
+  hc.scheduler = SchedulerPolicy::Fair;
+  auto c = SimCluster::make_racked(6, grid(kind, 3, 2), hc, {}, seed);
+  c->engine.tracer().set_enabled(true);
+
+  c->hdfs->write_file("/in/data", 6 * 64 * sim::kMiB, c->workers[0], nullptr);
+  c->engine.run();
+
+  RunArtifacts out;
+  c->runner->submit(hdfs_job(*c, "/in/data"), [&](const JobTimeline&) { ++out.jobs_done; });
+  SimJobSpec small;
+  small.name = "small";
+  small.output_path = "/out/small";
+  for (int m = 0; m < 4; ++m) {
+    small.maps.push_back({.input_bytes = 4 * sim::kMiB, .cpu_seconds = 0.5,
+                          .output_bytes = 2 * sim::kMiB});
+  }
+  small.reduces.assign(1, {.cpu_seconds = 0.2, .output_bytes = sim::kMiB});
+  c->runner->submit(small, [&](const JobTimeline&) { ++out.jobs_done; });
+
+  c->engine.run_until(c->engine.now() + 6.0);
+  c->cloud->crash_vm(c->workers[1]);
+  c->engine.run();
+
+  out.finished_at = c->engine.now();
+  out.metrics_json = c->engine.metrics().to_json();
+  out.trace_json = c->engine.tracer().to_chrome_json();
+  return out;
+}
+
+class TopologyReplay : public ::testing::TestWithParam<net::TopologyKind> {};
+
+TEST_P(TopologyReplay, SameSeedTwiceIsByteIdenticalOnEveryFabric) {
+  const RunArtifacts a = run_racked_workload(GetParam(), 19);
+  const RunArtifacts b = run_racked_workload(GetParam(), 19);
+  ASSERT_EQ(a.jobs_done, 2);
+  ASSERT_EQ(b.jobs_done, 2);
+  EXPECT_DOUBLE_EQ(a.finished_at, b.finished_at);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+  EXPECT_EQ(a.trace_json, b.trace_json);
+  EXPECT_FALSE(a.metrics_json.empty());
+  EXPECT_FALSE(a.trace_json.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, TopologyReplay,
+                         ::testing::Values(net::TopologyKind::SingleSwitch,
+                                           net::TopologyKind::FatTree,
+                                           net::TopologyKind::Rotor),
+                         [](const ::testing::TestParamInfo<net::TopologyKind>& p) {
+                           std::string name = net::to_string(p.param);
+                           for (char& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace vhadoop::mapreduce

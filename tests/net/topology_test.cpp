@@ -1,0 +1,203 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+#include "sim/fluid.hpp"
+
+namespace vhadoop::net {
+namespace {
+
+constexpr double kNicBw = 100.0;
+constexpr double kHop = 1e-4;
+
+TEST(TopologyKindTest, ParseAndPrintRoundTrip) {
+  for (TopologyKind kind :
+       {TopologyKind::SingleSwitch, TopologyKind::FatTree, TopologyKind::Rotor}) {
+    const auto parsed = topology_kind_from_string(to_string(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(topology_kind_from_string("mesh").has_value());
+  EXPECT_FALSE(topology_kind_from_string("").has_value());
+}
+
+TEST(TopologyTest, SingleSwitchIsOneRackAndWireFree) {
+  sim::Engine engine;
+  sim::FluidModel model(engine);
+  TopologyConfig cfg;
+  cfg.racks = 8;  // ignored: the single switch is one big rack
+  auto topo = make_topology(model, cfg, kNicBw, kHop);
+  EXPECT_EQ(topo->rack_count(), 1);
+  for (int n = 0; n < 20; ++n) topo->attach(-1);
+  std::vector<sim::FluidModel::ResourceId> wires;
+  topo->append_wire_resources(0, 19, wires);
+  EXPECT_TRUE(wires.empty());
+  EXPECT_DOUBLE_EQ(topo->wire_latency(0, 19), kHop);
+}
+
+TEST(TopologyTest, AutoAttachFillsRacksConsecutively) {
+  sim::Engine engine;
+  sim::FluidModel model(engine);
+  TopologyConfig cfg;
+  cfg.kind = TopologyKind::FatTree;
+  cfg.racks = 3;
+  cfg.nodes_per_rack = 2;
+  auto topo = make_topology(model, cfg, kNicBw, kHop);
+  EXPECT_EQ(topo->rack_count(), 3);
+  std::vector<int> racks;
+  for (int n = 0; n < 8; ++n) racks.push_back(topo->attach(-1));
+  // 2 per rack; overflow past the grid lands in the last rack.
+  EXPECT_EQ(racks, (std::vector<int>{0, 0, 1, 1, 2, 2, 2, 2}));
+  for (std::size_t n = 0; n < racks.size(); ++n) {
+    EXPECT_EQ(topo->rack_of(n), racks[n]);
+  }
+}
+
+TEST(TopologyTest, PinnedAttachDoesNotAdvanceTheAutoCursor) {
+  sim::Engine engine;
+  sim::FluidModel model(engine);
+  TopologyConfig cfg;
+  cfg.kind = TopologyKind::FatTree;
+  cfg.racks = 2;
+  cfg.nodes_per_rack = 2;
+  auto topo = make_topology(model, cfg, kNicBw, kHop);
+  EXPECT_EQ(topo->attach(1), 1);   // pinned (a per-rack filer)
+  EXPECT_EQ(topo->attach(-1), 0);  // auto assignment starts at rack 0 regardless
+  EXPECT_EQ(topo->attach(-1), 0);
+  EXPECT_EQ(topo->attach(-1), 1);
+  EXPECT_THROW(topo->attach(2), std::invalid_argument);
+}
+
+TEST(TopologyTest, FatTreeTorUplinksCarryOversubscribedCapacity) {
+  sim::Engine engine;
+  sim::FluidModel model(engine);
+  TopologyConfig cfg;
+  cfg.kind = TopologyKind::FatTree;
+  cfg.racks = 2;
+  cfg.nodes_per_rack = 4;
+  cfg.oversubscription = 4.0;
+  auto topo = make_topology(model, cfg, kNicBw, kHop);
+  for (int n = 0; n < 8; ++n) topo->attach(-1);
+
+  std::vector<sim::FluidModel::ResourceId> wires;
+  topo->append_wire_resources(0, 7, wires);  // rack 0 -> rack 1
+  ASSERT_EQ(wires.size(), 2u);               // src ToR up + dst ToR down
+  const double expect = cfg.nodes_per_rack * kNicBw / cfg.oversubscription;
+  EXPECT_DOUBLE_EQ(model.capacity(wires[0]), expect);
+  EXPECT_DOUBLE_EQ(model.capacity(wires[1]), expect);
+
+  wires.clear();
+  topo->append_wire_resources(0, 1, wires);  // same rack: ToR not involved
+  EXPECT_TRUE(wires.empty());
+
+  EXPECT_DOUBLE_EQ(topo->wire_latency(0, 1), kHop);      // intra-rack
+  EXPECT_DOUBLE_EQ(topo->wire_latency(0, 7), 3 * kHop);  // ToR-core-ToR
+}
+
+TEST(TopologyTest, RotorRunsFullBisectionWithCycleLatency) {
+  sim::Engine engine;
+  sim::FluidModel model(engine);
+  TopologyConfig cfg;
+  cfg.kind = TopologyKind::Rotor;
+  cfg.racks = 2;
+  cfg.nodes_per_rack = 4;
+  auto topo = make_topology(model, cfg, kNicBw, kHop);
+  for (int n = 0; n < 8; ++n) topo->attach(-1);
+
+  std::vector<sim::FluidModel::ResourceId> wires;
+  topo->append_wire_resources(0, 7, wires);
+  ASSERT_EQ(wires.size(), 2u);
+  EXPECT_DOUBLE_EQ(model.capacity(wires[0]), cfg.nodes_per_rack * kNicBw);
+  EXPECT_DOUBLE_EQ(model.capacity(wires[1]), cfg.nodes_per_rack * kNicBw);
+  EXPECT_DOUBLE_EQ(topo->wire_latency(0, 7), 2 * kHop + cfg.rotor_cycle_latency);
+  EXPECT_DOUBLE_EQ(topo->wire_latency(0, 1), kHop);
+}
+
+TEST(TopologyTest, ConfigValidationRejectsDegenerateGrids) {
+  sim::Engine engine;
+  sim::FluidModel model(engine);
+  TopologyConfig cfg;
+  cfg.kind = TopologyKind::FatTree;
+  cfg.racks = 0;
+  EXPECT_THROW(make_topology(model, cfg, kNicBw, kHop), std::invalid_argument);
+  cfg.racks = 2;
+  cfg.nodes_per_rack = 0;
+  EXPECT_THROW(make_topology(model, cfg, kNicBw, kHop), std::invalid_argument);
+  cfg.nodes_per_rack = 2;
+  cfg.oversubscription = 0.5;  // a ToR cannot amplify bandwidth
+  EXPECT_THROW(make_topology(model, cfg, kNicBw, kHop), std::invalid_argument);
+  cfg.oversubscription = 4.0;
+  cfg.kind = TopologyKind::Rotor;
+  cfg.rotor_cycle_latency = 0.0;
+  EXPECT_THROW(make_topology(model, cfg, kNicBw, kHop), std::invalid_argument);
+}
+
+TEST(NetConfigValidationTest, FabricRejectsNonPositiveRatesAndLatencies) {
+  sim::Engine engine;
+  sim::FluidModel model(engine);
+  auto reject = [&](auto&& mutate) {
+    NetConfig cfg;
+    mutate(cfg);
+    EXPECT_THROW(Fabric(engine, model, cfg), std::invalid_argument);
+  };
+  reject([](NetConfig& c) { c.nic_bw = 0.0; });
+  reject([](NetConfig& c) { c.bridge_bw = -1.0; });
+  reject([](NetConfig& c) { c.loopback_bw = 0.0; });
+  reject([](NetConfig& c) { c.hop_latency = 0.0; });
+  reject([](NetConfig& c) { c.vm_latency = -1e-6; });
+  reject([](NetConfig& c) { c.vm_io_efficiency = 0.0; });
+  reject([](NetConfig& c) { c.vm_io_efficiency = 1.5; });
+  reject([](NetConfig& c) { c.topology.racks = -1; });
+}
+
+TEST(FabricRackTest, NodesReportTheirTopologyRack) {
+  sim::Engine engine;
+  sim::FluidModel model(engine);
+  NetConfig cfg;
+  cfg.topology.kind = TopologyKind::FatTree;
+  cfg.topology.racks = 2;
+  cfg.topology.nodes_per_rack = 2;
+  Fabric fabric(engine, model, cfg);
+  const auto a = fabric.add_node("a");
+  const auto b = fabric.add_node("b");
+  const auto c = fabric.add_node("c");
+  const auto pinned = fabric.add_node("pinned", 1);
+  EXPECT_EQ(fabric.rack_count(), 2);
+  EXPECT_EQ(fabric.rack_of(a), 0);
+  EXPECT_EQ(fabric.rack_of(b), 0);
+  EXPECT_EQ(fabric.rack_of(c), 1);
+  EXPECT_EQ(fabric.rack_of(pinned), 1);
+}
+
+TEST(FabricRackTest, InterRackFlowCountedAndSlowedByTor) {
+  sim::Engine engine;
+  sim::FluidModel model(engine);
+  NetConfig cfg;
+  cfg.topology.kind = TopologyKind::FatTree;
+  cfg.topology.racks = 2;
+  cfg.topology.nodes_per_rack = 1;
+  cfg.topology.oversubscription = 8.0;  // ToR uplink = nic/8
+  Fabric fabric(engine, model, cfg);
+  const auto a = fabric.add_node("a");
+  const auto b = fabric.add_node("b");
+  double done_at = -1.0;
+  const double bytes = 100 * sim::kMiB;
+  fabric.transfer({.src = {a, false, -1},
+                   .dst = {b, false, -1},
+                   .bytes = bytes,
+                   .on_complete = [&] { done_at = engine.now(); }});
+  engine.run();
+  // The over-subscribed ToR uplink, not the NIC, is the bottleneck.
+  EXPECT_NEAR(done_at, bytes / (cfg.nic_bw / 8.0), 0.05);
+  const obs::Counter* inter = engine.metrics().find_counter("net.flows_inter_rack");
+  ASSERT_NE(inter, nullptr);
+  EXPECT_EQ(inter->value(), 1.0);
+}
+
+}  // namespace
+}  // namespace vhadoop::net

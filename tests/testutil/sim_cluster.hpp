@@ -66,6 +66,41 @@ struct SimCluster {
                                                                c.workers);
     return owner;
   }
+
+  /// Multi-rack variant: `topo` decides the fabric model and rack grid,
+  /// hosts = racks × nodes_per_rack, and VMs spread round-robin over all
+  /// hosts so every rack carries part of the cluster.
+  static std::unique_ptr<SimCluster> make_racked(int n_workers, net::TopologyConfig topo,
+                                                 mapreduce::HadoopConfig hconf = {},
+                                                 hdfs::HdfsConfig dconf = {},
+                                                 std::uint64_t seed = 7) {
+    auto owner = std::make_unique<SimCluster>();
+    SimCluster& c = *owner;
+    net::NetConfig nconf;
+    nconf.topology = topo;
+    c.model = std::make_unique<sim::FluidModel>(c.engine);
+    c.fabric = std::make_unique<net::Fabric>(c.engine, *c.model, nconf);
+    c.cloud = std::make_unique<virt::Cloud>(c.engine, *c.model, *c.fabric, virt::VirtConfig{});
+    const int n_hosts = topo.racks * topo.nodes_per_rack;
+    for (int h = 0; h < n_hosts; ++h) {
+      c.hosts.push_back(c.cloud->add_host("host" + std::to_string(h)));
+    }
+    c.namenode = c.cloud->create_vm("namenode", c.hosts[0], {.vcpus = 1, .memory_mb = 1024});
+    c.cloud->boot_vm(c.namenode, nullptr);
+    for (int i = 0; i < n_workers; ++i) {
+      virt::VmId vm = c.cloud->create_vm("worker" + std::to_string(i),
+                                         c.hosts[static_cast<std::size_t>(i + 1) % c.hosts.size()],
+                                         {.vcpus = 1, .memory_mb = 1024});
+      c.cloud->boot_vm(vm, nullptr);
+      c.workers.push_back(vm);
+    }
+    c.engine.run();  // boots complete
+    c.hdfs = std::make_unique<hdfs::HdfsCluster>(*c.cloud, dconf, c.namenode, c.workers,
+                                                 sim::Rng(seed));
+    c.runner = std::make_unique<mapreduce::SimulatedJobRunner>(*c.cloud, *c.hdfs, hconf,
+                                                               c.workers);
+    return owner;
+  }
 };
 
 }  // namespace vhadoop::testutil

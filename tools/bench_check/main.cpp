@@ -20,6 +20,13 @@
 // omit the largest cluster sizes. --update rewrites every baseline file
 // with the values just measured (the intentional-refresh workflow in the
 // README).
+//
+// The reverse direction is also enforced: a BENCH_*.json in --results with
+// no baseline covering it is reported as an orphan — a warning locally, a
+// failure under --require-all, so a new benchmark cannot silently ship
+// ungated. --only=NAME[,NAME] restricts both directions to the named
+// benches (the CI matrix runs one leg per topology out of a shared
+// baseline directory).
 
 #include <algorithm>
 #include <cmath>
@@ -44,13 +51,22 @@ struct Options {
   std::string results;
   bool update = false;
   bool require_all = false;
+  /// Bench names to gate; empty = all. Both the baseline walk and the
+  /// orphan scan honour it.
+  std::vector<std::string> only;
 };
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --baselines=DIR --results=DIR [--update] [--require-all]\n",
+               "usage: %s --baselines=DIR --results=DIR [--update] [--require-all] "
+               "[--only=NAME[,NAME...]]\n",
                argv0);
   return 2;
+}
+
+bool selected(const Options& opt, const std::string& bench) {
+  if (opt.only.empty()) return true;
+  return std::find(opt.only.begin(), opt.only.end(), bench) != opt.only.end();
 }
 
 std::string read_file(const fs::path& path) {
@@ -132,6 +148,16 @@ int main(int argc, char** argv) {
       opt.update = true;
     } else if (std::strcmp(argv[i], "--require-all") == 0) {
       opt.require_all = true;
+    } else if (std::strncmp(argv[i], "--only=", 7) == 0) {
+      std::string list = argv[i] + 7;
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        if (comma > pos) opt.only.push_back(list.substr(pos, comma - pos));
+        pos = comma + 1;
+      }
+      if (opt.only.empty()) return usage(argv[0]);
     } else {
       return usage(argv[0]);
     }
@@ -152,6 +178,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  std::vector<std::string> baselined;
   for (const fs::path& file : files) {
     JsonValue base;
     try {
@@ -166,6 +193,8 @@ int main(int argc, char** argv) {
       return 2;
     }
     const std::string bench = base.at("bench").str;
+    baselined.push_back(bench);
+    if (!selected(opt, bench)) continue;
     const fs::path results_path = fs::path(opt.results) / ("BENCH_" + bench + ".json");
 
     JsonValue results;
@@ -246,6 +275,35 @@ int main(int argc, char** argv) {
       out << baseline_to_json(bench, checks);
       std::printf("updated %s\n", file.string().c_str());
     }
+  }
+
+  // Orphan scan: every produced result must be gated by some baseline. A
+  // silent gap here is how a new benchmark regresses unnoticed for months.
+  std::vector<fs::path> produced;
+  if (fs::exists(opt.results)) {
+    for (const auto& entry : fs::directory_iterator(opt.results)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("BENCH_", 0) == 0 && entry.path().extension() == ".json") {
+        produced.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(produced.begin(), produced.end());
+  for (const fs::path& path : produced) {
+    const std::string stem = path.stem().string();       // BENCH_<bench>
+    const std::string bench = stem.substr(6);
+    if (!selected(opt, bench)) continue;
+    if (std::find(baselined.begin(), baselined.end(), bench) != baselined.end()) continue;
+    std::fprintf(stderr, "%s %s: results file %s has no baseline\n",
+                 opt.require_all ? "FAIL" : "warn", bench.c_str(),
+                 path.filename().string().c_str());
+    std::fprintf(stderr,
+                 "     add one: write %s/%s.json as {\"schema\": "
+                 "\"vhadoop-bench-baseline-v1\", \"bench\": \"%s\", \"checks\": [...]} "
+                 "then refresh values with: bench_check --baselines=%s --results=%s --update\n",
+                 opt.baselines.c_str(), bench.c_str(), bench.c_str(), opt.baselines.c_str(),
+                 opt.results.c_str());
+    if (opt.require_all) ++failures;
   }
 
   if (!opt.update) {
