@@ -6,6 +6,13 @@
 //               [--workload-trace=FILE] [--trace-gen=SPEC]
 //               [--metrics-out=FILE] [--trace-out=FILE] [--spans-out=FILE]
 //               [--timeseries-out=FILE]
+//               [--sort-parallel-threshold=N] [--small-job-fast-path-bytes=N]
+//               [--merge-range-split-min=N]
+//
+// The three --sort/--small/--merge flags are the RunnerTuning data-path
+// knobs (DESIGN.md §15): they route the real-execution LocalJobRunner
+// between its serial small-job fast path and the parallel sort/merge
+// stages. All must be positive; outputs are identical at every setting.
 //
 // workloads: wordcount | terasort | dfsio | mrbench | pi | multi | trace
 //
@@ -44,7 +51,9 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -80,6 +89,9 @@ struct Options {
   std::string topology = "single-switch";
   int racks = 2;
   int hosts_per_rack = 2;
+  long long sort_parallel_threshold = mapreduce::RunnerTuning::kDefaultSortParallelThreshold;
+  long long small_job_fast_path_bytes = mapreduce::RunnerTuning::kDefaultSmallJobFastPathBytes;
+  long long merge_range_split_min = mapreduce::RunnerTuning::kDefaultMergeRangeSplitMin;
 };
 
 int usage() {
@@ -91,7 +103,9 @@ int usage() {
                "[--racks=N] [--hosts-per-rack=N] "
                "[--workload-trace=FILE] [--trace-gen=SPEC] "
                "[--metrics-out=FILE] [--trace-out=FILE] [--spans-out=FILE] "
-               "[--timeseries-out=FILE]\n");
+               "[--timeseries-out=FILE] "
+               "[--sort-parallel-threshold=N] [--small-job-fast-path-bytes=N] "
+               "[--merge-range-split-min=N]\n");
   return 2;
 }
 
@@ -127,6 +141,12 @@ Options parse(int argc, char** argv) {
       opt.racks = std::atoi(arg.substr(8).c_str());
     } else if (arg.rfind("--hosts-per-rack=", 0) == 0) {
       opt.hosts_per_rack = std::atoi(arg.substr(17).c_str());
+    } else if (arg.rfind("--sort-parallel-threshold=", 0) == 0) {
+      opt.sort_parallel_threshold = std::atoll(arg.substr(26).c_str());
+    } else if (arg.rfind("--small-job-fast-path-bytes=", 0) == 0) {
+      opt.small_job_fast_path_bytes = std::atoll(arg.substr(28).c_str());
+    } else if (arg.rfind("--merge-range-split-min=", 0) == 0) {
+      opt.merge_range_split_min = std::atoll(arg.substr(24).c_str());
     }
   }
   return opt;
@@ -209,6 +229,17 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // RunnerTuning validates at construction (rejects non-positive values);
+  // surface that as a usage error instead of an uncaught exception.
+  std::optional<mapreduce::RunnerTuning> tuning;
+  try {
+    tuning.emplace(opt.sort_parallel_threshold, opt.small_job_fast_path_bytes,
+                   opt.merge_range_split_min);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "vhadoop_cli: %s\n", e.what());
+    return 2;
+  }
+
   core::TestbedConfig testbed;
   testbed.net.topology.kind = *topology;
   if (*topology != net::TopologyKind::SingleSwitch) {
@@ -226,6 +257,7 @@ int main(int argc, char** argv) {
   spec.placement = opt.cross ? core::Placement::CrossDomain : core::Placement::Normal;
   if (*topology != net::TopologyKind::SingleSwitch) spec.placement = core::Placement::Spread;
   spec.hadoop.scheduler = *policy;
+  spec.hadoop.runner = *tuning;
   if (*policy == mapreduce::SchedulerPolicy::Capacity) {
     if (opt.workload == "trace") {
       // Generated traces route jobs to these two queues; interactive
@@ -244,7 +276,7 @@ int main(int argc, char** argv) {
   if (opt.workload == "wordcount") {
     workloads::TextCorpus corpus(20000);
     auto lines = corpus.generate(opt.mb * sim::kMiB);
-    mapreduce::LocalJobRunner local;
+    mapreduce::LocalJobRunner local(0, *tuning);
     const int splits = std::max(1, static_cast<int>(opt.mb / 16.0));
     auto measured = local.run(workloads::wordcount_job(4), lines, splits);
     platform.upload("/in/corpus", mapreduce::serialized_bytes(lines));

@@ -43,7 +43,18 @@ class KVBatch {
     std::size_t bytes() const { return std::size_t{key_len} + val_len; }
   };
 
-  explicit KVBatch(std::size_t chunk_bytes = kDefaultChunk) : chunk_bytes_(chunk_bytes) {}
+  /// `chunk_bytes` is the steady-state chunk size; `first_chunk_bytes` the
+  /// size of the first allocation. Chunks grow geometrically (doubling)
+  /// from the first toward the steady-state size, so a mapper that emits
+  /// 40 records costs a few KiB of arena rather than a full 64 KiB chunk —
+  /// the dominant constant that made tiny jobs slower than the reference
+  /// path (ROADMAP "win everywhere"). Allocation stays lazy: a batch that
+  /// never sees a push never allocates.
+  explicit KVBatch(std::size_t chunk_bytes = kDefaultChunk,
+                   std::size_t first_chunk_bytes = kDefaultFirstChunk)
+      : chunk_bytes_(chunk_bytes),
+        first_chunk_bytes_(first_chunk_bytes < chunk_bytes ? first_chunk_bytes : chunk_bytes),
+        next_chunk_bytes_(first_chunk_bytes_) {}
 
   KVBatch(KVBatch&&) = default;
   KVBatch& operator=(KVBatch&&) = default;
@@ -112,21 +123,30 @@ class KVBatch {
     used_ = 0;
     cap_ = 0;
     total_bytes_ = 0;
+    next_chunk_bytes_ = first_chunk_bytes_;  // chunk counts restart deterministically
   }
 
  private:
   static constexpr std::size_t kDefaultChunk = 64 * 1024;
+  static constexpr std::size_t kDefaultFirstChunk = 1024;
 
   static std::size_t align8(std::size_t n) { return (n + 7) & ~std::size_t{7}; }
 
   char* allocate(std::size_t need) {
     if (used_ + need > cap_) {
-      const std::size_t sz = need > chunk_bytes_ ? need : chunk_bytes_;
+      std::size_t sz = next_chunk_bytes_;
+      if (sz < need) sz = need;  // oversized record gets its own chunk
+      // for_overwrite: arena bytes are always written before they are read
+      // (push memcpys key+value; alignment padding is never part of any
+      // record's logical bytes), so zero-initializing every chunk would be
+      // pure memset traffic — at 64 KiB per chunk it dominated small jobs.
       // operator new[] guarantees at least alignof(std::max_align_t), so
       // every chunk base (and every 8-aligned offset) is double-aligned.
-      chunks_.push_back(std::make_unique<char[]>(sz));
+      chunks_.push_back(std::make_unique_for_overwrite<char[]>(sz));
       used_ = 0;
       cap_ = sz;
+      next_chunk_bytes_ =
+          next_chunk_bytes_ * 2 < chunk_bytes_ ? next_chunk_bytes_ * 2 : chunk_bytes_;
     }
     char* p = chunks_.back().get() + used_;
     used_ += need;
@@ -134,6 +154,8 @@ class KVBatch {
   }
 
   std::size_t chunk_bytes_;
+  std::size_t first_chunk_bytes_;
+  std::size_t next_chunk_bytes_;
   std::vector<std::unique_ptr<char[]>> chunks_;
   std::size_t used_ = 0;
   std::size_t cap_ = 0;
@@ -153,19 +175,47 @@ inline int compare_entries(const KVBatch::Entry& a, const KVBatch::Entry& b) {
   return c < 0 ? -1 : (c > 0 ? 1 : 0);
 }
 
-/// Stable sort of `entries` by key (ties keep input order, like Hadoop's
-/// stable spill sort). Bottom-up merge sort over insertion-sorted base runs
-/// rather than std::stable_sort so the returned key-comparison count is a
-/// deterministic function of the input on every platform/stdlib —
-/// bench/ml_scaling gates on it. The 16-entry insertion-sorted base runs
-/// save the four densest merge passes (the bulk of the 24-byte entry
-/// copies) without giving up determinism.
-inline std::int64_t sort_entries(std::vector<KVBatch::Entry>& entries) {
-  constexpr std::size_t kBaseRun = 16;
-  const std::size_t n = entries.size();
+/// Stable 2-way merge of the adjacent sorted runs [left, left+n1) and
+/// [left+n1, left+n1+n2) into `out`, with a branchless inner loop: the
+/// winner of each comparison is selected by address arithmetic (compiles to
+/// a conditional move), so the data-dependent compare never becomes an
+/// unpredictable branch — on random keys that misprediction, not memory
+/// traffic, dominates the sort. Taking the left side on ties preserves
+/// stability, and the comparison count stays a pure function of the input.
+inline std::int64_t merge_adjacent_runs(const KVBatch::Entry* left, std::size_t n1,
+                                        std::size_t n2, KVBatch::Entry* out) {
+  const KVBatch::Entry* right = left + n1;
+  std::int64_t comparisons = 0;
+  std::size_t i = 0, j = 0, o = 0;
+  while (i < n1 && j < n2) {
+    ++comparisons;
+    const bool take_right = compare_entries(right[j], left[i]) < 0;
+    out[o++] = take_right ? right[j] : left[i];
+    i += static_cast<std::size_t>(!take_right);
+    j += static_cast<std::size_t>(take_right);
+  }
+  if (i < n1) std::memcpy(out + o, left + i, (n1 - i) * sizeof(KVBatch::Entry));
+  else if (j < n2) std::memcpy(out + o, right + j, (n2 - j) * sizeof(KVBatch::Entry));
+  return comparisons;
+}
+
+/// Stable sort of the range [a, a+n) by key (ties keep input order, like
+/// Hadoop's stable spill sort), using caller-provided scratch of at least n
+/// entries; the result always lands back in `a`. Bottom-up merge sort over
+/// insertion-sorted base runs rather than std::stable_sort so the returned
+/// key-comparison count is a deterministic function of the input on every
+/// platform/stdlib — bench/ml_scaling gates on it. The 16-entry
+/// insertion-sorted base runs save the four densest merge passes (the bulk
+/// of the 24-byte entry copies) without giving up determinism.
+/// Insertion-sorted base-run length of sort_entries_range: ranges at or
+/// under this size never touch scratch.
+inline constexpr std::size_t kSortBaseRun = 16;
+
+inline std::int64_t sort_entries_range(KVBatch::Entry* a, std::size_t n,
+                                       KVBatch::Entry* scratch) {
+  constexpr std::size_t kBaseRun = kSortBaseRun;
   if (n < 2) return 0;
   std::int64_t comparisons = 0;
-  KVBatch::Entry* a = entries.data();
   for (std::size_t lo = 0; lo < n; lo += kBaseRun) {
     const std::size_t hi = lo + kBaseRun < n ? lo + kBaseRun : n;
     for (std::size_t i = lo + 1; i < hi; ++i) {
@@ -184,51 +234,42 @@ inline std::int64_t sort_entries(std::vector<KVBatch::Entry>& entries) {
     }
   }
   if (n <= kBaseRun) return comparisons;
-  // Bottom-up 2-way merge passes with a branchless inner loop: the winner
-  // of each comparison is selected by address arithmetic (compiles to a
-  // conditional move), so the data-dependent compare never becomes an
-  // unpredictable branch — on random keys that misprediction, not memory
-  // traffic, dominates the sort. Taking the left side on ties preserves
-  // stability, and the comparison count stays a pure function of the input.
-  std::vector<KVBatch::Entry> scratch(n);
-  KVBatch::Entry* src = entries.data();
-  KVBatch::Entry* dst = scratch.data();
+  KVBatch::Entry* src = a;
+  KVBatch::Entry* dst = scratch;
   bool in_src = true;
   for (std::size_t width = kBaseRun; width < n; width *= 2) {
     for (std::size_t lo = 0; lo < n; lo += 2 * width) {
       const std::size_t mid = lo + width < n ? lo + width : n;
       const std::size_t hi = lo + 2 * width < n ? lo + 2 * width : n;
-      std::size_t i = lo, j = mid, out = lo;
-      while (i < mid && j < hi) {
-        ++comparisons;
-        const bool take_right = compare_entries(src[j], src[i]) < 0;
-        dst[out++] = take_right ? src[j] : src[i];
-        i += static_cast<std::size_t>(!take_right);
-        j += static_cast<std::size_t>(take_right);
-      }
-      if (i < mid) std::memcpy(dst + out, src + i, (mid - i) * sizeof(KVBatch::Entry));
-      else if (j < hi) std::memcpy(dst + out, src + j, (hi - j) * sizeof(KVBatch::Entry));
+      comparisons += merge_adjacent_runs(src + lo, mid - lo, hi - mid, dst + lo);
     }
     std::swap(src, dst);
     in_src = !in_src;
   }
-  if (!in_src) std::memcpy(entries.data(), src, n * sizeof(KVBatch::Entry));
+  if (!in_src) std::memcpy(a, src, n * sizeof(KVBatch::Entry));
   return comparisons;
 }
 
-/// True k-way merge of key-sorted runs into `out` (replacing the reduce
-/// phase's old concatenate-and-stable_sort). Ties resolve to the earlier
-/// run, then input order within a run — exactly the order a stable sort of
-/// the runs' concatenation produces, so outputs stay byte-identical to the
-/// reference path. Hand-rolled binary heap for deterministic comparison
-/// counts. Returns the number of key comparisons.
-inline std::int64_t merge_runs(std::span<const std::span<const KVBatch::Entry>> runs,
-                               std::vector<KVBatch::Entry>& out) {
-  out.clear();
-  std::size_t total = 0;
-  for (const auto& r : runs) total += r.size();
-  out.reserve(total);
+/// Convenience wrapper over sort_entries_range that allocates its own
+/// scratch (only when a merge pass is actually needed).
+inline std::int64_t sort_entries(std::vector<KVBatch::Entry>& entries) {
+  const std::size_t n = entries.size();
+  if (n <= kSortBaseRun) return sort_entries_range(entries.data(), n, nullptr);
+  std::vector<KVBatch::Entry> scratch(n);
+  return sort_entries_range(entries.data(), n, scratch.data());
+}
 
+/// True k-way merge of key-sorted runs into the raw slot array `out`
+/// (which must hold at least the runs' total size; every slot up to that
+/// total is written exactly once). Ties resolve to the earlier run, then
+/// input order within a run — exactly the order a stable sort of the runs'
+/// concatenation produces, so outputs stay byte-identical to the reference
+/// path. Hand-rolled binary heap for deterministic comparison counts.
+/// Writing into caller-provided slots (rather than a vector) lets the
+/// parallel reduce merge give each key range its own disjoint output
+/// window. Returns the number of key comparisons.
+inline std::int64_t merge_runs_into(std::span<const std::span<const KVBatch::Entry>> runs,
+                                    KVBatch::Entry* out) {
   struct Head {
     const KVBatch::Entry* cur;
     const KVBatch::Entry* end;
@@ -241,7 +282,8 @@ inline std::int64_t merge_runs(std::span<const std::span<const KVBatch::Entry>> 
   }
   if (heap.empty()) return 0;
   if (heap.size() == 1) {
-    out.insert(out.end(), heap[0].cur, heap[0].end);
+    std::memcpy(out, heap[0].cur,
+                static_cast<std::size_t>(heap[0].end - heap[0].cur) * sizeof(KVBatch::Entry));
     return 0;
   }
 
@@ -266,9 +308,10 @@ inline std::int64_t merge_runs(std::span<const std::span<const KVBatch::Entry>> 
   };
   for (std::size_t i = heap.size() / 2; i-- > 0;) sift_down(i);
 
+  std::size_t o = 0;
   while (!heap.empty()) {
     Head& top = heap[0];
-    out.push_back(*top.cur);
+    out[o++] = *top.cur;
     ++top.cur;
     if (top.cur == top.end) {
       heap[0] = heap.back();
@@ -278,6 +321,16 @@ inline std::int64_t merge_runs(std::span<const std::span<const KVBatch::Entry>> 
     if (heap.size() > 1) sift_down(0);
   }
   return comparisons;
+}
+
+/// Vector-output convenience wrapper over merge_runs_into.
+inline std::int64_t merge_runs(std::span<const std::span<const KVBatch::Entry>> runs,
+                               std::vector<KVBatch::Entry>& out) {
+  std::size_t total = 0;
+  for (const auto& r : runs) total += r.size();
+  out.clear();
+  out.resize(total);
+  return merge_runs_into(runs, out.data());
 }
 
 }  // namespace vhadoop::mapreduce

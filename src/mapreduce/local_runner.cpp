@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cstdlib>
 #include <stdexcept>
+#include <utility>
 
 #include "mapreduce/kv_batch.hpp"
+#include "mapreduce/parallel_sort.hpp"
 #include "mapreduce/thread_pool.hpp"
 
 namespace vhadoop::mapreduce {
@@ -20,10 +22,23 @@ bool reference_mode_from_env() {
 }  // namespace
 
 LocalJobRunner::LocalJobRunner(unsigned threads)
-    : LocalJobRunner(threads, reference_mode_from_env()) {}
+    : LocalJobRunner(threads, reference_mode_from_env(), RunnerTuning{}) {}
 
 LocalJobRunner::LocalJobRunner(unsigned threads, bool reference)
-    : threads_(threads == 0 ? default_threads() : threads), reference_(reference) {}
+    : LocalJobRunner(threads, reference, RunnerTuning{}) {}
+
+LocalJobRunner::LocalJobRunner(unsigned threads, const RunnerTuning& tuning)
+    : LocalJobRunner(threads, reference_mode_from_env(), tuning) {}
+
+LocalJobRunner::LocalJobRunner(unsigned threads, bool reference, const RunnerTuning& tuning)
+    : threads_(threads == 0 ? default_threads() : threads),
+      reference_(reference),
+      tuning_(tuning),
+      pool_(std::make_unique<WorkerPool>(threads_)) {}
+
+LocalJobRunner::~LocalJobRunner() = default;
+LocalJobRunner::LocalJobRunner(LocalJobRunner&&) noexcept = default;
+LocalJobRunner& LocalJobRunner::operator=(LocalJobRunner&&) noexcept = default;
 
 void sort_by_key(std::vector<KV>& records) {
   std::stable_sort(records.begin(), records.end(),
@@ -118,6 +133,38 @@ struct OptMapOutput {
   std::int64_t arena_chunks = 0;
 };
 
+/// One spill-sort work unit: a partition plus the flat slot its comparison
+/// tally is accumulated into (slots are summed in fixed order afterwards,
+/// so the gated counters never depend on the execution schedule).
+struct SortUnit {
+  std::vector<KVBatch::Entry>* part;
+  std::size_t slot;
+};
+
+/// Sort every partition in `units`. Partitions at or under `threshold`
+/// entries stay serial and are batched across the pool (one unit per
+/// partition); larger ones run one at a time at top level so the run-split
+/// parallel sort can use the pool *inside* the partition. Classification is
+/// by size only — a pure data function — and either route produces the
+/// comparison count of the same run_split_count structure, so counters are
+/// identical across thread counts.
+void sort_partition_units(const std::vector<SortUnit>& units, std::vector<std::int64_t>& comps,
+                          std::size_t threshold, WorkerPool& pool) {
+  std::vector<std::size_t> small_units, large_units;
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    (units[u].part->size() <= threshold ? small_units : large_units).push_back(u);
+  }
+  pool.parallel_for(small_units.size(), [&](std::size_t si) {
+    const SortUnit& unit = units[small_units[si]];
+    comps[unit.slot] += sort_entries(*unit.part);
+  });
+  for (const std::size_t u : large_units) {
+    const SortUnit& unit = units[u];
+    comps[unit.slot] +=
+        parallel_sort_entries(unit.part->data(), unit.part->size(), threshold, pool);
+  }
+}
+
 }  // namespace
 
 JobResult LocalJobRunner::run(const JobSpec& spec, std::span<const KV> input,
@@ -128,28 +175,53 @@ JobResult LocalJobRunner::run(const JobSpec& spec, std::span<const KV> input,
     throw std::invalid_argument("JobSpec: use_combiner set but no combiner factory");
   }
   if (spec.config.num_reduces < 1) throw std::invalid_argument("JobSpec: num_reduces < 1");
-  return reference_ ? run_reference(spec, input, num_splits)
-                    : run_optimized(spec, input, num_splits);
+  if (reference_) return run_reference(spec, input, num_splits);
+  // Fast-path routing: jobs whose total input fits under the byte threshold
+  // take the fully serial single-pass route (no worker wake-up, no counting
+  // pass). The scan early-exits at the threshold, so big inputs pay O(1)
+  // records here. Routing depends only on data + config — a given job takes
+  // the same route at every thread count, and both routes produce identical
+  // results, profiles, and counters anyway (tested).
+  const auto fast_limit = static_cast<std::size_t>(tuning_.small_job_fast_path_bytes);
+  std::size_t scanned = 0;
+  bool small_job = true;
+  for (const KV& rec : input) {
+    scanned += rec.bytes();
+    if (scanned > fast_limit) {
+      small_job = false;
+      break;
+    }
+  }
+  return small_job ? run_optimized_small(spec, input, num_splits)
+                   : run_optimized(spec, input, num_splits);
 }
 
 JobResult LocalJobRunner::run_optimized(const JobSpec& spec, std::span<const KV> input,
                                         int num_splits) const {
   const int R = spec.config.num_reduces;
   const int S = clamp_splits(num_splits, threads_, input.size());
+  const auto uR = static_cast<std::size_t>(R);
+  const auto uS = static_cast<std::size_t>(S);
   // The default HashPartitioner is called once per emitted record; dispatch
   // to it directly (inlined) instead of through a std::function unless the
   // job installed a custom partitioner.
   const bool custom_partitioner = static_cast<bool>(spec.partitioner);
   const Partitioner partition = effective_partitioner(spec);
+  const auto sort_threshold = static_cast<std::size_t>(tuning_.sort_parallel_threshold);
+  const auto merge_min = static_cast<std::size_t>(tuning_.merge_range_split_min);
+  WorkerPool& pool = *pool_;
 
-  // --- map phase -----------------------------------------------------------
+  // --- phase A: map + partition --------------------------------------------
   // One arena per map task; partition lists hold 24-byte entries, so the
   // partition -> sort -> combine pipeline never copies key/value payloads.
-  std::vector<OptMapOutput> map_out(static_cast<std::size_t>(S));
+  // Sorting is deliberately NOT done here: hoisting it into its own flat
+  // phase (B) lets a huge partition use the whole pool instead of being
+  // stuck inside one map task's slot (DESIGN.md §15).
+  std::vector<OptMapOutput> map_out(uS);
   const std::size_t n = input.size();
-  parallel_for(static_cast<std::size_t>(S), threads_, [&](std::size_t m) {
-    const std::size_t lo = n * m / static_cast<std::size_t>(S);
-    const std::size_t hi = n * (m + 1) / static_cast<std::size_t>(S);
+  pool.parallel_for(uS, [&](std::size_t m) {
+    const std::size_t lo = n * m / uS;
+    const std::size_t hi = n * (m + 1) / uS;
     auto split = input.subspan(lo, hi - lo);
 
     auto mapper = spec.mapper();
@@ -177,7 +249,7 @@ JobResult LocalJobRunner::run_optimized(const JobSpec& spec, std::span<const KV>
     // second hash pass.
     const auto entries = out.arena.entries();
     std::vector<std::uint32_t> slot(entries.size());
-    std::vector<std::size_t> counts(static_cast<std::size_t>(R), 0);
+    std::vector<std::size_t> counts(uR, 0);
     for (std::size_t i = 0; i < entries.size(); ++i) {
       const std::string_view key = entries[i].key();
       const int p = custom_partitioner ? partition(key, R) : default_partition(key, R);
@@ -185,32 +257,76 @@ JobResult LocalJobRunner::run_optimized(const JobSpec& spec, std::span<const KV>
       slot[i] = static_cast<std::uint32_t>(p);
       ++counts[static_cast<std::size_t>(p)];
     }
-    out.parts.assign(static_cast<std::size_t>(R), {});
-    out.part_bytes.assign(static_cast<std::size_t>(R), 0.0);
-    for (std::size_t r = 0; r < static_cast<std::size_t>(R); ++r) out.parts[r].reserve(counts[r]);
+    out.parts.assign(uR, {});
+    out.part_bytes.assign(uR, 0.0);
+    for (std::size_t r = 0; r < uR; ++r) out.parts[r].reserve(counts[r]);
     for (std::size_t i = 0; i < entries.size(); ++i) {
       out.parts[slot[i]].push_back(entries[i]);
       out.part_bytes[slot[i]] += static_cast<double>(entries[i].bytes());
     }
-    if (spec.config.use_combiner) out.combined.resize(static_cast<std::size_t>(R));
-    for (std::size_t p = 0; p < static_cast<std::size_t>(R); ++p) {
-      auto& part = out.parts[p];
-      out.sort_comparisons += sort_entries(part);
-      if (spec.config.use_combiner && !part.empty()) {
-        auto combiner = spec.combiner();
-        Context cctx;
-        reduce_entries_into(*combiner, part, cctx);
-        out.combined[p] = cctx.take_batch();
-        const KVBatch& cb = out.combined[p];
-        out.arena_chunks += cb.chunks_allocated();
-        part.assign(cb.entries().begin(), cb.entries().end());
-        out.sort_comparisons += sort_entries(part);  // combiner may emit in any order
-        out.part_bytes[p] = static_cast<double>(cb.total_bytes());
+    if (spec.config.use_combiner) out.combined.resize(uR);
+  });
+
+  // --- phase B: spill sorts ------------------------------------------------
+  // All S*R partitions as one flat unit list: small ones batch across the
+  // pool, oversized ones get the run-split parallel sort. Comparison slots
+  // are per-(m,p) and summed per map task in p order below, so the gated
+  // totals match any execution order.
+  std::vector<std::int64_t> sort_comps(uS * uR, 0);
+  std::vector<std::int64_t> combiner_chunks(uS * uR, 0);
+  {
+    std::vector<SortUnit> units;
+    units.reserve(uS * uR);
+    for (std::size_t m = 0; m < uS; ++m) {
+      for (std::size_t p = 0; p < uR; ++p) {
+        if (!map_out[m].parts[p].empty()) units.push_back({&map_out[m].parts[p], m * uR + p});
       }
-      for (const KVBatch::Entry& e : part) {
+    }
+    sort_partition_units(units, sort_comps, sort_threshold, pool);
+  }
+
+  // --- phase C: combiner ---------------------------------------------------
+  if (spec.config.use_combiner) {
+    std::vector<std::pair<std::size_t, std::size_t>> cunits;  // (m, p), non-empty only
+    for (std::size_t m = 0; m < uS; ++m) {
+      for (std::size_t p = 0; p < uR; ++p) {
+        if (!map_out[m].parts[p].empty()) cunits.push_back({m, p});
+      }
+    }
+    pool.parallel_for(cunits.size(), [&](std::size_t c) {
+      const auto [m, p] = cunits[c];
+      auto& part = map_out[m].parts[p];
+      auto combiner = spec.combiner();
+      Context cctx;
+      reduce_entries_into(*combiner, part, cctx);
+      map_out[m].combined[p] = cctx.take_batch();
+      const KVBatch& cb = map_out[m].combined[p];
+      combiner_chunks[m * uR + p] = cb.chunks_allocated();
+      part.assign(cb.entries().begin(), cb.entries().end());
+      map_out[m].part_bytes[p] = static_cast<double>(cb.total_bytes());
+    });
+    // Combiners may emit in any order: re-sort through the same routed
+    // machinery (slots accumulate on top of the spill-sort counts).
+    std::vector<SortUnit> units;
+    units.reserve(cunits.size());
+    for (const auto& [m, p] : cunits) {
+      if (!map_out[m].parts[p].empty()) units.push_back({&map_out[m].parts[p], m * uR + p});
+    }
+    sort_partition_units(units, sort_comps, sort_threshold, pool);
+  }
+
+  // --- phase D: map profiles -----------------------------------------------
+  // Same accumulation order as the reference path: partitions in p order,
+  // entries in order, so the double sums are exactly equal.
+  pool.parallel_for(uS, [&](std::size_t m) {
+    OptMapOutput& out = map_out[m];
+    for (std::size_t p = 0; p < uR; ++p) {
+      for (const KVBatch::Entry& e : out.parts[p]) {
         ++out.profile.output_records;
         out.profile.output_bytes += static_cast<double>(e.bytes());
       }
+      out.sort_comparisons += sort_comps[m * uR + p];
+      out.arena_chunks += combiner_chunks[m * uR + p];
     }
     out.profile.cpu_seconds =
         modeled_cpu(spec.config.cost, out.profile.input_records, out.profile.input_bytes,
@@ -221,42 +337,67 @@ JobResult LocalJobRunner::run_optimized(const JobSpec& spec, std::span<const KV>
   // Byte totals were accumulated during partitioning; both paths sum the
   // same integral record sizes, so the doubles are exactly equal.
   JobResult result;
-  result.shuffle_matrix.assign(static_cast<std::size_t>(S),
-                               std::vector<double>(static_cast<std::size_t>(R), 0.0));
-  for (std::size_t m = 0; m < static_cast<std::size_t>(S); ++m) {
-    for (std::size_t r = 0; r < static_cast<std::size_t>(R); ++r) {
+  result.shuffle_matrix.assign(uS, std::vector<double>(uR, 0.0));
+  for (std::size_t m = 0; m < uS; ++m) {
+    for (std::size_t r = 0; r < uR; ++r) {
       result.shuffle_matrix[m][r] = map_out[m].part_bytes[r];
       result.total_shuffle_bytes += map_out[m].part_bytes[r];
     }
   }
 
-  // --- reduce phase --------------------------------------------------------
+  // --- phase E: reduce merges ----------------------------------------------
   // True k-way merge of the per-map sorted runs; ties resolve to the earlier
   // map then within-run order, which is exactly the order the reference
-  // path's stable sort of the concatenation produces.
-  std::vector<std::vector<KV>> reduce_out(static_cast<std::size_t>(R));
-  std::vector<TaskProfile> reduce_profiles(static_cast<std::size_t>(R));
-  std::vector<std::int64_t> merge_comparisons(static_cast<std::size_t>(R), 0);
-  parallel_for(static_cast<std::size_t>(R), threads_, [&](std::size_t r) {
-    TaskProfile& prof = reduce_profiles[r];
-    std::vector<std::span<const KVBatch::Entry>> runs;
-    runs.reserve(static_cast<std::size_t>(S));
-    for (std::size_t m = 0; m < static_cast<std::size_t>(S); ++m) {
-      const auto& part = map_out[m].parts[r];
-      prof.input_records += static_cast<std::int64_t>(part.size());
-      prof.input_bytes += map_out[m].part_bytes[r];
-      runs.push_back(part);
+  // path's stable sort of the concatenation produces. Small merges batch
+  // across the pool; a merge over more than merge_range_split_min entries
+  // runs at top level so the prefix-range parallel merge can use the pool —
+  // one huge partition no longer serializes the reduce side.
+  std::vector<std::vector<KVBatch::Entry>> merged(uR);
+  std::vector<TaskProfile> reduce_profiles(uR);
+  std::vector<std::int64_t> merge_comparisons(uR, 0);
+  {
+    std::vector<std::size_t> reduce_total(uR, 0);
+    for (std::size_t r = 0; r < uR; ++r) {
+      for (std::size_t m = 0; m < uS; ++m) reduce_total[r] += map_out[m].parts[r].size();
     }
-    std::vector<KVBatch::Entry> merged;
-    merge_comparisons[r] = merge_runs(runs, merged);
+    auto merge_one = [&](std::size_t r) {
+      TaskProfile& prof = reduce_profiles[r];
+      std::vector<std::span<const KVBatch::Entry>> runs;
+      runs.reserve(uS);
+      for (std::size_t m = 0; m < uS; ++m) {
+        const auto& part = map_out[m].parts[r];
+        prof.input_records += static_cast<std::int64_t>(part.size());
+        prof.input_bytes += map_out[m].part_bytes[r];
+        runs.push_back(part);
+      }
+      merge_comparisons[r] = parallel_merge_runs(runs, merged[r], merge_min, pool);
+      // The per-map runs for this reduce are dead now; release them so the
+      // peak footprint is merged + arenas, not 2x the entry arrays.
+      for (std::size_t m = 0; m < uS; ++m) {
+        auto& part = map_out[m].parts[r];
+        part.clear();
+        part.shrink_to_fit();
+      }
+    };
+    std::vector<std::size_t> small_r, large_r;
+    for (std::size_t r = 0; r < uR; ++r) {
+      (reduce_total[r] <= merge_min ? small_r : large_r).push_back(r);
+    }
+    pool.parallel_for(small_r.size(), [&](std::size_t i) { merge_one(small_r[i]); });
+    for (const std::size_t r : large_r) merge_one(r);
+  }
 
+  // --- phase F: reduce user code -------------------------------------------
+  std::vector<std::vector<KV>> reduce_out(uR);
+  pool.parallel_for(uR, [&](std::size_t r) {
+    TaskProfile& prof = reduce_profiles[r];
     auto reducer = spec.reducer();
     Context ctx;
     // Reduce output becomes JobResult::output (owning strings): materialize
     // directly rather than round-tripping every record through an arena.
     ctx.materialize_direct();
-    ctx.reserve(merged.size());
-    reduce_entries_into(*reducer, merged, ctx);
+    ctx.reserve(merged[r].size());
+    reduce_entries_into(*reducer, merged[r], ctx);
     reduce_out[r] = ctx.take_output();
     for (const KV& rec : reduce_out[r]) {
       ++prof.output_records;
@@ -274,7 +415,150 @@ JobResult LocalJobRunner::run_optimized(const JobSpec& spec, std::span<const KV>
     result.stats.sort_comparisons += m.sort_comparisons;
     result.stats.arena_chunks += m.arena_chunks;
   }
-  for (std::size_t r = 0; r < static_cast<std::size_t>(R); ++r) {
+  for (std::size_t r = 0; r < uR; ++r) {
+    result.stats.shuffle_records += reduce_profiles[r].input_records;
+    result.stats.merge_comparisons += merge_comparisons[r];
+  }
+  result.reduce_profiles = std::move(reduce_profiles);
+  for (auto& part : reduce_out) {
+    result.output.insert(result.output.end(), std::make_move_iterator(part.begin()),
+                         std::make_move_iterator(part.end()));
+  }
+  return result;
+}
+
+JobResult LocalJobRunner::run_optimized_small(const JobSpec& spec, std::span<const KV> input,
+                                              int num_splits) const {
+  // Serial single-pass route for small jobs: same dataflow, same arenas,
+  // same sort/merge structure (so results, profiles, and counters are
+  // identical to run_optimized on the same input — tested), but no worker
+  // wake-up, no flat phase bookkeeping, and partitioning pushes entries in
+  // one pass instead of count + reserve + fill.
+  const int R = spec.config.num_reduces;
+  const int S = clamp_splits(num_splits, threads_, input.size());
+  const auto uR = static_cast<std::size_t>(R);
+  const auto uS = static_cast<std::size_t>(S);
+  const bool custom_partitioner = static_cast<bool>(spec.partitioner);
+  const Partitioner partition = effective_partitioner(spec);
+  const auto sort_threshold = static_cast<std::size_t>(tuning_.sort_parallel_threshold);
+  const auto merge_min = static_cast<std::size_t>(tuning_.merge_range_split_min);
+  WorkerPool& pool = *pool_;
+
+  std::vector<OptMapOutput> map_out(uS);
+  const std::size_t n = input.size();
+  for (std::size_t m = 0; m < uS; ++m) {
+    const std::size_t lo = n * m / uS;
+    const std::size_t hi = n * (m + 1) / uS;
+    auto split = input.subspan(lo, hi - lo);
+
+    auto mapper = spec.mapper();
+    Context ctx;
+    mapper->setup(ctx);
+    double in_bytes = 0.0;
+    for (const KV& rec : split) {
+      in_bytes += static_cast<double>(rec.bytes());
+      mapper->map(rec.key, rec.value, ctx);
+    }
+    mapper->cleanup(ctx);
+
+    OptMapOutput& out = map_out[m];
+    out.arena = ctx.take_batch();
+    out.emit_records = static_cast<std::int64_t>(out.arena.size());
+    out.emit_bytes = static_cast<std::int64_t>(out.arena.total_bytes());
+    out.arena_chunks = out.arena.chunks_allocated();
+    out.profile.input_records = static_cast<std::int64_t>(split.size());
+    out.profile.input_bytes = in_bytes;
+
+    // Single-pass partition: push each entry straight into its partition,
+    // accounting shuffle bytes as we go. Entry order per partition — and so
+    // every downstream byte sum — matches the counting path exactly.
+    const auto entries = out.arena.entries();
+    out.parts.assign(uR, {});
+    out.part_bytes.assign(uR, 0.0);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const std::string_view key = entries[i].key();
+      const int p = custom_partitioner ? partition(key, R) : default_partition(key, R);
+      if (p < 0 || p >= R) throw std::out_of_range("partitioner returned out-of-range index");
+      out.parts[static_cast<std::size_t>(p)].push_back(entries[i]);
+      out.part_bytes[static_cast<std::size_t>(p)] += static_cast<double>(entries[i].bytes());
+    }
+    if (spec.config.use_combiner) out.combined.resize(uR);
+    for (std::size_t p = 0; p < uR; ++p) {
+      auto& part = out.parts[p];
+      // parallel_sort_entries inlines for small partitions (K == 1 below the
+      // threshold) and only engages the pool if a tiny input amplified into
+      // a huge spill — either way the count matches run_optimized's.
+      out.sort_comparisons += parallel_sort_entries(part.data(), part.size(), sort_threshold, pool);
+      if (spec.config.use_combiner && !part.empty()) {
+        auto combiner = spec.combiner();
+        Context cctx;
+        reduce_entries_into(*combiner, part, cctx);
+        out.combined[p] = cctx.take_batch();
+        const KVBatch& cb = out.combined[p];
+        out.arena_chunks += cb.chunks_allocated();
+        part.assign(cb.entries().begin(), cb.entries().end());
+        out.sort_comparisons +=
+            parallel_sort_entries(part.data(), part.size(), sort_threshold, pool);
+        out.part_bytes[p] = static_cast<double>(cb.total_bytes());
+      }
+      for (const KVBatch::Entry& e : part) {
+        ++out.profile.output_records;
+        out.profile.output_bytes += static_cast<double>(e.bytes());
+      }
+    }
+    out.profile.cpu_seconds =
+        modeled_cpu(spec.config.cost, out.profile.input_records, out.profile.input_bytes,
+                    out.profile.output_records, out.profile.output_bytes, /*is_map=*/true);
+  }
+
+  JobResult result;
+  result.shuffle_matrix.assign(uS, std::vector<double>(uR, 0.0));
+  for (std::size_t m = 0; m < uS; ++m) {
+    for (std::size_t r = 0; r < uR; ++r) {
+      result.shuffle_matrix[m][r] = map_out[m].part_bytes[r];
+      result.total_shuffle_bytes += map_out[m].part_bytes[r];
+    }
+  }
+
+  std::vector<std::vector<KV>> reduce_out(uR);
+  std::vector<TaskProfile> reduce_profiles(uR);
+  std::vector<std::int64_t> merge_comparisons(uR, 0);
+  for (std::size_t r = 0; r < uR; ++r) {
+    TaskProfile& prof = reduce_profiles[r];
+    std::vector<std::span<const KVBatch::Entry>> runs;
+    runs.reserve(uS);
+    for (std::size_t m = 0; m < uS; ++m) {
+      const auto& part = map_out[m].parts[r];
+      prof.input_records += static_cast<std::int64_t>(part.size());
+      prof.input_bytes += map_out[m].part_bytes[r];
+      runs.push_back(part);
+    }
+    std::vector<KVBatch::Entry> merged;
+    // Routes to the serial heap merge below merge_min, same as the big path.
+    merge_comparisons[r] = parallel_merge_runs(runs, merged, merge_min, pool);
+
+    auto reducer = spec.reducer();
+    Context ctx;
+    ctx.materialize_direct();
+    ctx.reserve(merged.size());
+    reduce_entries_into(*reducer, merged, ctx);
+    reduce_out[r] = ctx.take_output();
+    for (const KV& rec : reduce_out[r]) {
+      ++prof.output_records;
+      prof.output_bytes += static_cast<double>(rec.bytes());
+    }
+    prof.cpu_seconds = modeled_cpu(spec.config.cost, prof.input_records, prof.input_bytes,
+                                   prof.output_records, prof.output_bytes, /*is_map=*/false);
+  }
+
+  for (const OptMapOutput& m : map_out) {
+    result.map_profiles.push_back(m.profile);
+    result.stats.map_emit_records += m.emit_records;
+    result.stats.map_emit_bytes += m.emit_bytes;
+    result.stats.sort_comparisons += m.sort_comparisons;
+    result.stats.arena_chunks += m.arena_chunks;
+  }
+  for (std::size_t r = 0; r < uR; ++r) {
     result.stats.shuffle_records += reduce_profiles[r].input_records;
     result.stats.merge_comparisons += merge_comparisons[r];
   }

@@ -1,11 +1,15 @@
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "mapreduce/hadoop_config.hpp"
 #include "mapreduce/job.hpp"
 
 namespace vhadoop::mapreduce {
+
+class WorkerPool;
 
 /// The *logical* MapReduce engine: really executes user Mapper/Combiner/
 /// Reducer code, multi-threaded, with Hadoop's dataflow — split, map,
@@ -29,21 +33,39 @@ class LocalJobRunner {
   /// environment switch (mirroring VHADOOP_FLUID_REFERENCE).
   explicit LocalJobRunner(unsigned threads = 0);
   LocalJobRunner(unsigned threads, bool reference);
+  LocalJobRunner(unsigned threads, const RunnerTuning& tuning);
+  LocalJobRunner(unsigned threads, bool reference, const RunnerTuning& tuning);
+  ~LocalJobRunner();
+  LocalJobRunner(LocalJobRunner&&) noexcept;
+  LocalJobRunner& operator=(LocalJobRunner&&) noexcept;
 
   /// Run `spec` over `input`, cut into `num_splits` contiguous splits
   /// (one map task per split — Hadoop's FileInputFormat over block-aligned
   /// splits). num_splits <= 0 derives one split per thread.
+  ///
+  /// `run` is const but not safe for *concurrent* calls on one runner: all
+  /// calls share the runner's persistent worker pool. Use one runner per
+  /// thread (they are cheap until the first parallel batch).
   JobResult run(const JobSpec& spec, std::span<const KV> input, int num_splits) const;
 
   unsigned threads() const { return threads_; }
   bool reference() const { return reference_; }
+  const RunnerTuning& tuning() const { return tuning_; }
+
+  /// The runner's persistent worker pool (threads start lazily on the first
+  /// batch that can use them). Exposed for tests/introspection.
+  WorkerPool& pool() const { return *pool_; }
 
  private:
   JobResult run_optimized(const JobSpec& spec, std::span<const KV> input, int num_splits) const;
+  JobResult run_optimized_small(const JobSpec& spec, std::span<const KV> input,
+                                int num_splits) const;
   JobResult run_reference(const JobSpec& spec, std::span<const KV> input, int num_splits) const;
 
   unsigned threads_;
   bool reference_;
+  RunnerTuning tuning_;
+  std::unique_ptr<WorkerPool> pool_;
 };
 
 /// Group a key-sorted run of records and feed them to `reducer`. Exposed

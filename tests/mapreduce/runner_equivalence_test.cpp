@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -404,6 +405,120 @@ TEST(RunnerEdgeCases, ReferenceFlagComesFromConstructor) {
   EXPECT_TRUE(by_flag.reference());
   const mr::LocalJobRunner opt(2, false);
   EXPECT_FALSE(opt.reference());
+}
+
+// --- thread-count sweep (DESIGN.md §15) --------------------------------------
+//
+// The parallel data path's determinism contract: for a fixed tuning, the
+// JobResult — outputs, profiles, shuffle matrix, AND the sort/merge
+// comparison + arena-chunk counters — is byte-identical at every thread
+// count, and outputs/profiles always match the reference oracle.
+
+/// Tuning that disables the small-job fast path and forces deep parallel
+/// split structures even on tiny inputs (64-entry thresholds), so small
+/// shapes exercise the full multi-threaded pipeline too.
+mr::RunnerTuning forced_full_tuning() { return {64, 1, 64}; }
+
+void run_thread_sweep(const std::vector<mr::KV>& records, int splits, int reduces, bool combiner,
+                      const std::vector<mr::RunnerTuning>& tunings) {
+  const auto spec = echo_spec(reduces, combiner);
+  const mr::LocalJobRunner reference(4, /*reference=*/true);
+  const auto ref = reference.run(spec, records, splits);
+  for (std::size_t t = 0; t < tunings.size(); ++t) {
+    std::optional<mr::JobResult> first;
+    for (const unsigned threads : {1u, 2u, 3u, 8u}) {
+      const mr::LocalJobRunner runner(threads, false, tunings[t]);
+      const auto got = runner.run(spec, records, splits);
+      expect_results_equal(got, ref);
+      if (!first) {
+        first = got;
+      } else {
+        // Counters must not depend on the thread count.
+        EXPECT_EQ(got.stats.sort_comparisons, first->stats.sort_comparisons)
+            << "tuning " << t << " threads " << threads;
+        EXPECT_EQ(got.stats.merge_comparisons, first->stats.merge_comparisons)
+            << "tuning " << t << " threads " << threads;
+        EXPECT_EQ(got.stats.arena_chunks, first->stats.arena_chunks)
+            << "tuning " << t << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(ThreadCountSweep, TinyJob) {
+  run_thread_sweep(random_records(21, 32), 4, 3, /*combiner=*/true,
+                   {mr::RunnerTuning{}, forced_full_tuning()});
+}
+
+TEST(ThreadCountSweep, SkewedKeys) {
+  // Half the records share one hot key; the rest spread over ~50 keys.
+  std::uint64_t s = 22;
+  std::vector<mr::KV> records;
+  records.reserve(5000);
+  for (int i = 0; i < 5000; ++i) {
+    std::string key =
+        i % 2 == 0 ? "skew-hot" : "skew-k" + std::to_string(splitmix(s) % 50);
+    records.push_back({std::move(key), std::to_string(i)});
+  }
+  run_thread_sweep(records, 6, 4, /*combiner=*/false,
+                   {mr::RunnerTuning{}, forced_full_tuning()});
+}
+
+TEST(ThreadCountSweep, SingleHotKey) {
+  // One key only: three of four reduce partitions are empty, the merge's
+  // range-split boundary candidates all coincide.
+  std::vector<mr::KV> records;
+  records.reserve(2000);
+  for (int i = 0; i < 2000; ++i) records.push_back({"only-key", std::to_string(i)});
+  run_thread_sweep(records, 4, 4, /*combiner=*/true,
+                   {mr::RunnerTuning{}, forced_full_tuning()});
+}
+
+TEST(ThreadCountSweep, MillionRecords) {
+  // Big enough (~8 MB) to route past the fast path and trigger the real
+  // parallel spill sorts and range-split reduce merges at default tuning.
+  std::uint64_t s = 24;
+  std::vector<mr::KV> records;
+  records.reserve(1000000);
+  for (std::size_t i = 0; i < 1000000; ++i) {
+    if (i % 16 == 0) {
+      records.push_back({"hot", "h"});
+    } else {
+      std::string key = "k";
+      key += std::to_string(splitmix(s) % 65536);
+      records.push_back({std::move(key), "v"});
+    }
+  }
+  run_thread_sweep(records, 8, 2, /*combiner=*/false, {mr::RunnerTuning{}});
+}
+
+// --- small-job fast path (DESIGN.md §15) -------------------------------------
+
+TEST(SmallJobFastPath, RoutingIsInvisibleInResultsAndCounters) {
+  // The fast path calls the same routed sort/merge primitives as the full
+  // pipeline, so forcing it off (1-byte threshold) must reproduce the
+  // entire JobResult — optimized-only counters included.
+  const auto records = random_records(31, 400);
+  const auto spec = echo_spec(3, true);
+  const mr::LocalJobRunner fast(4, /*reference=*/false);  // default: fast path taken
+  const mr::RunnerTuning no_fast_path(mr::RunnerTuning::kDefaultSortParallelThreshold, 1,
+                                      mr::RunnerTuning::kDefaultMergeRangeSplitMin);
+  const mr::LocalJobRunner full(4, false, no_fast_path);
+  const auto a = fast.run(spec, records, 4);
+  const auto b = full.run(spec, records, 4);
+  expect_results_equal(a, b);
+  EXPECT_EQ(a.stats.sort_comparisons, b.stats.sort_comparisons);
+  EXPECT_EQ(a.stats.merge_comparisons, b.stats.merge_comparisons);
+  EXPECT_EQ(a.stats.arena_chunks, b.stats.arena_chunks);
+}
+
+TEST(SmallJobFastPath, TuningIsCarriedByTheRunner) {
+  const mr::RunnerTuning t(7, 9, 11);
+  const mr::LocalJobRunner runner(2, t);
+  EXPECT_EQ(runner.tuning().sort_parallel_threshold, 7);
+  EXPECT_EQ(runner.tuning().small_job_fast_path_bytes, 9);
+  EXPECT_EQ(runner.tuning().merge_range_split_min, 11);
+  EXPECT_FALSE(runner.reference());
 }
 
 }  // namespace
